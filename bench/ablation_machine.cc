@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Architecture ablations (our extension in the paper's section 5
+ * spirit — "pinpoint what improvements might be most effective in the
+ * machine"): measured CPF per kernel under machine variants, and a
+ * bank-count sweep for stride-sensitive access patterns.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "isa/parser.h"
+#include "sim/simulator.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace {
+
+double
+measureCpf(int id, const macs::machine::MachineConfig &cfg)
+{
+    using namespace macs;
+    lfk::Kernel k = lfk::makeKernel(id);
+    sim::Simulator s(cfg, k.program);
+    k.setup(s);
+    return s.run().cycles / static_cast<double>(k.points) /
+           k.flopsPerPoint;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace macs;
+    using namespace macs::bench;
+
+    std::printf("=== Machine ablations: measured CPF per variant "
+                "===\n\n");
+
+    machine::MachineConfig base = machine::MachineConfig::convexC240();
+    machine::MachineConfig fast_mul = base;
+    fast_mul.setTiming(isa::Opcode::VMul, {2, 10, 1.0, 1});
+    machine::MachineConfig no_pairs = base;
+    no_pairs.chaining.enforcePairLimits = false;
+
+    Table t({"LFK", "baseline", "no bubbles", "no refresh",
+             "no chaining", "no pair limits", "no scalar cache",
+             "mul Y=10"});
+    for (int id : lfk::lfkIds()) {
+        t.addRow({"LFK" + std::to_string(id),
+                  Table::num(measureCpf(id, base)),
+                  Table::num(measureCpf(
+                      id, machine::MachineConfig::noBubbles())),
+                  Table::num(measureCpf(
+                      id, machine::MachineConfig::noRefresh())),
+                  Table::num(measureCpf(
+                      id, machine::MachineConfig::noChaining())),
+                  Table::num(measureCpf(id, no_pairs)),
+                  Table::num(measureCpf(
+                      id, machine::MachineConfig::noScalarCache())),
+                  Table::num(measureCpf(id, fast_mul))});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "Takeaways: bubbles and refresh each cost a few percent on\n"
+        "memory-saturated loops; chaining is worth 2-3x on chained\n"
+        "chimes (the paper's Cray-2 contrast); the register-pair port\n"
+        "limits rarely bind once the scheduler spreads pairs; losing\n"
+        "the ASU cache hurts exactly the scalar-heavy kernels\n"
+        "(LFK 2/4/6/8) whose outer loops reload state every pass.\n\n");
+
+    // ---- bank-count sweep for strided access -------------------------
+    std::printf("=== Bank-count sweep: strided stream cycles/element "
+                "===\n\n");
+    Table b({"stride", "8 banks", "16 banks", "32 banks", "64 banks"});
+    for (int stride : {1, 2, 4, 8, 16, 32}) {
+        std::vector<std::string> row = {Table::num((long)stride)};
+        for (int banks : {8, 16, 32, 64}) {
+            machine::MachineConfig cfg =
+                machine::MachineConfig::withBanks(banks);
+            cfg.memory.refreshEnabled = false;
+            isa::Program p = isa::assemble(format(
+                R"(
+.comm data,%d
+    mov #%d,s1
+    mov #128,s6
+    mov s6,VL
+    lds.l data,s1,v0
+    lds.l data,s1,v1
+)",
+                128 * stride + 16, stride));
+            sim::Simulator s(cfg, p);
+            row.push_back(Table::num(s.run().cycles / 256.0, 2));
+        }
+        b.addRow(row);
+    }
+    std::printf("%s\n", b.render().c_str());
+    std::printf(
+        "A stride sharing a large factor with the bank count collapses\n"
+        "throughput to bankBusy/period (stride 32 on 32 banks: 8\n"
+        "cycles/element); doubling the banks restores it, quantifying\n"
+        "the 'fifth degree of freedom D' the paper proposes for data\n"
+        "decomposition.\n");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the table/figure benchmark harnesses: per-kernel
+ * analyses on the paper machine and the paper's published reference
+ * numbers for side-by-side printing.
+ */
+
+#ifndef MACS_BENCH_BENCH_UTIL_H
+#define MACS_BENCH_BENCH_UTIL_H
+
+#include <map>
+
+#include "lfk/kernels.h"
+#include "lfk/paper_reference.h"
+#include "macs/hierarchy.h"
+#include "machine/machine_config.h"
+
+namespace macs::bench {
+
+using lfk::PaperReference;
+using lfk::paperReference;
+
+/** Analyze every kernel once on the paper machine (cached). */
+inline const std::map<int, model::KernelAnalysis> &
+allAnalyses()
+{
+    static const std::map<int, model::KernelAnalysis> cache = [] {
+        std::map<int, model::KernelAnalysis> out;
+        machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+        for (int id : lfk::lfkIds()) {
+            lfk::Kernel k = lfk::makeKernel(id);
+            out.emplace(id,
+                        model::analyzeKernel(lfk::toKernelCase(k), cfg));
+        }
+        return out;
+    }();
+    return cache;
+}
+
+} // namespace macs::bench
+
+#endif // MACS_BENCH_BENCH_UTIL_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Reproduces paper Figure 3: for each kernel, the MA/MAC/MACS bounds
+ * and the measured run time as a single process (idle machine) and
+ * under multi-process memory contention — independent programs on all
+ * four CPUs (the paper's load-average-5.1 scenario) and four copies of
+ * the same executable falling into lock step. Rendered as CPF bars
+ * plus the section 4.2 rule-of-thumb summary.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "sim/contention.h"
+#include "sim/multi_cpu.h"
+#include "sim/simulator.h"
+#include "support/table.h"
+
+namespace {
+
+double
+measureCpf(int id, double contention)
+{
+    using namespace macs;
+    lfk::Kernel k = lfk::makeKernel(id);
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::SimOptions opt;
+    opt.memoryContentionFactor = contention;
+    sim::Simulator s(cfg, k.program, opt);
+    k.setup(s);
+    double cycles = s.run().cycles;
+    return cycles / static_cast<double>(k.points) / k.flopsPerPoint;
+}
+
+std::string
+bar(double cpf, double scale = 12.0)
+{
+    int n = static_cast<int>(cpf * scale + 0.5);
+    return std::string(static_cast<size_t>(std::max(1, n)), '#');
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace macs;
+    using namespace macs::bench;
+
+    std::printf("=== Figure 3: Bounds vs single- and multi-process run "
+                "times (CPF) ===\n\n");
+
+    double ind = sim::contentionFactor(4, sim::WorkloadMix::Independent);
+    double ls = sim::contentionFactor(4, sim::WorkloadMix::LockStep);
+
+    Table t({"LFK", "t_MA", "t_MAC", "t_MACS", "single", "lockstep x4",
+             "independent x4", "degr%"});
+    double sum_deg = 0.0, sum_ls = 0.0;
+    for (int id : lfk::lfkIds()) {
+        const auto &a = allAnalyses().at(id);
+        double single = a.actualCpf();
+        double multi = measureCpf(id, ind);
+        double lock = measureCpf(id, ls);
+        double deg = 100.0 * (multi / single - 1.0);
+        sum_deg += deg;
+        sum_ls += 100.0 * (lock / single - 1.0);
+        t.addRow({"LFK" + std::to_string(id), Table::num(a.maCpf()),
+                  Table::num(a.macCpf()), Table::num(a.macsCpf()),
+                  Table::num(single), Table::num(lock),
+                  Table::num(multi), Table::num(deg, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("CPF bars (MA | MACS | single | independent x4):\n");
+    for (int id : lfk::lfkIds()) {
+        const auto &a = allAnalyses().at(id);
+        double multi = measureCpf(id, ind);
+        std::printf("LFK%-2d MA     %6.3f %s\n", id, a.maCpf(),
+                    bar(a.maCpf()).c_str());
+        std::printf("      MACS   %6.3f %s\n", a.macsCpf(),
+                    bar(a.macsCpf()).c_str());
+        std::printf("      single %6.3f %s\n", a.actualCpf(),
+                    bar(a.actualCpf()).c_str());
+        std::printf("      multi  %6.3f %s\n\n", multi,
+                    bar(multi).c_str());
+    }
+
+    // ---- endogenous contention: solve the fixed point instead of
+    // assuming a factor (our extension; see sim/multi_cpu.h) ----
+    std::printf("endogenous 4-CPU fixed point (four copies of each "
+                "kernel):\n\n");
+    Table e({"LFK", "converged factor", "port util", "CPF multi",
+             "degr%", "iters"});
+    for (int id : {1, 3, 7, 10}) {
+        lfk::Kernel k0 = lfk::makeKernel(id);
+        lfk::Kernel k1 = lfk::makeKernel(id);
+        lfk::Kernel k2 = lfk::makeKernel(id);
+        lfk::Kernel k3 = lfk::makeKernel(id);
+        std::vector<sim::CpuJob> jobs = {{&k0.program, k0.setup},
+                                         {&k1.program, k1.setup},
+                                         {&k2.program, k2.setup},
+                                         {&k3.program, k3.setup}};
+        machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+        sim::MultiCpuResult r = sim::runMultiCpu(jobs, cfg);
+        double cpf = r.stats[0].cycles /
+                     static_cast<double>(k0.points) / k0.flopsPerPoint;
+        double single = allAnalyses().at(id).actualCpf();
+        e.addRow({"LFK" + std::to_string(id),
+                  Table::num(r.factor[0], 3),
+                  Table::num(r.utilization[0], 2), Table::num(cpf),
+                  Table::num(100.0 * (cpf / single - 1.0), 1),
+                  Table::num((long)r.iterations)});
+    }
+    std::printf("%s\n", e.render().c_str());
+
+    int n = static_cast<int>(lfk::lfkIds().size());
+    std::printf(
+        "contended access time (paper section 4.2): one access per\n"
+        "56-64 ns instead of 40 ns -> stream slowdown %.2fx\n"
+        "(independent) and %.2fx (lock step).\n"
+        "measured degradation: %.1f%% average (independent), %.1f%%\n"
+        "(lock step). These inner loops run the memory port near 100%%\n"
+        "utilization, so they expose nearly the whole access-time\n"
+        "ratio; the paper's ~20%% rule of thumb applies to typical full\n"
+        "applications whose lower port utilization masks more — and,\n"
+        "as the paper notes, 'more of this degradation will be\n"
+        "exposed as performance is improved toward the bound', which\n"
+        "is exactly the regime these kernels are in. The lock-step\n"
+        "average sits just above the paper's 5-10%% band.\n",
+        ind, ls, sum_deg / n, sum_ls / n);
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library itself: simulator
+ * throughput on the LFK workloads, chime partitioning, the MACS
+ * evaluator, compilation, and the full hierarchy analysis.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/codegen.h"
+#include "compiler/loop_parser.h"
+#include "isa/parser.h"
+#include "lfk/kernels.h"
+#include "macs/hierarchy.h"
+#include "macs/macs_bound.h"
+#include "machine/machine_config.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace macs;
+
+void
+BM_SimulateKernel(benchmark::State &state)
+{
+    int id = static_cast<int>(state.range(0));
+    lfk::Kernel k = lfk::makeKernel(id);
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        sim::Simulator s(cfg, k.program);
+        k.setup(s);
+        sim::RunStats st = s.run();
+        instructions += st.instructions;
+        benchmark::DoNotOptimize(st.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(instructions));
+    state.SetLabel("simulated instructions/sec");
+}
+BENCHMARK(BM_SimulateKernel)->Arg(1)->Arg(2)->Arg(7)->Arg(8);
+
+void
+BM_ChimePartition(benchmark::State &state)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    auto body = p.innerLoop();
+    machine::ChainingConfig rules;
+    for (auto _ : state) {
+        auto chimes = model::partitionChimes(body, rules);
+        benchmark::DoNotOptimize(chimes.size());
+    }
+}
+BENCHMARK(BM_ChimePartition);
+
+void
+BM_MacsBound(benchmark::State &state)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    auto body = p.innerLoop();
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    for (auto _ : state) {
+        auto r = model::evaluateMacs(body, cfg);
+        benchmark::DoNotOptimize(r.cpl);
+    }
+}
+BENCHMARK(BM_MacsBound);
+
+void
+BM_CompileLfk1(benchmark::State &state)
+{
+    compiler::Loop loop = compiler::parseLoop(
+        "DO k\n x(k) = q + y(k)*(r*zx(k+10) + t*zx(k+11))\nEND");
+    compiler::CompileOptions opt;
+    opt.tripCount = 990;
+    opt.arrays = {{"x", 1024}, {"y", 1024}, {"zx", 1024}};
+    for (auto _ : state) {
+        auto res = compiler::compile(loop, opt);
+        benchmark::DoNotOptimize(res.program.size());
+    }
+}
+BENCHMARK(BM_CompileLfk1);
+
+void
+BM_FullHierarchyAnalysis(benchmark::State &state)
+{
+    lfk::Kernel k = lfk::makeKernel(3);
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    for (auto _ : state) {
+        auto a = model::analyzeKernel(lfk::toKernelCase(k), cfg);
+        benchmark::DoNotOptimize(a.tP);
+    }
+}
+BENCHMARK(BM_FullHierarchyAnalysis);
+
+} // namespace
+
+BENCHMARK_MAIN();

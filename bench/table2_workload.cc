@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces paper Table 2: the MA (source-level, perfect index
+ * analysis) and MAC (compiled) workloads of the ten LFKs. MAC values
+ * are counted from the assembly our fc-like compiler (or the
+ * hand-assembled kernel) actually emits.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "support/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace macs;
+    bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+    using namespace macs::bench;
+
+    std::printf("=== Table 2: LFK Workload (per inner-loop iteration) "
+                "===\n\n");
+
+    Table t({"LFK", "f_a", "f_m", "l", "s", "f_a'", "f_m'", "l'", "s'",
+             "t_f", "t_f'", "t_m", "t_m'"});
+    for (int id : lfk::lfkIds()) {
+        const auto &a = allAnalyses().at(id);
+        t.addRow({"LFK" + std::to_string(id), Table::num((long)a.ma.fAdd),
+                  Table::num((long)a.ma.fMul), Table::num((long)a.ma.loads),
+                  Table::num((long)a.ma.stores),
+                  Table::num((long)a.mac.fAdd),
+                  Table::num((long)a.mac.fMul),
+                  Table::num((long)a.mac.loads),
+                  Table::num((long)a.mac.stores),
+                  Table::num((long)a.ma.tF()), Table::num((long)a.mac.tF()),
+                  Table::num((long)a.ma.tM()),
+                  Table::num((long)a.mac.tM())});
+    }
+    std::printf("%s\n", csv ? t.renderCsv().c_str() : t.render().c_str());
+
+    std::printf(
+        "Primed columns are the compiled (MAC) workload. The paper's\n"
+        "Table 2 anchors reproduced here: extra loads for shifted reuse\n"
+        "in LFK 1/2/7/12 (e.g. LFK1 l: 2 -> 3, LFK7 l: 3 -> 9), the\n"
+        "LFK4 negate raising f_a' by one (the paper's Table 2 footnote),\n"
+        "and unchanged counts for LFK 3/9/10.\n");
+    return 0;
+}

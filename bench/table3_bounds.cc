@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces paper Table 3: the component terms and bounds in CPL —
+ * t_f, t_f', t_MACS^f on the FP side, t_m, t_m', t_MACS^m on the
+ * memory side, and t_MA, t_MAC, t_MACS overall — plus the section 3.5
+ * worked example (LFK1 chime derivation).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "isa/parser.h"
+#include "macs/chime.h"
+#include "macs/macs_bound.h"
+#include "support/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace macs;
+    bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+    using namespace macs::bench;
+
+    std::printf("=== Table 3: Performance bounds (CPL) ===\n\n");
+
+    Table t({"LFK", "t_f", "t_f'", "tMACS^f", "t_m", "t_m'", "tMACS^m",
+             "t_MA", "t_MAC", "t_MACS", "paper t_MACS"});
+    for (int id : lfk::lfkIds()) {
+        const auto &a = allAnalyses().at(id);
+        const auto &ref = paperReference().at(id);
+        t.addRow({"LFK" + std::to_string(id),
+                  Table::num((long)a.maBound.tF),
+                  Table::num((long)a.macBound.tF),
+                  Table::num(a.macsFOnly.cpl, 2),
+                  Table::num((long)a.maBound.tM),
+                  Table::num((long)a.macBound.tM),
+                  Table::num(a.macsMOnly.cpl, 2),
+                  Table::num(a.maBound.bound, 0),
+                  Table::num(a.macBound.bound, 0),
+                  Table::num(a.macs.cpl, 2),
+                  Table::num(ref.macsCpl, 2)});
+    }
+    std::printf("%s\n", csv ? t.renderCsv().c_str() : t.render().c_str());
+
+    // ---- section 3.5 worked example ----
+    std::printf("=== Worked example (section 3.5): LFK1 chime "
+                "derivation ===\n\n");
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    isa::Program paper = isa::assemble(lfk::lfk1PaperListing());
+    auto body = paper.innerLoop();
+    model::MacsResult r = model::evaluateMacs(body, cfg);
+    std::printf("%s", model::renderChimes(body, r.chimes).c_str());
+    std::printf("\nchime costs: ");
+    for (size_t i = 0; i < r.chimeCycles.size(); ++i)
+        std::printf("%s%.0f", i ? " + " : "", r.chimeCycles[i]);
+    std::printf(" = %.0f cycles (paper: 131+132+132+132 = 527)\n",
+                r.rawCycles);
+    std::printf("with refresh penalty: %.2f cycles (paper: 537.54)\n",
+                r.cycles);
+    std::printf("t_MACS = %.4f CPL = %.3f CPF "
+                "(paper: 4.200 CPL = 0.840 CPF)\n",
+                r.cpl, r.cpl / 5.0);
+    return 0;
+}

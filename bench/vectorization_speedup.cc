@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Vector/scalar speedup study (our extension, motivated by the paper's
+ * introduction: "the delivered performance ... is primarily related to
+ * the efficiency of implementation of inner loops").
+ *
+ * Compiles the DSL-expressible kernels twice — vectorized, and in
+ * scalar mode through the ASU — runs both on the simulated C-240, and
+ * reports the speedup. The two excluded recurrences (LFK 5, 11) only
+ * have the scalar column: this is precisely why the paper's case study
+ * drops them.
+ */
+
+#include <cstdio>
+#include <optional>
+
+#include "compiler/codegen.h"
+#include "compiler/loop_parser.h"
+#include "lfk/data.h"
+#include "lfk/kernels.h"
+#include "machine/machine_config.h"
+#include "sim/simulator.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace macs;
+
+struct Case
+{
+    int id;
+    const char *dsl;
+    long trip;
+    std::vector<compiler::ArraySpec> arrays;
+    std::vector<std::pair<const char *, double>> scalars;
+    std::vector<std::pair<const char *, uint64_t>> inputs; // name, seed
+    int flops;
+};
+
+std::vector<Case>
+cases()
+{
+    return {
+        {1,
+         "DO k\n x(k) = q + y(k)*(r*zx(k+10) + t*zx(k+11))\nEND",
+         990,
+         {{"x", 1024}, {"y", 1024}, {"zx", 1024}},
+         {{"scalar_q", 1.5}, {"scalar_r", 0.75}, {"scalar_t", 0.35}},
+         {{"y", 101}, {"zx", 102}},
+         5},
+        {3,
+         "DO k\n q = q + z(k)*x(k)\nEND",
+         1001,
+         {{"x", 1024}, {"z", 1024}},
+         {{"scalar_q", 0.0}},
+         {{"x", 301}, {"z", 302}},
+         2},
+        {7,
+         "DO k\n x(k) = u(k) + r*(z(k) + r*y(k))"
+         " + t*(u(k+3) + r*(u(k+2) + r*u(k+1))"
+         " + t*(u(k+6) + q*(u(k+5) + q*u(k+4))))\nEND",
+         990,
+         {{"x", 1024}, {"y", 1024}, {"z", 1024}, {"u", 1024}},
+         {{"scalar_q", 0.5}, {"scalar_r", 0.75}, {"scalar_t", 0.35}},
+         {{"y", 701}, {"z", 702}, {"u", 703}},
+         16},
+        {12,
+         "DO k\n x(k) = y(k+1) - y(k)\nEND",
+         1000,
+         {{"x", 1024}, {"y", 1032}},
+         {},
+         {{"y", 1201}},
+         1},
+        {5,
+         "DO k\n x(k+1) = z(k+1)*(y(k+1) - x(k))\nEND",
+         1000,
+         {{"x", 1024}, {"y", 1032}, {"z", 1032}},
+         {},
+         {{"x", 501}, {"y", 502}, {"z", 503}},
+         2},
+        {11,
+         "DO k\n x(k+1) = x(k) + y(k+1)\nEND",
+         1000,
+         {{"x", 1024}, {"y", 1032}},
+         {},
+         {{"x", 1101}, {"y", 1102}},
+         1},
+    };
+}
+
+std::optional<double>
+runMode(const Case &c, bool vectorize, int unroll = 1)
+{
+    compiler::Loop loop = compiler::parseLoop(c.dsl);
+    compiler::SourceAnalysis sa = compiler::analyzeSource(loop);
+    if (vectorize && !sa.vectorizable)
+        return std::nullopt;
+    if (!vectorize && c.trip % unroll != 0)
+        return std::nullopt;
+
+    compiler::CompileOptions opt;
+    opt.tripCount = c.trip;
+    opt.arrays = c.arrays;
+    opt.vectorize = vectorize;
+    opt.unroll = vectorize ? 1 : unroll;
+    compiler::CompileResult res = compiler::compile(loop, opt);
+
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::Simulator s(cfg, res.program);
+    for (auto [name, seed] : c.inputs) {
+        size_t words = 0;
+        for (const auto &a : c.arrays)
+            if (a.name == name)
+                words = a.words;
+        s.memory().fillDoubles(name, lfk::testVector(words, seed));
+    }
+    for (auto [name, value] : c.scalars)
+        s.memory().fillDoubles(name, {value});
+    double cycles = s.run().cycles;
+    return cycles / static_cast<double>(c.trip) / c.flops;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Vectorization speedup on the simulated C-240 "
+                "===\n\n");
+
+    Table t({"LFK", "scalar CPF", "scalar unrolled", "vector CPF",
+             "speedup", "vector MFLOPS"});
+    for (const Case &c : cases()) {
+        auto scalar = runMode(c, false);
+        int u = c.trip % 4 == 0 ? 4 : (c.trip % 2 == 0 ? 2 : 1);
+        auto unrolled = u > 1 ? runMode(c, false, u)
+                              : std::optional<double>{};
+        auto vec = runMode(c, true);
+        std::string id = "LFK" + std::to_string(c.id);
+        std::string u4 =
+            unrolled ? Table::num(*unrolled) : std::string("-");
+        if (vec) {
+            t.addRow({id, Table::num(*scalar), u4, Table::num(*vec),
+                      Table::num(*scalar / *vec, 1),
+                      Table::num(25.0 / *vec, 2)});
+        } else {
+            t.addRow({id, Table::num(*scalar), u4, "(recurrence)", "-",
+                      "-"});
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "The vectorizable kernels gain roughly an order of magnitude\n"
+        "from the VP; even the ASU's best effort (4x unrolled, list\n"
+        "scheduled) stays several-fold behind. LFK 5 and 11 carry\n"
+        "loop-borne recurrences, run at scalar-FP latency, and are\n"
+        "exactly why the paper's case study uses only ten of the first\n"
+        "twelve kernels.\n");
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Full MACS hierarchy analysis of a Livermore kernel: the Figure-1
+ * stack of bounds and measurements with the section-4.4-style gap
+ * diagnosis. Pass an LFK number (1, 2, 3, 4, 6, 7, 8, 9, 10, 12);
+ * defaults to all ten.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "lfk/kernels.h"
+#include "macs/hierarchy.h"
+#include "machine/machine_config.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace macs;
+
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+
+    std::vector<int> ids;
+    if (argc > 1) {
+        ids.push_back(std::atoi(argv[1]));
+    } else {
+        ids = lfk::lfkIds();
+    }
+
+    for (int id : ids) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        std::printf("%s — %s\n", k.name.c_str(), k.description.c_str());
+        std::printf("source:\n%s\n\n", k.sourceText.c_str());
+        model::KernelAnalysis a =
+            model::analyzeKernel(lfk::toKernelCase(k), cfg);
+        std::printf("%s\n", model::renderReport(a, cfg).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * What-if architecture study — the use the paper's conclusion proposes
+ * for the MACS hierarchy ("pinpoint ... what improvements might be
+ * most effective in the application, compiler, or machine").
+ *
+ * Evaluates LFK1 and LFK7 on hypothetical C-240 variants and shows
+ * where each machine change moves the bounds versus the delivered
+ * time: a second memory-port-equivalent (modeled as halved bank busy
+ * time), zero tailgating bubbles, a faster multiplier, no refresh,
+ * and a Cray-2-style machine without chaining.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "lfk/kernels.h"
+#include "macs/hierarchy.h"
+#include "machine/machine_config.h"
+#include "support/table.h"
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    macs::machine::MachineConfig config;
+};
+
+std::vector<Variant>
+variants()
+{
+    using macs::machine::MachineConfig;
+    std::vector<Variant> out;
+    out.push_back({"baseline C-240", MachineConfig::convexC240()});
+
+    MachineConfig fast_banks = MachineConfig::convexC240();
+    fast_banks.memory.bankBusyCycles = 4;
+    out.push_back({"bank busy 8 -> 4", fast_banks});
+
+    out.push_back({"no bubbles", MachineConfig::noBubbles()});
+
+    MachineConfig fast_mul = MachineConfig::convexC240();
+    fast_mul.setTiming(macs::isa::Opcode::VMul, {2, 8, 1.0, 1});
+    out.push_back({"mul Y 12 -> 8", fast_mul});
+
+    out.push_back({"no refresh", MachineConfig::noRefresh()});
+    out.push_back({"no chaining (Cray-2-ish)",
+                   MachineConfig::noChaining()});
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace macs;
+
+    for (int id : {1, 7}) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        std::printf("=== %s under machine variants ===\n\n",
+                    k.name.c_str());
+        Table t({"variant", "t_MA", "t_MAC", "t_MACS", "t_p (CPF)",
+                 "speedup"});
+        double base_cpf = 0.0;
+        for (const Variant &v : variants()) {
+            model::KernelAnalysis a =
+                model::analyzeKernel(lfk::toKernelCase(k), v.config);
+            if (base_cpf == 0.0)
+                base_cpf = a.actualCpf();
+            t.addRow({v.name, Table::num(a.maCpf()),
+                      Table::num(a.macCpf()), Table::num(a.macsCpf()),
+                      Table::num(a.actualCpf()),
+                      Table::num(base_cpf / a.actualCpf(), 2)});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    std::printf(
+        "Reading the table the way the paper's section 5 intends:\n"
+        "LFK1 is memory-bound, so the FP-side what-ifs move nothing\n"
+        "while losing chaining is catastrophic; removing bubbles or\n"
+        "refresh buys only the ~1-3%% their gaps predicted. The right\n"
+        "lever for this workload is the compiler (the MA<-MAC gap),\n"
+        "not the function units.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Data-decomposition walkthrough with MACS-D: take a column sweep over
+ * a matrix whose leading dimension collides with the memory banks,
+ * watch the plain MACS bound miss the problem, use MACS-D to quantify
+ * it, then fix it by padding the leading dimension — the workflow the
+ * paper's "fifth degree of freedom D" remark envisions.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "compiler/codegen.h"
+#include "compiler/loop_parser.h"
+#include "macs/macsd.h"
+#include "machine/machine_config.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace macs;
+
+/** Column sweep m(j, k) = 2 m(j, k): ld + mul + st at the row stride. */
+void
+study(int leading_dim)
+{
+    std::string dsl = "DO k\n mcol(" + std::to_string(leading_dim) +
+                      "*k) = c2*mcol(" + std::to_string(leading_dim) +
+                      "*k)\nEND";
+    compiler::CompileOptions opt;
+    opt.tripCount = 128;
+    opt.arrays = {{"mcol", static_cast<size_t>(128 * leading_dim + 8)}};
+    compiler::CompileResult res =
+        compiler::compile(compiler::parseLoop(dsl), opt);
+
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    model::MacsResult plain =
+        model::evaluateMacs(res.program.innerLoop(), cfg);
+    model::MacsDResult d = model::evaluateMacsD(res.program, cfg);
+
+    sim::Simulator sim(cfg, res.program);
+    sim.memory().fillDoubles(
+        "mcol",
+        std::vector<double>(static_cast<size_t>(128 * leading_dim + 8),
+                            1.0));
+    sim.memory().fillDoubles("scalar_c2", {2.0});
+    double measured = sim.run().cycles / 128.0;
+
+    std::printf("leading dimension %3d: t_MACS %5.2f   t_MACS-D %5.2f "
+                "(memory rate %.0f)   measured %5.2f CPL\n",
+                leading_dim, plain.cpl, d.macs.cpl, d.worstMemoryRate,
+                measured);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf(
+        "Column sweep over a matrix stored with leading dimension L on\n"
+        "the C-240's 32 banks (bank busy 8). Each element is loaded,\n"
+        "scaled, and stored back at stride L words:\n\n");
+
+    for (int ld : {30, 31, 32, 33, 34, 48, 64})
+        study(ld);
+
+    std::printf(
+        "\nPlain MACS cannot distinguish the rows: it assumes every\n"
+        "stream sustains one element per clock. MACS-D binds the\n"
+        "stride, charges the interleave rate, and matches the machine:\n"
+        "L = 32 and 64 collapse onto one bank (8 cycles/element), L = 48\n"
+        "onto two. Padding the leading dimension to 33 — one wasted\n"
+        "word per row — restores full speed. That decision is now a\n"
+        "bound computation instead of folklore.\n");
+    return 0;
+}

@@ -1,0 +1,158 @@
+#include "calib/calibration.h"
+
+#include <array>
+
+#include "sim/simulator.h"
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace macs::calib {
+
+using isa::Opcode;
+
+const std::vector<Opcode> &
+table1Opcodes()
+{
+    static const std::vector<Opcode> ops = {
+        Opcode::VLd, Opcode::VSt,  Opcode::VAdd, Opcode::VMul,
+        Opcode::VSub, Opcode::VDiv, Opcode::VSum, Opcode::VNeg,
+    };
+    return ops;
+}
+
+namespace {
+
+/** Append one instance of the instruction under test. */
+void
+appendTestInstr(isa::Program &prog, Opcode op, int instance)
+{
+    using namespace isa;
+    // Rotating destinations keep write-after-write interlocks from
+    // serializing the pipe; v0/v1 are constant sources.
+    static const std::array<int, 4> vdst = {2, 3, 6, 7};
+    static const std::array<int, 4> sdst = {1, 2, 3, 4};
+    int vd = vdst[static_cast<size_t>(instance) % vdst.size()];
+    int sd = sdst[static_cast<size_t>(instance) % sdst.size()];
+    static const std::array<int, 4> ldst = {2, 3, 6, 7};
+    int ld = ldst[static_cast<size_t>(instance) % ldst.size()];
+
+    switch (op) {
+      case Opcode::VLd:
+        prog.append(makeVLoad(MemRef{"cal_data", 0, areg(5)}, vreg(ld)));
+        break;
+      case Opcode::VSt:
+        prog.append(makeVStore(
+            vreg(0), MemRef{"cal_data", 1024 * (instance % 4), areg(5)}));
+        break;
+      case Opcode::VAdd:
+        prog.append(
+            makeVBinary(Opcode::VAdd, vreg(0), vreg(1), vreg(vd)));
+        break;
+      case Opcode::VSub:
+        prog.append(
+            makeVBinary(Opcode::VSub, vreg(0), vreg(1), vreg(vd)));
+        break;
+      case Opcode::VMul:
+        prog.append(
+            makeVBinary(Opcode::VMul, vreg(0), vreg(1), vreg(vd)));
+        break;
+      case Opcode::VDiv:
+        prog.append(
+            makeVBinary(Opcode::VDiv, vreg(0), vreg(1), vreg(vd)));
+        break;
+      case Opcode::VSum:
+        prog.append(makeVSum(vreg(0), sreg(sd)));
+        break;
+      case Opcode::VNeg:
+        prog.append(makeVNeg(vreg(0), vreg(vd)));
+        break;
+      default:
+        fatal("opcode is not calibratable");
+    }
+}
+
+double
+runCycles(const isa::Program &prog, const machine::MachineConfig &config)
+{
+    sim::Simulator simulator(config, prog);
+    return simulator.run().cycles;
+}
+
+} // namespace
+
+isa::Program
+makeCalibrationLoop(Opcode op, int vl, long iters, int unroll)
+{
+    MACS_ASSERT(vl >= 1 && vl <= isa::kMaxVectorLength,
+                "bad calibration VL");
+    MACS_ASSERT(iters >= 1, "need at least one iteration");
+
+    using namespace isa;
+    Program prog;
+    prog.defineData("cal_data", 4096);
+    prog.append(makeMovImm(vl, sreg(6)));
+    prog.append(makeMov(sreg(6), vlreg()));
+    prog.append(makeMovImm(iters, sreg(0)));
+    prog.append(makeMovImm(0, areg(5)));
+    // Source registers v0/v1 start as zeros; the divide's 0/0 NaNs are
+    // functionally harmless and keep the startup fit free of priming
+    // traffic.
+    prog.label("L1");
+    for (int i = 0; i < unroll; ++i)
+        appendTestInstr(prog, op, i);
+    prog.append(makeSSubImm(1, sreg(0)));
+    prog.append(makeCmpImm(Opcode::SLt, 0, sreg(0)));
+    prog.append(makeBranch(Opcode::BrT, "L1"));
+    prog.validate();
+    return prog;
+}
+
+CalibrationResult
+calibrate(Opcode op, const machine::MachineConfig &config)
+{
+    constexpr int kUnroll = 4;
+    constexpr long kItersHi = 64;
+    constexpr long kItersLo = 32;
+    const std::array<int, 4> vls = {32, 64, 96, 128};
+
+    std::vector<double> xs, ys;
+    for (int vl : vls) {
+        double hi =
+            runCycles(makeCalibrationLoop(op, vl, kItersHi, kUnroll),
+                      config);
+        double lo =
+            runCycles(makeCalibrationLoop(op, vl, kItersLo, kUnroll),
+                      config);
+        double per_instr =
+            (hi - lo) / static_cast<double>((kItersHi - kItersLo) *
+                                            kUnroll);
+        xs.push_back(vl);
+        ys.push_back(per_instr);
+    }
+    LinearFit fit = fitLine(xs, ys);
+
+    CalibrationResult res;
+    res.op = op;
+    res.zFit = fit.slope;
+    res.bFit = fit.intercept;
+    res.rss = fit.rss;
+
+    // Startup X + Y: one instance at VL = 128 versus the empty loop.
+    double with_instr =
+        runCycles(makeCalibrationLoop(op, 128, 1, 1), config);
+    double without =
+        runCycles(makeCalibrationLoop(op, 128, 1, 0), config);
+    res.startupFit = with_instr - without - res.zFit * 128.0;
+    return res;
+}
+
+std::vector<CalibrationResult>
+calibrateAll(const machine::MachineConfig &config)
+{
+    std::vector<CalibrationResult> out;
+    for (Opcode op : table1Opcodes())
+        out.push_back(calibrate(op, config));
+    return out;
+}
+
+} // namespace macs::calib

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Calibration-loop framework (paper section 3.2): derive the X/Y/Z/B
+ * timing parameters of each vector instruction by running specially
+ * constructed loops on the simulator and fitting the results, exactly
+ * as the paper did against the real Convex C-240 when its minimum
+ * specifications needed confirmation.
+ *
+ * Method:
+ *  - steady state: a counted loop whose body is the instruction under
+ *    test unrolled four times with rotating destination registers (so
+ *    register interlocks never bind). Per-instruction cycles at vector
+ *    length VL approach Z*VL + B; a least-squares fit over several VL
+ *    values yields Z (slope) and B (intercept).
+ *  - startup: the same program with a single instance of the
+ *    instruction; subtracting the empty-program cost and the fitted
+ *    Z*VL leaves X + Y.
+ */
+
+#ifndef MACS_CALIB_CALIBRATION_H
+#define MACS_CALIB_CALIBRATION_H
+
+#include <vector>
+
+#include "isa/opcode.h"
+#include "isa/program.h"
+#include "machine/machine_config.h"
+
+namespace macs::calib {
+
+/** Fitted timing of one opcode. */
+struct CalibrationResult
+{
+    isa::Opcode op;
+    double zFit = 0.0;       ///< fitted cycles per element
+    double bFit = 0.0;       ///< fitted inter-instruction bubble
+    double startupFit = 0.0; ///< fitted X + Y
+    double rss = 0.0;        ///< residual sum of squares of the Z/B fit
+};
+
+/** Opcodes covered by the paper's Table 1. */
+const std::vector<isa::Opcode> &table1Opcodes();
+
+/** Calibrate one opcode on @p config. */
+CalibrationResult calibrate(isa::Opcode op,
+                            const machine::MachineConfig &config);
+
+/** Calibrate every Table 1 opcode. */
+std::vector<CalibrationResult>
+calibrateAll(const machine::MachineConfig &config);
+
+/**
+ * Build the steady-state calibration loop for @p op: @p unroll copies
+ * per iteration, @p iters iterations, at vector length @p vl.
+ * Exposed for tests and for inspecting the generated loops.
+ */
+isa::Program makeCalibrationLoop(isa::Opcode op, int vl, long iters,
+                                 int unroll = 4);
+
+} // namespace macs::calib
+
+#endif // MACS_CALIB_CALIBRATION_H

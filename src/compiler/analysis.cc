@@ -1,0 +1,177 @@
+#include "compiler/analysis.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <tuple>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::compiler {
+
+namespace {
+
+/** An array reference key. */
+struct RefKey
+{
+    std::string name;
+    long coef;
+    long offset;
+
+    auto operator<=>(const RefKey &) const = default;
+};
+
+struct Collector
+{
+    int adds = 0;
+    int muls = 0;
+    std::set<RefKey> reads;
+    std::set<std::string> scalars;
+
+    void
+    walk(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return;
+          case Expr::Kind::Scalar:
+            scalars.insert(e.name);
+            return;
+          case Expr::Kind::Array:
+            reads.insert({e.name, e.coef, e.offset});
+            return;
+          case Expr::Kind::Add:
+          case Expr::Kind::Sub:
+            ++adds;
+            walk(*e.lhs);
+            walk(*e.rhs);
+            return;
+          case Expr::Kind::Mul:
+          case Expr::Kind::Div:
+            ++muls;
+            walk(*e.lhs);
+            walk(*e.rhs);
+            return;
+          case Expr::Kind::Neg:
+            ++adds; // executes on the add pipe
+            walk(*e.lhs);
+            return;
+        }
+        panic("unreachable expression kind");
+    }
+};
+
+} // namespace
+
+SourceAnalysis
+analyzeSource(const Loop &loop)
+{
+    SourceAnalysis out;
+    MACS_ASSERT(!loop.stmts.empty(), "loop has no statements");
+
+    Collector c;
+    std::set<RefKey> writes;
+    std::set<std::pair<std::string, long>> writeStreams;
+    std::set<std::string> reduction_scalars;
+
+    // Reads that are *not* satisfied by a forward from an earlier
+    // statement's write in the same iteration (these need loads).
+    std::set<RefKey> live_in_reads;
+    // Stream identity for perfect index analysis: references reuse the
+    // same element stream across iterations only when their offsets
+    // are congruent modulo the per-iteration index advance coef*stride
+    // (e.g., X(k-1) and X(k+1) in a stride-2 loop share a stream while
+    // X(k) does not).
+    auto stream_of = [&](const RefKey &r) {
+        long advance = r.coef * loop.stride;
+        long residue = 0;
+        if (advance != 0) {
+            long m = std::abs(advance);
+            residue = ((r.offset % m) + m) % m;
+        } else {
+            residue = r.offset; // loop-invariant element
+        }
+        return std::tuple<std::string, long, long>(r.name, r.coef,
+                                                   residue);
+    };
+    std::set<std::tuple<std::string, long, long>> live_in_streams;
+
+    for (const auto &s : loop.stmts) {
+        Collector stmt_reads; // reads of this statement only
+        if (s.arrayDst) {
+            c.walk(*s.rhs);
+            stmt_reads.walk(*s.rhs);
+        } else if (const Expr *term = s.reductionTerm()) {
+            // The accumulate itself is one add per iteration.
+            ++c.adds;
+            reduction_scalars.insert(s.dstName);
+            c.walk(*term);
+            stmt_reads.walk(*term);
+        } else {
+            out.vectorizable = false;
+            out.reason = "scalar assignment '" + s.dstName +
+                         "' is not a recognized sum reduction";
+            c.walk(*s.rhs);
+            stmt_reads.walk(*s.rhs);
+        }
+        // A read is forwarded only when an *earlier* statement wrote
+        // the identical reference; the statement's own write happens
+        // after its right-hand side is evaluated.
+        for (const auto &r : stmt_reads.reads) {
+            if (!writes.count(r)) {
+                live_in_reads.insert(r);
+                live_in_streams.insert(stream_of(r));
+            }
+        }
+        if (s.arrayDst) {
+            writes.insert({s.dstName, s.dstCoef, s.dstOffset});
+            writeStreams.insert({s.dstName, s.dstCoef});
+        }
+    }
+
+    // Loop-carried true dependence: a read of a stream the loop writes
+    // at an earlier element (same direction as the iteration order).
+    for (const auto &s : loop.stmts) {
+        if (!s.arrayDst)
+            continue;
+        for (const auto &r : c.reads) {
+            if (r.name != s.dstName || r.coef != s.dstCoef)
+                continue;
+            long direction = (s.dstCoef >= 0) == (loop.stride >= 0) ? 1
+                                                                    : -1;
+            long distance = (s.dstOffset - r.offset) * direction;
+            if (distance > 0) {
+                out.vectorizable = false;
+                out.reason = format(
+                    "loop-carried dependence on %s: element written %ld "
+                    "iteration(s) before it is read",
+                    s.dstName.c_str(), distance);
+            }
+        }
+    }
+
+    // FP operation counts are the same at MA and MAC level in this
+    // workload (the compiler adds memory operations, not arithmetic).
+    out.ma.fAdd = out.mac.fAdd = c.adds;
+    out.ma.fMul = out.mac.fMul = c.muls;
+
+    // MA loads: with perfect index analysis each live-in stream costs
+    // one new element per iteration regardless of how many shifted
+    // references it has.
+    out.ma.loads = static_cast<int>(live_in_streams.size());
+    // MAC loads: the compiler reloads each distinct live-in reference
+    // (shifted reuse would need a vector shift or cross-iteration
+    // register allocation it does not perform).
+    out.mac.loads = static_cast<int>(live_in_reads.size());
+    out.ma.stores = out.mac.stores = static_cast<int>(writes.size());
+
+    out.reductionScalars.assign(reduction_scalars.begin(),
+                                reduction_scalars.end());
+    for (const auto &name : c.scalars)
+        if (!reduction_scalars.count(name))
+            out.broadcastScalars.push_back(name);
+    return out;
+}
+
+} // namespace macs::compiler

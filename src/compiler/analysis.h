@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Source-level analysis: the MA workload (perfect index analysis), the
+ * workload the code generator will actually emit (predicted MAC), and
+ * the vectorizability check.
+ *
+ * Perfect index analysis groups array reads by (array, index
+ * coefficient): references that differ only by a constant offset reuse
+ * the same element stream across iterations, so the group costs one
+ * load per iteration; reads of a stream the loop also writes are
+ * forwarded from registers and cost nothing (paper section 3.1). The
+ * real compiler keeps no values in vector registers across iterations
+ * (a shifted vector would need a reload or a vector shift), so the MAC
+ * prediction counts one load per distinct (array, coef, offset)
+ * reference instead.
+ */
+
+#ifndef MACS_COMPILER_ANALYSIS_H
+#define MACS_COMPILER_ANALYSIS_H
+
+#include <string>
+#include <vector>
+
+#include "compiler/ast.h"
+#include "macs/workload.h"
+
+namespace macs::compiler {
+
+/** Result of analyzing a loop's source. */
+struct SourceAnalysis
+{
+    model::WorkloadCounts ma;   ///< perfect-index-analysis workload
+    model::WorkloadCounts mac;  ///< workload the code generator emits
+    bool vectorizable = true;
+    std::string reason;         ///< why not, when !vectorizable
+    std::vector<std::string> reductionScalars;
+    std::vector<std::string> broadcastScalars; ///< read-only scalars
+};
+
+/** Analyze @p loop (see file comment). */
+SourceAnalysis analyzeSource(const Loop &loop);
+
+} // namespace macs::compiler
+
+#endif // MACS_COMPILER_ANALYSIS_H

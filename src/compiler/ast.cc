@@ -1,0 +1,190 @@
+#include "compiler/ast.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::compiler {
+
+ExprPtr
+Expr::clone() const
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->number = number;
+    e->name = name;
+    e->coef = coef;
+    e->offset = offset;
+    if (lhs)
+        e->lhs = lhs->clone();
+    if (rhs)
+        e->rhs = rhs->clone();
+    return e;
+}
+
+ExprPtr
+number(double v)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Number;
+    e->number = v;
+    return e;
+}
+
+ExprPtr
+scalar(std::string name)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Scalar;
+    e->name = std::move(name);
+    return e;
+}
+
+ExprPtr
+array(std::string name, long coef, long offset)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Array;
+    e->name = std::move(name);
+    e->coef = coef;
+    e->offset = offset;
+    return e;
+}
+
+namespace {
+
+ExprPtr
+binary(Expr::Kind k, ExprPtr a, ExprPtr b)
+{
+    MACS_ASSERT(a && b, "binary expression needs two operands");
+    auto e = std::make_unique<Expr>();
+    e->kind = k;
+    e->lhs = std::move(a);
+    e->rhs = std::move(b);
+    return e;
+}
+
+} // namespace
+
+ExprPtr
+add(ExprPtr a, ExprPtr b)
+{
+    return binary(Expr::Kind::Add, std::move(a), std::move(b));
+}
+
+ExprPtr
+sub(ExprPtr a, ExprPtr b)
+{
+    return binary(Expr::Kind::Sub, std::move(a), std::move(b));
+}
+
+ExprPtr
+mul(ExprPtr a, ExprPtr b)
+{
+    return binary(Expr::Kind::Mul, std::move(a), std::move(b));
+}
+
+ExprPtr
+div(ExprPtr a, ExprPtr b)
+{
+    return binary(Expr::Kind::Div, std::move(a), std::move(b));
+}
+
+ExprPtr
+neg(ExprPtr a)
+{
+    MACS_ASSERT(a, "negation needs an operand");
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Neg;
+    e->lhs = std::move(a);
+    return e;
+}
+
+bool
+Stmt::isReduction() const
+{
+    return reductionTerm() != nullptr;
+}
+
+const Expr *
+Stmt::reductionTerm() const
+{
+    if (arrayDst || !rhs)
+        return nullptr;
+    // dst = dst + term  or  dst = term + dst  or  dst = dst - term.
+    if (rhs->kind != Expr::Kind::Add && rhs->kind != Expr::Kind::Sub)
+        return nullptr;
+    const Expr *l = rhs->lhs.get();
+    const Expr *r = rhs->rhs.get();
+    auto is_acc = [&](const Expr *e) {
+        return e->kind == Expr::Kind::Scalar && e->name == dstName;
+    };
+    if (is_acc(l))
+        return r;
+    if (rhs->kind == Expr::Kind::Add && is_acc(r))
+        return l;
+    return nullptr;
+}
+
+std::string
+toString(const Expr &e)
+{
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        return format("%g", e.number);
+      case Expr::Kind::Scalar:
+        return e.name;
+      case Expr::Kind::Array: {
+        std::string idx;
+        if (e.coef == 1)
+            idx = "k";
+        else
+            idx = format("%ld*k", e.coef);
+        if (e.offset > 0)
+            idx += format("+%ld", e.offset);
+        else if (e.offset < 0)
+            idx += format("%ld", e.offset);
+        return e.name + "(" + idx + ")";
+      }
+      case Expr::Kind::Add:
+        return "(" + toString(*e.lhs) + " + " + toString(*e.rhs) + ")";
+      case Expr::Kind::Sub:
+        return "(" + toString(*e.lhs) + " - " + toString(*e.rhs) + ")";
+      case Expr::Kind::Mul:
+        return "(" + toString(*e.lhs) + "*" + toString(*e.rhs) + ")";
+      case Expr::Kind::Div:
+        return "(" + toString(*e.lhs) + "/" + toString(*e.rhs) + ")";
+      case Expr::Kind::Neg:
+        return "(-" + toString(*e.lhs) + ")";
+    }
+    panic("unreachable expression kind");
+}
+
+std::string
+Loop::toString() const
+{
+    std::ostringstream os;
+    os << "DO " << var;
+    if (stride != 1)
+        os << " BY " << stride;
+    os << '\n';
+    for (const auto &s : stmts) {
+        os << "  ";
+        if (s.arrayDst) {
+            Expr ref;
+            ref.kind = Expr::Kind::Array;
+            ref.name = s.dstName;
+            ref.coef = s.dstCoef;
+            ref.offset = s.dstOffset;
+            os << compiler::toString(ref);
+        } else {
+            os << s.dstName;
+        }
+        os << " = " << compiler::toString(*s.rhs) << '\n';
+    }
+    os << "END\n";
+    return os.str();
+}
+
+} // namespace macs::compiler

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Abstract syntax for the Fortran-like loop DSL the compiler consumes.
+ *
+ * A Loop is a counted DO loop over a single induction variable with a
+ * list of assignment statements. Array references use affine indices
+ * coef*var + offset; a scalar assignment whose right-hand side adds to
+ * the same scalar is a sum reduction.
+ *
+ * Example (LFK1):
+ *   DO k = 1, n
+ *     X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11))
+ *   END
+ */
+
+#ifndef MACS_COMPILER_AST_H
+#define MACS_COMPILER_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace macs::compiler {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind
+    {
+        Number, ///< literal constant
+        Scalar, ///< loop-invariant scalar variable
+        Array,  ///< array element A(coef*var + offset)
+        Add,
+        Sub,
+        Mul,
+        Div,
+        Neg,
+    };
+
+    Kind kind;
+    double number = 0.0;   ///< Number
+    std::string name;      ///< Scalar / Array
+    long coef = 1;         ///< Array index coefficient on the loop var
+    long offset = 0;       ///< Array index offset
+    ExprPtr lhs;           ///< unary/binary operand
+    ExprPtr rhs;           ///< binary operand
+
+    /** Deep copy. */
+    ExprPtr clone() const;
+};
+
+/** Builders. @{ */
+ExprPtr number(double v);
+ExprPtr scalar(std::string name);
+ExprPtr array(std::string name, long coef = 1, long offset = 0);
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr div(ExprPtr a, ExprPtr b);
+ExprPtr neg(ExprPtr a);
+/** @} */
+
+/** One assignment statement inside the loop body. */
+struct Stmt
+{
+    /** Destination: array element when `arrayDst`, else scalar. */
+    bool arrayDst = true;
+    std::string dstName;
+    long dstCoef = 1;   ///< array destination index coefficient
+    long dstOffset = 0; ///< array destination index offset
+    ExprPtr rhs;
+
+    /**
+     * True when this is a sum reduction: scalar destination whose rhs
+     * is dst + expr or dst - expr (recognized by the analyzer).
+     */
+    bool isReduction() const;
+    /** The reduced expression (rhs with the accumulator stripped);
+     *  nullptr when not a reduction. */
+    const Expr *reductionTerm() const;
+};
+
+/** A counted DO loop. */
+struct Loop
+{
+    std::string var = "k"; ///< induction variable
+    long stride = 1;       ///< induction increment per iteration
+    std::vector<Stmt> stmts;
+
+    /** Pretty-print the loop body as DSL text. */
+    std::string toString() const;
+};
+
+/** Render an expression as DSL text (for diagnostics and tests). */
+std::string toString(const Expr &e);
+
+} // namespace macs::compiler
+
+#endif // MACS_COMPILER_AST_H

@@ -1,0 +1,856 @@
+#include "compiler/codegen.h"
+
+#include "compiler/scheduler.h"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "macs/workload.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::compiler {
+
+using isa::Instruction;
+using isa::MemRef;
+using isa::Opcode;
+using isa::Reg;
+
+namespace {
+
+/** Identity of an array reference after stride normalization. */
+struct RefKey
+{
+    std::string name;
+    long strideWords; ///< coef * loop stride (words per iteration)
+    long offset;      ///< element offset at iteration 0
+
+    auto operator<=>(const RefKey &) const = default;
+};
+
+/** A value handle returned by expression emission. */
+struct Value
+{
+    Reg reg;
+    bool temp = false; ///< caller frees after use (vector regs only)
+};
+
+class CodeGenerator
+{
+  public:
+    CodeGenerator(const Loop &loop, const CompileOptions &opt)
+        : loop_(loop), opt_(opt)
+    {
+    }
+
+    CompileResult
+    run()
+    {
+        CompileResult res;
+        res.analysis = analyzeSource(loop_);
+        if (opt_.vectorize && !res.analysis.vectorizable)
+            fatal("loop is not vectorizable: ", res.analysis.reason);
+        if (opt_.tripCount <= 0)
+            fatal("tripCount must be positive");
+        if (opt_.unroll < 1)
+            fatal("unroll factor must be >= 1");
+        if (opt_.vectorize && opt_.unroll != 1)
+            fatal("unrolling applies to scalar-mode compilation only");
+        if (!opt_.vectorize && opt_.tripCount % opt_.unroll != 0)
+            fatal("tripCount ", opt_.tripCount,
+                  " is not a multiple of the unroll factor ",
+                  opt_.unroll);
+
+        collectStreams();
+        declareData();
+        allocateScalarRegs(res.analysis);
+        emitPreamble();
+        size_t body_begin = prog_.size();
+        prog_.label("L1");
+        if (opt_.vectorize)
+            emitLoop();
+        else
+            emitScalarModeLoop();
+        size_t body_end = prog_.size();
+        emitPostamble();
+        prog_.validate();
+        checkExtents();
+
+        res.program = std::move(prog_);
+        res.macCounts = model::countAssembly(
+            {res.program.instrs().data() + body_begin,
+             body_end - body_begin});
+        res.scalarReg = scalarRegOf_;
+        res.inLoopScalars.assign(inLoopScalars_.begin(),
+                                 inLoopScalars_.end());
+        return res;
+    }
+
+  private:
+    // ---- stream and register planning ----------------------------------
+
+    void
+    collectRefs(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Array: {
+            RefKey key{e.name, e.coef * loop_.stride, e.offset};
+            refs_.insert(key);
+            ++usesLeft_[key];
+            return;
+          }
+          case Expr::Kind::Scalar:
+            scalarNames_.insert(e.name);
+            return;
+          case Expr::Kind::Number:
+            return;
+          default:
+            if (e.lhs)
+                collectRefs(*e.lhs);
+            if (e.rhs)
+                collectRefs(*e.rhs);
+            return;
+        }
+    }
+
+    void
+    collectStreams()
+    {
+        for (const auto &s : loop_.stmts) {
+            collectRefs(*s.rhs);
+            if (s.arrayDst)
+                refs_.insert({s.dstName, s.dstCoef * loop_.stride,
+                              s.dstOffset});
+        }
+        // Group by words-per-iteration stride; assign address regs.
+        std::set<long> strides;
+        for (const auto &r : refs_)
+            strides.insert(r.strideWords);
+        // a0 is the strip counter and a5 the unit-stride base; the
+        // rest of the address registers serve as bases and stride
+        // values for non-unit streams.
+        std::deque<int> pool = {1, 2, 3, 4, 6, 7};
+        for (long s : strides) {
+            if (s == 1) {
+                aregOfStride_[s] = 5;
+                continue;
+            }
+            if (pool.size() < 2)
+                fatal("too many distinct access strides (", strides.size(),
+                      "); address registers exhausted");
+            aregOfStride_[s] = pool.front();
+            pool.pop_front();
+            if (opt_.vectorize) {
+                strideReg_[s] = pool.front();
+                pool.pop_front();
+            }
+        }
+    }
+
+    void
+    declareData()
+    {
+        for (const auto &a : opt_.arrays)
+            prog_.defineData(a.name, a.words);
+        for (const auto &r : refs_)
+            if (!prog_.hasDataSymbol(r.name))
+                fatal("array '", r.name, "' used but not declared");
+        // One memory cell per scalar (initial values are written by the
+        // harness before simulation; reductions are stored back).
+        for (const auto &name : scalarNames_)
+            prog_.defineData(cellName(name), 1);
+        for (const auto &s : loop_.stmts)
+            if (!s.arrayDst && !prog_.hasDataSymbol(cellName(s.dstName)))
+                prog_.defineData(cellName(s.dstName), 1);
+    }
+
+    static std::string
+    cellName(const std::string &scalar)
+    {
+        return "scalar_" + scalar;
+    }
+
+    void
+    allocateScalarRegs(const SourceAnalysis &analysis)
+    {
+        // s0 is the strip counter. Strides and reduction accumulators
+        // must live in registers; broadcast scalars take what is left.
+        int budget = std::min(opt_.scalarRegBudget, isa::kNumScalarRegs);
+        // Scalar-mode compilation needs s registers as expression
+        // temporaries; keep at least four free.
+        if (!opt_.vectorize)
+            budget = std::min(budget, isa::kNumScalarRegs - 4);
+        int next = 0;
+        auto take = [&](const std::string &what) {
+            if (next >= budget)
+                fatal("scalar register budget exhausted allocating ",
+                      what);
+            return next++;
+        };
+        for (const auto &name : analysis.reductionScalars)
+            scalarRegOf_[name] = take("reduction accumulators");
+
+        std::vector<std::string> broadcast = analysis.broadcastScalars;
+        for (const auto &name : broadcast) {
+            if (next < budget) {
+                scalarRegOf_[name] = next++;
+            } else {
+                inLoopScalars_.insert(name);
+            }
+        }
+        // Scratch registers for in-loop scalar loads.
+        for (int r = next; r < budget; ++r)
+            scratchRegs_.push_back(r);
+        if (!inLoopScalars_.empty() && scratchRegs_.empty()) {
+            // Steal the last *assigned* broadcast register as scratch;
+            // its scalar joins the in-loop set.
+            auto victim = broadcast.rend();
+            for (auto it = broadcast.rbegin(); it != broadcast.rend();
+                 ++it) {
+                if (scalarRegOf_.count(*it)) {
+                    victim = it;
+                    break;
+                }
+            }
+            if (victim == broadcast.rend())
+                fatal("no scalar register available as scratch for "
+                      "in-loop scalar loads");
+            scratchRegs_.push_back(scalarRegOf_.at(*victim));
+            inLoopScalars_.insert(*victim);
+            scalarRegOf_.erase(*victim);
+        }
+    }
+
+    // ---- emission -------------------------------------------------------
+
+    void
+    emitPreamble()
+    {
+        for (auto &[name, reg] : scalarRegOf_)
+            prog_.append(isa::makeSLoad(MemRef{cellName(name), 0,
+                                               isa::noreg()},
+                                        isa::sreg(reg)));
+        for (auto &[stride, reg] : strideReg_)
+            prog_.append(isa::makeMovImm(stride, isa::areg(reg)));
+        prog_.append(isa::makeMovImm(opt_.tripCount, isa::areg(0)));
+        for (auto &[stride, areg] : aregOfStride_) {
+            (void)stride;
+            prog_.append(isa::makeMovImm(0, isa::areg(areg)));
+        }
+    }
+
+    void
+    emitLoop()
+    {
+        prog_.append(isa::makeMov(isa::areg(0), isa::vlreg()));
+        size_t compute_begin = prog_.size();
+        for (const auto &s : loop_.stmts)
+            emitStmt(s);
+        if (opt_.schedule) {
+            auto &instrs = prog_.instrs();
+            std::span<const isa::Instruction> region{
+                instrs.data() + compute_begin,
+                instrs.size() - compute_begin};
+            auto reordered =
+                scheduleBody(region, machine::ChainingConfig{});
+            std::copy(reordered.begin(), reordered.end(),
+                      instrs.begin() +
+                          static_cast<long>(compute_begin));
+        }
+        // Clear per-iteration value caches: the compiler carries no
+        // vector values across iterations.
+        cse_.clear();
+        pinned_.clear();
+        freeV_ = {0, 1, 2, 3, 4, 5, 6, 7};
+
+        for (auto &[stride, areg] : aregOfStride_)
+            prog_.append(isa::makeSAddImm(8 * stride * opt_.vlMax,
+                                          isa::areg(areg)));
+        prog_.append(isa::makeSSubImm(opt_.vlMax, isa::areg(0)));
+        prog_.append(isa::makeCmpImm(Opcode::SLt, 0, isa::areg(0)));
+        prog_.append(isa::makeBranch(Opcode::BrT, "L1"));
+    }
+
+    void
+    emitPostamble()
+    {
+        for (const auto &s : loop_.stmts) {
+            if (!s.arrayDst) {
+                auto it = scalarRegOf_.find(s.dstName);
+                MACS_ASSERT(it != scalarRegOf_.end(),
+                            "reduction scalar not in a register");
+                prog_.append(isa::makeSStore(
+                    isa::sreg(it->second),
+                    MemRef{cellName(s.dstName), 0, isa::noreg()}));
+            }
+        }
+    }
+
+    void
+    emitStmt(const Stmt &s)
+    {
+        if (s.arrayDst) {
+            Value v = emitExpr(*s.rhs);
+            if (!v.reg.isVector())
+                fatal("storing a loop-invariant scalar expression is "
+                      "not supported");
+            RefKey key{s.dstName, s.dstCoef * loop_.stride, s.dstOffset};
+            emitMemOp(false, key, v.reg);
+            // The store may alias any other cached reference into the
+            // same array (e.g. dd(k) overlapping dd(2k+5)): those
+            // cached values are now stale and must be reloaded.
+            for (auto it = cse_.begin(); it != cse_.end();) {
+                if (it->first.name == key.name && !(it->first == key)) {
+                    int idx = it->second.index;
+                    it = cse_.erase(it);
+                    // The register may back another cached reference
+                    // (store forwarding shares registers): only free
+                    // it when the last alias is gone.
+                    bool still_used = std::any_of(
+                        cse_.begin(), cse_.end(), [idx](const auto &kv) {
+                            return kv.second.index == idx;
+                        });
+                    if (!still_used) {
+                        pinned_.erase(idx);
+                        if (!held_.count(idx))
+                            freeV_.push_back(idx);
+                    }
+                } else {
+                    ++it;
+                }
+            }
+            // Forward the stored value to later reads of the same ref.
+            cse_[key] = v.reg;
+            pinned_.insert(v.reg.index);
+            std::erase(freeV_, v.reg.index);
+        } else {
+            const Expr *term = s.reductionTerm();
+            MACS_ASSERT(term, "non-reduction scalar stmt reached codegen");
+            Value v = emitExpr(*term);
+            Hold hold_v(*this, v);
+            if (!v.reg.isVector())
+                fatal("reduction of a loop-invariant scalar is not "
+                      "supported");
+            if (s.rhs->kind == Expr::Kind::Sub) {
+                // acc = acc - term: negate, then accumulate.
+                Reg nv = allocV({v.reg});
+                prog_.append(isa::makeVNeg(v.reg, nv));
+                release(v);
+                v = {nv, true};
+            }
+            auto it = scalarRegOf_.find(s.dstName);
+            MACS_ASSERT(it != scalarRegOf_.end(),
+                        "reduction accumulator not allocated");
+            prog_.append(isa::makeVSum(v.reg, isa::sreg(it->second)));
+            release(v);
+        }
+    }
+
+    /** Emit a vector load (want_load) or store for @p key. */
+    void
+    emitMemOp(bool want_load, const RefKey &key, Reg vreg)
+    {
+        auto it = aregOfStride_.find(key.strideWords);
+        MACS_ASSERT(it != aregOfStride_.end(), "stream has no areg");
+        MemRef mem{key.name, key.offset * 8, isa::areg(it->second)};
+        if (key.strideWords == 1) {
+            prog_.append(want_load ? isa::makeVLoad(mem, vreg)
+                                   : isa::makeVStore(vreg, mem));
+        } else {
+            Reg stride = isa::areg(strideReg_.at(key.strideWords));
+            prog_.append(want_load
+                             ? isa::makeVLoadStrided(mem, stride, vreg)
+                             : isa::makeVStoreStrided(vreg, stride, mem));
+        }
+    }
+
+    /** Height of an expression tree (scalar/number leaves are 0). */
+    static int
+    depth(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+          case Expr::Kind::Scalar:
+            return 0;
+          case Expr::Kind::Array:
+            return 1;
+          case Expr::Kind::Neg:
+            return 1 + depth(*e.lhs);
+          default:
+            return 1 + std::max(depth(*e.lhs), depth(*e.rhs));
+        }
+    }
+
+    Value
+    emitExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return {literalReg(e.number), false};
+          case Expr::Kind::Scalar:
+            return {scalarOperand(e.name), false};
+          case Expr::Kind::Array: {
+            RefKey key{e.name, e.coef * loop_.stride, e.offset};
+            auto &left = usesLeft_[key];
+            if (left > 0)
+                --left;
+            auto hit = cse_.find(key);
+            if (hit != cse_.end())
+                return {hit->second, false};
+            Reg v = allocV();
+            emitMemOp(true, key, v);
+            cse_[key] = v;
+            pinned_.insert(v.index);
+            return {v, false};
+          }
+          case Expr::Kind::Neg: {
+            Value a = emitExpr(*e.lhs);
+            Hold hold_a(*this, a);
+            if (!a.reg.isVector())
+                fatal("negation of a loop-invariant scalar is not "
+                      "supported");
+            Reg dst = allocV({a.reg});
+            prog_.append(isa::makeVNeg(a.reg, dst));
+            release(a);
+            return {dst, true};
+          }
+          case Expr::Kind::Add:
+          case Expr::Kind::Sub:
+          case Expr::Kind::Mul:
+          case Expr::Kind::Div: {
+            // Evaluate the deeper subtree first (Sethi-Ullman order):
+            // long dependence chains start early, so the scheduler can
+            // overlap them with the remaining loads. This also
+            // materializes scalar leaves (depth 0) last, which matters
+            // because the rotating scratch registers they occupy would
+            // otherwise be clobbered by a nested in-loop scalar load
+            // before this operation issues.
+            Value a, b;
+            if (depth(*e.rhs) > depth(*e.lhs)) {
+                b = emitExpr(*e.rhs);
+                Hold hold_b0(*this, b);
+                a = emitExpr(*e.lhs);
+            } else {
+                a = emitExpr(*e.lhs);
+                Hold hold_a0(*this, a);
+                b = emitExpr(*e.rhs);
+            }
+            Hold hold_a(*this, a);
+            Hold hold_b(*this, b);
+            if (!a.reg.isVector() && !b.reg.isVector())
+                fatal("loop-invariant subexpression '", toString(e),
+                      "'; fold it before compiling");
+            Opcode op;
+            switch (e.kind) {
+              case Expr::Kind::Add:
+                op = Opcode::VAdd;
+                break;
+              case Expr::Kind::Sub:
+                op = Opcode::VSub;
+                break;
+              case Expr::Kind::Mul:
+                op = Opcode::VMul;
+                break;
+              default:
+                op = Opcode::VDiv;
+                break;
+            }
+            Reg dst = allocV({a.reg, b.reg});
+            prog_.append(isa::makeVBinary(op, a.reg, b.reg, dst));
+            release(a);
+            release(b);
+            return {dst, true};
+          }
+        }
+        panic("unreachable expression kind");
+    }
+
+    // ---- scalar-mode emission ---------------------------------------------
+
+    /** Free s registers usable as scalar-mode temporaries. */
+    std::vector<int>
+    scalarTempPool() const
+    {
+        std::vector<int> pool;
+        for (int r = 0; r < isa::kNumScalarRegs; ++r) {
+            bool taken = false;
+            for (const auto &[name, reg] : scalarRegOf_)
+                if (reg == r)
+                    taken = true;
+            if (!taken)
+                pool.push_back(r);
+        }
+        return pool;
+    }
+
+    int
+    allocS()
+    {
+        if (freeS_.empty())
+            fatal("scalar-mode expression needs more temporaries than "
+                  "the s register file provides");
+        // FIFO recycling maximizes register reuse distance, which
+        // frees the scalar scheduler from false WAW/WAR chains between
+        // unrolled iterations.
+        int r = freeS_.front();
+        freeS_.erase(freeS_.begin());
+        return r;
+    }
+
+    void
+    releaseS(const Value &v, bool broadcast)
+    {
+        if (!broadcast && v.temp)
+            freeS_.push_back(v.reg.index);
+    }
+
+    void
+    emitScalarModeLoop()
+    {
+        freeS_ = scalarTempPool();
+        if (freeS_.size() < 2)
+            fatal("scalar-mode compilation needs at least two free s "
+                  "registers (",
+                  scalarRegOf_.size(), " taken by scalars)");
+        size_t compute_begin = prog_.size();
+        for (int u = 0; u < opt_.unroll; ++u)
+            for (const auto &s : loop_.stmts)
+                emitScalarStmt(s, u);
+        if (opt_.schedule) {
+            auto &instrs = prog_.instrs();
+            std::span<const isa::Instruction> region{
+                instrs.data() + compute_begin,
+                instrs.size() - compute_begin};
+            auto reordered = scheduleScalarBody(region, machine::ScalarTiming{});
+            std::copy(reordered.begin(), reordered.end(),
+                      instrs.begin() + static_cast<long>(compute_begin));
+        }
+        for (auto &[stride, areg] : aregOfStride_)
+            prog_.append(isa::makeSAddImm(8 * stride * opt_.unroll,
+                                          isa::areg(areg)));
+        prog_.append(isa::makeSSubImm(opt_.unroll, isa::areg(0)));
+        prog_.append(isa::makeCmpImm(Opcode::SLt, 0, isa::areg(0)));
+        prog_.append(isa::makeBranch(Opcode::BrT, "L1"));
+    }
+
+    /** Byte offset of @p key at unrolled iteration @p u. */
+    static long
+    unrolledOffset(const RefKey &key, int u)
+    {
+        return (key.offset + key.strideWords * u) * 8;
+    }
+
+    void
+    emitScalarStmt(const Stmt &s, int u)
+    {
+        if (s.arrayDst) {
+            Value v = emitScalarExpr(*s.rhs, u);
+            RefKey key{s.dstName, s.dstCoef * loop_.stride, s.dstOffset};
+            auto it = aregOfStride_.find(key.strideWords);
+            MACS_ASSERT(it != aregOfStride_.end(), "stream has no areg");
+            prog_.append(isa::makeSStore(
+                v.reg, MemRef{key.name, unrolledOffset(key, u),
+                              isa::areg(it->second)}));
+            releaseS(v, false);
+        } else {
+            const Expr *term = s.reductionTerm();
+            MACS_ASSERT(term, "non-reduction scalar stmt in scalar mode");
+            Value v = emitScalarExpr(*term, u);
+            auto it = scalarRegOf_.find(s.dstName);
+            MACS_ASSERT(it != scalarRegOf_.end(),
+                        "reduction accumulator not allocated");
+            Opcode op = s.rhs->kind == Expr::Kind::Sub ? Opcode::SFSub
+                                                       : Opcode::SFAdd;
+            prog_.append(isa::makeSFBinary(op, isa::sreg(it->second),
+                                           v.reg,
+                                           isa::sreg(it->second)));
+            releaseS(v, false);
+        }
+    }
+
+    Value
+    emitScalarExpr(const Expr &e, int u = 0)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number: {
+            int r = allocS();
+            prog_.append(isa::makeMovImm(
+                static_cast<int64_t>(std::bit_cast<uint64_t>(e.number)),
+                isa::sreg(r)));
+            return {isa::sreg(r), true};
+          }
+          case Expr::Kind::Scalar: {
+            auto it = scalarRegOf_.find(e.name);
+            if (it != scalarRegOf_.end())
+                return {isa::sreg(it->second), false};
+            // Spilled scalar: load it into a fresh temporary.
+            MACS_ASSERT(inLoopScalars_.count(e.name),
+                        "scalar '", e.name, "' unallocated");
+            int r = allocS();
+            prog_.append(isa::makeSLoad(
+                MemRef{cellName(e.name), 0, isa::noreg()}, isa::sreg(r)));
+            return {isa::sreg(r), true};
+          }
+          case Expr::Kind::Array: {
+            RefKey key{e.name, e.coef * loop_.stride, e.offset};
+            auto it = aregOfStride_.find(key.strideWords);
+            MACS_ASSERT(it != aregOfStride_.end(), "stream has no areg");
+            int r = allocS();
+            prog_.append(isa::makeSLoad(
+                MemRef{key.name, unrolledOffset(key, u),
+                       isa::areg(it->second)},
+                isa::sreg(r)));
+            return {isa::sreg(r), true};
+          }
+          case Expr::Kind::Neg: {
+            // 0.0 - x on the ASU.
+            Value a = emitScalarExpr(*e.lhs, u);
+            int zero = allocS();
+            prog_.append(isa::makeMovImm(0, isa::sreg(zero)));
+            int r = allocS();
+            prog_.append(isa::makeSFBinary(Opcode::SFSub,
+                                           isa::sreg(zero), a.reg,
+                                           isa::sreg(r)));
+            freeS_.push_back(zero);
+            releaseS(a, false);
+            return {isa::sreg(r), true};
+          }
+          case Expr::Kind::Add:
+          case Expr::Kind::Sub:
+          case Expr::Kind::Mul:
+          case Expr::Kind::Div: {
+            // Sethi-Ullman order: the deeper subtree first, so the
+            // chain needs the fewest concurrent temporaries.
+            Value a, b;
+            if (depth(*e.rhs) > depth(*e.lhs)) {
+                b = emitScalarExpr(*e.rhs, u);
+                a = emitScalarExpr(*e.lhs, u);
+            } else {
+                a = emitScalarExpr(*e.lhs, u);
+                b = emitScalarExpr(*e.rhs, u);
+            }
+            Opcode op;
+            switch (e.kind) {
+              case Expr::Kind::Add:
+                op = Opcode::SFAdd;
+                break;
+              case Expr::Kind::Sub:
+                op = Opcode::SFSub;
+                break;
+              case Expr::Kind::Mul:
+                op = Opcode::SFMul;
+                break;
+              default:
+                op = Opcode::SFDiv;
+                break;
+            }
+            int r = allocS();
+            prog_.append(
+                isa::makeSFBinary(op, a.reg, b.reg, isa::sreg(r)));
+            releaseS(a, false);
+            releaseS(b, false);
+            return {isa::sreg(r), true};
+          }
+        }
+        panic("unreachable expression kind");
+    }
+
+    // ---- vector register allocation --------------------------------------
+
+    /** RAII guard marking a value's register as un-evictable. */
+    class Hold
+    {
+      public:
+        Hold(CodeGenerator &gen, const Value &v) : gen_(gen)
+        {
+            if (v.reg.isVector() &&
+                gen_.held_.insert(v.reg.index).second)
+                idx_ = v.reg.index;
+        }
+        ~Hold()
+        {
+            if (idx_ >= 0)
+                gen_.held_.erase(idx_);
+        }
+        Hold(const Hold &) = delete;
+        Hold &operator=(const Hold &) = delete;
+
+      private:
+        CodeGenerator &gen_;
+        int idx_ = -1;
+    };
+
+    /**
+     * Allocate a vector register, rotating across register pairs and
+     * avoiding the pairs of @p avoid (typically the operands of the
+     * instruction that will write the result): clustering reads and
+     * writes on one pair exhausts its ports and forces chime splits.
+     */
+    Reg
+    allocV(std::initializer_list<Reg> avoid = {})
+    {
+        while (freeV_.empty())
+            evictOne();
+
+        std::set<int> avoid_pairs;
+        for (const Reg &r : avoid)
+            if (r.isVector())
+                avoid_pairs.insert(r.pair());
+
+        auto find = [&](bool respect_avoid) -> int {
+            for (int step = 0; step < isa::kNumVectorPairs; ++step) {
+                int p = (pairCursor_ + step) % isa::kNumVectorPairs;
+                if (respect_avoid && avoid_pairs.count(p))
+                    continue;
+                for (int idx : freeV_) {
+                    if (idx % isa::kNumVectorPairs == p) {
+                        pairCursor_ = (p + 1) % isa::kNumVectorPairs;
+                        return idx;
+                    }
+                }
+            }
+            return -1;
+        };
+
+        int idx = find(true);
+        if (idx < 0)
+            idx = find(false);
+        MACS_ASSERT(idx >= 0, "free list inconsistent");
+        std::erase(freeV_, idx);
+        return isa::vreg(idx);
+    }
+
+    void
+    release(const Value &v)
+    {
+        if (v.temp && v.reg.isVector())
+            freeV_.push_back(v.reg.index);
+    }
+
+    /** Drop one cached (pinned) value to free a register; later reads
+     *  of that reference will reload it — extra load, as a real
+     *  register-pressured compiler would emit. */
+    void
+    evictOne()
+    {
+        // Prefer values with no remaining uses (free to drop); among
+        // live values drop the one with the fewest future uses, which
+        // minimizes reload traffic.
+        auto victim = cse_.end();
+        int victim_uses = 0;
+        for (auto it = cse_.begin(); it != cse_.end(); ++it) {
+            if (held_.count(it->second.index))
+                continue;
+            int uses = 0;
+            auto u = usesLeft_.find(it->first);
+            if (u != usesLeft_.end())
+                uses = u->second;
+            if (victim == cse_.end() || uses < victim_uses) {
+                victim = it;
+                victim_uses = uses;
+            }
+            if (uses == 0)
+                break;
+        }
+        if (victim == cse_.end())
+            fatal("expression needs more than ", isa::kNumVectorRegs,
+                  " live vector registers");
+        int idx = victim->second.index;
+        pinned_.erase(idx);
+        // Drop every cached reference aliasing this register so a
+        // later read reloads instead of seeing a clobbered value.
+        std::erase_if(cse_, [idx](const auto &kv) {
+            return kv.second.index == idx;
+        });
+        freeV_.push_back(idx);
+    }
+
+    // ---- scalar operand handling -----------------------------------------
+
+    Reg
+    scalarOperand(const std::string &name)
+    {
+        auto it = scalarRegOf_.find(name);
+        if (it != scalarRegOf_.end())
+            return isa::sreg(it->second);
+        MACS_ASSERT(inLoopScalars_.count(name),
+                    "scalar '", name, "' has no register or cell");
+        if (scratchRegs_.empty())
+            fatal("no scratch register for in-loop scalar '", name, "'");
+        int reg = scratchRegs_[scratchCursor_++ % scratchRegs_.size()];
+        prog_.append(isa::makeSLoad(MemRef{cellName(name), 0,
+                                           isa::noreg()},
+                                    isa::sreg(reg)));
+        return isa::sreg(reg);
+    }
+
+    Reg
+    literalReg(double value)
+    {
+        // Literals are re-materialized at every use: the scratch
+        // registers rotate between literals and in-loop scalar loads,
+        // so a cached assignment could be silently clobbered.
+        if (scratchRegs_.empty())
+            fatal("no scratch register for literal ", value);
+        int reg = scratchRegs_[scratchCursor_++ % scratchRegs_.size()];
+        prog_.append(isa::makeMovImm(
+            static_cast<int64_t>(std::bit_cast<uint64_t>(value)),
+            isa::sreg(reg)));
+        return isa::sreg(reg);
+    }
+
+    // ---- extent checking ---------------------------------------------------
+
+    void
+    checkExtents() const
+    {
+        for (const auto &r : refs_) {
+            long first = r.offset;
+            long last = r.offset + r.strideWords * (opt_.tripCount - 1);
+            long lo = std::min(first, last);
+            long hi = std::max(first, last);
+            auto spec = std::find_if(
+                opt_.arrays.begin(), opt_.arrays.end(),
+                [&](const ArraySpec &a) { return a.name == r.name; });
+            MACS_ASSERT(spec != opt_.arrays.end(), "undeclared array");
+            if (lo < 0 || hi >= static_cast<long>(spec->words))
+                fatal("array '", r.name, "' accessed at word ", lo, "..",
+                      hi, " but declared with ", spec->words, " words");
+        }
+    }
+
+    const Loop &loop_;
+    const CompileOptions &opt_;
+    isa::Program prog_;
+
+    std::set<RefKey> refs_;
+    std::set<std::string> scalarNames_;
+    std::map<long, int> aregOfStride_;
+    std::map<long, int> strideReg_;
+    std::map<std::string, int> scalarRegOf_;
+    std::set<std::string> inLoopScalars_;
+    std::vector<int> scratchRegs_;
+    size_t scratchCursor_ = 0;
+
+    std::vector<int> freeV_ = {0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<int> freeS_; ///< scalar-mode temporaries
+    int pairCursor_ = 0;
+    std::map<RefKey, int> usesLeft_;
+    std::map<RefKey, Reg> cse_;
+    std::set<int> pinned_;
+    std::set<int> held_;
+};
+
+} // namespace
+
+CompileResult
+compile(const Loop &loop, const CompileOptions &options)
+{
+    CodeGenerator gen(loop, options);
+    return gen.run();
+}
+
+} // namespace macs::compiler

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Vectorizing code generator: Loop AST -> strip-mined Convex-style
+ * vector assembly in the shape of the paper's LFK1 listing
+ * (section 3.5).
+ *
+ * Generated program layout:
+ *
+ *   .comm <arrays> / <scalar cells>
+ *       ld.w  q,s1            ; preamble: broadcast scalars -> s regs
+ *       mov   #<iters>,s0     ; trip count
+ *       mov   #0,a5           ; moving base for unit-stride streams
+ *   L1: mov   s0,VL           ; VL = min(remaining, 128)
+ *       <vector body>         ; loads on demand, post-order arithmetic
+ *       add   #1024,a5        ; advance bases by a full strip
+ *       sub   #128,s0
+ *       lt.w  #0,s0
+ *       jbrs.t L1
+ *       st.w  s<acc>,<sym>    ; postamble: write back reductions
+ *
+ * Behaviour mirrors the paper's fc V6.1 observations: identical
+ * references are CSEd within an iteration and forwarded from earlier
+ * stores, but *no* value is carried across iterations (shifted reuse is
+ * reloaded), and when the eight scalar registers are exhausted the
+ * remaining broadcast scalars are loaded inside the loop, splitting
+ * chimes exactly as the paper describes for LFK8.
+ */
+
+#ifndef MACS_COMPILER_CODEGEN_H
+#define MACS_COMPILER_CODEGEN_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/analysis.h"
+#include "compiler/ast.h"
+#include "isa/program.h"
+
+namespace macs::compiler {
+
+/** Declared array with its extent in 64-bit words. */
+struct ArraySpec
+{
+    std::string name;
+    size_t words = 0;
+};
+
+/** Compilation parameters. */
+struct CompileOptions
+{
+    long tripCount = 0;          ///< loop iterations (points)
+    std::vector<ArraySpec> arrays;
+    int vlMax = 128;             ///< strip length
+    /**
+     * Scalar registers available for broadcast values (reduction
+     * accumulators take priority; the strip counter and strides live
+     * in address registers). Lowering this forces in-loop scalar
+     * loads (LFK8-style studies).
+     */
+    int scalarRegBudget = 8;
+    /** Run the chime-aware list scheduler over each iteration body. */
+    bool schedule = true;
+    /**
+     * Generate vector code (default). When false the loop is compiled
+     * for the scalar unit: one element per iteration through ld.w /
+     * scalar FP / st.w — legal for any loop, including the recurrences
+     * the vectorizer must reject (LFK 5, 11), and the baseline for
+     * vector/scalar speedup studies.
+     */
+    bool vectorize = true;
+    /**
+     * Scalar-mode unroll factor: amortizes loop control (the in-order
+     * issue unit still stalls at each FP consumer, so latency hiding
+     * would additionally need a scalar instruction scheduler).
+     * tripCount must be a multiple; vector mode requires 1 (strips are
+     * its parallelism).
+     */
+    int unroll = 1;
+};
+
+/** Compiler output. */
+struct CompileResult
+{
+    isa::Program program;
+    SourceAnalysis analysis;
+    model::WorkloadCounts macCounts;      ///< counted from emitted body
+    std::map<std::string, int> scalarReg; ///< scalar name -> s index
+    std::vector<std::string> inLoopScalars; ///< loaded inside the loop
+};
+
+/**
+ * Compile @p loop. fatal() when the loop is not vectorizable, an array
+ * is undeclared or too small, or register pressure cannot be met.
+ */
+CompileResult compile(const Loop &loop, const CompileOptions &options);
+
+} // namespace macs::compiler
+
+#endif // MACS_COMPILER_CODEGEN_H

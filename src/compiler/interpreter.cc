@@ -1,0 +1,127 @@
+#include "compiler/interpreter.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace macs::compiler {
+
+namespace {
+
+double &
+elementAt(Environment &env, const std::string &name, long index)
+{
+    auto it = env.arrays.find(name);
+    if (it == env.arrays.end())
+        fatal("interpreter: undeclared array '", name, "'");
+    if (index < 0 || index >= static_cast<long>(it->second.size()))
+        fatal("interpreter: ", name, "(", index, ") out of range [0, ",
+              it->second.size(), ")");
+    return it->second[static_cast<size_t>(index)];
+}
+
+double
+scalarAt(const Environment &env, const std::string &name)
+{
+    auto it = env.scalars.find(name);
+    if (it == env.scalars.end())
+        fatal("interpreter: undeclared scalar '", name, "'");
+    return it->second;
+}
+
+double
+eval(const Expr &e, Environment &env, long k)
+{
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        return e.number;
+      case Expr::Kind::Scalar:
+        return scalarAt(env, e.name);
+      case Expr::Kind::Array:
+        return elementAt(env, e.name, e.coef * k + e.offset);
+      case Expr::Kind::Add:
+        return eval(*e.lhs, env, k) + eval(*e.rhs, env, k);
+      case Expr::Kind::Sub:
+        return eval(*e.lhs, env, k) - eval(*e.rhs, env, k);
+      case Expr::Kind::Mul:
+        return eval(*e.lhs, env, k) * eval(*e.rhs, env, k);
+      case Expr::Kind::Div:
+        return eval(*e.lhs, env, k) / eval(*e.rhs, env, k);
+      case Expr::Kind::Neg:
+        return -eval(*e.lhs, env, k);
+    }
+    panic("unreachable expression kind");
+}
+
+void
+execute(const Stmt &s, Environment &env, long k)
+{
+    if (s.arrayDst) {
+        double v = eval(*s.rhs, env, k);
+        elementAt(env, s.dstName, s.dstCoef * k + s.dstOffset) = v;
+    } else {
+        // Reductions and general scalar assignments both reduce to
+        // "evaluate rhs, store into the scalar".
+        double v = eval(*s.rhs, env, k);
+        if (!env.scalars.count(s.dstName))
+            fatal("interpreter: undeclared scalar '", s.dstName, "'");
+        env.scalars[s.dstName] = v;
+    }
+}
+
+} // namespace
+
+void
+interpret(const Loop &loop, long trip, Environment &env)
+{
+    MACS_ASSERT(trip >= 0, "negative trip count");
+    for (long j = 0; j < trip; ++j) {
+        long k = j * loop.stride;
+        for (const auto &s : loop.stmts)
+            execute(s, env, k);
+    }
+}
+
+void
+interpretVector(const Loop &loop, long trip, Environment &env, int vl)
+{
+    MACS_ASSERT(trip >= 0, "negative trip count");
+    MACS_ASSERT(vl >= 1, "vector length must be positive");
+    for (long strip = 0; strip < trip; strip += vl) {
+        long len = std::min<long>(vl, trip - strip);
+        for (const auto &s : loop.stmts) {
+            if (!s.arrayDst && s.isReduction()) {
+                // Strip-order reduction: partial sum of the term, then
+                // one accumulate — matching sum.d semantics.
+                const Expr *term = s.reductionTerm();
+                double partial = 0.0;
+                for (long j = 0; j < len; ++j)
+                    partial += eval(*term, env, (strip + j) * loop.stride);
+                double acc = scalarAt(env, s.dstName);
+                env.scalars[s.dstName] =
+                    s.rhs->kind == Expr::Kind::Sub ? acc - partial
+                                                   : acc + partial;
+                continue;
+            }
+            // Vector semantics: evaluate the whole strip's rhs before
+            // any element is written.
+            std::vector<double> values(static_cast<size_t>(len));
+            for (long j = 0; j < len; ++j)
+                values[static_cast<size_t>(j)] =
+                    eval(*s.rhs, env, (strip + j) * loop.stride);
+            if (s.arrayDst) {
+                for (long j = 0; j < len; ++j) {
+                    long k = (strip + j) * loop.stride;
+                    elementAt(env, s.dstName,
+                              s.dstCoef * k + s.dstOffset) =
+                        values[static_cast<size_t>(j)];
+                }
+            } else {
+                fatal("interpreter: non-reduction scalar statement in "
+                      "vector semantics");
+            }
+        }
+    }
+}
+
+} // namespace macs::compiler

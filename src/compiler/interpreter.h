@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Direct AST interpreter for the loop DSL: the semantic reference the
+ * compiler and simulator are differentially tested against.
+ *
+ * The interpreter executes the loop with strict per-iteration,
+ * per-statement sequential semantics (each statement's right-hand side
+ * reads the current memory state; its write lands before the next
+ * statement). For vectorizable loops this matches the compiled vector
+ * code's results element-for-element; for recurrences it matches the
+ * scalar-mode code.
+ */
+
+#ifndef MACS_COMPILER_INTERPRETER_H
+#define MACS_COMPILER_INTERPRETER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/ast.h"
+
+namespace macs::compiler {
+
+/** Named array and scalar state the interpreter reads and writes. */
+struct Environment
+{
+    std::map<std::string, std::vector<double>> arrays;
+    std::map<std::string, double> scalars;
+};
+
+/**
+ * Execute @p loop for @p trip iterations, mutating @p env in place.
+ * fatal() on references to undeclared arrays/scalars or out-of-range
+ * indices.
+ */
+void interpret(const Loop &loop, long trip, Environment &env);
+
+/**
+ * Interpret @p loop with vector-semantics statement granularity: all
+ * VL iterations of one statement complete before the next statement
+ * starts, strip by strip — exactly how the vectorized code behaves.
+ * Differs from interpret() only for loops with cross-iteration
+ * statement interactions, which the vectorizer rejects anyway.
+ */
+void interpretVector(const Loop &loop, long trip, Environment &env,
+                     int vl = 128);
+
+} // namespace macs::compiler
+
+#endif // MACS_COMPILER_INTERPRETER_H

@@ -1,0 +1,306 @@
+#include "compiler/loop_parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::compiler {
+
+namespace {
+
+/** Token kinds produced by the lexer. */
+enum class Tok
+{
+    Ident,
+    Number,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Equals,
+    End,
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    double value = 0.0;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view text) : text_(text) { advance(); }
+
+    const Token &peek() const { return current_; }
+
+    Token
+    next()
+    {
+        Token t = current_;
+        advance();
+        return t;
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (current_.kind != kind)
+            return false;
+        advance();
+        return true;
+    }
+
+    Token
+    expect(Tok kind, const char *what)
+    {
+        if (current_.kind != kind)
+            fatal("loop DSL: expected ", what, " near '", current_.text,
+                  "'");
+        return next();
+    }
+
+  private:
+    void
+    advance()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ >= text_.size()) {
+            current_ = {Tok::End, "<end>"};
+            return;
+        }
+        char c = text_[pos_];
+        auto single = [&](Tok k) {
+            current_ = {k, std::string(1, c)};
+            ++pos_;
+        };
+        switch (c) {
+          case '+':
+            return single(Tok::Plus);
+          case '-':
+            return single(Tok::Minus);
+          case '*':
+            return single(Tok::Star);
+          case '/':
+            return single(Tok::Slash);
+          case '(':
+            return single(Tok::LParen);
+          case ')':
+            return single(Tok::RParen);
+          case '=':
+            return single(Tok::Equals);
+          default:
+            break;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+            size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   (std::isdigit(
+                        static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '.' || text_[pos_] == 'e' ||
+                    text_[pos_] == 'E' ||
+                    ((text_[pos_] == '+' || text_[pos_] == '-') &&
+                     (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))))
+                ++pos_;
+            std::string num(text_.substr(start, pos_ - start));
+            double v = 0;
+            if (!parseDouble(num, v))
+                fatal("loop DSL: bad number '", num, "'");
+            current_ = {Tok::Number, num, v};
+            return;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '_'))
+                ++pos_;
+            current_ = {Tok::Ident,
+                        std::string(text_.substr(start, pos_ - start))};
+            return;
+        }
+        fatal("loop DSL: unexpected character '", std::string(1, c), "'");
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    Token current_{Tok::End, ""};
+};
+
+class Parser
+{
+  public:
+    Parser(std::string_view text) : lex_(text) {}
+
+    Loop
+    parse()
+    {
+        Loop loop;
+        Token kw = lex_.expect(Tok::Ident, "DO");
+        if (toLower(kw.text) != "do")
+            fatal("loop DSL: loop must start with DO");
+        loop.var = lex_.expect(Tok::Ident, "loop variable").text;
+        if (lex_.peek().kind == Tok::Ident &&
+            toLower(lex_.peek().text) == "by") {
+            lex_.next();
+            bool negative = lex_.accept(Tok::Minus);
+            Token s = lex_.expect(Tok::Number, "stride");
+            loop.stride = static_cast<long>(s.value);
+            if (negative)
+                loop.stride = -loop.stride;
+            if (loop.stride == 0)
+                fatal("loop DSL: stride must be nonzero");
+        }
+        var_ = loop.var;
+
+        while (!(lex_.peek().kind == Tok::Ident &&
+                 toLower(lex_.peek().text) == "end")) {
+            if (lex_.peek().kind == Tok::End)
+                fatal("loop DSL: missing END");
+            loop.stmts.push_back(parseStmt());
+        }
+        lex_.next(); // END
+        if (loop.stmts.empty())
+            fatal("loop DSL: empty loop body");
+        return loop;
+    }
+
+  private:
+    Stmt
+    parseStmt()
+    {
+        Stmt s;
+        Token name = lex_.expect(Tok::Ident, "assignment target");
+        s.dstName = name.text;
+        if (lex_.peek().kind == Tok::LParen) {
+            s.arrayDst = true;
+            auto [coef, offset] = parseIndex();
+            s.dstCoef = coef;
+            s.dstOffset = offset;
+        } else {
+            s.arrayDst = false;
+        }
+        lex_.expect(Tok::Equals, "'='");
+        s.rhs = parseExpr();
+        return s;
+    }
+
+    /** Parse "(...)" affine index; returns {coef, offset}. */
+    std::pair<long, long>
+    parseIndex()
+    {
+        lex_.expect(Tok::LParen, "'('");
+        long coef = 0, offset = 0;
+
+        // Forms: var | int*var | var+int | var-int | int*var+int | int
+        if (lex_.peek().kind == Tok::Number) {
+            long v = static_cast<long>(lex_.next().value);
+            if (lex_.accept(Tok::Star)) {
+                Token var = lex_.expect(Tok::Ident, "loop variable");
+                checkVar(var.text);
+                coef = v;
+            } else {
+                offset = v; // constant index (loop-invariant element)
+                coef = 0;
+            }
+        } else {
+            Token var = lex_.expect(Tok::Ident, "loop variable");
+            checkVar(var.text);
+            coef = 1;
+        }
+        if (coef != 0) {
+            if (lex_.accept(Tok::Plus))
+                offset = static_cast<long>(
+                    lex_.expect(Tok::Number, "offset").value);
+            else if (lex_.accept(Tok::Minus))
+                offset = -static_cast<long>(
+                    lex_.expect(Tok::Number, "offset").value);
+        }
+        lex_.expect(Tok::RParen, "')'");
+        return {coef, offset};
+    }
+
+    void
+    checkVar(const std::string &name)
+    {
+        if (name != var_)
+            fatal("loop DSL: index variable '", name,
+                  "' is not the loop variable '", var_, "'");
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        ExprPtr e = parseTerm();
+        while (true) {
+            if (lex_.accept(Tok::Plus))
+                e = add(std::move(e), parseTerm());
+            else if (lex_.accept(Tok::Minus))
+                e = sub(std::move(e), parseTerm());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr
+    parseTerm()
+    {
+        ExprPtr e = parseUnary();
+        while (true) {
+            if (lex_.accept(Tok::Star))
+                e = mul(std::move(e), parseUnary());
+            else if (lex_.accept(Tok::Slash))
+                e = div(std::move(e), parseUnary());
+            else
+                return e;
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (lex_.accept(Tok::Minus))
+            return neg(parseUnary());
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        if (lex_.peek().kind == Tok::Number)
+            return number(lex_.next().value);
+        if (lex_.accept(Tok::LParen)) {
+            ExprPtr e = parseExpr();
+            lex_.expect(Tok::RParen, "')'");
+            return e;
+        }
+        Token name = lex_.expect(Tok::Ident, "identifier");
+        if (lex_.peek().kind == Tok::LParen) {
+            auto [coef, offset] = parseIndex();
+            return array(name.text, coef, offset);
+        }
+        return scalar(name.text);
+    }
+
+    Lexer lex_;
+    std::string var_;
+};
+
+} // namespace
+
+Loop
+parseLoop(std::string_view text)
+{
+    Parser p(text);
+    return p.parse();
+}
+
+} // namespace macs::compiler

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Parser for the Fortran-like loop DSL.
+ *
+ * Grammar (case-insensitive keywords, one statement per line):
+ *
+ *   loop    := "DO" var ["BY" int] stmt* "END"
+ *   stmt    := ref "=" expr
+ *   ref     := ident | ident "(" index ")"
+ *   index   := [int "*"] var [("+"|"-") int]
+ *   expr    := term (("+"|"-") term)*
+ *   term    := unary (("*"|"/") unary)*
+ *   unary   := "-" unary | primary
+ *   primary := number | ref | "(" expr ")"
+ *
+ * An identifier used with parentheses is an array reference; without,
+ * a loop-invariant scalar. The trip count is not part of the loop text
+ * (it is a compile/run parameter).
+ */
+
+#ifndef MACS_COMPILER_LOOP_PARSER_H
+#define MACS_COMPILER_LOOP_PARSER_H
+
+#include <string_view>
+
+#include "compiler/ast.h"
+
+namespace macs::compiler {
+
+/** Parse DSL text into a Loop; fatal() on syntax errors. */
+Loop parseLoop(std::string_view text);
+
+} // namespace macs::compiler
+
+#endif // MACS_COMPILER_LOOP_PARSER_H

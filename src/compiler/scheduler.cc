@@ -1,0 +1,440 @@
+#include "compiler/scheduler.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <string>
+
+#include "support/logging.h"
+
+namespace macs::compiler {
+
+namespace {
+
+using isa::Instruction;
+using isa::Reg;
+using isa::RegClass;
+
+int
+pipeSlot(isa::Pipe p)
+{
+    switch (p) {
+      case isa::Pipe::LoadStore:
+        return 0;
+      case isa::Pipe::Add:
+        return 1;
+      case isa::Pipe::Multiply:
+        return 2;
+      case isa::Pipe::None:
+        break;
+    }
+    panic("pipeSlot on scalar instruction");
+}
+
+/** Unique id of a scalar/address register for dependence tracking. */
+int
+scalarId(const Reg &r)
+{
+    switch (r.cls) {
+      case RegClass::Scalar:
+        return r.index;
+      case RegClass::Address:
+        return isa::kNumScalarRegs + r.index;
+      case RegClass::Vl:
+        return isa::kNumScalarRegs + isa::kNumAddressRegs;
+      default:
+        return -1;
+    }
+}
+
+/** One schedulable unit: a vector instruction plus glued scalar ops. */
+struct Node
+{
+    std::vector<Instruction> glue; ///< scalar loads/moves emitted first
+    Instruction instr;             ///< the vector instruction
+    bool hasScalarMemGlue = false;
+
+    std::set<int> vReads, vWrites;   ///< vector register indices
+    std::set<int> sReads, sWrites;   ///< scalar/address ids
+    std::set<std::string> memReads;  ///< symbols loaded
+    std::set<std::string> memWrites; ///< symbols stored
+
+    std::vector<size_t> succs;
+    std::vector<size_t> rawPreds;   ///< chaining-compatible preds
+    std::vector<size_t> hardPreds;  ///< WAR/WAW/memory preds
+    int priority = 0;               ///< critical-path length
+};
+
+void
+collectUses(Node &n)
+{
+    auto scanInstr = [&](const Instruction &in, bool glue_level) {
+        for (const Reg &r : in.vectorReads())
+            n.vReads.insert(r.index);
+        for (const Reg &r : in.vectorWrites())
+            n.vWrites.insert(r.index);
+        for (const Reg &r : in.scalarReads()) {
+            int id = scalarId(r);
+            if (id >= 0)
+                n.sReads.insert(id);
+        }
+        Reg w = in.scalarWrite();
+        int wid = scalarId(w);
+        if (wid >= 0)
+            n.sWrites.insert(wid);
+        if (!in.mem.symbol.empty()) {
+            bool is_store = in.op == isa::Opcode::VSt ||
+                            in.op == isa::Opcode::VStS ||
+                            in.op == isa::Opcode::SSt;
+            if (is_store)
+                n.memWrites.insert(in.mem.symbol);
+            else
+                n.memReads.insert(in.mem.symbol);
+        }
+        if (glue_level && in.isScalarMemory())
+            n.hasScalarMemGlue = true;
+    };
+    for (const auto &g : n.glue)
+        scanInstr(g, true);
+    scanInstr(n.instr, false);
+    // A scalar produced by this node's own glue and consumed by its
+    // vector instruction is internal: drop it from the read set so it
+    // does not create self-dependences, but keep it in writes so other
+    // nodes reusing the scratch register are ordered.
+    for (const auto &g : n.glue) {
+        int wid = scalarId(g.scalarWrite());
+        if (wid >= 0)
+            n.sReads.erase(wid);
+    }
+}
+
+} // namespace
+
+std::vector<Instruction>
+scheduleBody(std::span<const Instruction> body,
+             const machine::ChainingConfig &rules)
+{
+    // ---- 1. group instructions into nodes -------------------------------
+    std::vector<Node> nodes;
+    std::vector<Instruction> pending_glue;
+    for (const auto &in : body) {
+        if (!in.isVector()) {
+            pending_glue.push_back(in);
+            continue;
+        }
+        Node n;
+        n.glue = std::move(pending_glue);
+        pending_glue.clear();
+        n.instr = in;
+        collectUses(n);
+        nodes.push_back(std::move(n));
+    }
+    if (!pending_glue.empty()) {
+        // Trailing scalar code with no vector consumer: bail out and
+        // keep the original order (the caller passed loop control?).
+        std::vector<Instruction> out(body.begin(), body.end());
+        return out;
+    }
+    if (nodes.size() <= 1) {
+        std::vector<Instruction> out(body.begin(), body.end());
+        return out;
+    }
+
+    // ---- 2. dependence edges --------------------------------------------
+    auto intersects = [](const auto &a, const auto &b) {
+        for (const auto &x : a)
+            if (b.count(x))
+                return true;
+        return false;
+    };
+
+    size_t n = nodes.size();
+    for (size_t j = 0; j < n; ++j) {
+        for (size_t i = 0; i < j; ++i) {
+            const Node &a = nodes[i];
+            const Node &b = nodes[j];
+            bool raw = intersects(a.vWrites, b.vReads) ||
+                       intersects(a.sWrites, b.sReads);
+            bool war = intersects(a.vReads, b.vWrites) ||
+                       intersects(a.sReads, b.sWrites);
+            bool waw = intersects(a.vWrites, b.vWrites) ||
+                       intersects(a.sWrites, b.sWrites);
+            // Conservative same-symbol memory ordering.
+            bool memdep = intersects(a.memWrites, b.memReads) ||
+                          intersects(a.memReads, b.memWrites) ||
+                          intersects(a.memWrites, b.memWrites);
+            if (raw) {
+                nodes[j].rawPreds.push_back(i);
+            }
+            if (war || waw || memdep) {
+                nodes[j].hardPreds.push_back(i);
+            }
+            if (raw || war || waw || memdep)
+                nodes[i].succs.push_back(j);
+        }
+    }
+
+    // ---- 3. critical-path priorities -------------------------------------
+    for (size_t i = n; i-- > 0;) {
+        int best = 0;
+        for (size_t s : nodes[i].succs)
+            best = std::max(best, nodes[s].priority);
+        nodes[i].priority = best + 1;
+    }
+
+    // ---- 4. greedy chime packing -----------------------------------------
+    std::vector<char> placed(n, 0);
+    std::vector<size_t> order;
+    std::set<size_t> current_chime;
+    std::array<bool, 3> pipe_used{};
+    std::array<int, isa::kNumVectorPairs> pair_reads{};
+    std::array<int, isa::kNumVectorPairs> pair_writes{};
+    bool chime_has_vecmem = false;
+    bool chime_has_scalar_mem = false;
+
+    auto resetChime = [&] {
+        current_chime.clear();
+        pipe_used.fill(false);
+        pair_reads.fill(0);
+        pair_writes.fill(0);
+        chime_has_vecmem = false;
+        chime_has_scalar_mem = false;
+    };
+
+    auto eligible = [&](size_t i) {
+        const Node &nd = nodes[i];
+        if (placed[i])
+            return false;
+        // Hard predecessors must be in earlier chimes.
+        for (size_t p : nd.hardPreds)
+            if (!placed[p] || current_chime.count(p))
+                return false;
+        // RAW predecessors may be in the current chime (chaining) when
+        // chaining is enabled; otherwise they must be in earlier chimes.
+        for (size_t p : nd.rawPreds) {
+            if (!placed[p])
+                return false;
+            if (current_chime.count(p) && !rules.chainingEnabled)
+                return false;
+        }
+        if (pipe_used[pipeSlot(nd.instr.pipe())])
+            return false;
+        if (rules.scalarMemSplitsChimes) {
+            if (nd.hasScalarMemGlue &&
+                (chime_has_vecmem || !current_chime.empty()))
+                return false; // scalar-mem glue only opens a chime
+            if (nd.instr.isVectorMemory() && chime_has_scalar_mem)
+                return false;
+        }
+        if (rules.enforcePairLimits) {
+            auto reads = pair_reads;
+            auto writes = pair_writes;
+            for (const Reg &r : nd.instr.vectorReads())
+                ++reads[r.pair()];
+            for (const Reg &r : nd.instr.vectorWrites())
+                ++writes[r.pair()];
+            for (int p = 0; p < isa::kNumVectorPairs; ++p)
+                if (reads[p] > rules.maxReadsPerPair ||
+                    writes[p] > rules.maxWritesPerPair)
+                    return false;
+        }
+        return true;
+    };
+
+    size_t remaining = n;
+    resetChime();
+    int guard = 0;
+    while (remaining > 0) {
+        MACS_ASSERT(++guard < 100000, "scheduler did not converge");
+        // Pick the best eligible node: memory ops first while the LS
+        // slot is open (the workload is memory bound), then by
+        // critical-path priority.
+        size_t best = n;
+        for (size_t i = 0; i < n; ++i) {
+            if (!eligible(i))
+                continue;
+            if (best == n) {
+                best = i;
+                continue;
+            }
+            bool i_mem = nodes[i].instr.isVectorMemory();
+            bool b_mem = nodes[best].instr.isVectorMemory();
+            if (i_mem != b_mem) {
+                if (i_mem)
+                    best = i;
+                continue;
+            }
+            if (nodes[i].priority > nodes[best].priority)
+                best = i;
+        }
+        if (best == n) {
+            // Nothing fits: close the chime.
+            MACS_ASSERT(!current_chime.empty(),
+                        "no eligible node for an empty chime "
+                        "(dependence cycle?)");
+            resetChime();
+            continue;
+        }
+
+        Node &nd = nodes[best];
+        placed[best] = 1;
+        --remaining;
+        order.push_back(best);
+        current_chime.insert(best);
+        pipe_used[pipeSlot(nd.instr.pipe())] = true;
+        if (nd.instr.isVectorMemory())
+            chime_has_vecmem = true;
+        if (nd.hasScalarMemGlue)
+            chime_has_scalar_mem = true;
+        for (const Reg &r : nd.instr.vectorReads())
+            ++pair_reads[r.pair()];
+        for (const Reg &r : nd.instr.vectorWrites())
+            ++pair_writes[r.pair()];
+    }
+
+    // ---- 5. emit ------------------------------------------------------------
+    std::vector<Instruction> out;
+    out.reserve(body.size());
+    for (size_t idx : order) {
+        for (const auto &g : nodes[idx].glue)
+            out.push_back(g);
+        out.push_back(nodes[idx].instr);
+    }
+    return out;
+}
+
+std::vector<Instruction>
+scheduleScalarBody(std::span<const Instruction> body,
+                   const machine::ScalarTiming &timing)
+{
+    for (const auto &in : body)
+        if (in.isVector())
+            return {body.begin(), body.end()};
+    size_t n = body.size();
+    if (n <= 1)
+        return {body.begin(), body.end()};
+
+    // Register and memory use/def sets per instruction.
+    struct SNode
+    {
+        std::set<int> reads, writes;     // scalar/address reg ids
+        std::set<std::string> memReads, memWrites;
+        std::vector<size_t> preds, succs;
+        int latency = 1;
+        int priority = 0;
+    };
+    auto reg_id = [](const Reg &r) { return scalarId(r); };
+
+    std::vector<SNode> nodes(n);
+    for (size_t i = 0; i < n; ++i) {
+        const Instruction &in = body[i];
+        SNode &nd = nodes[i];
+        for (const Reg &r : in.scalarReads()) {
+            int id = reg_id(r);
+            if (id >= 0)
+                nd.reads.insert(id);
+        }
+        int w = reg_id(in.scalarWrite());
+        if (w >= 0)
+            nd.writes.insert(w);
+        if (!in.mem.symbol.empty()) {
+            bool store = in.op == isa::Opcode::SSt;
+            (store ? nd.memWrites : nd.memReads).insert(in.mem.symbol);
+        }
+        if (in.op == isa::Opcode::SLd)
+            nd.latency = timing.loadLatency;
+        else if (isa::isScalarFp(in.op))
+            nd.latency = in.op == isa::Opcode::SFDiv
+                             ? timing.fpDivLatency
+                             : timing.fpLatency;
+    }
+
+    auto meets = [](const auto &a, const auto &b) {
+        for (const auto &x : a)
+            if (b.count(x))
+                return true;
+        return false;
+    };
+    for (size_t j = 0; j < n; ++j) {
+        for (size_t i = 0; i < j; ++i) {
+            bool dep = meets(nodes[i].writes, nodes[j].reads) ||
+                       meets(nodes[i].reads, nodes[j].writes) ||
+                       meets(nodes[i].writes, nodes[j].writes) ||
+                       meets(nodes[i].memWrites, nodes[j].memReads) ||
+                       meets(nodes[i].memReads, nodes[j].memWrites) ||
+                       meets(nodes[i].memWrites, nodes[j].memWrites);
+            if (dep) {
+                nodes[j].preds.push_back(i);
+                nodes[i].succs.push_back(j);
+            }
+        }
+    }
+    for (size_t i = n; i-- > 0;) {
+        int best = 0;
+        for (size_t s : nodes[i].succs)
+            best = std::max(best, nodes[s].priority);
+        nodes[i].priority = best + nodes[i].latency;
+    }
+
+    // Greedy list scheduling: simulated issue clock; a node is ready
+    // when its operands' producing latencies have elapsed. Pick the
+    // ready node with the highest critical path; when none is ready,
+    // the one that becomes ready soonest.
+    std::vector<char> placed(n, 0);
+    std::vector<double> done_at(n, 0.0);
+    std::vector<size_t> order;
+    double clock = 0.0;
+    for (size_t step = 0; step < n; ++step) {
+        size_t best = n;
+        double best_ready = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            if (placed[i])
+                continue;
+            bool preds_placed = true;
+            double ready = 0.0;
+            for (size_t p : nodes[i].preds) {
+                if (!placed[p]) {
+                    preds_placed = false;
+                    break;
+                }
+                ready = std::max(ready, done_at[p]);
+            }
+            if (!preds_placed)
+                continue;
+            bool ready_now = ready <= clock;
+            if (best == n) {
+                best = i;
+                best_ready = ready;
+                continue;
+            }
+            bool best_now = best_ready <= clock;
+            if (ready_now != best_now) {
+                if (ready_now) {
+                    best = i;
+                    best_ready = ready;
+                }
+                continue;
+            }
+            if (ready_now
+                    ? nodes[i].priority > nodes[best].priority
+                    : ready < best_ready) {
+                best = i;
+                best_ready = ready;
+            }
+        }
+        MACS_ASSERT(best < n, "scalar scheduler found no ready node");
+        clock = std::max(clock + 1.0, best_ready + 1.0);
+        done_at[best] = std::max(clock, best_ready) + nodes[best].latency;
+        placed[best] = 1;
+        order.push_back(best);
+    }
+
+    std::vector<Instruction> out;
+    out.reserve(n);
+    for (size_t idx : order)
+        out.push_back(body[idx]);
+    return out;
+}
+
+} // namespace macs::compiler

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Chime-aware list scheduler: reorders the vector instructions of one
+ * loop-body iteration to minimize the number of chimes (paper section
+ * 3.3/3.4 — this is the "S" the MACS bound is sensitive to).
+ *
+ * The scheduler builds a dependence DAG (register RAW/WAR/WAW over
+ * vector and scalar registers, conservative same-symbol memory
+ * ordering), then greedily packs chimes: each chime takes at most one
+ * instruction per pipe, respects the vector-register-pair port limits,
+ * and permits intra-chime RAW dependences (operand chaining). In-loop
+ * scalar loads and literal moves stay glued immediately before their
+ * consuming vector instruction; because a scalar memory access splits
+ * any chime containing a vector memory access, nodes with glued scalar
+ * loads are only placed into chimes without one.
+ */
+
+#ifndef MACS_COMPILER_SCHEDULER_H
+#define MACS_COMPILER_SCHEDULER_H
+
+#include <span>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "machine/machine_config.h"
+
+namespace macs::compiler {
+
+/**
+ * Reorder @p body (the computational part of one iteration: vector
+ * instructions plus any glued scalar loads/moves, no loop control).
+ * The result computes the same values in any sequential execution.
+ */
+std::vector<isa::Instruction>
+scheduleBody(std::span<const isa::Instruction> body,
+             const machine::ChainingConfig &rules);
+
+/**
+ * Latency-aware list scheduler for *scalar-mode* loop bodies: reorders
+ * scalar instructions (loads, FP, stores) respecting register and
+ * same-symbol memory dependences so that loads issue ahead of their
+ * consumers and independent (e.g. unrolled) iterations overlap in the
+ * ASU pipelines. Returns the body unchanged if it contains any vector
+ * instruction.
+ */
+std::vector<isa::Instruction>
+scheduleScalarBody(std::span<const isa::Instruction> body,
+                   const machine::ScalarTiming &timing);
+
+} // namespace macs::compiler
+
+#endif // MACS_COMPILER_SCHEDULER_H

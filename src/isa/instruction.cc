@@ -1,0 +1,414 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::isa {
+
+std::string
+MemRef::toString() const
+{
+    std::ostringstream os;
+    if (!symbol.empty()) {
+        os << symbol;
+        if (offset > 0)
+            os << '+' << offset;
+        else if (offset < 0)
+            os << offset;
+    } else {
+        os << offset;
+    }
+    if (base.valid())
+        os << '(' << isa::toString(base) << ')';
+    return os.str();
+}
+
+std::string
+toString(const Reg &r)
+{
+    switch (r.cls) {
+      case RegClass::None:
+        return "-";
+      case RegClass::Vector:
+        return format("v%d", r.index);
+      case RegClass::Scalar:
+        return format("s%d", r.index);
+      case RegClass::Address:
+        return format("a%d", r.index);
+      case RegClass::Vl:
+        return "VL";
+    }
+    panic("unreachable register class");
+}
+
+bool
+parseReg(const std::string &text, Reg &out)
+{
+    if (text == "VL" || text == "vl") {
+        out = vlreg();
+        return true;
+    }
+    if (text.size() < 2)
+        return false;
+    char cls = text[0];
+    long idx = 0;
+    if (!parseInt(text.substr(1), idx))
+        return false;
+    switch (cls) {
+      case 'v':
+        if (idx < 0 || idx >= kNumVectorRegs)
+            return false;
+        out = vreg(static_cast<int>(idx));
+        return true;
+      case 's':
+        if (idx < 0 || idx >= kNumScalarRegs)
+            return false;
+        out = sreg(static_cast<int>(idx));
+        return true;
+      case 'a':
+        if (idx < 0 || idx >= kNumAddressRegs)
+            return false;
+        out = areg(static_cast<int>(idx));
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::vector<Reg>
+Instruction::vectorReads() const
+{
+    std::vector<Reg> out;
+    auto add = [&](const Reg &r) {
+        if (r.isVector())
+            out.push_back(r);
+    };
+    add(src1);
+    add(src2);
+    return out;
+}
+
+std::vector<Reg>
+Instruction::vectorWrites() const
+{
+    std::vector<Reg> out;
+    if (dst.isVector())
+        out.push_back(dst);
+    return out;
+}
+
+std::vector<Reg>
+Instruction::scalarReads() const
+{
+    std::vector<Reg> out;
+    auto add = [&](const Reg &r) {
+        if (r.isScalar() || r.isAddress())
+            out.push_back(r);
+    };
+    add(src1);
+    add(src2);
+    add(mem.base);
+    return out;
+}
+
+Reg
+Instruction::scalarWrite() const
+{
+    if (dst.isScalar() || dst.isAddress() || dst.cls == RegClass::Vl)
+        return dst;
+    return noreg();
+}
+
+std::string
+Instruction::toString() const
+{
+    const char *m = info().mnemonic;
+    std::ostringstream os;
+    os << m << ' ';
+    auto immStr = [&] { return format("#%lld", (long long)imm); };
+
+    switch (op) {
+      case Opcode::VLd:
+        os << mem.toString() << ',' << isa::toString(dst);
+        break;
+      case Opcode::VLdS:
+        os << mem.toString() << ',' << isa::toString(src1) << ','
+           << isa::toString(dst);
+        break;
+      case Opcode::VSt:
+        os << isa::toString(src1) << ',' << mem.toString();
+        break;
+      case Opcode::VStS:
+        os << isa::toString(src1) << ',' << isa::toString(src2) << ','
+           << mem.toString();
+        break;
+      case Opcode::VAdd:
+      case Opcode::VSub:
+      case Opcode::VMul:
+      case Opcode::VDiv:
+      case Opcode::SFAdd:
+      case Opcode::SFSub:
+      case Opcode::SFMul:
+      case Opcode::SFDiv:
+        os << isa::toString(src1) << ',' << isa::toString(src2) << ','
+           << isa::toString(dst);
+        break;
+      case Opcode::VNeg:
+      case Opcode::VSum:
+        os << isa::toString(src1) << ',' << isa::toString(dst);
+        break;
+      case Opcode::SLd:
+        os << mem.toString() << ',' << isa::toString(dst);
+        break;
+      case Opcode::SSt:
+        os << isa::toString(src1) << ',' << mem.toString();
+        break;
+      case Opcode::SAdd:
+      case Opcode::SSub:
+      case Opcode::SMul:
+        if (hasImm && !src2.valid()) {
+            // Two-operand increment form: add.w #imm,rD
+            os << immStr() << ',' << isa::toString(dst);
+        } else {
+            os << (hasImm ? immStr() : isa::toString(src1)) << ','
+               << isa::toString(src2) << ',' << isa::toString(dst);
+        }
+        break;
+      case Opcode::SMov:
+        os << (hasImm ? immStr() : isa::toString(src1)) << ','
+           << isa::toString(dst);
+        break;
+      case Opcode::SLt:
+      case Opcode::SLe:
+        os << (hasImm ? immStr() : isa::toString(src1)) << ','
+           << isa::toString(src2);
+        break;
+      case Opcode::BrT:
+      case Opcode::BrF:
+      case Opcode::Jmp:
+        os << target;
+        break;
+      case Opcode::Nop:
+        return comment.empty() ? std::string("nop")
+                               : "nop ; " + comment;
+    }
+    std::string body = os.str();
+    if (!comment.empty())
+        body += " ; " + comment;
+    return body;
+}
+
+Instruction
+makeVLoad(const MemRef &mem, Reg vdst)
+{
+    MACS_ASSERT(vdst.isVector(), "ld.l destination must be a v register");
+    Instruction i;
+    i.op = Opcode::VLd;
+    i.mem = mem;
+    i.dst = vdst;
+    return i;
+}
+
+Instruction
+makeVLoadStrided(const MemRef &mem, Reg stride, Reg vdst)
+{
+    MACS_ASSERT(vdst.isVector() &&
+                    (stride.isScalar() || stride.isAddress()),
+                "lds.l needs a scalar/address stride register and a "
+                "vector destination");
+    Instruction i;
+    i.op = Opcode::VLdS;
+    i.mem = mem;
+    i.src1 = stride;
+    i.dst = vdst;
+    return i;
+}
+
+Instruction
+makeVStore(Reg vsrc, const MemRef &mem)
+{
+    MACS_ASSERT(vsrc.isVector(), "st.l source must be a v register");
+    Instruction i;
+    i.op = Opcode::VSt;
+    i.src1 = vsrc;
+    i.mem = mem;
+    return i;
+}
+
+Instruction
+makeVStoreStrided(Reg vsrc, Reg stride, const MemRef &mem)
+{
+    MACS_ASSERT(vsrc.isVector() &&
+                    (stride.isScalar() || stride.isAddress()),
+                "sts.l needs a vector source and a scalar/address "
+                "stride register");
+    Instruction i;
+    i.op = Opcode::VStS;
+    i.src1 = vsrc;
+    i.src2 = stride;
+    i.mem = mem;
+    return i;
+}
+
+Instruction
+makeVBinary(Opcode op, Reg a, Reg b, Reg vdst)
+{
+    MACS_ASSERT(op == Opcode::VAdd || op == Opcode::VSub ||
+                    op == Opcode::VMul || op == Opcode::VDiv,
+                "not a vector binary op");
+    MACS_ASSERT(vdst.isVector(), "vector binary dst must be a v register");
+    MACS_ASSERT(a.isVector() || b.isVector(),
+                "at least one vector source required");
+    Instruction i;
+    i.op = op;
+    i.src1 = a;
+    i.src2 = b;
+    i.dst = vdst;
+    return i;
+}
+
+Instruction
+makeVNeg(Reg vsrc, Reg vdst)
+{
+    MACS_ASSERT(vsrc.isVector() && vdst.isVector(), "neg.d needs v regs");
+    Instruction i;
+    i.op = Opcode::VNeg;
+    i.src1 = vsrc;
+    i.dst = vdst;
+    return i;
+}
+
+Instruction
+makeVSum(Reg vsrc, Reg sdst)
+{
+    MACS_ASSERT(vsrc.isVector() && sdst.isScalar(),
+                "sum.d reduces a v register into an s register");
+    Instruction i;
+    i.op = Opcode::VSum;
+    i.src1 = vsrc;
+    i.dst = sdst;
+    return i;
+}
+
+Instruction
+makeSLoad(const MemRef &mem, Reg dst)
+{
+    MACS_ASSERT(dst.isScalar() || dst.isAddress(),
+                "ld.w destination must be s or a register");
+    Instruction i;
+    i.op = Opcode::SLd;
+    i.mem = mem;
+    i.dst = dst;
+    return i;
+}
+
+Instruction
+makeSStore(Reg src, const MemRef &mem)
+{
+    MACS_ASSERT(src.isScalar() || src.isAddress(),
+                "st.w source must be s or a register");
+    Instruction i;
+    i.op = Opcode::SSt;
+    i.src1 = src;
+    i.mem = mem;
+    return i;
+}
+
+Instruction
+makeSBinary(Opcode op, Reg a, Reg b, Reg dst)
+{
+    MACS_ASSERT(op == Opcode::SAdd || op == Opcode::SSub ||
+                    op == Opcode::SMul,
+                "not a scalar binary op");
+    Instruction i;
+    i.op = op;
+    i.src1 = a;
+    i.src2 = b;
+    i.dst = dst;
+    return i;
+}
+
+Instruction
+makeSFBinary(Opcode op, Reg a, Reg b, Reg dst)
+{
+    MACS_ASSERT(op == Opcode::SFAdd || op == Opcode::SFSub ||
+                    op == Opcode::SFMul || op == Opcode::SFDiv,
+                "not a scalar FP op");
+    MACS_ASSERT(a.isScalar() && b.isScalar() && dst.isScalar(),
+                "scalar FP operates on s registers");
+    Instruction i;
+    i.op = op;
+    i.src1 = a;
+    i.src2 = b;
+    i.dst = dst;
+    return i;
+}
+
+Instruction
+makeSAddImm(int64_t imm, Reg reg)
+{
+    Instruction i;
+    i.op = Opcode::SAdd;
+    i.imm = imm;
+    i.hasImm = true;
+    i.dst = reg;
+    return i;
+}
+
+Instruction
+makeSSubImm(int64_t imm, Reg reg)
+{
+    Instruction i;
+    i.op = Opcode::SSub;
+    i.imm = imm;
+    i.hasImm = true;
+    i.dst = reg;
+    return i;
+}
+
+Instruction
+makeMovImm(int64_t imm, Reg dst)
+{
+    Instruction i;
+    i.op = Opcode::SMov;
+    i.imm = imm;
+    i.hasImm = true;
+    i.dst = dst;
+    return i;
+}
+
+Instruction
+makeMov(Reg src, Reg dst)
+{
+    Instruction i;
+    i.op = Opcode::SMov;
+    i.src1 = src;
+    i.dst = dst;
+    return i;
+}
+
+Instruction
+makeCmpImm(Opcode op, int64_t imm, Reg reg)
+{
+    MACS_ASSERT(op == Opcode::SLt || op == Opcode::SLe, "not a compare");
+    Instruction i;
+    i.op = op;
+    i.imm = imm;
+    i.hasImm = true;
+    i.src2 = reg;
+    return i;
+}
+
+Instruction
+makeBranch(Opcode op, const std::string &label)
+{
+    MACS_ASSERT(isControl(op), "not a branch opcode");
+    Instruction i;
+    i.op = op;
+    i.target = label;
+    return i;
+}
+
+} // namespace macs::isa

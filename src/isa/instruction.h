@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Instruction representation: operands, memory references, and register
+ * use/def queries used by the chime partitioner and the simulator.
+ */
+
+#ifndef MACS_ISA_INSTRUCTION_H
+#define MACS_ISA_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.h"
+#include "isa/registers.h"
+
+namespace macs::isa {
+
+/**
+ * A memory reference: optional symbol plus byte offset, indexed by an
+ * address register: "sym+offset(aN)". The stride of strided vector
+ * accesses lives in a scalar register operand of the instruction, not
+ * here.
+ */
+struct MemRef
+{
+    std::string symbol;  ///< data symbol; empty for absolute/reg-only
+    int64_t offset = 0;  ///< byte offset added to symbol/base
+    Reg base = noreg();  ///< address register (may be None)
+
+    bool operator==(const MemRef &o) const = default;
+
+    /** Render as assembly text. */
+    std::string toString() const;
+};
+
+/**
+ * One machine instruction.
+ *
+ * Operand conventions (mirroring the Convex assembly in the paper,
+ * source(s) first, destination last):
+ *  - VLd:  mem -> dst(v)                       src2 unused
+ *  - VLdS: mem, src1(s stride) -> dst(v)
+ *  - VSt:  src1(v) -> mem
+ *  - VStS: src1(v), src2(s stride) -> mem
+ *  - VAdd/VSub/VMul/VDiv: src1, src2 -> dst    (v or broadcast s sources)
+ *  - VNeg: src1(v) -> dst(v)
+ *  - VSum: src1(v) -> dst(s)                   reduction into scalar
+ *  - SLd:  mem -> dst(s|a);  SSt: src1(s|a) -> mem
+ *  - SAdd/SSub/SMul: src1, src2 -> dst; or #imm, rD two-operand form
+ *    (rD := rD op imm) with dst==src2 slot empty
+ *  - SMov: src1 or #imm -> dst (dst may be the VL register)
+ *  - SLt/SLe: src1 or #imm, src2 -> test flag
+ *  - BrT/BrF/Jmp: label
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Reg dst = noreg();
+    Reg src1 = noreg();
+    Reg src2 = noreg();
+    MemRef mem;
+    int64_t imm = 0;
+    bool hasImm = false;
+    std::string target;  ///< branch target label
+    std::string comment; ///< free-form, printed after ';'
+
+    /** Static properties of this instruction's opcode. */
+    const OpcodeInfo &info() const { return opcodeInfo(op); }
+
+    bool isVector() const { return isVectorOp(op); }
+    bool isVectorMemory() const { return isVectorMem(op); }
+    bool isVectorFloat() const { return isVectorFp(op); }
+    bool isScalarMemory() const { return isScalarMem(op); }
+    bool isBranch() const { return isControl(op); }
+
+    /** Vector pipe this instruction uses (Pipe::None if scalar). */
+    Pipe pipe() const { return info().pipe; }
+
+    /** Vector registers read by this instruction. */
+    std::vector<Reg> vectorReads() const;
+    /** Vector registers written by this instruction. */
+    std::vector<Reg> vectorWrites() const;
+    /** Scalar/address registers read (including mem base and stride). */
+    std::vector<Reg> scalarReads() const;
+    /** Scalar/address register written, if any. */
+    Reg scalarWrite() const;
+
+    /** Render as one line of assembly (no label, no trailing newline). */
+    std::string toString() const;
+};
+
+/** Convenience constructors used by code generators and tests. @{ */
+Instruction makeVLoad(const MemRef &mem, Reg vdst);
+Instruction makeVLoadStrided(const MemRef &mem, Reg stride, Reg vdst);
+Instruction makeVStore(Reg vsrc, const MemRef &mem);
+Instruction makeVStoreStrided(Reg vsrc, Reg stride, const MemRef &mem);
+Instruction makeVBinary(Opcode op, Reg a, Reg b, Reg vdst);
+Instruction makeVNeg(Reg vsrc, Reg vdst);
+Instruction makeVSum(Reg vsrc, Reg sdst);
+Instruction makeSLoad(const MemRef &mem, Reg dst);
+Instruction makeSStore(Reg src, const MemRef &mem);
+Instruction makeSBinary(Opcode op, Reg a, Reg b, Reg dst);
+Instruction makeSFBinary(Opcode op, Reg a, Reg b, Reg dst);
+Instruction makeSAddImm(int64_t imm, Reg reg);
+Instruction makeSSubImm(int64_t imm, Reg reg);
+Instruction makeMovImm(int64_t imm, Reg dst);
+Instruction makeMov(Reg src, Reg dst);
+Instruction makeCmpImm(Opcode op, int64_t imm, Reg reg);
+Instruction makeBranch(Opcode op, const std::string &label);
+/** @} */
+
+} // namespace macs::isa
+
+#endif // MACS_ISA_INSTRUCTION_H

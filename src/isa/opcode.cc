@@ -1,0 +1,116 @@
+#include "isa/opcode.h"
+
+#include <array>
+#include <map>
+
+#include "support/logging.h"
+
+namespace macs::isa {
+
+namespace {
+
+constexpr std::array<OpcodeInfo, kNumOpcodes> kOpcodeTable = {{
+    {Opcode::VLd, "ld.l", Pipe::LoadStore, OpKind::VectorLoad},
+    {Opcode::VSt, "st.l", Pipe::LoadStore, OpKind::VectorStore},
+    {Opcode::VLdS, "lds.l", Pipe::LoadStore, OpKind::VectorLoad},
+    {Opcode::VStS, "sts.l", Pipe::LoadStore, OpKind::VectorStore},
+    {Opcode::VAdd, "add.d", Pipe::Add, OpKind::VectorFpAdd},
+    {Opcode::VSub, "sub.d", Pipe::Add, OpKind::VectorFpAdd},
+    {Opcode::VMul, "mul.d", Pipe::Multiply, OpKind::VectorFpMul},
+    {Opcode::VDiv, "div.d", Pipe::Multiply, OpKind::VectorFpMul},
+    {Opcode::VNeg, "neg.d", Pipe::Add, OpKind::VectorFpAdd},
+    {Opcode::VSum, "sum.d", Pipe::Add, OpKind::VectorFpAdd},
+    {Opcode::SLd, "ld.w", Pipe::None, OpKind::ScalarMem},
+    {Opcode::SSt, "st.w", Pipe::None, OpKind::ScalarMem},
+    {Opcode::SAdd, "add.w", Pipe::None, OpKind::ScalarAlu},
+    {Opcode::SSub, "sub.w", Pipe::None, OpKind::ScalarAlu},
+    {Opcode::SMul, "mul.w", Pipe::None, OpKind::ScalarAlu},
+    // Scalar FP shares the vector mnemonics; the assembler dispatches
+    // on the operand register classes, so the mnemonic map may resolve
+    // these spellings to the vector opcodes first.
+    {Opcode::SFAdd, "add.d", Pipe::None, OpKind::ScalarFp},
+    {Opcode::SFSub, "sub.d", Pipe::None, OpKind::ScalarFp},
+    {Opcode::SFMul, "mul.d", Pipe::None, OpKind::ScalarFp},
+    {Opcode::SFDiv, "div.d", Pipe::None, OpKind::ScalarFp},
+    {Opcode::SMov, "mov", Pipe::None, OpKind::ScalarAlu},
+    {Opcode::SLt, "lt.w", Pipe::None, OpKind::ScalarAlu},
+    {Opcode::SLe, "le.w", Pipe::None, OpKind::ScalarAlu},
+    {Opcode::BrT, "jbrs.t", Pipe::None, OpKind::Control},
+    {Opcode::BrF, "jbrs.f", Pipe::None, OpKind::Control},
+    {Opcode::Jmp, "jbra", Pipe::None, OpKind::Control},
+    {Opcode::Nop, "nop", Pipe::None, OpKind::ScalarAlu},
+}};
+
+const std::map<std::string, Opcode> &
+mnemonicMap()
+{
+    static const std::map<std::string, Opcode> map = [] {
+        std::map<std::string, Opcode> m;
+        for (const auto &info : kOpcodeTable)
+            m.emplace(info.mnemonic, info.op);
+        return m;
+    }();
+    return map;
+}
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    MACS_ASSERT(idx < kOpcodeTable.size(), "bad opcode");
+    const OpcodeInfo &info = kOpcodeTable[idx];
+    MACS_ASSERT(info.op == op, "opcode table out of order");
+    return info;
+}
+
+std::optional<Opcode>
+opcodeFromMnemonic(const std::string &mnemonic)
+{
+    const auto &map = mnemonicMap();
+    auto it = map.find(mnemonic);
+    if (it == map.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+isVectorOp(Opcode op)
+{
+    return opcodeInfo(op).pipe != Pipe::None;
+}
+
+bool
+isVectorMem(Opcode op)
+{
+    OpKind k = opcodeInfo(op).kind;
+    return k == OpKind::VectorLoad || k == OpKind::VectorStore;
+}
+
+bool
+isVectorFp(Opcode op)
+{
+    OpKind k = opcodeInfo(op).kind;
+    return k == OpKind::VectorFpAdd || k == OpKind::VectorFpMul;
+}
+
+bool
+isScalarMem(Opcode op)
+{
+    return opcodeInfo(op).kind == OpKind::ScalarMem;
+}
+
+bool
+isScalarFp(Opcode op)
+{
+    return opcodeInfo(op).kind == OpKind::ScalarFp;
+}
+
+bool
+isControl(Opcode op)
+{
+    return opcodeInfo(op).kind == OpKind::Control;
+}
+
+} // namespace macs::isa

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Opcode definitions for the modeled subset of the Convex C-240 ISA.
+ *
+ * The vector processor has three pipelined function units; every vector
+ * instruction executes on exactly one of them:
+ *  - LoadStore: the single memory interface of the VP,
+ *  - Add: additions, subtractions, negation, population counts, shifts,
+ *    logical ops, conversions, and reductions,
+ *  - Multiply: multiplications, divisions, square roots.
+ *
+ * Scalar instructions execute on the Address/Scalar Unit (ASU). Scalar
+ * loads and stores share the single CPU memory port with the vector
+ * LoadStore pipe (this is what makes scalar memory accesses split
+ * chimes, paper section 3.3).
+ */
+
+#ifndef MACS_ISA_OPCODE_H
+#define MACS_ISA_OPCODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace macs::isa {
+
+/** Function unit a vector instruction executes on. */
+enum class Pipe : uint8_t
+{
+    None,      ///< not a vector-pipe instruction (scalar/control)
+    LoadStore, ///< VP memory interface
+    Add,       ///< add/logical/reduction pipe
+    Multiply,  ///< multiply/divide pipe
+};
+
+/** Broad operation class used by workload counting and A/X transforms. */
+enum class OpKind : uint8_t
+{
+    VectorLoad,   ///< vector memory read
+    VectorStore,  ///< vector memory write
+    VectorFpAdd,  ///< vector FP op on the Add pipe
+    VectorFpMul,  ///< vector FP op on the Multiply pipe
+    ScalarMem,    ///< scalar load/store (uses the CPU memory port)
+    ScalarAlu,    ///< scalar integer arithmetic / moves / compares
+    ScalarFp,     ///< scalar floating point on the ASU
+    Control,      ///< branches
+    SetVl,        ///< write the VL register
+};
+
+/** Instruction opcodes. */
+enum class Opcode : uint8_t
+{
+    // Vector memory (unit stride and strided forms).
+    VLd,    ///< ld.l  mem,vD          vector load, unit stride
+    VSt,    ///< st.l  vS,mem          vector store, unit stride
+    VLdS,   ///< lds.l mem,sK,vD       vector load, stride (words) in sK
+    VStS,   ///< sts.l vS,sK,mem       vector store, stride in sK
+
+    // Vector arithmetic; operands may be v-regs or one s-reg (broadcast).
+    VAdd,   ///< add.d a,b,vD
+    VSub,   ///< sub.d a,b,vD
+    VMul,   ///< mul.d a,b,vD
+    VDiv,   ///< div.d a,b,vD
+    VNeg,   ///< neg.d vS,vD
+    VSum,   ///< sum.d vS,sD           reduction: sD += sum of vS elements
+
+    // Scalar / ASU.
+    SLd,    ///< ld.w  mem,sD or aD    scalar load (64-bit)
+    SSt,    ///< st.w  sS,mem          scalar store
+    SAdd,   ///< add.w a,b,sD  / add.w #imm,rD (two-operand increment)
+    SSub,   ///< sub.w ...
+    SMul,   ///< mul.w ...
+    SFAdd,  ///< add.d a,b,sD   scalar FP (all-scalar operands)
+    SFSub,  ///< sub.d a,b,sD
+    SFMul,  ///< mul.d a,b,sD
+    SFDiv,  ///< div.d a,b,sD
+    SMov,   ///< mov   src,dst         register or #imm move; dst may be VL
+    SLt,    ///< lt.w  a,b             test flag := (a < b)
+    SLe,    ///< le.w  a,b             test flag := (a <= b)
+    BrT,    ///< jbrs.t label          branch if test flag set
+    BrF,    ///< jbrs.f label          branch if test flag clear
+    Jmp,    ///< jbra   label          unconditional branch
+    Nop,    ///< no operation
+};
+
+/** Number of distinct opcodes (for table sizing). */
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::Nop) + 1;
+
+/** Static properties of an opcode. */
+struct OpcodeInfo
+{
+    Opcode op;
+    const char *mnemonic; ///< assembly mnemonic including suffix
+    Pipe pipe;            ///< vector pipe, or Pipe::None
+    OpKind kind;
+};
+
+/** Look up static properties. Never fails for a valid enumerator. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Look up an opcode by mnemonic; std::nullopt when unknown. */
+std::optional<Opcode> opcodeFromMnemonic(const std::string &mnemonic);
+
+/** True for any instruction executed by the vector processor. */
+bool isVectorOp(Opcode op);
+/** True for vector loads and stores (unit stride or strided). */
+bool isVectorMem(Opcode op);
+/** True for vector FP arithmetic (Add or Multiply pipe). */
+bool isVectorFp(Opcode op);
+/** True for scalar loads/stores (they contend for the memory port). */
+bool isScalarMem(Opcode op);
+/** True for scalar floating point (ASU) arithmetic. */
+bool isScalarFp(Opcode op);
+/** True for control transfer instructions. */
+bool isControl(Opcode op);
+
+} // namespace macs::isa
+
+#endif // MACS_ISA_OPCODE_H

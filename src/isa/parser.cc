@@ -1,0 +1,529 @@
+#include "isa/parser.h"
+
+#include <optional>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::isa {
+
+namespace {
+
+/** A parsed operand: exactly one of the alternatives is set. */
+struct Operand
+{
+    enum class Kind { Reg, Imm, Mem, Label } kind;
+    Reg reg;
+    int64_t imm = 0;
+    MemRef mem;
+    std::string label;
+};
+
+bool
+looksLikeLabelName(std::string_view s)
+{
+    if (s.empty())
+        return false;
+    if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_' ||
+          s[0] == '.'))
+        return false;
+    for (char c : s)
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '.'))
+            return false;
+    return true;
+}
+
+std::optional<Operand>
+parseOperand(std::string_view text)
+{
+    std::string s{trim(text)};
+    if (s.empty())
+        return std::nullopt;
+
+    Operand op;
+    if (s[0] == '#') {
+        long v = 0;
+        if (!parseInt(s.substr(1), v))
+            return std::nullopt;
+        op.kind = Operand::Kind::Imm;
+        op.imm = v;
+        return op;
+    }
+
+    Reg r;
+    if (parseReg(s, r)) {
+        op.kind = Operand::Kind::Reg;
+        op.reg = r;
+        return op;
+    }
+
+    MemRef mem;
+    if (parseMemRef(s, mem)) {
+        op.kind = Operand::Kind::Mem;
+        op.mem = mem;
+        return op;
+    }
+
+    if (looksLikeLabelName(s)) {
+        op.kind = Operand::Kind::Label;
+        op.label = s;
+        return op;
+    }
+    return std::nullopt;
+}
+
+/** Split an operand list on commas that are not inside parentheses. */
+std::vector<std::string>
+splitOperands(std::string_view s)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string cur;
+    for (char c : s) {
+        if (c == '(')
+            ++depth;
+        else if (c == ')')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.emplace_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    std::string last{trim(cur)};
+    if (!last.empty())
+        out.push_back(std::move(last));
+    return out;
+}
+
+[[noreturn]] void
+syntaxError(size_t line_no, std::string_view line, const std::string &why)
+{
+    fatal("assembly syntax error on line ", line_no, ": ", why, "\n  ",
+          std::string(trim(line)));
+}
+
+/** Map paper-style aliases onto canonical mnemonics. */
+std::string
+canonicalMnemonic(const std::string &m)
+{
+    if (m == "add")
+        return "add.w";
+    if (m == "sub")
+        return "sub.w";
+    if (m == "mul")
+        return "mul.w";
+    if (m == "ld")
+        return "ld.w";
+    if (m == "st")
+        return "st.w";
+    if (m == "lt")
+        return "lt.w";
+    if (m == "le")
+        return "le.w";
+    return m;
+}
+
+} // namespace
+
+bool
+parseMemRef(std::string_view text, MemRef &out)
+{
+    std::string s{trim(text)};
+    if (s.empty())
+        return false;
+
+    MemRef mem;
+
+    // Optional trailing "(aN)".
+    if (s.back() == ')') {
+        size_t open = s.rfind('(');
+        if (open == std::string::npos)
+            return false;
+        std::string reg_text{
+            trim(s.substr(open + 1, s.size() - open - 2))};
+        Reg base;
+        if (!parseReg(reg_text, base) || !base.isAddress())
+            return false;
+        mem.base = base;
+        s = s.substr(0, open);
+    }
+
+    std::string_view body = trim(s);
+    if (body.empty()) {
+        // "(aN)" alone: offset 0, register base only.
+        if (!mem.base.valid())
+            return false;
+        out = mem;
+        return true;
+    }
+
+    // Split "sym+off" / "sym-off" / "sym" / "off".
+    size_t split_pos = std::string_view::npos;
+    for (size_t i = 1; i < body.size(); ++i) {
+        if (body[i] == '+' || body[i] == '-') {
+            split_pos = i;
+            break;
+        }
+    }
+
+    auto is_number = [](std::string_view v) {
+        long dummy;
+        return parseInt(v, dummy);
+    };
+
+    if (split_pos == std::string_view::npos) {
+        if (is_number(body)) {
+            long off = 0;
+            parseInt(body, off);
+            mem.offset = off;
+        } else if (looksLikeLabelName(body)) {
+            mem.symbol = std::string(body);
+        } else {
+            return false;
+        }
+    } else {
+        std::string_view sym = trim(body.substr(0, split_pos));
+        std::string_view off_text = trim(body.substr(split_pos));
+        if (!looksLikeLabelName(sym))
+            return false;
+        long off = 0;
+        if (!parseInt(off_text, off))
+            return false;
+        mem.symbol = std::string(sym);
+        mem.offset = off;
+    }
+
+    // A bare symbol-less offset with no base register is not a valid
+    // memory reference (it would be an immediate).
+    if (mem.symbol.empty() && !mem.base.valid())
+        return false;
+
+    out = mem;
+    return true;
+}
+
+Program
+assemble(std::string_view text)
+{
+    Program prog;
+    size_t line_no = 0;
+    size_t start = 0;
+
+    while (start <= text.size()) {
+        size_t eol = text.find('\n', start);
+        std::string_view raw = (eol == std::string_view::npos)
+                                   ? text.substr(start)
+                                   : text.substr(start, eol - start);
+        start = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+        ++line_no;
+
+        // Strip comment.
+        std::string_view line = raw;
+        size_t semi = line.find(';');
+        std::string comment;
+        if (semi != std::string_view::npos) {
+            comment = std::string(trim(line.substr(semi + 1)));
+            line = line.substr(0, semi);
+        }
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        // Directive.
+        if (line[0] == '.') {
+            auto fields = splitWhitespace(line);
+            if (fields[0] == ".comm") {
+                std::string rest;
+                for (size_t i = 1; i < fields.size(); ++i)
+                    rest += fields[i];
+                auto parts = split(rest, ',');
+                long words = 0;
+                if (parts.size() != 2 || !parseInt(parts[1], words) ||
+                    words <= 0)
+                    syntaxError(line_no, raw, ".comm needs name,words");
+                prog.defineData(parts[0], static_cast<size_t>(words));
+                continue;
+            }
+            syntaxError(line_no, raw,
+                        "unknown directive '" + fields[0] + "'");
+        }
+
+        // Leading labels ("L7: instr" or "L7:" alone).
+        while (true) {
+            size_t colon = line.find(':');
+            if (colon == std::string_view::npos)
+                break;
+            std::string_view name = trim(line.substr(0, colon));
+            if (!looksLikeLabelName(name))
+                syntaxError(line_no, raw, "bad label name");
+            prog.label(std::string(name));
+            line = trim(line.substr(colon + 1));
+        }
+        if (line.empty())
+            continue;
+
+        // Mnemonic and operand list.
+        size_t sp = line.find_first_of(" \t");
+        std::string mnemonic =
+            canonicalMnemonic(toLower(std::string(line.substr(
+                0, sp == std::string_view::npos ? line.size() : sp))));
+        std::string_view rest =
+            sp == std::string_view::npos ? std::string_view{}
+                                         : trim(line.substr(sp));
+
+        auto opc = opcodeFromMnemonic(mnemonic);
+        if (!opc)
+            syntaxError(line_no, raw, "unknown mnemonic '" + mnemonic + "'");
+
+        std::vector<Operand> ops;
+        for (const auto &f : splitOperands(rest)) {
+            auto op = parseOperand(f);
+            if (!op)
+                syntaxError(line_no, raw, "bad operand '" + f + "'");
+            ops.push_back(*op);
+        }
+
+        auto need = [&](size_t n) {
+            if (ops.size() != n)
+                syntaxError(line_no, raw,
+                            format("expected %zu operands, got %zu", n,
+                                   ops.size()));
+        };
+        auto isReg = [&](size_t i) {
+            return ops[i].kind == Operand::Kind::Reg;
+        };
+        auto isMem = [&](size_t i) {
+            return ops[i].kind == Operand::Kind::Mem;
+        };
+        auto isImm = [&](size_t i) {
+            return ops[i].kind == Operand::Kind::Imm;
+        };
+
+        Instruction instr;
+        instr.comment = comment;
+        Opcode op = *opc;
+
+        switch (op) {
+          case Opcode::VLd: {
+            need(2);
+            if (!isMem(0) || !isReg(1))
+                syntaxError(line_no, raw, "ld needs mem,reg");
+            instr.mem = ops[0].mem;
+            instr.dst = ops[1].reg;
+            // "ld.l mem,s0" is a scalar load.
+            instr.op = instr.dst.isVector() ? Opcode::VLd : Opcode::SLd;
+            break;
+          }
+          case Opcode::VSt: {
+            need(2);
+            if (!isReg(0) || !isMem(1))
+                syntaxError(line_no, raw, "st needs reg,mem");
+            instr.src1 = ops[0].reg;
+            instr.mem = ops[1].mem;
+            instr.op = instr.src1.isVector() ? Opcode::VSt : Opcode::SSt;
+            break;
+          }
+          case Opcode::VLdS: {
+            need(3);
+            if (!isMem(0) || !isReg(1) || !isReg(2))
+                syntaxError(line_no, raw, "lds needs mem,sK,vN");
+            instr.op = op;
+            instr.mem = ops[0].mem;
+            instr.src1 = ops[1].reg;
+            instr.dst = ops[2].reg;
+            break;
+          }
+          case Opcode::VStS: {
+            need(3);
+            if (!isReg(0) || !isReg(1) || !isMem(2))
+                syntaxError(line_no, raw, "sts needs vN,sK,mem");
+            instr.op = op;
+            instr.src1 = ops[0].reg;
+            instr.src2 = ops[1].reg;
+            instr.mem = ops[2].mem;
+            break;
+          }
+          // The scalar FP opcodes share the ".d" mnemonics, so the
+          // mnemonic lookup resolves to the vector enumerators; the
+          // handler below re-dispatches on the operand classes.
+          case Opcode::SFAdd:
+          case Opcode::SFSub:
+          case Opcode::SFMul:
+          case Opcode::SFDiv:
+            switch (op) {
+              case Opcode::SFAdd:
+                op = Opcode::VAdd;
+                break;
+              case Opcode::SFSub:
+                op = Opcode::VSub;
+                break;
+              case Opcode::SFMul:
+                op = Opcode::VMul;
+                break;
+              default:
+                op = Opcode::VDiv;
+                break;
+            }
+            [[fallthrough]];
+          case Opcode::VAdd:
+          case Opcode::VSub:
+          case Opcode::VMul:
+          case Opcode::VDiv: {
+            need(3);
+            if (!isReg(0) || !isReg(1) || !isReg(2))
+                syntaxError(line_no, raw, "arithmetic needs 3 registers");
+            instr.src1 = ops[0].reg;
+            instr.src2 = ops[1].reg;
+            instr.dst = ops[2].reg;
+            // "add.d s1,s2,s3" is the ASU's scalar FP form.
+            if (!instr.src1.isVector() && !instr.src2.isVector() &&
+                !instr.dst.isVector()) {
+                switch (op) {
+                  case Opcode::VAdd:
+                    instr.op = Opcode::SFAdd;
+                    break;
+                  case Opcode::VSub:
+                    instr.op = Opcode::SFSub;
+                    break;
+                  case Opcode::VMul:
+                    instr.op = Opcode::SFMul;
+                    break;
+                  default:
+                    instr.op = Opcode::SFDiv;
+                    break;
+                }
+            } else {
+                instr.op = op;
+            }
+            break;
+          }
+          case Opcode::VNeg:
+          case Opcode::VSum: {
+            need(2);
+            if (!isReg(0) || !isReg(1))
+                syntaxError(line_no, raw, "needs 2 registers");
+            instr.op = op;
+            instr.src1 = ops[0].reg;
+            instr.dst = ops[1].reg;
+            break;
+          }
+          case Opcode::SLd: {
+            need(2);
+            if (!isMem(0) || !isReg(1))
+                syntaxError(line_no, raw, "ld.w needs mem,reg");
+            instr.op = ops[1].reg.isVector() ? Opcode::VLd : Opcode::SLd;
+            instr.mem = ops[0].mem;
+            instr.dst = ops[1].reg;
+            break;
+          }
+          case Opcode::SSt: {
+            need(2);
+            if (!isReg(0) || !isMem(1))
+                syntaxError(line_no, raw, "st.w needs reg,mem");
+            instr.op = ops[0].reg.isVector() ? Opcode::VSt : Opcode::SSt;
+            instr.src1 = ops[0].reg;
+            instr.mem = ops[1].mem;
+            break;
+          }
+          case Opcode::SAdd:
+          case Opcode::SSub:
+          case Opcode::SMul: {
+            instr.op = op;
+            if (ops.size() == 2) {
+                // Two-operand increment: add.w #imm,rD or add.w rS,rD.
+                if (isImm(0) && isReg(1)) {
+                    instr.imm = ops[0].imm;
+                    instr.hasImm = true;
+                    instr.dst = ops[1].reg;
+                } else if (isReg(0) && isReg(1)) {
+                    instr.src1 = ops[0].reg;
+                    instr.dst = ops[1].reg;
+                } else {
+                    syntaxError(line_no, raw, "bad scalar ALU operands");
+                }
+            } else {
+                need(3);
+                if (!isReg(1) || !isReg(2))
+                    syntaxError(line_no, raw, "bad scalar ALU operands");
+                if (isImm(0)) {
+                    instr.imm = ops[0].imm;
+                    instr.hasImm = true;
+                } else if (isReg(0)) {
+                    instr.src1 = ops[0].reg;
+                } else {
+                    syntaxError(line_no, raw, "bad scalar ALU operands");
+                }
+                instr.src2 = ops[1].reg;
+                instr.dst = ops[2].reg;
+            }
+            break;
+          }
+          case Opcode::SMov: {
+            need(2);
+            instr.op = op;
+            if (isImm(0)) {
+                instr.imm = ops[0].imm;
+                instr.hasImm = true;
+            } else if (isReg(0)) {
+                instr.src1 = ops[0].reg;
+            } else {
+                syntaxError(line_no, raw, "mov needs reg/#imm source");
+            }
+            if (!isReg(1))
+                syntaxError(line_no, raw, "mov needs register destination");
+            instr.dst = ops[1].reg;
+            break;
+          }
+          case Opcode::SLt:
+          case Opcode::SLe: {
+            need(2);
+            instr.op = op;
+            if (isImm(0)) {
+                instr.imm = ops[0].imm;
+                instr.hasImm = true;
+            } else if (isReg(0)) {
+                instr.src1 = ops[0].reg;
+            } else {
+                syntaxError(line_no, raw, "compare needs reg/#imm");
+            }
+            if (!isReg(1))
+                syntaxError(line_no, raw, "compare needs register");
+            instr.src2 = ops[1].reg;
+            break;
+          }
+          case Opcode::BrT:
+          case Opcode::BrF:
+          case Opcode::Jmp: {
+            need(1);
+            // A bare identifier lexes as a symbol-only memory operand;
+            // in branch position it is the target label.
+            if (ops[0].kind == Operand::Kind::Label) {
+                instr.target = ops[0].label;
+            } else if (ops[0].kind == Operand::Kind::Mem &&
+                       !ops[0].mem.base.valid() &&
+                       ops[0].mem.offset == 0 &&
+                       !ops[0].mem.symbol.empty()) {
+                instr.target = ops[0].mem.symbol;
+            } else {
+                syntaxError(line_no, raw, "branch needs a label");
+            }
+            instr.op = op;
+            break;
+          }
+          case Opcode::Nop:
+            need(0);
+            instr.op = op;
+            break;
+        }
+
+        prog.append(std::move(instr));
+    }
+
+    prog.validate();
+    return prog;
+}
+
+} // namespace macs::isa

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Two-pass assembler for the textual Convex-style assembly used in the
+ * paper's listings.
+ *
+ * Accepted syntax (one item per line, ';' starts a comment):
+ *
+ *   .comm name,words          declare a data region of 64-bit words
+ *   label:                    attach a label (may share a line with an
+ *                             instruction)
+ *   mnemonic op1,op2,...      instruction
+ *
+ * Operands:
+ *   v0..v7, s0..s7, a0..a7, VL    registers
+ *   #123, #-4, #0x10              immediates
+ *   sym+off(aN), off(aN), sym     memory references (byte offsets)
+ *
+ * The paper's unsuffixed scalar forms ("add #1024,a5") are accepted as
+ * aliases of add.w/sub.w/mul.w/ld.w/st.w; "ld.l"/"st.l" with a scalar
+ * or address register operand are likewise treated as scalar accesses.
+ */
+
+#ifndef MACS_ISA_PARSER_H
+#define MACS_ISA_PARSER_H
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.h"
+
+namespace macs::isa {
+
+/**
+ * Assemble @p text into a Program.
+ *
+ * fatal() with a line-numbered message on the first syntax error. The
+ * returned program has been validate()d.
+ */
+Program assemble(std::string_view text);
+
+/**
+ * Parse a single memory operand ("sym+off(aN)").
+ * @retval true on success
+ */
+bool parseMemRef(std::string_view text, MemRef &out);
+
+} // namespace macs::isa
+
+#endif // MACS_ISA_PARSER_H

@@ -1,0 +1,160 @@
+#include "isa/program.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace macs::isa {
+
+size_t
+Program::append(Instruction instr)
+{
+    instrs_.push_back(std::move(instr));
+    return instrs_.size() - 1;
+}
+
+void
+Program::label(const std::string &name)
+{
+    auto [it, inserted] = labels_.emplace(name, instrs_.size());
+    if (!inserted)
+        fatal("duplicate label '", name, "'");
+}
+
+void
+Program::defineData(const std::string &name, size_t words)
+{
+    if (hasDataSymbol(name))
+        fatal("duplicate data symbol '", name, "'");
+    symbols_.push_back({name, words});
+}
+
+size_t
+Program::labelIndex(const std::string &name) const
+{
+    auto it = labels_.find(name);
+    if (it == labels_.end())
+        fatal("unknown label '", name, "'");
+    return it->second;
+}
+
+bool
+Program::hasLabel(const std::string &name) const
+{
+    return labels_.count(name) != 0;
+}
+
+bool
+Program::hasDataSymbol(const std::string &name) const
+{
+    return std::any_of(symbols_.begin(), symbols_.end(),
+                       [&](const DataSymbol &s) { return s.name == name; });
+}
+
+std::pair<size_t, size_t>
+Program::innerLoopRange() const
+{
+    // Scan backwards for a conditional branch whose target precedes it.
+    for (size_t i = instrs_.size(); i-- > 0;) {
+        const Instruction &in = instrs_[i];
+        if ((in.op == Opcode::BrT || in.op == Opcode::BrF) &&
+            hasLabel(in.target)) {
+            size_t tgt = labelIndex(in.target);
+            if (tgt <= i)
+                return {tgt, i + 1};
+        }
+    }
+    fatal("program has no backward conditional branch (no inner loop)");
+}
+
+std::span<const Instruction>
+Program::innerLoop() const
+{
+    auto [begin, end] = innerLoopRange();
+    return {instrs_.data() + begin, end - begin};
+}
+
+void
+Program::validate() const
+{
+    for (size_t i = 0; i < instrs_.size(); ++i) {
+        const Instruction &in = instrs_[i];
+        auto where = [&] {
+            return " at instruction " + std::to_string(i) + " (" +
+                   in.toString() + ")";
+        };
+
+        if (in.isBranch() && !hasLabel(in.target))
+            fatal("undefined branch target '", in.target, "'", where());
+
+        bool has_mem = in.op == Opcode::VLd || in.op == Opcode::VLdS ||
+                       in.op == Opcode::VSt || in.op == Opcode::VStS ||
+                       in.op == Opcode::SLd || in.op == Opcode::SSt;
+        if (has_mem) {
+            if (!in.mem.symbol.empty() && !hasDataSymbol(in.mem.symbol))
+                fatal("undefined data symbol '", in.mem.symbol, "'",
+                      where());
+            if (in.mem.symbol.empty() && !in.mem.base.valid())
+                fatal("memory operand needs a symbol or base register",
+                      where());
+        }
+
+        switch (in.op) {
+          case Opcode::VLd:
+          case Opcode::VLdS:
+            if (!in.dst.isVector())
+                fatal("vector load needs a v destination", where());
+            break;
+          case Opcode::VSt:
+          case Opcode::VStS:
+            if (!in.src1.isVector())
+                fatal("vector store needs a v source", where());
+            break;
+          case Opcode::VAdd:
+          case Opcode::VSub:
+          case Opcode::VMul:
+          case Opcode::VDiv:
+            if (!in.dst.isVector() ||
+                !(in.src1.isVector() || in.src2.isVector()))
+                fatal("vector arithmetic needs a v destination and at "
+                      "least one v source", where());
+            break;
+          case Opcode::VNeg:
+            if (!in.dst.isVector() || !in.src1.isVector())
+                fatal("neg.d needs v source and destination", where());
+            break;
+          case Opcode::VSum:
+            if (!in.dst.isScalar() || !in.src1.isVector())
+                fatal("sum.d reduces a v register into an s register",
+                      where());
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+std::string
+Program::toString() const
+{
+    // Invert the label map: index -> labels.
+    std::map<size_t, std::vector<std::string>> at;
+    for (const auto &[name, idx] : labels_)
+        at[idx].push_back(name);
+
+    std::ostringstream os;
+    for (const auto &sym : symbols_)
+        os << ".comm " << sym.name << ',' << sym.words << '\n';
+    for (size_t i = 0; i <= instrs_.size(); ++i) {
+        auto it = at.find(i);
+        if (it != at.end())
+            for (const auto &name : it->second)
+                os << name << ":\n";
+        if (i < instrs_.size())
+            os << "    " << instrs_[i].toString() << '\n';
+    }
+    return os.str();
+}
+
+} // namespace macs::isa

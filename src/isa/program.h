@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Program container: an instruction sequence with labels and data
+ * symbols, plus queries used by the analysis layers (inner-loop
+ * extraction, validation, pretty printing).
+ */
+
+#ifndef MACS_ISA_PROGRAM_H
+#define MACS_ISA_PROGRAM_H
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace macs::isa {
+
+/** A named data region of @p words 64-bit words in simulated memory. */
+struct DataSymbol
+{
+    std::string name;
+    size_t words = 0;
+};
+
+/**
+ * An assembled program.
+ *
+ * Labels attach to the instruction index that follows them. Data
+ * symbols name arrays; the simulator lays them out contiguously in
+ * declaration order (8-byte words) and resolves MemRef::symbol against
+ * that layout.
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** Append an instruction; returns its index. */
+    size_t append(Instruction instr);
+
+    /** Attach @p name to the next appended instruction. */
+    void label(const std::string &name);
+
+    /** Declare a data region. Re-declaring an existing name is fatal. */
+    void defineData(const std::string &name, size_t words);
+
+    const std::vector<Instruction> &instrs() const { return instrs_; }
+    std::vector<Instruction> &instrs() { return instrs_; }
+    const std::vector<DataSymbol> &dataSymbols() const { return symbols_; }
+    const std::map<std::string, size_t> &labels() const { return labels_; }
+
+    bool empty() const { return instrs_.empty(); }
+    size_t size() const { return instrs_.size(); }
+
+    /** Index of @p name; fatal() when the label is unknown. */
+    size_t labelIndex(const std::string &name) const;
+
+    /** True when @p name labels an instruction. */
+    bool hasLabel(const std::string &name) const;
+
+    /** True when @p name names a data region. */
+    bool hasDataSymbol(const std::string &name) const;
+
+    /**
+     * Instructions of the innermost loop body.
+     *
+     * The innermost loop is identified as the last backward conditional
+     * branch in the program together with its target: the body is
+     * [target, branch] inclusive. fatal() when the program has no
+     * backward conditional branch.
+     */
+    std::span<const Instruction> innerLoop() const;
+
+    /** Like innerLoop(), but returns {begin, end} instruction indices
+     *  (end exclusive). */
+    std::pair<size_t, size_t> innerLoopRange() const;
+
+    /**
+     * Check structural invariants: branch targets resolve, memory
+     * symbols are declared, register operand classes match opcode
+     * signatures. fatal() with a description on the first violation.
+     */
+    void validate() const;
+
+    /** Render the program as assembly text. */
+    std::string toString() const;
+
+  private:
+    std::vector<Instruction> instrs_;
+    std::map<std::string, size_t> labels_;
+    std::vector<DataSymbol> symbols_;
+};
+
+} // namespace macs::isa
+
+#endif // MACS_ISA_PROGRAM_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Register model for the Convex C-240 style ISA.
+ *
+ * The vector processor has eight vector registers v0..v7 of 128
+ * 64-bit elements. The registers are organized as four *pairs*
+ * {v0,v4}, {v1,v5}, {v2,v6}, {v3,v7}; during a single chime at most two
+ * reads and one write may target each pair (paper section 3.3).
+ *
+ * The address/scalar unit has eight scalar registers s0..s7 and eight
+ * address registers a0..a7, plus the special vector-length register VL.
+ */
+
+#ifndef MACS_ISA_REGISTERS_H
+#define MACS_ISA_REGISTERS_H
+
+#include <string>
+
+namespace macs::isa {
+
+/** Number of vector registers. */
+inline constexpr int kNumVectorRegs = 8;
+/** Number of scalar (s) registers. */
+inline constexpr int kNumScalarRegs = 8;
+/** Number of address (a) registers. */
+inline constexpr int kNumAddressRegs = 8;
+/** Architectural maximum vector length (elements per register). */
+inline constexpr int kMaxVectorLength = 128;
+/** Number of vector register pairs ({v0,v4} ... {v3,v7}). */
+inline constexpr int kNumVectorPairs = 4;
+
+/** Architectural register file a register name belongs to. */
+enum class RegClass
+{
+    None,    ///< operand slot unused
+    Vector,  ///< v0..v7
+    Scalar,  ///< s0..s7
+    Address, ///< a0..a7
+    Vl,      ///< the vector length register
+};
+
+/** A register reference (class + index). */
+struct Reg
+{
+    RegClass cls = RegClass::None;
+    int index = 0;
+
+    constexpr bool valid() const { return cls != RegClass::None; }
+    constexpr bool isVector() const { return cls == RegClass::Vector; }
+    constexpr bool isScalar() const { return cls == RegClass::Scalar; }
+    constexpr bool isAddress() const { return cls == RegClass::Address; }
+
+    constexpr bool
+    operator==(const Reg &o) const
+    {
+        return cls == o.cls && (cls == RegClass::None ||
+                                cls == RegClass::Vl || index == o.index);
+    }
+
+    /**
+     * Vector register pair id in [0, kNumVectorPairs).
+     * @pre isVector()
+     */
+    constexpr int pair() const { return index % kNumVectorPairs; }
+};
+
+/** Construct a vector register reference v<i>. */
+constexpr Reg vreg(int i) { return {RegClass::Vector, i}; }
+/** Construct a scalar register reference s<i>. */
+constexpr Reg sreg(int i) { return {RegClass::Scalar, i}; }
+/** Construct an address register reference a<i>. */
+constexpr Reg areg(int i) { return {RegClass::Address, i}; }
+/** The VL register. */
+constexpr Reg vlreg() { return {RegClass::Vl, 0}; }
+/** An empty operand slot. */
+constexpr Reg noreg() { return {RegClass::None, 0}; }
+
+/** Render a register as assembly text ("v0", "s3", "a5", "VL"). */
+std::string toString(const Reg &r);
+
+/**
+ * Parse a register name.
+ * @retval true on success (result in @p out)
+ */
+bool parseReg(const std::string &text, Reg &out);
+
+} // namespace macs::isa
+
+#endif // MACS_ISA_REGISTERS_H

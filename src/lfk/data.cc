@@ -1,0 +1,60 @@
+#include "lfk/data.h"
+
+#include <cmath>
+
+#include "support/strings.h"
+
+namespace macs::lfk {
+
+std::vector<double>
+testVector(size_t n, uint64_t seed, double lo, double hi)
+{
+    std::vector<double> out(n);
+    uint64_t state = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    for (size_t i = 0; i < n; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        double u = static_cast<double>((state >> 11) & 0xFFFFFFFFFFFFF) /
+                   static_cast<double>(0x10000000000000);
+        out[i] = lo + u * (hi - lo);
+    }
+    return out;
+}
+
+namespace {
+
+bool
+closeEnough(double got, double want, double rel_tol)
+{
+    double mag = std::max(std::abs(got), std::abs(want));
+    return std::abs(got - want) <= rel_tol * std::max(mag, 1.0);
+}
+
+} // namespace
+
+std::string
+compareArray(const sim::Simulator &sim, const std::string &symbol,
+             const std::vector<double> &expected, double rel_tol)
+{
+    auto got = sim.memory().readDoubles(symbol, expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+        if (!closeEnough(got[i], expected[i], rel_tol)) {
+            return format("%s[%zu]: got %.17g, expected %.17g",
+                          symbol.c_str(), i, got[i], expected[i]);
+        }
+    }
+    return {};
+}
+
+std::string
+compareCell(const sim::Simulator &sim, const std::string &symbol,
+            double expected, double rel_tol)
+{
+    double got = sim.memory().readDoubles(symbol, 1)[0];
+    if (!closeEnough(got, expected, rel_tol)) {
+        return format("%s: got %.17g, expected %.17g", symbol.c_str(),
+                      got, expected);
+    }
+    return {};
+}
+
+} // namespace macs::lfk

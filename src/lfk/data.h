@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic input data and output checking helpers for the LFK
+ * workloads. All values are reproducible across runs (fixed LCG seeds)
+ * and sized so that the longest product/recurrence chains stay far from
+ * overflow.
+ */
+
+#ifndef MACS_LFK_DATA_H
+#define MACS_LFK_DATA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace macs::lfk {
+
+/**
+ * Deterministic pseudo-random vector of @p n doubles in
+ * [lo, hi), seeded by @p seed.
+ */
+std::vector<double> testVector(size_t n, uint64_t seed, double lo = 0.1,
+                               double hi = 1.1);
+
+/**
+ * Compare @p expected against the simulator's memory at @p symbol.
+ * @returns empty string when every element matches within relative
+ * tolerance @p rel_tol (with a matching absolute floor); otherwise a
+ * description of the first mismatch.
+ */
+std::string compareArray(const sim::Simulator &sim,
+                         const std::string &symbol,
+                         const std::vector<double> &expected,
+                         double rel_tol = 1e-9);
+
+/** Compare a single memory cell (word 0 of @p symbol). */
+std::string compareCell(const sim::Simulator &sim,
+                        const std::string &symbol, double expected,
+                        double rel_tol = 1e-9);
+
+} // namespace macs::lfk
+
+#endif // MACS_LFK_DATA_H

@@ -1,0 +1,103 @@
+#include "lfk/kernels.h"
+
+#include "support/logging.h"
+
+namespace macs::lfk {
+
+const std::vector<int> &
+lfkIds()
+{
+    static const std::vector<int> ids = {1, 2, 3, 4, 6, 7, 8, 9, 10, 12};
+    return ids;
+}
+
+const std::vector<int> &
+scalarLfkIds()
+{
+    static const std::vector<int> ids = {5, 11};
+    return ids;
+}
+
+Kernel
+makeKernel(int id)
+{
+    switch (id) {
+      case 1:
+        return makeLfk1();
+      case 2:
+        return makeLfk2();
+      case 3:
+        return makeLfk3();
+      case 4:
+        return makeLfk4();
+      case 5:
+        return makeLfk5();
+      case 6:
+        return makeLfk6();
+      case 7:
+        return makeLfk7();
+      case 8:
+        return makeLfk8();
+      case 9:
+        return makeLfk9();
+      case 10:
+        return makeLfk10();
+      case 11:
+        return makeLfk11();
+      case 12:
+        return makeLfk12();
+      default:
+        fatal("LFK", id, " is not part of the case study workload");
+    }
+}
+
+std::vector<Kernel>
+makeAllKernels()
+{
+    std::vector<Kernel> out;
+    out.reserve(lfkIds().size());
+    for (int id : lfkIds())
+        out.push_back(makeKernel(id));
+    return out;
+}
+
+model::KernelCase
+toKernelCase(const Kernel &kernel)
+{
+    model::KernelCase c;
+    c.name = kernel.name;
+    c.program = kernel.program;
+    c.ma = kernel.ma;
+    c.sourceFlopsPerPoint = kernel.flopsPerPoint;
+    c.points = kernel.points;
+    c.setup = kernel.setup;
+    return c;
+}
+
+const char *
+lfk1PaperListing()
+{
+    // Section 3.5 of the paper, with the data symbols of our LFK1
+    // build (byte offsets: ZX(k+10) -> zx+80, ZX(k+11) -> zx+88).
+    return R"(.comm x,1024
+.comm y,1024
+.comm zx,1024
+L7:
+    mov s0,VL
+    ld.l zx+80(a5),v0   ; ZX(k+10)
+    mul.d v0,s1,v1      ; R * ZX(k+10)
+    ld.l zx+88(a5),v2   ; ZX(k+11)
+    mul.d v2,s3,v0      ; T * ZX(k+11)
+    add.d v1,v0,v3
+    ld.l y(a5),v1       ; Y(k)
+    mul.d v1,v3,v2
+    add.d v2,s7,v0      ; + Q
+    st.l v0,x(a5)       ; X(k)
+    add #1024,a5
+    sub #128,s0
+    lt.w #0,s0
+    jbrs.t L7
+)";
+}
+
+} // namespace macs::lfk

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * LFK kernels whose inner loop is a single counted DO loop, compiled
+ * from the loop DSL: LFK 1, 3, 7, 8, 9, 12.
+ */
+
+#include "lfk/kernels.h"
+
+#include <cmath>
+
+#include "compiler/codegen.h"
+#include "compiler/loop_parser.h"
+#include "lfk/data.h"
+#include "support/logging.h"
+
+namespace macs::lfk {
+
+namespace {
+
+using compiler::CompileOptions;
+using compiler::CompileResult;
+
+/** Compile a DSL kernel and fill the program-derived Kernel fields. */
+Kernel
+compileKernel(int id, const std::string &dsl, CompileOptions opt)
+{
+    // (vector or scalar mode per opt.vectorize)
+    compiler::Loop loop = compiler::parseLoop(dsl);
+    CompileResult res = compiler::compile(loop, opt);
+    Kernel k;
+    k.id = id;
+    k.name = "LFK" + std::to_string(id);
+    k.sourceText = dsl;
+    k.ma = res.analysis.ma;
+    k.flopsPerPoint = k.ma.flops();
+    k.points = opt.tripCount;
+    k.program = std::move(res.program);
+    return k;
+}
+
+/** Strip-order accumulation matching VSum semantics. */
+double
+stripSum(const std::vector<double> &terms, double init, int vl = 128)
+{
+    double acc = init;
+    for (size_t base = 0; base < terms.size();
+         base += static_cast<size_t>(vl)) {
+        double partial = 0.0;
+        size_t end =
+            std::min(terms.size(), base + static_cast<size_t>(vl));
+        for (size_t i = base; i < end; ++i)
+            partial += terms[i];
+        acc += partial;
+    }
+    return acc;
+}
+
+} // namespace
+
+Kernel
+makeLfk1()
+{
+    const long n = 990;
+    const double q = 1.5, r = 0.75, t = 0.35;
+
+    CompileOptions opt;
+    opt.tripCount = n;
+    opt.arrays = {{"x", 1024}, {"y", 1024}, {"zx", 1024}};
+    Kernel k = compileKernel(
+        1, "DO k\n x(k) = q + y(k)*(r*zx(k+10) + t*zx(k+11))\nEND", opt);
+    k.description = "hydro fragment";
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("y", testVector(1024, 101));
+        s.memory().fillDoubles("zx", testVector(1024, 102));
+        s.memory().fillDoubles("scalar_q", {q});
+        s.memory().fillDoubles("scalar_r", {r});
+        s.memory().fillDoubles("scalar_t", {t});
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto y = testVector(1024, 101);
+        auto zx = testVector(1024, 102);
+        std::vector<double> expect(n);
+        for (long i = 0; i < n; ++i)
+            expect[i] = q + y[i] * (r * zx[i + 10] + t * zx[i + 11]);
+        return compareArray(s, "x", expect);
+    };
+    return k;
+}
+
+Kernel
+makeLfk3()
+{
+    const long n = 1001;
+    const double q0 = 0.0;
+
+    CompileOptions opt;
+    opt.tripCount = n;
+    opt.arrays = {{"x", 1024}, {"z", 1024}};
+    Kernel k = compileKernel(3, "DO k\n q = q + z(k)*x(k)\nEND", opt);
+    k.description = "inner product";
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("x", testVector(1024, 301));
+        s.memory().fillDoubles("z", testVector(1024, 302));
+        s.memory().fillDoubles("scalar_q", {q0});
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto x = testVector(1024, 301);
+        auto z = testVector(1024, 302);
+        std::vector<double> terms(n);
+        for (long i = 0; i < n; ++i)
+            terms[i] = z[i] * x[i];
+        return compareCell(s, "scalar_q", stripSum(terms, q0));
+    };
+    return k;
+}
+
+Kernel
+makeLfk5()
+{
+    // Tri-diagonal elimination, below diagonal: a true recurrence the
+    // paper's vectorizer must reject; compiled for the scalar unit.
+    const long n = 1000;
+
+    CompileOptions opt;
+    opt.tripCount = n;
+    opt.vectorize = false;
+    opt.arrays = {{"x", 1024}, {"y", 1032}, {"z", 1032}};
+    Kernel k = compileKernel(
+        5, "DO k\n x(k+1) = z(k+1)*(y(k+1) - x(k))\nEND", opt);
+    k.description = "tri-diagonal elimination (scalar recurrence)";
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("x", testVector(1024, 501));
+        s.memory().fillDoubles("y", testVector(1032, 502));
+        s.memory().fillDoubles("z", testVector(1032, 503, 0.2, 0.9));
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto x = testVector(1024, 501);
+        auto y = testVector(1032, 502);
+        auto z = testVector(1032, 503, 0.2, 0.9);
+        for (long i = 0; i < n; ++i)
+            x[i + 1] = z[i + 1] * (y[i + 1] - x[i]);
+        return compareArray(s, "x", x);
+    };
+    return k;
+}
+
+Kernel
+makeLfk11()
+{
+    // First sum (prefix sum): the other excluded recurrence.
+    const long n = 1000;
+
+    CompileOptions opt;
+    opt.tripCount = n;
+    opt.vectorize = false;
+    opt.arrays = {{"x", 1024}, {"y", 1032}};
+    Kernel k =
+        compileKernel(11, "DO k\n x(k+1) = x(k) + y(k+1)\nEND", opt);
+    k.description = "first sum (scalar recurrence)";
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("x", testVector(1024, 1101));
+        s.memory().fillDoubles("y", testVector(1032, 1102));
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto x = testVector(1024, 1101);
+        auto y = testVector(1032, 1102);
+        for (long i = 0; i < n; ++i)
+            x[i + 1] = x[i] + y[i + 1];
+        return compareArray(s, "x", x);
+    };
+    return k;
+}
+
+Kernel
+makeLfk7()
+{
+    const long n = 990;
+    const double q = 0.5, r = 0.75, t = 0.35;
+
+    CompileOptions opt;
+    opt.tripCount = n;
+    opt.arrays = {
+        {"x", 1024}, {"y", 1024}, {"z", 1024}, {"u", 1024}};
+    Kernel k = compileKernel(
+        7,
+        "DO k\n"
+        " x(k) = u(k) + r*(z(k) + r*y(k))"
+        " + t*(u(k+3) + r*(u(k+2) + r*u(k+1))"
+        " + t*(u(k+6) + q*(u(k+5) + q*u(k+4))))\n"
+        "END",
+        opt);
+    k.description = "equation of state fragment";
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("y", testVector(1024, 701));
+        s.memory().fillDoubles("z", testVector(1024, 702));
+        s.memory().fillDoubles("u", testVector(1024, 703));
+        s.memory().fillDoubles("scalar_q", {q});
+        s.memory().fillDoubles("scalar_r", {r});
+        s.memory().fillDoubles("scalar_t", {t});
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto y = testVector(1024, 701);
+        auto z = testVector(1024, 702);
+        auto u = testVector(1024, 703);
+        std::vector<double> expect(n);
+        for (long i = 0; i < n; ++i) {
+            expect[i] =
+                u[i] + r * (z[i] + r * y[i]) +
+                t * (u[i + 3] + r * (u[i + 2] + r * u[i + 1]) +
+                     t * (u[i + 6] + q * (u[i + 5] + q * u[i + 4])));
+        }
+        return compareArray(s, "x", expect);
+    };
+    return k;
+}
+
+Kernel
+makeLfk8()
+{
+    // One kx sweep of the ADI kernel: ky = 2..100 on u(5,101,2)
+    // column-major planes, kx = 2. The u*n symbols are the nl1 plane,
+    // u*m the nl2 plane; indices are (kx-1) + 5*(ky-1) = 5k+6 at
+    // ky = k+2.
+    const long trip = 99;
+    const double a11 = 0.10, a12 = 0.15, a13 = 0.20;
+    const double a21 = 0.12, a22 = 0.17, a23 = 0.22;
+    const double a31 = 0.14, a32 = 0.19, a33 = 0.24;
+    const double sig = 0.25;
+
+    CompileOptions opt;
+    opt.tripCount = trip;
+    opt.arrays = {{"u1n", 512}, {"u2n", 512}, {"u3n", 512},
+                  {"u1m", 512}, {"u2m", 512}, {"u3m", 512},
+                  {"du1", 128}, {"du2", 128}, {"du3", 128}};
+    Kernel k = compileKernel(
+        8,
+        "DO k\n"
+        " du1(k+1) = u1n(5*k+11) - u1n(5*k+1)\n"
+        " du2(k+1) = u2n(5*k+11) - u2n(5*k+1)\n"
+        " du3(k+1) = u3n(5*k+11) - u3n(5*k+1)\n"
+        " u1m(5*k+6) = u1n(5*k+6) + a11*du1(k+1) + a12*du2(k+1)"
+        " + a13*du3(k+1)"
+        " + sig*(u1n(5*k+7) - 2.0*u1n(5*k+6) + u1n(5*k+5))\n"
+        " u2m(5*k+6) = u2n(5*k+6) + a21*du1(k+1) + a22*du2(k+1)"
+        " + a23*du3(k+1)"
+        " + sig*(u2n(5*k+7) - 2.0*u2n(5*k+6) + u2n(5*k+5))\n"
+        " u3m(5*k+6) = u3n(5*k+6) + a31*du1(k+1) + a32*du2(k+1)"
+        " + a33*du3(k+1)"
+        " + sig*(u3n(5*k+7) - 2.0*u3n(5*k+6) + u3n(5*k+5))\n"
+        "END",
+        opt);
+    k.description = "ADI integration (one kx sweep)";
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("u1n", testVector(512, 801));
+        s.memory().fillDoubles("u2n", testVector(512, 802));
+        s.memory().fillDoubles("u3n", testVector(512, 803));
+        for (const char *name :
+             {"scalar_a11", "scalar_a12", "scalar_a13", "scalar_a21",
+              "scalar_a22", "scalar_a23", "scalar_a31", "scalar_a32",
+              "scalar_a33", "scalar_sig"}) {
+            double v = 0.0;
+            std::string n2 = name;
+            if (n2 == "scalar_a11") v = a11;
+            else if (n2 == "scalar_a12") v = a12;
+            else if (n2 == "scalar_a13") v = a13;
+            else if (n2 == "scalar_a21") v = a21;
+            else if (n2 == "scalar_a22") v = a22;
+            else if (n2 == "scalar_a23") v = a23;
+            else if (n2 == "scalar_a31") v = a31;
+            else if (n2 == "scalar_a32") v = a32;
+            else if (n2 == "scalar_a33") v = a33;
+            else v = sig;
+            s.memory().fillDoubles(name, {v});
+        }
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto u1 = testVector(512, 801);
+        auto u2 = testVector(512, 802);
+        auto u3 = testVector(512, 803);
+        std::vector<double> du1(trip), du2(trip), du3(trip);
+        std::vector<double> m1(trip), m2(trip), m3(trip);
+        for (long i = 0; i < trip; ++i) {
+            du1[i] = u1[5 * i + 11] - u1[5 * i + 1];
+            du2[i] = u2[5 * i + 11] - u2[5 * i + 1];
+            du3[i] = u3[5 * i + 11] - u3[5 * i + 1];
+            m1[i] = u1[5 * i + 6] + a11 * du1[i] + a12 * du2[i] +
+                    a13 * du3[i] +
+                    sig * (u1[5 * i + 7] - 2.0 * u1[5 * i + 6] +
+                           u1[5 * i + 5]);
+            m2[i] = u2[5 * i + 6] + a21 * du1[i] + a22 * du2[i] +
+                    a23 * du3[i] +
+                    sig * (u2[5 * i + 7] - 2.0 * u2[5 * i + 6] +
+                           u2[5 * i + 5]);
+            m3[i] = u3[5 * i + 6] + a31 * du1[i] + a32 * du2[i] +
+                    a33 * du3[i] +
+                    sig * (u3[5 * i + 7] - 2.0 * u3[5 * i + 6] +
+                           u3[5 * i + 5]);
+        }
+        // du arrays are written at index k+1 and m-planes at 5k+6.
+        auto got_du1 = s.memory().readDoubles("du1", trip, 1);
+        for (long i = 0; i < trip; ++i)
+            if (std::abs(got_du1[i] - du1[i]) > 1e-9)
+                return std::string("du1 mismatch at ") +
+                       std::to_string(i);
+        for (long i = 0; i < trip; ++i) {
+            double g1 = s.memory().readDoubles("u1m", 1, 5 * i + 6)[0];
+            double g2 = s.memory().readDoubles("u2m", 1, 5 * i + 6)[0];
+            double g3 = s.memory().readDoubles("u3m", 1, 5 * i + 6)[0];
+            if (std::abs(g1 - m1[i]) > 1e-9 ||
+                std::abs(g2 - m2[i]) > 1e-9 ||
+                std::abs(g3 - m3[i]) > 1e-9)
+                return std::string("u*m mismatch at ") +
+                       std::to_string(i);
+        }
+        return std::string();
+    };
+    return k;
+}
+
+Kernel
+makeLfk9()
+{
+    // Integrate predictors: px(25,101), i is the loop variable, row
+    // indices fixed; element (j, i) maps to px[25*(i-1) + (j-1)],
+    // i.e., px(25k + j-1) at 0-based k.
+    const long n = 101;
+    const double c0 = 1.2, dm22 = 0.11, dm23 = 0.13, dm24 = 0.17,
+                 dm25 = 0.19, dm26 = 0.23, dm27 = 0.29, dm28 = 0.31;
+
+    CompileOptions opt;
+    opt.tripCount = n;
+    opt.arrays = {{"px", 2560}};
+    Kernel k = compileKernel(
+        9,
+        "DO k\n"
+        " px(25*k) = dm28*px(25*k+12) + dm27*px(25*k+11)"
+        " + dm26*px(25*k+10) + dm25*px(25*k+9) + dm24*px(25*k+8)"
+        " + dm23*px(25*k+7) + dm22*px(25*k+6)"
+        " + c0*(px(25*k+4) + px(25*k+5)) + px(25*k+2)\n"
+        "END",
+        opt);
+    k.description = "integrate predictors";
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("px", testVector(2560, 901));
+        s.memory().fillDoubles("scalar_c0", {c0});
+        s.memory().fillDoubles("scalar_dm22", {dm22});
+        s.memory().fillDoubles("scalar_dm23", {dm23});
+        s.memory().fillDoubles("scalar_dm24", {dm24});
+        s.memory().fillDoubles("scalar_dm25", {dm25});
+        s.memory().fillDoubles("scalar_dm26", {dm26});
+        s.memory().fillDoubles("scalar_dm27", {dm27});
+        s.memory().fillDoubles("scalar_dm28", {dm28});
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto px = testVector(2560, 901);
+        for (long i = 0; i < n; ++i) {
+            double expect =
+                dm28 * px[25 * i + 12] + dm27 * px[25 * i + 11] +
+                dm26 * px[25 * i + 10] + dm25 * px[25 * i + 9] +
+                dm24 * px[25 * i + 8] + dm23 * px[25 * i + 7] +
+                dm22 * px[25 * i + 6] +
+                c0 * (px[25 * i + 4] + px[25 * i + 5]) + px[25 * i + 2];
+            double got = s.memory().readDoubles("px", 1, 25 * i)[0];
+            if (std::abs(got - expect) > 1e-9)
+                return std::string("px mismatch at ") + std::to_string(i);
+        }
+        return std::string();
+    };
+    return k;
+}
+
+Kernel
+makeLfk12()
+{
+    const long n = 1000;
+
+    CompileOptions opt;
+    opt.tripCount = n;
+    opt.arrays = {{"x", 1024}, {"y", 1032}};
+    Kernel k = compileKernel(12, "DO k\n x(k) = y(k+1) - y(k)\nEND", opt);
+    k.description = "first difference";
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("y", testVector(1032, 1201));
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto y = testVector(1032, 1201);
+        std::vector<double> expect(n);
+        for (long i = 0; i < n; ++i)
+            expect[i] = y[i + 1] - y[i];
+        return compareArray(s, "x", expect);
+    };
+    return k;
+}
+
+} // namespace macs::lfk

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * LFK kernels with irregular outer structure, hand-assembled in the
+ * style the fc compiler produced: LFK 2 (ICCG halving passes), LFK 4
+ * (banded linear equations), LFK 6 (triangular recurrence sweeps), and
+ * LFK 10 (difference predictors with register-carried chains).
+ *
+ * Outer-loop state (pass lengths and base addresses) is table-driven:
+ * the builders precompute per-pass tables into data symbols and the
+ * assembly walks them with scalar loads, reproducing the real kernels'
+ * outer-loop and scalar overhead.
+ */
+
+#include "lfk/kernels.h"
+
+#include <cmath>
+
+#include "lfk/data.h"
+#include "support/logging.h"
+
+namespace macs::lfk {
+
+namespace {
+
+using isa::areg;
+using isa::makeBranch;
+using isa::makeCmpImm;
+using isa::makeMov;
+using isa::makeMovImm;
+using isa::makeSAddImm;
+using isa::makeSLoad;
+using isa::makeSStore;
+using isa::makeSSubImm;
+using isa::makeVBinary;
+using isa::makeVLoad;
+using isa::makeVLoadStrided;
+using isa::makeVNeg;
+using isa::makeVStore;
+using isa::makeVStoreStrided;
+using isa::makeVSum;
+using isa::MemRef;
+using isa::Opcode;
+using isa::sreg;
+using isa::vlreg;
+using isa::vreg;
+
+/** mem helper: sym+byte_offset(aN). */
+MemRef
+mem(const std::string &sym, long byte_offset, int a = -1)
+{
+    return MemRef{sym, byte_offset, a < 0 ? isa::noreg() : areg(a)};
+}
+
+/** Append the canonical strip-loop tail (advance, count, branch). */
+void
+stripTail(isa::Program &p, const std::string &label,
+          const std::vector<std::pair<int, long>> &advances)
+{
+    for (auto [a, bytes] : advances)
+        p.append(makeSAddImm(bytes, areg(a)));
+    p.append(makeSSubImm(128, sreg(0)));
+    p.append(makeCmpImm(Opcode::SLt, 0, sreg(0)));
+    p.append(makeBranch(Opcode::BrT, label));
+}
+
+} // namespace
+
+Kernel
+makeLfk2()
+{
+    // ICCG excerpt: halving passes over x, stride-2 gathers, compacted
+    // unit-stride result region.
+    const long n = 101;
+
+    struct Pass
+    {
+        long count;
+        long k0; ///< 0-based first source index
+        long i0; ///< 0-based first destination index
+    };
+    std::vector<Pass> passes;
+    long ii = n, ipntp = 0;
+    do {
+        long ipnt = ipntp;
+        ipntp += ii;
+        ii /= 2;
+        long count = (ipntp - (ipnt + 2)) / 2 + 1;
+        passes.push_back({count, ipnt + 1, ipntp + 1});
+    } while (ii > 1);
+
+    long total_points = 0;
+    for (const auto &p : passes)
+        total_points += p.count;
+
+    isa::Program prog;
+    prog.defineData("x", 256);
+    prog.defineData("zv", 256);
+    size_t tab = passes.size() + 1;
+    prog.defineData("passlen", tab);
+    prog.defineData("passk", tab);
+    prog.defineData("passi", tab);
+
+    prog.append(makeMovImm(2, sreg(1))); // gather stride (words)
+    prog.append(makeMovImm(0, areg(7)));
+    prog.label("LP");
+    prog.append(makeSLoad(mem("passlen", 0, 7), sreg(2)));
+    prog.append(makeCmpImm(Opcode::SLt, 0, sreg(2)));
+    prog.append(makeBranch(Opcode::BrF, "DONE"));
+    prog.append(makeSLoad(mem("passk", 0, 7), areg(1)));
+    prog.append(makeSLoad(mem("passi", 0, 7), areg(3)));
+    prog.append(makeMov(sreg(2), sreg(0)));
+    prog.label("LS");
+    prog.append(makeMov(sreg(0), vlreg()));
+    prog.append(makeVLoadStrided(mem("x", -8, 1), sreg(1), vreg(1)));
+    prog.append(makeVLoadStrided(mem("zv", 0, 1), sreg(1), vreg(2)));
+    prog.append(makeVBinary(Opcode::VMul, vreg(2), vreg(1), vreg(3)));
+    prog.append(makeVLoadStrided(mem("x", 0, 1), sreg(1), vreg(0)));
+    prog.append(makeVBinary(Opcode::VSub, vreg(0), vreg(3), vreg(4)));
+    prog.append(makeVLoadStrided(mem("x", 8, 1), sreg(1), vreg(5)));
+    prog.append(makeVLoadStrided(mem("zv", 8, 1), sreg(1), vreg(6)));
+    prog.append(makeVBinary(Opcode::VMul, vreg(6), vreg(5), vreg(7)));
+    prog.append(makeVBinary(Opcode::VSub, vreg(4), vreg(7), vreg(1)));
+    prog.append(makeVStore(vreg(1), mem("x", 0, 3)));
+    stripTail(prog, "LS", {{1, 2048}, {3, 1024}});
+    prog.append(makeSAddImm(8, areg(7)));
+    prog.append(makeBranch(Opcode::Jmp, "LP"));
+    prog.label("DONE");
+    prog.append(isa::Instruction{}); // nop
+    prog.validate();
+
+    Kernel k;
+    k.id = 2;
+    k.name = "LFK2";
+    k.description = "ICCG: incomplete Cholesky conjugate gradient";
+    k.sourceText =
+        "do: ipnt=ipntp; ipntp=ipntp+ii; ii=ii/2; i=ipntp\n"
+        "    DO k = ipnt+2, ipntp, 2\n"
+        "      i = i+1\n"
+        "      X(i) = X(k) - V(k)*X(k-1) - V(k+1)*X(k+1)\n"
+        "while ii > 1";
+    k.ma = {2, 2, 4, 1}; // 2 subs, 2 muls; 4 streams + compacted store
+    k.flopsPerPoint = 4;
+    k.points = total_points;
+    k.program = std::move(prog);
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("x", testVector(256, 201, 0.2, 0.8));
+        s.memory().fillDoubles("zv", testVector(256, 202, 0.1, 0.4));
+        std::vector<int64_t> len, kb, ib;
+        for (const auto &p : passes) {
+            len.push_back(p.count);
+            kb.push_back(p.k0 * 8);
+            ib.push_back(p.i0 * 8);
+        }
+        len.push_back(0);
+        kb.push_back(0);
+        ib.push_back(0);
+        s.memory().fillWords("passlen", len);
+        s.memory().fillWords("passk", kb);
+        s.memory().fillWords("passi", ib);
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto x = testVector(256, 201, 0.2, 0.8);
+        auto zv = testVector(256, 202, 0.1, 0.4);
+        for (const auto &p : passes) {
+            for (long j = 0; j < p.count; ++j) {
+                long kk = p.k0 + 2 * j;
+                x[p.i0 + j] = x[kk] - zv[kk] * x[kk - 1] -
+                              zv[kk + 1] * x[kk + 1];
+            }
+        }
+        return compareArray(s, "x", x);
+    };
+    return k;
+}
+
+Kernel
+makeLfk4()
+{
+    // Banded linear equations: three bands, each a strided inner
+    // product of length 200 folded into a scalar, then a single
+    // element update via a VL=1 tail.
+    const long n = 1001;
+    const long band_len = 200;
+    const long m = (n - 7) / 2; // 497
+    const std::vector<long> band_k = {7, 7 + m, 7 + 2 * m}; // 1-based
+
+    isa::Program prog;
+    prog.defineData("x", 1024);
+    prog.defineData("y", 1024);
+    prog.defineData("xz", 1280);
+    prog.defineData("bandlen", 4);
+    prog.defineData("bandx", 4);
+    prog.defineData("bandxz", 4);
+
+    prog.append(makeMovImm(5, sreg(1))); // y stride (words)
+    prog.append(makeMovImm(0, areg(7)));
+    prog.label("LP");
+    prog.append(makeSLoad(mem("bandlen", 0, 7), sreg(2)));
+    prog.append(makeCmpImm(Opcode::SLt, 0, sreg(2)));
+    prog.append(makeBranch(Opcode::BrF, "DONE"));
+    prog.append(makeSLoad(mem("bandx", 0, 7), areg(4)));
+    prog.append(makeSLoad(mem("bandxz", 0, 7), areg(1)));
+    prog.append(makeMovImm(0, areg(2)));
+    prog.append(makeSLoad(mem("x", 0, 4), sreg(3))); // temp = X(k-1)
+    prog.append(makeMov(sreg(2), sreg(0)));
+    prog.label("LS");
+    prog.append(makeMov(sreg(0), vlreg()));
+    prog.append(makeVLoad(mem("xz", 0, 1), vreg(0)));
+    prog.append(makeVLoadStrided(mem("y", 32, 2), sreg(1), vreg(1)));
+    prog.append(makeVBinary(Opcode::VMul, vreg(0), vreg(1), vreg(2)));
+    prog.append(makeVNeg(vreg(2), vreg(3)));
+    prog.append(makeVSum(vreg(3), sreg(3)));
+    stripTail(prog, "LS", {{1, 1024}, {2, 5120}});
+    // Tail: X(k-1) = Y(5) * temp, executed at VL = 1.
+    prog.append(makeMovImm(1, sreg(4)));
+    prog.append(makeMov(sreg(4), vlreg()));
+    prog.append(makeVLoad(mem("y", 32), vreg(4)));
+    prog.append(makeVBinary(Opcode::VMul, vreg(4), sreg(3), vreg(5)));
+    prog.append(makeVStore(vreg(5), mem("x", 0, 4)));
+    prog.append(makeSAddImm(8, areg(7)));
+    prog.append(makeBranch(Opcode::Jmp, "LP"));
+    prog.label("DONE");
+    prog.append(isa::Instruction{});
+    prog.validate();
+
+    Kernel k;
+    k.id = 4;
+    k.name = "LFK4";
+    k.description = "banded linear equations";
+    k.sourceText =
+        "DO k = 7, 1001, m\n"
+        "  temp = X(k-1)\n"
+        "  DO j = 5, n, 5:  temp = temp - XZ(lw)*Y(j); lw = lw+1\n"
+        "  X(k-1) = Y(5)*temp";
+    k.ma = {1, 1, 2, 0};
+    k.flopsPerPoint = 2;
+    k.points = band_len * static_cast<long>(band_k.size());
+    k.program = std::move(prog);
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("x", testVector(1024, 401));
+        s.memory().fillDoubles("y", testVector(1024, 402, 0.05, 0.15));
+        s.memory().fillDoubles("xz", testVector(1280, 403, 0.05, 0.15));
+        std::vector<int64_t> len, bx, bxz;
+        for (long kf : band_k) {
+            len.push_back(band_len);
+            bx.push_back((kf - 2) * 8);  // X(k-1), 0-based k-2
+            bxz.push_back((kf - 7) * 8); // XZ(lw0), 0-based k-7
+        }
+        len.push_back(0);
+        bx.push_back(0);
+        bxz.push_back(0);
+        s.memory().fillWords("bandlen", len);
+        s.memory().fillWords("bandx", bx);
+        s.memory().fillWords("bandxz", bxz);
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto x = testVector(1024, 401);
+        auto y = testVector(1024, 402, 0.05, 0.15);
+        auto xz = testVector(1280, 403, 0.05, 0.15);
+        for (long kf : band_k) {
+            double temp = x[kf - 2];
+            // Strip-order accumulation matching VSum semantics.
+            for (long base = 0; base < band_len; base += 128) {
+                double partial = 0.0;
+                long end = std::min(band_len, base + 128);
+                for (long j = base; j < end; ++j)
+                    partial += -(xz[kf - 7 + j] * y[4 + 5 * j]);
+                temp += partial;
+            }
+            x[kf - 2] = y[4] * temp;
+        }
+        return compareArray(s, "x", x);
+    };
+    return k;
+}
+
+Kernel
+makeLfk6()
+{
+    // General linear recurrence: w(i) += sum_k bt(i,k) * w(i-k) for
+    // i = 2..n; bt rows are unit stride, the w gather runs backwards.
+    const long n = 64;
+
+    struct Pass
+    {
+        long len;
+        long bt_base;  ///< byte base of bt row
+        long w_src;    ///< byte base of w(i-1) (descending)
+        long w_dst;    ///< byte address of w(i)
+    };
+    std::vector<Pass> passes;
+    for (long i = 2; i <= n; ++i) {
+        long i0 = i - 1; // 0-based target
+        passes.push_back(
+            {i - 1, i0 * n * 8, (i0 - 1) * 8, i0 * 8});
+    }
+    long total_points = (n - 1) * n / 2;
+
+    isa::Program prog;
+    prog.defineData("w", 64);
+    prog.defineData("bt", static_cast<size_t>(n * n));
+    size_t tab = passes.size() + 1;
+    prog.defineData("plen", tab);
+    prog.defineData("pbt", tab);
+    prog.defineData("pw", tab);
+    prog.defineData("pwt", tab);
+
+    prog.append(makeMovImm(-1, sreg(1))); // backward gather stride
+    prog.append(makeMovImm(0, areg(7)));
+    prog.label("LP");
+    prog.append(makeSLoad(mem("plen", 0, 7), sreg(2)));
+    prog.append(makeCmpImm(Opcode::SLt, 0, sreg(2)));
+    prog.append(makeBranch(Opcode::BrF, "DONE"));
+    prog.append(makeSLoad(mem("pbt", 0, 7), areg(1)));
+    prog.append(makeSLoad(mem("pw", 0, 7), areg(2)));
+    prog.append(makeSLoad(mem("pwt", 0, 7), areg(4)));
+    prog.append(makeSLoad(mem("w", 0, 4), sreg(3))); // acc = w(i)
+    prog.append(makeMov(sreg(2), sreg(0)));
+    prog.label("LS");
+    prog.append(makeMov(sreg(0), vlreg()));
+    prog.append(makeVLoad(mem("bt", 0, 1), vreg(0)));
+    prog.append(makeVLoadStrided(mem("w", 0, 2), sreg(1), vreg(1)));
+    prog.append(makeVBinary(Opcode::VMul, vreg(0), vreg(1), vreg(2)));
+    prog.append(makeVSum(vreg(2), sreg(3)));
+    stripTail(prog, "LS", {{1, 1024}, {2, -1024}});
+    prog.append(makeSStore(sreg(3), mem("w", 0, 4)));
+    prog.append(makeSAddImm(8, areg(7)));
+    prog.append(makeBranch(Opcode::Jmp, "LP"));
+    prog.label("DONE");
+    prog.append(isa::Instruction{});
+    prog.validate();
+
+    Kernel k;
+    k.id = 6;
+    k.name = "LFK6";
+    k.description = "general linear recurrence equations";
+    k.sourceText =
+        "DO i = 2, n\n"
+        "  DO k = 1, i-1:  W(i) = W(i) + Bt(i,k)*W(i-k)";
+    k.ma = {1, 1, 2, 0};
+    k.flopsPerPoint = 2;
+    k.points = total_points;
+    k.program = std::move(prog);
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("w", testVector(64, 601));
+        s.memory().fillDoubles("bt", testVector(static_cast<size_t>(n * n),
+                                                602, 0.001, 0.015));
+        std::vector<int64_t> len, bb, ws, wt;
+        for (const auto &p : passes) {
+            len.push_back(p.len);
+            bb.push_back(p.bt_base);
+            ws.push_back(p.w_src);
+            wt.push_back(p.w_dst);
+        }
+        len.push_back(0);
+        bb.push_back(0);
+        ws.push_back(0);
+        wt.push_back(0);
+        s.memory().fillWords("plen", len);
+        s.memory().fillWords("pbt", bb);
+        s.memory().fillWords("pw", ws);
+        s.memory().fillWords("pwt", wt);
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto w = testVector(64, 601);
+        auto bt = testVector(static_cast<size_t>(n * n), 602, 0.001,
+                             0.015);
+        for (long i = 2; i <= n; ++i) {
+            long i0 = i - 1;
+            double partial = 0.0;
+            for (long kk = 1; kk <= i - 1; ++kk)
+                partial += bt[i0 * n + (kk - 1)] * w[i0 - kk];
+            w[i0] += partial;
+        }
+        return compareArray(s, "w", w);
+    };
+    return k;
+}
+
+Kernel
+makeLfk10()
+{
+    // Difference predictors: a chain of nine first differences per
+    // element, carried in vector registers; columns of px(25,101).
+    const long n = 101;
+    const long stride = 25;
+
+    isa::Program prog;
+    prog.defineData("px", 2560);
+    prog.defineData("cx", 2560);
+
+    prog.append(makeMovImm(stride, sreg(1)));
+    prog.append(makeMovImm(n, sreg(0)));
+    prog.append(makeMovImm(0, areg(5)));
+    prog.label("L1");
+    prog.append(makeMov(sreg(0), vlreg()));
+    prog.append(makeVLoadStrided(mem("cx", 32, 5), sreg(1), vreg(0)));
+    int prev = 0;
+    for (int j = 0; j < 9; ++j) {
+        int load = (2 * j + 1) % 8;
+        int diff = (2 * j + 2) % 8;
+        long off = 32 + 8 * j;
+        prog.append(
+            makeVLoadStrided(mem("px", off, 5), sreg(1), vreg(load)));
+        prog.append(makeVBinary(Opcode::VSub, vreg(prev), vreg(load),
+                                vreg(diff)));
+        prog.append(
+            makeVStoreStrided(vreg(prev), sreg(1), mem("px", off, 5)));
+        prev = diff;
+    }
+    prog.append(
+        makeVStoreStrided(vreg(prev), sreg(1), mem("px", 32 + 72, 5)));
+    stripTail(prog, "L1", {{5, 128 * stride * 8}});
+    prog.validate();
+
+    Kernel k;
+    k.id = 10;
+    k.name = "LFK10";
+    k.description = "difference predictors";
+    k.sourceText =
+        "ar = CX(5,i); br = ar - PX(5,i); PX(5,i) = ar\n"
+        "cr = br - PX(6,i); PX(6,i) = br; ... PX(14,i) = (9th diff)";
+    k.ma = {9, 0, 10, 10};
+    k.flopsPerPoint = 9;
+    k.points = n;
+    k.program = std::move(prog);
+
+    k.setup = [=](sim::Simulator &s) {
+        s.memory().fillDoubles("px", testVector(2560, 1001));
+        s.memory().fillDoubles("cx", testVector(2560, 1002));
+    };
+    k.check = [=](const sim::Simulator &s) {
+        auto px = testVector(2560, 1001);
+        auto cx = testVector(2560, 1002);
+        for (long i = 0; i < n; ++i) {
+            long base = stride * i;
+            double prev_val = cx[base + 4];
+            for (int j = 0; j < 9; ++j) {
+                double diff = prev_val - px[base + 4 + j];
+                px[base + 4 + j] = prev_val;
+                prev_val = diff;
+            }
+            px[base + 13] = prev_val;
+        }
+        return compareArray(s, "px", px);
+    };
+    return k;
+}
+
+} // namespace macs::lfk

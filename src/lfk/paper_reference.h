@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The paper's published per-kernel numbers (Tables 2-5), used by the
+ * regression tests, the bench harnesses, and the report generator.
+ *
+ * Caveats (see EXPERIMENTS.md): Table 5's column header is garbled in
+ * surviving copies; values here follow section 3.6's definitions
+ * (t_A = vector FP deleted, t_X = vector memory deleted). LFK10's
+ * Table 5 row is reconstructed from Tables 2-4.
+ */
+
+#ifndef MACS_LFK_PAPER_REFERENCE_H
+#define MACS_LFK_PAPER_REFERENCE_H
+
+#include <map>
+
+namespace macs::lfk {
+
+/** Paper-published values for one LFK (CPF and CPL). */
+struct PaperReference
+{
+    double maCpf, macCpf, macsCpf, tpCpf; // Table 4
+    double tpCpl, macsCpl;                // Table 5
+    double tACpl, macsMCpl;               // Table 5 (access side)
+    double tXCpl, macsFCpl;               // Table 5 (execute side)
+};
+
+/** Published numbers keyed by LFK id (the ten case-study kernels). */
+const std::map<int, PaperReference> &paperReference();
+
+} // namespace macs::lfk
+
+#endif // MACS_LFK_PAPER_REFERENCE_H

@@ -1,0 +1,92 @@
+#include "machine/machine_config.h"
+
+#include "support/logging.h"
+
+namespace macs::machine {
+
+using isa::Opcode;
+
+const VectorTiming &
+MachineConfig::timing(Opcode op) const
+{
+    MACS_ASSERT(isa::isVectorOp(op), "timing() on non-vector opcode");
+    auto it = vectorTiming.find(op);
+    if (it != vectorTiming.end())
+        return it->second;
+    static const VectorTiming fallback{};
+    return fallback;
+}
+
+void
+MachineConfig::setTiming(Opcode op, const VectorTiming &t)
+{
+    MACS_ASSERT(isa::isVectorOp(op), "setTiming() on non-vector opcode");
+    vectorTiming[op] = t;
+}
+
+MachineConfig
+MachineConfig::convexC240()
+{
+    MachineConfig m;
+    // Paper Table 1: Vector Instruction Execution Times (VL = 128).
+    //                          X     Y     Z     B
+    m.vectorTiming[Opcode::VLd] = {2, 10, 1.00, 2};
+    m.vectorTiming[Opcode::VLdS] = {2, 10, 1.00, 2};
+    m.vectorTiming[Opcode::VSt] = {2, 10, 1.00, 4};
+    m.vectorTiming[Opcode::VStS] = {2, 10, 1.00, 4};
+    m.vectorTiming[Opcode::VAdd] = {2, 10, 1.00, 1};
+    m.vectorTiming[Opcode::VSub] = {2, 10, 1.00, 1};
+    m.vectorTiming[Opcode::VMul] = {2, 12, 1.00, 1};
+    // Divide: extended per-element time; may be masked by other work.
+    m.vectorTiming[Opcode::VDiv] = {2, 72, 4.00, 21};
+    // Reduction: Z between 1.39 and 1.43 in calibration; the paper sets
+    // Z conservatively to 1.35 and B to 0 due to the uncertainty.
+    m.vectorTiming[Opcode::VSum] = {2, 10, 1.35, 0};
+    m.vectorTiming[Opcode::VNeg] = {2, 10, 1.00, 1};
+    return m;
+}
+
+MachineConfig
+MachineConfig::noBubbles()
+{
+    MachineConfig m = convexC240();
+    for (auto &[op, t] : m.vectorTiming)
+        t.bubble = 0.0;
+    return m;
+}
+
+MachineConfig
+MachineConfig::noRefresh()
+{
+    MachineConfig m = convexC240();
+    m.memory.refreshEnabled = false;
+    m.refreshPenaltyFactor = 1.0;
+    return m;
+}
+
+MachineConfig
+MachineConfig::noChaining()
+{
+    MachineConfig m = convexC240();
+    m.chaining.chainingEnabled = false;
+    return m;
+}
+
+MachineConfig
+MachineConfig::noScalarCache()
+{
+    MachineConfig m = convexC240();
+    m.scalarCache.enabled = false;
+    return m;
+}
+
+MachineConfig
+MachineConfig::withBanks(int banks)
+{
+    MACS_ASSERT(banks > 0, "bank count must be positive");
+    MachineConfig m = convexC240();
+    m.memory.banks = banks;
+    return m;
+}
+
+} // namespace macs::machine

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Machine description for the modeled Convex C-240 and what-if variants.
+ *
+ * All quantities the MACS bounds and the simulator need are collected
+ * here and are tunable: the per-opcode X/Y/Z/B vector timing parameters
+ * of the paper's Table 1, the memory geometry (banks, bank busy time,
+ * refresh), the chaining rules of section 3.3, and the scalar-unit
+ * timing used only by the simulator.
+ *
+ * Timing parameter meaning for a single vector instruction (paper
+ * equation 5, execution time = X + Y + Z * VL):
+ *   X = clock cycles of initial (issue) overhead,
+ *   Y = additional cycles until the first element result is available,
+ *   Z = additional cycles per vector element,
+ *   B = "bubble": empirically calibrated cycles lost between successive
+ *       instructions tailgating in the same pipe (section 3.3).
+ */
+
+#ifndef MACS_MACHINE_MACHINE_CONFIG_H
+#define MACS_MACHINE_MACHINE_CONFIG_H
+
+#include <map>
+
+#include "isa/opcode.h"
+
+namespace macs::machine {
+
+/** X/Y/Z/B timing of one vector opcode (see file comment). */
+struct VectorTiming
+{
+    double x = 2.0;      ///< issue overhead cycles
+    double y = 10.0;     ///< additional cycles to first result
+    double z = 1.0;      ///< cycles per element
+    double bubble = 1.0; ///< tailgating bubble cycles (B)
+};
+
+/** Interleaved memory system geometry. */
+struct MemoryConfig
+{
+    int banks = 32;            ///< number of interleaved banks
+    int bankBusyCycles = 8;    ///< bank cycle (busy) time
+    int wordBytes = 8;         ///< memory word size
+    int refreshPeriodCycles = 400; ///< refresh every 16 us at 25 MHz
+    int refreshDurationCycles = 8; ///< memory unavailable during refresh
+    bool refreshEnabled = true;
+};
+
+/** Chime formation rules (paper section 3.3). */
+struct ChainingConfig
+{
+    bool chainingEnabled = true;   ///< false models a Cray-2-like VP
+    int maxReadsPerPair = 2;       ///< vector register pair read ports
+    int maxWritesPerPair = 1;      ///< vector register pair write ports
+    bool enforcePairLimits = true;
+    bool scalarMemSplitsChimes = true; ///< single CPU<->memory port
+};
+
+/** Scalar (ASU) timing; used by the simulator only. */
+struct ScalarTiming
+{
+    int issueCycles = 1;        ///< issue slot occupancy of a scalar op
+    int aluLatency = 1;         ///< result latency of scalar ALU ops
+    int loadLatency = 6;        ///< scalar load latency on a cache hit
+    int loadMissLatency = 20;   ///< scalar load latency on a cache miss
+    int storeCycles = 2;        ///< memory port occupancy of scalar store
+    int branchResolveCycles = 3;///< issue stall after a taken branch
+    int vectorIssueCycles = 2;  ///< issue slot occupancy of a vector op
+    int fpLatency = 6;          ///< scalar FP add/sub/mul result latency
+    int fpDivLatency = 30;      ///< scalar FP divide result latency
+};
+
+/**
+ * The ASU's scalar data cache (paper section 2: "the ASU contains the
+ * scalar function units, scalar registers, and cache"; the VP bypasses
+ * it). The paper publishes no geometry, so the defaults are
+ * representative of the era; scalar accesses still arbitrate for the
+ * single CPU<->memory port either way (the paper's chime-splitting
+ * rule is unconditional). Vector stores invalidate overlapping lines
+ * for coherence; scalar stores write through and invalidate their
+ * line.
+ */
+struct ScalarCacheConfig
+{
+    bool enabled = true;
+    int lines = 64;     ///< direct-mapped line count
+    int lineWords = 4;  ///< 64-bit words per line
+};
+
+/**
+ * Complete machine description.
+ *
+ * Defaults construct the paper's Convex C-240 (one CPU). Named factory
+ * functions build ablation variants used by bench/ablation_machine.
+ */
+struct MachineConfig
+{
+    double clockMhz = 25.0; ///< 40 ns effective system clock
+    int maxVectorLength = 128;
+
+    MemoryConfig memory;
+    ChainingConfig chaining;
+    ScalarTiming scalar;
+    ScalarCacheConfig scalarCache;
+
+    /**
+     * Multiplier the MACS model applies to runs of >= 4 successive
+     * memory chimes (paper: refresh costs 8 cycles every 400, ~2%).
+     */
+    double refreshPenaltyFactor = 1.02;
+    /** Cyclic run length (cycles) at which the penalty starts. */
+    double refreshRunThresholdCycles = 400.0;
+
+    /** Per-opcode timing; opcodes not present fall back to defaults. */
+    std::map<isa::Opcode, VectorTiming> vectorTiming;
+
+    /** Timing for @p op; panics when @p op is not a vector opcode. */
+    const VectorTiming &timing(isa::Opcode op) const;
+
+    /** Replace the timing of @p op (calibration, what-if studies). */
+    void setTiming(isa::Opcode op, const VectorTiming &t);
+
+    /** Clock period in nanoseconds. */
+    double clockNs() const { return 1000.0 / clockMhz; }
+
+    /** The paper's Convex C-240 configuration. */
+    static MachineConfig convexC240();
+
+    /** C-240 with all tailgating bubbles forced to zero. */
+    static MachineConfig noBubbles();
+
+    /** C-240 with memory refresh disabled. */
+    static MachineConfig noRefresh();
+
+    /** C-240 without operand chaining (Cray-2 style). */
+    static MachineConfig noChaining();
+
+    /** C-240 with a different bank count. */
+    static MachineConfig withBanks(int banks);
+
+    /** C-240 with the ASU's scalar data cache disabled. */
+    static MachineConfig noScalarCache();
+};
+
+} // namespace macs::machine
+
+#endif // MACS_MACHINE_MACHINE_CONFIG_H

@@ -1,0 +1,45 @@
+#include "macs/ax_transform.h"
+
+#include <map>
+
+#include "support/logging.h"
+
+namespace macs::model {
+
+isa::Program
+makeAxProgram(const isa::Program &prog, AxVariant variant)
+{
+    auto removed = [&](const isa::Instruction &in) {
+        switch (variant) {
+          case AxVariant::AccessOnly:
+            return in.isVector() && !in.isVectorMemory();
+          case AxVariant::ExecuteOnly:
+            return in.isVectorMemory();
+        }
+        panic("unreachable AxVariant");
+    };
+
+    isa::Program out;
+    for (const auto &sym : prog.dataSymbols())
+        out.defineData(sym.name, sym.words);
+
+    // Labels indexed by original instruction position.
+    std::map<size_t, std::vector<std::string>> labels_at;
+    for (const auto &[name, idx] : prog.labels())
+        labels_at[idx].push_back(name);
+
+    const auto &instrs = prog.instrs();
+    for (size_t i = 0; i <= instrs.size(); ++i) {
+        auto it = labels_at.find(i);
+        if (it != labels_at.end())
+            for (const auto &name : it->second)
+                out.label(name);
+        if (i < instrs.size() && !removed(instrs[i]))
+            out.append(instrs[i]);
+    }
+
+    out.validate();
+    return out;
+}
+
+} // namespace macs::model

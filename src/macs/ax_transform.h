@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A/X code transformation (paper section 3.6).
+ *
+ * From the compiled code two measurement executables are derived:
+ *  - the A-process (access-only) code: all vector floating point
+ *    instructions are removed; memory accesses and all scalar code
+ *    (address arithmetic, loop control) are unchanged, so control flow
+ *    is preserved;
+ *  - the X-process (execute-only) code: all vector memory instructions
+ *    are removed; FP pipes then operate on whatever the registers hold.
+ *
+ * The numerical outputs of both are nonsense; only their run times are
+ * meaningful: t_A and t_X measure machine performance with one
+ * bottleneck class eliminated, and normally
+ *     max(t_X, t_A) <= t_p <= t_X + t_A        (equation 18).
+ */
+
+#ifndef MACS_MACS_AX_TRANSFORM_H
+#define MACS_MACS_AX_TRANSFORM_H
+
+#include "isa/program.h"
+
+namespace macs::model {
+
+/** Which instruction class a transform removes. */
+enum class AxVariant
+{
+    AccessOnly,  ///< A-process: vector FP removed
+    ExecuteOnly, ///< X-process: vector memory removed
+};
+
+/**
+ * Build the A- or X-process version of @p prog. Labels are re-attached
+ * to the instruction following the removed ones; data symbols are
+ * preserved. The result is validated.
+ */
+isa::Program makeAxProgram(const isa::Program &prog, AxVariant variant);
+
+/** Convenience wrappers. @{ */
+inline isa::Program
+makeAProcess(const isa::Program &prog)
+{
+    return makeAxProgram(prog, AxVariant::AccessOnly);
+}
+
+inline isa::Program
+makeXProcess(const isa::Program &prog)
+{
+    return makeAxProgram(prog, AxVariant::ExecuteOnly);
+}
+/** @} */
+
+} // namespace macs::model
+
+#endif // MACS_MACS_AX_TRANSFORM_H

@@ -1,0 +1,17 @@
+#include "macs/bounds.h"
+
+#include <algorithm>
+
+namespace macs::model {
+
+PipeBound
+pipeBound(const WorkloadCounts &counts)
+{
+    PipeBound b;
+    b.tF = counts.tF();
+    b.tM = counts.tM();
+    b.bound = std::max(b.tF, b.tM);
+    return b;
+}
+
+} // namespace macs::model

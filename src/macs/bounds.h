@@ -1,0 +1,36 @@
+/**
+ * @file
+ * MA and MAC performance bounds (paper section 3.1).
+ *
+ * Both bounds assume each of the three vector pipes and the memory port
+ * sustains one element per clock and that all inter-pipe parallelism is
+ * exploited, so an iteration costs
+ *     t = max(t_f, t_m),  t_f = max(f_a, f_m),  t_m = l + s
+ * in CPL. MA evaluates this on the source workload (perfect index
+ * analysis), MAC on the compiled workload.
+ */
+
+#ifndef MACS_MACS_BOUNDS_H
+#define MACS_MACS_BOUNDS_H
+
+#include "macs/workload.h"
+
+namespace macs::model {
+
+/** An MA- or MAC-level bound, in CPL, with its component terms. */
+struct PipeBound
+{
+    double tF = 0.0;   ///< FP bound: max(f_a, f_m)
+    double tM = 0.0;   ///< memory bound: l + s
+    double bound = 0.0;///< max(tF, tM)
+
+    /** True when the memory term dominates. */
+    bool memoryBound() const { return tM >= tF; }
+};
+
+/** Evaluate max(t_f, t_m) on @p counts (used for both MA and MAC). */
+PipeBound pipeBound(const WorkloadCounts &counts);
+
+} // namespace macs::model
+
+#endif // MACS_MACS_BOUNDS_H

@@ -1,0 +1,170 @@
+#include "macs/chime.h"
+
+#include <array>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace macs::model {
+
+namespace {
+
+int
+pipeSlot(isa::Pipe p)
+{
+    switch (p) {
+      case isa::Pipe::LoadStore:
+        return 0;
+      case isa::Pipe::Add:
+        return 1;
+      case isa::Pipe::Multiply:
+        return 2;
+      case isa::Pipe::None:
+        break;
+    }
+    panic("pipeSlot on scalar instruction");
+}
+
+/** Mutable state of the chime currently being assembled. */
+struct Builder
+{
+    Chime chime;
+    std::array<int, isa::kNumVectorPairs> pairReads{};
+    std::array<int, isa::kNumVectorPairs> pairWrites{};
+    bool sawScalarMem = false; ///< scalar memory access inside this chime
+    std::array<bool, isa::kNumVectorRegs> writtenInChime{};
+
+    bool
+    empty() const
+    {
+        return chime.instrs.empty();
+    }
+
+    void
+    reset()
+    {
+        chime = Chime{};
+        pairReads.fill(0);
+        pairWrites.fill(0);
+        writtenInChime.fill(false);
+        sawScalarMem = false;
+    }
+};
+
+/** Would adding @p in to the current chime violate a formation rule? */
+bool
+fits(const Builder &b, const isa::Instruction &in,
+     const machine::ChainingConfig &rules)
+{
+    if (b.empty())
+        return true;
+
+    // One instruction per pipe.
+    if (b.chime.usesPipe[pipeSlot(in.pipe())])
+        return false;
+
+    // A chime with a vector memory access cannot span a scalar memory
+    // access (single memory port).
+    if (rules.scalarMemSplitsChimes && in.isVectorMemory() &&
+        b.sawScalarMem)
+        return false;
+
+    // Vector register pair port limits.
+    if (rules.enforcePairLimits) {
+        std::array<int, isa::kNumVectorPairs> reads = b.pairReads;
+        std::array<int, isa::kNumVectorPairs> writes = b.pairWrites;
+        for (const auto &r : in.vectorReads())
+            ++reads[r.pair()];
+        for (const auto &r : in.vectorWrites())
+            ++writes[r.pair()];
+        for (int p = 0; p < isa::kNumVectorPairs; ++p) {
+            if (reads[p] > rules.maxReadsPerPair ||
+                writes[p] > rules.maxWritesPerPair)
+                return false;
+        }
+    }
+
+    // Without chaining, dependent instructions cannot share a chime.
+    if (!rules.chainingEnabled) {
+        for (const auto &r : in.vectorReads())
+            if (b.writtenInChime[r.index])
+                return false;
+    }
+
+    return true;
+}
+
+void
+add(Builder &b, size_t idx, const isa::Instruction &in)
+{
+    b.chime.instrs.push_back(idx);
+    b.chime.usesPipe[pipeSlot(in.pipe())] = true;
+    if (in.isVectorMemory())
+        b.chime.hasMemoryOp = true;
+    for (const auto &r : in.vectorReads())
+        ++b.pairReads[r.pair()];
+    for (const auto &r : in.vectorWrites()) {
+        ++b.pairWrites[r.pair()];
+        b.writtenInChime[r.index] = true;
+    }
+}
+
+} // namespace
+
+std::vector<Chime>
+partitionChimes(std::span<const isa::Instruction> body,
+                const machine::ChainingConfig &rules)
+{
+    std::vector<Chime> chimes;
+    Builder b;
+    b.reset();
+
+    auto flush = [&] {
+        if (!b.empty())
+            chimes.push_back(std::move(b.chime));
+        b.reset();
+    };
+
+    for (size_t i = 0; i < body.size(); ++i) {
+        const isa::Instruction &in = body[i];
+        if (in.isScalarMemory()) {
+            if (rules.scalarMemSplitsChimes) {
+                // Terminate a chime holding a vector memory access just
+                // before the scalar access; otherwise only note the
+                // barrier so a later vector memory access starts a new
+                // chime.
+                if (b.chime.hasMemoryOp)
+                    flush();
+                else
+                    b.sawScalarMem = true;
+            }
+            continue;
+        }
+        if (!in.isVector())
+            continue; // scalar ALU / control: masked
+
+        if (!fits(b, in, rules))
+            flush();
+        add(b, i, in);
+    }
+    flush();
+    return chimes;
+}
+
+std::string
+renderChimes(std::span<const isa::Instruction> body,
+             const std::vector<Chime> &chimes)
+{
+    std::ostringstream os;
+    for (size_t c = 0; c < chimes.size(); ++c) {
+        os << "chime " << (c + 1) << (chimes[c].hasMemoryOp ? " [mem]" : "")
+           << ":\n";
+        for (size_t idx : chimes[c].instrs) {
+            MACS_ASSERT(idx < body.size(), "chime index out of range");
+            os << "    " << body[idx].toString() << '\n';
+        }
+    }
+    return os.str();
+}
+
+} // namespace macs::model

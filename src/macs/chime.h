@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Chime partitioning (paper section 3.3).
+ *
+ * A chime is a group of vector instructions that issue in quick
+ * succession and execute concurrently (chained where dependent). On the
+ * C-240 a chime:
+ *  - contains at most one instruction per vector pipe (load/store, add,
+ *    multiply);
+ *  - may reference each vector register *pair* ({v0,v4}, {v1,v5},
+ *    {v2,v6}, {v3,v7}) with at most two reads and one write;
+ *  - cannot contain a vector memory access on both sides of a scalar
+ *    memory access (the single CPU<->memory port), so scalar loads and
+ *    stores split chimes;
+ *  - with chaining disabled (Cray-2-like ablation), cannot contain an
+ *    instruction that reads a register written earlier in the chime.
+ *
+ * Scalar non-memory instructions are masked and ignored.
+ */
+
+#ifndef MACS_MACS_CHIME_H
+#define MACS_MACS_CHIME_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "machine/machine_config.h"
+
+namespace macs::model {
+
+/** One chime: indices into the analyzed instruction sequence. */
+struct Chime
+{
+    std::vector<size_t> instrs; ///< indices of member vector instructions
+    bool hasMemoryOp = false;   ///< contains a vector load or store
+    bool usesPipe[3] = {false, false, false}; ///< LS / Add / Mul
+};
+
+/**
+ * Partition the loop body @p body into chimes under @p rules.
+ * Instruction indices in the result refer to positions in @p body.
+ */
+std::vector<Chime> partitionChimes(std::span<const isa::Instruction> body,
+                                   const machine::ChainingConfig &rules);
+
+/** Render a partition for debugging / the worked example bench. */
+std::string renderChimes(std::span<const isa::Instruction> body,
+                         const std::vector<Chime> &chimes);
+
+} // namespace macs::model
+
+#endif // MACS_MACS_CHIME_H

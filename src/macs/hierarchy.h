@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The full MACS hierarchy for one kernel (paper Figure 1): calculated
+ * bounds (MA, MAC, MACS and the reduced f/m bounds) plus measured
+ * times (t_p and the A/X pair) from the simulator, with gap analysis
+ * in the style of paper section 4.4.
+ */
+
+#ifndef MACS_MACS_HIERARCHY_H
+#define MACS_MACS_HIERARCHY_H
+
+#include <functional>
+#include <string>
+
+#include "isa/program.h"
+#include "machine/machine_config.h"
+#include "macs/bounds.h"
+#include "macs/macs_bound.h"
+#include "macs/workload.h"
+#include "sim/simulator.h"
+
+namespace macs::model {
+
+/**
+ * A kernel prepared for analysis: the compiled program, the
+ * source-level (MA) workload, and how to normalize measurements.
+ */
+struct KernelCase
+{
+    std::string name;
+    isa::Program program;
+    WorkloadCounts ma;          ///< source counts, perfect index analysis
+    int sourceFlopsPerPoint = 0;///< f_a + f_m of the high-level code
+    long points = 0;            ///< result elements computed per run
+    /** Initialize simulator registers/memory before running. */
+    std::function<void(sim::Simulator &)> setup;
+};
+
+/** Everything the paper's Tables 2-5 need for one kernel. */
+struct KernelAnalysis
+{
+    std::string name;
+
+    // Workloads (Table 2).
+    WorkloadCounts ma;
+    WorkloadCounts mac;
+
+    // Calculated bounds in CPL (Table 3).
+    PipeBound maBound;       ///< t_f, t_m, t_MA
+    PipeBound macBound;      ///< t_f', t_m', t_MAC
+    MacsResult macs;         ///< t_MACS
+    MacsResult macsFOnly;    ///< t_MACS^f
+    MacsResult macsMOnly;    ///< t_MACS^m
+
+    // Measured (simulated) times in CPL (Tables 4 and 5).
+    double tP = 0.0;         ///< full code
+    double tA = 0.0;         ///< access-only code (vector FP removed)
+    double tX = 0.0;         ///< execute-only code (vector memory removed)
+
+    sim::RunStats fullStats;
+    sim::RunStats aStats;
+    sim::RunStats xStats;
+
+    int sourceFlopsPerPoint = 0;
+    long points = 0;
+
+    /** Convert a CPL figure of this kernel to CPF. */
+    double cpf(double cpl) const;
+
+    /** CPF shortcuts for the Table 4 columns. @{ */
+    double maCpf() const { return cpf(maBound.bound); }
+    double macCpf() const { return cpf(macBound.bound); }
+    double macsCpf() const { return cpf(macs.cpl); }
+    double actualCpf() const { return cpf(tP); }
+    /** @} */
+};
+
+/**
+ * Run the whole hierarchy for @p kernel on @p config: evaluate MA, MAC
+ * and the three MACS bounds on the inner loop, then simulate the full,
+ * A-process, and X-process codes.
+ */
+KernelAnalysis analyzeKernel(const KernelCase &kernel,
+                             const machine::MachineConfig &config,
+                             const sim::SimOptions &options = {});
+
+/**
+ * Render a human-readable hierarchy report with gap percentages and
+ * the section-4.4-style diagnosis of where run time is lost.
+ */
+std::string renderReport(const KernelAnalysis &analysis,
+                         const machine::MachineConfig &config);
+
+} // namespace macs::model
+
+#endif // MACS_MACS_HIERARCHY_H

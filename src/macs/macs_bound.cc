@@ -1,0 +1,176 @@
+#include "macs/macs_bound.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace macs::model {
+
+namespace {
+
+int
+pipeSlot(isa::Pipe p)
+{
+    switch (p) {
+      case isa::Pipe::LoadStore:
+        return 0;
+      case isa::Pipe::Add:
+        return 1;
+      case isa::Pipe::Multiply:
+        return 2;
+      case isa::Pipe::None:
+        break;
+    }
+    panic("pipeSlot on scalar instruction");
+}
+
+} // namespace
+
+MacsResult
+evaluateMacs(std::span<const isa::Instruction> body,
+             const machine::MachineConfig &config, int vector_length,
+             const std::map<size_t, double> *z_override)
+{
+    MACS_ASSERT(vector_length > 0, "vector length must be positive");
+
+    auto z_of = [&](size_t idx) {
+        if (z_override) {
+            auto it = z_override->find(idx);
+            if (it != z_override->end())
+                return it->second;
+        }
+        return config.timing(body[idx].op).z;
+    };
+
+    MacsResult res;
+    res.vectorLength = vector_length;
+    res.chimes = partitionChimes(body, config.chaining);
+    if (res.chimes.empty())
+        return res;
+
+    const double vl = vector_length;
+    const size_t n = res.chimes.size();
+
+    // Base cost per chime: VL + sum of bubbles (equation 13 with Z=1;
+    // Z>1 handled as pipe overhang below).
+    std::vector<double> base(n, 0.0);
+    for (size_t c = 0; c < n; ++c) {
+        double bubbles = 0.0;
+        for (size_t idx : res.chimes[c].instrs)
+            bubbles += config.timing(body[idx].op).bubble;
+        base[c] = vl + bubbles;
+    }
+
+    // Overhang of slow-pipe instructions (Z > 1): charged only where
+    // the pipe is re-used (cyclically) before the overhang drains.
+    std::vector<double> cost = base;
+    for (size_t c = 0; c < n; ++c) {
+        double chime_penalty = 0.0;
+        for (size_t idx : res.chimes[c].instrs) {
+            double z = z_of(idx);
+            if (z <= 1.0)
+                continue;
+            int pipe = pipeSlot(body[idx].pipe());
+            // Cycles until the next chime that uses this pipe begins,
+            // measured from this chime's start: own base cost plus the
+            // base costs of intervening chimes (wrapping; if no other
+            // chime uses the pipe, the next user is this chime in the
+            // next iteration).
+            double gap = base[c];
+            for (size_t k = 1; k < n; ++k) {
+                size_t d = (c + k) % n;
+                if (res.chimes[d].usesPipe[pipe])
+                    break;
+                gap += base[d];
+            }
+            // The pipe is occupied z*VL cycles and needs its bubble
+            // before the next entry.
+            double occupancy =
+                z * vl + config.timing(body[idx].op).bubble;
+            chime_penalty = std::max(chime_penalty, occupancy - gap);
+        }
+        cost[c] += std::max(0.0, chime_penalty);
+    }
+
+    res.chimeCycles = cost;
+    for (double c : cost)
+        res.rawCycles += c;
+
+    // Refresh penalty on cyclic runs of memory chimes.
+    double total = res.rawCycles;
+    bool all_mem = std::all_of(res.chimes.begin(), res.chimes.end(),
+                               [](const Chime &c) { return c.hasMemoryOp; });
+    if (config.refreshPenaltyFactor > 1.0) {
+        if (all_mem) {
+            total *= config.refreshPenaltyFactor;
+        } else {
+            // Identify maximal cyclic runs of memory chimes. Start the
+            // scan just after a non-memory chime so runs never wrap
+            // past the scan origin.
+            size_t origin = 0;
+            while (origin < n && res.chimes[origin].hasMemoryOp)
+                ++origin;
+            MACS_ASSERT(origin < n, "non-memory chime must exist here");
+            double penalty = 0.0;
+            double run = 0.0;
+            for (size_t k = 1; k <= n; ++k) {
+                size_t d = (origin + k) % n;
+                if (res.chimes[d].hasMemoryOp) {
+                    run += cost[d];
+                } else {
+                    if (run >= config.refreshRunThresholdCycles)
+                        penalty +=
+                            run * (config.refreshPenaltyFactor - 1.0);
+                    run = 0.0;
+                }
+            }
+            if (run >= config.refreshRunThresholdCycles)
+                penalty += run * (config.refreshPenaltyFactor - 1.0);
+            total += penalty;
+        }
+    }
+
+    res.cycles = total;
+    res.cpl = total / vl;
+    return res;
+}
+
+std::vector<isa::Instruction>
+stripVectorMem(std::span<const isa::Instruction> body)
+{
+    std::vector<isa::Instruction> out;
+    out.reserve(body.size());
+    for (const auto &in : body)
+        if (!in.isVectorMemory())
+            out.push_back(in);
+    return out;
+}
+
+std::vector<isa::Instruction>
+stripVectorFp(std::span<const isa::Instruction> body)
+{
+    std::vector<isa::Instruction> out;
+    out.reserve(body.size());
+    for (const auto &in : body)
+        if (!(in.isVector() && !in.isVectorMemory()))
+            out.push_back(in);
+    return out;
+}
+
+MacsResult
+evaluateMacsFOnly(std::span<const isa::Instruction> body,
+                  const machine::MachineConfig &config, int vector_length)
+{
+    auto filtered = stripVectorMem(body);
+    return evaluateMacs(filtered, config, vector_length);
+}
+
+MacsResult
+evaluateMacsMOnly(std::span<const isa::Instruction> body,
+                  const machine::MachineConfig &config, int vector_length)
+{
+    auto filtered = stripVectorFp(body);
+    return evaluateMacs(filtered, config, vector_length);
+}
+
+} // namespace macs::model

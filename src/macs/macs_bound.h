@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The MACS bound (paper section 3.4): schedule-specific steady-state
+ * cost of one vectorized inner loop iteration.
+ *
+ * Evaluation:
+ *  1. partition the compiled loop body into chimes (chime.h);
+ *  2. cost each chime as Z_base * VL + sum of member bubbles B_i
+ *     (equation 13, Z_base = 1);
+ *  3. instructions with Z > 1 (reductions, divisions) occupy their pipe
+ *     for Z*VL cycles; the overhang beyond their chime is charged only
+ *     where the following chimes (cyclically, since the loop repeats)
+ *     re-use that pipe sooner than the overhang drains — this models
+ *     the paper's "masked by other instructions" footnote and its
+ *     reduction special cases;
+ *  4. runs of consecutive memory chimes long enough to cover a refresh
+ *     period are multiplied by the refresh penalty factor (1.02); runs
+ *     are evaluated cyclically because the loop repeats, so a loop
+ *     whose chimes all touch memory is penalized regardless of length;
+ *  5. t_MACS = total cycles / VL, in CPL.
+ *
+ * The reduced bounds of section 3.4 are evaluated by deleting the
+ * vector memory operations (t_MACS^f, models the X-process) or the
+ * vector FP operations (t_MACS^m, models the A-process) before
+ * partitioning.
+ */
+
+#ifndef MACS_MACS_MACS_BOUND_H
+#define MACS_MACS_MACS_BOUND_H
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "machine/machine_config.h"
+#include "macs/chime.h"
+
+namespace macs::model {
+
+/** Result of a MACS bound evaluation. */
+struct MacsResult
+{
+    std::vector<Chime> chimes;
+    std::vector<double> chimeCycles; ///< per-chime cost incl. overhang
+    double rawCycles = 0.0;  ///< sum of chime costs before refresh
+    double cycles = 0.0;     ///< after the refresh penalty
+    double cpl = 0.0;        ///< cycles / VL
+    int vectorLength = 0;
+};
+
+/**
+ * Evaluate t_MACS on a compiled inner loop body.
+ *
+ * @param z_override optional per-instruction Z replacements (body
+ *        index -> cycles/element), used by the MACS-D bound to charge
+ *        decomposition-degraded memory rates.
+ */
+MacsResult evaluateMacs(std::span<const isa::Instruction> body,
+                        const machine::MachineConfig &config,
+                        int vector_length = isa::kMaxVectorLength,
+                        const std::map<size_t, double> *z_override =
+                            nullptr);
+
+/** t_MACS^f: vector memory operations deleted (execute process). */
+MacsResult evaluateMacsFOnly(std::span<const isa::Instruction> body,
+                             const machine::MachineConfig &config,
+                             int vector_length = isa::kMaxVectorLength);
+
+/** t_MACS^m: vector FP operations deleted (access process). */
+MacsResult evaluateMacsMOnly(std::span<const isa::Instruction> body,
+                             const machine::MachineConfig &config,
+                             int vector_length = isa::kMaxVectorLength);
+
+/** Copy of @p body without vector memory instructions. */
+std::vector<isa::Instruction>
+stripVectorMem(std::span<const isa::Instruction> body);
+
+/** Copy of @p body without vector FP instructions. */
+std::vector<isa::Instruction>
+stripVectorFp(std::span<const isa::Instruction> body);
+
+} // namespace macs::model
+
+#endif // MACS_MACS_MACS_BOUND_H

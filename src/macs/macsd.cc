@@ -1,0 +1,188 @@
+#include "macs/macsd.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+
+#include "sim/memory_port.h"
+#include "support/logging.h"
+
+namespace macs::model {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+using isa::RegClass;
+
+/** Dense id for scalar/address registers (-1 for others). */
+int
+regId(const Reg &r)
+{
+    switch (r.cls) {
+      case RegClass::Scalar:
+        return r.index;
+      case RegClass::Address:
+        return isa::kNumScalarRegs + r.index;
+      default:
+        return -1;
+    }
+}
+
+/** Constant-propagation lattice: known value or unknown. */
+class ConstState
+{
+  public:
+    void
+    set(const Reg &r, std::optional<int64_t> v)
+    {
+        int id = regId(r);
+        if (id >= 0)
+            values_[id] = v;
+    }
+
+    std::optional<int64_t>
+    get(const Reg &r) const
+    {
+        int id = regId(r);
+        if (id < 0)
+            return std::nullopt;
+        return values_[id];
+    }
+
+    /** Apply one preamble instruction's effect. */
+    void
+    step(const Instruction &in)
+    {
+        switch (in.op) {
+          case Opcode::SMov:
+            if (in.hasImm)
+                set(in.dst, in.imm);
+            else
+                set(in.dst, get(in.src1));
+            return;
+          case Opcode::SAdd:
+          case Opcode::SSub:
+          case Opcode::SMul: {
+            std::optional<int64_t> a, b;
+            if (!in.src2.valid()) {
+                a = get(in.dst);
+                b = in.hasImm ? std::optional<int64_t>(in.imm)
+                              : get(in.src1);
+            } else {
+                a = in.hasImm ? std::optional<int64_t>(in.imm)
+                              : get(in.src1);
+                b = get(in.src2);
+            }
+            if (a && b) {
+                int64_t r = 0;
+                if (in.op == Opcode::SAdd)
+                    r = *a + *b;
+                else if (in.op == Opcode::SSub)
+                    r = *a - *b;
+                else
+                    r = *a * *b;
+                set(in.dst, r);
+            } else {
+                set(in.dst, std::nullopt);
+            }
+            return;
+          }
+          default:
+            // Any other scalar/address write (loads, reductions, VL
+            // moves) leaves the register unknown.
+            set(in.scalarWrite(), std::nullopt);
+            return;
+        }
+    }
+
+  private:
+    std::array<std::optional<int64_t>,
+               isa::kNumScalarRegs + isa::kNumAddressRegs>
+        values_{};
+};
+
+/** The register holding a strided access's stride, or None. */
+Reg
+strideReg(const Instruction &in)
+{
+    if (in.op == Opcode::VLdS)
+        return in.src1;
+    if (in.op == Opcode::VStS)
+        return in.src2;
+    return isa::noreg();
+}
+
+} // namespace
+
+StrideBinding
+bindStrides(const isa::Program &prog)
+{
+    auto [begin, end] = prog.innerLoopRange();
+    const auto &instrs = prog.instrs();
+
+    // Propagate constants through the preamble.
+    ConstState state;
+    for (size_t i = 0; i < begin; ++i)
+        state.step(instrs[i]);
+
+    // Registers the loop body itself modifies are not loop-invariant.
+    std::array<bool, isa::kNumScalarRegs + isa::kNumAddressRegs>
+        clobbered{};
+    for (size_t i = begin; i < end; ++i) {
+        int id = regId(instrs[i].scalarWrite());
+        if (id >= 0)
+            clobbered[static_cast<size_t>(id)] = true;
+    }
+
+    StrideBinding out;
+    for (size_t i = begin; i < end; ++i) {
+        const Instruction &in = instrs[i];
+        if (!in.isVectorMemory())
+            continue;
+        size_t body_idx = i - begin;
+        Reg sr = strideReg(in);
+        if (!sr.valid()) {
+            out.strides[body_idx] = 1; // unit-stride form
+            continue;
+        }
+        auto v = state.get(sr);
+        int id = regId(sr);
+        bool invariant =
+            id >= 0 && !clobbered[static_cast<size_t>(id)];
+        if (v && invariant)
+            out.strides[body_idx] = *v;
+        else
+            out.unbound.push_back(body_idx);
+    }
+    return out;
+}
+
+MacsDResult
+evaluateMacsD(const isa::Program &prog,
+              const machine::MachineConfig &config, int vector_length)
+{
+    MacsDResult res;
+    res.binding = bindStrides(prog);
+
+    sim::MemoryPort port(config.memory);
+    std::map<size_t, double> z_override;
+    for (const auto &[idx, stride] : res.binding.strides) {
+        double rate = port.strideRate(stride);
+        res.worstMemoryRate = std::max(res.worstMemoryRate, rate);
+        if (rate > 1.0)
+            z_override[idx] = rate;
+    }
+    if (!res.binding.unbound.empty()) {
+        warn("MACS-D: ", res.binding.unbound.size(),
+             " strided access(es) have unresolvable strides; charged "
+             "at the conflict-free rate");
+    }
+
+    auto body = prog.innerLoop();
+    res.macs = evaluateMacs(body, config, vector_length, &z_override);
+    return res;
+}
+
+} // namespace macs::model

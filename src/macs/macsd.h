@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The MACS-D bound: the paper's proposed "fifth degree of freedom, D,
+ * after M, A, C and S to bind the allocation (decomposition) of the
+ * data structures in memory" (section 3.1), which the paper defines
+ * but does not evaluate.
+ *
+ * MA/MAC/MACS assume every memory stream sustains one element per
+ * clock. With the data decomposition bound, each strided access is
+ * charged the rate the interleaved memory can actually sustain for its
+ * stride (see MemoryPort::strideRate): a stride sharing a large factor
+ * with the bank count revisits a busy bank and slows to
+ * bankBusy / distinctBanks cycles per element. The degraded rate flows
+ * through the same slow-pipe overhang machinery as reductions and
+ * divides, so partially masked conflicts are only partially charged.
+ *
+ * Strides are bound by constant propagation over the program preamble:
+ * a strided access whose stride register holds a known, loop-invariant
+ * constant gets that stride; unresolvable strides conservatively keep
+ * rate 1 (the MACS assumption) and are reported as unbound.
+ */
+
+#ifndef MACS_MACS_MACSD_H
+#define MACS_MACS_MACSD_H
+
+#include <map>
+
+#include "isa/program.h"
+#include "machine/machine_config.h"
+#include "macs/macs_bound.h"
+
+namespace macs::model {
+
+/** Stride binding for a program's inner loop. */
+struct StrideBinding
+{
+    /** body-relative instruction index -> stride in words. */
+    std::map<size_t, int64_t> strides;
+    /** body-relative indices of strided ops whose stride register
+     *  could not be resolved to a loop-invariant constant. */
+    std::vector<size_t> unbound;
+};
+
+/**
+ * Resolve the stride (in words) of every vector memory access in the
+ * program's inner loop by propagating register constants through the
+ * preamble. Unit-stride operations map to 1.
+ */
+StrideBinding bindStrides(const isa::Program &prog);
+
+/** Result of a MACS-D evaluation. */
+struct MacsDResult
+{
+    MacsResult macs;       ///< bound with decomposition-degraded rates
+    StrideBinding binding; ///< the strides that were bound
+    /** Worst sustained cycles/element over the loop's memory ops. */
+    double worstMemoryRate = 1.0;
+};
+
+/**
+ * Evaluate the MACS-D bound of @p prog's inner loop on @p config.
+ * Equals plain MACS when every stream runs conflict-free.
+ */
+MacsDResult evaluateMacsD(const isa::Program &prog,
+                          const machine::MachineConfig &config,
+                          int vector_length = isa::kMaxVectorLength);
+
+} // namespace macs::model
+
+#endif // MACS_MACS_MACSD_H

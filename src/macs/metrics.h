@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unit conversions shared by all bound levels (paper equations 2-4):
+ * CPL (cycles per inner loop iteration), CPF (cycles per floating point
+ * operation, normalized by the *source* flop count), MFLOPS, and the
+ * harmonic-mean summary row of Table 4.
+ */
+
+#ifndef MACS_MACS_METRICS_H
+#define MACS_MACS_METRICS_H
+
+#include <span>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+
+namespace macs::model {
+
+/** Convert cycles-per-loop to cycles-per-flop (source flops per
+ *  iteration, f_a + f_m of the high-level code). */
+inline double
+cplToCpf(double cpl, int source_flops)
+{
+    MACS_ASSERT(source_flops > 0, "CPF needs a positive flop count");
+    return cpl / static_cast<double>(source_flops);
+}
+
+/** MFLOPS delivered at @p cpf on a @p clock_mhz machine. */
+inline double
+cpfToMflops(double cpf, double clock_mhz)
+{
+    MACS_ASSERT(cpf > 0.0, "MFLOPS needs positive CPF");
+    return clock_mhz / cpf;
+}
+
+/**
+ * Harmonic-mean MFLOPS over a set of applications: equation (4),
+ * HMEAN(MFLOPS) = clockrate(MHz) / averageCPF.
+ */
+inline double
+hmeanMflops(std::span<const double> cpfs, double clock_mhz)
+{
+    return clock_mhz / mean(cpfs);
+}
+
+} // namespace macs::model
+
+#endif // MACS_MACS_METRICS_H

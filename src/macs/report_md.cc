@@ -1,0 +1,183 @@
+#include "macs/report_md.h"
+
+#include <sstream>
+#include <vector>
+
+#include "lfk/paper_reference.h"
+#include "macs/metrics.h"
+#include "support/math_util.h"
+#include "support/strings.h"
+
+namespace macs::model {
+
+namespace {
+
+/** Minimal markdown table builder. */
+class MdTable
+{
+  public:
+    explicit MdTable(std::vector<std::string> header)
+        : header_(std::move(header))
+    {
+    }
+
+    void
+    addRow(std::vector<std::string> row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    std::string
+    render() const
+    {
+        std::ostringstream os;
+        auto emit = [&](const std::vector<std::string> &cells) {
+            os << '|';
+            for (const auto &c : cells)
+                os << ' ' << c << " |";
+            os << '\n';
+        };
+        emit(header_);
+        os << '|';
+        for (size_t i = 0; i < header_.size(); ++i)
+            os << "---|";
+        os << '\n';
+        for (const auto &r : rows_)
+            emit(r);
+        return os.str();
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+std::string
+num(double v, int decimals = 3)
+{
+    return format("%.*f", decimals, v);
+}
+
+} // namespace
+
+std::string
+renderMarkdownReport(const std::map<int, KernelAnalysis> &analyses,
+                     const machine::MachineConfig &config,
+                     bool include_paper_columns)
+{
+    std::ostringstream os;
+    os << "# MACS reproduction report\n\n";
+    os << format(
+        "Machine: %.0f MHz (%.0f ns clock), VL %d, %d banks (busy %d "
+        "cycles), refresh %s.\n\n",
+        config.clockMhz, config.clockNs(), config.maxVectorLength,
+        config.memory.banks, config.memory.bankBusyCycles,
+        config.memory.refreshEnabled ? "on" : "off");
+
+    // ---- Table 2 ----
+    os << "## Workloads (paper Table 2)\n\n";
+    MdTable t2({"LFK", "f_a", "f_m", "l", "s", "f_a'", "f_m'", "l'",
+                "s'"});
+    for (const auto &[id, a] : analyses) {
+        t2.addRow({"LFK" + std::to_string(id),
+                   std::to_string(a.ma.fAdd), std::to_string(a.ma.fMul),
+                   std::to_string(a.ma.loads),
+                   std::to_string(a.ma.stores),
+                   std::to_string(a.mac.fAdd),
+                   std::to_string(a.mac.fMul),
+                   std::to_string(a.mac.loads),
+                   std::to_string(a.mac.stores)});
+    }
+    os << t2.render() << '\n';
+
+    // ---- Table 3 ----
+    os << "## Bounds in CPL (paper Table 3)\n\n";
+    MdTable t3({"LFK", "t_f'", "t_MACS^f", "t_m'", "t_MACS^m", "t_MA",
+                "t_MAC", "t_MACS"});
+    for (const auto &[id, a] : analyses) {
+        t3.addRow({"LFK" + std::to_string(id), num(a.macBound.tF, 0),
+                   num(a.macsFOnly.cpl, 2), num(a.macBound.tM, 0),
+                   num(a.macsMOnly.cpl, 2), num(a.maBound.bound, 0),
+                   num(a.macBound.bound, 0), num(a.macs.cpl, 2)});
+    }
+    os << t3.render() << '\n';
+
+    // ---- Table 4 ----
+    os << "## Bounds vs measured CPF (paper Table 4)\n\n";
+    std::vector<std::string> h4 = {"LFK", "t_MA", "t_MAC", "t_MACS",
+                                   "t_p", "%MACS of t_p"};
+    if (include_paper_columns)
+        h4.push_back("paper t_p");
+    MdTable t4(h4);
+    std::vector<double> ma, mac, macs, act;
+    for (const auto &[id, a] : analyses) {
+        ma.push_back(a.maCpf());
+        mac.push_back(a.macCpf());
+        macs.push_back(a.macsCpf());
+        act.push_back(a.actualCpf());
+        std::vector<std::string> row = {
+            "LFK" + std::to_string(id), num(a.maCpf()), num(a.macCpf()),
+            num(a.macsCpf()), num(a.actualCpf()),
+            num(100.0 * a.macsCpf() / a.actualCpf(), 1) + "%"};
+        if (include_paper_columns) {
+            auto it = lfk::paperReference().find(id);
+            row.push_back(it == lfk::paperReference().end()
+                              ? "-"
+                              : num(it->second.tpCpf));
+        }
+        t4.addRow(row);
+    }
+    std::vector<std::string> avg = {"**AVG**", num(mean(ma)),
+                                    num(mean(mac)), num(mean(macs)),
+                                    num(mean(act)), ""};
+    if (include_paper_columns)
+        avg.push_back("1.900");
+    t4.addRow(avg);
+    std::vector<std::string> mf = {
+        "**MFLOPS**", num(hmeanMflops(ma, config.clockMhz), 2),
+        num(hmeanMflops(mac, config.clockMhz), 2),
+        num(hmeanMflops(macs, config.clockMhz), 2),
+        num(hmeanMflops(act, config.clockMhz), 2), ""};
+    if (include_paper_columns)
+        mf.push_back("13.16");
+    t4.addRow(mf);
+    os << t4.render() << '\n';
+
+    // ---- Table 5 ----
+    os << "## A/X measurements in CPL (paper Table 5)\n\n";
+    std::vector<std::string> h5 = {"LFK", "t_p", "t_MACS", "t_A",
+                                   "t_MACS^m", "t_X", "t_MACS^f"};
+    if (include_paper_columns) {
+        h5.push_back("paper t_A");
+        h5.push_back("paper t_X");
+    }
+    MdTable t5(h5);
+    for (const auto &[id, a] : analyses) {
+        std::vector<std::string> row = {
+            "LFK" + std::to_string(id), num(a.tP, 2), num(a.macs.cpl, 2),
+            num(a.tA, 2),  num(a.macsMOnly.cpl, 2),
+            num(a.tX, 2),  num(a.macsFOnly.cpl, 2)};
+        if (include_paper_columns) {
+            auto it = lfk::paperReference().find(id);
+            if (it == lfk::paperReference().end()) {
+                row.push_back("-");
+                row.push_back("-");
+            } else {
+                row.push_back(num(it->second.tACpl, 2));
+                row.push_back(num(it->second.tXCpl, 2));
+            }
+        }
+        t5.addRow(row);
+    }
+    os << t5.render() << '\n';
+
+    // ---- Per-kernel diagnosis ----
+    os << "## Gap diagnosis (paper section 4.4)\n\n";
+    for (const auto &[id, a] : analyses) {
+        os << "### LFK" << id << "\n\n```\n"
+           << renderReport(a, config) << "```\n\n";
+    }
+    return os.str();
+}
+
+} // namespace macs::model

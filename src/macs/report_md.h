@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Markdown report generation: renders a complete paper-vs-measured
+ * document (Tables 2-5 plus the gap diagnosis per kernel) from a set
+ * of kernel analyses. Used by tools/generate_report so downstream
+ * users can regenerate the reproduction record on any machine variant.
+ */
+
+#ifndef MACS_MACS_REPORT_MD_H
+#define MACS_MACS_REPORT_MD_H
+
+#include <map>
+#include <string>
+
+#include "macs/hierarchy.h"
+#include "machine/machine_config.h"
+
+namespace macs::model {
+
+/**
+ * Render the full reproduction report for @p analyses (keyed by LFK
+ * id) on @p config. When @p include_paper_columns is set, the paper's
+ * published values (lfk::paperReference()) are shown alongside; turn
+ * it off when reporting a non-C-240 machine variant where those
+ * numbers do not apply.
+ */
+std::string
+renderMarkdownReport(const std::map<int, KernelAnalysis> &analyses,
+                     const machine::MachineConfig &config,
+                     bool include_paper_columns = true);
+
+} // namespace macs::model
+
+#endif // MACS_MACS_REPORT_MD_H

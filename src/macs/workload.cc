@@ -1,0 +1,30 @@
+#include "macs/workload.h"
+
+namespace macs::model {
+
+WorkloadCounts
+countAssembly(std::span<const isa::Instruction> body)
+{
+    WorkloadCounts c;
+    for (const auto &in : body) {
+        switch (in.info().kind) {
+          case isa::OpKind::VectorLoad:
+            ++c.loads;
+            break;
+          case isa::OpKind::VectorStore:
+            ++c.stores;
+            break;
+          case isa::OpKind::VectorFpAdd:
+            ++c.fAdd;
+            break;
+          case isa::OpKind::VectorFpMul:
+            ++c.fMul;
+            break;
+          default:
+            break;
+        }
+    }
+    return c;
+}
+
+} // namespace macs::model

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Workload characterization: the operation counts that parameterize the
+ * MA and MAC bounds (paper section 3.1).
+ *
+ * MA counts come from the high-level source (see compiler::analyzeSource
+ * for automatic derivation with perfect index analysis); MAC counts are
+ * taken from the compiled inner loop body with countAssembly().
+ */
+
+#ifndef MACS_MACS_WORKLOAD_H
+#define MACS_MACS_WORKLOAD_H
+
+#include <span>
+
+#include "isa/instruction.h"
+
+namespace macs::model {
+
+/**
+ * Per-iteration operation counts of a vectorized inner loop.
+ *
+ * fAdd / fMul are vector FP operations on the add and multiply pipes
+ * respectively; loads / stores are vector memory operations.
+ */
+struct WorkloadCounts
+{
+    int fAdd = 0;
+    int fMul = 0;
+    int loads = 0;
+    int stores = 0;
+
+    bool operator==(const WorkloadCounts &) const = default;
+
+    /** Total FP operations per iteration. */
+    int flops() const { return fAdd + fMul; }
+    /** FP-pipe time bound t_f = max(f_a, f_m) in CPL. */
+    int tF() const { return fAdd > fMul ? fAdd : fMul; }
+    /** Memory-port time bound t_m = l + s in CPL. */
+    int tM() const { return loads + stores; }
+};
+
+/**
+ * Count the vector operations of a compiled loop body (the MAC
+ * workload). Scalar instructions are ignored; reductions and negations
+ * count as add-pipe FP operations, divisions as multiply-pipe.
+ */
+WorkloadCounts countAssembly(std::span<const isa::Instruction> body);
+
+} // namespace macs::model
+
+#endif // MACS_MACS_WORKLOAD_H

@@ -1,0 +1,100 @@
+#include "sim/bank_model.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace macs::sim {
+
+namespace {
+
+/** Bank index of a word address. */
+size_t
+bankOf(int64_t word, int banks)
+{
+    int64_t b = word % banks;
+    if (b < 0)
+        b += banks;
+    return static_cast<size_t>(b);
+}
+
+} // namespace
+
+BankSimResult
+simulateBankStream(const machine::MemoryConfig &config, int elements,
+                   int64_t stride, uint64_t start_word)
+{
+    MACS_ASSERT(elements > 0, "empty stream");
+    MACS_ASSERT(config.banks > 0, "need at least one bank");
+
+    std::vector<double> bank_free(static_cast<size_t>(config.banks),
+                                  0.0);
+    double t = 0.0;
+    double first_issue = -1.0;
+    double prev_issue = 0.0;
+    // Track the issue time of the element one period ago to estimate
+    // the sustained rate from the tail of the stream.
+    std::vector<double> issues;
+    issues.reserve(static_cast<size_t>(elements));
+
+    for (int i = 0; i < elements; ++i) {
+        int64_t word = static_cast<int64_t>(start_word) +
+                       static_cast<int64_t>(i) * stride;
+        size_t bank = bankOf(word, config.banks);
+        double issue = std::max(t, bank_free[bank]);
+        if (first_issue < 0)
+            first_issue = issue;
+        bank_free[bank] = issue + config.bankBusyCycles;
+        t = issue + 1.0; // port: at most one request per cycle
+        prev_issue = issue;
+        issues.push_back(issue);
+    }
+
+    BankSimResult res;
+    res.cycles = prev_issue + config.bankBusyCycles - first_issue;
+    // Sustained rate: slope over the second half of the stream.
+    size_t half = issues.size() / 2;
+    if (issues.size() >= 4 && issues.size() - half >= 2) {
+        res.sustainedRate =
+            (issues.back() - issues[half]) /
+            static_cast<double>(issues.size() - 1 - half);
+    } else {
+        res.sustainedRate = res.cycles / elements;
+    }
+    // Transient: how much the whole stream exceeds the steady slope.
+    res.transientCycles =
+        (issues.back() - issues.front()) -
+        res.sustainedRate * static_cast<double>(issues.size() - 1);
+    return res;
+}
+
+double
+simulateInterleavedStreams(const machine::MemoryConfig &config,
+                           int elements, int64_t stride_a,
+                           uint64_t start_a, int64_t stride_b,
+                           uint64_t start_b)
+{
+    MACS_ASSERT(elements > 0, "empty stream");
+    std::vector<double> bank_free(static_cast<size_t>(config.banks),
+                                  0.0);
+    double t = 0.0;
+    double last = 0.0;
+    for (int i = 0; i < elements; ++i) {
+        for (int which = 0; which < 2; ++which) {
+            int64_t base = which == 0 ? static_cast<int64_t>(start_a)
+                                      : static_cast<int64_t>(start_b);
+            int64_t stride = which == 0 ? stride_a : stride_b;
+            size_t bank =
+                bankOf(base + static_cast<int64_t>(i) * stride,
+                       config.banks);
+            double issue = std::max(t, bank_free[bank]);
+            bank_free[bank] = issue + config.bankBusyCycles;
+            t = issue + 1.0;
+            last = issue;
+        }
+    }
+    return last + config.bankBusyCycles;
+}
+
+} // namespace macs::sim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Element-granularity bank simulation: the ground-truth model the
+ * analytic stride-rate formula (MemoryPort::strideRate) is validated
+ * against.
+ *
+ * The interleaved memory is modeled bank by bank: the port issues at
+ * most one request per cycle, a request must wait for its bank's busy
+ * timer, and each access occupies its bank for bankBusyCycles. This is
+ * slower than the closed form but makes no periodicity assumptions, so
+ * it also answers questions the formula cannot: alignment effects,
+ * mixed-stride request interleaving, and the transient before a stream
+ * reaches its steady rate.
+ */
+
+#ifndef MACS_SIM_BANK_MODEL_H
+#define MACS_SIM_BANK_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_config.h"
+
+namespace macs::sim {
+
+/** Outcome of a bank-accurate stream simulation. */
+struct BankSimResult
+{
+    double cycles = 0.0;        ///< first issue to last issue + busy
+    double sustainedRate = 0.0; ///< asymptotic cycles per element
+    double transientCycles = 0.0; ///< extra cycles before steady state
+};
+
+/**
+ * Simulate a single @p elements-long stream of word stride @p stride
+ * starting at word @p start_word.
+ */
+BankSimResult simulateBankStream(const machine::MemoryConfig &config,
+                                 int elements, int64_t stride,
+                                 uint64_t start_word = 0);
+
+/**
+ * Simulate two interleaved streams (a load and a store of the same
+ * length, alternating requests) — the port pattern of a copy loop.
+ * Returns total cycles for both streams.
+ */
+double simulateInterleavedStreams(const machine::MemoryConfig &config,
+                                  int elements, int64_t stride_a,
+                                  uint64_t start_a, int64_t stride_b,
+                                  uint64_t start_b);
+
+} // namespace macs::sim
+
+#endif // MACS_SIM_BANK_MODEL_H

@@ -1,0 +1,103 @@
+#include "sim/memory_image.h"
+
+#include <bit>
+
+#include "support/logging.h"
+
+namespace macs::sim {
+
+namespace {
+
+// Leave page zero unmapped-ish: symbols start at a nonzero base so that
+// accidental zero addresses are caught by the bounds check below.
+constexpr uint64_t kBaseAddress = 0x1000;
+constexpr uint64_t kAlignBytes = 64;
+
+} // namespace
+
+MemoryImage::MemoryImage(const isa::Program &prog)
+{
+    uint64_t next = kBaseAddress;
+    for (const auto &sym : prog.dataSymbols()) {
+        bases_[sym.name] = next;
+        next += sym.words * 8;
+        next = (next + kAlignBytes - 1) & ~(kAlignBytes - 1);
+    }
+    words_.assign(next / 8, 0);
+}
+
+uint64_t
+MemoryImage::symbolBase(const std::string &symbol) const
+{
+    auto it = bases_.find(symbol);
+    if (it == bases_.end())
+        fatal("undefined data symbol '", symbol, "'");
+    return it->second;
+}
+
+uint64_t
+MemoryImage::wordIndex(uint64_t addr) const
+{
+    if (addr % 8 != 0)
+        fatal("unaligned 64-bit access at address ", addr);
+    uint64_t idx = addr / 8;
+    if (idx >= words_.size())
+        fatal("out-of-bounds memory access at address ", addr, " (size ",
+              sizeBytes(), ")");
+    return idx;
+}
+
+uint64_t
+MemoryImage::readWord(uint64_t addr) const
+{
+    return words_[wordIndex(addr)];
+}
+
+void
+MemoryImage::writeWord(uint64_t addr, uint64_t value)
+{
+    words_[wordIndex(addr)] = value;
+}
+
+double
+MemoryImage::readDouble(uint64_t addr) const
+{
+    return std::bit_cast<double>(readWord(addr));
+}
+
+void
+MemoryImage::writeDouble(uint64_t addr, double value)
+{
+    writeWord(addr, std::bit_cast<uint64_t>(value));
+}
+
+void
+MemoryImage::fillDoubles(const std::string &symbol,
+                         const std::vector<double> &values)
+{
+    uint64_t base = symbolBase(symbol);
+    for (size_t i = 0; i < values.size(); ++i)
+        writeDouble(base + i * 8, values[i]);
+}
+
+void
+MemoryImage::fillWords(const std::string &symbol,
+                       const std::vector<int64_t> &values)
+{
+    uint64_t base = symbolBase(symbol);
+    for (size_t i = 0; i < values.size(); ++i)
+        writeWord(base + i * 8, static_cast<uint64_t>(values[i]));
+}
+
+std::vector<double>
+MemoryImage::readDoubles(const std::string &symbol, size_t count,
+                         size_t first) const
+{
+    uint64_t base = symbolBase(symbol);
+    std::vector<double> out(count);
+    for (size_t i = 0; i < count; ++i)
+        out[i] = readDouble(base + (first + i) * 8);
+    return out;
+}
+
+} // namespace macs::sim

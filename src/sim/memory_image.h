@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Functional memory for the simulator: a flat word-addressed store with
+ * a symbol table mapping a program's data symbols to base addresses.
+ *
+ * All data is held as 64-bit words (the C-240 memory word). Doubles and
+ * integers are bit-cast in and out; the simulator's scalar registers
+ * hold raw 64-bit patterns, so loads and stores are type-agnostic.
+ */
+
+#ifndef MACS_SIM_MEMORY_IMAGE_H
+#define MACS_SIM_MEMORY_IMAGE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace macs::sim {
+
+/** Byte-addressed (8-byte-word-backed) simulated memory. */
+class MemoryImage
+{
+  public:
+    /**
+     * Lay out the program's data symbols contiguously in declaration
+     * order, each aligned to a 64-byte boundary, and zero-fill.
+     */
+    explicit MemoryImage(const isa::Program &prog);
+
+    /** Base byte address of @p symbol; fatal() when undeclared. */
+    uint64_t symbolBase(const std::string &symbol) const;
+
+    /** Total allocated bytes. */
+    uint64_t sizeBytes() const { return words_.size() * 8; }
+
+    /** Read the 64-bit word at byte address @p addr (must be aligned). */
+    uint64_t readWord(uint64_t addr) const;
+    /** Write the 64-bit word at byte address @p addr. */
+    void writeWord(uint64_t addr, uint64_t value);
+
+    /** Read a double at byte address @p addr. */
+    double readDouble(uint64_t addr) const;
+    /** Write a double at byte address @p addr. */
+    void writeDouble(uint64_t addr, double value);
+
+    /** Typed array views over a symbol, for initializing workloads. @{ */
+    void fillDoubles(const std::string &symbol,
+                     const std::vector<double> &values);
+    void fillWords(const std::string &symbol,
+                   const std::vector<int64_t> &values);
+    std::vector<double> readDoubles(const std::string &symbol,
+                                    size_t count, size_t first = 0) const;
+    /** @} */
+
+  private:
+    uint64_t wordIndex(uint64_t addr) const;
+
+    std::vector<uint64_t> words_;
+    std::map<std::string, uint64_t> bases_;
+};
+
+} // namespace macs::sim
+
+#endif // MACS_SIM_MEMORY_IMAGE_H

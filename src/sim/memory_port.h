@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Timing model of the single CPU<->memory port and the interleaved,
+ * refreshed memory system behind it.
+ *
+ * The C-240 memory has 32 banks of 8-byte words with an 8-cycle bank
+ * busy time; with unit stride a port sustains one access per cycle. A
+ * stride s visits banks/gcd(banks, s) distinct banks cyclically, so
+ * strides sharing a large factor with the bank count reduce throughput
+ * (e.g., stride 32 hits one bank and sustains one access per 8 cycles).
+ *
+ * Dynamic memory refresh occurs every refreshPeriodCycles and blocks
+ * the port for refreshDurationCycles; refreshes that fall while the
+ * port is idle are masked (paper section 3.2).
+ *
+ * Multi-processor contention is modeled by a rate multiplier (>= 1)
+ * calibrated against the paper's observation that under load a port
+ * sustains one access per 56-64 ns instead of per 40 ns cycle.
+ */
+
+#ifndef MACS_SIM_MEMORY_PORT_H
+#define MACS_SIM_MEMORY_PORT_H
+
+#include <cstdint>
+
+#include "machine/machine_config.h"
+
+namespace macs::sim {
+
+/** Timing of one serviced vector stream. */
+struct StreamTiming
+{
+    double enter = 0;     ///< cycle the first element enters the port
+    double rate = 1.0;    ///< cycles per element actually sustained
+    double streamEnd = 0; ///< cycle the last element has entered
+    double refreshStall = 0; ///< refresh cycles charged to this stream
+};
+
+/** Timing of one scalar access. */
+struct ScalarAccessTiming
+{
+    double start = 0; ///< cycle the access wins the port
+    double done = 0;  ///< cycle the port is free again
+};
+
+/** The per-CPU memory port (stateful: tracks busy time and refresh). */
+class MemoryPort
+{
+  public:
+    MemoryPort(const machine::MemoryConfig &config,
+               double contention_factor = 1.0);
+
+    /**
+     * Service a vector stream of @p elements words with word stride
+     * @p stride_words, not before cycle @p earliest. The sustained
+     * rate is max(@p rate_floor, stride rate * contention); a chained
+     * producer slower than memory passes its rate in @p rate_floor.
+     */
+    StreamTiming serviceStream(double earliest, int elements,
+                               int64_t stride_words,
+                               double rate_floor = 1.0);
+
+    /** Service one scalar access, not before cycle @p earliest. */
+    ScalarAccessTiming serviceScalar(double earliest);
+
+    /** Earliest cycle a new access can win the port. */
+    double freeAt() const { return free_at_; }
+
+    /** Sustained cycles/element for @p stride_words (no contention). */
+    double strideRate(int64_t stride_words) const;
+
+    /** Total refresh cycles charged so far. */
+    double refreshStallTotal() const { return refresh_stall_total_; }
+
+  private:
+    /** Refresh cycles hitting a busy window [begin, nominal end). */
+    double refreshStall(double begin, double end) const;
+
+    machine::MemoryConfig config_;
+    double contention_;
+    double free_at_ = 0.0;
+    double refresh_stall_total_ = 0.0;
+};
+
+} // namespace macs::sim
+
+#endif // MACS_SIM_MEMORY_PORT_H

@@ -1,0 +1,98 @@
+#include "sim/multi_cpu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace macs::sim {
+
+namespace {
+
+/** Per-process coupling strength (see header). */
+double
+alphaFor(WorkloadMix mix)
+{
+    switch (mix) {
+      case WorkloadMix::Independent:
+        return 0.15;
+      case WorkloadMix::LockStep:
+        return 0.05;
+    }
+    panic("unreachable workload mix");
+}
+
+RunStats
+runOnce(const CpuJob &job, const machine::MachineConfig &config,
+        double factor)
+{
+    SimOptions opt;
+    opt.memoryContentionFactor = factor;
+    Simulator sim(config, *job.program, opt);
+    if (job.setup)
+        job.setup(sim);
+    return sim.run();
+}
+
+/** Fraction of the run during which the memory port streamed. */
+double
+portUtilization(const RunStats &st)
+{
+    if (st.cycles <= 0.0)
+        return 0.0;
+    double busy = st.loadStorePipeBusy +
+                  2.0 * static_cast<double>(st.scalarMemAccesses);
+    return std::min(1.0, busy / st.cycles);
+}
+
+} // namespace
+
+MultiCpuResult
+runMultiCpu(const std::vector<CpuJob> &jobs,
+            const machine::MachineConfig &config,
+            const MultiCpuOptions &options)
+{
+    MACS_ASSERT(!jobs.empty(), "multi-CPU run needs at least one job");
+    MACS_ASSERT(jobs.size() <= 4,
+                "the C-240 has four CPUs; got ", jobs.size(), " jobs");
+    for (const auto &j : jobs)
+        MACS_ASSERT(j.program != nullptr, "job without a program");
+
+    const double alpha = alphaFor(options.mix);
+    const size_t n = jobs.size();
+
+    MultiCpuResult res;
+    res.factor.assign(n, 1.0);
+    res.utilization.assign(n, 0.0);
+
+    for (int iter = 0; iter < options.maxIterations; ++iter) {
+        ++res.iterations;
+        res.stats.clear();
+        for (size_t i = 0; i < n; ++i)
+            res.stats.push_back(runOnce(jobs[i], config, res.factor[i]));
+        for (size_t i = 0; i < n; ++i)
+            res.utilization[i] = portUtilization(res.stats[i]);
+
+        double worst_delta = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double others = 0.0;
+            for (size_t j = 0; j < n; ++j)
+                if (j != i)
+                    others += res.utilization[j];
+            double next = 1.0 + alpha * others;
+            worst_delta =
+                std::max(worst_delta, std::abs(next - res.factor[i]));
+            res.factor[i] = next;
+        }
+        if (worst_delta < options.tolerance) {
+            res.converged = true;
+            break;
+        }
+    }
+    if (!res.converged)
+        warn("multi-CPU contention fixed point did not converge in ",
+             options.maxIterations, " iterations");
+    return res;
+}
+
+} // namespace macs::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Multi-processor experiment driver: N programs sharing the C-240's
+ * banked memory (paper section 4.2 / Figure 3's multi-process runs).
+ *
+ * Rather than fixing a contention factor a priori, the driver solves
+ * for it: each CPU's memory-stream slowdown is a function of how much
+ * memory traffic the *other* CPUs actually generate, and their traffic
+ * in turn depends on their own slowdown. Iterating
+ *
+ *     factor_i = 1 + alpha * sum_{j != i} utilization_j
+ *
+ * to a fixed point (utilization_j = fraction of CPU j's run time its
+ * memory port streams) converges in a few rounds because higher
+ * factors stretch run time and lower utilization. alpha is calibrated
+ * so four fully memory-bound processes land in the paper's 56-64 ns
+ * per-access band (alpha = 0.15 independent, 0.05 lock step).
+ */
+
+#ifndef MACS_SIM_MULTI_CPU_H
+#define MACS_SIM_MULTI_CPU_H
+
+#include <functional>
+#include <vector>
+
+#include "isa/program.h"
+#include "machine/machine_config.h"
+#include "sim/contention.h"
+#include "sim/simulator.h"
+
+namespace macs::sim {
+
+/** One CPU's workload in a multi-processor run. */
+struct CpuJob
+{
+    const isa::Program *program = nullptr;
+    std::function<void(Simulator &)> setup;
+};
+
+/** Converged state of a multi-processor run. */
+struct MultiCpuResult
+{
+    std::vector<RunStats> stats;        ///< per CPU, final iteration
+    std::vector<double> utilization;    ///< memory-port busy fraction
+    std::vector<double> factor;         ///< converged stream slowdowns
+    int iterations = 0;                 ///< fixed-point rounds used
+    bool converged = false;
+};
+
+/** Options for runMultiCpu(). */
+struct MultiCpuOptions
+{
+    WorkloadMix mix = WorkloadMix::Independent;
+    int maxIterations = 12;
+    double tolerance = 1e-3; ///< max |factor change| to accept
+};
+
+/**
+ * Run every job to completion repeatedly, solving the contention
+ * fixed point described in the file comment. The machine may have at
+ * most four CPUs' worth of jobs (the C-240 configuration).
+ */
+MultiCpuResult runMultiCpu(const std::vector<CpuJob> &jobs,
+                           const machine::MachineConfig &config,
+                           const MultiCpuOptions &options = {});
+
+} // namespace macs::sim
+
+#endif // MACS_SIM_MULTI_CPU_H

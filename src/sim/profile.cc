@@ -1,0 +1,91 @@
+#include "sim/profile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace macs::sim {
+
+const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::None:
+        return "none";
+      case StallCause::Chain:
+        return "chain";
+      case StallCause::Interlock:
+        return "interlock";
+      case StallCause::Tailgate:
+        return "tailgate";
+      case StallCause::PairPort:
+        return "pair-port";
+      case StallCause::MemoryPort:
+        return "memory-port";
+    }
+    panic("unreachable stall cause");
+}
+
+void
+StallProfile::record(size_t pc, const std::string &text, double stall,
+                     StallCause cause)
+{
+    MACS_ASSERT(stall >= 0.0, "negative stall");
+    InstrStalls &e = entries_[pc];
+    if (e.text.empty())
+        e.text = text;
+    ++e.executions;
+    e.totalStall += stall;
+    e.byCause[static_cast<size_t>(cause)] += stall;
+}
+
+double
+StallProfile::totalStallCycles() const
+{
+    double total = 0.0;
+    for (const auto &[pc, e] : entries_)
+        total += e.totalStall;
+    return total;
+}
+
+std::string
+StallProfile::render(size_t max_rows) const
+{
+    if (entries_.empty())
+        return "(no vector instructions profiled)\n";
+
+    std::vector<const std::pair<const size_t, InstrStalls> *> sorted;
+    for (const auto &kv : entries_)
+        sorted.push_back(&kv);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto *a, const auto *b) {
+                  return a->second.totalStall > b->second.totalStall;
+              });
+
+    Table t({"pc", "instruction", "execs", "stall cycles", "per exec",
+             "dominant cause"});
+    size_t rows = std::min(max_rows, sorted.size());
+    for (size_t i = 0; i < rows; ++i) {
+        const auto &[pc, e] = *sorted[i];
+        size_t dominant = 0;
+        for (size_t c = 1; c < kNumStallCauses; ++c)
+            if (e.byCause[c] > e.byCause[dominant])
+                dominant = c;
+        t.addRow({Table::num((long)pc), e.text,
+                  Table::num((long)e.executions),
+                  Table::num(e.totalStall, 0),
+                  Table::num(e.totalStall /
+                                 static_cast<double>(e.executions),
+                             1),
+                  stallCauseName(static_cast<StallCause>(dominant))});
+    }
+    std::string out = t.render();
+    out += format("total stall: %.0f cycles over %zu instructions\n",
+                  totalStallCycles(), entries_.size());
+    return out;
+}
+
+} // namespace macs::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-instruction stall attribution: for every static vector
+ * instruction, how many cycles it waited beyond its issue, and which
+ * constraint bound it — the micro-level counterpart of the paper's
+ * macro-level gap analysis ("pinpoint areas where performance is
+ * lost", section 5).
+ *
+ * Causes mirror the simulator's enter-time constraints:
+ *   Chain      — waiting for a producer's first element (RAW);
+ *   Interlock  — destination busy (WAR/WAW on vector registers);
+ *   Tailgate   — the pipe's previous stream plus bubbles;
+ *   PairPort   — vector register pair read/write ports exhausted;
+ *   MemoryPort — the CPU<->memory port (prior streams, scalar
+ *                accesses, or a refresh in progress).
+ */
+
+#ifndef MACS_SIM_PROFILE_H
+#define MACS_SIM_PROFILE_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace macs::sim {
+
+/** What bound a vector instruction's pipe-entry time. */
+enum class StallCause : uint8_t
+{
+    None = 0,   ///< entered right after issue
+    Chain,
+    Interlock,
+    Tailgate,
+    PairPort,
+    MemoryPort,
+};
+
+/** Number of distinct causes (for array sizing). */
+inline constexpr size_t kNumStallCauses =
+    static_cast<size_t>(StallCause::MemoryPort) + 1;
+
+/** Human-readable cause name. */
+const char *stallCauseName(StallCause cause);
+
+/** Accumulated stalls of one static instruction. */
+struct InstrStalls
+{
+    std::string text;          ///< disassembly
+    uint64_t executions = 0;
+    double totalStall = 0.0;   ///< cycles between issue+X and entry
+    std::array<double, kNumStallCauses> byCause{};
+};
+
+/** Whole-run stall profile, keyed by static instruction index. */
+class StallProfile
+{
+  public:
+    /** Record one dynamic execution. */
+    void record(size_t pc, const std::string &text, double stall,
+                StallCause cause);
+
+    const std::map<size_t, InstrStalls> &entries() const
+    {
+        return entries_;
+    }
+
+    bool empty() const { return entries_.empty(); }
+
+    /** Total stall cycles across all instructions. */
+    double totalStallCycles() const;
+
+    /**
+     * Render a table of the @p max_rows most-stalled instructions
+     * with their dominant causes.
+     */
+    std::string render(size_t max_rows = 16) const;
+
+  private:
+    std::map<size_t, InstrStalls> entries_;
+};
+
+} // namespace macs::sim
+
+#endif // MACS_SIM_PROFILE_H

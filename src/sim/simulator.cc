@@ -1,0 +1,756 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace macs::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Pipe;
+using isa::Reg;
+using isa::RegClass;
+using machine::VectorTiming;
+
+namespace {
+
+/** Index of a vector pipe for array storage. */
+int
+pipeIndex(Pipe p)
+{
+    switch (p) {
+      case Pipe::LoadStore:
+        return 0;
+      case Pipe::Add:
+        return 1;
+      case Pipe::Multiply:
+        return 2;
+      case Pipe::None:
+        break;
+    }
+    panic("pipeIndex on non-vector pipe");
+}
+
+} // namespace
+
+/** Private simulation state. */
+struct Simulator::Impl
+{
+    // ---- timing state -------------------------------------------------
+    struct VRegTiming
+    {
+        double enter = 0.0;       ///< producer's first element entry
+        double firstResult = 0.0;
+        double streamEnd = 0.0;
+        double complete = 0.0;
+        double rate = 1.0;
+        // WAR interlock state: a writer may overwrite element i once
+        // every reader has consumed it. With writer rate >= reader
+        // rate it suffices to start no earlier than the readers
+        // started (the write of element i lands Y cycles after the
+        // reader's pipe has already ingested it); a writer faster
+        // than a reader must wait for the reader's stream to end.
+        double lastReadEnter = 0.0;
+        double lastReadStreamEnd = 0.0;
+        double minReadRate = 1e18;
+        bool hasActiveReaders(double t) const
+        {
+            return lastReadStreamEnd > t;
+        }
+    };
+
+    struct PipeState
+    {
+        double lastStreamEnd = -1e18; ///< tailgate reference
+        double issueGate = 0.0; ///< enter time of last dispatched instr
+        /**
+         * Bubbles of vector instructions dispatched on *other* pipes
+         * since this pipe's last instruction. They accumulate on the
+         * shared dispatch path, so a pipe's next stream starts
+         * lastStreamEnd + pendingBubble + B_self later — in steady
+         * state exactly the paper's chime cost Z*VL + sum of member
+         * bubbles (equation 13).
+         */
+        double pendingBubble = 0.0;
+    };
+
+    struct ActiveVector
+    {
+        double enter = 0.0;
+        double streamEnd = 0.0;
+        std::array<int, isa::kNumVectorPairs> pairReads{};
+        std::array<int, isa::kNumVectorPairs> pairWrites{};
+    };
+
+    double issueFree = 0.0;
+    double flagReadyAt = 0.0;
+    double vlReadyAt = 0.0;
+    std::array<PipeState, 3> pipes;
+    std::array<VRegTiming, isa::kNumVectorRegs> vtime;
+    std::array<double, isa::kNumScalarRegs> sReady{};
+    std::array<double, isa::kNumAddressRegs> aReady{};
+    double maxTime = 0.0;
+    std::vector<ActiveVector> active;
+
+    // ---- functional state ---------------------------------------------
+    std::array<uint64_t, isa::kNumScalarRegs> sRaw{};
+    std::array<int64_t, isa::kNumAddressRegs> aVal{};
+    // Storage allows what-if machines with registers longer than the
+    // C-240's architectural 128 elements (strip-length sweeps).
+    static constexpr int kMaxSimVl = 1024;
+    std::array<std::array<double, kMaxSimVl>, isa::kNumVectorRegs>
+        vdata{};
+    int vl = isa::kMaxVectorLength;
+    bool flag = false;
+
+    // ---- ASU scalar data cache (direct mapped, timing only) -----------
+    std::vector<int64_t> cacheTags; ///< -1 = invalid; else line tag
+
+    void
+    initCache(const machine::ScalarCacheConfig &cfg)
+    {
+        cacheTags.assign(cfg.enabled ? cfg.lines : 0, -1);
+    }
+
+    /** True when the line holding byte address @p addr is cached;
+     *  allocates it either way (look-aside fill on miss). */
+    bool
+    cacheAccess(const machine::ScalarCacheConfig &cfg, uint64_t addr)
+    {
+        if (!cfg.enabled)
+            return false;
+        int64_t line = static_cast<int64_t>(addr) /
+                       (8 * cfg.lineWords);
+        size_t set = static_cast<size_t>(line % cfg.lines);
+        bool hit = cacheTags[set] == line;
+        cacheTags[set] = line;
+        return hit;
+    }
+
+    /** Invalidate every line intersecting [begin, end) bytes. */
+    void
+    invalidateCacheRange(const machine::ScalarCacheConfig &cfg,
+                         uint64_t begin, uint64_t end)
+    {
+        if (!cfg.enabled || begin >= end)
+            return;
+        int64_t line_bytes = 8 * cfg.lineWords;
+        int64_t first = static_cast<int64_t>(begin) / line_bytes;
+        int64_t last = static_cast<int64_t>(end - 1) / line_bytes;
+        if (last - first + 1 >= static_cast<int64_t>(cacheTags.size())) {
+            std::fill(cacheTags.begin(), cacheTags.end(), -1);
+            return;
+        }
+        for (int64_t line = first; line <= last; ++line) {
+            size_t set = static_cast<size_t>(line %
+                                             (int64_t)cacheTags.size());
+            if (cacheTags[set] == line)
+                cacheTags[set] = -1;
+        }
+    }
+
+    void
+    bump(double t)
+    {
+        maxTime = std::max(maxTime, t);
+    }
+};
+
+Simulator::Simulator(const machine::MachineConfig &config,
+                     const isa::Program &program, SimOptions options)
+    : config_(config),
+      program_(program),
+      options_(options),
+      memory_(program),
+      impl_(std::make_unique<Impl>())
+{
+    program_.validate();
+    MACS_ASSERT(config_.maxVectorLength >= 1 &&
+                    config_.maxVectorLength <= Impl::kMaxSimVl,
+                "maxVectorLength out of simulator range");
+    impl_->vl = config_.maxVectorLength;
+    impl_->initCache(config_.scalarCache);
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::setScalar(int index, double value)
+{
+    MACS_ASSERT(index >= 0 && index < isa::kNumScalarRegs, "bad s reg");
+    impl_->sRaw[index] = std::bit_cast<uint64_t>(value);
+}
+
+void
+Simulator::setScalarRaw(int index, uint64_t raw)
+{
+    MACS_ASSERT(index >= 0 && index < isa::kNumScalarRegs, "bad s reg");
+    impl_->sRaw[index] = raw;
+}
+
+void
+Simulator::setAddress(int index, int64_t value)
+{
+    MACS_ASSERT(index >= 0 && index < isa::kNumAddressRegs, "bad a reg");
+    impl_->aVal[index] = value;
+}
+
+double
+Simulator::scalarAsDouble(int index) const
+{
+    MACS_ASSERT(index >= 0 && index < isa::kNumScalarRegs, "bad s reg");
+    return std::bit_cast<double>(impl_->sRaw[index]);
+}
+
+int64_t
+Simulator::scalarAsInt(int index) const
+{
+    MACS_ASSERT(index >= 0 && index < isa::kNumScalarRegs, "bad s reg");
+    return static_cast<int64_t>(impl_->sRaw[index]);
+}
+
+int64_t
+Simulator::address(int index) const
+{
+    MACS_ASSERT(index >= 0 && index < isa::kNumAddressRegs, "bad a reg");
+    return impl_->aVal[index];
+}
+
+RunStats
+Simulator::run()
+{
+    MACS_ASSERT(!ran_, "Simulator::run() may be called only once");
+    ran_ = true;
+
+    Impl &st = *impl_;
+    const auto &instrs = program_.instrs();
+    MemoryPort port(config_.memory, options_.memoryContentionFactor);
+    RunStats stats;
+
+    // --- helpers --------------------------------------------------------
+
+    auto readyAt = [&](const Reg &r) -> double {
+        switch (r.cls) {
+          case RegClass::Scalar:
+            return st.sReady[r.index];
+          case RegClass::Address:
+            return st.aReady[r.index];
+          case RegClass::Vl:
+            return st.vlReadyAt;
+          default:
+            return 0.0;
+        }
+    };
+
+    auto rawOf = [&](const Reg &r) -> uint64_t {
+        switch (r.cls) {
+          case RegClass::Scalar:
+            return st.sRaw[r.index];
+          case RegClass::Address:
+            return static_cast<uint64_t>(st.aVal[r.index]);
+          case RegClass::Vl:
+            return static_cast<uint64_t>(st.vl);
+          default:
+            panic("rawOf on invalid register");
+        }
+    };
+
+    auto intOf = [&](const Reg &r) {
+        return static_cast<int64_t>(rawOf(r));
+    };
+
+    auto setIntReg = [&](const Reg &r, int64_t v, double ready) {
+        switch (r.cls) {
+          case RegClass::Scalar:
+            st.sRaw[r.index] = static_cast<uint64_t>(v);
+            st.sReady[r.index] = ready;
+            break;
+          case RegClass::Address:
+            st.aVal[r.index] = v;
+            st.aReady[r.index] = ready;
+            break;
+          case RegClass::Vl:
+            st.vl = static_cast<int>(std::clamp<int64_t>(
+                v, 1, config_.maxVectorLength));
+            st.vlReadyAt = ready;
+            break;
+          default:
+            panic("setIntReg on invalid register");
+        }
+        st.bump(ready);
+    };
+
+    auto effectiveAddress = [&](const isa::MemRef &mem) -> uint64_t {
+        int64_t addr = mem.offset;
+        if (!mem.symbol.empty())
+            addr += static_cast<int64_t>(memory_.symbolBase(mem.symbol));
+        if (mem.base.valid())
+            addr += st.aVal[mem.base.index];
+        MACS_ASSERT(addr >= 0, "negative effective address");
+        return static_cast<uint64_t>(addr);
+    };
+
+    // Earliest cycle >= `from` at which this instruction's vector
+    // register pair port needs are satisfiable; accounts for streams
+    // still in flight.
+    auto pairPortEarliest = [&](double from,
+                                const std::array<int, 4> &my_reads,
+                                const std::array<int, 4> &my_writes) {
+        if (!config_.chaining.enforcePairLimits)
+            return from;
+        double enter = from;
+        for (int guard = 0; guard < 256; ++guard) {
+            // Tally active pair usage at `enter`.
+            std::array<int, 4> reads = my_reads;
+            std::array<int, 4> writes = my_writes;
+            bool conflict = false;
+            double next_free = std::numeric_limits<double>::infinity();
+            for (const auto &a : st.active) {
+                if (a.streamEnd <= enter)
+                    continue;
+                for (int p = 0; p < 4; ++p) {
+                    reads[p] += a.pairReads[p];
+                    writes[p] += a.pairWrites[p];
+                }
+            }
+            for (int p = 0; p < 4; ++p) {
+                bool uses = my_reads[p] || my_writes[p];
+                if (!uses)
+                    continue;
+                if (reads[p] > config_.chaining.maxReadsPerPair ||
+                    writes[p] > config_.chaining.maxWritesPerPair) {
+                    conflict = true;
+                    // Find the earliest completing active user of p.
+                    for (const auto &a : st.active) {
+                        if (a.streamEnd > enter &&
+                            (a.pairReads[p] || a.pairWrites[p]))
+                            next_free = std::min(next_free, a.streamEnd);
+                    }
+                }
+            }
+            if (!conflict)
+                return enter;
+            MACS_ASSERT(std::isfinite(next_free),
+                        "pair port conflict with no active stream");
+            enter = next_free;
+        }
+        panic("pair port arbitration did not converge");
+    };
+
+    auto pruneActive = [&](double now) {
+        std::erase_if(st.active, [now](const Impl::ActiveVector &a) {
+            return a.streamEnd <= now;
+        });
+    };
+
+    // --- main loop ------------------------------------------------------
+
+    size_t pc = 0;
+    while (pc < instrs.size()) {
+        if (stats.instructions >= options_.maxInstructions)
+            fatal("instruction budget exceeded (", options_.maxInstructions,
+                  "); infinite loop?");
+        ++stats.instructions;
+
+        const Instruction &in = instrs[pc];
+
+        if (in.isVector()) {
+            ++stats.vectorInstructions;
+            const VectorTiming &tim = config_.timing(in.op);
+            int p = pipeIndex(in.pipe());
+            int n = st.vl;
+
+            // Issue: wait for scalar operands, the issue unit, and the
+            // pipe's single pending slot.
+            double issue_start = std::max(
+                {st.issueFree, st.pipes[p].issueGate, readyAt(in.src1),
+                 readyAt(in.src2), readyAt(in.mem.base), st.vlReadyAt});
+            // VSum accumulates into its scalar destination: the old
+            // value is an input.
+            if (in.op == Opcode::VSum)
+                issue_start = std::max(issue_start, readyAt(in.dst));
+            st.issueFree = issue_start + tim.x;
+
+            double enter = issue_start + tim.x;
+            double rate = tim.z;
+            double producer_complete = 0.0;
+            StallCause stall_cause = StallCause::None;
+            auto raise = [&](double t, StallCause cause) {
+                if (t > enter) {
+                    enter = t;
+                    stall_cause = cause;
+                }
+            };
+
+            // Chaining / interlocks on vector sources.
+            for (const Reg &r : in.vectorReads()) {
+                auto &vt = st.vtime[r.index];
+                if (vt.complete > enter) {
+                    if (config_.chaining.chainingEnabled) {
+                        raise(vt.firstResult, StallCause::Chain);
+                        rate = std::max(rate, vt.rate);
+                        producer_complete =
+                            std::max(producer_complete, vt.complete);
+                    } else {
+                        raise(vt.complete, StallCause::Chain);
+                    }
+                }
+            }
+            // WAW/WAR interlocks on the vector destination. Elementwise
+            // overlap is legal as long as the new writer cannot overtake
+            // the previous producer or any in-flight reader.
+            for (const Reg &r : in.vectorWrites()) {
+                auto &vt = st.vtime[r.index];
+                if (vt.complete > enter) {
+                    // WAW with a still-streaming producer.
+                    if (rate >= vt.rate)
+                        raise(vt.enter + 1.0, StallCause::Interlock);
+                    else
+                        raise(vt.streamEnd, StallCause::Interlock);
+                }
+                if (vt.hasActiveReaders(enter)) {
+                    if (rate >= vt.minReadRate)
+                        raise(vt.lastReadEnter + 1.0,
+                              StallCause::Interlock);
+                    else
+                        raise(vt.lastReadStreamEnd,
+                              StallCause::Interlock);
+                }
+            }
+
+            // Tailgate behind the previous instruction on this pipe;
+            // bubbles of intervening instructions on other pipes stack
+            // onto the gap (see PipeState::pendingBubble).
+            raise(st.pipes[p].lastStreamEnd +
+                      st.pipes[p].pendingBubble + tim.bubble,
+                  StallCause::Tailgate);
+
+            // Vector register pair port limits.
+            std::array<int, 4> my_reads{}, my_writes{};
+            for (const Reg &r : in.vectorReads())
+                ++my_reads[r.pair()];
+            for (const Reg &r : in.vectorWrites())
+                ++my_writes[r.pair()];
+            pruneActive(std::min({enter, st.pipes[0].lastStreamEnd,
+                                  st.pipes[1].lastStreamEnd,
+                                  st.pipes[2].lastStreamEnd}));
+            raise(pairPortEarliest(enter, my_reads, my_writes),
+                  StallCause::PairPort);
+
+            double stream_end;
+            int64_t stride_words = 1;
+            if (in.isVectorMemory()) {
+                if (in.op == Opcode::VLdS)
+                    stride_words = intOf(in.src1);
+                else if (in.op == Opcode::VStS)
+                    stride_words = intOf(in.src2);
+                StreamTiming mt =
+                    port.serviceStream(enter, n, stride_words, rate);
+                raise(mt.enter, StallCause::MemoryPort);
+                rate = mt.rate;
+                stream_end = mt.streamEnd;
+                stats.refreshStallCycles += mt.refreshStall;
+                stats.memoryElements += static_cast<uint64_t>(n);
+            } else {
+                stream_end = enter + rate * n;
+            }
+
+            double first_result = enter + tim.y;
+            double complete = stream_end + tim.y;
+            // A chained producer delayed mid-stream (refresh) delays
+            // the consumer's tail as well.
+            if (producer_complete > 0.0)
+                complete = std::max(complete, producer_complete + tim.y);
+
+            // Update register timing.
+            for (const Reg &r : in.vectorReads()) {
+                auto &vt = st.vtime[r.index];
+                vt.lastReadEnter = std::max(vt.lastReadEnter, enter);
+                vt.lastReadStreamEnd =
+                    std::max(vt.lastReadStreamEnd, stream_end);
+                vt.minReadRate = std::min(vt.minReadRate, rate);
+            }
+            for (const Reg &r : in.vectorWrites()) {
+                auto &vt = st.vtime[r.index];
+                vt.enter = enter;
+                vt.firstResult = first_result;
+                vt.streamEnd = stream_end;
+                vt.complete = std::max(complete, vt.complete + 1.0);
+                vt.rate = rate;
+                // New producer: reader bookkeeping restarts for the
+                // new value.
+                vt.lastReadEnter = 0.0;
+                vt.lastReadStreamEnd = 0.0;
+                vt.minReadRate = 1e18;
+            }
+            if (in.op == Opcode::VSum) {
+                // Scalar result available when the reduction drains.
+                st.sReady[in.dst.index] = complete;
+            }
+
+            st.pipes[p].lastStreamEnd = stream_end;
+            st.pipes[p].issueGate = enter;
+            st.pipes[p].pendingBubble = 0.0;
+            for (int q = 0; q < 3; ++q)
+                if (q != p)
+                    st.pipes[q].pendingBubble += tim.bubble;
+            st.active.push_back({enter, stream_end, my_reads, my_writes});
+            st.bump(complete);
+
+            // Pipe busy accounting.
+            double busy = rate * n;
+            if (p == 0)
+                stats.loadStorePipeBusy += busy;
+            else if (p == 1)
+                stats.addPipeBusy += busy;
+            else
+                stats.multiplyPipeBusy += busy;
+            stats.vectorElements += static_cast<uint64_t>(n);
+            if (in.isVectorFloat())
+                stats.flops += static_cast<uint64_t>(n);
+
+            // ---- functional execution ----
+            auto broadcastOrVec = [&](const Reg &r, int i) -> double {
+                if (r.isVector())
+                    return st.vdata[r.index][i];
+                return std::bit_cast<double>(rawOf(r));
+            };
+            switch (in.op) {
+              case Opcode::VLd:
+              case Opcode::VLdS: {
+                uint64_t addr = effectiveAddress(in.mem);
+                for (int i = 0; i < n; ++i)
+                    st.vdata[in.dst.index][i] = memory_.readDouble(
+                        addr + static_cast<uint64_t>(i * stride_words) * 8);
+                break;
+              }
+              case Opcode::VSt:
+              case Opcode::VStS: {
+                uint64_t addr = effectiveAddress(in.mem);
+                for (int i = 0; i < n; ++i)
+                    memory_.writeDouble(
+                        addr + static_cast<uint64_t>(i * stride_words) * 8,
+                        st.vdata[in.src1.index][i]);
+                // The VP writes around the ASU cache: invalidate the
+                // covered range for coherence.
+                int64_t span = static_cast<int64_t>(n - 1) * stride_words;
+                uint64_t lo = addr, hi = addr + 8;
+                if (span >= 0)
+                    hi = addr + static_cast<uint64_t>(span) * 8 + 8;
+                else
+                    lo = addr + static_cast<uint64_t>(span) * 8;
+                st.invalidateCacheRange(config_.scalarCache, lo, hi);
+                break;
+              }
+              case Opcode::VAdd:
+              case Opcode::VSub:
+              case Opcode::VMul:
+              case Opcode::VDiv: {
+                for (int i = 0; i < n; ++i) {
+                    double a = broadcastOrVec(in.src1, i);
+                    double b = broadcastOrVec(in.src2, i);
+                    double r = 0.0;
+                    switch (in.op) {
+                      case Opcode::VAdd:
+                        r = a + b;
+                        break;
+                      case Opcode::VSub:
+                        r = a - b;
+                        break;
+                      case Opcode::VMul:
+                        r = a * b;
+                        break;
+                      default:
+                        r = a / b;
+                        break;
+                    }
+                    st.vdata[in.dst.index][i] = r;
+                }
+                break;
+              }
+              case Opcode::VNeg: {
+                for (int i = 0; i < n; ++i)
+                    st.vdata[in.dst.index][i] =
+                        -st.vdata[in.src1.index][i];
+                break;
+              }
+              case Opcode::VSum: {
+                double sum = 0.0;
+                for (int i = 0; i < n; ++i)
+                    sum += st.vdata[in.src1.index][i];
+                double old = std::bit_cast<double>(st.sRaw[in.dst.index]);
+                st.sRaw[in.dst.index] =
+                    std::bit_cast<uint64_t>(old + sum);
+                break;
+              }
+              default:
+                panic("unhandled vector opcode");
+            }
+
+            if (options_.trace) {
+                timeline_.record({pc, in.toString(), issue_start, enter,
+                                  first_result, stream_end, complete});
+            }
+            if (options_.profile) {
+                profile_.record(pc, in.toString(),
+                                enter - (issue_start + tim.x),
+                                stall_cause);
+            }
+            ++pc;
+            continue;
+        }
+
+        // ---- scalar / control ----
+        ++stats.scalarInstructions;
+        double issue_start =
+            std::max({st.issueFree, readyAt(in.src1), readyAt(in.src2),
+                      readyAt(in.mem.base)});
+        double issue_done = issue_start + config_.scalar.issueCycles;
+        st.issueFree = issue_done;
+        st.bump(issue_done);
+
+        switch (in.op) {
+          case Opcode::SLd: {
+            ++stats.scalarMemAccesses;
+            ScalarAccessTiming at = port.serviceScalar(issue_done);
+            uint64_t addr = effectiveAddress(in.mem);
+            bool hit = st.cacheAccess(config_.scalarCache, addr);
+            if (hit)
+                ++stats.scalarCacheHits;
+            else
+                ++stats.scalarCacheMisses;
+            double ready = at.start + (hit ? config_.scalar.loadLatency
+                                           : config_.scalar
+                                                 .loadMissLatency);
+            setIntReg(in.dst,
+                      static_cast<int64_t>(memory_.readWord(addr)), ready);
+            ++pc;
+            break;
+          }
+          case Opcode::SSt: {
+            ++stats.scalarMemAccesses;
+            issue_start = std::max(issue_start, readyAt(in.src1));
+            ScalarAccessTiming at = port.serviceScalar(issue_done);
+            uint64_t addr = effectiveAddress(in.mem);
+            memory_.writeWord(addr, rawOf(in.src1));
+            st.invalidateCacheRange(config_.scalarCache, addr, addr + 8);
+            st.bump(at.done);
+            ++pc;
+            break;
+          }
+          case Opcode::SAdd:
+          case Opcode::SSub:
+          case Opcode::SMul: {
+            // Two-operand forms ("add.w #1024,a5", "sub.w s1,s0")
+            // update the destination in place: rD := rD op operand.
+            // Three-operand forms compute rD := op1 op op2.
+            int64_t a, b;
+            if (!in.src2.valid()) {
+                a = intOf(in.dst);
+                b = in.hasImm ? in.imm : intOf(in.src1);
+            } else {
+                a = in.hasImm ? in.imm : intOf(in.src1);
+                b = intOf(in.src2);
+            }
+            int64_t r = 0;
+            switch (in.op) {
+              case Opcode::SAdd:
+                r = a + b;
+                break;
+              case Opcode::SSub:
+                r = a - b;
+                break;
+              default:
+                r = a * b;
+                break;
+            }
+            setIntReg(in.dst, r, issue_start + config_.scalar.aluLatency);
+            ++pc;
+            break;
+          }
+          case Opcode::SFAdd:
+          case Opcode::SFSub:
+          case Opcode::SFMul:
+          case Opcode::SFDiv: {
+            double a = std::bit_cast<double>(rawOf(in.src1));
+            double b = std::bit_cast<double>(rawOf(in.src2));
+            double r = 0.0;
+            switch (in.op) {
+              case Opcode::SFAdd:
+                r = a + b;
+                break;
+              case Opcode::SFSub:
+                r = a - b;
+                break;
+              case Opcode::SFMul:
+                r = a * b;
+                break;
+              default:
+                r = a / b;
+                break;
+            }
+            int latency = in.op == Opcode::SFDiv
+                              ? config_.scalar.fpDivLatency
+                              : config_.scalar.fpLatency;
+            setIntReg(in.dst,
+                      static_cast<int64_t>(std::bit_cast<uint64_t>(r)),
+                      issue_start + latency);
+            ++pc;
+            break;
+          }
+          case Opcode::SMov: {
+            int64_t v = in.hasImm ? in.imm : intOf(in.src1);
+            setIntReg(in.dst, v, issue_start + config_.scalar.aluLatency);
+            ++pc;
+            break;
+          }
+          case Opcode::SLt:
+          case Opcode::SLe: {
+            int64_t a = in.hasImm ? in.imm : intOf(in.src1);
+            int64_t b = intOf(in.src2);
+            st.flag = (in.op == Opcode::SLt) ? (a < b) : (a <= b);
+            st.flagReadyAt = issue_start + config_.scalar.aluLatency;
+            ++pc;
+            break;
+          }
+          case Opcode::BrT:
+          case Opcode::BrF: {
+            issue_start = std::max(issue_start, st.flagReadyAt);
+            bool taken = (in.op == Opcode::BrT) ? st.flag : !st.flag;
+            if (taken) {
+                ++stats.branchesTaken;
+                st.issueFree =
+                    issue_start + config_.scalar.branchResolveCycles;
+                pc = program_.labelIndex(in.target);
+            } else {
+                st.issueFree = issue_start + config_.scalar.issueCycles;
+                ++pc;
+            }
+            st.bump(st.issueFree);
+            break;
+          }
+          case Opcode::Jmp: {
+            ++stats.branchesTaken;
+            st.issueFree =
+                issue_start + config_.scalar.branchResolveCycles;
+            st.bump(st.issueFree);
+            pc = program_.labelIndex(in.target);
+            break;
+          }
+          case Opcode::Nop:
+            ++pc;
+            break;
+          default:
+            panic("unhandled scalar opcode");
+        }
+    }
+
+    stats.cycles = std::max(st.maxTime, port.freeAt());
+    return stats;
+}
+
+} // namespace macs::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cycle-level, functionally accurate simulator of one Convex C-240 CPU.
+ *
+ * Timing model (paper sections 2, 3.2, 3.3):
+ *  - single-issue in-order instruction stream with hardware interlocks;
+ *  - three vector pipes (load/store, add, multiply) that execute
+ *    concurrently; a vector instruction on pipe P enters P no earlier
+ *    than the previous P instruction's last element entered plus its
+ *    tailgating bubble B (Table 1);
+ *  - operand chaining: a dependent vector instruction's first element
+ *    enters its pipe when the producer's first element result is
+ *    available (enter >= producer.firstResult); its sustained rate is
+ *    the max of its own Z and its chained producers' rates;
+ *  - a vector instruction entering at cycle e with parameters (X,Y,Z)
+ *    has firstResult = e + Y and complete = e + Y + Z*VL (equation 5);
+ *  - vector register pair port limits (2 reads / 1 write per pair among
+ *    concurrently streaming instructions) delay the violating
+ *    instruction until a port frees;
+ *  - scalar instructions issue in order and are normally masked under
+ *    vector execution; scalar loads/stores contend for the single
+ *    memory port with vector streams;
+ *  - the banked memory limits non-unit strides and inserts refresh
+ *    stalls (see MemoryPort).
+ *
+ * Functional model: scalar/address registers hold raw 64-bit values,
+ * vector registers hold up to 128 doubles; all LFK kernels compute real
+ * results that tests validate against reference implementations.
+ */
+
+#ifndef MACS_SIM_SIMULATOR_H
+#define MACS_SIM_SIMULATOR_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/program.h"
+#include "machine/machine_config.h"
+#include "sim/memory_image.h"
+#include "sim/memory_port.h"
+#include "sim/profile.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace macs::sim {
+
+/** Options controlling one simulation. */
+struct SimOptions
+{
+    /** Memory rate multiplier modeling multi-CPU contention (>= 1). */
+    double memoryContentionFactor = 1.0;
+    /** Dynamic instruction budget; exceeding it is fatal(). */
+    uint64_t maxInstructions = 100'000'000;
+    /** Record a Timeline of vector instruction events. */
+    bool trace = false;
+    /** Record per-instruction stall attribution (see sim/profile.h). */
+    bool profile = false;
+};
+
+/** One-CPU simulator. Construct, initialize memory, then run(). */
+class Simulator
+{
+  public:
+    Simulator(const machine::MachineConfig &config,
+              const isa::Program &program, SimOptions options = {});
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Functional memory (initialize inputs before run()). */
+    MemoryImage &memory() { return memory_; }
+    const MemoryImage &memory() const { return memory_; }
+
+    /** Set a scalar/address register before running. @{ */
+    void setScalar(int index, double value);
+    void setScalarRaw(int index, uint64_t raw);
+    void setAddress(int index, int64_t value);
+    /** @} */
+
+    /** Read registers after running. @{ */
+    double scalarAsDouble(int index) const;
+    int64_t scalarAsInt(int index) const;
+    int64_t address(int index) const;
+    /** @} */
+
+    /**
+     * Execute from the first instruction until control falls off the
+     * end of the program. May be called once per Simulator.
+     */
+    RunStats run();
+
+    /** Timeline recorded during run() (empty unless options.trace). */
+    const Timeline &timeline() const { return timeline_; }
+
+    /** Stall profile from run() (empty unless options.profile). */
+    const StallProfile &profile() const { return profile_; }
+
+  private:
+    struct Impl;
+
+    // Owned copy: callers may pass a temporary configuration.
+    machine::MachineConfig config_;
+    const isa::Program &program_;
+    SimOptions options_;
+    MemoryImage memory_;
+    Timeline timeline_;
+    StallProfile profile_;
+    std::unique_ptr<Impl> impl_;
+    bool ran_ = false;
+};
+
+} // namespace macs::sim
+
+#endif // MACS_SIM_SIMULATOR_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Aggregate statistics of a simulated run.
+ */
+
+#ifndef MACS_SIM_STATS_H
+#define MACS_SIM_STATS_H
+
+#include <cstdint>
+
+namespace macs::sim {
+
+/** Counters and cycle totals produced by Simulator::run(). */
+struct RunStats
+{
+    double cycles = 0.0;            ///< total run time in clock cycles
+    uint64_t instructions = 0;      ///< dynamic instruction count
+    uint64_t vectorInstructions = 0;
+    uint64_t scalarInstructions = 0;
+    uint64_t branchesTaken = 0;
+    uint64_t vectorElements = 0;    ///< elements processed by the VP
+    uint64_t flops = 0;             ///< vector FP element operations
+    uint64_t memoryElements = 0;    ///< vector elements loaded/stored
+    uint64_t scalarMemAccesses = 0;
+    uint64_t scalarCacheHits = 0;
+    uint64_t scalarCacheMisses = 0;
+    double refreshStallCycles = 0.0;
+    double loadStorePipeBusy = 0.0; ///< cycles elements streamed per pipe
+    double addPipeBusy = 0.0;
+    double multiplyPipeBusy = 0.0;
+
+    /** Cycles per floating point operation (0 when no flops ran). */
+    double
+    cpf() const
+    {
+        return flops ? cycles / static_cast<double>(flops) : 0.0;
+    }
+
+    /** MFLOPS at @p clock_mhz. */
+    double
+    mflops(double clock_mhz) const
+    {
+        double c = cpf();
+        return c > 0.0 ? clock_mhz / c : 0.0;
+    }
+};
+
+} // namespace macs::sim
+
+#endif // MACS_SIM_STATS_H

@@ -1,0 +1,59 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace macs::sim {
+
+std::string
+Timeline::render(size_t max_events, double cycles_per_char) const
+{
+    if (events_.empty())
+        return "(empty timeline)\n";
+
+    size_t n = std::min(max_events, events_.size());
+    double t0 = events_.front().issue;
+    double t1 = 0;
+    for (size_t i = 0; i < n; ++i)
+        t1 = std::max(t1, events_[i].complete);
+
+    size_t label_width = 0;
+    for (size_t i = 0; i < n; ++i)
+        label_width = std::max(label_width, events_[i].text.size());
+    label_width = std::min<size_t>(label_width, 32);
+
+    auto col = [&](double t) {
+        return static_cast<size_t>(
+            std::max(0.0, std::floor((t - t0) / cycles_per_char)));
+    };
+
+    std::ostringstream os;
+    os << format("timeline: %.0f..%.0f cycles, %.1f cycles/char\n", t0, t1,
+                 cycles_per_char);
+    for (size_t i = 0; i < n; ++i) {
+        const TimelineEvent &ev = events_[i];
+        std::string label = ev.text.substr(0, label_width);
+        label.resize(label_width, ' ');
+
+        std::string bar(col(t1) + 1, ' ');
+        auto paint = [&](double a, double b, char c) {
+            for (size_t j = col(a); j < std::max(col(a) + 1, col(b)); ++j)
+                if (j < bar.size() && bar[j] == ' ')
+                    bar[j] = c;
+        };
+        paint(ev.issue, ev.enter, '.');
+        paint(ev.enter, ev.streamEnd, '=');
+        paint(ev.streamEnd, ev.complete, '>');
+
+        os << label << " |" << bar << "| "
+           << format("issue %.0f enter %.0f first %.0f done %.0f",
+                     ev.issue, ev.enter, ev.firstResult, ev.complete)
+           << '\n';
+    }
+    return os.str();
+}
+
+} // namespace macs::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Execution timeline: per-instruction timing events recorded when
+ * tracing is enabled, and an ASCII Gantt rendering used to reproduce
+ * the paper's Figure 2 (chaining with tailgating).
+ */
+
+#ifndef MACS_SIM_TRACE_H
+#define MACS_SIM_TRACE_H
+
+#include <string>
+#include <vector>
+
+namespace macs::sim {
+
+/** Timing of one dynamic vector instruction. */
+struct TimelineEvent
+{
+    size_t pc = 0;          ///< static instruction index
+    std::string text;       ///< disassembly
+    double issue = 0;       ///< issue slot start
+    double enter = 0;       ///< first element enters the pipe
+    double firstResult = 0; ///< first element result available
+    double streamEnd = 0;   ///< last element has entered the pipe
+    double complete = 0;    ///< last element result available
+};
+
+/** A recorded execution timeline. */
+class Timeline
+{
+  public:
+    void record(TimelineEvent ev) { events_.push_back(std::move(ev)); }
+    void clear() { events_.clear(); }
+    const std::vector<TimelineEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+    /**
+     * Render the first @p max_events events as an ASCII Gantt chart,
+     * @p cycles_per_char cycles per character cell. '=' spans
+     * enter..streamEnd (elements entering), '>' spans
+     * streamEnd..complete (pipe draining), '.' spans issue..enter
+     * (blocked / waiting).
+     */
+    std::string render(size_t max_events = 24,
+                       double cycles_per_char = 4.0) const;
+
+  private:
+    std::vector<TimelineEvent> events_;
+};
+
+} // namespace macs::sim
+
+#endif // MACS_SIM_TRACE_H

@@ -1,0 +1,36 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace macs {
+
+namespace {
+
+std::atomic<bool> verbose{true};
+
+} // namespace
+
+namespace detail {
+
+void
+emit(const char *label, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", label, msg.c_str());
+}
+
+bool
+verboseEnabled()
+{
+    return verbose.load(std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+void
+setVerbose(bool enabled)
+{
+    verbose.store(enabled, std::memory_order_relaxed);
+}
+
+} // namespace macs

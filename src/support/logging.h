@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style.
+ *
+ * Two terminating reporters are provided with distinct purposes:
+ *
+ *  - panic():  something happened that should never happen regardless of
+ *              what the user does, i.e., a bug in this library. Throws
+ *              PanicError (so tests can assert on it) after printing.
+ *  - fatal():  the run cannot continue due to a user-level problem (bad
+ *              configuration, malformed assembly, invalid arguments).
+ *              Throws FatalError.
+ *
+ * Non-terminating reporters:
+ *
+ *  - warn():   functionality may be modeled approximately; results are
+ *              still produced.
+ *  - inform(): normal operating status for the user.
+ */
+
+#ifndef MACS_SUPPORT_LOGGING_H
+#define MACS_SUPPORT_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace macs {
+
+/** Thrown by panic(): an internal invariant was violated (library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): a user-level error prevents continuing. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** Assemble a single message string from heterogeneous pieces. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Print a labeled message to stderr (implementation in logging.cc). */
+void emit(const char *label, const std::string &msg);
+
+/** Whether warn()/inform() output is currently enabled. */
+bool verboseEnabled();
+
+} // namespace detail
+
+/** Report an internal library bug and throw PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emit("panic", msg);
+    throw PanicError(msg);
+}
+
+/** Report an unrecoverable user error and throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    detail::emit("fatal", msg);
+    throw FatalError(msg);
+}
+
+/** Warn about approximate or suspicious modeling; execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (detail::verboseEnabled())
+        detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal status to the user; execution continues. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (detail::verboseEnabled())
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally enable or disable warn()/inform() output (default: enabled). */
+void setVerbose(bool enabled);
+
+/**
+ * Check an internal invariant; panic with the stringized condition and
+ * an optional message when it does not hold.
+ */
+#define MACS_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::macs::panic("assertion failed: ", #cond, " ", ##__VA_ARGS__); \
+        }                                                                   \
+    } while (0)
+
+} // namespace macs
+
+#endif // MACS_SUPPORT_LOGGING_H

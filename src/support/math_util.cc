@@ -1,0 +1,77 @@
+#include "support/math_util.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace macs {
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+harmonicMean(std::span<const double> xs)
+{
+    MACS_ASSERT(!xs.empty(), "harmonic mean of empty set");
+    double inv = 0.0;
+    for (double x : xs) {
+        MACS_ASSERT(x > 0.0, "harmonic mean requires positive values");
+        inv += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / inv;
+}
+
+LinearFit
+fitLine(std::span<const double> xs, std::span<const double> ys)
+{
+    MACS_ASSERT(xs.size() == ys.size(), "fitLine size mismatch");
+    MACS_ASSERT(xs.size() >= 2, "fitLine needs at least two points");
+
+    double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    double denom = n * sxx - sx * sx;
+    MACS_ASSERT(std::abs(denom) > 1e-12, "fitLine degenerate x values");
+
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+        fit.rss += r * r;
+    }
+    return fit;
+}
+
+unsigned long
+gcd(unsigned long a, unsigned long b)
+{
+    while (b != 0) {
+        unsigned long t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+double
+roundTo(double v, int decimals)
+{
+    double scale = std::pow(10.0, decimals);
+    return std::round(v * scale) / scale;
+}
+
+} // namespace macs

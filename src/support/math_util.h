@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Numeric helpers: means used by the paper's summary rows (arithmetic
+ * mean of CPF, harmonic-mean MFLOPS) and the linear least-squares fit
+ * used by the calibration framework to derive X/Y/Z parameters.
+ */
+
+#ifndef MACS_SUPPORT_MATH_UTIL_H
+#define MACS_SUPPORT_MATH_UTIL_H
+
+#include <cstddef>
+#include <span>
+
+namespace macs {
+
+/** Arithmetic mean; @returns 0 for an empty span. */
+double mean(std::span<const double> xs);
+
+/** Harmonic mean; panics on non-positive inputs. */
+double harmonicMean(std::span<const double> xs);
+
+/**
+ * Result of fitting y = slope * x + intercept by least squares.
+ * rss is the residual sum of squares.
+ */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double rss = 0.0;
+};
+
+/**
+ * Least-squares fit of y against x.
+ * @pre xs.size() == ys.size() && xs.size() >= 2
+ */
+LinearFit fitLine(std::span<const double> xs, std::span<const double> ys);
+
+/** Greatest common divisor of non-negative integers. */
+unsigned long gcd(unsigned long a, unsigned long b);
+
+/** Round to @p decimals fraction digits (ties away from zero). */
+double roundTo(double v, int decimals);
+
+} // namespace macs
+
+#endif // MACS_SUPPORT_MATH_UTIL_H

@@ -1,0 +1,135 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace macs {
+
+std::string_view
+trim(std::string_view s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(std::string_view s, char sep, bool trim_fields, bool keep_empty)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        size_t pos = s.find(sep, start);
+        std::string_view field = (pos == std::string_view::npos)
+                                     ? s.substr(start)
+                                     : s.substr(start, pos - start);
+        if (trim_fields)
+            field = trim(field);
+        if (keep_empty || !field.empty())
+            out.emplace_back(field);
+        if (pos == std::string_view::npos)
+            break;
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed));
+        // vsnprintf writes the terminator into needed+1 bytes; data() of a
+        // non-const string is writable through size() since C++11 and the
+        // terminator slot is writable since C++17.
+        std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt,
+                       args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+bool
+parseInt(std::string_view s, long &out)
+{
+    s = trim(s);
+    if (s.empty())
+        return false;
+    std::string buf(s);
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(buf.c_str(), &end, 0);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(std::string_view s, double &out)
+{
+    s = trim(s);
+    if (s.empty())
+        return false;
+    std::string buf(s);
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(buf.c_str(), &end);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace macs

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Small string utilities shared across the library: trimming, splitting,
+ * case folding, and printf-style formatting into std::string.
+ */
+
+#ifndef MACS_SUPPORT_STRINGS_H
+#define MACS_SUPPORT_STRINGS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace macs {
+
+/** Remove leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split @p s on @p sep, optionally trimming and dropping empty fields. */
+std::vector<std::string> split(std::string_view s, char sep,
+                               bool trim_fields = true,
+                               bool keep_empty = false);
+
+/** Split on arbitrary runs of whitespace. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Lower-case ASCII copy. */
+std::string toLower(std::string_view s);
+
+/** True when @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Parse a signed integer with optional 0x prefix.
+ * @param s     text to parse (must be fully consumed)
+ * @param out   receives the value on success
+ * @retval true on success, false on malformed input
+ */
+bool parseInt(std::string_view s, long &out);
+
+/** Parse a double; @retval true on success. */
+bool parseDouble(std::string_view s, double &out);
+
+} // namespace macs
+
+#endif // MACS_SUPPORT_STRINGS_H

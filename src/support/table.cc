@@ -1,0 +1,136 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    MACS_ASSERT(!header_.empty(), "table needs at least one column");
+    aligns_.assign(header_.size(), Align::Right);
+    aligns_[0] = Align::Left;
+}
+
+void
+Table::setAlign(size_t col, Align align)
+{
+    MACS_ASSERT(col < aligns_.size(), "column out of range");
+    aligns_[col] = align;
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    MACS_ASSERT(row.size() == header_.size(),
+                "row arity ", row.size(), " != header arity ",
+                header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto pad = [&](const std::string &s, size_t c) {
+        std::string out;
+        size_t fill = width[c] - s.size();
+        if (aligns_[c] == Align::Right)
+            out.append(fill, ' ');
+        out += s;
+        if (aligns_[c] == Align::Left)
+            out.append(fill, ' ');
+        return out;
+    };
+
+    std::ostringstream os;
+    auto rule = [&] {
+        for (size_t c = 0; c < width.size(); ++c) {
+            os << std::string(width[c] + 2, '-');
+            if (c + 1 < width.size())
+                os << '+';
+        }
+        os << '\n';
+    };
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << ' ' << pad(row[c], c) << ' ';
+            if (c + 1 < row.size())
+                os << '|';
+        }
+        os << '\n';
+    };
+
+    emitRow(header_);
+    rule();
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+            separators_.end()) {
+            rule();
+        }
+        emitRow(rows_[r]);
+    }
+    return os.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << quote(row[c]);
+        }
+        os << '\n';
+    };
+    emitRow(header_);
+    for (const auto &row : rows_)
+        emitRow(row);
+    return os.str();
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    return format("%.*f", decimals, v);
+}
+
+std::string
+Table::num(long v)
+{
+    return format("%ld", v);
+}
+
+} // namespace macs

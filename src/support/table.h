@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ASCII table and CSV rendering used by the benchmark harnesses to print
+ * paper-style tables (Table 1..5) and by the report generator.
+ *
+ * Cells are strings; convenience overloads format integers and doubles.
+ * Column widths are computed from content; alignment is per column.
+ */
+
+#ifndef MACS_SUPPORT_TABLE_H
+#define MACS_SUPPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace macs {
+
+/** Horizontal alignment of a table column. */
+enum class Align { Left, Right };
+
+/**
+ * A simple text table builder.
+ *
+ * Usage:
+ * @code
+ *   Table t({"LFK", "t_MA", "t_MAC"});
+ *   t.addRow({"1", Table::num(0.600), Table::num(0.800)});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with header labels; all columns default to Right except
+     *  the first, which defaults to Left. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Override the alignment of column @p col. */
+    void setAlign(size_t col, Align align);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line at the current position. */
+    void addSeparator();
+
+    /** Render the table with box-drawing dashes and column padding. */
+    std::string render() const;
+
+    /** Render as CSV (no separators, quoted only when necessary). */
+    std::string renderCsv() const;
+
+    /** Format @p v with @p decimals fraction digits. */
+    static std::string num(double v, int decimals = 3);
+
+    /** Format an integer. */
+    static std::string num(long v);
+
+    size_t rows() const { return rows_.size(); }
+    size_t columns() const { return header_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<Align> aligns_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> separators_; // row indices preceded by a rule
+};
+
+} // namespace macs
+
+#endif // MACS_SUPPORT_TABLE_H

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * A/X transformation tests (paper section 3.6): the access-only and
+ * execute-only codes remove exactly one instruction class, preserve
+ * control flow and labels, and still run to completion on every LFK.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/parser.h"
+#include "lfk/kernels.h"
+#include "macs/ax_transform.h"
+#include "sim/simulator.h"
+
+namespace macs::model {
+namespace {
+
+TEST(AxTransform, AccessOnlyRemovesVectorFp)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    isa::Program a = makeAProcess(p);
+    for (const auto &in : a.instrs())
+        EXPECT_FALSE(in.isVector() && !in.isVectorMemory())
+            << in.toString();
+    // All 4 memory ops and all 5 scalar loop instructions retained.
+    int mem = 0, scalar = 0;
+    for (const auto &in : a.instrs()) {
+        if (in.isVectorMemory())
+            ++mem;
+        if (!in.isVector())
+            ++scalar;
+    }
+    EXPECT_EQ(mem, 4);
+    EXPECT_EQ(scalar, 5);
+}
+
+TEST(AxTransform, ExecuteOnlyRemovesVectorMemory)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    isa::Program x = makeXProcess(p);
+    for (const auto &in : x.instrs())
+        EXPECT_FALSE(in.isVectorMemory()) << in.toString();
+    int fp = 0;
+    for (const auto &in : x.instrs())
+        if (in.isVectorFloat())
+            ++fp;
+    EXPECT_EQ(fp, 5);
+}
+
+TEST(AxTransform, LabelsReattachAndValidate)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    isa::Program a = makeAProcess(p);
+    EXPECT_TRUE(a.hasLabel("L7"));
+    // The branch still targets an existing instruction.
+    a.validate();
+    // Loop structure intact.
+    auto body = a.innerLoop();
+    EXPECT_GT(body.size(), 0u);
+}
+
+TEST(AxTransform, DataSymbolsPreserved)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    isa::Program x = makeXProcess(p);
+    EXPECT_TRUE(x.hasDataSymbol("x"));
+    EXPECT_TRUE(x.hasDataSymbol("y"));
+    EXPECT_TRUE(x.hasDataSymbol("zx"));
+}
+
+TEST(AxTransform, LabelAtRemovedInstructionMovesForward)
+{
+    isa::Program p = isa::assemble(R"(
+.comm x,256
+    mov #64,s6
+    mov s6,VL
+TOP: add.d v0,v1,v2
+    ld.l x(a5),v3
+    nop
+)");
+    isa::Program a = makeAProcess(p);
+    // TOP pointed at the removed add; it must now point at the load.
+    EXPECT_TRUE(a.hasLabel("TOP"));
+    EXPECT_EQ(a.instrs()[a.labelIndex("TOP")].op, isa::Opcode::VLd);
+}
+
+TEST(AxTransform, TrailingLabelSurvives)
+{
+    isa::Program p = isa::assemble(R"(
+    nop
+END:
+    nop
+)");
+    isa::Program a = makeAProcess(p);
+    EXPECT_TRUE(a.hasLabel("END"));
+}
+
+class AxKernels : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AxKernels, BothProcessesRunToCompletion)
+{
+    lfk::Kernel k = lfk::makeKernel(GetParam());
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+
+    isa::Program a = makeAProcess(k.program);
+    isa::Program x = makeXProcess(k.program);
+
+    sim::Simulator sa(cfg, a);
+    k.setup(sa);
+    sim::RunStats ra = sa.run();
+    EXPECT_GT(ra.cycles, 0.0);
+    EXPECT_EQ(ra.flops, 0u) << "A-process must not execute vector FP";
+
+    sim::Simulator sx(cfg, x);
+    k.setup(sx);
+    sim::RunStats rx = sx.run();
+    EXPECT_GT(rx.cycles, 0.0);
+    EXPECT_EQ(rx.memoryElements, 0u)
+        << "X-process must not access memory with vector ops";
+}
+
+TEST_P(AxKernels, ControlFlowIterationCountsUnchanged)
+{
+    lfk::Kernel k = lfk::makeKernel(GetParam());
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+
+    sim::Simulator sp(cfg, k.program);
+    k.setup(sp);
+    sim::RunStats full = sp.run();
+
+    isa::Program a = makeAProcess(k.program);
+    sim::Simulator sa(cfg, a);
+    k.setup(sa);
+    sim::RunStats ra = sa.run();
+
+    // Scalar control flow is untouched, so both executions take every
+    // branch the same number of times (paper: "control flow is
+    // unaffected").
+    EXPECT_EQ(full.branchesTaken, ra.branchesTaken);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLfk, AxKernels,
+                         ::testing::ValuesIn(lfk::lfkIds()),
+                         [](const auto &info) {
+                             return "LFK" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace macs::model

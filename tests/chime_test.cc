@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Chime partitioner tests against the formation rules of paper
+ * section 3.3, including the paper's own register-pair violation
+ * examples and the LFK1 worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/parser.h"
+#include "lfk/kernels.h"
+#include "macs/chime.h"
+#include "machine/machine_config.h"
+
+namespace macs::model {
+namespace {
+
+using machine::ChainingConfig;
+
+std::vector<Chime>
+partitionText(const std::string &body_text,
+              ChainingConfig rules = ChainingConfig{})
+{
+    std::string text = ".comm x,1024\n.comm y,1024\n" + body_text;
+    static std::vector<isa::Program> keep;
+    keep.push_back(isa::assemble(text));
+    return partitionChimes(keep.back().instrs(), rules);
+}
+
+TEST(Chime, EmptyBodyYieldsNoChimes)
+{
+    EXPECT_TRUE(partitionText("nop\n").empty());
+}
+
+TEST(Chime, SinglePipeConflictSplits)
+{
+    auto c = partitionText(R"(
+    ld.l x(a5),v0
+    ld.l y(a5),v1
+)");
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_TRUE(c[0].hasMemoryOp);
+    EXPECT_TRUE(c[1].hasMemoryOp);
+}
+
+TEST(Chime, ThreePipesShareOneChime)
+{
+    auto c = partitionText(R"(
+    ld.l x(a5),v0
+    mul.d v0,s1,v1
+    add.d v1,s2,v2
+)");
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c[0].instrs.size(), 3u);
+    EXPECT_TRUE(c[0].usesPipe[0]);
+    EXPECT_TRUE(c[0].usesPipe[1]);
+    EXPECT_TRUE(c[0].usesPipe[2]);
+}
+
+TEST(Chime, PaperExampleThreeReadsOfPairSplits)
+{
+    // Paper: add.d v2,v6,v6 ; mul.d v6,v1,v4 exceeds two reads of
+    // the {v2,v6} pair.
+    auto c = partitionText(R"(
+    add.d v2,v6,v6
+    mul.d v6,v1,v4
+)");
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Chime, PaperExampleTwoWritesOfPairSplits)
+{
+    // Paper: add.d v1,v0,v2 ; mul.d v2,v1,v6 exceeds one write to
+    // the {v2,v6} pair.
+    auto c = partitionText(R"(
+    add.d v1,v0,v2
+    mul.d v2,v1,v6
+)");
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Chime, PairLimitsCanBeDisabled)
+{
+    ChainingConfig rules;
+    rules.enforcePairLimits = false;
+    auto c = partitionText(R"(
+    add.d v2,v6,v6
+    mul.d v6,v1,v4
+)",
+                           rules);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Chime, TwoReadsOneWritePerPairAllowed)
+{
+    auto c = partitionText(R"(
+    ld.l x(a5),v0
+    mul.d v0,v1,v2
+)");
+    // v0 pair0: 1W (ld) + 1R (mul); v1 pair1 1R; v2 pair2 1W: legal.
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Chime, ScalarMemAfterVectorMemTerminatesChime)
+{
+    auto c = partitionText(R"(
+    ld.l x(a5),v0
+    ld.w y,s1
+    mul.d v0,s1,v1
+)");
+    // The scalar load closes the chime holding the vector load; the
+    // multiply starts a new chime.
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[0].instrs.size(), 1u);
+    EXPECT_EQ(c[1].instrs.size(), 1u);
+}
+
+TEST(Chime, ScalarMemBeforeVectorMemSplitsToo)
+{
+    auto c = partitionText(R"(
+    mul.d v0,s1,v1
+    ld.w y,s2
+    ld.l x(a5),v2
+)");
+    // "Terminated just before the scalar or vector memory reference,
+    // whichever comes later": the vector load cannot join the chime
+    // that spans the scalar access.
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_FALSE(c[0].hasMemoryOp);
+    EXPECT_TRUE(c[1].hasMemoryOp);
+}
+
+TEST(Chime, ScalarMemDoesNotSplitFpOnlyChimes)
+{
+    // Paper section 4.4 (LFK8): a scalar load splits a potential
+    // load-add-multiply chime but not an add-multiply chime.
+    auto c = partitionText(R"(
+    mul.d v0,s1,v1
+    ld.w y,s2
+    add.d v1,s2,v2
+)");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Chime, ScalarMemSplittingCanBeDisabled)
+{
+    ChainingConfig rules;
+    rules.scalarMemSplitsChimes = false;
+    auto c = partitionText(R"(
+    ld.l x(a5),v0
+    ld.w y,s1
+    mul.d v0,s1,v1
+)",
+                           rules);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Chime, NoChainingSplitsDependentInstructions)
+{
+    ChainingConfig rules;
+    rules.chainingEnabled = false;
+    auto c = partitionText(R"(
+    ld.l x(a5),v0
+    mul.d v0,s1,v1
+)",
+                           rules);
+    EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Chime, NoChainingKeepsIndependentInstructionsTogether)
+{
+    ChainingConfig rules;
+    rules.chainingEnabled = false;
+    auto c = partitionText(R"(
+    ld.l x(a5),v0
+    mul.d v2,s1,v1
+)",
+                           rules);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Chime, ScalarAluInstructionsAreMasked)
+{
+    auto c = partitionText(R"(
+    ld.l x(a5),v0
+    add #1024,a5
+    sub #128,s0
+    mul.d v0,s1,v1
+)");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Chime, Lfk1PaperListingYieldsFourChimes)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    auto body = p.innerLoop();
+    auto chimes = partitionChimes(body, ChainingConfig{});
+    ASSERT_EQ(chimes.size(), 4u);
+    // Section 3.5: chime 1 = {ld, mul}, chimes 2-3 = {ld, mul, add},
+    // chime 4 = {st}.
+    EXPECT_EQ(chimes[0].instrs.size(), 2u);
+    EXPECT_EQ(chimes[1].instrs.size(), 3u);
+    EXPECT_EQ(chimes[2].instrs.size(), 3u);
+    EXPECT_EQ(chimes[3].instrs.size(), 1u);
+    for (const auto &c : chimes)
+        EXPECT_TRUE(c.hasMemoryOp);
+}
+
+TEST(Chime, RenderShowsMembers)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    auto body = p.innerLoop();
+    auto chimes = partitionChimes(body, ChainingConfig{});
+    std::string txt = renderChimes(body, chimes);
+    EXPECT_NE(txt.find("chime 1 [mem]"), std::string::npos);
+    EXPECT_NE(txt.find("chime 4"), std::string::npos);
+    EXPECT_NE(txt.find("st.l"), std::string::npos);
+}
+
+TEST(Chime, ReductionJoinsChimeOnAddPipe)
+{
+    auto c = partitionText(R"(
+    ld.l x(a5),v0
+    mul.d v0,v1,v2
+    sum.d v2,s1
+)");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Chime, DivideOccupiesMultiplyPipe)
+{
+    auto c = partitionText(R"(
+    div.d v0,v1,v2
+    mul.d v3,v4,v5
+)");
+    EXPECT_EQ(c.size(), 2u);
+}
+
+} // namespace
+} // namespace macs::model

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Compiler tests: DSL parsing, source analysis (MA counts with perfect
+ * index analysis, MAC prediction, vectorizability), and code
+ * generation (structure, register budgets, extent checking, emitted
+ * MAC counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/analysis.h"
+#include "compiler/codegen.h"
+#include "compiler/loop_parser.h"
+#include "macs/workload.h"
+#include "sim/simulator.h"
+#include "support/logging.h"
+
+namespace macs::compiler {
+namespace {
+
+// ---------------------------------------------------------------- parser
+
+TEST(LoopParser, SimpleAssignment)
+{
+    Loop l = parseLoop("DO k\n x(k) = y(k) + 1.5\nEND");
+    EXPECT_EQ(l.var, "k");
+    EXPECT_EQ(l.stride, 1);
+    ASSERT_EQ(l.stmts.size(), 1u);
+    EXPECT_TRUE(l.stmts[0].arrayDst);
+    EXPECT_EQ(l.stmts[0].dstName, "x");
+}
+
+TEST(LoopParser, StrideClause)
+{
+    Loop l = parseLoop("DO i BY 2\n x(i) = y(i)\nEND");
+    EXPECT_EQ(l.stride, 2);
+    Loop neg = parseLoop("DO i BY -1\n x(i) = y(i)\nEND");
+    EXPECT_EQ(neg.stride, -1);
+}
+
+TEST(LoopParser, AffineIndices)
+{
+    Loop l = parseLoop("DO k\n x(k) = y(k+10) + z(5*k+2) - w(k-3)\nEND");
+    const Expr &rhs = *l.stmts[0].rhs;
+    // ((y + z) - w)
+    ASSERT_EQ(rhs.kind, Expr::Kind::Sub);
+    const Expr &w = *rhs.rhs;
+    EXPECT_EQ(w.coef, 1);
+    EXPECT_EQ(w.offset, -3);
+    const Expr &z = *rhs.lhs->rhs;
+    EXPECT_EQ(z.coef, 5);
+    EXPECT_EQ(z.offset, 2);
+}
+
+TEST(LoopParser, PrecedenceMulOverAdd)
+{
+    Loop l = parseLoop("DO k\n x(k) = a + b*y(k)\nEND");
+    EXPECT_EQ(l.stmts[0].rhs->kind, Expr::Kind::Add);
+    EXPECT_EQ(l.stmts[0].rhs->rhs->kind, Expr::Kind::Mul);
+}
+
+TEST(LoopParser, ParenthesesOverridePrecedence)
+{
+    Loop l = parseLoop("DO k\n x(k) = (a + b)*y(k)\nEND");
+    EXPECT_EQ(l.stmts[0].rhs->kind, Expr::Kind::Mul);
+}
+
+TEST(LoopParser, UnaryMinus)
+{
+    Loop l = parseLoop("DO k\n x(k) = -y(k)\nEND");
+    EXPECT_EQ(l.stmts[0].rhs->kind, Expr::Kind::Neg);
+}
+
+TEST(LoopParser, MultipleStatements)
+{
+    Loop l = parseLoop(R"(DO k
+ t(k) = a(k) - b(k)
+ x(k) = t(k) * c
+END)");
+    EXPECT_EQ(l.stmts.size(), 2u);
+}
+
+TEST(LoopParser, ScalarReduction)
+{
+    Loop l = parseLoop("DO k\n q = q + z(k)*x(k)\nEND");
+    EXPECT_FALSE(l.stmts[0].arrayDst);
+    EXPECT_TRUE(l.stmts[0].isReduction());
+    ASSERT_NE(l.stmts[0].reductionTerm(), nullptr);
+    EXPECT_EQ(l.stmts[0].reductionTerm()->kind, Expr::Kind::Mul);
+}
+
+TEST(LoopParser, SubtractionReductionRecognized)
+{
+    Loop l = parseLoop("DO k\n t = t - a(k)*b(k)\nEND");
+    EXPECT_TRUE(l.stmts[0].isReduction());
+}
+
+TEST(LoopParser, NonReductionScalarAssignmentNotReduction)
+{
+    Loop l = parseLoop("DO k\n t = a(k) + b(k)\nEND");
+    EXPECT_FALSE(l.stmts[0].isReduction());
+}
+
+TEST(LoopParser, ErrorsAreFatal)
+{
+    EXPECT_THROW(parseLoop("x(k) = 1\nEND"), FatalError); // missing DO
+    EXPECT_THROW(parseLoop("DO k\nEND"), FatalError);     // empty body
+    EXPECT_THROW(parseLoop("DO k\n x(k) = \nEND"), FatalError);
+    EXPECT_THROW(parseLoop("DO k\n x(j) = 1\nEND"), FatalError);
+    EXPECT_THROW(parseLoop("DO k\n x(k) = y(k)"), FatalError); // no END
+    EXPECT_THROW(parseLoop("DO k BY 0\n x(k) = y(k)\nEND"), FatalError);
+}
+
+TEST(LoopParser, ToStringRoundTripsStructure)
+{
+    Loop l = parseLoop("DO k\n x(k) = q + y(k+1)*r\nEND");
+    Loop l2 = parseLoop(l.toString());
+    EXPECT_EQ(l.stmts.size(), l2.stmts.size());
+    EXPECT_EQ(toString(*l.stmts[0].rhs), toString(*l2.stmts[0].rhs));
+}
+
+// ---------------------------------------------------------------- analysis
+
+TEST(Analysis, Lfk1CountsMatchPaperTable2)
+{
+    Loop l = parseLoop(
+        "DO k\n x(k) = q + y(k)*(r*zx(k+10) + t*zx(k+11))\nEND");
+    SourceAnalysis a = analyzeSource(l);
+    EXPECT_TRUE(a.vectorizable);
+    // MA: f_a=2, f_m=3, l=2 (zx stream reused across iterations), s=1.
+    EXPECT_EQ(a.ma, (model::WorkloadCounts{2, 3, 2, 1}));
+    // MAC: the compiler reloads the shifted zx reference: l'=3.
+    EXPECT_EQ(a.mac, (model::WorkloadCounts{2, 3, 3, 1}));
+}
+
+TEST(Analysis, Lfk12ShiftedReuse)
+{
+    Loop l = parseLoop("DO k\n x(k) = y(k+1) - y(k)\nEND");
+    SourceAnalysis a = analyzeSource(l);
+    EXPECT_EQ(a.ma.loads, 1);
+    EXPECT_EQ(a.mac.loads, 2);
+    EXPECT_EQ(a.ma.stores, 1);
+    EXPECT_EQ(a.ma.fAdd, 1);
+}
+
+TEST(Analysis, StrideTwoParityStreamsAreSeparate)
+{
+    // LFK2 shape: in a stride-2 loop, x(k-1)/x(k+1) share a stream but
+    // x(k) is the other parity.
+    Loop l = parseLoop(
+        "DO k BY 2\n w(k) = x(k) - v(k)*x(k-1) - v(k+1)*x(k+1)\nEND");
+    SourceAnalysis a = analyzeSource(l);
+    EXPECT_EQ(a.ma.loads, 4); // x-even, x-odd, v-even, v-odd
+    EXPECT_EQ(a.mac.loads, 5);
+}
+
+TEST(Analysis, ReductionAccumulateCountsOneAdd)
+{
+    Loop l = parseLoop("DO k\n q = q + z(k)*x(k)\nEND");
+    SourceAnalysis a = analyzeSource(l);
+    EXPECT_EQ(a.ma, (model::WorkloadCounts{1, 1, 2, 0}));
+    EXPECT_EQ(a.reductionScalars.size(), 1u);
+}
+
+TEST(Analysis, ForwardedReadNeedsNoLoad)
+{
+    Loop l = parseLoop(R"(DO k
+ t(k) = a(k) - b(k)
+ x(k) = t(k) * c
+END)");
+    SourceAnalysis a = analyzeSource(l);
+    // t(k) is written before it is read: forwarded.
+    EXPECT_EQ(a.ma.loads, 2);
+    EXPECT_EQ(a.mac.loads, 2);
+    EXPECT_EQ(a.ma.stores, 2);
+}
+
+TEST(Analysis, ReadBeforeWriteStillLoads)
+{
+    Loop l = parseLoop("DO k\n x(k) = x(k) + y(k)\nEND");
+    SourceAnalysis a = analyzeSource(l);
+    EXPECT_EQ(a.ma.loads, 2);
+    EXPECT_TRUE(a.vectorizable); // same-element update is fine
+}
+
+TEST(Analysis, LoopCarriedRecurrenceNotVectorizable)
+{
+    Loop l = parseLoop("DO k\n x(k+1) = x(k) * a\nEND");
+    SourceAnalysis a = analyzeSource(l);
+    EXPECT_FALSE(a.vectorizable);
+    EXPECT_NE(a.reason.find("loop-carried"), std::string::npos);
+}
+
+TEST(Analysis, AntiDependenceIsVectorizable)
+{
+    Loop l = parseLoop("DO k\n x(k) = x(k+1) * a\nEND");
+    SourceAnalysis a = analyzeSource(l);
+    EXPECT_TRUE(a.vectorizable);
+}
+
+TEST(Analysis, NonReductionScalarDstNotVectorizable)
+{
+    Loop l = parseLoop("DO k\n t = a(k) + b(k)\nEND");
+    SourceAnalysis a = analyzeSource(l);
+    EXPECT_FALSE(a.vectorizable);
+}
+
+TEST(Analysis, NegCountsOnAddPipe)
+{
+    Loop l = parseLoop("DO k\n x(k) = -y(k)\nEND");
+    SourceAnalysis a = analyzeSource(l);
+    EXPECT_EQ(a.ma.fAdd, 1);
+    EXPECT_EQ(a.ma.fMul, 0);
+}
+
+TEST(Analysis, BroadcastScalarsCollected)
+{
+    Loop l = parseLoop("DO k\n x(k) = q + r*y(k)\nEND");
+    SourceAnalysis a = analyzeSource(l);
+    EXPECT_EQ(a.broadcastScalars.size(), 2u);
+}
+
+// ---------------------------------------------------------------- codegen
+
+CompileOptions
+basicOptions(long trip = 256)
+{
+    CompileOptions opt;
+    opt.tripCount = trip;
+    opt.arrays = {{"x", 512}, {"y", 520}, {"z", 520}, {"zx", 520},
+                  {"u", 520}};
+    return opt;
+}
+
+TEST(Codegen, ProgramValidatesAndHasStripLoop)
+{
+    CompileResult r = compile(
+        parseLoop("DO k\n x(k) = y(k) + z(k)\nEND"), basicOptions());
+    r.program.validate();
+    EXPECT_TRUE(r.program.hasLabel("L1"));
+    auto body = r.program.innerLoop();
+    // VL move first, conditional branch last.
+    EXPECT_EQ(body.front().op, isa::Opcode::SMov);
+    EXPECT_EQ(body.front().dst.cls, isa::RegClass::Vl);
+    EXPECT_EQ(body.back().op, isa::Opcode::BrT);
+}
+
+TEST(Codegen, EmittedMacCountsMatchPrediction)
+{
+    CompileResult r = compile(
+        parseLoop(
+            "DO k\n x(k) = q + y(k)*(r*zx(k+10) + t*zx(k+11))\nEND"),
+        basicOptions());
+    EXPECT_EQ(r.macCounts, r.analysis.mac);
+}
+
+TEST(Codegen, NonVectorizableLoopIsFatal)
+{
+    EXPECT_THROW(compile(parseLoop("DO k\n x(k+1) = x(k)*a\nEND"),
+                         basicOptions()),
+                 FatalError);
+}
+
+TEST(Codegen, UndeclaredArrayIsFatal)
+{
+    EXPECT_THROW(
+        compile(parseLoop("DO k\n ghost(k) = y(k)\nEND"), basicOptions()),
+        FatalError);
+}
+
+TEST(Codegen, ExtentOverflowIsFatal)
+{
+    CompileOptions opt = basicOptions(600); // x declared with 512 words
+    EXPECT_THROW(compile(parseLoop("DO k\n x(k) = y(k)\nEND"), opt),
+                 FatalError);
+}
+
+TEST(Codegen, BadTripCountIsFatal)
+{
+    CompileOptions opt = basicOptions(0);
+    EXPECT_THROW(compile(parseLoop("DO k\n x(k) = y(k)\nEND"), opt),
+                 FatalError);
+}
+
+TEST(Codegen, StridedStreamUsesStridedOps)
+{
+    CompileOptions opt;
+    opt.tripCount = 100;
+    opt.arrays = {{"x", 128}, {"p", 2600}};
+    CompileResult r = compile(
+        parseLoop("DO k\n x(k) = p(25*k+3)\nEND"), opt);
+    bool has_strided = false;
+    for (const auto &in : r.program.instrs())
+        if (in.op == isa::Opcode::VLdS)
+            has_strided = true;
+    EXPECT_TRUE(has_strided);
+}
+
+TEST(Codegen, ScalarBudgetOverflowSpillsIntoLoop)
+{
+    // Ten broadcast scalars exceed the eight s registers.
+    CompileOptions opt;
+    opt.tripCount = 64;
+    opt.arrays = {{"x", 128}, {"y", 128}};
+    CompileResult r = compile(
+        parseLoop("DO k\n x(k) = c1 + c2*(y(k) + c3*(y(k+1) + "
+                  "c4*(y(k+2) + c5*(y(k+3) + c6*(y(k+4) + c7*(y(k+5) + "
+                  "c8*(y(k+6) + c9*y(k+7))))))))\nEND"),
+        opt);
+    EXPECT_FALSE(r.inLoopScalars.empty());
+    // The loop body must contain scalar loads.
+    int in_loop_scalar_loads = 0;
+    for (const auto &in : r.program.innerLoop())
+        if (in.op == isa::Opcode::SLd)
+            ++in_loop_scalar_loads;
+    EXPECT_GT(in_loop_scalar_loads, 0);
+}
+
+TEST(Codegen, ReducedBudgetForcesMoreSpills)
+{
+    CompileOptions full = basicOptions();
+    CompileOptions tight = basicOptions();
+    tight.scalarRegBudget = 2;
+    auto loop_text = "DO k\n x(k) = q + y(k)*(r*zx(k+10) + t*zx(k+11))\nEND";
+    CompileResult rf = compile(parseLoop(loop_text), full);
+    CompileResult rt = compile(parseLoop(loop_text), tight);
+    EXPECT_TRUE(rf.inLoopScalars.empty());
+    EXPECT_FALSE(rt.inLoopScalars.empty());
+}
+
+TEST(Codegen, ReductionStoresAccumulatorInPostamble)
+{
+    CompileOptions opt;
+    opt.tripCount = 100;
+    opt.arrays = {{"x", 128}, {"z", 128}};
+    CompileResult r = compile(parseLoop("DO k\n q = q + z(k)*x(k)\nEND"),
+                              opt);
+    EXPECT_TRUE(r.program.hasDataSymbol("scalar_q"));
+    // Postamble (after the loop) writes the accumulator back.
+    auto [begin, end] = r.program.innerLoopRange();
+    bool store_after_loop = false;
+    for (size_t i = end; i < r.program.size(); ++i)
+        if (r.program.instrs()[i].op == isa::Opcode::SSt)
+            store_after_loop = true;
+    EXPECT_TRUE(store_after_loop);
+}
+
+TEST(Codegen, CompiledLoopComputesCorrectValues)
+{
+    CompileOptions opt;
+    opt.tripCount = 300; // spans two strips + remainder
+    opt.arrays = {{"x", 512}, {"y", 520}};
+    CompileResult r = compile(
+        parseLoop("DO k\n x(k) = y(k+1) - y(k)\nEND"), opt);
+
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::Simulator sim(cfg, r.program);
+    std::vector<double> y(520);
+    for (size_t i = 0; i < y.size(); ++i)
+        y[i] = 0.25 * static_cast<double>(i * i % 97);
+    sim.memory().fillDoubles("y", y);
+    sim.run();
+    auto x = sim.memory().readDoubles("x", 300);
+    for (int i = 0; i < 300; ++i)
+        ASSERT_DOUBLE_EQ(x[i], y[i + 1] - y[i]) << "i=" << i;
+}
+
+TEST(Codegen, UnscheduledVariantStillCorrect)
+{
+    CompileOptions opt;
+    opt.tripCount = 150;
+    opt.arrays = {{"x", 256}, {"y", 264}};
+    opt.schedule = false;
+    CompileResult r = compile(
+        parseLoop("DO k\n x(k) = y(k+1) - y(k)\nEND"), opt);
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::Simulator sim(cfg, r.program);
+    std::vector<double> y(264, 1.0);
+    y[100] = 5.0;
+    sim.memory().fillDoubles("y", y);
+    sim.run();
+    auto x = sim.memory().readDoubles("x", 150);
+    EXPECT_DOUBLE_EQ(x[99], 4.0);
+    EXPECT_DOUBLE_EQ(x[100], -4.0);
+}
+
+TEST(Codegen, DeepExpressionWithinEightRegisters)
+{
+    // A deep chain that exercises eviction and reload correctness.
+    CompileOptions opt;
+    opt.tripCount = 64;
+    opt.arrays = {{"x", 128}, {"a", 128}, {"b", 128}, {"c", 128},
+                  {"d", 128}, {"e", 128}, {"f", 128}, {"g", 128},
+                  {"h", 128}};
+    CompileResult r = compile(
+        parseLoop("DO k\n x(k) = (a(k) + b(k))*(c(k) + d(k)) + "
+                  "(e(k) + f(k))*(g(k) + h(k))\nEND"),
+        opt);
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::Simulator sim(cfg, r.program);
+    for (const char *n : {"a", "b", "c", "d", "e", "f", "g", "h"})
+        sim.memory().fillDoubles(n, std::vector<double>(128, 2.0));
+    sim.run();
+    auto x = sim.memory().readDoubles("x", 64);
+    for (int i = 0; i < 64; ++i)
+        ASSERT_DOUBLE_EQ(x[i], 32.0);
+}
+
+} // namespace
+} // namespace macs::compiler

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Randomized differential testing: generate random DSL loops, run them
+ * through the direct AST interpreter, compile them (vector mode when
+ * the vectorizer accepts, scalar mode always), execute on the
+ * simulator, and require identical results. Each seed is a TEST_P
+ * case, so failures name the offending seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/analysis.h"
+#include "compiler/codegen.h"
+#include "compiler/interpreter.h"
+#include "machine/machine_config.h"
+#include "sim/simulator.h"
+#include "support/logging.h"
+
+namespace macs::compiler {
+namespace {
+
+/** Small deterministic PRNG (xorshift*), independent of libc. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed * 2685821657736338717ULL + 1)
+    {
+    }
+
+    uint64_t
+    next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 2685821657736338717ULL;
+    }
+
+    int
+    below(int n)
+    {
+        return static_cast<int>(next() % static_cast<uint64_t>(n));
+    }
+
+    double
+    uniform(double lo, double hi)
+    {
+        double u = static_cast<double>(next() >> 11) /
+                   static_cast<double>(1ULL << 53);
+        return lo + u * (hi - lo);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+constexpr long kTrip = 150;
+constexpr size_t kArrayWords = 512;
+const char *const kArrays[] = {"aa", "bb", "cc", "dd", "ee"};
+const char *const kScalars[] = {"p1", "p2", "p3"};
+
+/** Random leaf: array ref (common), scalar, or literal. */
+ExprPtr
+randomLeaf(Rng &rng)
+{
+    int pick = rng.below(10);
+    if (pick < 6) {
+        const char *name = kArrays[rng.below(5)];
+        long coef = rng.below(4) == 0 ? 2 : 1;
+        long offset = rng.below(6);
+        return array(name, coef, offset);
+    }
+    if (pick < 9)
+        return scalar(kScalars[rng.below(3)]);
+    return number(0.25 + 0.25 * rng.below(8));
+}
+
+/**
+ * Random expression anchored on an array reference, grown by wrapping
+ * with binary operations whose other operand is a leaf — this keeps
+ * every subexpression vector-anchored (the code generator rejects
+ * loop-invariant subtrees by design).
+ */
+ExprPtr
+randomExpr(Rng &rng)
+{
+    ExprPtr e = array(kArrays[rng.below(5)], 1, rng.below(6));
+    int ops = 1 + rng.below(5);
+    for (int i = 0; i < ops; ++i) {
+        ExprPtr leaf = randomLeaf(rng);
+        switch (rng.below(8)) {
+          case 0:
+            e = neg(std::move(e));
+            break;
+          case 1:
+          case 2:
+            e = add(std::move(e), std::move(leaf));
+            break;
+          case 3:
+            e = add(std::move(leaf), std::move(e));
+            break;
+          case 4:
+          case 5:
+            e = mul(std::move(e), std::move(leaf));
+            break;
+          case 6:
+            e = sub(std::move(e), std::move(leaf));
+            break;
+          case 7:
+            // Divide only by loop-invariant positive scalars to keep
+            // values finite and comparisons exact.
+            e = div(std::move(e), scalar(kScalars[rng.below(3)]));
+            break;
+        }
+    }
+    return e;
+}
+
+Loop
+randomLoop(Rng &rng)
+{
+    Loop loop;
+    loop.var = "k";
+    loop.stride = 1;
+    int stmts = 1 + rng.below(3);
+    for (int i = 0; i < stmts; ++i) {
+        Stmt s;
+        if (rng.below(5) == 0) {
+            // Sum reduction.
+            s.arrayDst = false;
+            s.dstName = "acc";
+            s.rhs = add(scalar("acc"), randomExpr(rng));
+        } else {
+            s.arrayDst = true;
+            s.dstName = kArrays[rng.below(5)];
+            s.dstCoef = 1;
+            s.dstOffset = rng.below(3);
+            s.rhs = randomExpr(rng);
+        }
+        loop.stmts.push_back(std::move(s));
+    }
+    return loop;
+}
+
+Environment
+randomEnv(Rng &rng)
+{
+    Environment env;
+    for (const char *name : kArrays) {
+        std::vector<double> v(kArrayWords);
+        for (double &x : v)
+            x = rng.uniform(0.5, 1.5);
+        env.arrays[name] = std::move(v);
+    }
+    for (const char *name : kScalars)
+        env.scalars[name] = rng.uniform(0.5, 1.5);
+    env.scalars["acc"] = 0.0;
+    return env;
+}
+
+/** Compile+simulate @p loop from @p init; nullopt if not compilable. */
+Environment
+runCompiled(const Loop &loop, const Environment &init, bool vectorize)
+{
+    CompileOptions opt;
+    opt.tripCount = kTrip;
+    opt.vectorize = vectorize;
+    for (const char *name : kArrays)
+        opt.arrays.push_back({name, kArrayWords});
+    CompileResult res = compile(loop, opt);
+
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::Simulator sim(cfg, res.program);
+    for (const auto &[name, data] : init.arrays)
+        sim.memory().fillDoubles(name, data);
+    for (const auto &[name, value] : init.scalars) {
+        std::string cell = "scalar_" + name;
+        if (res.program.hasDataSymbol(cell))
+            sim.memory().fillDoubles(cell, {value});
+    }
+    sim.run();
+
+    Environment out;
+    for (const auto &[name, data] : init.arrays)
+        out.arrays[name] =
+            sim.memory().readDoubles(name, data.size());
+    for (const auto &[name, value] : init.scalars) {
+        std::string cell = "scalar_" + name;
+        out.scalars[name] =
+            res.program.hasDataSymbol(cell)
+                ? sim.memory().readDoubles(cell, 1)[0]
+                : value;
+    }
+    return out;
+}
+
+void
+expectSame(const Environment &got, const Environment &want,
+           const std::string &context, double tol = 1e-9)
+{
+    for (const auto &[name, data] : want.arrays) {
+        const auto &g = got.arrays.at(name);
+        ASSERT_EQ(g.size(), data.size());
+        for (size_t i = 0; i < data.size(); ++i) {
+            double scale =
+                std::max({std::abs(g[i]), std::abs(data[i]), 1.0});
+            ASSERT_LE(std::abs(g[i] - data[i]), tol * scale)
+                << context << ": " << name << "[" << i << "] got "
+                << g[i] << " want " << data[i];
+        }
+    }
+    for (const auto &[name, value] : want.scalars) {
+        double g = got.scalars.at(name);
+        double scale = std::max({std::abs(g), std::abs(value), 1.0});
+        ASSERT_LE(std::abs(g - value), tol * scale)
+            << context << ": scalar " << name;
+    }
+}
+
+class FuzzDifferential : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FuzzDifferential, CompiledMatchesInterpreter)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 17);
+    Loop loop = randomLoop(rng);
+    Environment init = randomEnv(rng);
+    SourceAnalysis sa = analyzeSource(loop);
+    std::string ctx = "seed " + std::to_string(GetParam()) + "\n" +
+                      loop.toString();
+
+    // Scalar mode must match strict sequential semantics for every
+    // generated loop, recurrences included.
+    {
+        Environment want = init;
+        interpret(loop, kTrip, want);
+        Environment got = runCompiled(loop, init, false);
+        expectSame(got, want, ctx + "(scalar mode)");
+    }
+
+    // Vector mode must match statement-granular vector semantics
+    // whenever the vectorizer accepts the loop.
+    if (sa.vectorizable) {
+        Environment want = init;
+        interpretVector(loop, kTrip, want);
+        Environment got = runCompiled(loop, init, true);
+        expectSame(got, want, ctx + "(vector mode)", 1e-8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
+                         ::testing::Range(1, 33));
+
+// ---------------------------------------------------------------- interpreter
+
+TEST(Interpreter, SequentialSemanticsSeeRecurrences)
+{
+    Loop loop;
+    loop.stmts.push_back(Stmt{});
+    Stmt &s = loop.stmts.back();
+    s.arrayDst = true;
+    s.dstName = "x";
+    s.dstOffset = 1;
+    s.rhs = add(array("x", 1, 0), array("y", 1, 1));
+
+    Environment env;
+    env.arrays["x"] = {1.0, 0.0, 0.0, 0.0};
+    env.arrays["y"] = {0.0, 1.0, 2.0, 3.0};
+    interpret(loop, 3, env);
+    // Prefix sum: x = {1, 2, 4, 7}.
+    EXPECT_DOUBLE_EQ(env.arrays["x"][3], 7.0);
+}
+
+TEST(Interpreter, VectorSemanticsReadBeforeWrite)
+{
+    // x(k) = x(k+1): the vector load happens before any store.
+    Loop loop;
+    loop.stmts.push_back(Stmt{});
+    Stmt &s = loop.stmts.back();
+    s.arrayDst = true;
+    s.dstName = "x";
+    s.rhs = array("x", 1, 1);
+
+    Environment seq, vec;
+    seq.arrays["x"] = {0, 1, 2, 3, 4};
+    vec.arrays["x"] = {0, 1, 2, 3, 4};
+    interpret(loop, 4, seq);
+    interpretVector(loop, 4, vec, 128);
+    // Both shift left here (reads are ahead of writes either way).
+    EXPECT_DOUBLE_EQ(vec.arrays["x"][0], 1.0);
+    EXPECT_DOUBLE_EQ(seq.arrays["x"][0], 1.0);
+}
+
+TEST(Interpreter, StripGranularReduction)
+{
+    Loop loop;
+    loop.stmts.push_back(Stmt{});
+    Stmt &s = loop.stmts.back();
+    s.arrayDst = false;
+    s.dstName = "q";
+    s.rhs = add(scalar("q"), array("z", 1, 0));
+
+    Environment env;
+    env.arrays["z"].assign(300, 1.0);
+    env.scalars["q"] = 5.0;
+    interpretVector(loop, 300, env, 128);
+    EXPECT_DOUBLE_EQ(env.scalars["q"], 305.0);
+}
+
+TEST(Interpreter, ErrorsOnUndeclaredNames)
+{
+    Loop loop;
+    loop.stmts.push_back(Stmt{});
+    Stmt &s = loop.stmts.back();
+    s.arrayDst = true;
+    s.dstName = "ghost";
+    s.rhs = number(1.0);
+
+    Environment env;
+    EXPECT_THROW(interpret(loop, 1, env), FatalError);
+}
+
+TEST(Interpreter, ErrorsOnOutOfRangeIndex)
+{
+    Loop loop;
+    loop.stmts.push_back(Stmt{});
+    Stmt &s = loop.stmts.back();
+    s.arrayDst = true;
+    s.dstName = "x";
+    s.rhs = array("x", 1, 10);
+
+    Environment env;
+    env.arrays["x"] = {1.0, 2.0};
+    EXPECT_THROW(interpret(loop, 1, env), FatalError);
+}
+
+} // namespace
+} // namespace macs::compiler

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: registers, opcodes, instructions,
+ * programs, and the assembler, including print/parse round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.h"
+#include "isa/opcode.h"
+#include "isa/parser.h"
+#include "isa/program.h"
+#include "isa/registers.h"
+#include "support/logging.h"
+
+namespace macs::isa {
+namespace {
+
+// ---------------------------------------------------------------- registers
+
+TEST(Registers, Constructors)
+{
+    EXPECT_TRUE(vreg(3).isVector());
+    EXPECT_TRUE(sreg(2).isScalar());
+    EXPECT_TRUE(areg(5).isAddress());
+    EXPECT_FALSE(noreg().valid());
+    EXPECT_EQ(vlreg().cls, RegClass::Vl);
+}
+
+TEST(Registers, PairMapping)
+{
+    // {v0,v4}, {v1,v5}, {v2,v6}, {v3,v7}.
+    EXPECT_EQ(vreg(0).pair(), 0);
+    EXPECT_EQ(vreg(4).pair(), 0);
+    EXPECT_EQ(vreg(1).pair(), 1);
+    EXPECT_EQ(vreg(5).pair(), 1);
+    EXPECT_EQ(vreg(2).pair(), 2);
+    EXPECT_EQ(vreg(6).pair(), 2);
+    EXPECT_EQ(vreg(3).pair(), 3);
+    EXPECT_EQ(vreg(7).pair(), 3);
+}
+
+TEST(Registers, ToStringForms)
+{
+    EXPECT_EQ(toString(vreg(7)), "v7");
+    EXPECT_EQ(toString(sreg(0)), "s0");
+    EXPECT_EQ(toString(areg(5)), "a5");
+    EXPECT_EQ(toString(vlreg()), "VL");
+    EXPECT_EQ(toString(noreg()), "-");
+}
+
+TEST(Registers, ParseValid)
+{
+    Reg r;
+    EXPECT_TRUE(parseReg("v3", r));
+    EXPECT_EQ(r, vreg(3));
+    EXPECT_TRUE(parseReg("s7", r));
+    EXPECT_EQ(r, sreg(7));
+    EXPECT_TRUE(parseReg("a0", r));
+    EXPECT_EQ(r, areg(0));
+    EXPECT_TRUE(parseReg("VL", r));
+    EXPECT_EQ(r.cls, RegClass::Vl);
+    EXPECT_TRUE(parseReg("vl", r));
+}
+
+TEST(Registers, ParseRejectsOutOfRangeAndGarbage)
+{
+    Reg r;
+    EXPECT_FALSE(parseReg("v8", r));
+    EXPECT_FALSE(parseReg("s-1", r));
+    EXPECT_FALSE(parseReg("a9", r));
+    EXPECT_FALSE(parseReg("x3", r));
+    EXPECT_FALSE(parseReg("v", r));
+    EXPECT_FALSE(parseReg("", r));
+}
+
+TEST(Registers, EqualityIgnoresIndexForNone)
+{
+    EXPECT_EQ(noreg(), noreg());
+    EXPECT_EQ(vlreg(), vlreg());
+    EXPECT_NE(vreg(1), vreg(2));
+    EXPECT_NE(vreg(1), sreg(1));
+}
+
+// ---------------------------------------------------------------- opcodes
+
+struct OpcodeCase
+{
+    Opcode op;
+    const char *mnemonic;
+    Pipe pipe;
+    bool vector_mem;
+    bool vector_fp;
+};
+
+class OpcodeInfoTest : public ::testing::TestWithParam<OpcodeCase>
+{
+};
+
+TEST_P(OpcodeInfoTest, StaticProperties)
+{
+    const OpcodeCase &c = GetParam();
+    const OpcodeInfo &info = opcodeInfo(c.op);
+    EXPECT_STREQ(info.mnemonic, c.mnemonic);
+    EXPECT_EQ(info.pipe, c.pipe);
+    EXPECT_EQ(isVectorMem(c.op), c.vector_mem);
+    EXPECT_EQ(isVectorFp(c.op), c.vector_fp);
+    EXPECT_EQ(isVectorOp(c.op), c.pipe != Pipe::None);
+    EXPECT_EQ(opcodeFromMnemonic(c.mnemonic), c.op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVector, OpcodeInfoTest,
+    ::testing::Values(
+        OpcodeCase{Opcode::VLd, "ld.l", Pipe::LoadStore, true, false},
+        OpcodeCase{Opcode::VSt, "st.l", Pipe::LoadStore, true, false},
+        OpcodeCase{Opcode::VLdS, "lds.l", Pipe::LoadStore, true, false},
+        OpcodeCase{Opcode::VStS, "sts.l", Pipe::LoadStore, true, false},
+        OpcodeCase{Opcode::VAdd, "add.d", Pipe::Add, false, true},
+        OpcodeCase{Opcode::VSub, "sub.d", Pipe::Add, false, true},
+        OpcodeCase{Opcode::VNeg, "neg.d", Pipe::Add, false, true},
+        OpcodeCase{Opcode::VSum, "sum.d", Pipe::Add, false, true},
+        OpcodeCase{Opcode::VMul, "mul.d", Pipe::Multiply, false, true},
+        OpcodeCase{Opcode::VDiv, "div.d", Pipe::Multiply, false, true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScalar, OpcodeInfoTest,
+    ::testing::Values(
+        OpcodeCase{Opcode::SLd, "ld.w", Pipe::None, false, false},
+        OpcodeCase{Opcode::SSt, "st.w", Pipe::None, false, false},
+        OpcodeCase{Opcode::SAdd, "add.w", Pipe::None, false, false},
+        OpcodeCase{Opcode::SSub, "sub.w", Pipe::None, false, false},
+        OpcodeCase{Opcode::SMul, "mul.w", Pipe::None, false, false},
+        OpcodeCase{Opcode::SMov, "mov", Pipe::None, false, false},
+        OpcodeCase{Opcode::SLt, "lt.w", Pipe::None, false, false},
+        OpcodeCase{Opcode::SLe, "le.w", Pipe::None, false, false},
+        OpcodeCase{Opcode::BrT, "jbrs.t", Pipe::None, false, false},
+        OpcodeCase{Opcode::BrF, "jbrs.f", Pipe::None, false, false},
+        OpcodeCase{Opcode::Jmp, "jbra", Pipe::None, false, false},
+        OpcodeCase{Opcode::Nop, "nop", Pipe::None, false, false}));
+
+TEST(Opcode, ScalarMemClassification)
+{
+    EXPECT_TRUE(isScalarMem(Opcode::SLd));
+    EXPECT_TRUE(isScalarMem(Opcode::SSt));
+    EXPECT_FALSE(isScalarMem(Opcode::VLd));
+    EXPECT_FALSE(isScalarMem(Opcode::SAdd));
+}
+
+TEST(Opcode, ControlClassification)
+{
+    EXPECT_TRUE(isControl(Opcode::BrT));
+    EXPECT_TRUE(isControl(Opcode::BrF));
+    EXPECT_TRUE(isControl(Opcode::Jmp));
+    EXPECT_FALSE(isControl(Opcode::SMov));
+}
+
+TEST(Opcode, UnknownMnemonicIsNullopt)
+{
+    EXPECT_FALSE(opcodeFromMnemonic("frobnicate").has_value());
+}
+
+// ---------------------------------------------------------------- instructions
+
+TEST(Instruction, VectorLoadUsesAndDefs)
+{
+    Instruction in = makeVLoad(MemRef{"x", 0, areg(5)}, vreg(2));
+    EXPECT_TRUE(in.vectorReads().empty());
+    ASSERT_EQ(in.vectorWrites().size(), 1u);
+    EXPECT_EQ(in.vectorWrites()[0], vreg(2));
+    // The base address register is a scalar-side read.
+    auto sreads = in.scalarReads();
+    ASSERT_EQ(sreads.size(), 1u);
+    EXPECT_EQ(sreads[0], areg(5));
+}
+
+TEST(Instruction, BinaryReadsBothVectorSources)
+{
+    Instruction in = makeVBinary(Opcode::VAdd, vreg(1), vreg(2), vreg(3));
+    auto reads = in.vectorReads();
+    ASSERT_EQ(reads.size(), 2u);
+    EXPECT_EQ(in.vectorWrites()[0], vreg(3));
+}
+
+TEST(Instruction, BroadcastSourceIsScalarRead)
+{
+    Instruction in = makeVBinary(Opcode::VMul, sreg(1), vreg(2), vreg(3));
+    EXPECT_EQ(in.vectorReads().size(), 1u);
+    ASSERT_EQ(in.scalarReads().size(), 1u);
+    EXPECT_EQ(in.scalarReads()[0], sreg(1));
+}
+
+TEST(Instruction, SumWritesScalar)
+{
+    Instruction in = makeVSum(vreg(0), sreg(4));
+    EXPECT_EQ(in.scalarWrite(), sreg(4));
+    EXPECT_TRUE(in.isVectorFloat());
+}
+
+TEST(Instruction, BuilderAssertsOnBadOperands)
+{
+    EXPECT_THROW(makeVLoad(MemRef{}, sreg(0)), PanicError);
+    EXPECT_THROW(makeVBinary(Opcode::VAdd, sreg(0), sreg(1), vreg(0)),
+                 PanicError);
+    EXPECT_THROW(makeVBinary(Opcode::SAdd, vreg(0), vreg(1), vreg(2)),
+                 PanicError);
+    EXPECT_THROW(makeVSum(vreg(0), vreg(1)), PanicError);
+    EXPECT_THROW(makeSLoad(MemRef{"x", 0, noreg()}, vreg(0)), PanicError);
+    EXPECT_THROW(makeBranch(Opcode::SMov, "L"), PanicError);
+}
+
+TEST(Instruction, MemRefToString)
+{
+    EXPECT_EQ((MemRef{"x", 80, areg(5)}).toString(), "x+80(a5)");
+    EXPECT_EQ((MemRef{"x", -8, areg(1)}).toString(), "x-8(a1)");
+    EXPECT_EQ((MemRef{"x", 0, noreg()}).toString(), "x");
+    EXPECT_EQ((MemRef{"", 16, areg(2)}).toString(), "16(a2)");
+}
+
+struct RoundTripCase
+{
+    const char *text;
+};
+
+class InstructionRoundTrip : public ::testing::TestWithParam<RoundTripCase>
+{
+};
+
+TEST_P(InstructionRoundTrip, PrintParsePrintIsStable)
+{
+    std::string text = std::string(".comm x,16\n.comm y,16\n") +
+                       GetParam().text + "\n";
+    Program p1 = assemble(text);
+    std::string printed = p1.toString();
+    Program p2 = assemble(printed);
+    EXPECT_EQ(printed, p2.toString());
+    ASSERT_EQ(p1.size(), p2.size());
+    for (size_t i = 0; i < p1.size(); ++i)
+        EXPECT_EQ(p1.instrs()[i].toString(), p2.instrs()[i].toString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Forms, InstructionRoundTrip,
+    ::testing::Values(
+        RoundTripCase{"ld.l x+80(a5),v0"},
+        RoundTripCase{"st.l v3,y(a2)"},
+        RoundTripCase{"lds.l x(a1),s1,v2"},
+        RoundTripCase{"sts.l v2,s1,y+8(a1)"},
+        RoundTripCase{"add.d v0,v1,v2"},
+        RoundTripCase{"sub.d v0,s1,v2"},
+        RoundTripCase{"mul.d s3,v1,v2"},
+        RoundTripCase{"div.d v0,v1,v2"},
+        RoundTripCase{"neg.d v0,v1"},
+        RoundTripCase{"sum.d v0,s2"},
+        RoundTripCase{"ld.w x,s0"},
+        RoundTripCase{"st.w s1,y+8"},
+        RoundTripCase{"add.w #1024,a5"},
+        RoundTripCase{"sub.w #128,s0"},
+        RoundTripCase{"mul.w s1,s2,s3"},
+        RoundTripCase{"mov #990,s0"},
+        RoundTripCase{"mov s0,VL"},
+        RoundTripCase{"lt.w #0,s0"},
+        RoundTripCase{"le.w s1,s2"},
+        RoundTripCase{"nop"}));
+
+// ---------------------------------------------------------------- program
+
+TEST(Program, LabelsAttachToNextInstruction)
+{
+    Program p;
+    p.append(makeMovImm(1, sreg(0)));
+    p.label("L1");
+    p.append(makeMovImm(2, sreg(1)));
+    EXPECT_EQ(p.labelIndex("L1"), 1u);
+    EXPECT_TRUE(p.hasLabel("L1"));
+    EXPECT_FALSE(p.hasLabel("L2"));
+}
+
+TEST(Program, DuplicateLabelIsFatal)
+{
+    Program p;
+    p.label("L");
+    EXPECT_THROW(p.label("L"), FatalError);
+}
+
+TEST(Program, DuplicateDataSymbolIsFatal)
+{
+    Program p;
+    p.defineData("x", 8);
+    EXPECT_THROW(p.defineData("x", 16), FatalError);
+}
+
+TEST(Program, UnknownLabelIndexIsFatal)
+{
+    Program p;
+    EXPECT_THROW(p.labelIndex("nope"), FatalError);
+}
+
+TEST(Program, InnerLoopFindsBackwardBranchBody)
+{
+    Program p = assemble(R"(
+.comm x,256
+    mov #128,s0
+L1: mov s0,VL
+    ld.l x(a5),v0
+    sub #128,s0
+    lt.w #0,s0
+    jbrs.t L1
+)");
+    auto body = p.innerLoop();
+    EXPECT_EQ(body.size(), 5u);
+    EXPECT_EQ(body.front().op, Opcode::SMov);
+    EXPECT_EQ(body.back().op, Opcode::BrT);
+}
+
+TEST(Program, InnerLoopFatalWithoutBackwardBranch)
+{
+    Program p;
+    p.append(makeMovImm(1, sreg(0)));
+    EXPECT_THROW(p.innerLoop(), FatalError);
+}
+
+TEST(Program, ValidateCatchesUndefinedBranchTarget)
+{
+    Program p;
+    p.append(makeBranch(Opcode::Jmp, "missing"));
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, ValidateCatchesUndefinedDataSymbol)
+{
+    Program p;
+    p.append(makeVLoad(MemRef{"ghost", 0, areg(5)}, vreg(0)));
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+TEST(Program, ValidateAcceptsRegisterOnlyMemRef)
+{
+    Program p;
+    p.append(makeVLoad(MemRef{"", 64, areg(5)}, vreg(0)));
+    p.validate();
+    SUCCEED();
+}
+
+TEST(Program, ValidateRejectsSymbolFreeBaseFreeMemRef)
+{
+    Program p;
+    Instruction in = makeSLoad(MemRef{"", 0, areg(1)}, sreg(0));
+    in.mem.base = noreg();
+    p.append(in);
+    EXPECT_THROW(p.validate(), FatalError);
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(Parser, CommentsAndBlankLinesIgnored)
+{
+    Program p = assemble("; pure comment\n\n   \nnop ; trailing\n");
+    EXPECT_EQ(p.size(), 1u);
+    EXPECT_EQ(p.instrs()[0].comment, "trailing");
+}
+
+TEST(Parser, PaperAliasesAccepted)
+{
+    Program p = assemble(R"(
+.comm x,16
+    add #1024,a5
+    sub #128,s0
+    lt #0,s0
+)");
+    EXPECT_EQ(p.instrs()[0].op, Opcode::SAdd);
+    EXPECT_EQ(p.instrs()[1].op, Opcode::SSub);
+    EXPECT_EQ(p.instrs()[2].op, Opcode::SLt);
+}
+
+TEST(Parser, LdWithScalarDestinationIsScalarLoad)
+{
+    Program p = assemble(".comm x,8\n ld.l x,s3\n st.l s3,x\n");
+    EXPECT_EQ(p.instrs()[0].op, Opcode::SLd);
+    EXPECT_EQ(p.instrs()[1].op, Opcode::SSt);
+}
+
+TEST(Parser, UnknownMnemonicIsFatal)
+{
+    EXPECT_THROW(assemble("bogus v0,v1\n"), FatalError);
+}
+
+TEST(Parser, WrongOperandCountIsFatal)
+{
+    EXPECT_THROW(assemble("add.d v0,v1\n"), FatalError);
+}
+
+TEST(Parser, BadRegisterIsFatal)
+{
+    EXPECT_THROW(assemble("add.d v0,v1,v9\n"), FatalError);
+}
+
+TEST(Parser, BadDirectiveIsFatal)
+{
+    EXPECT_THROW(assemble(".bogus x,1\n"), FatalError);
+}
+
+TEST(Parser, CommWithoutSizeIsFatal)
+{
+    EXPECT_THROW(assemble(".comm x\n"), FatalError);
+}
+
+TEST(Parser, LabelOnSameLineAsInstruction)
+{
+    Program p = assemble("L7: nop\n jbra L7\n");
+    EXPECT_EQ(p.labelIndex("L7"), 0u);
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Parser, MemRefVariants)
+{
+    MemRef m;
+    EXPECT_TRUE(parseMemRef("x+80(a5)", m));
+    EXPECT_EQ(m.symbol, "x");
+    EXPECT_EQ(m.offset, 80);
+    EXPECT_EQ(m.base, areg(5));
+
+    EXPECT_TRUE(parseMemRef("x-8(a1)", m));
+    EXPECT_EQ(m.offset, -8);
+
+    EXPECT_TRUE(parseMemRef("x", m));
+    EXPECT_EQ(m.base, noreg());
+
+    EXPECT_TRUE(parseMemRef("64(a2)", m));
+    EXPECT_TRUE(m.symbol.empty());
+    EXPECT_EQ(m.offset, 64);
+
+    EXPECT_TRUE(parseMemRef("(a3)", m));
+    EXPECT_EQ(m.offset, 0);
+
+    EXPECT_FALSE(parseMemRef("64", m));      // immediate, not memory
+    EXPECT_FALSE(parseMemRef("x(v1)", m));   // not an address register
+    EXPECT_FALSE(parseMemRef("", m));
+}
+
+TEST(Parser, PaperLfk1ListingAssembles)
+{
+    // The verbatim section 3.5 listing shape must parse.
+    Program p = assemble(R"(
+.comm x,1024
+.comm y,1024
+.comm zx,1024
+L7:
+    mov s0,VL
+    ld.l zx+80(a5),v0
+    mul.d v0,s1,v1
+    ld.l zx+88(a5),v2
+    mul.d v2,s3,v0
+    add.d v1,v0,v3
+    ld.l y(a5),v1
+    mul.d v1,v3,v2
+    add.d v2,s7,v0
+    st.l v0,x(a5)
+    add #1024,a5
+    sub #128,s0
+    lt.w #0,s0
+    jbrs.t L7
+)");
+    EXPECT_EQ(p.size(), 14u);
+    auto body = p.innerLoop();
+    EXPECT_EQ(body.size(), 14u);
+}
+
+} // namespace
+} // namespace macs::isa

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * LFK workload tests: every kernel validates, runs, produces correct
+ * numerical results against its reference implementation, and carries
+ * the MA workload of the paper's Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lfk/data.h"
+#include "isa/parser.h"
+#include "lfk/kernels.h"
+#include "support/logging.h"
+#include "machine/machine_config.h"
+#include "sim/simulator.h"
+
+namespace macs::lfk {
+namespace {
+
+class LfkKernel : public ::testing::TestWithParam<int>
+{
+  protected:
+    Kernel kernel_ = makeKernel(GetParam());
+    machine::MachineConfig cfg_ = machine::MachineConfig::convexC240();
+};
+
+TEST_P(LfkKernel, ProgramValidates)
+{
+    kernel_.program.validate();
+    EXPECT_FALSE(kernel_.program.empty());
+    EXPECT_EQ(kernel_.id, GetParam());
+    EXPECT_EQ(kernel_.name, "LFK" + std::to_string(GetParam()));
+}
+
+TEST_P(LfkKernel, HasInnerLoop)
+{
+    auto body = kernel_.program.innerLoop();
+    EXPECT_GT(body.size(), 2u);
+}
+
+TEST_P(LfkKernel, MetadataIsConsistent)
+{
+    EXPECT_GT(kernel_.points, 0);
+    EXPECT_EQ(kernel_.flopsPerPoint, kernel_.ma.flops());
+    EXPECT_FALSE(kernel_.description.empty());
+    EXPECT_FALSE(kernel_.sourceText.empty());
+    EXPECT_TRUE(kernel_.setup);
+    EXPECT_TRUE(kernel_.check);
+}
+
+TEST_P(LfkKernel, FunctionalResultsMatchReference)
+{
+    sim::Simulator sim(cfg_, kernel_.program);
+    kernel_.setup(sim);
+    sim::RunStats st = sim.run();
+    EXPECT_GT(st.cycles, 0.0);
+    std::string err = kernel_.check(sim);
+    EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST_P(LfkKernel, ExecutedFlopsMatchSourceCount)
+{
+    sim::Simulator sim(cfg_, kernel_.program);
+    kernel_.setup(sim);
+    sim::RunStats st = sim.run();
+    // The MAC workload adds memory operations, never arithmetic, so
+    // the executed vector FP element count equals points x flops/point
+    // (LFK4 is the exception: the compiler's negate adds one add-pipe
+    // op per element, and its final VL=1 updates add a few).
+    double expected = static_cast<double>(kernel_.points) *
+                      kernel_.flopsPerPoint;
+    double actual = static_cast<double>(st.flops);
+    EXPECT_GE(actual, expected);
+    EXPECT_LE(actual, expected * 1.6 + 16.0);
+}
+
+TEST_P(LfkKernel, DeterministicAcrossRuns)
+{
+    sim::Simulator s1(cfg_, kernel_.program);
+    kernel_.setup(s1);
+    double c1 = s1.run().cycles;
+    Kernel again = makeKernel(GetParam());
+    sim::Simulator s2(cfg_, again.program);
+    again.setup(s2);
+    double c2 = s2.run().cycles;
+    EXPECT_DOUBLE_EQ(c1, c2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLfk, LfkKernel,
+                         ::testing::ValuesIn(lfkIds()),
+                         [](const auto &info) {
+                             return "LFK" + std::to_string(info.param);
+                         });
+
+// ------------------------------------------------ Table 2 MA workloads
+
+struct MaCase
+{
+    int id;
+    model::WorkloadCounts ma;
+};
+
+class Table2Workload : public ::testing::TestWithParam<MaCase>
+{
+};
+
+TEST_P(Table2Workload, MaCountsMatchPaperAnchors)
+{
+    Kernel k = makeKernel(GetParam().id);
+    EXPECT_EQ(k.ma, GetParam().ma)
+        << "fAdd/fMul/loads/stores = " << k.ma.fAdd << "/" << k.ma.fMul
+        << "/" << k.ma.loads << "/" << k.ma.stores;
+}
+
+// MA workloads reconstructed from the paper's Tables 3-4 anchors
+// (t_f = max(f_a, f_m), t_m = l + s, CPF normalization by f_a + f_m).
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Table2Workload,
+    ::testing::Values(MaCase{1, {2, 3, 2, 1}},   // t_f=3, t_m=3
+                      MaCase{2, {2, 2, 4, 1}},   // t_f=2, t_m=5
+                      MaCase{3, {1, 1, 2, 0}},   // t_f=1, t_m=2
+                      MaCase{4, {1, 1, 2, 0}},
+                      MaCase{6, {1, 1, 2, 0}},
+                      MaCase{7, {8, 8, 3, 1}},   // t_f=8, t_m=4
+                      MaCase{8, {21, 15, 9, 6}}, // t_f=21, t_m=15
+                      MaCase{9, {9, 8, 10, 1}},  // t_f=9, t_m=11
+                      MaCase{10, {9, 0, 10, 10}},
+                      MaCase{12, {1, 0, 1, 1}}),
+    [](const auto &info) {
+        return "LFK" + std::to_string(info.param.id);
+    });
+
+// ------------------------------------------------ misc registry
+
+TEST(LfkRegistry, TenKernelsInTableOrder)
+{
+    auto ids = lfkIds();
+    std::vector<int> expected = {1, 2, 3, 4, 6, 7, 8, 9, 10, 12};
+    EXPECT_EQ(ids, expected);
+    EXPECT_EQ(makeAllKernels().size(), 10u);
+}
+
+TEST(LfkRegistry, UnknownKernelIsFatal)
+{
+    EXPECT_THROW(makeKernel(13), FatalError);
+    EXPECT_THROW(makeKernel(0), FatalError);
+    EXPECT_THROW(makeKernel(-1), FatalError);
+}
+
+TEST(LfkRegistry, ScalarRecurrenceKernelsAvailable)
+{
+    EXPECT_EQ(scalarLfkIds(), (std::vector<int>{5, 11}));
+    for (int id : scalarLfkIds()) {
+        Kernel k = makeKernel(id);
+        // Scalar-mode code: no vector instructions at all.
+        for (const auto &in : k.program.instrs())
+            EXPECT_FALSE(in.isVector()) << in.toString();
+    }
+}
+
+class ScalarLfkKernel : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ScalarLfkKernel, RecurrenceComputesCorrectly)
+{
+    Kernel k = makeKernel(GetParam());
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::Simulator s(cfg, k.program);
+    k.setup(s);
+    sim::RunStats st = s.run();
+    EXPECT_GT(st.cycles, 0.0);
+    EXPECT_EQ(st.vectorInstructions, 0u);
+    std::string err = k.check(s);
+    EXPECT_TRUE(err.empty()) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Recurrences, ScalarLfkKernel,
+                         ::testing::ValuesIn(scalarLfkIds()),
+                         [](const auto &info) {
+                             return "LFK" + std::to_string(info.param);
+                         });
+
+TEST(LfkRegistry, ToKernelCaseCopiesMetadata)
+{
+    Kernel k = makeLfk1();
+    model::KernelCase c = toKernelCase(k);
+    EXPECT_EQ(c.name, "LFK1");
+    EXPECT_EQ(c.ma, k.ma);
+    EXPECT_EQ(c.sourceFlopsPerPoint, 5);
+    EXPECT_EQ(c.points, 990);
+    EXPECT_TRUE(c.setup);
+}
+
+TEST(LfkRegistry, PaperListingMatchesCompiledLfk1Workload)
+{
+    // The compiler's LFK1 must reproduce the paper listing's MAC
+    // workload (same operation mix, modulo instruction order).
+    Kernel k = makeLfk1();
+    isa::Program paper = isa::assemble(lfk1PaperListing());
+    auto mine = model::countAssembly(k.program.innerLoop());
+    auto ref = model::countAssembly(paper.innerLoop());
+    EXPECT_EQ(mine, ref);
+}
+
+TEST(LfkData, TestVectorDeterministicAndBounded)
+{
+    auto a = testVector(64, 7, 0.5, 1.5);
+    auto b = testVector(64, 7, 0.5, 1.5);
+    EXPECT_EQ(a, b);
+    for (double v : a) {
+        EXPECT_GE(v, 0.5);
+        EXPECT_LT(v, 1.5);
+    }
+    auto c = testVector(64, 8, 0.5, 1.5);
+    EXPECT_NE(a, c);
+}
+
+} // namespace
+} // namespace macs::lfk

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the machine description: Table 1 timing defaults and
+ * the what-if factory variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine_config.h"
+#include "support/logging.h"
+
+namespace macs::machine {
+namespace {
+
+using isa::Opcode;
+
+struct TimingCase
+{
+    Opcode op;
+    double x, y, z, b;
+};
+
+class Table1Timing : public ::testing::TestWithParam<TimingCase>
+{
+};
+
+TEST_P(Table1Timing, MatchesPaperTable1)
+{
+    MachineConfig m = MachineConfig::convexC240();
+    const TimingCase &c = GetParam();
+    const VectorTiming &t = m.timing(c.op);
+    EXPECT_DOUBLE_EQ(t.x, c.x);
+    EXPECT_DOUBLE_EQ(t.y, c.y);
+    EXPECT_DOUBLE_EQ(t.z, c.z);
+    EXPECT_DOUBLE_EQ(t.bubble, c.b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Table1Timing,
+    ::testing::Values(TimingCase{Opcode::VLd, 2, 10, 1.00, 2},
+                      TimingCase{Opcode::VSt, 2, 10, 1.00, 4},
+                      TimingCase{Opcode::VAdd, 2, 10, 1.00, 1},
+                      TimingCase{Opcode::VMul, 2, 12, 1.00, 1},
+                      TimingCase{Opcode::VSub, 2, 10, 1.00, 1},
+                      TimingCase{Opcode::VDiv, 2, 72, 4.00, 21},
+                      TimingCase{Opcode::VSum, 2, 10, 1.35, 0},
+                      TimingCase{Opcode::VNeg, 2, 10, 1.00, 1}));
+
+TEST(MachineConfig, ClockIs25MHz40ns)
+{
+    MachineConfig m = MachineConfig::convexC240();
+    EXPECT_DOUBLE_EQ(m.clockMhz, 25.0);
+    EXPECT_DOUBLE_EQ(m.clockNs(), 40.0);
+}
+
+TEST(MachineConfig, MemoryGeometryDefaults)
+{
+    MachineConfig m = MachineConfig::convexC240();
+    EXPECT_EQ(m.memory.banks, 32);
+    EXPECT_EQ(m.memory.bankBusyCycles, 8);
+    EXPECT_EQ(m.memory.wordBytes, 8);
+    EXPECT_EQ(m.memory.refreshPeriodCycles, 400);
+    EXPECT_EQ(m.memory.refreshDurationCycles, 8);
+    EXPECT_TRUE(m.memory.refreshEnabled);
+}
+
+TEST(MachineConfig, ChainingDefaults)
+{
+    MachineConfig m = MachineConfig::convexC240();
+    EXPECT_TRUE(m.chaining.chainingEnabled);
+    EXPECT_EQ(m.chaining.maxReadsPerPair, 2);
+    EXPECT_EQ(m.chaining.maxWritesPerPair, 1);
+    EXPECT_TRUE(m.chaining.scalarMemSplitsChimes);
+}
+
+TEST(MachineConfig, RefreshPenaltyDefaults)
+{
+    MachineConfig m = MachineConfig::convexC240();
+    EXPECT_DOUBLE_EQ(m.refreshPenaltyFactor, 1.02);
+    EXPECT_DOUBLE_EQ(m.refreshRunThresholdCycles, 400.0);
+}
+
+TEST(MachineConfig, TimingFallsBackToDefaults)
+{
+    MachineConfig m; // empty timing map
+    const VectorTiming &t = m.timing(Opcode::VAdd);
+    EXPECT_DOUBLE_EQ(t.z, 1.0);
+}
+
+TEST(MachineConfig, TimingOnScalarOpcodePanics)
+{
+    MachineConfig m = MachineConfig::convexC240();
+    EXPECT_THROW(m.timing(Opcode::SMov), PanicError);
+    EXPECT_THROW(m.setTiming(Opcode::BrT, VectorTiming{}), PanicError);
+}
+
+TEST(MachineConfig, SetTimingOverrides)
+{
+    MachineConfig m = MachineConfig::convexC240();
+    m.setTiming(Opcode::VMul, {2, 8, 1.0, 1});
+    EXPECT_DOUBLE_EQ(m.timing(Opcode::VMul).y, 8.0);
+}
+
+TEST(MachineConfig, NoBubblesZeroesEveryB)
+{
+    MachineConfig m = MachineConfig::noBubbles();
+    for (auto &[op, t] : m.vectorTiming)
+        EXPECT_DOUBLE_EQ(t.bubble, 0.0) << "opcode " << (int)op;
+}
+
+TEST(MachineConfig, NoRefreshDisablesBothModelAndSim)
+{
+    MachineConfig m = MachineConfig::noRefresh();
+    EXPECT_FALSE(m.memory.refreshEnabled);
+    EXPECT_DOUBLE_EQ(m.refreshPenaltyFactor, 1.0);
+}
+
+TEST(MachineConfig, NoChainingVariant)
+{
+    MachineConfig m = MachineConfig::noChaining();
+    EXPECT_FALSE(m.chaining.chainingEnabled);
+}
+
+TEST(MachineConfig, NoScalarCacheVariant)
+{
+    MachineConfig m = MachineConfig::noScalarCache();
+    EXPECT_FALSE(m.scalarCache.enabled);
+    EXPECT_TRUE(MachineConfig::convexC240().scalarCache.enabled);
+}
+
+TEST(MachineConfig, WithBanksVariant)
+{
+    MachineConfig m = MachineConfig::withBanks(8);
+    EXPECT_EQ(m.memory.banks, 8);
+    EXPECT_THROW(MachineConfig::withBanks(0), PanicError);
+}
+
+} // namespace
+} // namespace macs::machine

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * MACS bound evaluator tests: the section 3.5 worked example (LFK1),
+ * refresh-run accounting, slow-pipe overhang masking, and the reduced
+ * f-only / m-only bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/parser.h"
+#include "lfk/kernels.h"
+#include "macs/macs_bound.h"
+#include "machine/machine_config.h"
+#include "support/logging.h"
+
+namespace macs::model {
+namespace {
+
+machine::MachineConfig
+paperMachine()
+{
+    return machine::MachineConfig::convexC240();
+}
+
+MacsResult
+evalText(const std::string &body, const machine::MachineConfig &cfg)
+{
+    static std::vector<isa::Program> keep;
+    keep.push_back(isa::assemble(".comm x,1024\n.comm y,1024\n" + body));
+    return evaluateMacs(keep.back().instrs(), cfg);
+}
+
+// ------------------------------------------------ section 3.5 worked example
+
+TEST(MacsBound, Lfk1ChimeCostsMatchPaper)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    MacsResult r = evaluateMacs(p.innerLoop(), paperMachine());
+    ASSERT_EQ(r.chimeCycles.size(), 4u);
+    EXPECT_DOUBLE_EQ(r.chimeCycles[0], 131.0); // ld+mul
+    EXPECT_DOUBLE_EQ(r.chimeCycles[1], 132.0); // ld+mul+add
+    EXPECT_DOUBLE_EQ(r.chimeCycles[2], 132.0);
+    EXPECT_DOUBLE_EQ(r.chimeCycles[3], 132.0); // st
+    EXPECT_DOUBLE_EQ(r.rawCycles, 527.0);
+    EXPECT_NEAR(r.cycles, 537.54, 0.01);
+    EXPECT_NEAR(r.cpl, 4.1995, 0.001);
+}
+
+TEST(MacsBound, Lfk1ReducedBoundsMatchPaper)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    MacsResult f = evaluateMacsFOnly(p.innerLoop(), paperMachine());
+    MacsResult m = evaluateMacsMOnly(p.innerLoop(), paperMachine());
+    // Paper Table 5: t_MACS^f = 3.04, t_MACS^m = 4.14.
+    EXPECT_NEAR(f.cpl, 3.04, 0.01);
+    EXPECT_NEAR(m.cpl, 4.14, 0.03);
+}
+
+// ------------------------------------------------ refresh accounting
+
+TEST(MacsBound, AllMemoryChimesGetRefreshPenalty)
+{
+    MacsResult r = evalText(R"(
+    ld.l x(a5),v0
+    ld.l y(a5),v1
+)",
+                            paperMachine());
+    EXPECT_DOUBLE_EQ(r.rawCycles, 260.0);
+    EXPECT_NEAR(r.cycles, 260.0 * 1.02, 1e-9);
+}
+
+TEST(MacsBound, ShortMemoryRunBelowThresholdUnpenalized)
+{
+    // Two memory chimes followed by two FP chimes: the cyclic run is
+    // 2 chimes (~262 cycles) < 400-cycle threshold.
+    MacsResult r = evalText(R"(
+    ld.l x(a5),v0
+    ld.l y(a5),v1
+    add.d v0,v1,v2
+    add.d v2,v1,v3
+    add.d v3,v1,v4
+)",
+                            paperMachine());
+    EXPECT_DOUBLE_EQ(r.cycles, r.rawCycles);
+}
+
+TEST(MacsBound, LongMemoryRunPenalized)
+{
+    // Four successive memory chimes and one FP chime: run of ~522
+    // cycles exceeds the 400-cycle refresh period.
+    MacsResult r = evalText(R"(
+    ld.l x(a5),v0
+    ld.l x+8(a5),v1
+    ld.l y(a5),v2
+    ld.l y+8(a5),v3
+    add.d v0,v1,v4
+    add.d v4,v2,v5
+    add.d v5,v3,v6
+    add.d v6,v0,v7
+)",
+                            paperMachine());
+    EXPECT_GT(r.cycles, r.rawCycles);
+    double penalized = 4 * 130.0 * 0.02;
+    EXPECT_NEAR(r.cycles - r.rawCycles, penalized, 0.5);
+}
+
+TEST(MacsBound, RefreshDisabledConfigRemovesPenalty)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::noRefresh();
+    MacsResult r = evalText(R"(
+    ld.l x(a5),v0
+    ld.l y(a5),v1
+)",
+                            cfg);
+    EXPECT_DOUBLE_EQ(r.cycles, r.rawCycles);
+}
+
+// ------------------------------------------------ slow-pipe overhang
+
+TEST(MacsBound, ReductionOverhangMaskedByInterveningChimes)
+{
+    // LFK3 shape: [ld][ld, mul, sum]; the sum's extra 0.35*VL cycles
+    // drain while the next iteration's load chime runs.
+    MacsResult r = evalText(R"(
+    ld.l x(a5),v0
+    ld.l y(a5),v1
+    mul.d v0,v1,v2
+    sum.d v2,s1
+)",
+                            paperMachine());
+    ASSERT_EQ(r.chimes.size(), 2u);
+    // 130 + 131 = 261 raw; sum fully masked.
+    EXPECT_DOUBLE_EQ(r.rawCycles, 261.0);
+    EXPECT_NEAR(r.cpl, 261.0 * 1.02 / 128.0, 1e-6);
+}
+
+TEST(MacsBound, ReductionUnmaskedWhenPipeReusedImmediately)
+{
+    // FP-only variant: a single chime re-uses the add pipe every
+    // iteration, so the full Z = 1.35 is charged (paper t_MACS^f for
+    // LFK3 = 1.37).
+    MacsResult r = evalText(R"(
+    mul.d v0,v1,v2
+    sum.d v2,s1
+)",
+                            paperMachine());
+    ASSERT_EQ(r.chimes.size(), 1u);
+    EXPECT_NEAR(r.cpl, 1.36, 0.015);
+}
+
+TEST(MacsBound, DivideDominatesLoneChime)
+{
+    MacsResult r = evalText(R"(
+    div.d v0,v1,v2
+)",
+                            paperMachine());
+    // Z = 4: 4*128 = 512 cycles (bubble folded into the gap).
+    EXPECT_NEAR(r.cpl, 4.0 + 21.0 / 128.0, 0.01);
+}
+
+TEST(MacsBound, DivideMaskedByLongOtherWork)
+{
+    // Paper Table 1 note (a): divide's extended cycles may be masked
+    // by other instructions when no resource conflict exists.
+    MacsResult r = evalText(R"(
+    div.d v0,v1,v2
+    ld.l x(a5),v3
+    ld.l x+8(a5),v4
+    ld.l y(a5),v5
+    ld.l y+8(a5),v6
+)",
+                            paperMachine());
+    // 5 chimes; the divide overhang (3*128 = 384) fits under the four
+    // load chimes (4*130 = 520 > 384).
+    double unmasked_extra = 0.0;
+    for (double c : r.chimeCycles)
+        if (c > 200.0)
+            unmasked_extra += c - 200.0;
+    EXPECT_DOUBLE_EQ(unmasked_extra, 0.0);
+}
+
+// ------------------------------------------------ filters
+
+TEST(MacsBound, StripVectorMemRemovesOnlyMemory)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    auto body = p.innerLoop();
+    auto f = stripVectorMem(body);
+    auto m = stripVectorFp(body);
+    int mem = 0, fp = 0;
+    for (const auto &in : f)
+        if (in.isVectorMemory())
+            ++mem;
+    for (const auto &in : m)
+        if (in.isVector() && !in.isVectorMemory())
+            ++fp;
+    EXPECT_EQ(mem, 0);
+    EXPECT_EQ(fp, 0);
+    // Scalar loop control retained by both.
+    EXPECT_GT(f.size(), 5u);
+    EXPECT_GT(m.size(), 4u);
+}
+
+TEST(MacsBound, EmptyBodyGivesZeroBound)
+{
+    std::vector<isa::Instruction> empty;
+    MacsResult r = evaluateMacs(empty, paperMachine());
+    EXPECT_DOUBLE_EQ(r.cpl, 0.0);
+    EXPECT_TRUE(r.chimes.empty());
+}
+
+TEST(MacsBound, VectorLengthScalesCost)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    MacsResult r64 = evaluateMacs(p.innerLoop(), paperMachine(), 64);
+    MacsResult r128 = evaluateMacs(p.innerLoop(), paperMachine(), 128);
+    // Same bubbles, half the element time: CPL (per strip/VL) is
+    // larger at VL = 64 because fixed costs amortize less.
+    EXPECT_GT(r64.cpl, r128.cpl);
+    EXPECT_LT(r64.cycles, r128.cycles);
+}
+
+TEST(MacsBound, InvalidVectorLengthPanics)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    EXPECT_THROW(evaluateMacs(p.innerLoop(), paperMachine(), 0),
+                 PanicError);
+}
+
+} // namespace
+} // namespace macs::model

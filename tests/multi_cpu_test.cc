@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Multi-CPU contention fixed-point tests: convergence, consistency
+ * with the paper's observed band, masking behaviour, and lock-step vs
+ * independent mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/parser.h"
+#include "lfk/kernels.h"
+#include "machine/machine_config.h"
+#include "sim/multi_cpu.h"
+#include "support/logging.h"
+
+namespace macs::sim {
+namespace {
+
+machine::MachineConfig
+paperMachine()
+{
+    return machine::MachineConfig::convexC240();
+}
+
+/** Keep kernels/programs alive for the duration of a test. */
+struct JobSet
+{
+    std::vector<lfk::Kernel> kernels;
+    std::vector<CpuJob> jobs;
+
+    explicit JobSet(const std::vector<int> &ids)
+    {
+        kernels.reserve(ids.size());
+        for (int id : ids)
+            kernels.push_back(lfk::makeKernel(id));
+        for (auto &k : kernels)
+            jobs.push_back({&k.program, k.setup});
+    }
+};
+
+TEST(MultiCpu, SingleCpuHasNoContention)
+{
+    JobSet set({1});
+    MultiCpuResult r = runMultiCpu(set.jobs, paperMachine());
+    ASSERT_TRUE(r.converged);
+    EXPECT_DOUBLE_EQ(r.factor[0], 1.0);
+}
+
+TEST(MultiCpu, FourMemoryBoundKernelsReachPaperBand)
+{
+    // Four copies of the memory-saturated LFK1: utilization ~1 each,
+    // so the fixed point lands at 1 + 0.15*3 ~ 1.45 — inside the
+    // paper's 56-64 ns band (1.4 .. 1.6).
+    JobSet set({1, 1, 1, 1});
+    MultiCpuResult r = runMultiCpu(set.jobs, paperMachine());
+    ASSERT_TRUE(r.converged);
+    for (double f : r.factor) {
+        EXPECT_GE(f, 1.35);
+        EXPECT_LE(f, 1.60);
+    }
+    for (double u : r.utilization)
+        EXPECT_GT(u, 0.85);
+}
+
+TEST(MultiCpu, LockStepContendsLess)
+{
+    JobSet ind({1, 1, 1, 1});
+    JobSet ls({1, 1, 1, 1});
+    MultiCpuOptions lock;
+    lock.mix = WorkloadMix::LockStep;
+    MultiCpuResult ri = runMultiCpu(ind.jobs, paperMachine());
+    MultiCpuResult rl = runMultiCpu(ls.jobs, paperMachine(), lock);
+    EXPECT_LT(rl.factor[0], ri.factor[0]);
+    EXPECT_LT(rl.stats[0].cycles, ri.stats[0].cycles);
+}
+
+TEST(MultiCpu, LowUtilizationNeighborsContendLess)
+{
+    // LFK5/11 run on the scalar unit with sparse memory traffic; an
+    // LFK1 sharing memory with them suffers much less than with three
+    // other vector kernels.
+    JobSet heavy({1, 1, 1, 1});
+    JobSet light({1, 5, 11, 5});
+    MultiCpuResult rh = runMultiCpu(heavy.jobs, paperMachine());
+    MultiCpuResult rlite = runMultiCpu(light.jobs, paperMachine());
+    EXPECT_LT(rlite.factor[0], rh.factor[0] - 0.1);
+}
+
+TEST(MultiCpu, DegradationMatchesRuleOfThumbShape)
+{
+    JobSet set({1, 3, 10, 12});
+    MultiCpuResult multi = runMultiCpu(set.jobs, paperMachine());
+    ASSERT_TRUE(multi.converged);
+
+    JobSet solo({1});
+    MultiCpuResult single = runMultiCpu(solo.jobs, paperMachine());
+    double deg =
+        multi.stats[0].cycles / single.stats[0].cycles - 1.0;
+    // Memory-saturated inner loops expose most of the stream slowdown.
+    EXPECT_GT(deg, 0.10);
+    EXPECT_LT(deg, 0.60);
+}
+
+TEST(MultiCpu, FixedPointIsMonotoneInCpuCount)
+{
+    double prev = 1.0;
+    for (size_t n = 1; n <= 4; ++n) {
+        JobSet set(std::vector<int>(n, 1));
+        MultiCpuResult r = runMultiCpu(set.jobs, paperMachine());
+        EXPECT_GE(r.factor[0], prev - 1e-9) << n << " CPUs";
+        prev = r.factor[0];
+    }
+}
+
+TEST(MultiCpu, GuardsBadInput)
+{
+    EXPECT_THROW(runMultiCpu({}, paperMachine()), PanicError);
+    JobSet set({1, 1, 1, 1});
+    auto jobs = set.jobs;
+    jobs.push_back(jobs.front());
+    EXPECT_THROW(runMultiCpu(jobs, paperMachine()), PanicError);
+    CpuJob null_job;
+    EXPECT_THROW(runMultiCpu({null_job}, paperMachine()), PanicError);
+}
+
+TEST(MultiCpu, DeterministicAcrossRuns)
+{
+    JobSet a({1, 3});
+    JobSet b({1, 3});
+    MultiCpuResult ra = runMultiCpu(a.jobs, paperMachine());
+    MultiCpuResult rb = runMultiCpu(b.jobs, paperMachine());
+    EXPECT_DOUBLE_EQ(ra.stats[0].cycles, rb.stats[0].cycles);
+    EXPECT_DOUBLE_EQ(ra.factor[1], rb.factor[1]);
+}
+
+} // namespace
+} // namespace macs::sim

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Quantitative regression against the paper's published numbers
+ * (Tables 3-5). Exact-arithmetic quantities (MA/MAC bounds, the LFK1
+ * worked example) must match to printed precision; schedule-dependent
+ * quantities (MACS) and simulated quantities (t_p) must match within
+ * the documented tolerances — our fc-like compiler and simulator are
+ * reconstructions, not the original hardware/compiler (see
+ * EXPERIMENTS.md for the per-kernel discussion).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lfk/kernels.h"
+#include "macs/hierarchy.h"
+#include "macs/metrics.h"
+#include "machine/machine_config.h"
+
+namespace macs::model {
+namespace {
+
+const KernelAnalysis &
+analysisFor(int id)
+{
+    static std::map<int, KernelAnalysis> cache;
+    auto it = cache.find(id);
+    if (it == cache.end()) {
+        machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+        lfk::Kernel k = lfk::makeKernel(id);
+        it = cache.emplace(id, analyzeKernel(lfk::toKernelCase(k), cfg))
+                 .first;
+    }
+    return it->second;
+}
+
+struct PaperRow
+{
+    int id;
+    double maCpf;   // Table 4
+    double macCpf;  // Table 4
+    double macsCpf; // Table 4
+    double tpCpf;   // Table 4 (measured on the real C-240)
+    double macsTol; // |ours - paper| tolerance on MACS CPF
+    double tpRatioLo; // ours/paper bounds for the simulated measurement
+    double tpRatioHi;
+};
+
+class PaperTable4 : public ::testing::TestWithParam<PaperRow>
+{
+};
+
+TEST_P(PaperTable4, MaBoundExact)
+{
+    const PaperRow &row = GetParam();
+    EXPECT_NEAR(analysisFor(row.id).maCpf(), row.maCpf, 0.001);
+}
+
+TEST_P(PaperTable4, MacBoundExact)
+{
+    const PaperRow &row = GetParam();
+    EXPECT_NEAR(analysisFor(row.id).macCpf(), row.macCpf, 0.001);
+}
+
+TEST_P(PaperTable4, MacsBoundWithinTolerance)
+{
+    const PaperRow &row = GetParam();
+    EXPECT_NEAR(analysisFor(row.id).macsCpf(), row.macsCpf, row.macsTol);
+}
+
+TEST_P(PaperTable4, MeasuredCpfWithinBand)
+{
+    const PaperRow &row = GetParam();
+    double ratio = analysisFor(row.id).actualCpf() / row.tpCpf;
+    EXPECT_GE(ratio, row.tpRatioLo);
+    EXPECT_LE(ratio, row.tpRatioHi);
+}
+
+// Tolerances: LFK 1/2/3/10/12 reproduce the paper's chime structure
+// exactly; LFK 7/8/9 differ by about one chime (our list scheduler vs
+// fc V6.1); LFK 4/6 involve the reduction special cases the paper
+// explicitly leaves undocumented. t_p bands are wide where the paper's
+// number is dominated by effects we model more cleanly than the loaded
+// 1993 machine (LFK2's multi-exit outer loop, LFK6's scalar sweeps).
+INSTANTIATE_TEST_SUITE_P(
+    Rows, PaperTable4,
+    ::testing::Values(
+        PaperRow{1, 0.600, 0.800, 0.840, 0.852, 0.005, 0.90, 1.05},
+        PaperRow{2, 1.250, 1.500, 1.566, 3.773, 0.005, 0.45, 1.10},
+        PaperRow{3, 1.000, 1.000, 1.044, 1.128, 0.010, 0.85, 1.10},
+        PaperRow{4, 1.000, 1.000, 1.226, 1.863, 0.350, 0.70, 1.20},
+        PaperRow{6, 1.000, 1.000, 1.226, 2.632, 0.200, 0.60, 1.20},
+        PaperRow{7, 0.500, 0.625, 0.656, 0.681, 0.080, 0.85, 1.25},
+        PaperRow{8, 0.583, 0.583, 0.824, 0.858, 0.030, 0.85, 1.15},
+        PaperRow{9, 0.647, 0.647, 0.679, 0.749, 0.080, 0.85, 1.20},
+        PaperRow{10, 2.222, 2.222, 2.328, 2.442, 0.010, 0.90, 1.05},
+        PaperRow{12, 2.000, 3.000, 3.132, 3.182, 0.005, 0.90, 1.05}),
+    [](const auto &info) {
+        return "LFK" + std::to_string(info.param.id);
+    });
+
+// ------------------------------------------------ Table 3 anchors (CPL)
+
+TEST(PaperTable3, Lfk1Breakdown)
+{
+    const KernelAnalysis &a = analysisFor(1);
+    EXPECT_DOUBLE_EQ(a.maBound.tF, 3.0);
+    EXPECT_DOUBLE_EQ(a.maBound.tM, 3.0);
+    EXPECT_DOUBLE_EQ(a.macBound.tM, 4.0);
+    EXPECT_NEAR(a.macs.cpl, 4.20, 0.01);
+    EXPECT_NEAR(a.macsFOnly.cpl, 3.04, 0.01);  // paper t_MACS^f
+    EXPECT_NEAR(a.macsMOnly.cpl, 4.14, 0.03);  // paper t_MACS^m
+}
+
+TEST(PaperTable3, Lfk2Breakdown)
+{
+    const KernelAnalysis &a = analysisFor(2);
+    EXPECT_DOUBLE_EQ(a.macBound.tM, 6.0);
+    EXPECT_NEAR(a.macs.cpl, 6.26, 0.01);
+    EXPECT_NEAR(a.macsFOnly.cpl, 2.03, 0.01);
+    EXPECT_NEAR(a.macsMOnly.cpl, 6.22, 0.03);
+}
+
+TEST(PaperTable3, Lfk7Breakdown)
+{
+    const KernelAnalysis &a = analysisFor(7);
+    EXPECT_DOUBLE_EQ(a.macBound.tF, 8.0);
+    EXPECT_DOUBLE_EQ(a.macBound.tM, 10.0);
+    EXPECT_NEAR(a.macsFOnly.cpl, 9.13, 0.05); // ninth FP chime
+    EXPECT_NEAR(a.macsMOnly.cpl, 10.37, 0.05);
+}
+
+TEST(PaperTable3, Lfk8Breakdown)
+{
+    const KernelAnalysis &a = analysisFor(8);
+    EXPECT_DOUBLE_EQ(a.macBound.tF, 21.0);
+    EXPECT_DOUBLE_EQ(a.macBound.tM, 21.0);
+    EXPECT_NEAR(a.macsFOnly.cpl, 21.28, 2.1);
+    EXPECT_NEAR(a.macsMOnly.cpl, 21.85, 0.10);
+    EXPECT_NEAR(a.macs.cpl, 30.15, 1.0);
+}
+
+TEST(PaperTable3, Lfk10And12Breakdown)
+{
+    const KernelAnalysis &a10 = analysisFor(10);
+    EXPECT_NEAR(a10.macs.cpl, 20.95, 0.01);
+    EXPECT_NEAR(a10.macsFOnly.cpl, 9.07, 0.01);
+    EXPECT_NEAR(a10.macsMOnly.cpl, 20.88, 0.01);
+
+    const KernelAnalysis &a12 = analysisFor(12);
+    EXPECT_NEAR(a12.macs.cpl, 3.13, 0.01);
+    EXPECT_NEAR(a12.macsFOnly.cpl, 1.01, 0.01);
+    EXPECT_NEAR(a12.macsMOnly.cpl, 3.12, 0.01);
+}
+
+// ------------------------------------------------ Table 4 summary row
+
+TEST(PaperTable4Summary, AverageCpfAndMflops)
+{
+    std::vector<double> ma, mac, macs, act;
+    for (int id : lfk::lfkIds()) {
+        const KernelAnalysis &a = analysisFor(id);
+        ma.push_back(a.maCpf());
+        mac.push_back(a.macCpf());
+        macs.push_back(a.macsCpf());
+        act.push_back(a.actualCpf());
+    }
+    // Paper: 1.080 / 1.238 / 1.352 / 1.900 CPF averages.
+    EXPECT_NEAR(mean(ma), 1.080, 0.005);
+    EXPECT_NEAR(mean(mac), 1.238, 0.005);
+    EXPECT_NEAR(mean(macs), 1.352, 0.12);
+    // Our simulated machine is cleaner than the loaded 1993 system;
+    // the average sits between the MACS bound and the paper's 1.900.
+    EXPECT_GT(mean(act), mean(macs));
+    EXPECT_LT(mean(act), 2.0);
+
+    // Paper HMEAN row: 23.15 / 20.19 / 17.79 / 13.16 MFLOPS.
+    EXPECT_NEAR(hmeanMflops(ma, 25.0), 23.15, 0.15);
+    EXPECT_NEAR(hmeanMflops(mac, 25.0), 20.19, 0.15);
+    double measured = hmeanMflops(act, 25.0);
+    EXPECT_GT(measured, 13.0);
+    EXPECT_LT(measured, 19.0);
+}
+
+// ------------------------------------------------ Table 5 relationships
+
+TEST(PaperTable5, AccessExecuteOrderingPerKernel)
+{
+    // Memory dominates this workload: the access-only run is the
+    // larger of the pair except where reductions/scalar code dominate
+    // the X side (paper flags LFK 4, 6, 8; our LFK7/9 X-process also
+    // carries the long FP chain).
+    for (int id : {1, 2, 3, 10, 12}) {
+        const KernelAnalysis &a = analysisFor(id);
+        EXPECT_GE(a.tA, a.tX) << "LFK" << id;
+    }
+    for (int id : {4, 6}) {
+        const KernelAnalysis &a = analysisFor(id);
+        EXPECT_GT(a.tX, a.tA * 0.8) << "LFK" << id;
+    }
+}
+
+TEST(PaperTable5, Lfk1MeasurementsNearPaper)
+{
+    const KernelAnalysis &a = analysisFor(1);
+    // Paper: t_p=4.26, t_A=4.20, t_X=3.13 CPL.
+    EXPECT_NEAR(a.tP, 4.26, 0.10);
+    EXPECT_NEAR(a.tA, 4.20, 0.10);
+    EXPECT_NEAR(a.tX, 3.13, 0.10);
+}
+
+TEST(PaperTable5, Lfk8PoorOverlapSignature)
+{
+    // Paper: t_p (30.90) well above t_A ~ t_X (22.77 / 22.53).
+    const KernelAnalysis &a = analysisFor(8);
+    EXPECT_NEAR(a.tP, 30.90, 1.0);
+    EXPECT_GT(a.tP, std::max(a.tA, a.tX) * 1.2);
+}
+
+} // namespace
+} // namespace macs::model

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Markdown report generator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "lfk/kernels.h"
+#include "macs/report_md.h"
+#include "machine/machine_config.h"
+
+namespace macs::model {
+namespace {
+
+const std::map<int, KernelAnalysis> &
+sampleAnalyses()
+{
+    static const std::map<int, KernelAnalysis> cache = [] {
+        std::map<int, KernelAnalysis> out;
+        machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+        for (int id : {1, 12}) {
+            lfk::Kernel k = lfk::makeKernel(id);
+            out.emplace(id,
+                        analyzeKernel(lfk::toKernelCase(k), cfg));
+        }
+        return out;
+    }();
+    return cache;
+}
+
+TEST(ReportMd, ContainsEverySection)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    std::string md = renderMarkdownReport(sampleAnalyses(), cfg);
+    for (const char *needle :
+         {"# MACS reproduction report", "## Workloads",
+          "## Bounds in CPL", "## Bounds vs measured CPF",
+          "## A/X measurements", "## Gap diagnosis", "### LFK1",
+          "### LFK12"})
+        EXPECT_NE(md.find(needle), std::string::npos) << needle;
+}
+
+TEST(ReportMd, PaperColumnsToggle)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    std::string with = renderMarkdownReport(sampleAnalyses(), cfg, true);
+    std::string without =
+        renderMarkdownReport(sampleAnalyses(), cfg, false);
+    EXPECT_NE(with.find("paper t_p"), std::string::npos);
+    EXPECT_EQ(without.find("paper t_p"), std::string::npos);
+    EXPECT_LT(without.size(), with.size());
+}
+
+TEST(ReportMd, TablesAreWellFormedMarkdown)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    std::string md = renderMarkdownReport(sampleAnalyses(), cfg);
+    // Every table row line starts and ends with a pipe.
+    std::istringstream is(md);
+    std::string line;
+    int rows = 0;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.front() == '|') {
+            EXPECT_EQ(line.back(), '|') << line;
+            ++rows;
+        }
+    }
+    EXPECT_GT(rows, 12);
+}
+
+TEST(ReportMd, ContainsKnownLfk1Numbers)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    std::string md = renderMarkdownReport(sampleAnalyses(), cfg);
+    EXPECT_NE(md.find("0.840"), std::string::npos); // LFK1 t_MACS CPF
+    EXPECT_NE(md.find("0.852"), std::string::npos); // paper t_p
+}
+
+} // namespace
+} // namespace macs::model

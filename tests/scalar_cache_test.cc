@@ -1,0 +1,178 @@
+/**
+ * @file
+ * ASU scalar data cache tests: hit/miss latency, write-through
+ * invalidation, vector-store coherence invalidation, and the
+ * configuration ablation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/parser.h"
+#include "lfk/kernels.h"
+#include "machine/machine_config.h"
+#include "sim/simulator.h"
+
+namespace macs::sim {
+namespace {
+
+RunStats
+runText(const std::string &text, const machine::MachineConfig &cfg)
+{
+    isa::Program p = isa::assemble(text);
+    Simulator s(cfg, p);
+    return s.run();
+}
+
+machine::MachineConfig
+quiet()
+{
+    return machine::MachineConfig::noRefresh();
+}
+
+TEST(ScalarCache, RepeatedLoadHits)
+{
+    RunStats st = runText(R"(
+.comm cell,1
+    ld.w cell,s1
+    ld.w cell,s2
+    ld.w cell,s3
+)",
+                          quiet());
+    EXPECT_EQ(st.scalarCacheMisses, 1u);
+    EXPECT_EQ(st.scalarCacheHits, 2u);
+}
+
+TEST(ScalarCache, LineGranularityCoversNeighbors)
+{
+    // Four words share a line: one miss fills it.
+    RunStats st = runText(R"(
+.comm arr,8
+    ld.w arr,s1
+    ld.w arr+8,s2
+    ld.w arr+16,s3
+    ld.w arr+24,s4
+)",
+                          quiet());
+    EXPECT_EQ(st.scalarCacheMisses, 1u);
+    EXPECT_EQ(st.scalarCacheHits, 3u);
+}
+
+TEST(ScalarCache, MissCostsMoreThanHit)
+{
+    machine::MachineConfig cfg = quiet();
+    // Ten cold lines (stride one line apart) vs ten hits on one cell;
+    // the dependent adds make each load's latency observable.
+    auto build = [&](bool cold) {
+        std::string text = ".comm arr,64\n";
+        for (int i = 0; i < 10; ++i) {
+            int off = cold ? 32 * i : 0;
+            text += "    ld.w arr+" + std::to_string(off) + ",s1\n";
+            text += "    add.w s1,s2,s2\n";
+        }
+        return text;
+    };
+    double cold = runText(build(true), cfg).cycles;
+    double warm = runText(build(false), cfg).cycles;
+    EXPECT_GE(cold - warm,
+              9.0 * (cfg.scalar.loadMissLatency -
+                     cfg.scalar.loadLatency) -
+                  1e-9);
+}
+
+TEST(ScalarCache, ScalarStoreInvalidatesItsLine)
+{
+    RunStats st = runText(R"(
+.comm cell,1
+    ld.w cell,s1
+    st.w s1,cell
+    ld.w cell,s2
+)",
+                          quiet());
+    // Write-through with invalidate: the reload misses again.
+    EXPECT_EQ(st.scalarCacheMisses, 2u);
+}
+
+TEST(ScalarCache, VectorStoreInvalidatesCoveredRange)
+{
+    // arr spans 16 of the 64 direct-mapped sets; cell lands on a
+    // different set, so only the vector-stored range is invalidated.
+    RunStats st = runText(R"(
+.comm arr,64
+.comm cell,1
+    ld.w arr,s1
+    ld.w cell,s2
+    mov #32,s6
+    mov s6,VL
+    ld.l arr,v0
+    st.l v0,arr
+    ld.w arr,s3
+    ld.w cell,s4
+)",
+                          quiet());
+    // arr's line was invalidated by the vector store; cell's was not.
+    EXPECT_EQ(st.scalarCacheMisses, 3u); // arr, cell, arr-again
+    EXPECT_EQ(st.scalarCacheHits, 1u);   // cell-again
+}
+
+TEST(ScalarCache, StridedVectorStoreInvalidatesWholeSpan)
+{
+    RunStats st = runText(R"(
+.comm arr,512
+    ld.w arr+256,s1
+    mov #25,s2
+    mov #8,s6
+    mov s6,VL
+    sts.l v0,s2,arr
+    ld.w arr+256,s3
+)",
+                          quiet());
+    // arr+256 (word 32) lies inside the strided store's 0..175-word
+    // span, so the reload misses.
+    EXPECT_EQ(st.scalarCacheMisses, 2u);
+}
+
+TEST(ScalarCache, DisabledCacheAlwaysMisses)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::noScalarCache();
+    cfg.memory.refreshEnabled = false;
+    RunStats st = runText(R"(
+.comm cell,1
+    ld.w cell,s1
+    ld.w cell,s2
+)",
+                          cfg);
+    EXPECT_EQ(st.scalarCacheHits, 0u);
+    EXPECT_EQ(st.scalarCacheMisses, 2u);
+}
+
+TEST(ScalarCache, DisablingTheCacheNeverSpeedsAKernel)
+{
+    for (int id : {2, 4, 6, 8}) {
+        lfk::Kernel k1 = lfk::makeKernel(id);
+        lfk::Kernel k2 = lfk::makeKernel(id);
+        machine::MachineConfig with = machine::MachineConfig::convexC240();
+        machine::MachineConfig without =
+            machine::MachineConfig::noScalarCache();
+        Simulator s1(with, k1.program), s2(without, k2.program);
+        k1.setup(s1);
+        k2.setup(s2);
+        double c_with = s1.run().cycles;
+        double c_without = s2.run().cycles;
+        EXPECT_GE(c_without, c_with) << "LFK" << id;
+    }
+}
+
+TEST(ScalarCache, FunctionalResultsUnaffectedByCacheConfig)
+{
+    for (int id : {2, 6, 8}) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        machine::MachineConfig cfg = machine::MachineConfig::noScalarCache();
+        Simulator s(cfg, k.program);
+        k.setup(s);
+        s.run();
+        EXPECT_EQ(k.check(s), "") << "LFK" << id;
+    }
+}
+
+} // namespace
+} // namespace macs::sim

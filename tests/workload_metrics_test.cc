@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Workload counting, MA/MAC pipe-bound equations (paper section 3.1),
+ * and the CPL/CPF/MFLOPS conversions (equations 2-4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/parser.h"
+#include "lfk/kernels.h"
+#include "macs/bounds.h"
+#include "macs/metrics.h"
+#include "macs/workload.h"
+
+namespace macs::model {
+namespace {
+
+TEST(Workload, CountsLfk1PaperListing)
+{
+    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
+    WorkloadCounts c = countAssembly(p.innerLoop());
+    EXPECT_EQ(c.fAdd, 2);
+    EXPECT_EQ(c.fMul, 3);
+    EXPECT_EQ(c.loads, 3);
+    EXPECT_EQ(c.stores, 1);
+    EXPECT_EQ(c.flops(), 5);
+    EXPECT_EQ(c.tF(), 3);
+    EXPECT_EQ(c.tM(), 4);
+}
+
+TEST(Workload, ReductionAndNegCountAsAddPipe)
+{
+    isa::Program p = isa::assemble(R"(
+.comm x,64
+    ld.l x(a5),v0
+    neg.d v0,v1
+    sum.d v1,s1
+)");
+    WorkloadCounts c = countAssembly(p.instrs());
+    EXPECT_EQ(c.fAdd, 2);
+    EXPECT_EQ(c.fMul, 0);
+}
+
+TEST(Workload, DivCountsAsMultiplyPipe)
+{
+    isa::Program p = isa::assemble("div.d v0,v1,v2\n");
+    WorkloadCounts c = countAssembly(p.instrs());
+    EXPECT_EQ(c.fMul, 1);
+}
+
+TEST(Workload, StridedOpsCountAsMemory)
+{
+    isa::Program p = isa::assemble(R"(
+.comm x,1024
+    mov #5,s1
+    lds.l x,s1,v0
+    sts.l v0,s1,x
+)");
+    WorkloadCounts c = countAssembly(p.instrs());
+    EXPECT_EQ(c.loads, 1);
+    EXPECT_EQ(c.stores, 1);
+}
+
+TEST(Workload, ScalarInstructionsIgnored)
+{
+    isa::Program p = isa::assemble(R"(
+.comm x,8
+    ld.w x,s1
+    st.w s1,x
+    add.w #1,s0
+)");
+    WorkloadCounts c = countAssembly(p.instrs());
+    EXPECT_EQ(c, (WorkloadCounts{}));
+}
+
+TEST(Workload, EmptyBody)
+{
+    std::vector<isa::Instruction> empty;
+    WorkloadCounts c = countAssembly(empty);
+    EXPECT_EQ(c.flops(), 0);
+    EXPECT_EQ(c.tM(), 0);
+}
+
+// ---------------------------------------------------------------- bounds
+
+TEST(PipeBound, MemoryBoundCase)
+{
+    WorkloadCounts c{2, 3, 2, 1}; // f=3, m=3
+    PipeBound b = pipeBound(c);
+    EXPECT_DOUBLE_EQ(b.tF, 3.0);
+    EXPECT_DOUBLE_EQ(b.tM, 3.0);
+    EXPECT_DOUBLE_EQ(b.bound, 3.0);
+    EXPECT_TRUE(b.memoryBound());
+}
+
+TEST(PipeBound, FpBoundCase)
+{
+    WorkloadCounts c{21, 15, 9, 6}; // LFK8 MA: f=21, m=15
+    PipeBound b = pipeBound(c);
+    EXPECT_DOUBLE_EQ(b.bound, 21.0);
+    EXPECT_FALSE(b.memoryBound());
+}
+
+TEST(PipeBound, MaxOfAddsAndMuls)
+{
+    WorkloadCounts c{9, 8, 0, 0};
+    EXPECT_DOUBLE_EQ(pipeBound(c).tF, 9.0);
+}
+
+TEST(PipeBound, ZeroWorkload)
+{
+    PipeBound b = pipeBound({});
+    EXPECT_DOUBLE_EQ(b.bound, 0.0);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CplToCpf)
+{
+    // LFK1: 3 CPL over 5 source flops = 0.6 CPF (equation 2).
+    EXPECT_DOUBLE_EQ(cplToCpf(3.0, 5), 0.6);
+    EXPECT_THROW(cplToCpf(3.0, 0), PanicError);
+}
+
+TEST(Metrics, CpfToMflops)
+{
+    // 25 MHz at 1 CPF = 25 MFLOPS.
+    EXPECT_DOUBLE_EQ(cpfToMflops(1.0, 25.0), 25.0);
+    EXPECT_THROW(cpfToMflops(0.0, 25.0), PanicError);
+}
+
+TEST(Metrics, HmeanMflopsMatchesPaperTable4)
+{
+    // Paper Table 4 average row: avg MA CPF 1.080 -> 23.15 MFLOPS.
+    std::vector<double> cpfs = {0.600, 1.250, 1.000, 1.000, 1.000,
+                                0.500, 0.583, 0.647, 2.222, 2.000};
+    double hm = hmeanMflops(cpfs, 25.0);
+    EXPECT_NEAR(hm, 23.15, 0.05);
+}
+
+TEST(Metrics, HmeanIsClockOverMeanCpf)
+{
+    std::vector<double> cpfs = {1.0, 3.0};
+    EXPECT_DOUBLE_EQ(hmeanMflops(cpfs, 25.0), 25.0 / 2.0);
+}
+
+} // namespace
+} // namespace macs::model

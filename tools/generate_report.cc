@@ -1,0 +1,68 @@
+/**
+ * @file
+ * generate_report — run the whole case study and write the markdown
+ * reproduction record.
+ *
+ *   generate_report [output.md] [--variant baseline|no-bubbles|
+ *                                no-refresh|no-chaining]
+ *
+ * Defaults to paper_vs_measured.md on the baseline C-240. Non-baseline
+ * variants omit the paper columns (the published numbers only apply to
+ * the real machine).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "lfk/kernels.h"
+#include "macs/report_md.h"
+#include "machine/machine_config.h"
+#include "support/logging.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace macs;
+
+    std::string out_path = "paper_vs_measured.md";
+    std::string variant = "baseline";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc)
+            variant = argv[++i];
+        else
+            out_path = argv[i];
+    }
+
+    machine::MachineConfig cfg;
+    if (variant == "baseline")
+        cfg = machine::MachineConfig::convexC240();
+    else if (variant == "no-bubbles")
+        cfg = machine::MachineConfig::noBubbles();
+    else if (variant == "no-refresh")
+        cfg = machine::MachineConfig::noRefresh();
+    else if (variant == "no-chaining")
+        cfg = machine::MachineConfig::noChaining();
+    else
+        fatal("unknown variant '", variant, "'");
+
+    std::map<int, model::KernelAnalysis> analyses;
+    for (int id : lfk::lfkIds()) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        analyses.emplace(id,
+                         model::analyzeKernel(lfk::toKernelCase(k), cfg));
+        std::printf("analyzed %s\n", k.name.c_str());
+    }
+
+    std::string report = model::renderMarkdownReport(
+        analyses, cfg, variant == "baseline");
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("cannot write '", out_path, "'");
+    out << report;
+    std::printf("wrote %s (%zu bytes, variant %s)\n", out_path.c_str(),
+                report.size(), variant.c_str());
+    return 0;
+}

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * macs — command-line front end to the library.
+ *
+ *   macs kernels                         list the LFK workloads
+ *   macs analyze <id>                    hierarchy report for one LFK
+ *   macs compile <file> [opts]           DSL loop -> assembly + bounds
+ *       --trip N        iterations (default 512)
+ *       --array n:w     declare array n with w words (repeatable)
+ *       --scalar        compile for the scalar unit
+ *   macs bounds <file.s>                 MAC/MACS/MACS-D of assembly
+ *   macs simulate <file.s> [--trace]     run assembly on the C-240
+ *
+ * Assembly files use the syntax of isa/parser.h; loop files use the
+ * DSL of compiler/loop_parser.h.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/codegen.h"
+#include "compiler/loop_parser.h"
+#include "isa/parser.h"
+#include "lfk/kernels.h"
+#include "macs/hierarchy.h"
+#include "macs/macsd.h"
+#include "machine/machine_config.h"
+#include "sim/simulator.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace macs;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+int
+cmdKernels()
+{
+    std::printf("%-6s %-4s %-8s %-6s %s\n", "name", "flop", "points",
+                "t_MA", "description");
+    for (int id : lfk::lfkIds()) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        std::printf("%-6s %-4d %-8ld %-6d %s\n", k.name.c_str(),
+                    k.flopsPerPoint, k.points,
+                    std::max(k.ma.tF(), k.ma.tM()), k.description.c_str());
+    }
+    for (int id : lfk::scalarLfkIds()) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        std::printf("%-6s %-4d %-8ld %-6s %s\n", k.name.c_str(),
+                    k.flopsPerPoint, k.points, "-", k.description.c_str());
+    }
+    return 0;
+}
+
+int
+cmdAnalyze(const std::string &arg)
+{
+    long id = 0;
+    if (!parseInt(arg, id))
+        fatal("analyze expects an LFK number, got '", arg, "'");
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    lfk::Kernel k = lfk::makeKernel(static_cast<int>(id));
+    std::printf("%s — %s\n%s\n", k.name.c_str(), k.description.c_str(),
+                k.sourceText.c_str());
+    model::KernelAnalysis a =
+        model::analyzeKernel(lfk::toKernelCase(k), cfg);
+    std::printf("%s", model::renderReport(a, cfg).c_str());
+    return 0;
+}
+
+int
+cmdCompile(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        fatal("compile expects a loop file");
+    compiler::CompileOptions opt;
+    opt.tripCount = 512;
+    std::string path = args[0];
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--trip" && i + 1 < args.size()) {
+            long trip = 0;
+            if (!parseInt(args[++i], trip))
+                fatal("--trip expects a number");
+            opt.tripCount = trip;
+        } else if (args[i] == "--array" && i + 1 < args.size()) {
+            auto parts = split(args[++i], ':');
+            long words = 0;
+            if (parts.size() != 2 || !parseInt(parts[1], words))
+                fatal("--array expects name:words");
+            opt.arrays.push_back(
+                {parts[0], static_cast<size_t>(words)});
+        } else if (args[i] == "--scalar") {
+            opt.vectorize = false;
+        } else if (args[i] == "--unroll" && i + 1 < args.size()) {
+            long u = 0;
+            if (!parseInt(args[++i], u))
+                fatal("--unroll expects a number");
+            opt.unroll = static_cast<int>(u);
+        } else {
+            fatal("unknown compile option '", args[i], "'");
+        }
+    }
+
+    compiler::Loop loop = compiler::parseLoop(readFile(path));
+    if (opt.arrays.empty()) {
+        // Undeclared arrays default to a generous extent.
+        compiler::SourceAnalysis sa = compiler::analyzeSource(loop);
+        (void)sa;
+        for (const auto &s : loop.stmts) {
+            if (s.arrayDst)
+                opt.arrays.push_back({s.dstName, 1u << 16});
+        }
+        // Conservatively declare every identifier-like array too: the
+        // compiler reports missing ones, so rely on --array for those.
+    }
+
+    compiler::CompileResult res = compiler::compile(loop, opt);
+    std::printf("%s", res.program.toString().c_str());
+
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    model::PipeBound ma = model::pipeBound(res.analysis.ma);
+    model::PipeBound mac = model::pipeBound(res.macCounts);
+    std::printf("\n; t_MA  = %.0f CPL\n; t_MAC = %.0f CPL\n", ma.bound,
+                mac.bound);
+    if (opt.vectorize) {
+        model::MacsResult macs =
+            model::evaluateMacs(res.program.innerLoop(), cfg);
+        std::printf("; t_MACS = %.3f CPL (%zu chimes)\n", macs.cpl,
+                    macs.chimes.size());
+    }
+    return 0;
+}
+
+int
+cmdBounds(const std::string &path)
+{
+    isa::Program prog = isa::assemble(readFile(path));
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    auto body = prog.innerLoop();
+
+    model::WorkloadCounts mac = model::countAssembly(body);
+    model::PipeBound b = model::pipeBound(mac);
+    model::MacsResult macs = model::evaluateMacs(body, cfg);
+    model::MacsDResult d = model::evaluateMacsD(prog, cfg);
+
+    std::printf("workload (MAC): f_a=%d f_m=%d l=%d s=%d\n", mac.fAdd,
+                mac.fMul, mac.loads, mac.stores);
+    std::printf("t_MAC    = %.0f CPL\n", b.bound);
+    std::printf("t_MACS   = %.3f CPL\n", macs.cpl);
+    std::printf("t_MACS-D = %.3f CPL (worst memory rate %.2f "
+                "cycles/element)\n",
+                d.macs.cpl, d.worstMemoryRate);
+    std::printf("chimes:\n%s",
+                model::renderChimes(body, macs.chimes).c_str());
+    return 0;
+}
+
+int
+cmdSimulate(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        fatal("simulate expects an assembly file");
+    bool trace = false, profile = false;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--trace")
+            trace = true;
+        else if (args[i] == "--profile")
+            profile = true;
+        else
+            fatal("unknown simulate option '", args[i], "'");
+    }
+    isa::Program prog = isa::assemble(readFile(args[0]));
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::SimOptions opt;
+    opt.trace = trace;
+    opt.profile = profile;
+    sim::Simulator s(cfg, prog, opt);
+    sim::RunStats st = s.run();
+    std::printf("cycles              %.1f (%.2f us at %.0f MHz)\n",
+                st.cycles, st.cycles * cfg.clockNs() / 1000.0,
+                cfg.clockMhz);
+    std::printf("instructions        %llu (%llu vector, %llu scalar)\n",
+                (unsigned long long)st.instructions,
+                (unsigned long long)st.vectorInstructions,
+                (unsigned long long)st.scalarInstructions);
+    std::printf("vector elements     %llu (%llu flops, %llu memory)\n",
+                (unsigned long long)st.vectorElements,
+                (unsigned long long)st.flops,
+                (unsigned long long)st.memoryElements);
+    std::printf("refresh stalls      %.0f cycles\n",
+                st.refreshStallCycles);
+    if (st.flops)
+        std::printf("performance         %.3f CPF = %.2f MFLOPS\n",
+                    st.cpf(), st.mflops(cfg.clockMhz));
+    if (trace)
+        std::printf("\n%s", s.timeline().render(32).c_str());
+    if (profile)
+        std::printf("\nstall attribution:\n%s",
+                    s.profile().render().c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: macs <command> [args]\n"
+        "  kernels                 list the LFK workloads\n"
+        "  analyze <id>            MACS hierarchy report for one LFK\n"
+        "  compile <file> [opts]   compile a DSL loop "
+        "(--trip N, --array n:w, --scalar, --unroll N)\n"
+        "  bounds <file.s>         MAC/MACS/MACS-D bounds of assembly\n"
+        "  simulate <file.s>       run assembly on the simulated C-240 "
+        "[--trace] [--profile]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::vector<std::string> args(argv + 2, argv + argc);
+    std::string cmd = argv[1];
+    try {
+        if (cmd == "kernels")
+            return cmdKernels();
+        if (cmd == "analyze" && !args.empty())
+            return cmdAnalyze(args[0]);
+        if (cmd == "compile")
+            return cmdCompile(args);
+        if (cmd == "bounds" && !args.empty())
+            return cmdBounds(args[0]);
+        if (cmd == "simulate")
+            return cmdSimulate(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "macs: %s\n", e.what());
+        return 1;
+    }
+    usage();
+    return 2;
+}
