@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_machine"
+  "../bench/ablation_machine.pdb"
+  "CMakeFiles/ablation_machine.dir/ablation_machine.cc.o"
+  "CMakeFiles/ablation_machine.dir/ablation_machine.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figure2_chaining"
+  "../bench/figure2_chaining.pdb"
+  "CMakeFiles/figure2_chaining.dir/figure2_chaining.cc.o"
+  "CMakeFiles/figure2_chaining.dir/figure2_chaining.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

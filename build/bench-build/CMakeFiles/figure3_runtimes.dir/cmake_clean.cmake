@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/figure3_runtimes"
+  "../bench/figure3_runtimes.pdb"
+  "CMakeFiles/figure3_runtimes.dir/figure3_runtimes.cc.o"
+  "CMakeFiles/figure3_runtimes.dir/figure3_runtimes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

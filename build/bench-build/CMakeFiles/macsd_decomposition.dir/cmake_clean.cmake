@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/macsd_decomposition"
+  "../bench/macsd_decomposition.pdb"
+  "CMakeFiles/macsd_decomposition.dir/macsd_decomposition.cc.o"
+  "CMakeFiles/macsd_decomposition.dir/macsd_decomposition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macsd_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/strip_length_sweep"
+  "../bench/strip_length_sweep.pdb"
+  "CMakeFiles/strip_length_sweep.dir/strip_length_sweep.cc.o"
+  "CMakeFiles/strip_length_sweep.dir/strip_length_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strip_length_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_instruction_timing"
+  "../bench/table1_instruction_timing.pdb"
+  "CMakeFiles/table1_instruction_timing.dir/table1_instruction_timing.cc.o"
+  "CMakeFiles/table1_instruction_timing.dir/table1_instruction_timing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_instruction_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

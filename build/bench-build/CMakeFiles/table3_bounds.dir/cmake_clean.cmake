@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_bounds"
+  "../bench/table3_bounds.pdb"
+  "CMakeFiles/table3_bounds.dir/table3_bounds.cc.o"
+  "CMakeFiles/table3_bounds.dir/table3_bounds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_bounds_vs_measured"
+  "../bench/table4_bounds_vs_measured.pdb"
+  "CMakeFiles/table4_bounds_vs_measured.dir/table4_bounds_vs_measured.cc.o"
+  "CMakeFiles/table4_bounds_vs_measured.dir/table4_bounds_vs_measured.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_bounds_vs_measured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

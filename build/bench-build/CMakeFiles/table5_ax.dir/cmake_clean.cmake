@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_ax"
+  "../bench/table5_ax.pdb"
+  "CMakeFiles/table5_ax.dir/table5_ax.cc.o"
+  "CMakeFiles/table5_ax.dir/table5_ax.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/vectorization_speedup"
+  "../bench/vectorization_speedup.pdb"
+  "CMakeFiles/vectorization_speedup.dir/vectorization_speedup.cc.o"
+  "CMakeFiles/vectorization_speedup.dir/vectorization_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vectorization_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

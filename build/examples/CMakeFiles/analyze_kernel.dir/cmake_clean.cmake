@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_kernel.dir/analyze_kernel.cpp.o"
+  "CMakeFiles/analyze_kernel.dir/analyze_kernel.cpp.o.d"
+  "analyze_kernel"
+  "analyze_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_bound.dir/compile_and_bound.cpp.o"
+  "CMakeFiles/compile_and_bound.dir/compile_and_bound.cpp.o.d"
+  "compile_and_bound"
+  "compile_and_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

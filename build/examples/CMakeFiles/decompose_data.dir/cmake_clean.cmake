@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompose_data.dir/decompose_data.cpp.o"
+  "CMakeFiles/decompose_data.dir/decompose_data.cpp.o.d"
+  "decompose_data"
+  "decompose_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompose_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_calib.dir/calibration.cc.o"
+  "CMakeFiles/macs_calib.dir/calibration.cc.o.d"
+  "libmacs_calib.a"
+  "libmacs_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

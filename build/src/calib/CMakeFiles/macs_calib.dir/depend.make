@@ -1,0 +1,2 @@
+# Empty dependencies file for macs_calib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/analysis.cc" "src/compiler/CMakeFiles/macs_compiler.dir/analysis.cc.o" "gcc" "src/compiler/CMakeFiles/macs_compiler.dir/analysis.cc.o.d"
+  "/root/repo/src/compiler/ast.cc" "src/compiler/CMakeFiles/macs_compiler.dir/ast.cc.o" "gcc" "src/compiler/CMakeFiles/macs_compiler.dir/ast.cc.o.d"
+  "/root/repo/src/compiler/codegen.cc" "src/compiler/CMakeFiles/macs_compiler.dir/codegen.cc.o" "gcc" "src/compiler/CMakeFiles/macs_compiler.dir/codegen.cc.o.d"
+  "/root/repo/src/compiler/interpreter.cc" "src/compiler/CMakeFiles/macs_compiler.dir/interpreter.cc.o" "gcc" "src/compiler/CMakeFiles/macs_compiler.dir/interpreter.cc.o.d"
+  "/root/repo/src/compiler/loop_parser.cc" "src/compiler/CMakeFiles/macs_compiler.dir/loop_parser.cc.o" "gcc" "src/compiler/CMakeFiles/macs_compiler.dir/loop_parser.cc.o.d"
+  "/root/repo/src/compiler/scheduler.cc" "src/compiler/CMakeFiles/macs_compiler.dir/scheduler.cc.o" "gcc" "src/compiler/CMakeFiles/macs_compiler.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/macs/CMakeFiles/macs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/macs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/macs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/macs_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/macs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfk/CMakeFiles/macs_paperref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

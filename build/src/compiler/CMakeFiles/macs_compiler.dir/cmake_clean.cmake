@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_compiler.dir/analysis.cc.o"
+  "CMakeFiles/macs_compiler.dir/analysis.cc.o.d"
+  "CMakeFiles/macs_compiler.dir/ast.cc.o"
+  "CMakeFiles/macs_compiler.dir/ast.cc.o.d"
+  "CMakeFiles/macs_compiler.dir/codegen.cc.o"
+  "CMakeFiles/macs_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/macs_compiler.dir/interpreter.cc.o"
+  "CMakeFiles/macs_compiler.dir/interpreter.cc.o.d"
+  "CMakeFiles/macs_compiler.dir/loop_parser.cc.o"
+  "CMakeFiles/macs_compiler.dir/loop_parser.cc.o.d"
+  "CMakeFiles/macs_compiler.dir/scheduler.cc.o"
+  "CMakeFiles/macs_compiler.dir/scheduler.cc.o.d"
+  "libmacs_compiler.a"
+  "libmacs_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

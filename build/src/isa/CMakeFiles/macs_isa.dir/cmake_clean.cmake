@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_isa.dir/instruction.cc.o"
+  "CMakeFiles/macs_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/macs_isa.dir/opcode.cc.o"
+  "CMakeFiles/macs_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/macs_isa.dir/parser.cc.o"
+  "CMakeFiles/macs_isa.dir/parser.cc.o.d"
+  "CMakeFiles/macs_isa.dir/program.cc.o"
+  "CMakeFiles/macs_isa.dir/program.cc.o.d"
+  "libmacs_isa.a"
+  "libmacs_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_lfk.dir/data.cc.o"
+  "CMakeFiles/macs_lfk.dir/data.cc.o.d"
+  "CMakeFiles/macs_lfk.dir/kernels.cc.o"
+  "CMakeFiles/macs_lfk.dir/kernels.cc.o.d"
+  "CMakeFiles/macs_lfk.dir/kernels_dsl.cc.o"
+  "CMakeFiles/macs_lfk.dir/kernels_dsl.cc.o.d"
+  "CMakeFiles/macs_lfk.dir/kernels_hand.cc.o"
+  "CMakeFiles/macs_lfk.dir/kernels_hand.cc.o.d"
+  "libmacs_lfk.a"
+  "libmacs_lfk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_lfk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmacs_lfk.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_paperref.dir/paper_reference.cc.o"
+  "CMakeFiles/macs_paperref.dir/paper_reference.cc.o.d"
+  "libmacs_paperref.a"
+  "libmacs_paperref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_paperref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

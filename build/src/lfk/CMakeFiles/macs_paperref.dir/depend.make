@@ -1,0 +1,2 @@
+# Empty dependencies file for macs_paperref.
+# This may be replaced when dependencies are built.

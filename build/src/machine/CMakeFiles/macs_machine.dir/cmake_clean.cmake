@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_machine.dir/machine_config.cc.o"
+  "CMakeFiles/macs_machine.dir/machine_config.cc.o.d"
+  "libmacs_machine.a"
+  "libmacs_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/macs/ax_transform.cc" "src/macs/CMakeFiles/macs_model.dir/ax_transform.cc.o" "gcc" "src/macs/CMakeFiles/macs_model.dir/ax_transform.cc.o.d"
+  "/root/repo/src/macs/bounds.cc" "src/macs/CMakeFiles/macs_model.dir/bounds.cc.o" "gcc" "src/macs/CMakeFiles/macs_model.dir/bounds.cc.o.d"
+  "/root/repo/src/macs/chime.cc" "src/macs/CMakeFiles/macs_model.dir/chime.cc.o" "gcc" "src/macs/CMakeFiles/macs_model.dir/chime.cc.o.d"
+  "/root/repo/src/macs/hierarchy.cc" "src/macs/CMakeFiles/macs_model.dir/hierarchy.cc.o" "gcc" "src/macs/CMakeFiles/macs_model.dir/hierarchy.cc.o.d"
+  "/root/repo/src/macs/macs_bound.cc" "src/macs/CMakeFiles/macs_model.dir/macs_bound.cc.o" "gcc" "src/macs/CMakeFiles/macs_model.dir/macs_bound.cc.o.d"
+  "/root/repo/src/macs/macsd.cc" "src/macs/CMakeFiles/macs_model.dir/macsd.cc.o" "gcc" "src/macs/CMakeFiles/macs_model.dir/macsd.cc.o.d"
+  "/root/repo/src/macs/report_md.cc" "src/macs/CMakeFiles/macs_model.dir/report_md.cc.o" "gcc" "src/macs/CMakeFiles/macs_model.dir/report_md.cc.o.d"
+  "/root/repo/src/macs/workload.cc" "src/macs/CMakeFiles/macs_model.dir/workload.cc.o" "gcc" "src/macs/CMakeFiles/macs_model.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/macs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/macs_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/macs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/macs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfk/CMakeFiles/macs_paperref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

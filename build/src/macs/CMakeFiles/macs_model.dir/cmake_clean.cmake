@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_model.dir/ax_transform.cc.o"
+  "CMakeFiles/macs_model.dir/ax_transform.cc.o.d"
+  "CMakeFiles/macs_model.dir/bounds.cc.o"
+  "CMakeFiles/macs_model.dir/bounds.cc.o.d"
+  "CMakeFiles/macs_model.dir/chime.cc.o"
+  "CMakeFiles/macs_model.dir/chime.cc.o.d"
+  "CMakeFiles/macs_model.dir/hierarchy.cc.o"
+  "CMakeFiles/macs_model.dir/hierarchy.cc.o.d"
+  "CMakeFiles/macs_model.dir/macs_bound.cc.o"
+  "CMakeFiles/macs_model.dir/macs_bound.cc.o.d"
+  "CMakeFiles/macs_model.dir/macsd.cc.o"
+  "CMakeFiles/macs_model.dir/macsd.cc.o.d"
+  "CMakeFiles/macs_model.dir/report_md.cc.o"
+  "CMakeFiles/macs_model.dir/report_md.cc.o.d"
+  "CMakeFiles/macs_model.dir/workload.cc.o"
+  "CMakeFiles/macs_model.dir/workload.cc.o.d"
+  "libmacs_model.a"
+  "libmacs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bank_model.cc" "src/sim/CMakeFiles/macs_sim.dir/bank_model.cc.o" "gcc" "src/sim/CMakeFiles/macs_sim.dir/bank_model.cc.o.d"
+  "/root/repo/src/sim/contention.cc" "src/sim/CMakeFiles/macs_sim.dir/contention.cc.o" "gcc" "src/sim/CMakeFiles/macs_sim.dir/contention.cc.o.d"
+  "/root/repo/src/sim/memory_image.cc" "src/sim/CMakeFiles/macs_sim.dir/memory_image.cc.o" "gcc" "src/sim/CMakeFiles/macs_sim.dir/memory_image.cc.o.d"
+  "/root/repo/src/sim/memory_port.cc" "src/sim/CMakeFiles/macs_sim.dir/memory_port.cc.o" "gcc" "src/sim/CMakeFiles/macs_sim.dir/memory_port.cc.o.d"
+  "/root/repo/src/sim/multi_cpu.cc" "src/sim/CMakeFiles/macs_sim.dir/multi_cpu.cc.o" "gcc" "src/sim/CMakeFiles/macs_sim.dir/multi_cpu.cc.o.d"
+  "/root/repo/src/sim/profile.cc" "src/sim/CMakeFiles/macs_sim.dir/profile.cc.o" "gcc" "src/sim/CMakeFiles/macs_sim.dir/profile.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/macs_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/macs_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/macs_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/macs_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/macs_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/macs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/macs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

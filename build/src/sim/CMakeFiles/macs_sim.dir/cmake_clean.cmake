@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_sim.dir/bank_model.cc.o"
+  "CMakeFiles/macs_sim.dir/bank_model.cc.o.d"
+  "CMakeFiles/macs_sim.dir/contention.cc.o"
+  "CMakeFiles/macs_sim.dir/contention.cc.o.d"
+  "CMakeFiles/macs_sim.dir/memory_image.cc.o"
+  "CMakeFiles/macs_sim.dir/memory_image.cc.o.d"
+  "CMakeFiles/macs_sim.dir/memory_port.cc.o"
+  "CMakeFiles/macs_sim.dir/memory_port.cc.o.d"
+  "CMakeFiles/macs_sim.dir/multi_cpu.cc.o"
+  "CMakeFiles/macs_sim.dir/multi_cpu.cc.o.d"
+  "CMakeFiles/macs_sim.dir/profile.cc.o"
+  "CMakeFiles/macs_sim.dir/profile.cc.o.d"
+  "CMakeFiles/macs_sim.dir/simulator.cc.o"
+  "CMakeFiles/macs_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/macs_sim.dir/trace.cc.o"
+  "CMakeFiles/macs_sim.dir/trace.cc.o.d"
+  "libmacs_sim.a"
+  "libmacs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

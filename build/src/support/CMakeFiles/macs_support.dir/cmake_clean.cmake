@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_support.dir/logging.cc.o"
+  "CMakeFiles/macs_support.dir/logging.cc.o.d"
+  "CMakeFiles/macs_support.dir/math_util.cc.o"
+  "CMakeFiles/macs_support.dir/math_util.cc.o.d"
+  "CMakeFiles/macs_support.dir/strings.cc.o"
+  "CMakeFiles/macs_support.dir/strings.cc.o.d"
+  "CMakeFiles/macs_support.dir/table.cc.o"
+  "CMakeFiles/macs_support.dir/table.cc.o.d"
+  "libmacs_support.a"
+  "libmacs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

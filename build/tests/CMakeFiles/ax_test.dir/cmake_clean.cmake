@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ax_test.dir/ax_test.cc.o"
+  "CMakeFiles/ax_test.dir/ax_test.cc.o.d"
+  "ax_test"
+  "ax_test.pdb"
+  "ax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chime_test.dir/chime_test.cc.o"
+  "CMakeFiles/chime_test.dir/chime_test.cc.o.d"
+  "chime_test"
+  "chime_test.pdb"
+  "chime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfk_test.dir/lfk_test.cc.o"
+  "CMakeFiles/lfk_test.dir/lfk_test.cc.o.d"
+  "lfk_test"
+  "lfk_test.pdb"
+  "lfk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_bound_test.dir/macs_bound_test.cc.o"
+  "CMakeFiles/macs_bound_test.dir/macs_bound_test.cc.o.d"
+  "macs_bound_test"
+  "macs_bound_test.pdb"
+  "macs_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

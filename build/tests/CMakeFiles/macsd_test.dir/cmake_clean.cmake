@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macsd_test.dir/macsd_test.cc.o"
+  "CMakeFiles/macsd_test.dir/macsd_test.cc.o.d"
+  "macsd_test"
+  "macsd_test.pdb"
+  "macsd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

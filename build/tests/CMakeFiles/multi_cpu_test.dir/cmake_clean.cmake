@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cpu_test.dir/multi_cpu_test.cc.o"
+  "CMakeFiles/multi_cpu_test.dir/multi_cpu_test.cc.o.d"
+  "multi_cpu_test"
+  "multi_cpu_test.pdb"
+  "multi_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scalar_cache_test.cc" "tests/CMakeFiles/scalar_cache_test.dir/scalar_cache_test.cc.o" "gcc" "tests/CMakeFiles/scalar_cache_test.dir/scalar_cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lfk/CMakeFiles/macs_lfk.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/macs_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/macs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/macs/CMakeFiles/macs_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/macs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/macs_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/macs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/macs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfk/CMakeFiles/macs_paperref.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

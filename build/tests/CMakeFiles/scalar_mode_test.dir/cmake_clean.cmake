@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalar_mode_test.dir/scalar_mode_test.cc.o"
+  "CMakeFiles/scalar_mode_test.dir/scalar_mode_test.cc.o.d"
+  "scalar_mode_test"
+  "scalar_mode_test.pdb"
+  "scalar_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalar_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_metrics_test.dir/workload_metrics_test.cc.o"
+  "CMakeFiles/workload_metrics_test.dir/workload_metrics_test.cc.o.d"
+  "workload_metrics_test"
+  "workload_metrics_test.pdb"
+  "workload_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/chime_test[1]_include.cmake")
+include("/root/repo/build/tests/macs_bound_test[1]_include.cmake")
+include("/root/repo/build/tests/ax_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/lfk_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/calib_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_results_test[1]_include.cmake")
+include("/root/repo/build/tests/scalar_mode_test[1]_include.cmake")
+include("/root/repo/build/tests/macsd_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/bank_model_test[1]_include.cmake")
+include("/root/repo/build/tests/report_md_test[1]_include.cmake")
+include("/root/repo/build/tests/scalar_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macs_cli.dir/macs_cli.cc.o"
+  "CMakeFiles/macs_cli.dir/macs_cli.cc.o.d"
+  "macs"
+  "macs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
