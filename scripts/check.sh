@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 verification: normal build + full test suite, then the
+# concurrency layer (pipeline + golden reporters) under ThreadSanitizer
+# and AddressSanitizer Debug builds.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the sanitizer stages (normal build + ctest only)
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tier-1: ctest -j =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "== skipping sanitizer stages (--fast) =="
+    exit 0
+fi
+
+# The sanitizer stages build only what the concurrency tests need and
+# run the pipeline + golden tests (the TSan stage is what exercises the
+# thread-safety audit of support logging and the worker pool).
+sanitize_stage() {
+    local kind="$1" dir="build-$1"
+    echo "== sanitizer: $kind =="
+    cmake -B "$dir" -S . \
+        -DCMAKE_BUILD_TYPE=Debug -DMACS_SANITIZE="$kind" >/dev/null
+    cmake --build "$dir" -j "$JOBS" \
+        --target pipeline_test golden_report_test
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+        -R 'PipelineTest|GoldenReportTest'
+}
+
+sanitize_stage thread
+sanitize_stage address
+
+echo "== all checks passed =="

@@ -1,6 +1,7 @@
 #include "machine/machine_config.h"
 
 #include "support/logging.h"
+#include "support/strings.h"
 
 namespace macs::machine {
 
@@ -78,6 +79,47 @@ MachineConfig::noScalarCache()
     MachineConfig m = convexC240();
     m.scalarCache.enabled = false;
     return m;
+}
+
+std::string
+MachineConfig::fingerprint() const
+{
+    // Keep this exhaustive: every field that can change a bound or a
+    // simulated cycle count must appear, otherwise the pipeline cache
+    // could alias two distinct machines. Formatting uses %.17g so the
+    // doubles round-trip exactly.
+    std::string out;
+    out += format("clock=%.17g vl=%d\n", clockMhz, maxVectorLength);
+    out += format("mem banks=%d busy=%d word=%d refp=%d refd=%d "
+                  "refen=%d\n",
+                  memory.banks, memory.bankBusyCycles, memory.wordBytes,
+                  memory.refreshPeriodCycles,
+                  memory.refreshDurationCycles,
+                  memory.refreshEnabled ? 1 : 0);
+    out += format("chain en=%d rd=%d wr=%d enforce=%d smemsplit=%d\n",
+                  chaining.chainingEnabled ? 1 : 0,
+                  chaining.maxReadsPerPair, chaining.maxWritesPerPair,
+                  chaining.enforcePairLimits ? 1 : 0,
+                  chaining.scalarMemSplitsChimes ? 1 : 0);
+    out += format("scalar issue=%d alu=%d ld=%d ldmiss=%d st=%d br=%d "
+                  "viss=%d fp=%d fpdiv=%d\n",
+                  scalar.issueCycles, scalar.aluLatency,
+                  scalar.loadLatency, scalar.loadMissLatency,
+                  scalar.storeCycles, scalar.branchResolveCycles,
+                  scalar.vectorIssueCycles, scalar.fpLatency,
+                  scalar.fpDivLatency);
+    out += format("scache en=%d lines=%d words=%d\n",
+                  scalarCache.enabled ? 1 : 0, scalarCache.lines,
+                  scalarCache.lineWords);
+    out += format("refresh pf=%.17g thr=%.17g\n", refreshPenaltyFactor,
+                  refreshRunThresholdCycles);
+    // std::map iterates in key order, so the listing is canonical.
+    for (const auto &[op, t] : vectorTiming) {
+        out += format("op %s x=%.17g y=%.17g z=%.17g b=%.17g\n",
+                      isa::opcodeInfo(op).mnemonic, t.x, t.y, t.z,
+                      t.bubble);
+    }
+    return out;
 }
 
 MachineConfig

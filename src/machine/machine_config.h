@@ -21,6 +21,7 @@
 #define MACS_MACHINE_MACHINE_CONFIG_H
 
 #include <map>
+#include <string>
 
 #include "isa/opcode.h"
 
@@ -122,6 +123,15 @@ struct MachineConfig
 
     /** Clock period in nanoseconds. */
     double clockNs() const { return 1000.0 / clockMhz; }
+
+    /**
+     * Canonical text serialization of every timing-relevant field,
+     * including the per-opcode timing overrides. Two configurations
+     * with equal fingerprints produce identical bounds and identical
+     * simulated runs; the batch pipeline (src/pipeline) hashes this
+     * string as the machine component of its memoization cache key.
+     */
+    std::string fingerprint() const;
 
     /** The paper's Convex C-240 configuration. */
     static MachineConfig convexC240();

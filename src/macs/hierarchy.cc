@@ -43,6 +43,19 @@ runProgram(const isa::Program &prog, const KernelCase &kernel,
 
 } // namespace
 
+std::string
+fingerprint(const KernelCase &kernel)
+{
+    std::string out;
+    out += "kernel " + kernel.name + "\n";
+    out += format("ma fa=%d fm=%d l=%d s=%d\n", kernel.ma.fAdd,
+                  kernel.ma.fMul, kernel.ma.loads, kernel.ma.stores);
+    out += format("flops=%d points=%ld\n", kernel.sourceFlopsPerPoint,
+                  kernel.points);
+    out += kernel.program.toString();
+    return out;
+}
+
 KernelAnalysis
 analyzeKernel(const KernelCase &kernel,
               const machine::MachineConfig &config,

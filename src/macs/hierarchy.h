@@ -76,6 +76,22 @@ struct KernelAnalysis
 };
 
 /**
+ * Canonical text serialization of everything about @p kernel that
+ * determines its analysis result: name, assembled program text, MA
+ * workload, and the normalization constants. The batch pipeline
+ * (src/pipeline) hashes this as the program component of its
+ * memoization cache key.
+ *
+ * Note: KernelCase::setup is intentionally NOT part of the
+ * fingerprint (a std::function has no canonical serialization). The
+ * pipeline's cache contract therefore requires setup to be a pure
+ * function of the kernel identity — true of every lfk:: kernel, whose
+ * initializers are deterministic in the kernel name. See
+ * docs/PIPELINE.md.
+ */
+std::string fingerprint(const KernelCase &kernel);
+
+/**
  * Run the whole hierarchy for @p kernel on @p config: evaluate MA, MAC
  * and the three MACS bounds on the inner loop, then simulate the full,
  * A-process, and X-process codes.

@@ -1,0 +1,37 @@
+#include "pipeline/cache.h"
+
+namespace macs::pipeline {
+
+AnalysisCache::Claim
+AnalysisCache::claim(const CacheKey &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return {it->second, nullptr};
+    }
+    auto promise = std::make_shared<std::promise<Value>>();
+    std::shared_future<Value> future = promise->get_future().share();
+    entries_.emplace(key, future);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return {std::move(future), std::move(promise)};
+}
+
+size_t
+AnalysisCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+AnalysisCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    hits_.store(0);
+    misses_.store(0);
+}
+
+} // namespace macs::pipeline

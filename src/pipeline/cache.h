@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Thread-safe memoization cache for kernel analyses.
+ *
+ * The cache maps CacheKey -> shared_future<analysis>. The first
+ * requester of a key becomes its *owner*: it computes the analysis and
+ * fulfills the future; concurrent requesters of the same key receive
+ * the same future and block until the owner finishes. This gives
+ * exactly one computation per unique key per cache lifetime with no
+ * lock held during the (expensive) computation, and it is deadlock-free
+ * because an owner always completes its own future synchronously inside
+ * the task that created the entry.
+ *
+ * Failures propagate: if the owner's computation throws, the exception
+ * is stored in the future and rethrown to every waiter; the entry stays
+ * poisoned (retrying a deterministic computation would fail again).
+ */
+
+#ifndef MACS_PIPELINE_CACHE_H
+#define MACS_PIPELINE_CACHE_H
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "macs/hierarchy.h"
+#include "pipeline/job.h"
+
+namespace macs::pipeline {
+
+class AnalysisCache
+{
+  public:
+    using Value = std::shared_ptr<const model::KernelAnalysis>;
+
+    /** What claim() hands back: a future and whether we must compute. */
+    struct Claim
+    {
+        std::shared_future<Value> future;
+        /** Promise to fulfill; non-null iff this caller is the owner. */
+        std::shared_ptr<std::promise<Value>> promise;
+
+        bool owner() const { return promise != nullptr; }
+    };
+
+    /**
+     * Look up @p key, inserting a pending entry when absent. Exactly
+     * one caller per key ever receives an owner claim; it MUST either
+     * set_value or set_exception on the promise.
+     */
+    Claim claim(const CacheKey &key);
+
+    /** Lifetime hit/miss counters (hits = non-owner claims). @{ */
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+    /** @} */
+
+    /** Number of distinct keys ever claimed. */
+    size_t size() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<CacheKey, std::shared_future<Value>> entries_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace macs::pipeline
+
+#endif // MACS_PIPELINE_CACHE_H

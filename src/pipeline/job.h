@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Job model of the batch-analysis pipeline.
+ *
+ * A BatchJob names one (kernel, machine, vector length, sim options)
+ * point of the MACS evaluation space. The engine (pipeline.h) runs the
+ * full hierarchy — MA/MAC/MACS bounds plus the simulated full, A- and
+ * X-process codes — for every job across a fixed-size worker pool,
+ * memoizing on content hashes so duplicated work is computed once.
+ *
+ * Per-job and per-batch perf counters live here too; reporters
+ * (report.h) surface them when timing output is requested. Timing
+ * fields are scheduling-dependent and are therefore excluded from the
+ * deterministic report sections (see docs/PIPELINE.md).
+ */
+
+#ifndef MACS_PIPELINE_JOB_H
+#define MACS_PIPELINE_JOB_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.h"
+#include "macs/hierarchy.h"
+#include "sim/simulator.h"
+
+namespace macs::pipeline {
+
+/** One unit of analysis work. */
+struct BatchJob
+{
+    /** Display label; defaults to the kernel name when empty. */
+    std::string label;
+    /** Human-readable machine tag (e.g. "baseline", "no-chaining"). */
+    std::string configName = "baseline";
+
+    model::KernelCase kernel;
+    machine::MachineConfig config;
+    sim::SimOptions options;
+
+    /**
+     * Strip length / vector length override; 0 keeps
+     * config.maxVectorLength. Applied to both the bounds and the
+     * simulator via a config copy.
+     */
+    int vectorLength = 0;
+
+    /** The label shown in reports. */
+    const std::string &displayLabel() const
+    {
+        return label.empty() ? kernel.name : label;
+    }
+};
+
+/** Memoization key of one job (content hashes; see docs/PIPELINE.md). */
+struct CacheKey
+{
+    uint64_t program = 0; ///< hash of model::fingerprint(kernel)
+    uint64_t machine = 0; ///< hash of effective config fingerprint
+    uint64_t options = 0; ///< hash of sim::fingerprint(options)
+
+    auto operator<=>(const CacheKey &) const = default;
+};
+
+/** Scheduling-dependent perf counters of one executed job. */
+struct JobTiming
+{
+    bool cacheHit = false;   ///< result came from the memo cache
+    double queueWaitUs = 0.0;///< submit -> worker pickup
+    double computeUs = 0.0;  ///< analysis time (0 for pure cache hits)
+    double totalUs = 0.0;    ///< pickup -> result available
+};
+
+/** Outcome of one job: analysis result or an error, plus counters. */
+struct JobResult
+{
+    std::string label;
+    std::string configName;
+    int vectorLength = 0;    ///< effective VL used
+    double clockMhz = 0.0;   ///< machine clock (for MFLOPS rendering)
+    CacheKey key;
+
+    /** Null when the job failed; see @ref error. */
+    std::shared_ptr<const model::KernelAnalysis> analysis;
+    /** Empty on success, else the fatal()/panic() message. */
+    std::string error;
+
+    JobTiming timing;
+
+    bool ok() const { return analysis != nullptr; }
+};
+
+/** Aggregate counters of one BatchEngine::run(). */
+struct BatchStats
+{
+    size_t jobs = 0;
+    size_t workers = 0;
+    size_t cacheHits = 0;
+    size_t cacheMisses = 0;
+    size_t failures = 0;
+    double wallUs = 0.0;        ///< submit of first -> completion of last
+    double computeUs = 0.0;     ///< sum of per-job compute time
+    double queueWaitUs = 0.0;   ///< sum of per-job queue wait
+
+    double jobsPerSec() const
+    {
+        return wallUs > 0.0 ? 1e6 * static_cast<double>(jobs) / wallUs
+                            : 0.0;
+    }
+};
+
+/** Everything BatchEngine::run() returns. */
+struct BatchResult
+{
+    /** One entry per submitted job, in submission order (always). */
+    std::vector<JobResult> results;
+    BatchStats stats;
+};
+
+} // namespace macs::pipeline
+
+#endif // MACS_PIPELINE_JOB_H

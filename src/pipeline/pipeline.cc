@@ -1,0 +1,284 @@
+#include "pipeline/pipeline.h"
+
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "lfk/kernels.h"
+#include "support/hash.h"
+#include "support/logging.h"
+
+namespace macs::pipeline {
+
+namespace {
+
+double
+nowUs()
+{
+    using namespace std::chrono;
+    return duration<double, std::micro>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Effective machine of a job: VL override applied to a config copy. */
+machine::MachineConfig
+effectiveConfig(const BatchJob &job)
+{
+    machine::MachineConfig cfg = job.config;
+    if (job.vectorLength > 0)
+        cfg.maxVectorLength = job.vectorLength;
+    return cfg;
+}
+
+size_t
+resolveWorkers(size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/**
+ * Fast direct-field hashing for the cache key.
+ *
+ * The canonical definitions of the key components are the text
+ * fingerprints (model::fingerprint, MachineConfig::fingerprint,
+ * sim::fingerprint) — tests/pipeline_test.cc cross-checks that these
+ * hashes distinguish everything the text forms distinguish. Hashing
+ * fields directly avoids building multi-KB strings per job, which
+ * dominated the per-job overhead (~45us -> ~2us).
+ */
+/// @{
+uint64_t
+hashReg(uint64_t h, const isa::Reg &r)
+{
+    h = hashValue(h, static_cast<int>(r.cls));
+    // Mirror Reg::operator==: index is irrelevant for None/Vl.
+    int index = (r.cls == isa::RegClass::None ||
+                 r.cls == isa::RegClass::Vl)
+                    ? 0
+                    : r.index;
+    return hashValue(h, index);
+}
+
+uint64_t
+hashProgram(const isa::Program &prog)
+{
+    uint64_t h = fnv1a64("macs-program-v1");
+    for (const isa::Instruction &in : prog.instrs()) {
+        h = hashValue(h, static_cast<int>(in.op));
+        h = hashReg(h, in.dst);
+        h = hashReg(h, in.src1);
+        h = hashReg(h, in.src2);
+        h = hashCombine(h, fnv1a64(in.mem.symbol));
+        h = hashValue(h, in.mem.offset);
+        h = hashReg(h, in.mem.base);
+        h = hashValue(h, in.imm);
+        h = hashValue(h, in.hasImm);
+        h = hashCombine(h, fnv1a64(in.target));
+        // Comments are cosmetic; excluded on purpose.
+    }
+    for (const auto &[label, index] : prog.labels()) {
+        h = hashCombine(h, fnv1a64(label));
+        h = hashValue(h, index);
+    }
+    for (const isa::DataSymbol &sym : prog.dataSymbols()) {
+        h = hashCombine(h, fnv1a64(sym.name));
+        h = hashValue(h, sym.words);
+    }
+    return h;
+}
+
+uint64_t
+hashKernel(const model::KernelCase &kernel)
+{
+    uint64_t h = fnv1a64("macs-kernel-v1");
+    h = hashCombine(h, fnv1a64(kernel.name));
+    h = hashValue(h, kernel.ma.fAdd);
+    h = hashValue(h, kernel.ma.fMul);
+    h = hashValue(h, kernel.ma.loads);
+    h = hashValue(h, kernel.ma.stores);
+    h = hashValue(h, kernel.sourceFlopsPerPoint);
+    h = hashValue(h, kernel.points);
+    return hashCombine(h, hashProgram(kernel.program));
+}
+
+uint64_t
+hashMachine(const machine::MachineConfig &cfg)
+{
+    uint64_t h = fnv1a64("macs-machine-v1");
+    h = hashValue(h, cfg.clockMhz);
+    h = hashValue(h, cfg.maxVectorLength);
+    h = hashValue(h, cfg.memory.banks);
+    h = hashValue(h, cfg.memory.bankBusyCycles);
+    h = hashValue(h, cfg.memory.wordBytes);
+    h = hashValue(h, cfg.memory.refreshPeriodCycles);
+    h = hashValue(h, cfg.memory.refreshDurationCycles);
+    h = hashValue(h, cfg.memory.refreshEnabled);
+    h = hashValue(h, cfg.chaining.chainingEnabled);
+    h = hashValue(h, cfg.chaining.maxReadsPerPair);
+    h = hashValue(h, cfg.chaining.maxWritesPerPair);
+    h = hashValue(h, cfg.chaining.enforcePairLimits);
+    h = hashValue(h, cfg.chaining.scalarMemSplitsChimes);
+    h = hashValue(h, cfg.scalar.issueCycles);
+    h = hashValue(h, cfg.scalar.aluLatency);
+    h = hashValue(h, cfg.scalar.loadLatency);
+    h = hashValue(h, cfg.scalar.loadMissLatency);
+    h = hashValue(h, cfg.scalar.storeCycles);
+    h = hashValue(h, cfg.scalar.branchResolveCycles);
+    h = hashValue(h, cfg.scalar.vectorIssueCycles);
+    h = hashValue(h, cfg.scalar.fpLatency);
+    h = hashValue(h, cfg.scalar.fpDivLatency);
+    h = hashValue(h, cfg.scalarCache.enabled);
+    h = hashValue(h, cfg.scalarCache.lines);
+    h = hashValue(h, cfg.scalarCache.lineWords);
+    h = hashValue(h, cfg.refreshPenaltyFactor);
+    h = hashValue(h, cfg.refreshRunThresholdCycles);
+    for (const auto &[op, t] : cfg.vectorTiming) { // ordered map
+        h = hashValue(h, static_cast<int>(op));
+        h = hashValue(h, t.x);
+        h = hashValue(h, t.y);
+        h = hashValue(h, t.z);
+        h = hashValue(h, t.bubble);
+    }
+    return h;
+}
+
+uint64_t
+hashOptions(const sim::SimOptions &opt)
+{
+    uint64_t h = fnv1a64("macs-simopt-v1");
+    h = hashValue(h, opt.memoryContentionFactor);
+    h = hashValue(h, opt.maxInstructions);
+    h = hashValue(h, opt.trace);
+    return hashValue(h, opt.profile);
+}
+/// @}
+
+} // namespace
+
+BatchEngine::BatchEngine(EngineOptions options)
+    : options_(options), pool_(resolveWorkers(options.workers))
+{
+}
+
+BatchEngine::~BatchEngine() = default;
+
+CacheKey
+BatchEngine::keyOf(const BatchJob &job)
+{
+    CacheKey key;
+    key.program = hashKernel(job.kernel);
+    // Hash the *effective* config so a job with a VL override shares
+    // its cache entry with an identical job whose config carries that
+    // VL natively (both produce the same analysis).
+    key.machine = job.vectorLength > 0
+                      ? hashMachine(effectiveConfig(job))
+                      : hashMachine(job.config);
+    key.options = hashOptions(job.options);
+    return key;
+}
+
+void
+BatchEngine::runOne(const BatchJob &job, JobResult &out,
+                    double enqueue_us)
+{
+    double start_us = nowUs();
+    out.timing.queueWaitUs = start_us - enqueue_us;
+
+    auto compute = [&]() -> AnalysisCache::Value {
+        machine::MachineConfig cfg = effectiveConfig(job);
+        return std::make_shared<const model::KernelAnalysis>(
+            model::analyzeKernel(job.kernel, cfg, job.options));
+    };
+
+    try {
+        if (!options_.useCache) {
+            double c0 = nowUs();
+            out.analysis = compute();
+            out.timing.computeUs = nowUs() - c0;
+        } else {
+            AnalysisCache::Claim claim = cache_.claim(out.key);
+            if (claim.owner()) {
+                double c0 = nowUs();
+                try {
+                    claim.promise->set_value(compute());
+                } catch (...) {
+                    claim.promise->set_exception(
+                        std::current_exception());
+                }
+                out.timing.computeUs = nowUs() - c0;
+            } else {
+                out.timing.cacheHit = true;
+            }
+            // get() rethrows the owner's exception for every waiter.
+            out.analysis = claim.future.get();
+        }
+    } catch (const std::exception &e) {
+        out.analysis = nullptr;
+        out.error = e.what();
+    }
+    out.timing.totalUs = nowUs() - start_us;
+}
+
+BatchResult
+BatchEngine::run(const std::vector<BatchJob> &jobs)
+{
+    BatchResult result;
+    result.results.resize(jobs.size());
+    result.stats.workers = pool_.workerCount();
+    result.stats.jobs = jobs.size();
+    if (jobs.empty())
+        return result;
+
+    double t0 = nowUs();
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        JobResult &out = result.results[i];
+        out.label = jobs[i].displayLabel();
+        out.configName = jobs[i].configName;
+        out.vectorLength = jobs[i].vectorLength > 0
+                               ? jobs[i].vectorLength
+                               : jobs[i].config.maxVectorLength;
+        out.clockMhz = jobs[i].config.clockMhz;
+        out.key = keyOf(jobs[i]);
+        double enqueue_us = nowUs();
+        pool_.submit([this, &jobs, &out, i, enqueue_us] {
+            runOne(jobs[i], out, enqueue_us);
+        });
+    }
+    pool_.waitIdle();
+    result.stats.wallUs = nowUs() - t0;
+
+    for (const JobResult &r : result.results) {
+        result.stats.computeUs += r.timing.computeUs;
+        result.stats.queueWaitUs += r.timing.queueWaitUs;
+        if (r.timing.cacheHit)
+            ++result.stats.cacheHits;
+        else
+            ++result.stats.cacheMisses;
+        if (!r.ok())
+            ++result.stats.failures;
+    }
+    return result;
+}
+
+std::vector<BatchJob>
+paperJobSet(const machine::MachineConfig &config,
+            const std::string &config_name)
+{
+    std::vector<BatchJob> jobs;
+    for (int id : lfk::lfkIds()) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        BatchJob job;
+        job.label = k.name;
+        job.configName = config_name;
+        job.kernel = lfk::toKernelCase(k);
+        job.config = config;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace macs::pipeline

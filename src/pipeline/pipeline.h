@@ -1,0 +1,90 @@
+/**
+ * @file
+ * BatchEngine — the parallel batch-analysis pipeline.
+ *
+ * Takes a set of BatchJobs and evaluates the full MACS hierarchy
+ * (bounds + simulated full/A/X runs, model::analyzeKernel) for each
+ * across a fixed-size worker thread pool, memoizing results in an
+ * AnalysisCache keyed on (program hash, machine hash, options hash).
+ *
+ * Guarantees (see docs/PIPELINE.md for the full contract):
+ *  - DETERMINISM: results are returned in submission order and every
+ *    analysis value is a pure function of the job content, so the
+ *    result set — and any report rendered from it without timing
+ *    sections — is byte-identical for any worker count, including 1.
+ *  - SINGLE COMPUTATION: duplicate jobs (same cache key) are computed
+ *    once per engine lifetime; later submissions are cache hits, also
+ *    across successive run() calls on the same engine.
+ *  - ISOLATION OF FAILURE: a failing job (fatal()/panic() from the
+ *    analysis stack) is reported in its JobResult::error; other jobs
+ *    are unaffected.
+ *
+ * Perf counters: each JobResult carries queue wait / compute time /
+ * cache hit, and BatchResult::stats aggregates them. These are
+ * scheduling-dependent and excluded from deterministic report output.
+ */
+
+#ifndef MACS_PIPELINE_PIPELINE_H
+#define MACS_PIPELINE_PIPELINE_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "pipeline/cache.h"
+#include "pipeline/job.h"
+#include "pipeline/thread_pool.h"
+
+namespace macs::pipeline {
+
+/** Engine construction options. */
+struct EngineOptions
+{
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    size_t workers = 0;
+    /** Disable memoization (every job recomputes). For baselines. */
+    bool useCache = true;
+};
+
+class BatchEngine
+{
+  public:
+    explicit BatchEngine(EngineOptions options = {});
+    ~BatchEngine();
+
+    BatchEngine(const BatchEngine &) = delete;
+    BatchEngine &operator=(const BatchEngine &) = delete;
+
+    /**
+     * Run every job and return results in submission order. May be
+     * called repeatedly; the cache persists across calls. Empty job
+     * sets return immediately.
+     */
+    BatchResult run(const std::vector<BatchJob> &jobs);
+
+    /** The memo cache (counters persist across run() calls). */
+    const AnalysisCache &cache() const { return cache_; }
+
+    size_t workerCount() const { return pool_.workerCount(); }
+
+    /** Compute the memoization key of @p job (exposed for tests). */
+    static CacheKey keyOf(const BatchJob &job);
+
+  private:
+    void runOne(const BatchJob &job, JobResult &out,
+                double enqueue_us);
+
+    EngineOptions options_;
+    ThreadPool pool_;
+    AnalysisCache cache_;
+};
+
+/** Convenience: analyze the ten paper kernels on @p config. @{ */
+std::vector<BatchJob>
+paperJobSet(const machine::MachineConfig &config,
+            const std::string &config_name = "baseline");
+/** @} */
+
+} // namespace macs::pipeline
+
+#endif // MACS_PIPELINE_PIPELINE_H

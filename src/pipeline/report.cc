@@ -1,0 +1,213 @@
+#include "pipeline/report.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace macs::pipeline {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** Fixed six-decimal rendering keeps the document deterministic. */
+std::string
+jnum(double v)
+{
+    return format("%.6f", v);
+}
+
+void
+appendWorkload(std::ostringstream &os, const char *name,
+               const model::WorkloadCounts &w)
+{
+    os << "      \"" << name << "\": {\"fAdd\": " << w.fAdd
+       << ", \"fMul\": " << w.fMul << ", \"loads\": " << w.loads
+       << ", \"stores\": " << w.stores << "},\n";
+}
+
+} // namespace
+
+std::string
+renderBatchJson(const BatchResult &result, bool include_timing)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"macs-batch-v1\",\n";
+    os << "  \"jobs\": [\n";
+    for (size_t i = 0; i < result.results.size(); ++i) {
+        const JobResult &r = result.results[i];
+        os << "    {\n";
+        os << "      \"label\": \"" << jsonEscape(r.label) << "\",\n";
+        os << "      \"config\": \"" << jsonEscape(r.configName)
+           << "\",\n";
+        os << "      \"vectorLength\": " << r.vectorLength << ",\n";
+        if (!r.ok()) {
+            os << "      \"error\": \"" << jsonEscape(r.error)
+               << "\"\n";
+        } else {
+            const model::KernelAnalysis &a = *r.analysis;
+            appendWorkload(os, "ma", a.ma);
+            appendWorkload(os, "mac", a.mac);
+            os << "      \"boundsCpl\": {"
+               << "\"tF\": " << jnum(a.maBound.tF)
+               << ", \"tM\": " << jnum(a.maBound.tM)
+               << ", \"tFPrime\": " << jnum(a.macBound.tF)
+               << ", \"tMPrime\": " << jnum(a.macBound.tM)
+               << ", \"tMA\": " << jnum(a.maBound.bound)
+               << ", \"tMAC\": " << jnum(a.macBound.bound)
+               << ", \"tMACS\": " << jnum(a.macs.cpl)
+               << ", \"tMACSf\": " << jnum(a.macsFOnly.cpl)
+               << ", \"tMACSm\": " << jnum(a.macsMOnly.cpl) << "},\n";
+            os << "      \"measuredCpl\": {"
+               << "\"tP\": " << jnum(a.tP) << ", \"tA\": " << jnum(a.tA)
+               << ", \"tX\": " << jnum(a.tX) << "},\n";
+            os << "      \"cpf\": {"
+               << "\"tMA\": " << jnum(a.maCpf())
+               << ", \"tMAC\": " << jnum(a.macCpf())
+               << ", \"tMACS\": " << jnum(a.macsCpf())
+               << ", \"tP\": " << jnum(a.actualCpf()) << "},\n";
+            os << "      \"mflops\": "
+               << jnum(r.clockMhz / a.actualCpf()) << ",\n";
+            os << "      \"chimes\": " << a.macs.chimes.size() << "\n";
+        }
+        os << "    }" << (i + 1 < result.results.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]";
+    if (include_timing) {
+        const BatchStats &s = result.stats;
+        os << ",\n  \"stats\": {"
+           << "\"jobs\": " << s.jobs << ", \"workers\": " << s.workers
+           << ", \"cacheHits\": " << s.cacheHits
+           << ", \"cacheMisses\": " << s.cacheMisses
+           << ", \"failures\": " << s.failures
+           << ", \"wallUs\": " << jnum(s.wallUs)
+           << ", \"computeUs\": " << jnum(s.computeUs)
+           << ", \"queueWaitUs\": " << jnum(s.queueWaitUs)
+           << ", \"jobsPerSec\": " << jnum(s.jobsPerSec()) << "},\n";
+        os << "  \"jobTiming\": [\n";
+        for (size_t i = 0; i < result.results.size(); ++i) {
+            const JobTiming &t = result.results[i].timing;
+            os << "    {\"label\": \""
+               << jsonEscape(result.results[i].label)
+               << "\", \"cacheHit\": "
+               << (t.cacheHit ? "true" : "false")
+               << ", \"queueWaitUs\": " << jnum(t.queueWaitUs)
+               << ", \"computeUs\": " << jnum(t.computeUs)
+               << ", \"totalUs\": " << jnum(t.totalUs) << "}"
+               << (i + 1 < result.results.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n";
+    } else {
+        os << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+renderBatchMarkdown(const BatchResult &result, bool include_timing)
+{
+    std::ostringstream os;
+    os << "# MACS batch analysis\n\n";
+
+    os << "## Bounds (CPL)\n\n";
+    os << "| job | config | VL | t_MA | t_MAC | t_MACS | t_MACS^f | "
+          "t_MACS^m |\n";
+    os << "|---|---|---|---|---|---|---|---|\n";
+    for (const JobResult &r : result.results) {
+        if (!r.ok()) {
+            os << "| " << r.label << " | " << r.configName
+               << " | - | FAILED | | | | |\n";
+            continue;
+        }
+        const model::KernelAnalysis &a = *r.analysis;
+        os << "| " << r.label << " | " << r.configName << " | "
+           << r.vectorLength << " | " << format("%.3f", a.maBound.bound)
+           << " | " << format("%.3f", a.macBound.bound) << " | "
+           << format("%.3f", a.macs.cpl) << " | "
+           << format("%.3f", a.macsFOnly.cpl) << " | "
+           << format("%.3f", a.macsMOnly.cpl) << " |\n";
+    }
+
+    os << "\n## Bounds vs measured (CPF)\n\n";
+    os << "| job | t_MA | t_MAC | t_MACS | t_p | %MACS | MFLOPS |\n";
+    os << "|---|---|---|---|---|---|---|\n";
+    for (const JobResult &r : result.results) {
+        if (!r.ok())
+            continue;
+        const model::KernelAnalysis &a = *r.analysis;
+        os << "| " << r.label << " | " << format("%.3f", a.maCpf())
+           << " | " << format("%.3f", a.macCpf()) << " | "
+           << format("%.3f", a.macsCpf()) << " | "
+           << format("%.3f", a.actualCpf()) << " | "
+           << format("%.1f", 100.0 * a.macsCpf() / a.actualCpf())
+           << " | " << format("%.2f", r.clockMhz / a.actualCpf())
+           << " |\n";
+    }
+
+    bool any_failed = false;
+    for (const JobResult &r : result.results)
+        any_failed = any_failed || !r.ok();
+    if (any_failed) {
+        os << "\n## Failures\n\n";
+        for (const JobResult &r : result.results) {
+            if (!r.ok())
+                os << "- **" << r.label << "** (" << r.configName
+                   << "): " << r.error << "\n";
+        }
+    }
+
+    if (include_timing) {
+        const BatchStats &s = result.stats;
+        os << "\n## Pipeline stats (scheduling-dependent)\n\n";
+        os << renderStatsLine(s) << "\n\n";
+        os << "| job | cache | queue wait (us) | compute (us) | total "
+              "(us) |\n";
+        os << "|---|---|---|---|---|\n";
+        for (const JobResult &r : result.results) {
+            os << "| " << r.label << " | "
+               << (r.timing.cacheHit ? "hit" : "miss") << " | "
+               << format("%.1f", r.timing.queueWaitUs) << " | "
+               << format("%.1f", r.timing.computeUs) << " | "
+               << format("%.1f", r.timing.totalUs) << " |\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+renderStatsLine(const BatchStats &s)
+{
+    return format(
+        "%zu job(s) on %zu worker(s): %.1f jobs/s, wall %.1f ms, "
+        "compute %.1f ms, queue wait %.1f ms, cache %zu hit / %zu "
+        "miss, %zu failure(s)",
+        s.jobs, s.workers, s.jobsPerSec(), s.wallUs / 1000.0,
+        s.computeUs / 1000.0, s.queueWaitUs / 1000.0, s.cacheHits,
+        s.cacheMisses, s.failures);
+}
+
+} // namespace macs::pipeline

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reporters for batch pipeline results.
+ *
+ * Both renderers have a deterministic body: jobs appear in submission
+ * order and every number is a pure function of the job content, so the
+ * output is byte-identical for any worker count. The golden-file tests
+ * (tests/golden_report_test.cc) pin that property.
+ *
+ * Timing / cache counters are scheduling-dependent; they are only
+ * emitted when @p include_timing is set, in a clearly separated
+ * trailing section, and must never be part of a golden file.
+ */
+
+#ifndef MACS_PIPELINE_REPORT_H
+#define MACS_PIPELINE_REPORT_H
+
+#include <string>
+
+#include "pipeline/job.h"
+
+namespace macs::pipeline {
+
+/**
+ * Render @p result as a JSON document (schema "macs-batch-v1"): one
+ * object per job with the workload counts, the CPL bounds, the
+ * measured times, and the CPF hierarchy. Failed jobs carry an "error"
+ * member instead of the analysis body.
+ */
+std::string renderBatchJson(const BatchResult &result,
+                            bool include_timing = false);
+
+/**
+ * Render @p result as a markdown report: a bounds table (CPL), a
+ * bounds-vs-measured table (CPF), and per-job failures, plus the
+ * perf-counter section when @p include_timing is set.
+ */
+std::string renderBatchMarkdown(const BatchResult &result,
+                                bool include_timing = false);
+
+/** One-line human summary of the batch stats (always timing-bearing). */
+std::string renderStatsLine(const BatchStats &stats);
+
+} // namespace macs::pipeline
+
+#endif // MACS_PIPELINE_REPORT_H

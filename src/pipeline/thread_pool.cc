@@ -1,0 +1,68 @@
+#include "pipeline/thread_pool.h"
+
+#include <algorithm>
+
+namespace macs::pipeline {
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    size_t n = std::max<size_t>(1, workers);
+    threads_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workReady_.wait(lock, [this] {
+                return shutdown_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // shutdown with a drained queue
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // tasks are noexcept by contract (engine wraps them)
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace macs::pipeline

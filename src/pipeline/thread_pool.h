@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fixed-size worker thread pool used by the batch engine.
+ *
+ * Deliberately minimal: submit() enqueues a task, waitIdle() blocks
+ * until every submitted task has finished. Tasks must not submit new
+ * tasks from inside the pool (the engine never does); they may block on
+ * futures fulfilled by other tasks, which is safe here because an
+ * AnalysisCache owner fulfills its future inside its own task (see
+ * cache.h).
+ *
+ * Workers are started eagerly in the constructor and joined in the
+ * destructor, so a pool can serve many BatchEngine::run() calls
+ * without re-spawning threads.
+ */
+
+#ifndef MACS_PIPELINE_THREAD_POOL_H
+#define MACS_PIPELINE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace macs::pipeline {
+
+class ThreadPool
+{
+  public:
+    /** Start @p workers threads (clamped to >= 1). */
+    explicit ThreadPool(size_t workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks have run to completion. */
+    void waitIdle();
+
+    size_t workerCount() const { return threads_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable workReady_;
+    std::condition_variable idle_;
+    std::deque<std::function<void()>> queue_;
+    size_t inFlight_ = 0; ///< queued + currently executing
+    bool shutdown_ = false;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace macs::pipeline
+
+#endif // MACS_PIPELINE_THREAD_POOL_H

@@ -6,8 +6,18 @@
 #include <limits>
 
 #include "support/logging.h"
+#include "support/strings.h"
 
 namespace macs::sim {
+
+std::string
+fingerprint(const SimOptions &options)
+{
+    return format("contention=%.17g maxinstr=%llu trace=%d profile=%d",
+                  options.memoryContentionFactor,
+                  static_cast<unsigned long long>(options.maxInstructions),
+                  options.trace ? 1 : 0, options.profile ? 1 : 0);
+}
 
 using isa::Instruction;
 using isa::Opcode;

@@ -34,6 +34,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "isa/program.h"
@@ -58,6 +59,14 @@ struct SimOptions
     /** Record per-instruction stall attribution (see sim/profile.h). */
     bool profile = false;
 };
+
+/**
+ * Canonical text serialization of @p options for cache keying (the
+ * batch pipeline memoizes analyses on program x machine x options).
+ * Fields that change simulated cycle counts or recorded artifacts all
+ * appear; two option sets with equal fingerprints yield identical runs.
+ */
+std::string fingerprint(const SimOptions &options);
 
 /** One-CPU simulator. Construct, initialize memory, then run(). */
 class Simulator

@@ -1,0 +1,30 @@
+#include "support/hash.h"
+
+namespace macs {
+
+uint64_t
+fnv1a64(std::string_view data)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+uint64_t
+hashCombine(uint64_t seed, uint64_t next)
+{
+    // splitmix64-style finalization keeps the combiner well mixed even
+    // when the inputs are similar.
+    uint64_t x = seed + 0x9e3779b97f4a7c15ULL + next;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace macs

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small, dependency-free content hashing for memoization keys.
+ *
+ * The batch pipeline (src/pipeline) keys its bounds cache on content
+ * hashes of the assembled program text, the machine configuration
+ * fingerprint, and the simulation options. FNV-1a is used because the
+ * keys are short, the hash must be stable across runs and platforms
+ * (unlike std::hash), and we additionally compare a collision-resistant
+ * composite, so cryptographic strength is not required.
+ */
+
+#ifndef MACS_SUPPORT_HASH_H
+#define MACS_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace macs {
+
+/** 64-bit FNV-1a of @p data. Stable across platforms and runs. */
+uint64_t fnv1a64(std::string_view data);
+
+/** Incrementally fold @p next into @p seed (boost-style combiner). */
+uint64_t hashCombine(uint64_t seed, uint64_t next);
+
+/** Hash the raw bytes of a trivially copyable value into @p seed. */
+template <typename T>
+uint64_t
+hashValue(uint64_t seed, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "hashValue requires a trivially copyable type");
+    const char *p = reinterpret_cast<const char *>(&value);
+    return hashCombine(seed, fnv1a64(std::string_view(p, sizeof(T))));
+}
+
+} // namespace macs
+
+#endif // MACS_SUPPORT_HASH_H

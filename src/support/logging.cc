@@ -2,12 +2,27 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace macs {
 
 namespace {
 
 std::atomic<bool> verbose{true};
+
+/**
+ * Serializes reporter output. The batch pipeline runs analyses on
+ * worker threads, and while a single fprintf is atomic on POSIX
+ * streams, keeping an explicit lock (a) guarantees whole-message
+ * ordering on every platform and (b) gives ThreadSanitizer a clear
+ * happens-before edge for the tests/pipeline_test.cc logging hammer.
+ */
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 } // namespace
 
@@ -16,6 +31,7 @@ namespace detail {
 void
 emit(const char *label, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(emitMutex());
     std::fprintf(stderr, "%s: %s\n", label, msg.c_str());
 }
 

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Golden-file regression tests for the batch pipeline reporters.
+ *
+ * The canonical `macs batch` JSON and markdown outputs for LFK 1, 7
+ * and 12 are checked into tests/golden/ and compared byte-for-byte
+ * against freshly rendered reports — at several worker counts, which
+ * simultaneously pins the determinism guarantee (report bytes must
+ * not depend on scheduling).
+ *
+ * To regenerate after an intentional model change:
+ *     UPDATE_GOLDEN=1 ./build/tests/golden_report_test
+ * then review the diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lfk/kernels.h"
+#include "machine/machine_config.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/report.h"
+
+#ifndef MACS_GOLDEN_DIR
+#error "MACS_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace macs::pipeline {
+namespace {
+
+const int kGoldenKernels[] = {1, 7, 12};
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(MACS_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("UPDATE_GOLDEN");
+    return env != nullptr && env[0] != '\0' &&
+           std::string(env) != "0";
+}
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << content;
+}
+
+std::vector<BatchJob>
+goldenJobs()
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    std::vector<BatchJob> jobs;
+    for (int id : kGoldenKernels) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        BatchJob job;
+        job.label = k.name;
+        job.kernel = lfk::toKernelCase(k);
+        job.config = cfg;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+BatchResult
+renderedBatch(size_t workers)
+{
+    EngineOptions opt;
+    opt.workers = workers;
+    BatchEngine engine(opt);
+    return engine.run(goldenJobs());
+}
+
+void
+compareAgainstGolden(const std::string &file, const std::string &got)
+{
+    std::string path = goldenPath(file);
+    if (updateRequested()) {
+        writeFile(path, got);
+        SUCCEED() << "updated " << path;
+        return;
+    }
+    std::string want = readFileOrEmpty(path);
+    ASSERT_FALSE(want.empty())
+        << path << " is missing or empty; run with UPDATE_GOLDEN=1 "
+        << "to (re)create it";
+    // Byte-for-byte: any diff is a behavior change that must be
+    // reviewed (rerun with UPDATE_GOLDEN=1 when intentional).
+    EXPECT_EQ(want, got) << "report bytes differ from " << path;
+}
+
+TEST(GoldenReportTest, BatchJsonMatchesGolden)
+{
+    BatchResult r = renderedBatch(1);
+    ASSERT_EQ(r.stats.failures, 0u);
+    compareAgainstGolden("batch_lfk_1_7_12.json",
+                         renderBatchJson(r, /*include_timing=*/false));
+}
+
+TEST(GoldenReportTest, BatchMarkdownMatchesGolden)
+{
+    BatchResult r = renderedBatch(1);
+    ASSERT_EQ(r.stats.failures, 0u);
+    compareAgainstGolden("batch_lfk_1_7_12.md",
+                         renderBatchMarkdown(r, false));
+}
+
+TEST(GoldenReportTest, GoldenBytesIndependentOfWorkerCount)
+{
+    // Worker counts beyond the job count stress the scheduler most.
+    std::string serial_json = renderBatchJson(renderedBatch(1), false);
+    for (size_t workers : {2u, 4u, 8u}) {
+        BatchResult r = renderedBatch(workers);
+        EXPECT_EQ(serial_json, renderBatchJson(r, false))
+            << "JSON report bytes changed at " << workers
+            << " workers";
+    }
+    // And the golden file itself matches what any worker count makes.
+    if (!updateRequested()) {
+        std::string want =
+            readFileOrEmpty(goldenPath("batch_lfk_1_7_12.json"));
+        ASSERT_FALSE(want.empty());
+        EXPECT_EQ(want, serial_json);
+    }
+}
+
+} // namespace
+} // namespace macs::pipeline

@@ -5,10 +5,13 @@
  *
  *   generate_report [output.md] [--variant baseline|no-bubbles|
  *                                no-refresh|no-chaining]
+ *                   [--workers N]
  *
  * Defaults to paper_vs_measured.md on the baseline C-240. Non-baseline
  * variants omit the paper columns (the published numbers only apply to
- * the real machine).
+ * the real machine). Kernels are analyzed through the batch pipeline
+ * (src/pipeline) across --workers threads (default: hardware); the
+ * report bytes are identical for any worker count.
  */
 
 #include <cstdio>
@@ -20,7 +23,10 @@
 #include "lfk/kernels.h"
 #include "macs/report_md.h"
 #include "machine/machine_config.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/report.h"
 #include "support/logging.h"
+#include "support/strings.h"
 
 int
 main(int argc, char **argv)
@@ -29,10 +35,14 @@ main(int argc, char **argv)
 
     std::string out_path = "paper_vs_measured.md";
     std::string variant = "baseline";
+    long workers = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc)
             variant = argv[++i];
-        else
+        else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+            if (!parseInt(argv[++i], workers) || workers < 0)
+                fatal("--workers expects a non-negative number");
+        } else
             out_path = argv[i];
     }
 
@@ -48,13 +58,25 @@ main(int argc, char **argv)
     else
         fatal("unknown variant '", variant, "'");
 
+    // Analyze every kernel through the batch pipeline; submission
+    // order matches lfk::lfkIds(), and results come back in that order
+    // regardless of worker scheduling.
+    pipeline::EngineOptions popt;
+    popt.workers = static_cast<size_t>(workers);
+    pipeline::BatchEngine engine(popt);
+    pipeline::BatchResult batch =
+        engine.run(pipeline::paperJobSet(cfg, variant));
+
     std::map<int, model::KernelAnalysis> analyses;
-    for (int id : lfk::lfkIds()) {
-        lfk::Kernel k = lfk::makeKernel(id);
-        analyses.emplace(id,
-                         model::analyzeKernel(lfk::toKernelCase(k), cfg));
-        std::printf("analyzed %s\n", k.name.c_str());
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+        const pipeline::JobResult &r = batch.results[i];
+        if (!r.ok())
+            fatal("analysis of ", r.label, " failed: ", r.error);
+        analyses.emplace(lfk::lfkIds()[i], *r.analysis);
+        std::printf("analyzed %s\n", r.label.c_str());
     }
+    std::printf("%s\n",
+                pipeline::renderStatsLine(batch.stats).c_str());
 
     std::string report = model::renderMarkdownReport(
         analyses, cfg, variant == "baseline");

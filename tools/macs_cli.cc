@@ -10,6 +10,15 @@
  *       --scalar        compile for the scalar unit
  *   macs bounds <file.s>                 MAC/MACS/MACS-D of assembly
  *   macs simulate <file.s> [--trace]     run assembly on the C-240
+ *   macs batch [ids] [opts]              parallel batch analysis
+ *       --workers N     worker threads (default: hardware)
+ *       --variant V     machine variant (repeatable)
+ *       --vl N          strip/vector length override (repeatable)
+ *       --repeat N      submit the job set N times (cache demo)
+ *       --json PATH     write the JSON report ('-' for stdout)
+ *       --md PATH       write the markdown report ('-' for stdout)
+ *       --timing        include scheduling-dependent stats sections
+ *       --no-cache      disable memoization
  *
  * Assembly files use the syntax of isa/parser.h; loop files use the
  * DSL of compiler/loop_parser.h.
@@ -29,6 +38,8 @@
 #include "macs/hierarchy.h"
 #include "macs/macsd.h"
 #include "machine/machine_config.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/report.h"
 #include "sim/simulator.h"
 #include "support/logging.h"
 #include "support/strings.h"
@@ -215,6 +226,134 @@ cmdSimulate(const std::vector<std::string> &args)
     return 0;
 }
 
+machine::MachineConfig
+variantConfig(const std::string &name)
+{
+    if (name == "baseline")
+        return machine::MachineConfig::convexC240();
+    if (name == "no-bubbles")
+        return machine::MachineConfig::noBubbles();
+    if (name == "no-refresh")
+        return machine::MachineConfig::noRefresh();
+    if (name == "no-chaining")
+        return machine::MachineConfig::noChaining();
+    if (name == "no-scalar-cache")
+        return machine::MachineConfig::noScalarCache();
+    fatal("unknown machine variant '", name, "'");
+}
+
+void
+writeReport(const std::string &path, const std::string &text)
+{
+    if (path == "-") {
+        std::fputs(text.c_str(), stdout);
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '", path, "'");
+    out << text;
+    std::fprintf(stderr, "wrote %s (%zu bytes)\n", path.c_str(),
+                 text.size());
+}
+
+int
+cmdBatch(const std::vector<std::string> &args)
+{
+    std::vector<int> ids(lfk::lfkIds());
+    std::vector<std::string> variants;
+    std::vector<int> vls;
+    std::string json_path, md_path;
+    long workers = 0, repeat = 1;
+    bool timing = false, use_cache = true;
+
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            if (i + 1 >= args.size())
+                fatal(what, " expects an argument");
+            return args[++i];
+        };
+        if (a == "--workers") {
+            if (!parseInt(next("--workers"), workers) || workers < 0)
+                fatal("--workers expects a non-negative number");
+        } else if (a == "--variant") {
+            variants.push_back(next("--variant"));
+        } else if (a == "--vl") {
+            long vl = 0;
+            if (!parseInt(next("--vl"), vl) || vl <= 0)
+                fatal("--vl expects a positive number");
+            vls.push_back(static_cast<int>(vl));
+        } else if (a == "--repeat") {
+            if (!parseInt(next("--repeat"), repeat) || repeat < 1)
+                fatal("--repeat expects a positive number");
+        } else if (a == "--json") {
+            json_path = next("--json");
+        } else if (a == "--md") {
+            md_path = next("--md");
+        } else if (a == "--timing") {
+            timing = true;
+        } else if (a == "--no-cache") {
+            use_cache = false;
+        } else if (a == "all") {
+            ids = lfk::lfkIds();
+        } else {
+            // A comma-separated LFK id list, e.g. "1,7,12".
+            ids.clear();
+            for (const auto &part : split(a, ',')) {
+                long id = 0;
+                if (!parseInt(part, id))
+                    fatal("batch expects LFK ids or 'all', got '", a,
+                          "'");
+                ids.push_back(static_cast<int>(id));
+            }
+        }
+    }
+    if (variants.empty())
+        variants.push_back("baseline");
+    if (vls.empty())
+        vls.push_back(0); // machine default
+
+    std::vector<pipeline::BatchJob> jobs;
+    for (long rep = 0; rep < repeat; ++rep) {
+        for (const std::string &variant : variants) {
+            machine::MachineConfig cfg = variantConfig(variant);
+            for (int vl : vls) {
+                for (int id : ids) {
+                    lfk::Kernel k = lfk::makeKernel(id);
+                    pipeline::BatchJob job;
+                    job.label = k.name;
+                    if (vl > 0)
+                        job.label += format("@vl%d", vl);
+                    job.configName = variant;
+                    job.kernel = lfk::toKernelCase(k);
+                    job.config = cfg;
+                    job.vectorLength = vl;
+                    jobs.push_back(std::move(job));
+                }
+            }
+        }
+    }
+
+    pipeline::EngineOptions opt;
+    opt.workers = static_cast<size_t>(workers);
+    opt.useCache = use_cache;
+    pipeline::BatchEngine engine(opt);
+    pipeline::BatchResult result = engine.run(jobs);
+
+    if (json_path.empty() && md_path.empty())
+        md_path = "-"; // default: markdown on stdout
+    if (!json_path.empty())
+        writeReport(json_path,
+                    pipeline::renderBatchJson(result, timing));
+    if (!md_path.empty())
+        writeReport(md_path,
+                    pipeline::renderBatchMarkdown(result, timing));
+    std::fprintf(stderr, "%s\n",
+                 pipeline::renderStatsLine(result.stats).c_str());
+    return result.stats.failures == 0 ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -226,7 +365,11 @@ usage()
         "(--trip N, --array n:w, --scalar, --unroll N)\n"
         "  bounds <file.s>         MAC/MACS/MACS-D bounds of assembly\n"
         "  simulate <file.s>       run assembly on the simulated C-240 "
-        "[--trace] [--profile]\n");
+        "[--trace] [--profile]\n"
+        "  batch [ids|all] [opts]  parallel batch analysis "
+        "(--workers N, --variant V, --vl N,\n"
+        "                          --repeat N, --json PATH, --md PATH, "
+        "--timing, --no-cache)\n");
 }
 
 } // namespace
@@ -251,6 +394,8 @@ main(int argc, char **argv)
             return cmdBounds(args[0]);
         if (cmd == "simulate")
             return cmdSimulate(args);
+        if (cmd == "batch")
+            return cmdBatch(args);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "macs: %s\n", e.what());
         return 1;
