@@ -14,7 +14,9 @@
 #ifndef MACS_BENCH_BENCH_UTIL_H
 #define MACS_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
 #include <map>
+#include <vector>
 
 #include "lfk/kernels.h"
 #include "lfk/paper_reference.h"
@@ -27,6 +29,40 @@ namespace macs::bench {
 
 using lfk::PaperReference;
 using lfk::paperReference;
+
+/**
+ * Median of @p samples (interpolated for even sizes). Preferred over
+ * min/best-of-N for wall-clock measurements: the minimum is an
+ * optimistic outlier under frequency scaling and cache luck, while the
+ * median is robust against both tails and converges as N grows.
+ */
+inline double
+median(std::vector<double> samples)
+{
+    MACS_ASSERT(!samples.empty(), "median of an empty sample set");
+    std::sort(samples.begin(), samples.end());
+    size_t mid = samples.size() / 2;
+    if (samples.size() % 2 == 1)
+        return samples[mid];
+    return 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+/**
+ * Run @p fn (returning a wall-time sample) @p reps times and return
+ * the median. Callers should perform one untimed warm-up invocation
+ * first so page faults, allocator growth, and thread-pool creation do
+ * not land in the first sample.
+ */
+template <typename Fn>
+double
+medianOfN(int reps, Fn &&fn)
+{
+    std::vector<double> samples;
+    samples.reserve(static_cast<size_t>(reps));
+    for (int i = 0; i < reps; ++i)
+        samples.push_back(fn());
+    return median(std::move(samples));
+}
 
 /** Process-wide batch engine shared by the bench harnesses. */
 inline pipeline::BatchEngine &

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: normal build + full test suite, then the
-# concurrency layer (pipeline + golden reporters) under ThreadSanitizer
-# and AddressSanitizer Debug builds.
+# Tier-1 verification: normal build + full test suite, then the FULL
+# suite again under ThreadSanitizer, AddressSanitizer, and
+# UndefinedBehaviorSanitizer Debug builds (docs/TESTING.md).
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast  skip the sanitizer stages (normal build + ctest only)
@@ -24,21 +24,21 @@ if [[ "${1:-}" == "--fast" ]]; then
     exit 0
 fi
 
-# The sanitizer stages build only what the concurrency tests need and
-# run the pipeline + golden tests (the TSan stage is what exercises the
-# thread-safety audit of support logging and the worker pool).
+# Each sanitizer stage builds and runs the FULL test suite: TSan
+# audits the worker pool, memo cache, and the metrics registry's
+# lock-free hot path (ObsRegistry.ConcurrentIncrementsAreExact); ASan
+# and UBSan cover the whole modeling + simulation stack.
 sanitize_stage() {
     local kind="$1" dir="build-$1"
-    echo "== sanitizer: $kind =="
+    echo "== sanitizer: $kind (full suite) =="
     cmake -B "$dir" -S . \
         -DCMAKE_BUILD_TYPE=Debug -DMACS_SANITIZE="$kind" >/dev/null
-    cmake --build "$dir" -j "$JOBS" \
-        --target pipeline_test golden_report_test
-    ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
-        -R 'PipelineTest|GoldenReportTest'
+    cmake --build "$dir" -j "$JOBS"
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
 sanitize_stage thread
 sanitize_stage address
+sanitize_stage undefined
 
 echo "== all checks passed =="

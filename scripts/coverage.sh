@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Line-coverage report for the library (docs/TESTING.md).
+#
+# Builds an instrumented tree (-DMACS_COVERAGE=ON), runs the full test
+# suite, and prints a per-directory line-coverage summary for src/.
+# Uses gcovr when installed; otherwise falls back to a bundled
+# aggregator over `gcov --json-format` output (no extra dependencies).
+#
+# Usage: scripts/coverage.sh
+#   BUILD=dir  override the build directory (default build-cov)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+BUILD=${BUILD:-build-cov}
+
+echo "== coverage: configure + build ($BUILD) =="
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=Debug -DMACS_COVERAGE=ON >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== coverage: run test suite =="
+ctest --test-dir "$BUILD" -j "$JOBS" --output-on-failure >/dev/null
+
+echo "== coverage: line summary (src/) =="
+if command -v gcovr >/dev/null 2>&1; then
+    gcovr --root . --filter 'src/' --print-summary "$BUILD"
+else
+    python3 scripts/gcov_summary.py "$BUILD"
+fi

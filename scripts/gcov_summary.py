@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Aggregate gcov JSON intermediate output into a line-coverage table.
+
+Fallback used by scripts/coverage.sh when gcovr is not installed.
+Walks a -DMACS_COVERAGE=ON build tree for .gcda note files, asks gcov
+for the JSON intermediate format (stdout, one document per note file),
+and unions executable/executed lines per source file across all test
+binaries. Only files under src/ are reported.
+
+Usage: gcov_summary.py <build-dir>
+"""
+
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def gcov_documents(build_dir):
+    """Yield parsed gcov JSON documents for every .gcda in the tree."""
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if not name.endswith(".gcda"):
+                continue
+            proc = subprocess.run(
+                ["gcov", "--stdout", "--json-format",
+                 os.path.join(root, name)],
+                capture_output=True,
+                text=True,
+                cwd=build_dir,
+                check=False,
+            )
+            for line in proc.stdout.splitlines():
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(f"usage: {sys.argv[0]} <build-dir>")
+    build_dir = os.path.abspath(sys.argv[1])
+    repo_src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "src"))
+
+    # file -> line number -> hit (unioned across all test binaries).
+    lines = collections.defaultdict(dict)
+    for doc in gcov_documents(build_dir):
+        for entry in doc.get("files", []):
+            path = entry.get("file", "")
+            if not os.path.isabs(path):
+                path = os.path.normpath(os.path.join(build_dir, path))
+            if not path.startswith(repo_src + os.sep):
+                continue
+            rel = os.path.relpath(path, repo_src)
+            per_file = lines[rel]
+            for ln in entry.get("lines", []):
+                num = ln.get("line_number")
+                hit = ln.get("count", 0) > 0
+                per_file[num] = per_file.get(num, False) or hit
+
+    if not lines:
+        sys.exit("no coverage data found: was the build configured "
+                 "with -DMACS_COVERAGE=ON and the test suite run?")
+
+    by_dir = collections.defaultdict(lambda: [0, 0])  # total, hit
+    grand_total = grand_hit = 0
+    for rel, per_file in lines.items():
+        directory = os.path.dirname(rel) or "."
+        total = len(per_file)
+        hit = sum(1 for h in per_file.values() if h)
+        by_dir[directory][0] += total
+        by_dir[directory][1] += hit
+        grand_total += total
+        grand_hit += hit
+
+    print(f"{'directory':<16} {'lines':>7} {'covered':>8} {'%':>7}")
+    print("-" * 41)
+    for directory in sorted(by_dir):
+        total, hit = by_dir[directory]
+        pct = 100.0 * hit / total if total else 0.0
+        print(f"{directory:<16} {total:>7} {hit:>8} {pct:>6.1f}%")
+    print("-" * 41)
+    pct = 100.0 * grand_hit / grand_total if grand_total else 0.0
+    print(f"{'TOTAL':<16} {grand_total:>7} {grand_hit:>8} {pct:>6.1f}%")
+    print(f"lines: {pct:.1f}% ({grand_hit} out of {grand_total})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#include "macs/gap_metrics.h"
+
+namespace macs::model {
+
+GapAttribution
+gapAttribution(const KernelAnalysis &a)
+{
+    GapAttribution g;
+    g.kernel = a.name;
+    g.tMA = a.maBound.bound;
+    g.tMAC = a.macBound.bound;
+    g.tMACS = a.macs.cpl;
+    g.tSim = a.tP;
+    g.compilerGap = g.tMAC - g.tMA;
+    g.scheduleGap = g.tMACS - g.tMAC;
+    g.unmodeledGap = g.tSim - g.tMACS;
+    g.chimes = a.macs.chimes.size();
+    return g;
+}
+
+void
+recordGapMetrics(obs::Registry &reg, const KernelAnalysis &a,
+                 const std::string &config, const std::string &label)
+{
+    GapAttribution g = gapAttribution(a);
+    obs::Labels base{{"kernel", label.empty() ? a.name : label},
+                     {"config", config}};
+
+    auto level = [&](const char *name, double cpl) {
+        obs::Labels l = base;
+        l.set("level", name);
+        reg.gauge("macs_model_level_cpl",
+                  "MACS hierarchy level in cycles per loop iteration",
+                  l)
+            .set(cpl);
+    };
+    level("ma", g.tMA);
+    level("mac", g.tMAC);
+    level("macs", g.tMACS);
+    level("sim", g.tSim);
+
+    auto gap = [&](const char *layer, double cpl) {
+        obs::Labels l = base;
+        l.set("layer", layer);
+        reg.gauge("macs_model_gap_cpl",
+                  "Per-layer performance gap in CPL "
+                  "(compiler: MAC-MA, schedule: MACS-MAC, "
+                  "unmodeled: sim-MACS)",
+                  l)
+            .set(cpl);
+    };
+    gap("compiler", g.compilerGap);
+    gap("schedule", g.scheduleGap);
+    gap("unmodeled", g.unmodeledGap);
+
+    reg.gauge("macs_model_macs_coverage_ratio",
+              "Fraction of measured time the MACS bound explains",
+              base)
+        .set(g.macsCoverage());
+    reg.gauge("macs_model_chime_count",
+              "Chime partitions of the scheduled inner loop", base)
+        .set(static_cast<double>(g.chimes));
+}
+
+} // namespace macs::model

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * First-class gap attribution of the MACS hierarchy: the chain
+ * t_MA -> t_MAC -> t_MACS -> t_sim for one analyzed kernel, decomposed
+ * into the layer each successive gap charges (paper section 4.4), plus
+ * the recorder that publishes it as `macs_model_*` metrics
+ * (docs/OBSERVABILITY.md).
+ *
+ * The attribution is a pure function of a KernelAnalysis, so metrics
+ * recorded from batch results are byte-stable across worker counts —
+ * the property `macs batch --metrics` asserts.
+ */
+
+#ifndef MACS_MACS_GAP_METRICS_H
+#define MACS_MACS_GAP_METRICS_H
+
+#include <string>
+
+#include "macs/hierarchy.h"
+#include "obs/metrics.h"
+
+namespace macs::model {
+
+/** The hierarchy levels and the per-layer gaps, in CPL. */
+struct GapAttribution
+{
+    std::string kernel;
+
+    // Levels (all CPL).
+    double tMA = 0.0;   ///< machine + application bound
+    double tMAC = 0.0;  ///< + compiler
+    double tMACS = 0.0; ///< + schedule
+    double tSim = 0.0;  ///< measured (simulated) t_p
+
+    // Successive gaps: tSim - tMA == compiler + schedule + unmodeled.
+    double compilerGap = 0.0;  ///< tMAC - tMA
+    double scheduleGap = 0.0;  ///< tMACS - tMAC
+    double unmodeledGap = 0.0; ///< tSim - tMACS
+
+    size_t chimes = 0; ///< chime partitions of the scheduled loop
+
+    /** Fraction of measured time the MACS bound explains. */
+    double
+    macsCoverage() const
+    {
+        return tSim > 0.0 ? tMACS / tSim : 0.0;
+    }
+};
+
+/** Compute the attribution for one analyzed kernel. */
+GapAttribution gapAttribution(const KernelAnalysis &analysis);
+
+/**
+ * Publish @p analysis into @p registry as gauges labeled
+ * {kernel=<label>, config=<config>}:
+ *   macs_model_level_cpl{level=ma|mac|macs|sim}
+ *   macs_model_gap_cpl{layer=compiler|schedule|unmodeled}
+ *   macs_model_macs_coverage_ratio
+ *   macs_model_chime_count
+ *
+ * @p label defaults to the analysis' kernel name; pass the job label
+ * when sweeping (e.g. "LFK1@vl32").
+ */
+void recordGapMetrics(obs::Registry &registry,
+                      const KernelAnalysis &analysis,
+                      const std::string &config = "baseline",
+                      const std::string &label = "");
+
+} // namespace macs::model
+
+#endif // MACS_MACS_GAP_METRICS_H

@@ -1,0 +1,190 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace macs::obs {
+
+namespace {
+
+/**
+ * Deterministic number rendering: exact integer text for integral
+ * values (counters are almost always integral), shortest-ish %.9g
+ * otherwise. Purely a function of the double's value.
+ */
+std::string
+numText(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15)
+        return format("%.0f", v);
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    return format("%.9g", v);
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Prometheus label-value escaping: backslash, quote, newline. */
+std::string
+promEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+promLabels(const Labels &labels, const std::string &extra_key = "",
+           const std::string &extra_value = "")
+{
+    std::string body;
+    for (const auto &[k, v] : labels.pairs()) {
+        if (!body.empty())
+            body += ',';
+        body += k + "=\"" + promEscape(v) + "\"";
+    }
+    if (!extra_key.empty()) {
+        if (!body.empty())
+            body += ',';
+        body += extra_key + "=\"" + promEscape(extra_value) + "\"";
+    }
+    return body.empty() ? "" : "{" + body + "}";
+}
+
+} // namespace
+
+std::string
+renderJson(const std::vector<Sample> &samples)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"macs-metrics-v1\",\n  \"metrics\": [\n";
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        os << "    {\"name\": \"" << jsonEscape(s.name) << "\", "
+           << "\"type\": \"" << metricKindName(s.kind) << "\", "
+           << "\"help\": \"" << jsonEscape(s.help) << "\", "
+           << "\"labels\": {";
+        const auto &kv = s.labels.pairs();
+        for (size_t j = 0; j < kv.size(); ++j) {
+            os << "\"" << jsonEscape(kv[j].first) << "\": \""
+               << jsonEscape(kv[j].second) << "\""
+               << (j + 1 < kv.size() ? ", " : "");
+        }
+        os << "}, ";
+        if (s.kind == MetricKind::Histogram) {
+            os << "\"buckets\": [";
+            uint64_t cumulative = 0;
+            for (size_t b = 0; b < s.bucketCounts.size(); ++b) {
+                cumulative += s.bucketCounts[b];
+                std::string le = b < s.bucketEdges.size()
+                                     ? numText(s.bucketEdges[b])
+                                     : "\"+Inf\"";
+                os << "{\"le\": " << le << ", \"count\": " << cumulative
+                   << "}" << (b + 1 < s.bucketCounts.size() ? ", " : "");
+            }
+            os << "], \"sum\": " << numText(s.value)
+               << ", \"count\": " << s.observationCount << "}";
+        } else {
+            os << "\"value\": " << numText(s.value) << "}";
+        }
+        os << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string
+renderJson(const Registry &registry)
+{
+    return renderJson(registry.snapshot());
+}
+
+std::string
+renderPrometheus(const std::vector<Sample> &samples)
+{
+    std::ostringstream os;
+    std::string last_family;
+    for (const Sample &s : samples) {
+        if (s.name != last_family) {
+            last_family = s.name;
+            if (!s.help.empty())
+                os << "# HELP " << s.name << " " << s.help << "\n";
+            os << "# TYPE " << s.name << " "
+               << metricKindName(s.kind) << "\n";
+        }
+        if (s.kind == MetricKind::Histogram) {
+            uint64_t cumulative = 0;
+            for (size_t b = 0; b < s.bucketCounts.size(); ++b) {
+                cumulative += s.bucketCounts[b];
+                std::string le = b < s.bucketEdges.size()
+                                     ? numText(s.bucketEdges[b])
+                                     : "+Inf";
+                os << s.name << "_bucket"
+                   << promLabels(s.labels, "le", le) << " " << cumulative
+                   << "\n";
+            }
+            os << s.name << "_sum" << promLabels(s.labels) << " "
+               << numText(s.value) << "\n";
+            os << s.name << "_count" << promLabels(s.labels) << " "
+               << s.observationCount << "\n";
+        } else {
+            os << s.name << promLabels(s.labels) << " "
+               << numText(s.value) << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+renderPrometheus(const Registry &registry)
+{
+    return renderPrometheus(registry.snapshot());
+}
+
+} // namespace macs::obs

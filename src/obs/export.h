@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic exporters for a metrics Registry (obs/metrics.h):
+ * a JSON document (schema "macs-metrics-v1") and the Prometheus text
+ * exposition format.
+ *
+ * Both renderers consume Registry::snapshot(), which is sorted by
+ * (metric name, canonical label key): for identical registry contents
+ * the output is byte-identical regardless of registration order,
+ * thread interleaving, or worker count. The batch pipeline's
+ * `macs batch --metrics` relies on this for its byte-stability
+ * guarantee (docs/OBSERVABILITY.md).
+ */
+
+#ifndef MACS_OBS_EXPORT_H
+#define MACS_OBS_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace macs::obs {
+
+/**
+ * Render a registry (or a pre-taken snapshot) as JSON:
+ *
+ *   {"schema": "macs-metrics-v1",
+ *    "metrics": [{"name": ..., "type": ..., "help": ...,
+ *                 "labels": {...}, "value": ...} |
+ *                {..., "buckets": [{"le": ..., "count": ...}, ...],
+ *                 "sum": ..., "count": ...}]}
+ * @{
+ */
+std::string renderJson(const Registry &registry);
+std::string renderJson(const std::vector<Sample> &samples);
+/** @} */
+
+/**
+ * Render the Prometheus text exposition format: `# HELP` / `# TYPE`
+ * headers per family, `name{labels} value` per series, histograms as
+ * cumulative `_bucket{le=...}` plus `_sum` and `_count`.
+ * @{
+ */
+std::string renderPrometheus(const Registry &registry);
+std::string renderPrometheus(const std::vector<Sample> &samples);
+/** @} */
+
+/** JSON string-body escaping shared by the obs emitters. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace macs::obs
+
+#endif // MACS_OBS_EXPORT_H

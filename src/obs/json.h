@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal dependency-free JSON reader used to *verify* the documents
+ * this library emits: the trace-export round-trip test re-parses the
+ * Chrome trace JSON and re-sums span durations, and `macs trace`
+ * self-checks the file it just wrote. Supports the full JSON value
+ * grammar (objects, arrays, strings with escapes, numbers, booleans,
+ * null); numbers are doubles. fatal() on malformed input with a byte
+ * offset.
+ *
+ * This is a reader for machine-generated documents, not a general
+ * interchange layer: no streaming, no UTF-16 surrogate decoding
+ * (\uXXXX escapes above 0x7f are preserved as '?'), inputs are
+ * expected to fit in memory.
+ */
+
+#ifndef MACS_OBS_JSON_H
+#define MACS_OBS_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace macs::obs {
+
+/** One parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Typed accessors; fatal() on kind mismatch. @{ */
+    bool asBool() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    /** @} */
+
+    /** Array access. size() is 0 for non-arrays/objects. @{ */
+    size_t size() const;
+    const JsonValue &at(size_t index) const;
+    /** @} */
+
+    /** Object access: member lookup. @{ */
+    const JsonValue *find(const std::string &key) const;
+    /** fatal() when @p key is missing. */
+    const JsonValue &at(const std::string &key) const;
+    bool has(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+    /** @} */
+
+    /** Object members in document order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return object_;
+    }
+
+    // Construction is via parseJson() and the parser internals.
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/** Parse @p text as one JSON document; fatal() on malformed input. */
+JsonValue parseJson(std::string_view text);
+
+} // namespace macs::obs
+
+#endif // MACS_OBS_JSON_H

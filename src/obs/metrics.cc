@@ -1,0 +1,258 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace macs::obs {
+
+// ---------------------------------------------------------------- Labels
+
+Labels::Labels(
+    std::initializer_list<std::pair<std::string, std::string>> kv)
+{
+    for (const auto &[k, v] : kv)
+        set(k, v);
+}
+
+Labels &
+Labels::set(const std::string &key, const std::string &value)
+{
+    MACS_ASSERT(!key.empty(), "label key must be non-empty");
+    auto it = std::lower_bound(
+        kv_.begin(), kv_.end(), key,
+        [](const auto &pair, const std::string &k) {
+            return pair.first < k;
+        });
+    if (it != kv_.end() && it->first == key)
+        it->second = value;
+    else
+        kv_.insert(it, {key, value});
+    return *this;
+}
+
+std::string
+Labels::key() const
+{
+    std::string out;
+    for (const auto &[k, v] : kv_) {
+        if (!out.empty())
+            out += ',';
+        out += k;
+        out += '=';
+        out += v;
+    }
+    return out;
+}
+
+// ------------------------------------------------------- atomic helpers
+
+namespace {
+
+/** Lock-free add on an atomic double (CAS loop; C++20 fetch_add on
+ *  floating atomics is not universally lock-free, so spell it out). */
+void
+atomicAdd(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v,
+                                    std::memory_order_relaxed)) {
+        // cur reloaded by compare_exchange_weak.
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------- Counter
+
+void
+Counter::inc(double v)
+{
+    MACS_ASSERT(v >= 0.0, "counters only move forward (inc ", v, ")");
+    atomicAdd(value_, v);
+}
+
+void
+Gauge::add(double v)
+{
+    atomicAdd(value_, v);
+}
+
+// ------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::span<const double> edges)
+    : edges_(edges.begin(), edges.end()),
+      buckets_(new std::atomic<uint64_t>[edges.size() + 1])
+{
+    MACS_ASSERT(!edges_.empty(), "histogram needs at least one edge");
+    for (size_t i = 1; i < edges_.size(); ++i)
+        MACS_ASSERT(edges_[i - 1] < edges_[i],
+                    "histogram edges must be strictly ascending");
+    for (size_t i = 0; i <= edges_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    // First bucket whose upper edge admits v (le semantics); the
+    // overflow bucket catches everything beyond the last edge.
+    size_t i = static_cast<size_t>(
+        std::lower_bound(edges_.begin(), edges_.end(), v) -
+        edges_.begin());
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> out(edges_.size() + 1);
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+// -------------------------------------------------------------- Registry
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+Registry::Family &
+Registry::family(const std::string &name, const std::string &help,
+                 MetricKind kind, std::span<const double> edges)
+{
+    MACS_ASSERT(!name.empty(), "metric name must be non-empty");
+    auto [it, inserted] = families_.try_emplace(name);
+    Family &fam = it->second;
+    if (inserted) {
+        fam.help = help;
+        fam.kind = kind;
+        fam.edges.assign(edges.begin(), edges.end());
+        return fam;
+    }
+    if (fam.kind != kind)
+        panic("metric '", name, "' re-registered as ",
+              metricKindName(kind), ", was ", metricKindName(fam.kind));
+    if (kind == MetricKind::Histogram &&
+        !std::equal(fam.edges.begin(), fam.edges.end(), edges.begin(),
+                    edges.end()))
+        panic("histogram '", name,
+              "' re-registered with different bucket edges");
+    return fam;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &help,
+                  const Labels &labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Family &fam = family(name, help, MetricKind::Counter, {});
+    std::string key = labels.key();
+    auto [it, inserted] = fam.counters.try_emplace(key);
+    if (inserted) {
+        it->second = std::make_unique<Counter>();
+        fam.labels.emplace(key, labels);
+    }
+    return *it->second;
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &help,
+                const Labels &labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Family &fam = family(name, help, MetricKind::Gauge, {});
+    std::string key = labels.key();
+    auto [it, inserted] = fam.gauges.try_emplace(key);
+    if (inserted) {
+        it->second = std::make_unique<Gauge>();
+        fam.labels.emplace(key, labels);
+    }
+    return *it->second;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &help,
+                    std::span<const double> edges, const Labels &labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Family &fam = family(name, help, MetricKind::Histogram, edges);
+    std::string key = labels.key();
+    auto [it, inserted] = fam.histograms.try_emplace(key);
+    if (inserted) {
+        it->second = std::make_unique<Histogram>(fam.edges);
+        fam.labels.emplace(key, labels);
+    }
+    return *it->second;
+}
+
+size_t
+Registry::seriesCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto &[name, fam] : families_)
+        n += fam.counters.size() + fam.gauges.size() +
+             fam.histograms.size();
+    return n;
+}
+
+std::vector<Sample>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Sample> out;
+    // families_ and the per-family label maps are ordered: the result
+    // is sorted by (name, label key) by construction.
+    for (const auto &[name, fam] : families_) {
+        auto base = [&](const std::string &key) {
+            Sample s;
+            s.name = name;
+            s.help = fam.help;
+            s.kind = fam.kind;
+            s.labels = fam.labels.at(key);
+            return s;
+        };
+        for (const auto &[key, c] : fam.counters) {
+            Sample s = base(key);
+            s.value = c->value();
+            out.push_back(std::move(s));
+        }
+        for (const auto &[key, g] : fam.gauges) {
+            Sample s = base(key);
+            s.value = g->value();
+            out.push_back(std::move(s));
+        }
+        for (const auto &[key, h] : fam.histograms) {
+            Sample s = base(key);
+            s.value = h->sum();
+            s.bucketEdges = h->edges();
+            s.bucketCounts = h->bucketCounts();
+            s.observationCount = h->count();
+            out.push_back(std::move(s));
+        }
+    }
+    return out;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+} // namespace macs::obs

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and histograms
+ * with label sets, a lock-free hot path, and deterministic snapshots.
+ *
+ * Design (docs/OBSERVABILITY.md):
+ *  - A metric is identified by (name, canonical label set). Lookup /
+ *    creation takes the registry mutex once; the returned reference is
+ *    stable for the registry's lifetime, and every subsequent
+ *    inc()/set()/observe() is a plain atomic operation — no lock, no
+ *    allocation — so instrumenting the simulator inner loop or the
+ *    pipeline workers costs a few nanoseconds.
+ *  - Label sets are canonicalized (sorted by key, duplicate keys
+ *    rejected), so {a=1,b=2} and {b=2,a=1} alias the same series.
+ *  - snapshot() returns samples sorted by (name, label key): exporters
+ *    built on it (obs/export.h) are byte-deterministic for identical
+ *    registry contents, independent of registration or thread order.
+ *  - Registering the same name with a different kind (or a histogram
+ *    with different bucket edges) is a programming error: panic().
+ *
+ * There is one process-global registry (Registry::global()) that the
+ * pipeline engine and CLI default to; tests and deterministic exports
+ * use private Registry instances.
+ */
+
+#ifndef MACS_OBS_METRICS_H
+#define MACS_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace macs::obs {
+
+/** Canonical (sorted, unique-key) set of label key/value pairs. */
+class Labels
+{
+  public:
+    Labels() = default;
+    Labels(std::initializer_list<std::pair<std::string, std::string>> kv);
+
+    /** Set (or overwrite) one label. Keys must be non-empty. */
+    Labels &set(const std::string &key, const std::string &value);
+
+    const std::vector<std::pair<std::string, std::string>> &pairs() const
+    {
+        return kv_;
+    }
+
+    bool empty() const { return kv_.empty(); }
+
+    /**
+     * Canonical text form `k1=v1,k2=v2` (keys sorted). Two Labels with
+     * equal key() identify the same time series.
+     */
+    std::string key() const;
+
+    bool operator==(const Labels &other) const
+    {
+        return kv_ == other.kv_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> kv_; // sorted
+};
+
+/** Monotonically increasing value. Thread-safe, lock-free. */
+class Counter
+{
+  public:
+    /** Add @p v (must be >= 0) to the counter. */
+    void inc(double v = 1.0);
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Last-write-wins instantaneous value. Thread-safe, lock-free. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void add(double v);
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations with
+ * value <= edges[i] (Prometheus `le` semantics, edges ascending); one
+ * implicit +inf overflow bucket follows. Thread-safe, lock-free.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::span<const double> edges);
+
+    void observe(double v);
+
+    const std::vector<double> &edges() const { return edges_; }
+
+    /** Per-bucket (non-cumulative) counts; size() == edges+1. */
+    std::vector<uint64_t> bucketCounts() const;
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  private:
+    std::vector<double> edges_;
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Metric kinds (for snapshots and kind-mismatch checks). */
+enum class MetricKind : uint8_t
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+/** Human-readable kind name ("counter", "gauge", "histogram"). */
+const char *metricKindName(MetricKind kind);
+
+/** One exported time series (see Registry::snapshot()). */
+struct Sample
+{
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::Counter;
+    Labels labels;
+
+    /** Counter/gauge value; histogram sum. */
+    double value = 0.0;
+
+    /** Histogram-only: edges and per-bucket counts (+inf last). */
+    std::vector<double> bucketEdges;
+    std::vector<uint64_t> bucketCounts;
+    uint64_t observationCount = 0;
+};
+
+/**
+ * A family of metrics sharing a name, help text, kind, and (for
+ * histograms) bucket edges, fanned out by label set.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Find or create a metric. The returned reference stays valid for
+     * the registry's lifetime. panic()s when @p name already exists
+     * with a different kind (or different histogram edges).
+     * @{
+     */
+    Counter &counter(const std::string &name, const std::string &help,
+                     const Labels &labels = {});
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const Labels &labels = {});
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         std::span<const double> edges,
+                         const Labels &labels = {});
+    /** @} */
+
+    /** Number of registered time series (across all families). */
+    size_t seriesCount() const;
+
+    /**
+     * Deterministic snapshot: one Sample per series, sorted by
+     * (name, canonical label key).
+     */
+    std::vector<Sample> snapshot() const;
+
+    /** The process-wide default registry. */
+    static Registry &global();
+
+  private:
+    struct Family
+    {
+        std::string help;
+        MetricKind kind = MetricKind::Counter;
+        std::vector<double> edges; // histograms only
+        // Stable addresses: never erased, unique_ptr storage.
+        std::map<std::string, std::unique_ptr<Counter>> counters;
+        std::map<std::string, std::unique_ptr<Gauge>> gauges;
+        std::map<std::string, std::unique_ptr<Histogram>> histograms;
+        std::map<std::string, Labels> labels; // key -> parsed labels
+    };
+
+    Family &family(const std::string &name, const std::string &help,
+                   MetricKind kind, std::span<const double> edges);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Family> families_;
+};
+
+} // namespace macs::obs
+
+#endif // MACS_OBS_METRICS_H

@@ -1,0 +1,91 @@
+#include "obs/sim_metrics.h"
+
+namespace macs::obs {
+
+namespace {
+
+Labels
+withLabel(const Labels &base, const std::string &key,
+          const std::string &value)
+{
+    Labels l = base;
+    l.set(key, value);
+    return l;
+}
+
+} // namespace
+
+void
+recordRunStats(Registry &reg, const sim::RunStats &st,
+               const Labels &labels)
+{
+    reg.counter("macs_sim_cycles_total",
+                "Simulated clock cycles", labels)
+        .inc(st.cycles);
+    reg.counter("macs_sim_instructions_total",
+                "Dynamic instructions by kind",
+                withLabel(labels, "kind", "vector"))
+        .inc(static_cast<double>(st.vectorInstructions));
+    reg.counter("macs_sim_instructions_total",
+                "Dynamic instructions by kind",
+                withLabel(labels, "kind", "scalar"))
+        .inc(static_cast<double>(st.scalarInstructions));
+
+    static const char *const pipes[3] = {"load_store", "add",
+                                         "multiply"};
+    for (int p = 0; p < 3; ++p)
+        reg.counter("macs_sim_pipe_busy_cycles_total",
+                    "Cycles each vector pipe streamed elements",
+                    withLabel(labels, "pipe", pipes[p]))
+            .inc(st.pipeBusy(p));
+
+    reg.counter("macs_sim_refresh_stall_cycles_total",
+                "Memory refresh cycles charged to streams", labels)
+        .inc(st.refreshStallCycles);
+    reg.counter("macs_sim_bank_conflict_cycles_total",
+                "Extra cycles from non-unit-stride bank conflicts",
+                labels)
+        .inc(st.bankConflictCycles);
+
+    reg.counter("macs_sim_vector_elements_total",
+                "Vector elements processed", labels)
+        .inc(static_cast<double>(st.vectorElements));
+    reg.counter("macs_sim_flops_total",
+                "Vector floating-point element operations", labels)
+        .inc(static_cast<double>(st.flops));
+    reg.counter("macs_sim_memory_elements_total",
+                "Vector elements loaded or stored", labels)
+        .inc(static_cast<double>(st.memoryElements));
+
+    reg.counter("macs_sim_scalar_cache_total",
+                "Scalar data cache accesses by outcome",
+                withLabel(labels, "event", "hit"))
+        .inc(static_cast<double>(st.scalarCacheHits));
+    reg.counter("macs_sim_scalar_cache_total",
+                "Scalar data cache accesses by outcome",
+                withLabel(labels, "event", "miss"))
+        .inc(static_cast<double>(st.scalarCacheMisses));
+}
+
+void
+recordStallProfile(Registry &reg, const sim::StallProfile &profile,
+                   const Labels &labels)
+{
+    // Aggregate per cause across instructions (deterministic: the
+    // profile map is keyed by static pc).
+    double by_cause[sim::kNumStallCauses] = {};
+    for (const auto &[pc, st] : profile.entries())
+        for (size_t c = 0; c < sim::kNumStallCauses; ++c)
+            by_cause[c] += st.byCause[c];
+
+    for (size_t c = 1; c < sim::kNumStallCauses; ++c) {
+        reg.counter("macs_sim_stall_cycles_total",
+                    "Vector pipe-entry stall cycles by cause",
+                    withLabel(labels, "cause",
+                              sim::stallCauseName(
+                                  static_cast<sim::StallCause>(c))))
+            .inc(by_cause[c]);
+    }
+}
+
+} // namespace macs::obs

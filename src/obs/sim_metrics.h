@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Bridges from the simulator's run artifacts (RunStats, StallProfile)
+ * into the metrics registry — the single place that defines the
+ * `macs_sim_*` metric names and label conventions
+ * (docs/OBSERVABILITY.md).
+ *
+ * The recorders are additive: counters accumulate across calls, so
+ * recording several runs into one registry yields fleet totals. Label
+ * the calls (e.g. {kernel=LFK1, config=baseline}) to keep runs
+ * distinguishable.
+ */
+
+#ifndef MACS_OBS_SIM_METRICS_H
+#define MACS_OBS_SIM_METRICS_H
+
+#include "obs/metrics.h"
+#include "sim/profile.h"
+#include "sim/stats.h"
+
+namespace macs::obs {
+
+/**
+ * Record one run's aggregate statistics: cycles, instruction mix,
+ * per-pipe busy cycles, refresh / bank-conflict penalties, scalar
+ * cache hits and misses, elements and flops.
+ */
+void recordRunStats(Registry &registry, const sim::RunStats &stats,
+                    const Labels &labels = {});
+
+/**
+ * Record a stall profile as per-cause cycle counters
+ * (macs_sim_stall_cycles{cause=...}).
+ */
+void recordStallProfile(Registry &registry,
+                        const sim::StallProfile &profile,
+                        const Labels &labels = {});
+
+} // namespace macs::obs
+
+#endif // MACS_OBS_SIM_METRICS_H

@@ -1,0 +1,189 @@
+#include "obs/trace_export.h"
+
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::obs {
+
+namespace {
+
+// Thread-id layout of the exported process (see the header).
+constexpr int kStreamTid = 0;  ///< +pipe: stream tracks
+constexpr int kStallTid = 3;   ///< +pipe: stall tracks
+constexpr int kMemoryTid = 6;  ///< memory-port track
+
+const char *const kPipeNames[3] = {"load/store", "add", "multiply"};
+
+/** %.17g: doubles survive a print/parse round trip bit-for-bit. */
+std::string
+cyc(double v)
+{
+    return format("%.17g", v);
+}
+
+/** chrome://tracing reserved color per stall cause. */
+const char *
+stallColor(sim::StallCause cause)
+{
+    switch (cause) {
+      case sim::StallCause::Chain:
+        return "thread_state_runnable"; // green
+      case sim::StallCause::Interlock:
+        return "thread_state_iowait";   // orange
+      case sim::StallCause::Tailgate:
+        return "thread_state_sleeping"; // grey
+      case sim::StallCause::PairPort:
+        return "terrible";              // red
+      case sim::StallCause::MemoryPort:
+        return "bad";                   // dark red
+      case sim::StallCause::None:
+        break;
+    }
+    return "good";
+}
+
+void
+metaEvent(std::ostringstream &os, const char *name, int tid,
+          const std::string &value, bool sort_index = false)
+{
+    os << "    {\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+       << ", \"name\": \"" << name << "\", \"args\": {\""
+       << (sort_index ? "sort_index" : "name") << "\": "
+       << (sort_index ? value : "\"" + jsonEscape(value) + "\"")
+       << "}},\n";
+}
+
+} // namespace
+
+std::string
+renderChromeTrace(const sim::Timeline &timeline,
+                  const sim::RunStats &stats,
+                  const TraceExportOptions &options)
+{
+    std::ostringstream os;
+    os << "{\n  \"traceEvents\": [\n";
+
+    // Metadata: process and track names, viewer ordering.
+    os << "    {\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+          "\"args\": {\"name\": \""
+       << jsonEscape(options.processName) << "\"}},\n";
+    for (int p = 0; p < 3; ++p) {
+        metaEvent(os, "thread_name", kStreamTid + p,
+                  std::string("pipe ") + kPipeNames[p] + " (stream)");
+        metaEvent(os, "thread_sort_index", kStreamTid + p,
+                  format("%d", 2 * p), /*sort_index=*/true);
+        if (options.includeStalls) {
+            metaEvent(os, "thread_name", kStallTid + p,
+                      std::string("pipe ") + kPipeNames[p] +
+                          " (stalls)");
+            metaEvent(os, "thread_sort_index", kStallTid + p,
+                      format("%d", 2 * p + 1), /*sort_index=*/true);
+        }
+    }
+    if (options.includeMemoryPort) {
+        metaEvent(os, "thread_name", kMemoryTid, "memory port");
+        metaEvent(os, "thread_sort_index", kMemoryTid, "6",
+                  /*sort_index=*/true);
+    }
+
+    auto span = [&](const char *cat, int tid, const std::string &name,
+                    double ts, double dur, const std::string &args,
+                    const char *cname = nullptr) {
+        os << "    {\"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
+           << ", \"cat\": \"" << cat << "\", \"name\": \""
+           << jsonEscape(name) << "\", \"ts\": " << cyc(ts)
+           << ", \"dur\": " << cyc(dur);
+        if (cname != nullptr)
+            os << ", \"cname\": \"" << cname << "\"";
+        os << ", \"args\": {" << args << "}},\n";
+    };
+
+    for (const sim::TimelineEvent &ev : timeline.events()) {
+        MACS_ASSERT(ev.pipe >= 0 && ev.pipe < 3,
+                    "timeline event without pipe attribution (pc ",
+                    ev.pc, ")");
+        // Stream span: first element entering .. last element in.
+        // args.busy carries the exact pipe-busy charge (rate * VL);
+        // the visual span additionally covers mid-stream holds
+        // (refresh), so dur >= busy.
+        span("stream", kStreamTid + ev.pipe, ev.text, ev.enter,
+             ev.streamEnd - ev.enter,
+             format("\"pc\": %zu, ", ev.pc) + "\"busy\": " +
+                 cyc(ev.busy) +
+                 ", \"firstResult\": " + cyc(ev.firstResult) +
+                 ", \"complete\": " + cyc(ev.complete));
+        if (options.includeStalls && ev.stall > 0.0) {
+            // The wait sits immediately before pipe entry.
+            span("stall", kStallTid + ev.pipe,
+                 sim::stallCauseName(ev.cause), ev.enter - ev.stall,
+                 ev.stall, format("\"pc\": %zu", ev.pc),
+                 stallColor(ev.cause));
+        }
+        if (options.includeMemoryPort && ev.pipe == 0) {
+            span("memory", kMemoryTid, ev.text, ev.enter,
+                 ev.streamEnd - ev.enter,
+                 format("\"pc\": %zu", ev.pc));
+        }
+    }
+
+    // Trailing aggregate block: lets consumers cross-check span sums
+    // against the simulator's own accounting without re-running it.
+    os << "    {\"ph\": \"M\", \"pid\": 1, \"name\": "
+          "\"macs_totals\", \"args\": {\"cycles\": "
+       << cyc(stats.cycles) << "}}\n";
+    os << "  ],\n";
+    os << "  \"displayTimeUnit\": \"ms\",\n";
+    os << "  \"otherData\": {\n";
+    os << "    \"schema\": \"macs-trace-v1\",\n";
+    os << "    \"cycles\": " << cyc(stats.cycles) << ",\n";
+    os << "    \"pipeBusy\": [" << cyc(stats.loadStorePipeBusy) << ", "
+       << cyc(stats.addPipeBusy) << ", " << cyc(stats.multiplyPipeBusy)
+       << "],\n";
+    os << "    \"refreshStallCycles\": " << cyc(stats.refreshStallCycles)
+       << ",\n";
+    os << "    \"bankConflictCycles\": " << cyc(stats.bankConflictCycles)
+       << ",\n";
+    os << "    \"vectorInstructions\": " << stats.vectorInstructions
+       << ",\n";
+    os << "    \"timeUnit\": \"cycles (rendered as us)\"\n";
+    os << "  }\n}\n";
+    return os.str();
+}
+
+TraceTotals
+summarizeChromeTrace(const std::string &json_text)
+{
+    JsonValue doc = parseJson(json_text);
+    TraceTotals totals;
+
+    const JsonValue &events = doc.at("traceEvents");
+    MACS_ASSERT(events.isArray(), "traceEvents must be an array");
+    for (size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &ev = events.at(i);
+        const JsonValue *ph = ev.find("ph");
+        if (ph == nullptr || ph->asString() != "X")
+            continue;
+        const std::string &cat = ev.at("cat").asString();
+        long tid = static_cast<long>(ev.at("tid").asDouble());
+        if (cat == "stream") {
+            MACS_ASSERT(tid >= kStreamTid && tid < kStreamTid + 3,
+                        "stream event on unexpected tid ", tid);
+            // Sum args.busy in event order: reproduces the
+            // simulator's own accumulation order exactly.
+            totals.pipeBusy[tid - kStreamTid] +=
+                ev.at("args").at("busy").asDouble();
+            ++totals.streamEvents;
+        } else if (cat == "stall") {
+            totals.stall += ev.at("dur").asDouble();
+            ++totals.stallEvents;
+        }
+    }
+    totals.cycles = doc.at("otherData").at("cycles").asDouble();
+    return totals;
+}
+
+} // namespace macs::obs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Chrome trace-event JSON export of a simulated run.
+ *
+ * Converts the simulator's Timeline (sim/trace.h) into the Trace Event
+ * Format consumed by chrome://tracing and Perfetto: one "stream" track
+ * per vector pipe (load/store, add, multiply) carrying a complete ("X")
+ * event per instruction, one "stall" track per pipe carrying the
+ * issue-to-entry wait colored by StallCause, and a memory-port track
+ * for vector memory streams. Timestamps and durations are simulator
+ * cycles rendered as microseconds (1 cycle = 1 us in the viewer).
+ *
+ * Exactness contract (pinned by tests/obs_test.cc and self-checked by
+ * `macs trace --chrome`): every stream event carries the pipe-busy
+ * cycles it was charged in args.busy, printed with %.17g so the double
+ * round-trips exactly; summing args.busy per pipe track in event order
+ * reproduces RunStats::pipeBusy() bit-for-bit.
+ *
+ * Schema details: docs/OBSERVABILITY.md.
+ */
+
+#ifndef MACS_OBS_TRACE_EXPORT_H
+#define MACS_OBS_TRACE_EXPORT_H
+
+#include <string>
+
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace macs::obs {
+
+/** Options for renderChromeTrace(). */
+struct TraceExportOptions
+{
+    /** Process name shown in the viewer. */
+    std::string processName = "macs-sim";
+    /** Emit per-pipe stall spans (issue-to-entry waits). */
+    bool includeStalls = true;
+    /** Emit the memory-port track (vector memory streams). */
+    bool includeMemoryPort = true;
+};
+
+/**
+ * Render @p timeline (recorded with SimOptions::trace) plus the run's
+ * aggregate @p stats as one Chrome trace JSON document.
+ */
+std::string renderChromeTrace(const sim::Timeline &timeline,
+                              const sim::RunStats &stats,
+                              const TraceExportOptions &options = {});
+
+/** Busy/stall totals recovered from a trace document. */
+struct TraceTotals
+{
+    double pipeBusy[3] = {0.0, 0.0, 0.0}; ///< sum of args.busy per pipe
+    double stall = 0.0;       ///< sum of stall span durations
+    double cycles = 0.0;      ///< otherData.cycles
+    size_t streamEvents = 0;  ///< events on the three stream tracks
+    size_t stallEvents = 0;
+};
+
+/**
+ * Parse a Chrome trace document produced by renderChromeTrace() and
+ * re-sum its spans (obs/json.h underneath; fatal() on malformed
+ * input). Used by the round-trip test and the `macs trace`
+ * self-check: TraceTotals::pipeBusy must equal RunStats::pipeBusy()
+ * exactly.
+ */
+TraceTotals summarizeChromeTrace(const std::string &json_text);
+
+} // namespace macs::obs
+
+#endif // MACS_OBS_TRACE_EXPORT_H

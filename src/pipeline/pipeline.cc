@@ -261,7 +261,61 @@ BatchEngine::run(const std::vector<BatchJob> &jobs)
         if (!r.ok())
             ++result.stats.failures;
     }
+    publishMetrics(result);
     return result;
+}
+
+void
+BatchEngine::publishMetrics(const BatchResult &result) const
+{
+    obs::Registry &reg = options_.metrics != nullptr
+                             ? *options_.metrics
+                             : obs::Registry::global();
+
+    reg.counter("macs_pipeline_jobs_total",
+                "Batch jobs completed by outcome",
+                obs::Labels{{"result", "ok"}})
+        .inc(static_cast<double>(result.stats.jobs -
+                                 result.stats.failures));
+    reg.counter("macs_pipeline_jobs_total",
+                "Batch jobs completed by outcome",
+                obs::Labels{{"result", "error"}})
+        .inc(static_cast<double>(result.stats.failures));
+    reg.counter("macs_pipeline_cache_total",
+                "Memoization cache lookups by outcome",
+                obs::Labels{{"event", "hit"}})
+        .inc(static_cast<double>(result.stats.cacheHits));
+    reg.counter("macs_pipeline_cache_total",
+                "Memoization cache lookups by outcome",
+                obs::Labels{{"event", "miss"}})
+        .inc(static_cast<double>(result.stats.cacheMisses));
+
+    // Log-spaced edges: 10us .. 1s; queue waits and compute times
+    // both span several decades depending on host load.
+    static const double kUsEdges[] = {10.0,     100.0,     1000.0,
+                                      10000.0,  100000.0,  1000000.0};
+    obs::Histogram &queue = reg.histogram(
+        "macs_pipeline_queue_wait_us",
+        "Per-job wait from submission to worker pickup", kUsEdges);
+    obs::Histogram &compute = reg.histogram(
+        "macs_pipeline_compute_us",
+        "Per-job analysis compute time (cache hits excluded)",
+        kUsEdges);
+    for (const JobResult &r : result.results) {
+        queue.observe(r.timing.queueWaitUs);
+        if (!r.timing.cacheHit)
+            compute.observe(r.timing.computeUs);
+    }
+
+    reg.gauge("macs_pipeline_workers", "Worker threads of the engine")
+        .set(static_cast<double>(result.stats.workers));
+    // Utilization: fraction of the run's worker-seconds spent
+    // computing. Cache hits make this < 1 by design.
+    double budget = result.stats.wallUs *
+                    static_cast<double>(result.stats.workers);
+    reg.gauge("macs_pipeline_worker_utilization",
+              "computeUs / (wallUs * workers) of the last run")
+        .set(budget > 0.0 ? result.stats.computeUs / budget : 0.0);
 }
 
 std::vector<BatchJob>

@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "pipeline/cache.h"
 #include "pipeline/job.h"
 #include "pipeline/thread_pool.h"
@@ -44,6 +45,15 @@ struct EngineOptions
     size_t workers = 0;
     /** Disable memoization (every job recomputes). For baselines. */
     bool useCache = true;
+    /**
+     * Metrics registry the engine publishes `macs_pipeline_*` series
+     * to after every run() (queue wait, compute time, cache hit/miss,
+     * worker utilization — see docs/OBSERVABILITY.md). nullptr means
+     * obs::Registry::global(); tests pass a private registry. These
+     * are scheduling-dependent observability data and never feed the
+     * deterministic reports.
+     */
+    obs::Registry *metrics = nullptr;
 };
 
 class BatchEngine
@@ -73,6 +83,7 @@ class BatchEngine
   private:
     void runOne(const BatchJob &job, JobResult &out,
                 double enqueue_us);
+    void publishMetrics(const BatchResult &result) const;
 
     EngineOptions options_;
     ThreadPool pool_;

@@ -464,6 +464,11 @@ Simulator::run()
                 rate = mt.rate;
                 stream_end = mt.streamEnd;
                 stats.refreshStallCycles += mt.refreshStall;
+                // Bank-conflict attribution: cycles the stride costs
+                // beyond the unit-stride rate, contention excluded.
+                stats.bankConflictCycles +=
+                    (port.strideRate(stride_words) - port.strideRate(1)) *
+                    n;
                 stats.memoryElements += static_cast<uint64_t>(n);
             } else {
                 stream_end = enter + rate * n;
@@ -603,7 +608,9 @@ Simulator::run()
 
             if (options_.trace) {
                 timeline_.record({pc, in.toString(), issue_start, enter,
-                                  first_result, stream_end, complete});
+                                  first_result, stream_end, complete, p,
+                                  busy, enter - (issue_start + tim.x),
+                                  stall_cause});
             }
             if (options_.profile) {
                 profile_.record(pc, in.toString(),

@@ -25,9 +25,23 @@ struct RunStats
     uint64_t scalarCacheHits = 0;
     uint64_t scalarCacheMisses = 0;
     double refreshStallCycles = 0.0;
+    /**
+     * Extra cycles non-unit strides cost against the unit-stride
+     * memory rate (bank-conflict slowdown, contention excluded).
+     */
+    double bankConflictCycles = 0.0;
     double loadStorePipeBusy = 0.0; ///< cycles elements streamed per pipe
     double addPipeBusy = 0.0;
     double multiplyPipeBusy = 0.0;
+
+    /** Pipe-busy cycles by pipe index (0 ld/st, 1 add, 2 multiply). */
+    double
+    pipeBusy(int pipe) const
+    {
+        return pipe == 0   ? loadStorePipeBusy
+               : pipe == 1 ? addPipeBusy
+                           : multiplyPipeBusy;
+    }
 
     /** Cycles per floating point operation (0 when no flops ran). */
     double

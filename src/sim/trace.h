@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/profile.h"
+
 namespace macs::sim {
 
 /** Timing of one dynamic vector instruction. */
@@ -23,6 +25,13 @@ struct TimelineEvent
     double firstResult = 0; ///< first element result available
     double streamEnd = 0;   ///< last element has entered the pipe
     double complete = 0;    ///< last element result available
+
+    // Attribution fields consumed by the trace exporters
+    // (obs/trace_export.h) and the metrics layer.
+    int pipe = -1;          ///< 0 ld/st, 1 add, 2 multiply
+    double busy = 0;        ///< pipe-busy cycles charged (rate * VL)
+    double stall = 0;       ///< issue-to-entry wait beyond startup X
+    StallCause cause = StallCause::None; ///< what bound the entry
 };
 
 /** A recorded execution timeline. */

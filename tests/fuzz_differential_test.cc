@@ -9,17 +9,26 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "compiler/analysis.h"
 #include "compiler/codegen.h"
 #include "compiler/interpreter.h"
+#include "compiler/loop_parser.h"
 #include "machine/machine_config.h"
 #include "sim/simulator.h"
 #include "support/logging.h"
+
+#ifndef MACS_CORPUS_DIR
+#error "MACS_CORPUS_DIR must be defined by the build"
+#endif
 
 namespace macs::compiler {
 namespace {
@@ -165,10 +174,11 @@ randomEnv(Rng &rng)
 
 /** Compile+simulate @p loop from @p init; nullopt if not compilable. */
 Environment
-runCompiled(const Loop &loop, const Environment &init, bool vectorize)
+runCompiled(const Loop &loop, const Environment &init, bool vectorize,
+            long trip = kTrip)
 {
     CompileOptions opt;
-    opt.tripCount = kTrip;
+    opt.tripCount = trip;
     opt.vectorize = vectorize;
     for (const char *name : kArrays)
         opt.arrays.push_back({name, kArrayWords});
@@ -256,6 +266,114 @@ TEST_P(FuzzDifferential, CompiledMatchesInterpreter)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
                          ::testing::Range(1, 33));
+
+// ------------------------------------------------------- corpus replay
+//
+// tests/corpus/ holds shrunk regression loops in the DSL text format
+// (see tests/corpus/README.md). They replay through exactly the same
+// differential harness as the random seeds — deterministically, in
+// sorted file order — so once-found bugs stay found.
+
+/** One corpus file: `#!` metadata plus DSL text. */
+struct CorpusCase
+{
+    std::string name;
+    uint64_t seed = 1;
+    long trip = kTrip;
+    Loop loop;
+};
+
+CorpusCase
+loadCorpusFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read corpus file ", path.string());
+    CorpusCase c;
+    c.name = path.filename().string();
+    std::string dsl, line;
+    while (std::getline(in, line)) {
+        std::string trimmed = line;
+        trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+        if (trimmed.rfind("#!", 0) == 0) {
+            std::istringstream meta(trimmed.substr(2));
+            std::string key;
+            meta >> key;
+            if (key == "seed")
+                meta >> c.seed;
+            else if (key == "trip")
+                meta >> c.trip;
+            else
+                fatal("corpus ", c.name, ": unknown metadata '", key,
+                      "'");
+            continue;
+        }
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue; // comment (the DSL lexer has no comments)
+        dsl += line;
+        dsl += '\n';
+    }
+    c.loop = parseLoop(dsl);
+    return c;
+}
+
+std::vector<std::filesystem::path>
+corpusFiles()
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(MACS_CORPUS_DIR))
+        if (entry.path().extension() == ".loop")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(CorpusReplay, CheckedInLoopsStillAgree)
+{
+    std::vector<std::filesystem::path> files = corpusFiles();
+    ASSERT_FALSE(files.empty())
+        << "no .loop files under " << MACS_CORPUS_DIR;
+
+    for (const std::filesystem::path &path : files) {
+        CorpusCase c = loadCorpusFile(path);
+        SCOPED_TRACE(c.name + " (seed " + std::to_string(c.seed) +
+                     ", trip " + std::to_string(c.trip) + ")\n" +
+                     c.loop.toString());
+        Rng rng(c.seed);
+        Environment init = randomEnv(rng);
+        SourceAnalysis sa = analyzeSource(c.loop);
+
+        {
+            Environment want = init;
+            interpret(c.loop, c.trip, want);
+            Environment got = runCompiled(c.loop, init, false, c.trip);
+            expectSame(got, want, c.name + " (scalar mode)");
+        }
+        if (sa.vectorizable) {
+            Environment want = init;
+            interpretVector(c.loop, c.trip, want);
+            Environment got = runCompiled(c.loop, init, true, c.trip);
+            expectSame(got, want, c.name + " (vector mode)", 1e-8);
+        }
+    }
+}
+
+TEST(CorpusReplay, CorpusCoversVectorAndScalarPaths)
+{
+    // The corpus must keep exercising both compilation modes: at least
+    // one loop the vectorizer accepts and one it must refuse.
+    size_t vectorizable = 0, scalar_only = 0;
+    for (const std::filesystem::path &path : corpusFiles()) {
+        CorpusCase c = loadCorpusFile(path);
+        if (analyzeSource(c.loop).vectorizable)
+            ++vectorizable;
+        else
+            ++scalar_only;
+    }
+    EXPECT_GE(vectorizable, 1u);
+    EXPECT_GE(scalar_only, 1u);
+}
 
 // ---------------------------------------------------------------- interpreter
 

@@ -1,0 +1,725 @@
+/**
+ * @file
+ * Observability-layer tests: registry semantics (label aliasing, kind
+ * mismatch, histogram buckets, concurrent increments), exporter golden
+ * files, the JSON reader, the Chrome trace round trip (per-pipe busy
+ * sums must equal simulator accounting EXACTLY), the sim/model metric
+ * recorders, and byte-stability of batch gap metrics across worker
+ * counts.
+ *
+ * Golden files live in tests/golden/; regenerate after an intentional
+ * format change with:
+ *     UPDATE_GOLDEN=1 ./build/tests/obs_test
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lfk/kernels.h"
+#include "machine/machine_config.h"
+#include "macs/gap_metrics.h"
+#include "macs/hierarchy.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/sim_metrics.h"
+#include "obs/trace_export.h"
+#include "pipeline/pipeline.h"
+#include "sim/simulator.h"
+#include "support/logging.h"
+
+#ifndef MACS_GOLDEN_DIR
+#error "MACS_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace macs::obs {
+namespace {
+
+// ----------------------------------------------------------- helpers
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(MACS_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("UPDATE_GOLDEN");
+    return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+compareAgainstGolden(const std::string &file, const std::string &got)
+{
+    std::string path = goldenPath(file);
+    if (updateRequested()) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << got;
+        SUCCEED() << "updated " << path;
+        return;
+    }
+    std::string want = readFileOrEmpty(path);
+    ASSERT_FALSE(want.empty())
+        << path << " is missing or empty; run with UPDATE_GOLDEN=1 "
+        << "to (re)create it";
+    EXPECT_EQ(want, got) << "exporter bytes differ from " << path;
+}
+
+/** A small, fully deterministic registry for the exporter goldens. */
+void
+fillDemoRegistry(Registry &reg)
+{
+    reg.counter("demo_requests_total", "Requests by result",
+                Labels{{"result", "ok"}})
+        .inc(41.0);
+    reg.counter("demo_requests_total", "Requests by result",
+                Labels{{"result", "error"}})
+        .inc(1.0);
+    reg.gauge("demo_temperature_celsius", "Die temperature").set(21.5);
+    static const double edges[] = {0.001, 0.01, 0.1, 1.0};
+    Histogram &h = reg.histogram("demo_latency_seconds",
+                                 "Request latency", edges);
+    for (double v : {0.0005, 0.001, 0.004, 0.25, 3.0, 0.02})
+        h.observe(v);
+    // A label value exercising JSON/Prometheus escaping.
+    reg.gauge("demo_annotated", "Escaping probe",
+              Labels{{"note", "a\"b\\c\nd"}})
+        .set(1.0);
+}
+
+// ------------------------------------------------------------ Labels
+
+TEST(ObsLabels, CanonicalOrderIndependent)
+{
+    Labels a{{"zone", "z1"}, {"app", "macs"}};
+    Labels b{{"app", "macs"}, {"zone", "z1"}};
+    EXPECT_EQ(a.key(), b.key());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.key(), "app=macs,zone=z1");
+}
+
+TEST(ObsLabels, SetOverwritesExistingKey)
+{
+    Labels l{{"k", "v1"}};
+    l.set("k", "v2");
+    EXPECT_EQ(l.key(), "k=v2");
+    EXPECT_EQ(l.pairs().size(), 1u);
+}
+
+TEST(ObsLabels, EmptyKeyPanics)
+{
+    Labels l;
+    EXPECT_THROW(l.set("", "v"), PanicError);
+}
+
+// ----------------------------------------------------------- metrics
+
+TEST(ObsMetrics, CounterAccumulates)
+{
+    Counter c;
+    c.inc();
+    c.inc(2.5);
+    EXPECT_DOUBLE_EQ(c.value(), 3.5);
+    EXPECT_THROW(c.inc(-1.0), PanicError);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd)
+{
+    Gauge g;
+    g.set(10.0);
+    g.add(-2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 7.5);
+}
+
+TEST(ObsMetrics, HistogramLeBucketSemantics)
+{
+    static const double edges[] = {1.0, 10.0, 100.0};
+    Histogram h{edges};
+    h.observe(0.5);   // <= 1
+    h.observe(1.0);   // == edge: belongs to the le=1 bucket
+    h.observe(5.0);   // <= 10
+    h.observe(100.0); // == last edge
+    h.observe(101.0); // overflow
+    std::vector<uint64_t> counts = h.bucketCounts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 101.0);
+}
+
+TEST(ObsMetrics, HistogramRejectsBadEdges)
+{
+    static const double unsorted[] = {10.0, 1.0};
+    EXPECT_THROW(Histogram{unsorted}, PanicError);
+    EXPECT_THROW(Histogram{std::span<const double>{}}, PanicError);
+}
+
+// ---------------------------------------------------------- registry
+
+TEST(ObsRegistry, LabelAliasingSharesOneSeries)
+{
+    Registry reg;
+    Counter &a = reg.counter("x_total", "x",
+                             Labels{{"a", "1"}, {"b", "2"}});
+    Counter &b = reg.counter("x_total", "x",
+                             Labels{{"b", "2"}, {"a", "1"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.seriesCount(), 1u);
+    a.inc(3.0);
+    EXPECT_DOUBLE_EQ(b.value(), 3.0);
+}
+
+TEST(ObsRegistry, DistinctLabelsFanOut)
+{
+    Registry reg;
+    reg.counter("x_total", "x", Labels{{"k", "a"}}).inc();
+    reg.counter("x_total", "x", Labels{{"k", "b"}}).inc(2.0);
+    reg.counter("x_total", "x").inc(4.0);
+    EXPECT_EQ(reg.seriesCount(), 3u);
+}
+
+TEST(ObsRegistry, KindMismatchPanics)
+{
+    Registry reg;
+    reg.counter("mixed", "as counter");
+    EXPECT_THROW(reg.gauge("mixed", "as gauge"), PanicError);
+    static const double edges[] = {1.0};
+    EXPECT_THROW(reg.histogram("mixed", "as histogram", edges),
+                 PanicError);
+}
+
+TEST(ObsRegistry, HistogramEdgeMismatchPanics)
+{
+    Registry reg;
+    static const double e1[] = {1.0, 2.0};
+    static const double e2[] = {1.0, 3.0};
+    reg.histogram("h", "h", e1);
+    EXPECT_THROW(reg.histogram("h", "h", e2), PanicError);
+    // Identical edges are fine (same family, second label set).
+    reg.histogram("h", "h", e1, Labels{{"k", "v"}});
+    EXPECT_EQ(reg.seriesCount(), 2u);
+}
+
+TEST(ObsRegistry, SnapshotSortedByNameThenLabels)
+{
+    Registry reg;
+    reg.counter("zz_total", "z").inc();
+    reg.gauge("aa_gauge", "a", Labels{{"k", "b"}}).set(1.0);
+    reg.gauge("aa_gauge", "a", Labels{{"k", "a"}}).set(2.0);
+    std::vector<Sample> snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "aa_gauge");
+    EXPECT_EQ(snap[0].labels.key(), "k=a");
+    EXPECT_EQ(snap[1].labels.key(), "k=b");
+    EXPECT_EQ(snap[2].name, "zz_total");
+}
+
+TEST(ObsRegistry, GlobalIsOneInstance)
+{
+    EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+// Exercised under TSan by scripts/check.sh: concurrent find-or-create
+// plus lock-free increments must neither race nor drop updates.
+TEST(ObsRegistry, ConcurrentIncrementsAreExact)
+{
+    Registry reg;
+    static const double edges[] = {100.0, 1000.0};
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 4096;
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, t] {
+            // Every thread looks the series up itself (concurrent
+            // registry access) and then hammers the hot path.
+            Counter &c = reg.counter("conc_total", "c");
+            Histogram &h = reg.histogram("conc_hist", "h", edges);
+            Gauge &g = reg.gauge("conc_gauge", "g");
+            for (int i = 0; i < kPerThread; ++i) {
+                c.inc();
+                h.observe(static_cast<double>((t * kPerThread + i) %
+                                              2000));
+                g.add(1.0);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    constexpr double kTotal = double(kThreads) * kPerThread;
+    EXPECT_DOUBLE_EQ(reg.counter("conc_total", "c").value(), kTotal);
+    EXPECT_DOUBLE_EQ(reg.gauge("conc_gauge", "g").value(), kTotal);
+    Histogram &h = reg.histogram("conc_hist", "h", edges);
+    EXPECT_EQ(h.count(), static_cast<uint64_t>(kTotal));
+    uint64_t bucket_sum = 0;
+    for (uint64_t b : h.bucketCounts())
+        bucket_sum += b;
+    EXPECT_EQ(bucket_sum, static_cast<uint64_t>(kTotal));
+}
+
+// --------------------------------------------------------- exporters
+
+TEST(ObsExport, JsonMatchesGolden)
+{
+    Registry reg;
+    fillDemoRegistry(reg);
+    compareAgainstGolden("obs_metrics.json", renderJson(reg));
+}
+
+TEST(ObsExport, PrometheusMatchesGolden)
+{
+    Registry reg;
+    fillDemoRegistry(reg);
+    compareAgainstGolden("obs_metrics.prom", renderPrometheus(reg));
+}
+
+TEST(ObsExport, BytesIndependentOfRegistrationOrder)
+{
+    Registry fwd, rev;
+    fwd.counter("a_total", "a", Labels{{"k", "1"}}).inc();
+    fwd.counter("a_total", "a", Labels{{"k", "2"}}).inc(2.0);
+    fwd.gauge("b_gauge", "b").set(3.0);
+    rev.gauge("b_gauge", "b").set(3.0);
+    rev.counter("a_total", "a", Labels{{"k", "2"}}).inc(2.0);
+    rev.counter("a_total", "a", Labels{{"k", "1"}}).inc();
+    EXPECT_EQ(renderJson(fwd), renderJson(rev));
+    EXPECT_EQ(renderPrometheus(fwd), renderPrometheus(rev));
+}
+
+TEST(ObsExport, JsonOutputParsesAndRoundTrips)
+{
+    Registry reg;
+    fillDemoRegistry(reg);
+    JsonValue doc = parseJson(renderJson(reg));
+    EXPECT_EQ(doc.at("schema").asString(), "macs-metrics-v1");
+    const JsonValue &metrics = doc.at("metrics");
+    ASSERT_TRUE(metrics.isArray());
+    EXPECT_EQ(metrics.size(), reg.snapshot().size());
+    // Find the histogram entry and cross-check cumulative buckets.
+    bool found = false;
+    for (size_t i = 0; i < metrics.size(); ++i) {
+        const JsonValue &m = metrics.at(i);
+        if (m.at("name").asString() != "demo_latency_seconds")
+            continue;
+        found = true;
+        EXPECT_EQ(m.at("type").asString(), "histogram");
+        EXPECT_EQ(m.at("count").asDouble(), 6.0);
+        const JsonValue &buckets = m.at("buckets");
+        ASSERT_EQ(buckets.size(), 5u); // 4 edges + inf
+        // Escaped label value must round-trip through the parser.
+    }
+    EXPECT_TRUE(found);
+    bool escaped = false;
+    for (size_t i = 0; i < metrics.size(); ++i) {
+        const JsonValue &m = metrics.at(i);
+        if (m.at("name").asString() == "demo_annotated") {
+            escaped = true;
+            EXPECT_EQ(m.at("labels").at("note").asString(),
+                      "a\"b\\c\nd");
+        }
+    }
+    EXPECT_TRUE(escaped);
+}
+
+// ------------------------------------------------------- JSON reader
+
+TEST(ObsJson, ParsesScalarsArraysObjects)
+{
+    JsonValue v = parseJson(
+        R"({"a": [1, 2.5, -3e2], "s": "x\n\"y\"", "b": true, "n": null})");
+    ASSERT_TRUE(v.isObject());
+    const JsonValue &a = v.at("a");
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_DOUBLE_EQ(a.at(0).asDouble(), 1.0);
+    EXPECT_DOUBLE_EQ(a.at(1).asDouble(), 2.5);
+    EXPECT_DOUBLE_EQ(a.at(2).asDouble(), -300.0);
+    EXPECT_EQ(v.at("s").asString(), "x\n\"y\"");
+    EXPECT_TRUE(v.at("b").asBool());
+    EXPECT_TRUE(v.at("n").isNull());
+    EXPECT_FALSE(v.has("missing"));
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ObsJson, SeventeenDigitDoublesRoundTrip)
+{
+    // The trace exactness contract rests on %.17g round-tripping.
+    double values[] = {1.0 / 3.0, 1e-17, 123456789.123456789,
+                       2097152.0000000002};
+    for (double want : values) {
+        char buf[64];
+        snprintf(buf, sizeof buf, "%.17g", want);
+        EXPECT_EQ(parseJson(buf).asDouble(), want) << buf;
+    }
+}
+
+TEST(ObsJson, MalformedInputIsFatalWithOffset)
+{
+    EXPECT_THROW(parseJson("{"), FatalError);
+    EXPECT_THROW(parseJson("[1, 2"), FatalError);
+    EXPECT_THROW(parseJson("{\"a\": 1,}"), FatalError);
+    EXPECT_THROW(parseJson("tru"), FatalError);
+    EXPECT_THROW(parseJson("\"unterminated"), FatalError);
+    EXPECT_THROW(parseJson("1 2"), FatalError); // trailing junk
+    try {
+        parseJson("[1, @]");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        // The message points at the offending byte offset.
+        EXPECT_NE(std::string(e.what()).find("byte"),
+                  std::string::npos);
+    }
+}
+
+TEST(ObsJson, KindMismatchThrows)
+{
+    JsonValue v = parseJson("[1]");
+    // Kind confusion on our own machine-generated documents is a
+    // library bug: panic. A *missing member* is a document-shape
+    // problem: fatal.
+    EXPECT_THROW(v.asDouble(), PanicError);
+    EXPECT_THROW(v.at(5), PanicError);
+    EXPECT_THROW(v.at("k"), FatalError);
+}
+
+// --------------------------------------------------- trace round trip
+
+struct TracedRun
+{
+    sim::RunStats stats;
+    std::string json;
+    double profiledStall = 0.0;
+    uint64_t events = 0;
+};
+
+TracedRun
+traceLfk(int id)
+{
+    lfk::Kernel k = lfk::makeKernel(id);
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::SimOptions opt;
+    opt.trace = true;
+    opt.profile = true;
+    sim::Simulator s(cfg, k.program, opt);
+    k.setup(s);
+    TracedRun out;
+    out.stats = s.run();
+    out.json = renderChromeTrace(s.timeline(), out.stats);
+    out.profiledStall = s.profile().totalStallCycles();
+    out.events = s.timeline().events().size();
+    return out;
+}
+
+TEST(ObsTrace, RoundTripBusyEqualsSimulatorExactly)
+{
+    TracedRun run = traceLfk(1);
+    TraceTotals totals = summarizeChromeTrace(run.json);
+    // EXACT equality, not near: args.busy is printed with %.17g and
+    // re-summed in event order, reproducing the simulator's own
+    // accumulation bit-for-bit (the ISSUE acceptance criterion).
+    EXPECT_EQ(totals.pipeBusy[0], run.stats.loadStorePipeBusy);
+    EXPECT_EQ(totals.pipeBusy[1], run.stats.addPipeBusy);
+    EXPECT_EQ(totals.pipeBusy[2], run.stats.multiplyPipeBusy);
+    EXPECT_EQ(totals.cycles, run.stats.cycles);
+    EXPECT_EQ(totals.streamEvents, run.stats.vectorInstructions);
+    EXPECT_GT(totals.streamEvents, 0u);
+}
+
+TEST(ObsTrace, RoundTripExactForAllPaperKernels)
+{
+    for (int id : lfk::lfkIds()) {
+        SCOPED_TRACE("LFK " + std::to_string(id));
+        TracedRun run = traceLfk(id);
+        TraceTotals totals = summarizeChromeTrace(run.json);
+        for (int p = 0; p < 3; ++p)
+            EXPECT_EQ(totals.pipeBusy[p], run.stats.pipeBusy(p))
+                << "pipe " << p;
+    }
+}
+
+TEST(ObsTrace, StallSpansMatchProfileTotal)
+{
+    TracedRun run = traceLfk(1);
+    TraceTotals totals = summarizeChromeTrace(run.json);
+    // Same per-event stall values; only the summation grouping
+    // differs (profile groups by static pc), so allow rounding slack.
+    EXPECT_NEAR(totals.stall, run.profiledStall,
+                1e-6 * (1.0 + run.profiledStall));
+    EXPECT_GT(totals.stall, 0.0);
+}
+
+TEST(ObsTrace, DocumentStructure)
+{
+    TracedRun run = traceLfk(1);
+    JsonValue doc = parseJson(run.json);
+    EXPECT_EQ(doc.at("otherData").at("schema").asString(),
+              "macs-trace-v1");
+    const JsonValue &busy = doc.at("otherData").at("pipeBusy");
+    ASSERT_EQ(busy.size(), 3u);
+    EXPECT_EQ(busy.at(0).asDouble(), run.stats.loadStorePipeBusy);
+    // Track metadata names the pipes.
+    EXPECT_NE(run.json.find("pipe load/store (stream)"),
+              std::string::npos);
+    EXPECT_NE(run.json.find("pipe multiply (stalls)"),
+              std::string::npos);
+    EXPECT_NE(run.json.find("memory port"), std::string::npos);
+}
+
+TEST(ObsTrace, OptionsSuppressTracks)
+{
+    lfk::Kernel k = lfk::makeKernel(1);
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::SimOptions opt;
+    opt.trace = true;
+    sim::Simulator s(cfg, k.program, opt);
+    k.setup(s);
+    sim::RunStats stats = s.run();
+    TraceExportOptions topt;
+    topt.includeStalls = false;
+    topt.includeMemoryPort = false;
+    std::string json = renderChromeTrace(s.timeline(), stats, topt);
+    TraceTotals totals = summarizeChromeTrace(json);
+    EXPECT_EQ(totals.stallEvents, 0u);
+    EXPECT_EQ(json.find("memory port"), std::string::npos);
+    // Stream exactness is preserved regardless of options.
+    EXPECT_EQ(totals.pipeBusy[0], stats.loadStorePipeBusy);
+}
+
+// ------------------------------------------------------ sim recorders
+
+TEST(ObsSimMetrics, RecordRunStatsIsAdditive)
+{
+    Registry reg;
+    sim::RunStats st;
+    st.cycles = 100.0;
+    st.vectorInstructions = 4;
+    st.scalarInstructions = 6;
+    st.loadStorePipeBusy = 50.0;
+    st.addPipeBusy = 30.0;
+    st.multiplyPipeBusy = 20.0;
+    st.refreshStallCycles = 5.0;
+    st.bankConflictCycles = 2.5;
+    st.vectorElements = 128;
+    st.flops = 64;
+    st.memoryElements = 96;
+    st.scalarCacheHits = 7;
+    st.scalarCacheMisses = 3;
+
+    recordRunStats(reg, st, Labels{{"kernel", "k"}});
+    recordRunStats(reg, st, Labels{{"kernel", "k"}});
+
+    Labels k{{"kernel", "k"}};
+    EXPECT_DOUBLE_EQ(
+        reg.counter("macs_sim_cycles_total", "", k).value(), 200.0);
+    EXPECT_DOUBLE_EQ(
+        reg.counter("macs_sim_pipe_busy_cycles_total", "",
+                    Labels{{"kernel", "k"}, {"pipe", "add"}})
+            .value(),
+        60.0);
+    EXPECT_DOUBLE_EQ(
+        reg.counter("macs_sim_instructions_total", "",
+                    Labels{{"kernel", "k"}, {"kind", "scalar"}})
+            .value(),
+        12.0);
+    EXPECT_DOUBLE_EQ(
+        reg.counter("macs_sim_bank_conflict_cycles_total", "", k)
+            .value(),
+        5.0);
+    EXPECT_DOUBLE_EQ(
+        reg.counter("macs_sim_scalar_cache_total", "",
+                    Labels{{"kernel", "k"}, {"event", "hit"}})
+            .value(),
+        14.0);
+}
+
+TEST(ObsSimMetrics, RecordStallProfileByCause)
+{
+    sim::StallProfile profile;
+    profile.record(3, "ld.l x,v0", 10.0, sim::StallCause::Tailgate);
+    profile.record(3, "ld.l x,v0", 6.0, sim::StallCause::Tailgate);
+    profile.record(4, "add.d v0,v1,v2", 8.0, sim::StallCause::Chain);
+
+    Registry reg;
+    recordStallProfile(reg, profile);
+    EXPECT_DOUBLE_EQ(
+        reg.counter("macs_sim_stall_cycles_total", "",
+                    Labels{{"cause", "tailgate"}})
+            .value(),
+        16.0);
+    EXPECT_DOUBLE_EQ(
+        reg.counter("macs_sim_stall_cycles_total", "",
+                    Labels{{"cause", "chain"}})
+            .value(),
+        8.0);
+    EXPECT_DOUBLE_EQ(
+        reg.counter("macs_sim_stall_cycles_total", "",
+                    Labels{{"cause", "interlock"}})
+            .value(),
+        0.0);
+}
+
+// ------------------------------------------------------- gap metrics
+
+TEST(GapMetrics, AttributionSumsToUnmodeledChain)
+{
+    lfk::Kernel k = lfk::makeKernel(1);
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    model::KernelAnalysis a =
+        model::analyzeKernel(lfk::toKernelCase(k), cfg);
+    model::GapAttribution g = model::gapAttribution(a);
+    EXPECT_EQ(g.kernel, a.name);
+    EXPECT_DOUBLE_EQ(g.tMA, a.maBound.bound);
+    EXPECT_DOUBLE_EQ(g.tSim, a.tP);
+    // Gaps telescope: tMA + all gaps == tSim.
+    EXPECT_NEAR(g.tMA + g.compilerGap + g.scheduleGap + g.unmodeledGap,
+                g.tSim, 1e-9 * g.tSim);
+    // The hierarchy is ordered for LFK1.
+    EXPECT_LE(g.tMA, g.tMAC);
+    EXPECT_LE(g.tMAC, g.tMACS);
+    EXPECT_GT(g.chimes, 0u);
+    EXPECT_GT(g.macsCoverage(), 0.5);
+    EXPECT_LE(g.macsCoverage(), 1.0 + 1e-9);
+}
+
+TEST(GapMetrics, RecordedGaugesMatchAttribution)
+{
+    lfk::Kernel k = lfk::makeKernel(7);
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    model::KernelAnalysis a =
+        model::analyzeKernel(lfk::toKernelCase(k), cfg);
+    model::GapAttribution g = model::gapAttribution(a);
+
+    Registry reg;
+    model::recordGapMetrics(reg, a);
+    Labels base{{"kernel", a.name}, {"config", "baseline"}};
+    Labels ma = base;
+    ma.set("level", "ma");
+    Labels sim_l = base;
+    sim_l.set("level", "sim");
+    Labels unmod = base;
+    unmod.set("layer", "unmodeled");
+    EXPECT_DOUBLE_EQ(reg.gauge("macs_model_level_cpl", "", ma).value(),
+                     g.tMA);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("macs_model_level_cpl", "", sim_l).value(), g.tSim);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("macs_model_gap_cpl", "", unmod).value(),
+        g.unmodeledGap);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("macs_model_macs_coverage_ratio", "", base).value(),
+        g.macsCoverage());
+    // 4 levels + 3 gaps + coverage + chime count.
+    EXPECT_EQ(reg.seriesCount(), 9u);
+}
+
+// -------------------------------------- pipeline + batch determinism
+
+/** Gap-metrics JSON from a batch run — what `macs batch --metrics`
+ *  writes. Pure function of the analysis results. */
+std::string
+batchMetricsJson(size_t workers)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    std::vector<pipeline::BatchJob> jobs;
+    for (int id : {1, 7, 12}) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        pipeline::BatchJob job;
+        job.label = k.name;
+        job.kernel = lfk::toKernelCase(k);
+        job.config = cfg;
+        jobs.push_back(std::move(job));
+    }
+    pipeline::EngineOptions opt;
+    opt.workers = workers;
+    Registry scheduling; // keep engine metrics out of the global one
+    opt.metrics = &scheduling;
+    pipeline::BatchEngine engine(opt);
+    pipeline::BatchResult r = engine.run(jobs);
+    EXPECT_EQ(r.stats.failures, 0u);
+
+    Registry reg;
+    for (const pipeline::JobResult &jr : r.results)
+        if (jr.ok())
+            model::recordGapMetrics(reg, *jr.analysis, jr.configName,
+                                    jr.label);
+    return renderJson(reg);
+}
+
+TEST(PipelineMetrics, GapMetricsByteIdenticalAcrossWorkerCounts)
+{
+    std::string serial = batchMetricsJson(1);
+    EXPECT_FALSE(serial.empty());
+    for (size_t workers : {2u, 4u})
+        EXPECT_EQ(serial, batchMetricsJson(workers))
+            << "metrics bytes changed at " << workers << " workers";
+}
+
+TEST(PipelineMetrics, EnginePublishesSchedulingSeries)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    std::vector<pipeline::BatchJob> jobs =
+        pipeline::paperJobSet(cfg);
+    // Duplicate the set so the second half hits the memo cache.
+    std::vector<pipeline::BatchJob> twice = jobs;
+    twice.insert(twice.end(), jobs.begin(), jobs.end());
+
+    Registry reg;
+    pipeline::EngineOptions opt;
+    opt.workers = 4;
+    opt.metrics = &reg;
+    pipeline::BatchEngine engine(opt);
+    pipeline::BatchResult r = engine.run(twice);
+    ASSERT_EQ(r.stats.failures, 0u);
+
+    EXPECT_DOUBLE_EQ(
+        reg.counter("macs_pipeline_jobs_total", "",
+                    Labels{{"result", "ok"}})
+            .value(),
+        static_cast<double>(twice.size()));
+    double hits = reg.counter("macs_pipeline_cache_total", "",
+                              Labels{{"event", "hit"}})
+                      .value();
+    double misses = reg.counter("macs_pipeline_cache_total", "",
+                                Labels{{"event", "miss"}})
+                        .value();
+    EXPECT_DOUBLE_EQ(hits, static_cast<double>(jobs.size()));
+    EXPECT_DOUBLE_EQ(misses, static_cast<double>(jobs.size()));
+    EXPECT_DOUBLE_EQ(reg.gauge("macs_pipeline_workers", "").value(),
+                     4.0);
+
+    // Histograms observed one value per job / per computation.
+    static const double edges[] = {10.0,    100.0,    1000.0,
+                                   10000.0, 100000.0, 1000000.0};
+    EXPECT_EQ(
+        reg.histogram("macs_pipeline_queue_wait_us", "", edges).count(),
+        twice.size());
+    EXPECT_EQ(
+        reg.histogram("macs_pipeline_compute_us", "", edges).count(),
+        jobs.size());
+}
+
+} // namespace
+} // namespace macs::obs

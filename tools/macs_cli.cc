@@ -10,6 +10,12 @@
  *       --scalar        compile for the scalar unit
  *   macs bounds <file.s>                 MAC/MACS/MACS-D of assembly
  *   macs simulate <file.s> [--trace]     run assembly on the C-240
+ *   macs trace <kernel> [opts]           Chrome trace of one run
+ *       <kernel>        lfk1 / 7 / file.s
+ *       --chrome PATH   write Chrome trace JSON ('-' for stdout),
+ *                       self-checked against the simulator totals
+ *       --metrics PATH  write macs_sim_* metrics JSON
+ *       --variant V     machine variant (default baseline)
  *   macs batch [ids] [opts]              parallel batch analysis
  *       --workers N     worker threads (default: hardware)
  *       --variant V     machine variant (repeatable)
@@ -19,6 +25,8 @@
  *       --md PATH       write the markdown report ('-' for stdout)
  *       --timing        include scheduling-dependent stats sections
  *       --no-cache      disable memoization
+ *       --metrics PATH  write gap-attribution metrics JSON
+ *                       (byte-identical for any --workers value)
  *
  * Assembly files use the syntax of isa/parser.h; loop files use the
  * DSL of compiler/loop_parser.h.
@@ -35,9 +43,14 @@
 #include "compiler/loop_parser.h"
 #include "isa/parser.h"
 #include "lfk/kernels.h"
+#include "macs/gap_metrics.h"
 #include "macs/hierarchy.h"
 #include "macs/macsd.h"
 #include "machine/machine_config.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/sim_metrics.h"
+#include "obs/trace_export.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/report.h"
 #include "sim/simulator.h"
@@ -226,6 +239,120 @@ cmdSimulate(const std::vector<std::string> &args)
     return 0;
 }
 
+machine::MachineConfig variantConfig(const std::string &name);
+void writeReport(const std::string &path, const std::string &text);
+
+/**
+ * `macs trace <kernel>`: run one kernel with tracing + profiling and
+ * summarize where cycles went; --chrome writes the Chrome trace JSON
+ * (chrome://tracing, Perfetto) and self-checks it: the per-pipe
+ * busy-span sums recovered from the written file must equal the
+ * simulator's RunStats exactly.
+ */
+int
+cmdTrace(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        fatal("trace expects a kernel: lfk<N>, <N>, or a .s file");
+    std::string spec = args[0];
+    std::string chrome_path, metrics_path, variant = "baseline";
+    for (size_t i = 1; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            if (i + 1 >= args.size())
+                fatal(what, " expects an argument");
+            return args[++i];
+        };
+        if (a == "--chrome")
+            chrome_path = next("--chrome");
+        else if (a == "--metrics")
+            metrics_path = next("--metrics");
+        else if (a == "--variant")
+            variant = next("--variant");
+        else
+            fatal("unknown trace option '", a, "'");
+    }
+
+    // Resolve the kernel: "lfk1" / "1" name an LFK workload (with its
+    // canonical data setup); anything ending in .s is an assembly file.
+    machine::MachineConfig cfg = variantConfig(variant);
+    isa::Program prog;
+    std::string name;
+    std::function<void(sim::Simulator &)> setup;
+    if (spec.size() > 2 && spec.substr(spec.size() - 2) == ".s") {
+        prog = isa::assemble(readFile(spec));
+        name = spec;
+    } else {
+        std::string t = toLower(spec);
+        if (t.rfind("lfk", 0) == 0)
+            t = t.substr(3);
+        long id = 0;
+        if (!parseInt(t, id))
+            fatal("trace expects lfk<N>, <N>, or a .s file, got '",
+                  spec, "'");
+        lfk::Kernel k = lfk::makeKernel(static_cast<int>(id));
+        prog = k.program;
+        name = k.name;
+        setup = k.setup;
+    }
+
+    sim::SimOptions opt;
+    opt.trace = true;
+    opt.profile = true;
+    sim::Simulator s(cfg, prog, opt);
+    if (setup)
+        setup(s);
+    sim::RunStats st = s.run();
+
+    std::printf("%s on %s: %.1f cycles, %llu vector instructions\n",
+                name.c_str(), variant.c_str(), st.cycles,
+                (unsigned long long)st.vectorInstructions);
+    static const char *const pipe_names[3] = {"load/store", "add",
+                                              "multiply"};
+    for (int p = 0; p < 3; ++p)
+        std::printf("  pipe %-10s busy %10.1f cycles (%5.1f%%)\n",
+                    pipe_names[p], st.pipeBusy(p),
+                    st.cycles > 0.0
+                        ? 100.0 * st.pipeBusy(p) / st.cycles
+                        : 0.0);
+    std::printf("  refresh stalls  %10.1f cycles\n",
+                st.refreshStallCycles);
+    std::printf("  bank conflicts  %10.1f cycles\n",
+                st.bankConflictCycles);
+    if (!s.profile().empty())
+        std::printf("\nstall attribution:\n%s",
+                    s.profile().render().c_str());
+
+    if (!chrome_path.empty()) {
+        obs::TraceExportOptions topt;
+        topt.processName = "macs " + name + " (" + variant + ")";
+        std::string json =
+            obs::renderChromeTrace(s.timeline(), st, topt);
+        writeReport(chrome_path, json);
+        // Self-check the written document: re-parse and re-sum. Any
+        // deviation from the simulator's accounting is a bug.
+        obs::TraceTotals totals = obs::summarizeChromeTrace(json);
+        for (int p = 0; p < 3; ++p) {
+            if (totals.pipeBusy[p] != st.pipeBusy(p))
+                panic("trace self-check failed: pipe ", p,
+                      " busy sum ", totals.pipeBusy[p],
+                      " != simulator ", st.pipeBusy(p));
+        }
+        std::fprintf(stderr,
+                     "self-check ok: %zu spans, per-pipe busy sums "
+                     "match the simulator exactly\n",
+                     totals.streamEvents);
+    }
+    if (!metrics_path.empty()) {
+        obs::Registry reg;
+        obs::Labels labels{{"kernel", name}, {"config", variant}};
+        obs::recordRunStats(reg, st, labels);
+        obs::recordStallProfile(reg, s.profile(), labels);
+        writeReport(metrics_path, obs::renderJson(reg));
+    }
+    return 0;
+}
+
 machine::MachineConfig
 variantConfig(const std::string &name)
 {
@@ -263,7 +390,7 @@ cmdBatch(const std::vector<std::string> &args)
     std::vector<int> ids(lfk::lfkIds());
     std::vector<std::string> variants;
     std::vector<int> vls;
-    std::string json_path, md_path;
+    std::string json_path, md_path, metrics_path;
     long workers = 0, repeat = 1;
     bool timing = false, use_cache = true;
 
@@ -291,6 +418,8 @@ cmdBatch(const std::vector<std::string> &args)
             json_path = next("--json");
         } else if (a == "--md") {
             md_path = next("--md");
+        } else if (a == "--metrics") {
+            metrics_path = next("--metrics");
         } else if (a == "--timing") {
             timing = true;
         } else if (a == "--no-cache") {
@@ -341,7 +470,7 @@ cmdBatch(const std::vector<std::string> &args)
     pipeline::BatchEngine engine(opt);
     pipeline::BatchResult result = engine.run(jobs);
 
-    if (json_path.empty() && md_path.empty())
+    if (json_path.empty() && md_path.empty() && metrics_path.empty())
         md_path = "-"; // default: markdown on stdout
     if (!json_path.empty())
         writeReport(json_path,
@@ -349,6 +478,19 @@ cmdBatch(const std::vector<std::string> &args)
     if (!md_path.empty())
         writeReport(md_path,
                     pipeline::renderBatchMarkdown(result, timing));
+    if (!metrics_path.empty()) {
+        // Gap attribution as macs_model_* gauges. Recorded into a
+        // fresh registry from the analysis results only — a pure
+        // function of the job content, so the bytes are identical for
+        // any --workers value (the engine's scheduling metrics go to
+        // the global registry, not here).
+        obs::Registry reg;
+        for (const pipeline::JobResult &r : result.results)
+            if (r.ok())
+                model::recordGapMetrics(reg, *r.analysis, r.configName,
+                                        r.label);
+        writeReport(metrics_path, obs::renderJson(reg));
+    }
     std::fprintf(stderr, "%s\n",
                  pipeline::renderStatsLine(result.stats).c_str());
     return result.stats.failures == 0 ? 0 : 1;
@@ -366,10 +508,15 @@ usage()
         "  bounds <file.s>         MAC/MACS/MACS-D bounds of assembly\n"
         "  simulate <file.s>       run assembly on the simulated C-240 "
         "[--trace] [--profile]\n"
+        "  trace <kernel>          per-pipe Chrome trace of one run "
+        "(lfk1 | 7 | file.s;\n"
+        "                          --chrome PATH, --metrics PATH, "
+        "--variant V)\n"
         "  batch [ids|all] [opts]  parallel batch analysis "
         "(--workers N, --variant V, --vl N,\n"
         "                          --repeat N, --json PATH, --md PATH, "
-        "--timing, --no-cache)\n");
+        "--metrics PATH, --timing,\n"
+        "                          --no-cache)\n");
 }
 
 } // namespace
@@ -394,6 +541,8 @@ main(int argc, char **argv)
             return cmdBounds(args[0]);
         if (cmd == "simulate")
             return cmdSimulate(args);
+        if (cmd == "trace")
+            return cmdTrace(args);
         if (cmd == "batch")
             return cmdBatch(args);
     } catch (const std::exception &e) {
