@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Chaos stage (docs/ROBUSTNESS.md): run the golden batch under seeded
+# fault plans and assert that
+#   (a) the process always exits through the documented 0/1/2/3
+#       exit-code contract — never a signal/abort — and
+#   (b) every SURVIVING job's report bytes are identical to the
+#       fault-free golden (failing jobs must not perturb healthy ones).
+#
+# All plans are seeded: faultDecision() is a pure function of
+# (seed, site, job content hash), so each stage's expected exit code
+# and failure set is exactly reproducible on every run and worker
+# count.
+#
+# Usage: scripts/chaos.sh [path-to-macs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MACS=${1:-${MACS:-build/tools/macs}}
+if [[ ! -x "$MACS" ]]; then
+    echo "chaos: '$MACS' is not built (cmake --build build)" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+fail() { echo "chaos: FAIL: $*" >&2; exit 1; }
+
+# run NAME EXPECTED_RC ARGS... — run `macs batch ARGS`, capture
+# stdout/stderr, assert no signal death and the expected exit code.
+run() {
+    local name="$1" want="$2"
+    shift 2
+    local rc=0
+    "$MACS" batch "$@" >"$tmp/$name.json" 2>"$tmp/$name.err" || rc=$?
+    if (( rc >= 128 )); then
+        fail "$name: killed by signal (rc=$rc)"
+    fi
+    if (( rc != want )); then
+        sed 's/^/    /' "$tmp/$name.err" >&2
+        fail "$name: exit code $rc, expected $want"
+    fi
+    echo "chaos: $name: rc=$rc ok"
+}
+
+# split NAME — split $tmp/NAME.json into one per-job block file
+# $tmp/NAME.jobs/<label> (the lines between the job's braces).
+split() {
+    local name="$1"
+    mkdir -p "$tmp/$name.jobs"
+    awk -v dir="$tmp/$name.jobs" '
+        /^    \{$/   { blk=""; injob=1; label=""; next }
+        /^    \},?$/ { if (injob && label != "") {
+                           printf "%s", blk > (dir "/" label)
+                           close(dir "/" label) }
+                       injob=0; blk=""; next }
+        injob { blk = blk $0 "\n"
+                if ($0 ~ /"label": "/) {
+                    label = $0
+                    sub(/.*"label": "/, "", label)
+                    sub(/".*/, "", label) } }
+    ' "$tmp/$name.json"
+}
+
+# survivors NAME — labels of jobs that did NOT fail (golden labels
+# minus the error-manifest labels of run NAME).
+survivors() {
+    local name="$1"
+    local failed
+    failed=$(awk '/^  job #/ { print $3 }' "$tmp/$name.err")
+    for f in "$tmp/golden.jobs"/*; do
+        local label
+        label=$(basename "$f")
+        grep -qxF "$label" <<<"$failed" || echo "$label"
+    done
+}
+
+# assert_survivors_match NAME — every surviving job block of run NAME
+# is byte-identical to the fault-free golden block.
+assert_survivors_match() {
+    local name="$1" n=0
+    split "$name"
+    while read -r label; do
+        [[ -f "$tmp/$name.jobs/$label" ]] ||
+            fail "$name: surviving job '$label' missing from report"
+        cmp -s "$tmp/golden.jobs/$label" "$tmp/$name.jobs/$label" ||
+            fail "$name: surviving job '$label' differs from golden"
+        n=$((n + 1))
+    done < <(survivors "$name")
+    (( n > 0 )) || fail "$name: no surviving jobs to compare"
+    echo "chaos: $name: $n surviving job(s) byte-identical to golden"
+}
+
+echo "== chaos: fault-free golden =="
+run golden 0 all --json -
+split golden
+
+echo "== chaos: transient faults, no retry budget (partial failure) =="
+run noretry 2 all --json - --faults worker-exception:0.3:42 --retries 0
+grep -q "error manifest" "$tmp/noretry.err" ||
+    fail "noretry: missing error manifest on stderr"
+assert_survivors_match noretry
+
+echo "== chaos: same faults, retry budget heals the batch =="
+run retry 0 all --json - --faults worker-exception:0.3:42 --retries 3
+cmp -s "$tmp/golden.json" "$tmp/retry.json" ||
+    fail "retry: healed report differs from golden"
+echo "chaos: retry: full report byte-identical to golden"
+
+echo "== chaos: allocation failures, retried =="
+run alloc 0 all --json - --faults alloc:0.5:7 --retries 5
+cmp -s "$tmp/golden.json" "$tmp/alloc.json" ||
+    fail "alloc: healed report differs from golden"
+
+echo "== chaos: certain fault, one job (total failure) =="
+run total 3 1 --json - --faults worker-exception:1:1 --retries 0
+
+echo "== chaos: invocation error =="
+rc=0
+"$MACS" batch all --faults "bogus-site:9:x" >/dev/null 2>&1 || rc=$?
+(( rc == 1 )) || fail "invocation: exit code $rc, expected 1"
+echo "chaos: invocation: rc=1 ok"
+
+echo "== chaos: checkpoint kill/resume with a torn tail =="
+run ckpt1 0 1,2,3 --json - --checkpoint "$tmp/run.ckpt"
+size=$(wc -c <"$tmp/run.ckpt")
+truncate -s $((size - 40)) "$tmp/run.ckpt" # simulate a mid-append kill
+run ckpt2 0 all --json - --checkpoint "$tmp/run.ckpt"
+grep -q "1 torn" "$tmp/ckpt2.err" ||
+    fail "ckpt2: torn tail record not detected"
+cmp -s "$tmp/golden.json" "$tmp/ckpt2.json" ||
+    fail "ckpt2: resumed report differs from golden"
+run ckpt3 0 all --json - --checkpoint "$tmp/run.ckpt"
+grep -q "10 record(s) resumed" "$tmp/ckpt3.err" ||
+    fail "ckpt3: expected a fully resumed run"
+cmp -s "$tmp/golden.json" "$tmp/ckpt3.json" ||
+    fail "ckpt3: fully resumed report differs from golden"
+
+echo "== chaos: injected journal corruption is contained =="
+run corrupt1 0 all --json - --checkpoint "$tmp/bad.ckpt" \
+    --faults cache-corrupt:1:9
+run corrupt2 0 all --json - --checkpoint "$tmp/bad.ckpt"
+grep -q "corrupt" "$tmp/corrupt2.err" ||
+    fail "corrupt2: corrupted records not reported"
+cmp -s "$tmp/golden.json" "$tmp/corrupt2.json" ||
+    fail "corrupt2: recomputed report differs from golden"
+
+echo "chaos: all stages passed"

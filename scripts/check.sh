@@ -19,6 +19,13 @@ cmake --build build -j "$JOBS"
 echo "== tier-1: ctest -j =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+# Seeded fault plans over the golden batch: the process must exit
+# through the 0/1/2/3 contract (never abort) and surviving jobs must
+# render byte-identically to the fault-free goldens
+# (docs/ROBUSTNESS.md).
+echo "== tier-1: chaos (seeded fault plans) =="
+scripts/chaos.sh build/tools/macs
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== skipping sanitizer stages (--fast) =="
     exit 0

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <vector>
 
+#include "support/diag.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -30,12 +31,26 @@ struct Token
     Tok kind;
     std::string text;
     double value = 0.0;
+    SourceLoc loc; ///< 1-based position of the first character
+};
+
+/**
+ * Thrown inside the parser to abandon the current statement after an
+ * error was recorded; caught at the statement boundary, where the
+ * parser resynchronizes on the next source line.
+ */
+struct ParseBailout
+{
 };
 
 class Lexer
 {
   public:
-    explicit Lexer(std::string_view text) : text_(text) { advance(); }
+    Lexer(std::string_view text, Diagnostics &diags)
+        : text_(text), diags_(diags)
+    {
+        advance();
+    }
 
     const Token &peek() const { return current_; }
 
@@ -59,26 +74,41 @@ class Lexer
     Token
     expect(Tok kind, const char *what)
     {
-        if (current_.kind != kind)
-            fatal("loop DSL: expected ", what, " near '", current_.text,
-                  "'");
+        if (current_.kind != kind) {
+            diags_.error(current_.loc,
+                         detail::concat("expected ", what, " near '",
+                                        current_.text, "'"));
+            throw ParseBailout{};
+        }
         return next();
     }
 
   private:
+    SourceLoc
+    here() const
+    {
+        return {line_, pos_ - line_start_ + 1};
+    }
+
     void
     advance()
     {
         while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            if (text_[pos_] == '\n') {
+                ++line_;
+                line_start_ = pos_ + 1;
+            }
             ++pos_;
+        }
         if (pos_ >= text_.size()) {
-            current_ = {Tok::End, "<end>"};
+            current_ = {Tok::End, "<end>", 0.0, here()};
             return;
         }
         char c = text_[pos_];
+        SourceLoc loc = here();
         auto single = [&](Tok k) {
-            current_ = {k, std::string(1, c)};
+            current_ = {k, std::string(1, c), 0.0, loc};
             ++pos_;
         };
         switch (c) {
@@ -111,9 +141,11 @@ class Lexer
                 ++pos_;
             std::string num(text_.substr(start, pos_ - start));
             double v = 0;
-            if (!parseDouble(num, v))
-                fatal("loop DSL: bad number '", num, "'");
-            current_ = {Tok::Number, num, v};
+            if (!parseDouble(num, v)) {
+                diags_.error(loc, detail::concat("bad number '", num, "'"));
+                v = 0.0; // recover: pretend it was zero
+            }
+            current_ = {Tok::Number, num, v, loc};
             return;
         }
         if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
@@ -124,56 +156,109 @@ class Lexer
                     text_[pos_] == '_'))
                 ++pos_;
             current_ = {Tok::Ident,
-                        std::string(text_.substr(start, pos_ - start))};
+                        std::string(text_.substr(start, pos_ - start)),
+                        0.0, loc};
             return;
         }
-        fatal("loop DSL: unexpected character '", std::string(1, c), "'");
+        diags_.error(loc, detail::concat("unexpected character '",
+                                         std::string(1, c), "'"));
+        ++pos_; // recover: skip the offending character
+        advance();
     }
 
     std::string_view text_;
+    Diagnostics &diags_;
     size_t pos_ = 0;
-    Token current_{Tok::End, ""};
+    size_t line_ = 1;
+    size_t line_start_ = 0;
+    Token current_{Tok::End, "", 0.0, SourceLoc{}};
 };
 
 class Parser
 {
   public:
-    Parser(std::string_view text) : lex_(text) {}
+    Parser(std::string_view text, Diagnostics &diags)
+        : lex_(text, diags), diags_(diags)
+    {
+    }
 
     Loop
     parse()
     {
         Loop loop;
-        Token kw = lex_.expect(Tok::Ident, "DO");
-        if (toLower(kw.text) != "do")
-            fatal("loop DSL: loop must start with DO");
-        loop.var = lex_.expect(Tok::Ident, "loop variable").text;
-        if (lex_.peek().kind == Tok::Ident &&
-            toLower(lex_.peek().text) == "by") {
-            lex_.next();
-            bool negative = lex_.accept(Tok::Minus);
-            Token s = lex_.expect(Tok::Number, "stride");
-            loop.stride = static_cast<long>(s.value);
-            if (negative)
-                loop.stride = -loop.stride;
-            if (loop.stride == 0)
-                fatal("loop DSL: stride must be nonzero");
-        }
+        parseHeader(loop);
         var_ = loop.var;
 
-        while (!(lex_.peek().kind == Tok::Ident &&
-                 toLower(lex_.peek().text) == "end")) {
-            if (lex_.peek().kind == Tok::End)
-                fatal("loop DSL: missing END");
-            loop.stmts.push_back(parseStmt());
+        bool saw_end = false;
+        while (true) {
+            if (atKeyword("end")) {
+                lex_.next();
+                saw_end = true;
+                break;
+            }
+            if (lex_.peek().kind == Tok::End || diags_.atErrorLimit())
+                break;
+            SourceLoc stmt_loc = lex_.peek().loc;
+            try {
+                loop.stmts.push_back(parseStmt());
+            } catch (const ParseBailout &) {
+                synchronize(stmt_loc.line);
+            }
         }
-        lex_.next(); // END
-        if (loop.stmts.empty())
-            fatal("loop DSL: empty loop body");
+        if (!saw_end && !diags_.atErrorLimit())
+            diags_.error(lex_.peek().loc, "missing END");
+        if (loop.stmts.empty() && !diags_.hasErrors())
+            diags_.error(lex_.peek().loc, "empty loop body");
         return loop;
     }
 
   private:
+    bool
+    atKeyword(const char *kw) const
+    {
+        return lex_.peek().kind == Tok::Ident &&
+               toLower(lex_.peek().text) == kw;
+    }
+
+    /** "DO var [BY stride]"; on failure, recover at the next line. */
+    void
+    parseHeader(Loop &loop)
+    {
+        SourceLoc start = lex_.peek().loc;
+        try {
+            Token kw = lex_.expect(Tok::Ident, "DO");
+            if (toLower(kw.text) != "do") {
+                diags_.error(kw.loc,
+                             detail::concat("loop must start with DO, got '",
+                                            kw.text, "'"));
+                throw ParseBailout{};
+            }
+            loop.var = lex_.expect(Tok::Ident, "loop variable").text;
+            if (atKeyword("by")) {
+                lex_.next();
+                bool negative = lex_.accept(Tok::Minus);
+                Token s = lex_.expect(Tok::Number, "stride");
+                loop.stride = static_cast<long>(s.value);
+                if (negative)
+                    loop.stride = -loop.stride;
+                if (loop.stride == 0)
+                    diags_.error(s.loc, "stride must be nonzero");
+            }
+        } catch (const ParseBailout &) {
+            loop.var.clear(); // unknown; checkVar() degrades gracefully
+            synchronize(start.line);
+        }
+    }
+
+    /** Skip tokens until a line after @p line (panic-mode recovery). */
+    void
+    synchronize(size_t line)
+    {
+        while (lex_.peek().kind != Tok::End &&
+               lex_.peek().loc.line <= line && !atKeyword("end"))
+            lex_.next();
+    }
+
     Stmt
     parseStmt()
     {
@@ -205,7 +290,7 @@ class Parser
             long v = static_cast<long>(lex_.next().value);
             if (lex_.accept(Tok::Star)) {
                 Token var = lex_.expect(Tok::Ident, "loop variable");
-                checkVar(var.text);
+                checkVar(var);
                 coef = v;
             } else {
                 offset = v; // constant index (loop-invariant element)
@@ -213,7 +298,7 @@ class Parser
             }
         } else {
             Token var = lex_.expect(Tok::Ident, "loop variable");
-            checkVar(var.text);
+            checkVar(var);
             coef = 1;
         }
         if (coef != 0) {
@@ -229,11 +314,15 @@ class Parser
     }
 
     void
-    checkVar(const std::string &name)
+    checkVar(const Token &name)
     {
-        if (name != var_)
-            fatal("loop DSL: index variable '", name,
-                  "' is not the loop variable '", var_, "'");
+        // var_ is empty when the DO header itself failed to parse; in
+        // that case any index variable is accepted to avoid a cascade.
+        if (!var_.empty() && name.text != var_)
+            diags_.error(name.loc,
+                         detail::concat("index variable '", name.text,
+                                        "' is not the loop variable '",
+                                        var_, "'"));
     }
 
     ExprPtr
@@ -291,16 +380,27 @@ class Parser
     }
 
     Lexer lex_;
+    Diagnostics &diags_;
     std::string var_;
 };
 
 } // namespace
 
 Loop
+parseLoop(std::string_view text, Diagnostics &diags)
+{
+    Parser p(text, diags);
+    return p.parse();
+}
+
+Loop
 parseLoop(std::string_view text)
 {
-    Parser p(text);
-    return p.parse();
+    Diagnostics diags;
+    diags.setSource(text, "<loop>");
+    Loop loop = parseLoop(text, diags);
+    diags.throwIfErrors();
+    return loop;
 }
 
 } // namespace macs::compiler

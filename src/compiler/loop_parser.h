@@ -24,10 +24,24 @@
 #include <string_view>
 
 #include "compiler/ast.h"
+#include "support/diag.h"
 
 namespace macs::compiler {
 
-/** Parse DSL text into a Loop; fatal() on syntax errors. */
+/**
+ * Parse DSL text into a Loop, recovering at statement boundaries:
+ * every syntax error is recorded in @p diags with line/column and a
+ * source snippet (call diags.setSource() first to enable snippets),
+ * and parsing continues on the next line. The returned Loop is
+ * partial when diags.hasErrors(); callers must check before use.
+ */
+Loop parseLoop(std::string_view text, Diagnostics &diags);
+
+/**
+ * Convenience wrapper: parse and throw DiagnosticError (a FatalError
+ * carrying ALL collected errors, not just the first) on any syntax
+ * error.
+ */
 Loop parseLoop(std::string_view text);
 
 } // namespace macs::compiler

@@ -1,0 +1,282 @@
+#include "faults/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+#include "support/hash.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::faults {
+
+namespace {
+
+constexpr const char *kSiteNames[kSiteCount] = {
+    "alloc", "worker-exception", "compute-delay", "cache-corrupt",
+    "io-write-fail",
+};
+
+/** splitmix64: high-quality 64-bit mix (Steele et al.). */
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+siteName(Site site)
+{
+    return kSiteNames[static_cast<size_t>(site)];
+}
+
+std::optional<Site>
+siteFromName(std::string_view name)
+{
+    for (size_t i = 0; i < kSiteCount; ++i)
+        if (name == kSiteNames[i])
+            return static_cast<Site>(i);
+    return std::nullopt;
+}
+
+bool
+faultDecision(uint64_t seed, Site site, uint64_t key, double prob)
+{
+    if (prob <= 0.0)
+        return false;
+    if (prob >= 1.0)
+        return true;
+    uint64_t mixed =
+        splitmix64(seed ^ fnv1a64(siteName(site)) ^ key);
+    // Top 53 bits -> uniform double in [0, 1).
+    double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+    return u < prob;
+}
+
+FaultPlan
+FaultPlan::parse(std::string_view text, Diagnostics &diags)
+{
+    FaultPlan plan;
+    for (const std::string &entry : split(text, ',')) {
+        auto fields = split(entry, ':', /*trim=*/true, /*keep_empty=*/true);
+        if (fields.size() < 3 || fields.size() > 4) {
+            diags.error(detail::concat(
+                "fault spec '", entry,
+                "' must be site:prob:seed[:param] (",
+                fields.size(), " field(s) given)"));
+            continue;
+        }
+        SiteSpec spec;
+        auto site = siteFromName(fields[0]);
+        if (!site) {
+            std::string known;
+            for (size_t i = 0; i < kSiteCount; ++i)
+                known += detail::concat(i ? ", " : "", kSiteNames[i]);
+            diags.error(detail::concat("unknown fault site '", fields[0],
+                                       "' (known sites: ", known, ")"));
+            continue;
+        }
+        spec.site = *site;
+        double prob = 0.0;
+        if (!parseDouble(fields[1], prob) || prob < 0.0 || prob > 1.0) {
+            diags.error(detail::concat("fault probability '", fields[1],
+                                       "' of site '", fields[0],
+                                       "' must be a number in [0, 1]"));
+            continue;
+        }
+        spec.probability = prob;
+        long seed = 0;
+        if (!parseInt(fields[2], seed) || seed < 0) {
+            diags.error(detail::concat("fault seed '", fields[2],
+                                       "' of site '", fields[0],
+                                       "' must be a non-negative integer"));
+            continue;
+        }
+        spec.seed = static_cast<uint64_t>(seed);
+        if (fields.size() == 4) {
+            double param = 0.0;
+            if (!parseDouble(fields[3], param) || param < 0.0) {
+                diags.error(detail::concat(
+                    "fault param '", fields[3], "' of site '", fields[0],
+                    "' must be a non-negative number"));
+                continue;
+            }
+            spec.param = param;
+        }
+        plan.add(spec);
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::parse(std::string_view text)
+{
+    Diagnostics diags("MACS_FAULTS");
+    FaultPlan plan = parse(text, diags);
+    diags.throwIfErrors();
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    const char *env = std::getenv("MACS_FAULTS");
+    if (env == nullptr || *env == '\0')
+        return {};
+    return parse(env);
+}
+
+void
+FaultPlan::add(const SiteSpec &spec)
+{
+    size_t i = static_cast<size_t>(spec.site);
+    if (!present_[i])
+        ++active_;
+    present_[i] = true;
+    specs_[i] = spec;
+}
+
+const SiteSpec *
+FaultPlan::spec(Site site) const
+{
+    size_t i = static_cast<size_t>(site);
+    return present_[i] ? &specs_[i] : nullptr;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::string out;
+    for (size_t i = 0; i < kSiteCount; ++i) {
+        if (!present_[i])
+            continue;
+        if (!out.empty())
+            out += ',';
+        out += format("%s:%g:%llu", kSiteNames[i], specs_[i].probability,
+                      static_cast<unsigned long long>(specs_[i].seed));
+        if (specs_[i].param != 0.0)
+            out += format(":%g", specs_[i].param);
+    }
+    return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::Registry *metrics)
+    : plan_(std::move(plan)), metrics_(metrics)
+{
+}
+
+bool
+FaultInjector::shouldFire(Site site, uint64_t key) const
+{
+    const SiteSpec *spec = plan_.spec(site);
+    if (spec == nullptr)
+        return false;
+
+    size_t i = static_cast<size_t>(site);
+    obs::Registry &reg =
+        metrics_ != nullptr ? *metrics_ : obs::Registry::global();
+    obs::Counter *evaluated =
+        evaluated_[i].load(std::memory_order_acquire);
+    if (evaluated == nullptr) {
+        // Registry references are stable for its lifetime, and
+        // counter() returns the same object for the same series, so a
+        // racing initialization stores an identical pointer.
+        evaluated = &reg.counter("macs_faults_evaluated_total",
+                                 "Fault-site evaluations by site",
+                                 obs::Labels{{"site", siteName(site)}});
+        evaluated_[i].store(evaluated, std::memory_order_release);
+    }
+    evaluated->inc();
+
+    if (!faultDecision(spec->seed, site, key, spec->probability))
+        return false;
+
+    obs::Counter *fired = fired_[i].load(std::memory_order_acquire);
+    if (fired == nullptr) {
+        fired = &reg.counter("macs_faults_fired_total",
+                             "Injected faults fired by site",
+                             obs::Labels{{"site", siteName(site)}});
+        fired_[i].store(fired, std::memory_order_release);
+    }
+    fired->inc();
+    return true;
+}
+
+bool
+FaultInjector::shouldFire(Site site) const
+{
+    uint64_t n = sequence_[static_cast<size_t>(site)].fetch_add(
+        1, std::memory_order_relaxed);
+    return shouldFire(site, n);
+}
+
+double
+FaultInjector::param(Site site, double fallback) const
+{
+    const SiteSpec *spec = plan_.spec(site);
+    return (spec != nullptr && spec->param > 0.0) ? spec->param
+                                                  : fallback;
+}
+
+void
+FaultInjector::maybeFailAlloc(uint64_t key) const
+{
+    if (shouldFire(Site::AllocFail, key))
+        throw std::bad_alloc();
+}
+
+void
+FaultInjector::maybeThrowWorker(uint64_t key, std::string_view what) const
+{
+    if (shouldFire(Site::WorkerException, key))
+        throw TransientFault(
+            detail::concat("injected worker exception (", what, ")"));
+}
+
+void
+FaultInjector::maybeDelay(uint64_t key,
+                          const std::atomic<bool> *cancel) const
+{
+    if (!shouldFire(Site::ComputeDelay, key))
+        return;
+    double delay_ms = param(Site::ComputeDelay, 50.0);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double, std::milli>(delay_ms);
+    // Sleep in 1 ms slices so a cancelled (deadline-expired) worker
+    // can be joined promptly instead of sleeping out the full delay.
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (cancel != nullptr &&
+            cancel->load(std::memory_order_acquire))
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+bool
+FaultInjector::shouldCorruptRecord(uint64_t key) const
+{
+    return shouldFire(Site::CacheCorrupt, key);
+}
+
+void
+FaultInjector::maybeFailWrite(uint64_t key, std::string_view path) const
+{
+    if (shouldFire(Site::IoWriteFail, key))
+        throw IoError(
+            detail::concat("injected I/O write failure ('", path, "')"));
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector injector(FaultPlan::fromEnv());
+    return injector;
+}
+
+} // namespace macs::faults

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Deterministic fault injection (docs/ROBUSTNESS.md).
+ *
+ * Robustness claims are only testable if failure can be manufactured
+ * on demand, reproducibly. This subsystem provides seeded, named
+ * injection sites that the production code paths consult at the
+ * places where real faults would strike:
+ *
+ *   alloc             allocation failure (std::bad_alloc) in a worker
+ *   worker-exception  exception thrown mid-analyzeKernel (transient)
+ *   compute-delay     artificial compute delay (exercises deadlines)
+ *   cache-corrupt     corrupted checkpoint-journal record on write
+ *   io-write-fail     I/O write failure (journal / report output)
+ *
+ * A FaultPlan is a set of (site, probability, seed[, param]) specs,
+ * configured programmatically or via the environment:
+ *
+ *   MACS_FAULTS=site:prob:seed[:param][,site:prob:seed[:param]...]
+ *   e.g. MACS_FAULTS=worker-exception:0.3:42,compute-delay:1:7:50
+ *
+ * DETERMINISM: the decision for a (site, key) pair is a pure function
+ * of (seed, site, key) — no global RNG state, no ordering dependence.
+ * The same plan applied to the same keyed call sites fires the exact
+ * same faults on every run, with any worker count. The engine derives
+ * keys from cache-key content hashes plus the attempt number, so
+ * "30% of jobs" is a reproducible 30%, and a retry of the same job is
+ * an independent draw.
+ *
+ * Every evaluation and every fired fault is counted in an
+ * obs::Registry (macs_faults_evaluated_total / macs_faults_fired_total
+ * by site), so chaos runs are observable.
+ */
+
+#ifndef MACS_FAULTS_FAULT_INJECTION_H
+#define MACS_FAULTS_FAULT_INJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/diag.h"
+
+namespace macs::faults {
+
+/** Named injection sites. */
+enum class Site : uint8_t
+{
+    AllocFail,       ///< "alloc"
+    WorkerException, ///< "worker-exception"
+    ComputeDelay,    ///< "compute-delay"
+    CacheCorrupt,    ///< "cache-corrupt"
+    IoWriteFail,     ///< "io-write-fail"
+};
+
+inline constexpr size_t kSiteCount = 5;
+
+/** Canonical site name (the MACS_FAULTS grammar spelling). */
+const char *siteName(Site site);
+
+/** Reverse lookup; nullopt for unknown names. */
+std::optional<Site> siteFromName(std::string_view name);
+
+/**
+ * Thrown by an injected worker exception AND used to classify real
+ * recoverable conditions: the batch engine retries jobs that fail
+ * with a TransientFault (bounded, with exponential backoff).
+ */
+class TransientFault : public std::runtime_error
+{
+  public:
+    explicit TransientFault(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** An I/O failure (real or injected); also classified transient. */
+class IoError : public std::runtime_error
+{
+  public:
+    explicit IoError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** One (site, probability, seed[, param]) injection spec. */
+struct SiteSpec
+{
+    Site site = Site::WorkerException;
+    double probability = 0.0; ///< in [0, 1]
+    uint64_t seed = 0;
+    /** Site parameter: delay in ms for compute-delay (default 50). */
+    double param = 0.0;
+};
+
+/** A parsed set of injection specs (at most one per site). */
+class FaultPlan
+{
+  public:
+    /**
+     * Parse the MACS_FAULTS grammar. Malformed entries are reported
+     * to @p diags (every error, with the offending field named) and
+     * skipped; well-formed entries still take effect.
+     */
+    static FaultPlan parse(std::string_view text, Diagnostics &diags);
+
+    /** Parse or throw DiagnosticError with all errors. */
+    static FaultPlan parse(std::string_view text);
+
+    /**
+     * Build from the MACS_FAULTS environment variable; empty plan when
+     * unset. Throws DiagnosticError on a malformed specification.
+     */
+    static FaultPlan fromEnv();
+
+    /** Add/replace the spec of @p spec.site. */
+    void add(const SiteSpec &spec);
+
+    const SiteSpec *spec(Site site) const;
+    bool empty() const { return active_ == 0; }
+
+    /** Canonical text form (round-trips through parse()). */
+    std::string describe() const;
+
+  private:
+    SiteSpec specs_[kSiteCount] = {};
+    bool present_[kSiteCount] = {};
+    size_t active_ = 0;
+};
+
+/**
+ * Evaluates a FaultPlan at keyed call sites and publishes counters.
+ * Thread-safe; all decision state is immutable after construction
+ * except the per-site sequence counters and the atomic metric
+ * pointers, which are plain atomics.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan     sites to inject; an empty plan never fires.
+     * @param metrics  registry for macs_faults_* counters; nullptr
+     *                 means obs::Registry::global().
+     */
+    explicit FaultInjector(FaultPlan plan = {},
+                           obs::Registry *metrics = nullptr);
+
+    /**
+     * Deterministic keyed decision: a pure function of
+     * (site seed, site, key). Also bumps the evaluated/fired counters.
+     */
+    bool shouldFire(Site site, uint64_t key) const;
+
+    /**
+     * Sequence-keyed convenience: uses a per-site atomic counter as
+     * the key, so the n-th evaluation of a site is deterministic in a
+     * single-threaded sequence (tests), but scheduling-dependent when
+     * called from several threads.
+     */
+    bool shouldFire(Site site) const;
+
+    /** The spec param of @p site, or @p fallback when absent/zero. */
+    double param(Site site, double fallback) const;
+
+    /** Injection hooks used by the hardened code paths. @{ */
+    /** Throw std::bad_alloc when the alloc site fires for @p key. */
+    void maybeFailAlloc(uint64_t key) const;
+    /** Throw TransientFault when worker-exception fires for @p key. */
+    void maybeThrowWorker(uint64_t key, std::string_view what) const;
+    /**
+     * Sleep for the site param (ms, default 50) in 1 ms slices when
+     * compute-delay fires for @p key; returns early when @p cancel
+     * (may be nullptr) becomes true, so deadline-expired workers can
+     * be reaped promptly.
+     */
+    void maybeDelay(uint64_t key,
+                    const std::atomic<bool> *cancel = nullptr) const;
+    /** True when the cache-corrupt site fires for @p key. */
+    bool shouldCorruptRecord(uint64_t key) const;
+    /** Throw IoError when io-write-fail fires for @p key. */
+    void maybeFailWrite(uint64_t key, std::string_view path) const;
+    /** @} */
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /**
+     * The process-wide injector, built from MACS_FAULTS on first use
+     * (counters go to obs::Registry::global()). A malformed MACS_FAULTS
+     * value throws DiagnosticError from the first access.
+     */
+    static FaultInjector &global();
+
+  private:
+    FaultPlan plan_;
+    obs::Registry *metrics_;
+    // Lazily created stable counter refs; nullptr until first use.
+    mutable std::atomic<obs::Counter *> evaluated_[kSiteCount] = {};
+    mutable std::atomic<obs::Counter *> fired_[kSiteCount] = {};
+    mutable std::atomic<uint64_t> sequence_[kSiteCount] = {};
+};
+
+/**
+ * The pure decision function behind shouldFire() (exposed so tests
+ * can predict and cross-check injection patterns): splitmix64 over
+ * (seed ^ site-name hash ^ key), mapped to [0, 1), compared to prob.
+ */
+bool faultDecision(uint64_t seed, Site site, uint64_t key, double prob);
+
+} // namespace macs::faults
+
+#endif // MACS_FAULTS_FAULT_INJECTION_H

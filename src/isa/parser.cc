@@ -98,11 +98,20 @@ splitOperands(std::string_view s)
     return out;
 }
 
-[[noreturn]] void
-syntaxError(size_t line_no, std::string_view line, const std::string &why)
+/**
+ * Thrown when the current line cannot be assembled; caught by the
+ * per-line loop in assemble(), which records a diagnostic and
+ * resumes with the next line (instruction-boundary recovery).
+ */
+struct AsmLineError
 {
-    fatal("assembly syntax error on line ", line_no, ": ", why, "\n  ",
-          std::string(trim(line)));
+    std::string why;
+};
+
+[[noreturn]] void
+syntaxError(size_t, std::string_view, const std::string &why)
+{
+    throw AsmLineError{why};
 }
 
 /** Map paper-style aliases onto canonical mnemonics. */
@@ -206,13 +215,13 @@ parseMemRef(std::string_view text, MemRef &out)
 }
 
 Program
-assemble(std::string_view text)
+assemble(std::string_view text, Diagnostics &diags)
 {
     Program prog;
     size_t line_no = 0;
     size_t start = 0;
 
-    while (start <= text.size()) {
+    while (start <= text.size() && !diags.atErrorLimit()) {
         size_t eol = text.find('\n', start);
         std::string_view raw = (eol == std::string_view::npos)
                                    ? text.substr(start)
@@ -220,6 +229,7 @@ assemble(std::string_view text)
         start = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
         ++line_no;
 
+        try {
         // Strip comment.
         std::string_view line = raw;
         size_t semi = line.find(';');
@@ -520,9 +530,33 @@ assemble(std::string_view text)
         }
 
         prog.append(std::move(instr));
+        } catch (const AsmLineError &e) {
+            // Skip the malformed line, keep assembling: report every
+            // error, not just the first.
+            diags.error({line_no, 0}, e.why);
+        } catch (const FatalError &e) {
+            // Duplicate labels / data declarations (Program throws).
+            diags.error({line_no, 0}, e.what());
+        }
     }
 
-    prog.validate();
+    if (!diags.hasErrors()) {
+        try {
+            prog.validate();
+        } catch (const FatalError &e) {
+            diags.error(e.what());
+        }
+    }
+    return prog;
+}
+
+Program
+assemble(std::string_view text)
+{
+    Diagnostics diags;
+    diags.setSource(text, "<asm>");
+    Program prog = assemble(text, diags);
+    diags.throwIfErrors();
     return prog;
 }
 

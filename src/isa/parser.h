@@ -27,14 +27,23 @@
 #include <string_view>
 
 #include "isa/program.h"
+#include "support/diag.h"
 
 namespace macs::isa {
 
 /**
- * Assemble @p text into a Program.
- *
- * fatal() with a line-numbered message on the first syntax error. The
- * returned program has been validate()d.
+ * Assemble @p text into a Program, recovering at instruction (line)
+ * boundaries: every syntax error is recorded in @p diags with its
+ * line number and source snippet, the offending line is skipped, and
+ * assembly continues. The returned program is partial (and NOT
+ * validate()d) when diags.hasErrors(); callers must check.
+ */
+Program assemble(std::string_view text, Diagnostics &diags);
+
+/**
+ * Convenience wrapper: assemble and throw DiagnosticError (a
+ * FatalError carrying ALL collected errors, not just the first) on
+ * any syntax error. The returned program has been validate()d.
  */
 Program assemble(std::string_view text);
 

@@ -18,6 +18,15 @@ AnalysisCache::claim(const CacheKey &key)
     return {std::move(future), std::move(promise)};
 }
 
+bool
+AnalysisCache::seed(const CacheKey &key, Value value)
+{
+    std::promise<Value> ready;
+    ready.set_value(std::move(value));
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.emplace(key, ready.get_future().share()).second;
+}
+
 size_t
 AnalysisCache::size() const
 {

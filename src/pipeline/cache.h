@@ -52,6 +52,14 @@ class AnalysisCache
      */
     Claim claim(const CacheKey &key);
 
+    /**
+     * Pre-populate @p key with an already computed @p value (checkpoint
+     * resume): later claims become hits. Does not bump the hit/miss
+     * counters itself. @retval false when the key was already present
+     * (the existing entry wins).
+     */
+    bool seed(const CacheKey &key, Value value);
+
     /** Lifetime hit/miss counters (hits = non-owner claims). @{ */
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }

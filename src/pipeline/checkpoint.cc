@@ -1,0 +1,497 @@
+#include "pipeline/checkpoint.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <vector>
+
+#include "support/hash.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::pipeline {
+
+namespace {
+
+constexpr std::string_view kMagic = "MACSCKPT1 ";
+constexpr std::string_view kFormatTag = "macs-analysis-v1";
+
+/** Strict base-10 uint64 parse (full consumption, no sign). */
+bool
+parseU64(std::string_view s, uint64_t &out)
+{
+    if (s.empty() || s.size() >= 24 || s[0] < '0' || s[0] > '9')
+        return false;
+    char buf[24];
+    std::memcpy(buf, s.data(), s.size());
+    buf[s.size()] = '\0';
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(buf, &end, 10);
+    if (end != buf + s.size() || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+/** Strict base-16 uint64 parse (full consumption, no 0x prefix). */
+bool
+parseHex64(std::string_view s, uint64_t &out)
+{
+    if (s.empty() || s.size() > 16)
+        return false;
+    uint64_t v = 0;
+    for (char c : s) {
+        int d;
+        if (c >= '0' && c <= '9')
+            d = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            d = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            d = c - 'A' + 10;
+        else
+            return false;
+        v = (v << 4) | static_cast<uint64_t>(d);
+    }
+    out = v;
+    return true;
+}
+
+void
+appendMacsResult(std::string &out, const model::MacsResult &m)
+{
+    out += format("macsresult %.17g %.17g %.17g %d %zu %zu\n", m.cpl,
+                  m.rawCycles, m.cycles, m.vectorLength,
+                  m.chimeCycles.size(), m.chimes.size());
+    out += "chimecycles";
+    for (double c : m.chimeCycles)
+        out += format(" %.17g", c);
+    out += '\n';
+    for (const model::Chime &ch : m.chimes) {
+        out += format("chime %d %d %d %d %zu", ch.hasMemoryOp ? 1 : 0,
+                      ch.usesPipe[0] ? 1 : 0, ch.usesPipe[1] ? 1 : 0,
+                      ch.usesPipe[2] ? 1 : 0, ch.instrs.size());
+        for (size_t i : ch.instrs)
+            out += format(" %zu", i);
+        out += '\n';
+    }
+}
+
+void
+appendRunStats(std::string &out, const sim::RunStats &s)
+{
+    out += format(
+        "runstats %.17g %llu %llu %llu %llu %llu %llu %llu %llu %llu "
+        "%llu %.17g %.17g %.17g %.17g %.17g\n",
+        s.cycles, static_cast<unsigned long long>(s.instructions),
+        static_cast<unsigned long long>(s.vectorInstructions),
+        static_cast<unsigned long long>(s.scalarInstructions),
+        static_cast<unsigned long long>(s.branchesTaken),
+        static_cast<unsigned long long>(s.vectorElements),
+        static_cast<unsigned long long>(s.flops),
+        static_cast<unsigned long long>(s.memoryElements),
+        static_cast<unsigned long long>(s.scalarMemAccesses),
+        static_cast<unsigned long long>(s.scalarCacheHits),
+        static_cast<unsigned long long>(s.scalarCacheMisses),
+        s.refreshStallCycles, s.bankConflictCycles, s.loadStorePipeBusy,
+        s.addPipeBusy, s.multiplyPipeBusy);
+}
+
+/** Line cursor over the payload text. */
+struct LineReader
+{
+    std::string_view text;
+    size_t pos = 0;
+
+    bool next(std::string_view &line)
+    {
+        if (pos >= text.size())
+            return false;
+        size_t e = text.find('\n', pos);
+        if (e == std::string_view::npos) {
+            line = text.substr(pos);
+            pos = text.size();
+        } else {
+            line = text.substr(pos, e - pos);
+            pos = e + 1;
+        }
+        return true;
+    }
+};
+
+/**
+ * Read the next line, check its first field is @p keyword, and return
+ * the remaining whitespace-separated fields.
+ */
+bool
+fields(LineReader &r, std::string_view keyword,
+       std::vector<std::string> &out)
+{
+    std::string_view line;
+    if (!r.next(line))
+        return false;
+    out = splitWhitespace(line);
+    if (out.empty() || out.front() != keyword)
+        return false;
+    out.erase(out.begin());
+    return true;
+}
+
+bool
+parseIntField(const std::string &s, int &out)
+{
+    long v = 0;
+    if (!parseInt(s, v))
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+readMacsResult(LineReader &r, model::MacsResult &m)
+{
+    std::vector<std::string> f;
+    if (!fields(r, "macsresult", f) || f.size() != 6)
+        return false;
+    uint64_t n_cycles = 0, n_chimes = 0;
+    if (!parseDouble(f[0], m.cpl) || !parseDouble(f[1], m.rawCycles) ||
+        !parseDouble(f[2], m.cycles) ||
+        !parseIntField(f[3], m.vectorLength) ||
+        !parseU64(f[4], n_cycles) || !parseU64(f[5], n_chimes))
+        return false;
+    if (n_cycles > 1u << 20 || n_chimes > 1u << 20)
+        return false; // implausible; refuse huge allocations
+    if (!fields(r, "chimecycles", f) || f.size() != n_cycles)
+        return false;
+    m.chimeCycles.resize(n_cycles);
+    for (size_t i = 0; i < n_cycles; ++i)
+        if (!parseDouble(f[i], m.chimeCycles[i]))
+            return false;
+    m.chimes.resize(n_chimes);
+    for (model::Chime &ch : m.chimes) {
+        if (!fields(r, "chime", f) || f.size() < 5)
+            return false;
+        int mem = 0, p0 = 0, p1 = 0, p2 = 0;
+        uint64_t n = 0;
+        if (!parseIntField(f[0], mem) || !parseIntField(f[1], p0) ||
+            !parseIntField(f[2], p1) || !parseIntField(f[3], p2) ||
+            !parseU64(f[4], n) || f.size() != 5 + n)
+            return false;
+        ch.hasMemoryOp = mem != 0;
+        ch.usesPipe[0] = p0 != 0;
+        ch.usesPipe[1] = p1 != 0;
+        ch.usesPipe[2] = p2 != 0;
+        ch.instrs.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t idx = 0;
+            if (!parseU64(f[5 + i], idx))
+                return false;
+            ch.instrs[i] = static_cast<size_t>(idx);
+        }
+    }
+    return true;
+}
+
+bool
+readRunStats(LineReader &r, sim::RunStats &s)
+{
+    std::vector<std::string> f;
+    if (!fields(r, "runstats", f) || f.size() != 16)
+        return false;
+    uint64_t u[10];
+    for (size_t i = 0; i < 10; ++i)
+        if (!parseU64(f[1 + i], u[i]))
+            return false;
+    if (!parseDouble(f[0], s.cycles) ||
+        !parseDouble(f[11], s.refreshStallCycles) ||
+        !parseDouble(f[12], s.bankConflictCycles) ||
+        !parseDouble(f[13], s.loadStorePipeBusy) ||
+        !parseDouble(f[14], s.addPipeBusy) ||
+        !parseDouble(f[15], s.multiplyPipeBusy))
+        return false;
+    s.instructions = u[0];
+    s.vectorInstructions = u[1];
+    s.scalarInstructions = u[2];
+    s.branchesTaken = u[3];
+    s.vectorElements = u[4];
+    s.flops = u[5];
+    s.memoryElements = u[6];
+    s.scalarMemAccesses = u[7];
+    s.scalarCacheHits = u[8];
+    s.scalarCacheMisses = u[9];
+    return true;
+}
+
+bool
+readCounts(LineReader &r, std::string_view keyword,
+           model::WorkloadCounts &c)
+{
+    std::vector<std::string> f;
+    return fields(r, keyword, f) && f.size() == 4 &&
+           parseIntField(f[0], c.fAdd) && parseIntField(f[1], c.fMul) &&
+           parseIntField(f[2], c.loads) && parseIntField(f[3], c.stores);
+}
+
+bool
+readBound(LineReader &r, std::string_view keyword, model::PipeBound &b)
+{
+    std::vector<std::string> f;
+    return fields(r, keyword, f) && f.size() == 3 &&
+           parseDouble(f[0], b.tF) && parseDouble(f[1], b.tM) &&
+           parseDouble(f[2], b.bound);
+}
+
+} // namespace
+
+std::string
+serializeAnalysis(const model::KernelAnalysis &a)
+{
+    std::string out;
+    out += kFormatTag;
+    out += '\n';
+    out += "name ";
+    out += a.name;
+    out += '\n';
+    out += format("ma %d %d %d %d\n", a.ma.fAdd, a.ma.fMul, a.ma.loads,
+                  a.ma.stores);
+    out += format("mac %d %d %d %d\n", a.mac.fAdd, a.mac.fMul,
+                  a.mac.loads, a.mac.stores);
+    out += format("mabound %.17g %.17g %.17g\n", a.maBound.tF,
+                  a.maBound.tM, a.maBound.bound);
+    out += format("macbound %.17g %.17g %.17g\n", a.macBound.tF,
+                  a.macBound.tM, a.macBound.bound);
+    appendMacsResult(out, a.macs);
+    appendMacsResult(out, a.macsFOnly);
+    appendMacsResult(out, a.macsMOnly);
+    out += format("t %.17g %.17g %.17g\n", a.tP, a.tA, a.tX);
+    appendRunStats(out, a.fullStats);
+    appendRunStats(out, a.aStats);
+    appendRunStats(out, a.xStats);
+    out += format("meta %d %ld\n", a.sourceFlopsPerPoint, a.points);
+    return out;
+}
+
+bool
+deserializeAnalysis(std::string_view text, model::KernelAnalysis &out)
+{
+    model::KernelAnalysis a;
+    LineReader r{text};
+    std::string_view line;
+    if (!r.next(line) || line != kFormatTag)
+        return false;
+    if (!r.next(line) || !startsWith(line, "name "))
+        return false;
+    a.name = std::string(line.substr(5));
+    if (!readCounts(r, "ma", a.ma) || !readCounts(r, "mac", a.mac) ||
+        !readBound(r, "mabound", a.maBound) ||
+        !readBound(r, "macbound", a.macBound) ||
+        !readMacsResult(r, a.macs) || !readMacsResult(r, a.macsFOnly) ||
+        !readMacsResult(r, a.macsMOnly))
+        return false;
+    std::vector<std::string> f;
+    if (!fields(r, "t", f) || f.size() != 3 ||
+        !parseDouble(f[0], a.tP) || !parseDouble(f[1], a.tA) ||
+        !parseDouble(f[2], a.tX))
+        return false;
+    if (!readRunStats(r, a.fullStats) || !readRunStats(r, a.aStats) ||
+        !readRunStats(r, a.xStats))
+        return false;
+    if (!fields(r, "meta", f) || f.size() != 2 ||
+        !parseIntField(f[0], a.sourceFlopsPerPoint))
+        return false;
+    long points = 0;
+    if (!parseInt(f[1], points))
+        return false;
+    a.points = points;
+    if (r.pos != text.size())
+        return false; // trailing garbage
+    out = std::move(a);
+    return true;
+}
+
+CheckpointJournal::CheckpointJournal(std::string path,
+                                     obs::Registry *metrics,
+                                     const faults::FaultInjector *faults)
+    : path_(std::move(path)), metrics_(metrics), faults_(faults)
+{
+}
+
+obs::Registry &
+CheckpointJournal::registry() const
+{
+    return metrics_ != nullptr ? *metrics_ : obs::Registry::global();
+}
+
+void
+CheckpointJournal::count(const char *event, double n) const
+{
+    registry()
+        .counter("macs_checkpoint_records_total",
+                 "Checkpoint-journal records by event",
+                 obs::Labels{{"event", event}})
+        .inc(n);
+}
+
+CheckpointJournal::LoadStats
+CheckpointJournal::open()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    loadStats_ = {};
+
+    std::string data;
+    {
+        std::ifstream in(path_, std::ios::binary);
+        if (in) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            data = ss.str();
+        }
+    }
+
+    size_t pos = data.find(kMagic);
+    if (!data.empty() && pos != 0) {
+        // Leading garbage before the first record (or no record at
+        // all): the file is damaged but later records may survive.
+        ++loadStats_.corrupt;
+    }
+    while (pos != std::string::npos) {
+        size_t line_end = data.find('\n', pos);
+        if (line_end == std::string::npos) {
+            // Header cut off mid-line: the torn tail of a killed run.
+            ++loadStats_.torn;
+            break;
+        }
+        std::vector<std::string> f = splitWhitespace(
+            std::string_view(data).substr(pos, line_end - pos));
+        CacheKey key;
+        uint64_t len = 0, hash = 0;
+        if (f.size() != 6 || !parseHex64(f[1], key.program) ||
+            !parseHex64(f[2], key.machine) ||
+            !parseHex64(f[3], key.options) || !parseU64(f[4], len) ||
+            !parseHex64(f[5], hash)) {
+            ++loadStats_.corrupt;
+            pos = data.find(kMagic, pos + kMagic.size());
+            continue;
+        }
+        size_t payload_start = line_end + 1;
+        if (payload_start + len > data.size()) {
+            // The kill happened mid-append: payload runs past EOF.
+            ++loadStats_.torn;
+            break;
+        }
+        std::string_view payload =
+            std::string_view(data).substr(payload_start, len);
+        model::KernelAnalysis analysis;
+        if (fnv1a64(payload) != hash ||
+            !deserializeAnalysis(payload, analysis)) {
+            ++loadStats_.corrupt;
+            // Resync on the next record magic; the length field of a
+            // corrupt record cannot be trusted, so rescan from the
+            // payload start rather than skipping over it.
+            pos = data.find(kMagic, payload_start);
+            continue;
+        }
+        entries_[key] =
+            std::make_shared<model::KernelAnalysis>(std::move(analysis));
+        ++loadStats_.loaded;
+        pos = payload_start + len;
+        if (pos < data.size() && data[pos] == '\n')
+            ++pos;
+        pos = data.find(kMagic, pos);
+    }
+
+    if (loadStats_.loaded > 0)
+        count("loaded", static_cast<double>(loadStats_.loaded));
+    if (loadStats_.corrupt > 0) {
+        count("corrupt", static_cast<double>(loadStats_.corrupt));
+        warn("checkpoint '", path_, "': skipped ", loadStats_.corrupt,
+             " corrupt record(s)");
+    }
+    if (loadStats_.torn > 0) {
+        count("torn", static_cast<double>(loadStats_.torn));
+        warn("checkpoint '", path_, "': skipped ", loadStats_.torn,
+             " torn record(s) at the tail");
+    }
+
+    out_.open(path_, std::ios::binary | std::ios::app);
+    if (!out_)
+        throw faults::IoError(detail::concat(
+            "cannot open checkpoint journal '", path_,
+            "' for append: ", std::strerror(errno)));
+    return loadStats_;
+}
+
+AnalysisCache::Value
+CheckpointJournal::lookup(const CacheKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    return it != entries_.end() ? it->second : nullptr;
+}
+
+size_t
+CheckpointJournal::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+CheckpointJournal::append(const CacheKey &key,
+                          const model::KernelAnalysis &analysis)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.count(key) != 0)
+        return; // already journaled (replayed or a duplicate job)
+
+    uint64_t seq = appendSequence_++;
+    std::string payload = serializeAnalysis(analysis);
+    uint64_t hash = fnv1a64(payload);
+    // The cache-corrupt fault site flips the stored hash so the NEXT
+    // run's verification must detect and skip this record.
+    if (faults_ != nullptr && faults_->shouldCorruptRecord(seq))
+        hash ^= 0xdeadbeefULL;
+
+    std::string record = format(
+        "%.*s%016llx %016llx %016llx %llu %016llx\n",
+        static_cast<int>(kMagic.size()), kMagic.data(),
+        static_cast<unsigned long long>(key.program),
+        static_cast<unsigned long long>(key.machine),
+        static_cast<unsigned long long>(key.options),
+        static_cast<unsigned long long>(payload.size()),
+        static_cast<unsigned long long>(hash));
+    record += payload;
+    record += '\n';
+
+    bool failed = false;
+    try {
+        if (faults_ != nullptr)
+            faults_->maybeFailWrite(seq, path_);
+        out_.write(record.data(),
+                   static_cast<std::streamsize>(record.size()));
+        out_.flush();
+        if (!out_) {
+            out_.clear(); // keep the stream usable for later appends
+            failed = true;
+        }
+    } catch (const faults::IoError &) {
+        failed = true;
+    }
+
+    if (failed) {
+        count("append_failed");
+        warn("checkpoint '", path_,
+             "': append failed; continuing without checkpoint "
+             "coverage for this record");
+        return;
+    }
+
+    entries_[key] =
+        std::make_shared<model::KernelAnalysis>(analysis);
+    count("appended");
+}
+
+} // namespace macs::pipeline

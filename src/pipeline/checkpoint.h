@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Crash-safe checkpoint/resume journal for the batch pipeline
+ * (docs/ROBUSTNESS.md).
+ *
+ * A CheckpointJournal is an append-only file of completed analyses:
+ * each record is a header line naming the cache key, the payload
+ * length, and an FNV-1a content hash, followed by the payload (a
+ * line-oriented text serialization of the KernelAnalysis that
+ * round-trips doubles bit-exactly via %.17g). The journal is written
+ * with one write()+flush per record, so a killed run leaves at most
+ * one torn record at the tail.
+ *
+ * open() replays an existing journal and VERIFIES every record:
+ *  - a record whose payload hash does not match is CORRUPT: skipped,
+ *    counted, and recovered past (resync on the next record magic);
+ *  - a record whose payload runs past end-of-file is TORN: skipped
+ *    and counted (the kill happened mid-append);
+ *  - only hash-verified records are trusted and served to the engine.
+ *
+ * BatchEngine seeds its AnalysisCache from the journal before running
+ * (completed jobs become cache hits — the resume path recomputes only
+ * unfinished work) and appends each newly computed analysis. All
+ * journal events are published as macs_checkpoint_records_total
+ * counters (event = loaded / corrupt / torn / appended /
+ * append_failed).
+ *
+ * Fault sites (src/faults): cache-corrupt flips the stored payload
+ * hash of an appended record (so the NEXT run must detect and skip
+ * it); io-write-fail makes append() fail. Append failures degrade
+ * gracefully: the run continues without checkpoint coverage for that
+ * record, with a warning and a counter.
+ */
+
+#ifndef MACS_PIPELINE_CHECKPOINT_H
+#define MACS_PIPELINE_CHECKPOINT_H
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "faults/fault_injection.h"
+#include "obs/metrics.h"
+#include "pipeline/cache.h"
+#include "pipeline/job.h"
+
+namespace macs::pipeline {
+
+/**
+ * Bit-exact text serialization of a KernelAnalysis ("macs-analysis-v1").
+ * @{
+ */
+std::string serializeAnalysis(const model::KernelAnalysis &analysis);
+/** @retval false when @p text is not a well-formed serialization. */
+bool deserializeAnalysis(std::string_view text,
+                         model::KernelAnalysis &out);
+/** @} */
+
+class CheckpointJournal
+{
+  public:
+    struct LoadStats
+    {
+        size_t loaded = 0;  ///< hash-verified records replayed
+        size_t corrupt = 0; ///< records skipped: hash/format mismatch
+        size_t torn = 0;    ///< records skipped: truncated tail
+    };
+
+    /**
+     * @param path     the journal file (created when absent)
+     * @param metrics  registry for macs_checkpoint_* counters;
+     *                 nullptr means obs::Registry::global()
+     * @param faults   injector for the cache-corrupt / io-write-fail
+     *                 sites; nullptr disables injection here
+     */
+    explicit CheckpointJournal(
+        std::string path, obs::Registry *metrics = nullptr,
+        const faults::FaultInjector *faults = nullptr);
+
+    /**
+     * Replay the journal (if the file exists) and open it for
+     * appending. Throws faults::IoError when the file cannot be
+     * opened for append. Safe to call once per journal.
+     */
+    LoadStats open();
+
+    /** Verified entry for @p key, or nullptr. */
+    AnalysisCache::Value lookup(const CacheKey &key) const;
+
+    size_t entryCount() const;
+
+    /**
+     * Append one completed analysis; thread-safe, one flushed write
+     * per record. Failures (real or injected) are contained: warn +
+     * counter, never an exception — a broken journal must not fail
+     * the batch. Records already present are skipped.
+     */
+    void append(const CacheKey &key,
+                const model::KernelAnalysis &analysis);
+
+    const std::string &path() const { return path_; }
+    const LoadStats &loadStats() const { return loadStats_; }
+
+  private:
+    obs::Registry &registry() const;
+    void count(const char *event, double n = 1.0) const;
+
+    std::string path_;
+    obs::Registry *metrics_;
+    const faults::FaultInjector *faults_;
+
+    mutable std::mutex mu_;
+    std::map<CacheKey, AnalysisCache::Value> entries_;
+    std::ofstream out_;
+    LoadStats loadStats_;
+    uint64_t appendSequence_ = 0;
+};
+
+} // namespace macs::pipeline
+
+#endif // MACS_PIPELINE_CHECKPOINT_H

@@ -71,7 +71,27 @@ struct JobTiming
     double queueWaitUs = 0.0;///< submit -> worker pickup
     double computeUs = 0.0;  ///< analysis time (0 for pure cache hits)
     double totalUs = 0.0;    ///< pickup -> result available
+    int attempts = 1;        ///< compute attempts (retries + 1)
 };
+
+/**
+ * Failure classification of a job (docs/ROBUSTNESS.md):
+ *  - Permanent: fatal()/panic() from the analysis stack — retrying a
+ *    deterministic computation would fail again.
+ *  - Transient: TransientFault / IoError / bad_alloc — retried with
+ *    backoff; reported only when the retry budget is exhausted.
+ *  - Timeout: the per-job wall-clock deadline expired.
+ */
+enum class ErrorKind : uint8_t
+{
+    None,
+    Permanent,
+    Transient,
+    Timeout,
+};
+
+/** Canonical name ("permanent" / "transient" / "timeout" / "none"). */
+const char *errorKindName(ErrorKind kind);
 
 /** Outcome of one job: analysis result or an error, plus counters. */
 struct JobResult
@@ -86,10 +106,23 @@ struct JobResult
     std::shared_ptr<const model::KernelAnalysis> analysis;
     /** Empty on success, else the fatal()/panic() message. */
     std::string error;
+    /** Classification of @ref error (None on success). */
+    ErrorKind errorKind = ErrorKind::None;
 
     JobTiming timing;
 
     bool ok() const { return analysis != nullptr; }
+};
+
+/** One entry of the batch error manifest (submission-ordered). */
+struct ErrorRecord
+{
+    size_t jobIndex = 0;     ///< index into BatchResult::results
+    std::string label;
+    std::string configName;
+    ErrorKind kind = ErrorKind::Permanent;
+    std::string message;
+    int attempts = 1;
 };
 
 /** Aggregate counters of one BatchEngine::run(). */
@@ -116,7 +149,21 @@ struct BatchResult
 {
     /** One entry per submitted job, in submission order (always). */
     std::vector<JobResult> results;
+    /** One entry per failed job, in submission order (the manifest). */
+    std::vector<ErrorRecord> errors;
     BatchStats stats;
+
+    /**
+     * Exit-code contract of `macs batch` (docs/ROBUSTNESS.md):
+     * 0 = every job succeeded, 2 = partial failure (some results are
+     * valid), 3 = total failure (no job produced a result).
+     */
+    int exitCode() const
+    {
+        if (stats.failures == 0)
+            return 0;
+        return stats.failures >= stats.jobs ? 3 : 2;
+    }
 };
 
 } // namespace macs::pipeline

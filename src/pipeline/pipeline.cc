@@ -2,11 +2,15 @@
 
 #include <chrono>
 #include <exception>
+#include <future>
+#include <new>
 #include <thread>
+#include <utility>
 
 #include "lfk/kernels.h"
 #include "support/hash.h"
 #include "support/logging.h"
+#include "support/strings.h"
 
 namespace macs::pipeline {
 
@@ -19,6 +23,43 @@ nowUs()
     return duration<double, std::micro>(
                steady_clock::now().time_since_epoch())
         .count();
+}
+
+/**
+ * Transient failures may succeed on retry: injected or real
+ * TransientFault / IoError / bad_alloc. fatal()/panic() and everything
+ * else is permanent — retrying a deterministic computation would fail
+ * again.
+ */
+bool
+isTransient(const std::exception_ptr &ep)
+{
+    try {
+        std::rethrow_exception(ep);
+    } catch (const faults::TransientFault &) {
+        return true;
+    } catch (const faults::IoError &) {
+        return true;
+    } catch (const std::bad_alloc &) {
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+/** Sleep @p us microseconds in 1 ms slices, aborting on @p cancel. */
+void
+backoffSleep(double us, const std::atomic<bool> *cancel)
+{
+    using namespace std::chrono;
+    auto deadline =
+        steady_clock::now() + duration<double, std::micro>(us);
+    while (steady_clock::now() < deadline) {
+        if (cancel != nullptr &&
+            cancel->load(std::memory_order_acquire))
+            return;
+        std::this_thread::sleep_for(milliseconds(1));
+    }
 }
 
 /** Effective machine of a job: VL override applied to a config copy. */
@@ -164,7 +205,44 @@ BatchEngine::BatchEngine(EngineOptions options)
 {
 }
 
-BatchEngine::~BatchEngine() = default;
+BatchEngine::~BatchEngine()
+{
+    // Normally empty (run() reaps its own strays); this covers an
+    // engine destroyed right after a timed-out run.
+    std::lock_guard<std::mutex> lock(straysMu_);
+    for (std::thread &t : strays_)
+        t.join();
+}
+
+const faults::FaultInjector &
+BatchEngine::injector() const
+{
+    return options_.faults != nullptr ? *options_.faults
+                                      : faults::FaultInjector::global();
+}
+
+obs::Registry &
+BatchEngine::registry() const
+{
+    return options_.metrics != nullptr ? *options_.metrics
+                                       : obs::Registry::global();
+}
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+    case ErrorKind::None:
+        return "none";
+    case ErrorKind::Permanent:
+        return "permanent";
+    case ErrorKind::Transient:
+        return "transient";
+    case ErrorKind::Timeout:
+        return "timeout";
+    }
+    return "none";
+}
 
 CacheKey
 BatchEngine::keyOf(const BatchJob &job)
@@ -181,6 +259,121 @@ BatchEngine::keyOf(const BatchJob &job)
     return key;
 }
 
+uint64_t
+BatchEngine::attemptKey(const CacheKey &key, int attempt)
+{
+    uint64_t h = fnv1a64("macs-attempt-v1");
+    h = hashValue(h, key.program);
+    h = hashValue(h, key.machine);
+    h = hashValue(h, key.options);
+    return hashValue(h, attempt);
+}
+
+/**
+ * One guarded computation: the retry loop around analyzeKernel with
+ * the fault-injection hooks at the sites where real faults strike.
+ * Injection decisions are keyed on (cache key, attempt), so the fire
+ * pattern is identical for any worker count and a retry of the same
+ * job is an independent draw.
+ */
+AnalysisCache::Value
+BatchEngine::computeGuarded(const BatchJob &job, const CacheKey &key,
+                            std::atomic<int> &attempts,
+                            const std::atomic<bool> *cancel)
+{
+    const faults::FaultInjector &inj = injector();
+    for (int attempt = 0;; ++attempt) {
+        attempts.store(attempt + 1, std::memory_order_relaxed);
+        try {
+            uint64_t akey = attemptKey(key, attempt);
+            inj.maybeFailAlloc(akey);
+            inj.maybeDelay(akey, cancel);
+            inj.maybeThrowWorker(akey, job.displayLabel());
+            machine::MachineConfig cfg = effectiveConfig(job);
+            return std::make_shared<const model::KernelAnalysis>(
+                model::analyzeKernel(job.kernel, cfg, job.options));
+        } catch (...) {
+            std::exception_ptr ep = std::current_exception();
+            bool transient = isTransient(ep);
+            bool cancelled = cancel != nullptr &&
+                             cancel->load(std::memory_order_acquire);
+            if (!transient || attempt >= options_.maxRetries ||
+                cancelled) {
+                if (transient && attempt >= options_.maxRetries)
+                    registry()
+                        .counter("macs_retry_exhausted_total",
+                                 "Jobs whose transient-fault retry "
+                                 "budget ran out")
+                        .inc();
+                std::rethrow_exception(ep);
+            }
+            registry()
+                .counter("macs_retry_attempts_total",
+                         "Transient-fault retries performed")
+                .inc();
+            // Exponential backoff: base * 2^attempt.
+            backoffSleep(options_.retryBackoffUs *
+                             static_cast<double>(1ULL << attempt),
+                         cancel);
+        }
+    }
+}
+
+/**
+ * Run computeGuarded on a side thread and wait at most jobTimeoutMs.
+ * On expiry, signal cancellation, park the thread on strays_ (reaped
+ * in the run() epilogue — never detached), and fail the job with
+ * DeadlineExceeded. Injected delays and backoffs poll the cancel flag
+ * every 1 ms, so an expired worker is joinable almost immediately; a
+ * genuinely long analyzeKernel finishes on its own time and is joined
+ * at the end of the run.
+ */
+AnalysisCache::Value
+BatchEngine::computeWithDeadline(const BatchJob &job,
+                                 const CacheKey &key, int &attempts)
+{
+    struct State
+    {
+        std::promise<AnalysisCache::Value> result;
+        std::atomic<bool> cancel{false};
+        std::atomic<int> attempts{1};
+    };
+    auto state = std::make_shared<State>();
+    std::future<AnalysisCache::Value> future =
+        state->result.get_future();
+
+    std::thread worker([this, &job, key, state] {
+        try {
+            state->result.set_value(computeGuarded(
+                job, key, state->attempts, &state->cancel));
+        } catch (...) {
+            state->result.set_exception(std::current_exception());
+        }
+    });
+
+    auto timeout = std::chrono::duration<double, std::milli>(
+        options_.jobTimeoutMs);
+    if (future.wait_for(timeout) == std::future_status::ready) {
+        worker.join();
+        attempts = state->attempts.load(std::memory_order_relaxed);
+        return future.get(); // rethrows the worker's exception
+    }
+
+    state->cancel.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(straysMu_);
+        strays_.push_back(std::move(worker));
+    }
+    attempts = state->attempts.load(std::memory_order_relaxed);
+    registry()
+        .counter("macs_retry_timeouts_total",
+                 "Jobs whose wall-clock deadline expired")
+        .inc();
+    throw DeadlineExceeded(
+        format("job '%s' exceeded its %g ms deadline",
+               job.displayLabel().c_str(), options_.jobTimeoutMs));
+}
+
 void
 BatchEngine::runOne(const BatchJob &job, JobResult &out,
                     double enqueue_us)
@@ -188,27 +381,45 @@ BatchEngine::runOne(const BatchJob &job, JobResult &out,
     double start_us = nowUs();
     out.timing.queueWaitUs = start_us - enqueue_us;
 
-    auto compute = [&]() -> AnalysisCache::Value {
-        machine::MachineConfig cfg = effectiveConfig(job);
-        return std::make_shared<const model::KernelAnalysis>(
-            model::analyzeKernel(job.kernel, cfg, job.options));
+    // One (guarded, possibly deadline-bounded) computation attempt
+    // chain, recording the attempt count into @p attempts_out even
+    // when it throws.
+    auto compute = [&](int &attempts_out) -> AnalysisCache::Value {
+        if (options_.jobTimeoutMs > 0.0)
+            return computeWithDeadline(job, out.key, attempts_out);
+        std::atomic<int> attempts{1};
+        try {
+            AnalysisCache::Value v =
+                computeGuarded(job, out.key, attempts, nullptr);
+            attempts_out = attempts.load(std::memory_order_relaxed);
+            return v;
+        } catch (...) {
+            attempts_out = attempts.load(std::memory_order_relaxed);
+            throw;
+        }
     };
 
     try {
         if (!options_.useCache) {
             double c0 = nowUs();
-            out.analysis = compute();
+            out.analysis = compute(out.timing.attempts);
             out.timing.computeUs = nowUs() - c0;
         } else {
             AnalysisCache::Claim claim = cache_.claim(out.key);
             if (claim.owner()) {
                 double c0 = nowUs();
+                bool computed = false;
                 try {
-                    claim.promise->set_value(compute());
+                    claim.promise->set_value(
+                        compute(out.timing.attempts));
+                    computed = true;
                 } catch (...) {
                     claim.promise->set_exception(
                         std::current_exception());
                 }
+                if (computed && options_.checkpoint != nullptr)
+                    options_.checkpoint->append(out.key,
+                                                *claim.future.get());
                 out.timing.computeUs = nowUs() - c0;
             } else {
                 out.timing.cacheHit = true;
@@ -216,9 +427,26 @@ BatchEngine::runOne(const BatchJob &job, JobResult &out,
             // get() rethrows the owner's exception for every waiter.
             out.analysis = claim.future.get();
         }
+    } catch (const DeadlineExceeded &e) {
+        out.analysis = nullptr;
+        out.error = e.what();
+        out.errorKind = ErrorKind::Timeout;
+    } catch (const faults::TransientFault &e) {
+        out.analysis = nullptr;
+        out.error = e.what();
+        out.errorKind = ErrorKind::Transient;
+    } catch (const faults::IoError &e) {
+        out.analysis = nullptr;
+        out.error = e.what();
+        out.errorKind = ErrorKind::Transient;
+    } catch (const std::bad_alloc &) {
+        out.analysis = nullptr;
+        out.error = "allocation failure (std::bad_alloc)";
+        out.errorKind = ErrorKind::Transient;
     } catch (const std::exception &e) {
         out.analysis = nullptr;
         out.error = e.what();
+        out.errorKind = ErrorKind::Permanent;
     }
     out.timing.totalUs = nowUs() - start_us;
 }
@@ -232,6 +460,17 @@ BatchEngine::run(const std::vector<BatchJob> &jobs)
     result.stats.jobs = jobs.size();
     if (jobs.empty())
         return result;
+
+    // Checkpoint resume: completed analyses become cache hits, so the
+    // run recomputes only unfinished work.
+    if (options_.checkpoint != nullptr && options_.useCache) {
+        for (const BatchJob &job : jobs) {
+            CacheKey key = keyOf(job);
+            if (AnalysisCache::Value v =
+                    options_.checkpoint->lookup(key))
+                cache_.seed(key, std::move(v));
+        }
+    }
 
     double t0 = nowUs();
     for (size_t i = 0; i < jobs.size(); ++i) {
@@ -249,17 +488,35 @@ BatchEngine::run(const std::vector<BatchJob> &jobs)
         });
     }
     pool_.waitIdle();
+
+    // Reap timed-out workers: every spawned thread is joined before
+    // run() returns (jobs is borrowed from the caller, so no stray
+    // may outlive this call).
+    {
+        std::vector<std::thread> strays;
+        {
+            std::lock_guard<std::mutex> lock(straysMu_);
+            strays.swap(strays_);
+        }
+        for (std::thread &t : strays)
+            t.join();
+    }
     result.stats.wallUs = nowUs() - t0;
 
-    for (const JobResult &r : result.results) {
+    for (size_t i = 0; i < result.results.size(); ++i) {
+        const JobResult &r = result.results[i];
         result.stats.computeUs += r.timing.computeUs;
         result.stats.queueWaitUs += r.timing.queueWaitUs;
         if (r.timing.cacheHit)
             ++result.stats.cacheHits;
         else
             ++result.stats.cacheMisses;
-        if (!r.ok())
+        if (!r.ok()) {
             ++result.stats.failures;
+            result.errors.push_back({i, r.label, r.configName,
+                                     r.errorKind, r.error,
+                                     r.timing.attempts});
+        }
     }
     publishMetrics(result);
     return result;

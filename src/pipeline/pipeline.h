@@ -19,6 +19,19 @@
  *    analysis stack) is reported in its JobResult::error; other jobs
  *    are unaffected.
  *
+ * Robustness (docs/ROBUSTNESS.md):
+ *  - TRANSIENT faults (TransientFault, IoError, bad_alloc) are retried
+ *    up to maxRetries times with exponential backoff; permanent errors
+ *    (fatal()/panic()) are never retried.
+ *  - A per-job wall-clock deadline (jobTimeoutMs) bounds each compute;
+ *    an expired job fails with ErrorKind::Timeout while its worker is
+ *    reaped in the run() epilogue.
+ *  - BatchResult carries an error manifest (ErrorRecord per failure)
+ *    and the 0/2/3 exit-code contract.
+ *  - A CheckpointJournal, when attached, seeds the cache before the
+ *    run (resume recomputes only unfinished jobs) and records every
+ *    newly computed analysis.
+ *
  * Perf counters: each JobResult carries queue wait / compute time /
  * cache hit, and BatchResult::stats aggregates them. These are
  * scheduling-dependent and excluded from deterministic report output.
@@ -27,16 +40,34 @@
 #ifndef MACS_PIPELINE_PIPELINE_H
 #define MACS_PIPELINE_PIPELINE_H
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "faults/fault_injection.h"
 #include "obs/metrics.h"
 #include "pipeline/cache.h"
+#include "pipeline/checkpoint.h"
 #include "pipeline/job.h"
 #include "pipeline/thread_pool.h"
 
 namespace macs::pipeline {
+
+/**
+ * Thrown inside the engine when a job's wall-clock deadline expires.
+ * Derives FatalError so waiters on a poisoned (timed-out) cache entry
+ * classify it like any other permanent failure of that entry.
+ */
+class DeadlineExceeded : public FatalError
+{
+  public:
+    explicit DeadlineExceeded(const std::string &msg) : FatalError(msg)
+    {
+    }
+};
 
 /** Engine construction options. */
 struct EngineOptions
@@ -54,6 +85,37 @@ struct EngineOptions
      * deterministic reports.
      */
     obs::Registry *metrics = nullptr;
+
+    /**
+     * Retry budget for TRANSIENT failures: a job may be recomputed up
+     * to maxRetries times after its first attempt. Permanent errors
+     * (fatal()/panic()) are never retried.
+     */
+    int maxRetries = 2;
+    /**
+     * Base backoff before the first retry, doubled per retry. Kept
+     * small by default; chaos tests override it to ~0.
+     */
+    double retryBackoffUs = 1000.0;
+    /**
+     * Per-job wall-clock deadline in milliseconds; 0 disables. An
+     * expired job fails with ErrorKind::Timeout; its worker thread is
+     * signalled to cancel and reaped in the run() epilogue.
+     */
+    double jobTimeoutMs = 0.0;
+    /**
+     * Fault injector consulted at the hardened sites (alloc /
+     * worker-exception / compute-delay, keyed on the cache key and
+     * attempt number so injection is schedule-independent). nullptr
+     * means faults::FaultInjector::global() (the MACS_FAULTS plan).
+     */
+    const faults::FaultInjector *faults = nullptr;
+    /**
+     * Checkpoint journal: seeded into the cache before every run()
+     * and appended with each newly computed analysis. Must outlive
+     * the engine. nullptr disables checkpointing.
+     */
+    CheckpointJournal *checkpoint = nullptr;
 };
 
 class BatchEngine
@@ -80,14 +142,36 @@ class BatchEngine
     /** Compute the memoization key of @p job (exposed for tests). */
     static CacheKey keyOf(const BatchJob &job);
 
+    /**
+     * The fault-injection key of attempt @p attempt of the job with
+     * cache key @p key: a content hash, so the same (job, attempt)
+     * draws the same injection decision for any worker count, and a
+     * retry is an independent draw. Exposed so tests can predict
+     * which attempts a seeded plan will hit.
+     */
+    static uint64_t attemptKey(const CacheKey &key, int attempt);
+
   private:
     void runOne(const BatchJob &job, JobResult &out,
                 double enqueue_us);
+    AnalysisCache::Value computeGuarded(const BatchJob &job,
+                                        const CacheKey &key,
+                                        std::atomic<int> &attempts,
+                                        const std::atomic<bool> *cancel);
+    AnalysisCache::Value computeWithDeadline(const BatchJob &job,
+                                             const CacheKey &key,
+                                             int &attempts);
+    const faults::FaultInjector &injector() const;
+    obs::Registry &registry() const;
     void publishMetrics(const BatchResult &result) const;
 
     EngineOptions options_;
     ThreadPool pool_;
     AnalysisCache cache_;
+
+    /** Timed-out worker threads, reaped in the run() epilogue. */
+    std::mutex straysMu_;
+    std::vector<std::thread> strays_;
 };
 
 /** Convenience: analyze the ten paper kernels on @p config. @{ */

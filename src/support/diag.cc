@@ -1,0 +1,142 @@
+#include "support/diag.h"
+
+#include <sstream>
+
+namespace macs {
+
+const char *
+diagSeverityName(DiagSeverity severity)
+{
+    switch (severity) {
+      case DiagSeverity::Error:
+        return "error";
+      case DiagSeverity::Warning:
+        return "warning";
+      case DiagSeverity::Note:
+        return "note";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::render() const
+{
+    std::ostringstream os;
+    os << (file.empty() ? "<input>" : file);
+    if (loc.valid()) {
+        os << ':' << loc.line;
+        if (loc.col > 0)
+            os << ':' << loc.col;
+    }
+    os << ": " << diagSeverityName(severity) << ": " << message;
+    if (!snippet.empty()) {
+        os << "\n    " << snippet;
+        if (loc.col > 0 && loc.col <= snippet.size() + 1) {
+            os << "\n    ";
+            // Align the caret under the column, keeping tabs as tabs
+            // so the caret stays visually under the offending token.
+            for (size_t i = 0; i + 1 < loc.col; ++i)
+                os << (snippet[i] == '\t' ? '\t' : ' ');
+            os << '^';
+        }
+    }
+    return os.str();
+}
+
+void
+Diagnostics::setSource(std::string_view text, std::string file)
+{
+    file_ = std::move(file);
+    lines_.clear();
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t eol = text.find('\n', start);
+        if (eol == std::string_view::npos) {
+            lines_.emplace_back(text.substr(start));
+            break;
+        }
+        lines_.emplace_back(text.substr(start, eol - start));
+        start = eol + 1;
+    }
+}
+
+void
+Diagnostics::add(DiagSeverity severity, SourceLoc loc, std::string message)
+{
+    if (severity == DiagSeverity::Error) {
+        if (errorCount_ >= maxErrors) {
+            // Report the cap exactly once, then drop the cascade.
+            if (!capNoted_) {
+                capNoted_ = true;
+                entries_.push_back(
+                    {DiagSeverity::Note, file_, SourceLoc{},
+                     "too many errors; further diagnostics suppressed",
+                     ""});
+            }
+            return;
+        }
+        ++errorCount_;
+    }
+    Diagnostic d;
+    d.severity = severity;
+    d.file = file_;
+    d.loc = loc;
+    d.message = std::move(message);
+    if (loc.valid() && loc.line <= lines_.size())
+        d.snippet = lines_[loc.line - 1];
+    entries_.push_back(std::move(d));
+}
+
+void
+Diagnostics::error(SourceLoc loc, std::string message)
+{
+    add(DiagSeverity::Error, loc, std::move(message));
+}
+
+void
+Diagnostics::warning(SourceLoc loc, std::string message)
+{
+    add(DiagSeverity::Warning, loc, std::move(message));
+}
+
+void
+Diagnostics::note(SourceLoc loc, std::string message)
+{
+    add(DiagSeverity::Note, loc, std::move(message));
+}
+
+std::string
+Diagnostics::render() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        if (i > 0)
+            os << '\n';
+        os << entries_[i].render();
+    }
+    if (errorCount_ > 0)
+        os << '\n' << errorCount_ << " error(s)";
+    return os.str();
+}
+
+void
+Diagnostics::throwIfErrors() const
+{
+    if (!hasErrors())
+        return;
+    throw DiagnosticError(render(), errorCount_);
+}
+
+void
+Diagnostics::take(Diagnostics &&other)
+{
+    for (Diagnostic &d : other.entries_) {
+        if (d.severity == DiagSeverity::Error)
+            ++errorCount_;
+        entries_.push_back(std::move(d));
+    }
+    other.entries_.clear();
+    other.errorCount_ = 0;
+}
+
+} // namespace macs

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Structured diagnostics engine (docs/ROBUSTNESS.md).
+ *
+ * fatal() aborts at the FIRST user error; for anything that consumes
+ * user *input* (the loop DSL, the assembler, fault-plan specs, batch
+ * manifests) we instead want compiler-style behavior: recover at a
+ * statement/instruction boundary, keep going, and report EVERY error
+ * with file:line:column context and a source snippet.
+ *
+ * A Diagnostics object collects Diagnostic records; producers call
+ * error()/warning() as they recover, consumers either inspect the
+ * records programmatically or call throwIfErrors(), which raises a
+ * DiagnosticError whose what() is the fully rendered multi-error
+ * report. DiagnosticError derives from FatalError, so call sites (and
+ * tests) that handle the legacy single-error contract keep working
+ * unchanged.
+ *
+ * Rendering format (one block per diagnostic):
+ *
+ *   bad.loop:3:9: error: expected ')' near '='
+ *       x(k = y(k)
+ *           ^
+ */
+
+#ifndef MACS_SUPPORT_DIAG_H
+#define MACS_SUPPORT_DIAG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace macs {
+
+/** A 1-based position in a source text; line 0 means "no location". */
+struct SourceLoc
+{
+    size_t line = 0;
+    size_t col = 0;
+
+    bool valid() const { return line > 0; }
+
+    bool operator==(const SourceLoc &) const = default;
+};
+
+enum class DiagSeverity : uint8_t
+{
+    Error,
+    Warning,
+    Note,
+};
+
+/** Human-readable severity label ("error", "warning", "note"). */
+const char *diagSeverityName(DiagSeverity severity);
+
+/** One collected diagnostic. */
+struct Diagnostic
+{
+    DiagSeverity severity = DiagSeverity::Error;
+    std::string file;    ///< input name ("<loop>", a path, "MACS_FAULTS")
+    SourceLoc loc;       ///< position; may be invalid() for global errors
+    std::string message;
+    std::string snippet; ///< the source line text ("" when unavailable)
+
+    /** Render this diagnostic alone (same format as Diagnostics). */
+    std::string render() const;
+};
+
+/**
+ * Thrown by Diagnostics::throwIfErrors(); what() carries the complete
+ * rendered report of every collected diagnostic, not just the first.
+ * Derives from FatalError so existing catch sites keep working.
+ */
+class DiagnosticError : public FatalError
+{
+  public:
+    DiagnosticError(const std::string &rendered, size_t error_count)
+        : FatalError(rendered), errorCount_(error_count)
+    {
+    }
+
+    size_t errorCount() const { return errorCount_; }
+
+  private:
+    size_t errorCount_;
+};
+
+/** Collector for recoverable user-input errors. */
+class Diagnostics
+{
+  public:
+    Diagnostics() = default;
+    explicit Diagnostics(std::string file) : file_(std::move(file)) {}
+
+    /**
+     * Attach the source text being parsed so snippets can be rendered;
+     * @p file names the input in messages. The text is copied (split
+     * into lines), so the caller's buffer need not outlive this.
+     */
+    void setSource(std::string_view text, std::string file);
+
+    const std::string &file() const { return file_; }
+
+    /** Record one diagnostic at @p loc. @{ */
+    void error(SourceLoc loc, std::string message);
+    void warning(SourceLoc loc, std::string message);
+    void note(SourceLoc loc, std::string message);
+    /** Location-free convenience forms. @{ */
+    void error(std::string message) { error(SourceLoc{}, std::move(message)); }
+    void warning(std::string message)
+    {
+        warning(SourceLoc{}, std::move(message));
+    }
+    /** @} @} */
+
+    bool hasErrors() const { return errorCount_ > 0; }
+    size_t errorCount() const { return errorCount_; }
+
+    /**
+     * True once maxErrors have been recorded; recovering parsers stop
+     * at this point instead of producing an unbounded cascade. The
+     * limit-reached condition itself is reported once.
+     */
+    bool atErrorLimit() const { return errorCount_ >= maxErrors; }
+
+    const std::vector<Diagnostic> &entries() const { return entries_; }
+
+    /** Render every diagnostic, one block per entry, plus a summary. */
+    std::string render() const;
+
+    /**
+     * Throw DiagnosticError(render()) when any error was collected;
+     * no-op otherwise. Warnings and notes alone never throw.
+     */
+    void throwIfErrors() const;
+
+    /** Move the entries of @p other into this collector. */
+    void take(Diagnostics &&other);
+
+    /** Cascade cap; see atErrorLimit(). */
+    size_t maxErrors = 32;
+
+  private:
+    void add(DiagSeverity severity, SourceLoc loc, std::string message);
+
+    std::string file_ = "<input>";
+    std::vector<std::string> lines_; ///< source split for snippets
+    std::vector<Diagnostic> entries_;
+    size_t errorCount_ = 0;
+    bool capNoted_ = false;
+};
+
+} // namespace macs
+
+#endif // MACS_SUPPORT_DIAG_H

@@ -1,0 +1,11 @@
+; Deliberately malformed assembly for the diagnostics tests. Each bad
+; line is an independent error; the assembler recovers at the next
+; line and must report every one of them:
+;   .comm missing the word count
+;   an unknown mnemonic
+;   an immediate where a memory operand is required
+.comm aa
+frobnicate v0,v1,v2
+ld #5,v0
+; A valid tail line proves recovery does not lose sync.
+mov #0,a1

@@ -1,0 +1,626 @@
+/**
+ * @file
+ * Robustness tests (docs/ROBUSTNESS.md): deterministic fault
+ * injection, the retry/deadline behavior of the hardened BatchEngine,
+ * checkpoint/resume including corrupt- and torn-record recovery, and
+ * the multi-error diagnostics corpus (tests/corpus/bad/).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/loop_parser.h"
+#include "faults/fault_injection.h"
+#include "isa/parser.h"
+#include "lfk/kernels.h"
+#include "machine/machine_config.h"
+#include "obs/metrics.h"
+#include "pipeline/checkpoint.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/report.h"
+#include "support/diag.h"
+
+#ifndef MACS_CORPUS_DIR
+#define MACS_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace macs {
+namespace {
+
+using faults::FaultInjector;
+using faults::FaultPlan;
+using faults::Site;
+using pipeline::BatchEngine;
+using pipeline::BatchJob;
+using pipeline::BatchResult;
+using pipeline::CacheKey;
+using pipeline::CheckpointJournal;
+using pipeline::EngineOptions;
+using pipeline::ErrorKind;
+
+BatchJob
+jobFor(int id)
+{
+    lfk::Kernel k = lfk::makeKernel(id);
+    BatchJob job;
+    job.label = k.name;
+    job.kernel = lfk::toKernelCase(k);
+    job.config = machine::MachineConfig::convexC240();
+    return job;
+}
+
+std::string
+readFileOrDie(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Blank `#` comments to end of line, preserving line/col positions
+ *  (mirrors what the CLI does before handing .loop text to the
+ *  parser; the DSL itself has no comment syntax). */
+std::string
+stripLoopComments(std::string text)
+{
+    bool in_comment = false;
+    for (char &c : text) {
+        if (c == '\n')
+            in_comment = false;
+        else if (c == '#')
+            in_comment = true;
+        if (in_comment)
+            c = ' ';
+    }
+    return text;
+}
+
+double
+counterValue(obs::Registry &reg, const std::string &name,
+             const obs::Labels &labels)
+{
+    for (const obs::Sample &s : reg.snapshot())
+        if (s.name == name && s.labels == labels)
+            return s.value;
+    return 0.0;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection decisions.
+// ---------------------------------------------------------------------
+
+TEST(FaultsTest, DecisionIsDeterministicAndProbabilityShaped)
+{
+    // Pure function of (seed, site, key): repeated calls agree.
+    for (uint64_t key = 0; key < 64; ++key)
+        EXPECT_EQ(faults::faultDecision(42, Site::WorkerException, key, 0.5),
+                  faults::faultDecision(42, Site::WorkerException, key, 0.5));
+
+    // Degenerate probabilities.
+    int always = 0, never = 0;
+    for (uint64_t key = 0; key < 256; ++key) {
+        never += faults::faultDecision(7, Site::AllocFail, key, 0.0);
+        always += faults::faultDecision(7, Site::AllocFail, key, 1.0);
+    }
+    EXPECT_EQ(never, 0);
+    EXPECT_EQ(always, 256);
+
+    // Frequency tracks the probability (loose bounds; the decision is
+    // deterministic, so this can never flake).
+    int fired = 0;
+    for (uint64_t key = 0; key < 10000; ++key)
+        fired += faults::faultDecision(1234, Site::ComputeDelay, key, 0.3);
+    EXPECT_GT(fired, 2000);
+    EXPECT_LT(fired, 4000);
+
+    // Different sites decorrelate even with equal seed and key.
+    int diverged = 0;
+    for (uint64_t key = 0; key < 256; ++key)
+        diverged +=
+            faults::faultDecision(9, Site::AllocFail, key, 0.5) !=
+            faults::faultDecision(9, Site::IoWriteFail, key, 0.5);
+    EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultsTest, PlanParsesAndDescribesRoundTrip)
+{
+    FaultPlan plan =
+        FaultPlan::parse("worker-exception:0.25:42,compute-delay:1:7:25");
+    ASSERT_NE(plan.spec(Site::WorkerException), nullptr);
+    EXPECT_DOUBLE_EQ(plan.spec(Site::WorkerException)->probability, 0.25);
+    EXPECT_EQ(plan.spec(Site::WorkerException)->seed, 42u);
+    ASSERT_NE(plan.spec(Site::ComputeDelay), nullptr);
+    EXPECT_DOUBLE_EQ(plan.spec(Site::ComputeDelay)->param, 25.0);
+    EXPECT_EQ(plan.spec(Site::AllocFail), nullptr);
+
+    FaultPlan again = FaultPlan::parse(plan.describe());
+    EXPECT_EQ(again.describe(), plan.describe());
+}
+
+TEST(FaultsTest, PlanParseReportsEveryErrorAndKeepsGoodEntries)
+{
+    Diagnostics diags("MACS_FAULTS");
+    FaultPlan plan = FaultPlan::parse(
+        "bogus-site:0.5:1,worker-exception:1.5:3,alloc,compute-delay:1:7",
+        diags);
+
+    // Every malformed entry is reported (unknown site, probability out
+    // of range, missing fields)...
+    EXPECT_GE(diags.errorCount(), 3u) << diags.render();
+    // ...and skipped, while the well-formed entry still takes effect.
+    EXPECT_EQ(plan.spec(Site::WorkerException), nullptr);
+    EXPECT_EQ(plan.spec(Site::AllocFail), nullptr);
+    ASSERT_NE(plan.spec(Site::ComputeDelay), nullptr);
+    EXPECT_DOUBLE_EQ(plan.spec(Site::ComputeDelay)->probability, 1.0);
+}
+
+TEST(FaultsTest, InjectorPublishesEvaluatedAndFiredCounters)
+{
+    obs::Registry reg;
+    FaultInjector inj(FaultPlan::parse("worker-exception:1:1"), &reg);
+    EXPECT_TRUE(inj.shouldFire(Site::WorkerException, 1));
+    EXPECT_TRUE(inj.shouldFire(Site::WorkerException, 2));
+    EXPECT_FALSE(inj.shouldFire(Site::AllocFail, 1)); // not in the plan
+
+    EXPECT_DOUBLE_EQ(
+        counterValue(reg, "macs_faults_evaluated_total",
+                     obs::Labels{{"site", "worker-exception"}}),
+        2.0);
+    EXPECT_DOUBLE_EQ(counterValue(reg, "macs_faults_fired_total",
+                                  obs::Labels{{"site", "worker-exception"}}),
+                     2.0);
+}
+
+// ---------------------------------------------------------------------
+// Engine retry / deadline behavior.
+// ---------------------------------------------------------------------
+
+TEST(FaultsTest, TransientFaultIsRetriedThenSucceeds)
+{
+    BatchJob job = jobFor(1);
+    CacheKey key = BatchEngine::keyOf(job);
+
+    // Find a seed whose plan fires on the first attempt of this job
+    // but not on the retry. The decision is pure, so the search result
+    // is stable and the engine behavior is fully predictable.
+    uint64_t seed = 0;
+    for (uint64_t s = 1; s < 50000 && seed == 0; ++s) {
+        bool first = faults::faultDecision(
+            s, Site::WorkerException, BatchEngine::attemptKey(key, 0), 0.6);
+        bool second = faults::faultDecision(
+            s, Site::WorkerException, BatchEngine::attemptKey(key, 1), 0.6);
+        if (first && !second)
+            seed = s;
+    }
+    ASSERT_NE(seed, 0u);
+
+    obs::Registry reg;
+    FaultPlan plan;
+    plan.add({Site::WorkerException, 0.6, seed, 0.0});
+    FaultInjector inj(plan, &reg);
+
+    EngineOptions opt;
+    opt.workers = 2;
+    opt.maxRetries = 2;
+    opt.retryBackoffUs = 0.0;
+    opt.faults = &inj;
+    opt.metrics = &reg;
+    BatchEngine engine(opt);
+    BatchResult r = engine.run({job});
+
+    ASSERT_TRUE(r.results[0].ok()) << r.results[0].error;
+    EXPECT_EQ(r.results[0].timing.attempts, 2);
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_TRUE(r.errors.empty());
+    EXPECT_DOUBLE_EQ(
+        counterValue(reg, "macs_retry_attempts_total", obs::Labels{}), 1.0);
+}
+
+TEST(FaultsTest, ExhaustedRetriesAreReportedTransient)
+{
+    obs::Registry reg;
+    FaultInjector inj(FaultPlan::parse("worker-exception:1:1"), &reg);
+
+    EngineOptions opt;
+    opt.workers = 1;
+    opt.maxRetries = 1;
+    opt.retryBackoffUs = 0.0;
+    opt.faults = &inj;
+    opt.metrics = &reg;
+    BatchEngine engine(opt);
+    BatchResult r = engine.run({jobFor(1)});
+
+    ASSERT_FALSE(r.results[0].ok());
+    EXPECT_EQ(r.results[0].errorKind, ErrorKind::Transient);
+    EXPECT_EQ(r.results[0].timing.attempts, 2); // initial + 1 retry
+    EXPECT_NE(r.results[0].error.find("injected worker exception"),
+              std::string::npos)
+        << r.results[0].error;
+
+    // Error manifest and the 0/2/3 exit-code contract.
+    ASSERT_EQ(r.errors.size(), 1u);
+    EXPECT_EQ(r.errors[0].jobIndex, 0u);
+    EXPECT_EQ(r.errors[0].kind, ErrorKind::Transient);
+    EXPECT_EQ(r.errors[0].attempts, 2);
+    EXPECT_EQ(r.exitCode(), 3); // every job failed
+
+    EXPECT_DOUBLE_EQ(
+        counterValue(reg, "macs_retry_exhausted_total", obs::Labels{}), 1.0);
+}
+
+TEST(FaultsTest, PermanentErrorIsNeverRetried)
+{
+    BatchJob bad = jobFor(1);
+    bad.kernel.points = 0; // analyzeKernel() rejects this (fatal)
+
+    obs::Registry reg;
+    EngineOptions opt;
+    opt.workers = 1;
+    opt.maxRetries = 3;
+    opt.retryBackoffUs = 0.0;
+    opt.metrics = &reg;
+    BatchEngine engine(opt);
+    BatchResult r = engine.run({bad, jobFor(3)});
+
+    ASSERT_FALSE(r.results[0].ok());
+    EXPECT_EQ(r.results[0].errorKind, ErrorKind::Permanent);
+    EXPECT_EQ(r.results[0].timing.attempts, 1); // no retry
+    EXPECT_TRUE(r.results[1].ok());
+    EXPECT_EQ(r.exitCode(), 2); // partial failure
+    EXPECT_DOUBLE_EQ(
+        counterValue(reg, "macs_retry_attempts_total", obs::Labels{}), 0.0);
+}
+
+TEST(FaultsTest, InjectedAllocFailureIsTransient)
+{
+    obs::Registry reg;
+    FaultInjector inj(FaultPlan::parse("alloc:1:3"), &reg);
+    EngineOptions opt;
+    opt.workers = 1;
+    opt.maxRetries = 0;
+    opt.faults = &inj;
+    opt.metrics = &reg;
+    BatchEngine engine(opt);
+    BatchResult r = engine.run({jobFor(1)});
+    ASSERT_FALSE(r.results[0].ok());
+    EXPECT_EQ(r.results[0].errorKind, ErrorKind::Transient);
+    EXPECT_NE(r.results[0].error.find("alloc"), std::string::npos)
+        << r.results[0].error;
+}
+
+TEST(FaultsTest, DeadlineExpiryIsReportedAsTimeout)
+{
+    obs::Registry reg;
+    // Every compute sleeps 500 ms; the job deadline is 25 ms.
+    FaultInjector inj(FaultPlan::parse("compute-delay:1:5:500"), &reg);
+    EngineOptions opt;
+    opt.workers = 2;
+    opt.maxRetries = 0;
+    opt.jobTimeoutMs = 25.0;
+    opt.faults = &inj;
+    opt.metrics = &reg;
+    {
+        BatchEngine engine(opt);
+        BatchResult r = engine.run({jobFor(1)});
+        ASSERT_FALSE(r.results[0].ok());
+        EXPECT_EQ(r.results[0].errorKind, ErrorKind::Timeout);
+        EXPECT_NE(r.results[0].error.find("deadline"), std::string::npos)
+            << r.results[0].error;
+        ASSERT_EQ(r.errors.size(), 1u);
+        EXPECT_EQ(r.errors[0].kind, ErrorKind::Timeout);
+        EXPECT_EQ(r.exitCode(), 3);
+        EXPECT_DOUBLE_EQ(
+            counterValue(reg, "macs_retry_timeouts_total", obs::Labels{}),
+            1.0);
+    } // engine destruction must join the reaped worker cleanly
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint journal.
+// ---------------------------------------------------------------------
+
+TEST(FaultsTest, AnalysisSerializationRoundTripsByteExactly)
+{
+    BatchEngine engine(EngineOptions{.workers = 1});
+    BatchResult r = engine.run({jobFor(7)});
+    ASSERT_TRUE(r.results[0].ok());
+    const model::KernelAnalysis &a = *r.results[0].analysis;
+
+    std::string text = pipeline::serializeAnalysis(a);
+    model::KernelAnalysis back;
+    ASSERT_TRUE(pipeline::deserializeAnalysis(text, back));
+    EXPECT_EQ(pipeline::serializeAnalysis(back), text);
+    EXPECT_EQ(back.name, a.name);
+    EXPECT_EQ(back.macs.cpl, a.macs.cpl);
+    EXPECT_EQ(back.tP, a.tP);
+
+    // Malformed payloads are rejected, not mis-parsed.
+    EXPECT_FALSE(pipeline::deserializeAnalysis("", back));
+    EXPECT_FALSE(pipeline::deserializeAnalysis("not-a-checkpoint", back));
+    EXPECT_FALSE(pipeline::deserializeAnalysis(
+        text.substr(0, text.size() / 2), back));
+    EXPECT_FALSE(pipeline::deserializeAnalysis(text + "trailing", back));
+}
+
+TEST(FaultsTest, CheckpointResumeSkipsCompletedJobs)
+{
+    std::string path = tempPath("macs_faults_resume.journal");
+    obs::Registry reg;
+
+    // First run: compute two jobs and journal them.
+    {
+        CheckpointJournal journal(path, &reg);
+        EXPECT_EQ(journal.open().loaded, 0u);
+        EngineOptions opt;
+        opt.workers = 2;
+        opt.metrics = &reg;
+        opt.checkpoint = &journal;
+        BatchEngine engine(opt);
+        BatchResult r = engine.run({jobFor(1), jobFor(7)});
+        ASSERT_EQ(r.exitCode(), 0);
+        EXPECT_EQ(journal.entryCount(), 2u);
+    }
+
+    // Second run, fresh engine: the journaled jobs are cache hits and
+    // only the new job is computed.
+    CheckpointJournal journal(path, &reg);
+    CheckpointJournal::LoadStats stats = journal.open();
+    EXPECT_EQ(stats.loaded, 2u);
+    EXPECT_EQ(stats.corrupt, 0u);
+    EXPECT_EQ(stats.torn, 0u);
+
+    EngineOptions opt;
+    opt.workers = 2;
+    opt.metrics = &reg;
+    opt.checkpoint = &journal;
+    BatchEngine engine(opt);
+    std::vector<BatchJob> jobs = {jobFor(1), jobFor(7), jobFor(12)};
+    BatchResult resumed = engine.run(jobs);
+    ASSERT_EQ(resumed.exitCode(), 0);
+    EXPECT_EQ(resumed.stats.cacheHits, 2u);
+    EXPECT_EQ(resumed.stats.cacheMisses, 1u);
+    EXPECT_EQ(journal.entryCount(), 3u);
+
+    // The resumed result set is byte-identical to a clean computation.
+    BatchEngine clean(EngineOptions{.workers = 2, .metrics = &reg});
+    BatchResult fresh = clean.run(jobs);
+    EXPECT_EQ(pipeline::renderBatchJson(resumed, false),
+              pipeline::renderBatchJson(fresh, false));
+
+    std::remove(path.c_str());
+}
+
+TEST(FaultsTest, CorruptRecordIsDetectedAndSkipped)
+{
+    std::string path = tempPath("macs_faults_corrupt.journal");
+    obs::Registry reg;
+    {
+        CheckpointJournal journal(path, &reg);
+        journal.open();
+        EngineOptions opt;
+        opt.workers = 1;
+        opt.metrics = &reg;
+        opt.checkpoint = &journal;
+        BatchEngine engine(opt);
+        ASSERT_EQ(engine.run({jobFor(1), jobFor(7)}).exitCode(), 0);
+    }
+
+    // Flip one byte inside the last payload.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(0, std::ios::end);
+        auto size = static_cast<long>(f.tellg());
+        ASSERT_GT(size, 10);
+        f.seekp(size - 4);
+        f.put('!');
+    }
+
+    CheckpointJournal journal(path, &reg);
+    CheckpointJournal::LoadStats stats = journal.open();
+    EXPECT_EQ(stats.loaded, 1u);
+    EXPECT_GE(stats.corrupt, 1u);
+    EXPECT_EQ(journal.entryCount(), 1u);
+
+    // The engine recomputes the lost job and the batch still succeeds.
+    EngineOptions opt;
+    opt.workers = 1;
+    opt.metrics = &reg;
+    opt.checkpoint = &journal;
+    BatchEngine engine(opt);
+    BatchResult r = engine.run({jobFor(1), jobFor(7)});
+    EXPECT_EQ(r.exitCode(), 0);
+    EXPECT_EQ(r.stats.cacheHits + r.stats.cacheMisses, 2u);
+    EXPECT_EQ(r.stats.cacheMisses, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(FaultsTest, TornTailRecordIsSkipped)
+{
+    std::string path = tempPath("macs_faults_torn.journal");
+    obs::Registry reg;
+    {
+        CheckpointJournal journal(path, &reg);
+        journal.open();
+        EngineOptions opt;
+        opt.workers = 1;
+        opt.metrics = &reg;
+        opt.checkpoint = &journal;
+        BatchEngine engine(opt);
+        ASSERT_EQ(engine.run({jobFor(1), jobFor(7)}).exitCode(), 0);
+    }
+
+    // Simulate a kill mid-append: drop the last 40 bytes.
+    std::string data = readFileOrDie(path);
+    ASSERT_GT(data.size(), 40u);
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f.write(data.data(), static_cast<long>(data.size() - 40));
+    }
+
+    CheckpointJournal journal(path, &reg);
+    CheckpointJournal::LoadStats stats = journal.open();
+    EXPECT_EQ(stats.loaded, 1u);
+    EXPECT_EQ(stats.torn, 1u);
+    EXPECT_EQ(stats.corrupt, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(FaultsTest, InjectedRecordCorruptionIsCaughtOnReload)
+{
+    std::string path = tempPath("macs_faults_inj_corrupt.journal");
+    obs::Registry reg;
+    FaultInjector inj(FaultPlan::parse("cache-corrupt:1:13"), &reg);
+    {
+        CheckpointJournal journal(path, &reg, &inj);
+        journal.open();
+        EngineOptions opt;
+        opt.workers = 1;
+        opt.metrics = &reg;
+        opt.faults = &inj;
+        opt.checkpoint = &journal;
+        BatchEngine engine(opt);
+        // The run itself succeeds; only the journal is silently bad.
+        ASSERT_EQ(engine.run({jobFor(1), jobFor(7)}).exitCode(), 0);
+    }
+
+    CheckpointJournal verify(path, &reg); // no injector: honest reload
+    CheckpointJournal::LoadStats stats = verify.open();
+    EXPECT_EQ(stats.loaded, 0u);
+    EXPECT_EQ(stats.corrupt, 2u);
+    std::remove(path.c_str());
+}
+
+TEST(FaultsTest, AppendFailureDegradesGracefully)
+{
+    std::string path = tempPath("macs_faults_appendfail.journal");
+    obs::Registry reg;
+    FaultInjector inj(FaultPlan::parse("io-write-fail:1:11"), &reg);
+    {
+        CheckpointJournal journal(path, &reg, &inj);
+        journal.open();
+        EngineOptions opt;
+        opt.workers = 1;
+        opt.metrics = &reg;
+        opt.faults = &inj;
+        opt.checkpoint = &journal;
+        BatchEngine engine(opt);
+        // A broken journal must never fail the batch.
+        BatchResult r = engine.run({jobFor(1), jobFor(7)});
+        EXPECT_EQ(r.exitCode(), 0);
+    }
+    EXPECT_DOUBLE_EQ(counterValue(reg, "macs_checkpoint_records_total",
+                                  obs::Labels{{"event", "append_failed"}}),
+                     2.0);
+
+    CheckpointJournal verify(path, &reg);
+    EXPECT_EQ(verify.open().loaded, 0u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Multi-error diagnostics (tests/corpus/bad/).
+// ---------------------------------------------------------------------
+
+TEST(FaultsTest, LoopCorpusReportsEveryError)
+{
+    const std::string path =
+        std::string(MACS_CORPUS_DIR) + "/bad/multi_error.loop";
+    std::string text = stripLoopComments(readFileOrDie(path));
+
+    Diagnostics diags;
+    diags.setSource(text, "multi_error.loop");
+    compiler::parseLoop(text, diags);
+
+    std::string report = diags.render();
+    EXPECT_GE(diags.errorCount(), 3u) << report;
+    EXPECT_NE(report.find("expected ')' near '='"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("index variable 'j' is not the loop "
+                          "variable 'k'"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("unexpected character '$'"), std::string::npos)
+        << report;
+    // Positions and snippets are attached.
+    EXPECT_NE(report.find("multi_error.loop:8:"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find('^'), std::string::npos) << report;
+
+    EXPECT_THROW(diags.throwIfErrors(), DiagnosticError);
+    EXPECT_THROW(diags.throwIfErrors(), FatalError); // legacy contract
+}
+
+TEST(FaultsTest, LoopCorpusBadNumbersAndStride)
+{
+    const std::string path =
+        std::string(MACS_CORPUS_DIR) + "/bad/bad_numbers.loop";
+    std::string text = stripLoopComments(readFileOrDie(path));
+
+    Diagnostics diags;
+    diags.setSource(text, "bad_numbers.loop");
+    compiler::parseLoop(text, diags);
+
+    std::string report = diags.render();
+    EXPECT_GE(diags.errorCount(), 3u) << report;
+    EXPECT_NE(report.find("stride must be nonzero"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("bad number '1.2.3'"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("index variable 'j' is not the loop "
+                          "variable 'i'"),
+              std::string::npos)
+        << report;
+}
+
+TEST(FaultsTest, AsmCorpusReportsEveryError)
+{
+    const std::string path =
+        std::string(MACS_CORPUS_DIR) + "/bad/multi_error.s";
+    std::string text = readFileOrDie(path);
+
+    Diagnostics diags;
+    diags.setSource(text, "multi_error.s");
+    isa::assemble(text, diags);
+
+    std::string report = diags.render();
+    EXPECT_GE(diags.errorCount(), 3u) << report;
+    EXPECT_NE(report.find(".comm needs name,words"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("unknown mnemonic 'frobnicate'"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("needs mem,reg"), std::string::npos) << report;
+}
+
+TEST(FaultsTest, DiagnosticsCascadeIsCapped)
+{
+    Diagnostics diags;
+    for (int i = 0; i < 100; ++i)
+        diags.error(detail::concat("error #", i));
+    EXPECT_TRUE(diags.atErrorLimit());
+    EXPECT_EQ(diags.errorCount(), diags.maxErrors);
+    EXPECT_NE(diags.render().find("further diagnostics suppressed"),
+              std::string::npos);
+    // maxErrors errors + exactly one suppression note.
+    EXPECT_EQ(diags.entries().size(), diags.maxErrors + 1);
+}
+
+} // namespace
+} // namespace macs

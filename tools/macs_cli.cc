@@ -16,31 +16,45 @@
  *                       self-checked against the simulator totals
  *       --metrics PATH  write macs_sim_* metrics JSON
  *       --variant V     machine variant (default baseline)
- *   macs batch [ids] [opts]              parallel batch analysis
+ *   macs batch [ids|files] [opts]        parallel batch analysis
  *       --workers N     worker threads (default: hardware)
  *       --variant V     machine variant (repeatable)
  *       --vl N          strip/vector length override (repeatable)
  *       --repeat N      submit the job set N times (cache demo)
+ *       --trip N        iterations for .loop file jobs (default 512)
  *       --json PATH     write the JSON report ('-' for stdout)
  *       --md PATH       write the markdown report ('-' for stdout)
  *       --timing        include scheduling-dependent stats sections
  *       --no-cache      disable memoization
  *       --metrics PATH  write gap-attribution metrics JSON
  *                       (byte-identical for any --workers value)
+ *       --checkpoint F  crash-safe journal: resume completed jobs
+ *                       from F, append each new analysis
+ *       --job-timeout M per-job wall-clock deadline in ms (0 = off)
+ *       --retries N     retry budget for transient faults (default 2)
+ *       --faults SPEC   fault plan (same grammar as MACS_FAULTS)
+ *
+ * Batch exit codes (docs/ROBUSTNESS.md): 0 = all jobs succeeded,
+ * 2 = partial failure, 3 = total failure; 1 = invocation error.
  *
  * Assembly files use the syntax of isa/parser.h; loop files use the
- * DSL of compiler/loop_parser.h.
+ * DSL of compiler/loop_parser.h. Positional batch arguments ending in
+ * .loop are analyzed alongside (or instead of) the LFK set; all input
+ * paths are validated before any worker starts.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "compiler/codegen.h"
 #include "compiler/loop_parser.h"
+#include "faults/fault_injection.h"
 #include "isa/parser.h"
 #include "lfk/kernels.h"
 #include "macs/gap_metrics.h"
@@ -51,9 +65,11 @@
 #include "obs/metrics.h"
 #include "obs/sim_metrics.h"
 #include "obs/trace_export.h"
+#include "pipeline/checkpoint.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/report.h"
 #include "sim/simulator.h"
+#include "support/diag.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -66,7 +82,7 @@ readFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open '", path, "'");
+        fatal("cannot open '", path, "': ", std::strerror(errno));
     std::ostringstream os;
     os << in.rdbuf();
     return os.str();
@@ -366,7 +382,9 @@ variantConfig(const std::string &name)
         return machine::MachineConfig::noChaining();
     if (name == "no-scalar-cache")
         return machine::MachineConfig::noScalarCache();
-    fatal("unknown machine variant '", name, "'");
+    fatal("unknown machine variant '", name,
+          "' (known: baseline, no-bubbles, no-refresh, no-chaining, "
+          "no-scalar-cache)");
 }
 
 void
@@ -384,36 +402,152 @@ writeReport(const std::string &path, const std::string &text)
                  text.size());
 }
 
+/** Collect every array name referenced by @p e into @p out. */
+void
+collectArrays(const compiler::Expr *e, std::vector<std::string> &out)
+{
+    if (e == nullptr)
+        return;
+    if (e->kind == compiler::Expr::Kind::Array)
+        out.push_back(e->name);
+    collectArrays(e->lhs.get(), out);
+    collectArrays(e->rhs.get(), out);
+}
+
+/**
+ * Compile one `.loop` DSL file into a KernelCase for the batch. Every
+ * referenced array is auto-declared with a generous extent. Parse and
+ * compile errors go to @p diags (with source context for parse
+ * errors); returns false on failure.
+ */
+bool
+loopFileKernel(const std::string &path, long trip,
+               model::KernelCase &out, Diagnostics &diags)
+{
+    std::string text;
+    {
+        std::ifstream in(path);
+        if (!in) {
+            diags.error(detail::concat("cannot open '", path,
+                                       "': ", std::strerror(errno)));
+            return false;
+        }
+        std::ostringstream os;
+        os << in.rdbuf();
+        text = os.str();
+    }
+
+    // The DSL has no comment syntax; `.loop` files use `#` to end of
+    // line (see tests/corpus/). Blank comments out instead of deleting
+    // them so diagnostic line/column positions match the file.
+    bool in_comment = false;
+    for (char &c : text) {
+        if (c == '\n')
+            in_comment = false;
+        else if (c == '#')
+            in_comment = true;
+        if (in_comment)
+            c = ' ';
+    }
+
+    Diagnostics file_diags;
+    file_diags.setSource(text, path);
+    compiler::Loop loop = compiler::parseLoop(text, file_diags);
+    if (file_diags.hasErrors()) {
+        diags.take(std::move(file_diags));
+        return false;
+    }
+
+    compiler::CompileOptions copt;
+    copt.tripCount = trip;
+    std::vector<std::string> arrays;
+    for (const compiler::Stmt &s : loop.stmts) {
+        if (s.arrayDst)
+            arrays.push_back(s.dstName);
+        collectArrays(s.rhs.get(), arrays);
+    }
+    for (const std::string &name : arrays) {
+        bool seen = false;
+        for (const auto &spec : copt.arrays)
+            seen = seen || spec.name == name;
+        if (!seen)
+            copt.arrays.push_back({name, (1u << 16)});
+    }
+
+    try {
+        compiler::CompileResult res = compiler::compile(loop, copt);
+        out.name = path;
+        out.program = std::move(res.program);
+        out.ma = res.analysis.ma;
+        out.sourceFlopsPerPoint = out.ma.flops();
+        out.points = trip;
+    } catch (const FatalError &e) {
+        diags.error(detail::concat(path, ": ", e.what()));
+        return false;
+    }
+    if (out.sourceFlopsPerPoint <= 0) {
+        diags.error(detail::concat(
+            path, ": loop has no floating-point work to analyze"));
+        return false;
+    }
+    return true;
+}
+
 int
 cmdBatch(const std::vector<std::string> &args)
 {
     std::vector<int> ids(lfk::lfkIds());
-    std::vector<std::string> variants;
+    std::vector<std::string> variants, loop_files;
     std::vector<int> vls;
-    std::string json_path, md_path, metrics_path;
-    long workers = 0, repeat = 1;
-    bool timing = false, use_cache = true;
+    std::string json_path, md_path, metrics_path, checkpoint_path;
+    std::string fault_spec;
+    long workers = 0, repeat = 1, retries = 2, trip = 512;
+    double job_timeout_ms = 0.0;
+    bool timing = false, use_cache = true, ids_given = false;
 
+    // Collect EVERY argument error before giving up, compiler-style.
+    Diagnostics diags("macs batch");
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
         auto next = [&](const char *what) -> const std::string & {
-            if (i + 1 >= args.size())
-                fatal(what, " expects an argument");
+            static const std::string empty;
+            if (i + 1 >= args.size()) {
+                diags.error(
+                    detail::concat(what, " expects an argument"));
+                return empty;
+            }
             return args[++i];
         };
         if (a == "--workers") {
             if (!parseInt(next("--workers"), workers) || workers < 0)
-                fatal("--workers expects a non-negative number");
+                diags.error("--workers expects a non-negative number");
         } else if (a == "--variant") {
             variants.push_back(next("--variant"));
         } else if (a == "--vl") {
             long vl = 0;
             if (!parseInt(next("--vl"), vl) || vl <= 0)
-                fatal("--vl expects a positive number");
-            vls.push_back(static_cast<int>(vl));
+                diags.error("--vl expects a positive number");
+            else
+                vls.push_back(static_cast<int>(vl));
         } else if (a == "--repeat") {
             if (!parseInt(next("--repeat"), repeat) || repeat < 1)
-                fatal("--repeat expects a positive number");
+                diags.error("--repeat expects a positive number");
+        } else if (a == "--trip") {
+            if (!parseInt(next("--trip"), trip) || trip < 1)
+                diags.error("--trip expects a positive number");
+        } else if (a == "--retries") {
+            if (!parseInt(next("--retries"), retries) || retries < 0)
+                diags.error("--retries expects a non-negative number");
+        } else if (a == "--job-timeout") {
+            if (!parseDouble(next("--job-timeout"), job_timeout_ms) ||
+                job_timeout_ms < 0.0)
+                diags.error(
+                    "--job-timeout expects a non-negative number of "
+                    "milliseconds");
+        } else if (a == "--checkpoint") {
+            checkpoint_path = next("--checkpoint");
+        } else if (a == "--faults") {
+            fault_spec = next("--faults");
         } else if (a == "--json") {
             json_path = next("--json");
         } else if (a == "--md") {
@@ -426,18 +560,62 @@ cmdBatch(const std::vector<std::string> &args)
             use_cache = false;
         } else if (a == "all") {
             ids = lfk::lfkIds();
+            ids_given = true;
+        } else if (a.size() > 5 &&
+                   a.compare(a.size() - 5, 5, ".loop") == 0) {
+            loop_files.push_back(a);
+        } else if (startsWith(a, "--")) {
+            diags.error(
+                detail::concat("unknown batch option '", a, "'"));
         } else {
             // A comma-separated LFK id list, e.g. "1,7,12".
-            ids.clear();
+            std::vector<int> parsed;
+            bool ok = true;
             for (const auto &part : split(a, ',')) {
                 long id = 0;
-                if (!parseInt(part, id))
-                    fatal("batch expects LFK ids or 'all', got '", a,
-                          "'");
-                ids.push_back(static_cast<int>(id));
+                if (!parseInt(part, id)) {
+                    diags.error(detail::concat(
+                        "batch expects LFK ids, 'all', or .loop "
+                        "files, got '",
+                        a, "'"));
+                    ok = false;
+                    break;
+                }
+                parsed.push_back(static_cast<int>(id));
+            }
+            if (ok) {
+                ids = std::move(parsed);
+                ids_given = true;
             }
         }
     }
+    for (const std::string &variant : variants) {
+        try {
+            (void)variantConfig(variant);
+        } catch (const FatalError &e) {
+            diags.error(e.what());
+        }
+    }
+    // A fault plan given on the command line is validated here too, so
+    // a bad spec is reported alongside every other argument problem.
+    faults::FaultPlan fault_plan;
+    if (!fault_spec.empty())
+        fault_plan = faults::FaultPlan::parse(fault_spec, diags);
+    diags.throwIfErrors();
+
+    // VALIDATE EVERY INPUT PATH before spinning up workers: a missing
+    // or malformed file is reported together with all the others, not
+    // by dying on the first mid-batch.
+    if (loop_files.empty() == false && !ids_given)
+        ids.clear(); // file jobs given, no explicit ids: files only
+    std::vector<model::KernelCase> file_kernels;
+    for (const std::string &path : loop_files) {
+        model::KernelCase kc;
+        if (loopFileKernel(path, trip, kc, diags))
+            file_kernels.push_back(std::move(kc));
+    }
+    diags.throwIfErrors();
+
     if (variants.empty())
         variants.push_back("baseline");
     if (vls.empty())
@@ -460,6 +638,17 @@ cmdBatch(const std::vector<std::string> &args)
                     job.vectorLength = vl;
                     jobs.push_back(std::move(job));
                 }
+                for (const model::KernelCase &kc : file_kernels) {
+                    pipeline::BatchJob job;
+                    job.label = kc.name;
+                    if (vl > 0)
+                        job.label += format("@vl%d", vl);
+                    job.configName = variant;
+                    job.kernel = kc;
+                    job.config = cfg;
+                    job.vectorLength = vl;
+                    jobs.push_back(std::move(job));
+                }
             }
         }
     }
@@ -467,6 +656,34 @@ cmdBatch(const std::vector<std::string> &args)
     pipeline::EngineOptions opt;
     opt.workers = static_cast<size_t>(workers);
     opt.useCache = use_cache;
+    opt.maxRetries = static_cast<int>(retries);
+    opt.jobTimeoutMs = job_timeout_ms;
+
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (!fault_spec.empty()) {
+        injector =
+            std::make_unique<faults::FaultInjector>(fault_plan);
+        opt.faults = injector.get();
+    }
+
+    std::unique_ptr<pipeline::CheckpointJournal> journal;
+    if (!checkpoint_path.empty()) {
+        // The journal consults the same injector as the engine for
+        // its cache-corrupt / io-write-fail sites.
+        journal = std::make_unique<pipeline::CheckpointJournal>(
+            checkpoint_path, nullptr,
+            injector != nullptr ? injector.get()
+                                : &faults::FaultInjector::global());
+        pipeline::CheckpointJournal::LoadStats ls = journal->open();
+        if (ls.loaded + ls.corrupt + ls.torn > 0)
+            std::fprintf(stderr,
+                         "checkpoint '%s': %zu record(s) resumed, "
+                         "%zu corrupt, %zu torn\n",
+                         checkpoint_path.c_str(), ls.loaded,
+                         ls.corrupt, ls.torn);
+        opt.checkpoint = journal.get();
+    }
+
     pipeline::BatchEngine engine(opt);
     pipeline::BatchResult result = engine.run(jobs);
 
@@ -493,7 +710,23 @@ cmdBatch(const std::vector<std::string> &args)
     }
     std::fprintf(stderr, "%s\n",
                  pipeline::renderStatsLine(result.stats).c_str());
-    return result.stats.failures == 0 ? 0 : 1;
+
+    // The error manifest: every failed job, its classification, and
+    // how many attempts it was given.
+    if (!result.errors.empty()) {
+        std::fprintf(stderr,
+                     "error manifest (%zu of %zu job(s) failed):\n",
+                     result.errors.size(), result.stats.jobs);
+        for (const pipeline::ErrorRecord &e : result.errors)
+            std::fprintf(
+                stderr, "  job #%zu %s [%s]: %s (%s, %d attempt%s)\n",
+                e.jobIndex, e.label.c_str(), e.configName.c_str(),
+                e.message.c_str(), pipeline::errorKindName(e.kind),
+                e.attempts, e.attempts == 1 ? "" : "s");
+    }
+    // Exit-code contract (docs/ROBUSTNESS.md): 0 clean, 2 partial
+    // failure (some valid results), 3 total failure.
+    return result.exitCode();
 }
 
 void
@@ -512,11 +745,16 @@ usage()
         "(lfk1 | 7 | file.s;\n"
         "                          --chrome PATH, --metrics PATH, "
         "--variant V)\n"
-        "  batch [ids|all] [opts]  parallel batch analysis "
+        "  batch [ids|all|files.loop] [opts]\n"
+        "                          parallel batch analysis "
         "(--workers N, --variant V, --vl N,\n"
-        "                          --repeat N, --json PATH, --md PATH, "
-        "--metrics PATH, --timing,\n"
-        "                          --no-cache)\n");
+        "                          --repeat N, --trip N, --json PATH, "
+        "--md PATH, --metrics PATH,\n"
+        "                          --timing, --no-cache, "
+        "--checkpoint FILE, --job-timeout MS,\n"
+        "                          --retries N, --faults SPEC)\n"
+        "batch exit codes: 0 all jobs ok, 2 partial failure, 3 total "
+        "failure, 1 bad invocation\n");
 }
 
 } // namespace
@@ -524,9 +762,12 @@ usage()
 int
 main(int argc, char **argv)
 {
+    // Exit-code contract: 1 = invocation / input error (including the
+    // multi-error diagnostics report), and for `batch` 0/2/3 =
+    // clean / partial / total failure (docs/ROBUSTNESS.md).
     if (argc < 2) {
         usage();
-        return 2;
+        return 1;
     }
     std::vector<std::string> args(argv + 2, argv + argc);
     std::string cmd = argv[1];
@@ -550,5 +791,5 @@ main(int argc, char **argv)
         return 1;
     }
     usage();
-    return 2;
+    return 1;
 }
