@@ -144,4 +144,41 @@ grep -q "corrupt" "$tmp/corrupt2.err" ||
 cmp -s "$tmp/golden.json" "$tmp/corrupt2.json" ||
     fail "corrupt2: recomputed report differs from golden"
 
+echo "== chaos: server net faults never silently drop a request =="
+# Seeded read/write faults make the server answer 503 + Retry-After or
+# cut the connection; the client's bounded retry must land EVERY
+# request, and each landed body must be byte-identical to the
+# fault-free CLI rendering (docs/SERVER.md).
+"$MACS" serve --host 127.0.0.1 --port 0 --port-file "$tmp/port" \
+    --workers 2 --faults net-read:0.4:42,net-write:0.3:7 \
+    >"$tmp/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill -KILL "$SERVE_PID" 2>/dev/null; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 100); do
+    [[ -s "$tmp/port" ]] && break
+    sleep 0.1
+done
+[[ -s "$tmp/port" ]] || fail "server: serve never bound a port"
+PORT=$(cat "$tmp/port")
+"$MACS" batch 1 --json - >"$tmp/server_cli.json" 2>/dev/null
+for i in $(seq 1 12); do
+    "$MACS" http POST /v1/analyze --data '{"id": 1}' \
+        --port "$PORT" --retry 10 >"$tmp/server_req$i.json" \
+        2>/dev/null ||
+        fail "server: request $i was dropped despite retries"
+    cmp -s "$tmp/server_cli.json" "$tmp/server_req$i.json" ||
+        fail "server: request $i body differs from the CLI rendering"
+done
+"$MACS" http GET /metrics --port "$PORT" --retry 10 \
+    >"$tmp/server_metrics.txt" 2>/dev/null ||
+    fail "server: /metrics unreachable"
+grep -q 'macs_faults_fired_total{site="net-read"}' \
+    "$tmp/server_metrics.txt" ||
+    fail "server: net-read faults did not fire (plan inert?)"
+kill -TERM "$SERVE_PID"
+rc=0; wait "$SERVE_PID" || rc=$?
+SERVE_PID=""
+(( rc == 0 )) || fail "server: exit code $rc after SIGTERM, expected 0"
+echo "chaos: server: 12/12 faulted requests landed byte-identical"
+
 echo "chaos: all stages passed"

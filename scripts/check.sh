@@ -26,6 +26,13 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== tier-1: chaos (seeded fault plans) =="
 scripts/chaos.sh build/tools/macs
 
+# `macs serve` end to end on an ephemeral port: /healthz, /metrics,
+# one /v1/analyze byte-identical to the CLI, then SIGTERM with an
+# in-flight batch — clean drain, flushed checkpoint, exit 0
+# (docs/SERVER.md).
+echo "== tier-1: server (smoke + graceful drain) =="
+scripts/server_smoke.sh build/tools/macs
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== skipping sanitizer stages (--fast) =="
     exit 0

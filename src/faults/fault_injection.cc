@@ -14,8 +14,9 @@ namespace macs::faults {
 namespace {
 
 constexpr const char *kSiteNames[kSiteCount] = {
-    "alloc", "worker-exception", "compute-delay", "cache-corrupt",
-    "io-write-fail",
+    "alloc",         "worker-exception", "compute-delay",
+    "cache-corrupt", "io-write-fail",    "net-accept",
+    "net-read",      "net-write",
 };
 
 /** splitmix64: high-quality 64-bit mix (Steele et al.). */

@@ -12,6 +12,9 @@
  *   compute-delay     artificial compute delay (exercises deadlines)
  *   cache-corrupt     corrupted checkpoint-journal record on write
  *   io-write-fail     I/O write failure (journal / report output)
+ *   net-accept        `macs serve` rejects an accepted connection
+ *   net-read          `macs serve` request read fails (503 + retry)
+ *   net-write         `macs serve` response write fails (conn cut)
  *
  * A FaultPlan is a set of (site, probability, seed[, param]) specs,
  * configured programmatically or via the environment:
@@ -56,9 +59,12 @@ enum class Site : uint8_t
     ComputeDelay,    ///< "compute-delay"
     CacheCorrupt,    ///< "cache-corrupt"
     IoWriteFail,     ///< "io-write-fail"
+    NetAccept,       ///< "net-accept" (src/server admission path)
+    NetRead,         ///< "net-read" (src/server request read)
+    NetWrite,        ///< "net-write" (src/server response write)
 };
 
-inline constexpr size_t kSiteCount = 5;
+inline constexpr size_t kSiteCount = 8;
 
 /** Canonical site name (the MACS_FAULTS grammar spelling). */
 const char *siteName(Site site);

@@ -81,6 +81,24 @@ MachineConfig::noScalarCache()
     return m;
 }
 
+MachineConfig
+MachineConfig::variant(const std::string &name)
+{
+    if (name == "baseline")
+        return convexC240();
+    if (name == "no-bubbles")
+        return noBubbles();
+    if (name == "no-refresh")
+        return noRefresh();
+    if (name == "no-chaining")
+        return noChaining();
+    if (name == "no-scalar-cache")
+        return noScalarCache();
+    fatal("unknown machine variant '", name,
+          "' (known: baseline, no-bubbles, no-refresh, no-chaining, "
+          "no-scalar-cache)");
+}
+
 std::string
 MachineConfig::fingerprint() const
 {

@@ -150,6 +150,15 @@ struct MachineConfig
 
     /** C-240 with the ASU's scalar data cache disabled. */
     static MachineConfig noScalarCache();
+
+    /**
+     * Resolve a named machine variant ("baseline", "no-bubbles",
+     * "no-refresh", "no-chaining", "no-scalar-cache"); fatal() on an
+     * unknown name. The CLI (`macs batch --variant`) and the analysis
+     * server (`macs serve`) share this resolver so both accept exactly
+     * the same names.
+     */
+    static MachineConfig variant(const std::string &name);
 };
 
 } // namespace macs::machine

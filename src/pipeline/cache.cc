@@ -2,6 +2,31 @@
 
 namespace macs::pipeline {
 
+void
+AnalysisCache::touch(Entry &entry)
+{
+    lru_.splice(lru_.begin(), lru_, entry.lru);
+}
+
+void
+AnalysisCache::enforceCapacity()
+{
+    if (capacity_ == 0)
+        return;
+    while (entries_.size() > capacity_ && !lru_.empty()) {
+        const CacheKey victim = lru_.back();
+        lru_.pop_back();
+        entries_.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_ != nullptr && evictionCounter_ == nullptr)
+            evictionCounter_ = &metrics_->counter(
+                "macs_cache_evictions_total",
+                "Analysis-cache entries evicted by the LRU bound");
+        if (evictionCounter_ != nullptr)
+            evictionCounter_->inc();
+    }
+}
+
 AnalysisCache::Claim
 AnalysisCache::claim(const CacheKey &key)
 {
@@ -9,12 +34,15 @@ AnalysisCache::claim(const CacheKey &key)
     auto it = entries_.find(key);
     if (it != entries_.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
-        return {it->second, nullptr};
+        touch(it->second);
+        return {it->second.future, nullptr};
     }
     auto promise = std::make_shared<std::promise<Value>>();
     std::shared_future<Value> future = promise->get_future().share();
-    entries_.emplace(key, future);
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{future, lru_.begin()});
     misses_.fetch_add(1, std::memory_order_relaxed);
+    enforceCapacity();
     return {std::move(future), std::move(promise)};
 }
 
@@ -24,7 +52,36 @@ AnalysisCache::seed(const CacheKey &key, Value value)
     std::promise<Value> ready;
     ready.set_value(std::move(value));
     std::lock_guard<std::mutex> lock(mu_);
-    return entries_.emplace(key, ready.get_future().share()).second;
+    if (entries_.find(key) != entries_.end())
+        return false;
+    lru_.push_front(key);
+    entries_.emplace(key,
+                     Entry{ready.get_future().share(), lru_.begin()});
+    enforceCapacity();
+    return true;
+}
+
+void
+AnalysisCache::setCapacity(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = capacity;
+    enforceCapacity();
+}
+
+size_t
+AnalysisCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+}
+
+void
+AnalysisCache::attachMetrics(obs::Registry *registry)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = registry;
+    evictionCounter_ = nullptr;
 }
 
 size_t
@@ -39,8 +96,10 @@ AnalysisCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_.clear();
+    lru_.clear();
     hits_.store(0);
     misses_.store(0);
+    evictions_.store(0);
 }
 
 } // namespace macs::pipeline

@@ -14,6 +14,17 @@
  * Failures propagate: if the owner's computation throws, the exception
  * is stored in the future and rethrown to every waiter; the entry stays
  * poisoned (retrying a deterministic computation would fail again).
+ *
+ * CAPACITY (docs/SERVER.md): by default the cache is unbounded — the
+ * right behavior for one-shot `macs batch`, whose working set is the
+ * job set itself. A long-running `macs serve` process instead calls
+ * setCapacity(n) to cap the number of resident entries; the cache then
+ * evicts in strict least-recently-used order (a claim() hit refreshes
+ * recency) and counts every eviction, publishing
+ * `macs_cache_evictions_total` when a registry is attached. Evicting a
+ * still-pending entry is safe: existing waiters keep their
+ * shared_future copies and the owner still fulfills its promise; only
+ * the memoization is lost (a later claim recomputes).
  */
 
 #ifndef MACS_PIPELINE_CACHE_H
@@ -21,11 +32,13 @@
 
 #include <atomic>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 
 #include "macs/hierarchy.h"
+#include "obs/metrics.h"
 #include "pipeline/job.h"
 
 namespace macs::pipeline {
@@ -48,7 +61,8 @@ class AnalysisCache
     /**
      * Look up @p key, inserting a pending entry when absent. Exactly
      * one caller per key ever receives an owner claim; it MUST either
-     * set_value or set_exception on the promise.
+     * set_value or set_exception on the promise. A hit refreshes the
+     * key's LRU recency.
      */
     Claim claim(const CacheKey &key);
 
@@ -60,22 +74,55 @@ class AnalysisCache
      */
     bool seed(const CacheKey &key, Value value);
 
-    /** Lifetime hit/miss counters (hits = non-owner claims). @{ */
+    /**
+     * Bound the cache to @p capacity resident entries (0 = unbounded,
+     * the default). Shrinking below the current size evicts the LRU
+     * tail immediately.
+     */
+    void setCapacity(size_t capacity);
+
+    size_t capacity() const;
+
+    /**
+     * Publish evictions as the `macs_cache_evictions_total` counter of
+     * @p registry (nullptr detaches). The counter series is created
+     * lazily on the first eviction.
+     */
+    void attachMetrics(obs::Registry *registry);
+
+    /** Lifetime hit/miss/eviction counters (hits = non-owner claims). @{ */
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }
+    uint64_t evictions() const { return evictions_.load(); }
     /** @} */
 
-    /** Number of distinct keys ever claimed. */
+    /** Number of currently resident keys. */
     size_t size() const;
 
     /** Drop all entries and reset the counters. */
     void clear();
 
   private:
+    struct Entry
+    {
+        std::shared_future<Value> future;
+        std::list<CacheKey>::iterator lru;
+    };
+
+    /** Move @p entry to the most-recent position. mu_ held. */
+    void touch(Entry &entry);
+    /** Evict LRU entries until size() <= capacity_. mu_ held. */
+    void enforceCapacity();
+
     mutable std::mutex mu_;
-    std::map<CacheKey, std::shared_future<Value>> entries_;
+    std::map<CacheKey, Entry> entries_;
+    std::list<CacheKey> lru_; ///< front = most recently used
+    size_t capacity_ = 0;     ///< 0 = unbounded
+    obs::Registry *metrics_ = nullptr;
+    obs::Counter *evictionCounter_ = nullptr; // lazily bound, mu_ held
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
 };
 
 } // namespace macs::pipeline

@@ -432,6 +432,14 @@ CheckpointJournal::lookup(const CacheKey &key) const
     return it != entries_.end() ? it->second : nullptr;
 }
 
+void
+CheckpointJournal::seedInto(AnalysisCache &cache) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[key, value] : entries_)
+        cache.seed(key, value);
+}
+
 size_t
 CheckpointJournal::entryCount() const
 {

@@ -90,6 +90,12 @@ class CheckpointJournal
     /** Verified entry for @p key, or nullptr. */
     AnalysisCache::Value lookup(const CacheKey &key) const;
 
+    /**
+     * Seed every verified entry into @p cache (existing entries win).
+     * `macs serve` warms its shared cache from the journal at startup.
+     */
+    void seedInto(AnalysisCache &cache) const;
+
     size_t entryCount() const;
 
     /**

@@ -203,6 +203,8 @@ hashOptions(const sim::SimOptions &opt)
 BatchEngine::BatchEngine(EngineOptions options)
     : options_(options), pool_(resolveWorkers(options.workers))
 {
+    cache_.setCapacity(options_.cacheCapacity);
+    cache_.attachMetrics(&registry());
 }
 
 BatchEngine::~BatchEngine()
@@ -274,18 +276,25 @@ BatchEngine::attemptKey(const CacheKey &key, int attempt)
  * the fault-injection hooks at the sites where real faults strike.
  * Injection decisions are keyed on (cache key, attempt), so the fire
  * pattern is identical for any worker count and a retry of the same
- * job is an independent draw.
+ * job is an independent draw. Shared verbatim by the batch engine and
+ * the analysis server (src/server).
  */
 AnalysisCache::Value
-BatchEngine::computeGuarded(const BatchJob &job, const CacheKey &key,
-                            std::atomic<int> &attempts,
-                            const std::atomic<bool> *cancel)
+computeAnalysisGuarded(const BatchJob &job, const CacheKey &key,
+                       const GuardedComputeOptions &options,
+                       std::atomic<int> &attempts,
+                       const std::atomic<bool> *cancel)
 {
-    const faults::FaultInjector &inj = injector();
+    const faults::FaultInjector &inj =
+        options.faults != nullptr ? *options.faults
+                                  : faults::FaultInjector::global();
+    obs::Registry &reg = options.metrics != nullptr
+                             ? *options.metrics
+                             : obs::Registry::global();
     for (int attempt = 0;; ++attempt) {
         attempts.store(attempt + 1, std::memory_order_relaxed);
         try {
-            uint64_t akey = attemptKey(key, attempt);
+            uint64_t akey = BatchEngine::attemptKey(key, attempt);
             inj.maybeFailAlloc(akey);
             inj.maybeDelay(akey, cancel);
             inj.maybeThrowWorker(akey, job.displayLabel());
@@ -297,26 +306,63 @@ BatchEngine::computeGuarded(const BatchJob &job, const CacheKey &key,
             bool transient = isTransient(ep);
             bool cancelled = cancel != nullptr &&
                              cancel->load(std::memory_order_acquire);
-            if (!transient || attempt >= options_.maxRetries ||
+            if (!transient || attempt >= options.maxRetries ||
                 cancelled) {
-                if (transient && attempt >= options_.maxRetries)
-                    registry()
-                        .counter("macs_retry_exhausted_total",
-                                 "Jobs whose transient-fault retry "
-                                 "budget ran out")
+                if (transient && attempt >= options.maxRetries)
+                    reg.counter("macs_retry_exhausted_total",
+                                "Jobs whose transient-fault retry "
+                                "budget ran out")
                         .inc();
                 std::rethrow_exception(ep);
             }
-            registry()
-                .counter("macs_retry_attempts_total",
-                         "Transient-fault retries performed")
+            reg.counter("macs_retry_attempts_total",
+                        "Transient-fault retries performed")
                 .inc();
             // Exponential backoff: base * 2^attempt.
-            backoffSleep(options_.retryBackoffUs *
+            backoffSleep(options.retryBackoffUs *
                              static_cast<double>(1ULL << attempt),
                          cancel);
         }
     }
+}
+
+ErrorKind
+classifyError(const std::exception_ptr &ep, std::string &message)
+{
+    try {
+        std::rethrow_exception(ep);
+    } catch (const DeadlineExceeded &e) {
+        message = e.what();
+        return ErrorKind::Timeout;
+    } catch (const faults::TransientFault &e) {
+        message = e.what();
+        return ErrorKind::Transient;
+    } catch (const faults::IoError &e) {
+        message = e.what();
+        return ErrorKind::Transient;
+    } catch (const std::bad_alloc &) {
+        message = "allocation failure (std::bad_alloc)";
+        return ErrorKind::Transient;
+    } catch (const std::exception &e) {
+        message = e.what();
+        return ErrorKind::Permanent;
+    } catch (...) {
+        message = "unknown error";
+        return ErrorKind::Permanent;
+    }
+}
+
+AnalysisCache::Value
+BatchEngine::computeGuarded(const BatchJob &job, const CacheKey &key,
+                            std::atomic<int> &attempts,
+                            const std::atomic<bool> *cancel)
+{
+    GuardedComputeOptions opt;
+    opt.maxRetries = options_.maxRetries;
+    opt.retryBackoffUs = options_.retryBackoffUs;
+    opt.faults = options_.faults;
+    opt.metrics = options_.metrics;
+    return computeAnalysisGuarded(job, key, opt, attempts, cancel);
 }
 
 /**
@@ -427,26 +473,10 @@ BatchEngine::runOne(const BatchJob &job, JobResult &out,
             // get() rethrows the owner's exception for every waiter.
             out.analysis = claim.future.get();
         }
-    } catch (const DeadlineExceeded &e) {
+    } catch (...) {
         out.analysis = nullptr;
-        out.error = e.what();
-        out.errorKind = ErrorKind::Timeout;
-    } catch (const faults::TransientFault &e) {
-        out.analysis = nullptr;
-        out.error = e.what();
-        out.errorKind = ErrorKind::Transient;
-    } catch (const faults::IoError &e) {
-        out.analysis = nullptr;
-        out.error = e.what();
-        out.errorKind = ErrorKind::Transient;
-    } catch (const std::bad_alloc &) {
-        out.analysis = nullptr;
-        out.error = "allocation failure (std::bad_alloc)";
-        out.errorKind = ErrorKind::Transient;
-    } catch (const std::exception &e) {
-        out.analysis = nullptr;
-        out.error = e.what();
-        out.errorKind = ErrorKind::Permanent;
+        out.errorKind =
+            classifyError(std::current_exception(), out.error);
     }
     out.timing.totalUs = nowUs() - start_us;
 }

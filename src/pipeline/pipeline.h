@@ -116,7 +116,52 @@ struct EngineOptions
      * the engine. nullptr disables checkpointing.
      */
     CheckpointJournal *checkpoint = nullptr;
+    /**
+     * LRU bound on the memo cache (entries); 0 = unbounded, the right
+     * default for one-shot `macs batch`. Long-running consumers
+     * (`macs serve`) set a bound so the cache cannot grow without
+     * limit; evictions surface as `macs_cache_evictions_total`.
+     */
+    size_t cacheCapacity = 0;
 };
+
+/**
+ * Options of one guarded computation: the retry/backoff/fault-site
+ * envelope shared by the batch engine and the analysis server
+ * (src/server), so both paths fail, retry, and count identically.
+ */
+struct GuardedComputeOptions
+{
+    int maxRetries = 2;
+    double retryBackoffUs = 1000.0;
+    /** nullptr means faults::FaultInjector::global(). */
+    const faults::FaultInjector *faults = nullptr;
+    /** nullptr means obs::Registry::global(). */
+    obs::Registry *metrics = nullptr;
+};
+
+/**
+ * Run analyzeKernel for @p job under the standard fault/retry guard:
+ * the alloc / compute-delay / worker-exception sites are consulted
+ * with attemptKey(key, attempt) so the fire pattern is schedule
+ * independent, TRANSIENT failures are retried with exponential
+ * backoff, and the macs_retry_* counters are published. Throws the
+ * final failure; @p attempts always reflects the attempts consumed.
+ */
+AnalysisCache::Value
+computeAnalysisGuarded(const BatchJob &job, const CacheKey &key,
+                       const GuardedComputeOptions &options,
+                       std::atomic<int> &attempts,
+                       const std::atomic<bool> *cancel);
+
+/**
+ * Classify @p ep with the engine's error taxonomy
+ * (docs/ROBUSTNESS.md) and render its message into @p message:
+ * DeadlineExceeded -> Timeout, TransientFault / IoError / bad_alloc ->
+ * Transient, anything else -> Permanent.
+ */
+ErrorKind classifyError(const std::exception_ptr &ep,
+                        std::string &message);
 
 class BatchEngine
 {

@@ -41,6 +41,20 @@ ThreadPool::waitIdle()
     idle_.wait(lock, [this] { return inFlight_ == 0; });
 }
 
+size_t
+ThreadPool::queuedTasks() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+size_t
+ThreadPool::inFlight() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return inFlight_;
+}
+
 void
 ThreadPool::workerLoop()
 {

@@ -43,12 +43,21 @@ class ThreadPool
     /** Block until all submitted tasks have run to completion. */
     void waitIdle();
 
+    /**
+     * Tasks submitted but not yet picked up by a worker. The analysis
+     * server's admission control reads this as its queue depth.
+     */
+    size_t queuedTasks() const;
+
+    /** Queued + currently executing tasks. */
+    size_t inFlight() const;
+
     size_t workerCount() const { return threads_.size(); }
 
   private:
     void workerLoop();
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable workReady_;
     std::condition_variable idle_;
     std::deque<std::function<void()>> queue_;

@@ -1,0 +1,204 @@
+#include "server/client.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <thread>
+
+#include "server/net.h"
+#include "support/strings.h"
+
+namespace macs::server {
+
+namespace {
+
+std::string
+lowerCopy(std::string_view s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    });
+    return out;
+}
+
+} // namespace
+
+const std::string *
+ClientResponse::header(const std::string &name) const
+{
+    for (const auto &[k, v] : headers)
+        if (k == name)
+            return &v;
+    return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, int port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeoutMs_(timeout_ms)
+{
+}
+
+HttpClient::~HttpClient()
+{
+    close();
+}
+
+void
+HttpClient::close()
+{
+    closeFd(fd_);
+    fd_ = -1;
+    leftover_.clear();
+}
+
+bool
+HttpClient::ensureConnected()
+{
+    if (fd_ >= 0)
+        return true;
+    fd_ = tcpConnect(host_, port_, timeoutMs_);
+    leftover_.clear();
+    return fd_ >= 0;
+}
+
+bool
+HttpClient::readResponse(ClientResponse &out)
+{
+    out = ClientResponse{};
+    std::string buf = std::move(leftover_);
+    leftover_.clear();
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeoutMs_);
+    auto timeLeft = [&]() -> int {
+        auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        return ms > 0 ? static_cast<int>(ms) : 0;
+    };
+    char chunk[16384];
+
+    // Header block.
+    size_t head_end;
+    while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+        int left = timeLeft();
+        if (left == 0)
+            return false;
+        int n = readWithDeadline(fd_, chunk, sizeof(chunk), left);
+        if (n <= 0)
+            return false;
+        buf.append(chunk, static_cast<size_t>(n));
+    }
+    std::string head = buf.substr(0, head_end);
+    buf.erase(0, head_end + 4);
+
+    // Status line: HTTP/1.1 NNN Reason
+    size_t eol = head.find("\r\n");
+    std::string status_line = head.substr(0, eol);
+    size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string::npos)
+        return false;
+    long status = 0;
+    size_t sp2 = status_line.find(' ', sp1 + 1);
+    if (!parseInt(status_line.substr(sp1 + 1, sp2 - sp1 - 1), status))
+        return false;
+    out.status = static_cast<int>(status);
+
+    // Header fields (lower-cased names).
+    std::string rest =
+        eol == std::string::npos ? std::string() : head.substr(eol + 2);
+    for (const std::string &line : split(rest, '\n')) {
+        std::string_view l = trim(line);
+        size_t colon = l.find(':');
+        if (colon == std::string_view::npos || colon == 0)
+            continue;
+        out.headers.emplace_back(
+            lowerCopy(l.substr(0, colon)),
+            std::string(trim(l.substr(colon + 1))));
+    }
+
+    // Body: the server always frames with Content-Length.
+    size_t length = 0;
+    if (const std::string *cl = out.header("content-length")) {
+        long n = 0;
+        if (!parseInt(*cl, n) || n < 0)
+            return false;
+        length = static_cast<size_t>(n);
+    }
+    while (buf.size() < length) {
+        int left = timeLeft();
+        if (left == 0)
+            return false;
+        int n = readWithDeadline(fd_, chunk, sizeof(chunk), left);
+        if (n <= 0)
+            return false;
+        buf.append(chunk, static_cast<size_t>(n));
+    }
+    out.body = buf.substr(0, length);
+    leftover_ = buf.substr(length); // pipelined next-response bytes
+
+    bool close_conn = false;
+    if (const std::string *conn = out.header("connection"))
+        close_conn = lowerCopy(*conn) == "close";
+    if (close_conn)
+        close();
+    return true;
+}
+
+bool
+HttpClient::request(const std::string &method,
+                    const std::string &target,
+                    const std::string &body, ClientResponse &out,
+                    const std::string &content_type)
+{
+    if (!ensureConnected())
+        return false;
+
+    std::string msg;
+    msg.reserve(body.size() + 256);
+    msg += method + " " + target + " HTTP/1.1\r\n";
+    msg += "Host: " + host_ + "\r\n";
+    if (!body.empty() || method == "POST" || method == "PUT") {
+        msg += "Content-Type: " + content_type + "\r\n";
+        msg += format("Content-Length: %zu\r\n", body.size());
+    }
+    msg += "\r\n";
+    msg += body;
+
+    if (!writeAll(fd_, msg, timeoutMs_)) {
+        close();
+        return false;
+    }
+    if (!readResponse(out)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+HttpClient::requestWithRetry(const std::string &method,
+                             const std::string &target,
+                             const std::string &body,
+                             ClientResponse &out, int attempts,
+                             int backoff_ms)
+{
+    int sleep_ms = backoff_ms;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(sleep_ms));
+            sleep_ms *= 2;
+        }
+        if (!request(method, target, body, out))
+            continue; // transport failure (e.g. injected net-write)
+        if (out.status != 503)
+            return true;
+        close(); // the server closes 503 connections; mirror it
+    }
+    return false;
+}
+
+} // namespace macs::server

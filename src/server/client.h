@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal in-process HTTP/1.1 client for `macs serve` (docs/
+ * SERVER.md): persistent keep-alive connections over net.h with
+ * deadline-bounded I/O, Content-Length response framing, and a
+ * bounded retry helper that honors Retry-After — the client side of
+ * the "no request silently dropped" contract that the server's
+ * injected net faults are tested against.
+ *
+ * Used by tests/server_test.cc, bench/server_throughput.cc, and the
+ * `macs http` CLI verb, so the scripts need no external curl.
+ */
+
+#ifndef MACS_SERVER_CLIENT_H
+#define MACS_SERVER_CLIENT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace macs::server {
+
+/** One parsed response. */
+struct ClientResponse
+{
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Value of lower-case header @p name, or nullptr. */
+    const std::string *header(const std::string &name) const;
+};
+
+class HttpClient
+{
+  public:
+    HttpClient(std::string host, int port, int timeout_ms = 5000);
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /**
+     * Issue one request on the persistent connection (connecting or
+     * reconnecting as needed) and parse the response.
+     * @retval false on connect/send/receive failure or timeout (the
+     *         connection is dropped so the next call reconnects).
+     */
+    bool request(const std::string &method, const std::string &target,
+                 const std::string &body, ClientResponse &out,
+                 const std::string &content_type =
+                     "application/json");
+
+    /**
+     * request(), retried up to @p attempts times on transport
+     * failures AND on 503 responses (sleeping @p backoff_ms, doubled
+     * per retry, or the server's Retry-After if larger is not
+     * desired — the smaller of the two is used so tests stay fast).
+     * @retval false when every attempt failed.
+     */
+    bool requestWithRetry(const std::string &method,
+                          const std::string &target,
+                          const std::string &body,
+                          ClientResponse &out, int attempts = 3,
+                          int backoff_ms = 10);
+
+    /** Drop the persistent connection (next request reconnects). */
+    void close();
+
+  private:
+    bool ensureConnected();
+    bool readResponse(ClientResponse &out);
+
+    std::string host_;
+    int port_;
+    int timeoutMs_;
+    int fd_ = -1;
+    std::string leftover_; ///< bytes past the previous response
+};
+
+} // namespace macs::server
+
+#endif // MACS_SERVER_CLIENT_H

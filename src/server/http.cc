@@ -1,0 +1,391 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "support/strings.h"
+
+namespace macs::server {
+
+namespace {
+
+std::string
+lowerCopy(std::string_view s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    });
+    return out;
+}
+
+bool
+isTokenChar(char c)
+{
+    // RFC 7230 token characters (the subset we care about).
+    return std::isalnum(static_cast<unsigned char>(c)) ||
+           std::strchr("!#$%&'*+-.^_`|~", c) != nullptr;
+}
+
+} // namespace
+
+const std::string *
+HttpRequest::header(const std::string &name) const
+{
+    for (const auto &[k, v] : headers)
+        if (k == name)
+            return &v;
+    return nullptr;
+}
+
+std::string
+HttpRequest::queryOr(const std::string &key,
+                     const std::string &fallback) const
+{
+    auto it = query.find(key);
+    return it != query.end() ? it->second : fallback;
+}
+
+const char *
+statusReason(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Content";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    }
+    return "Unknown";
+}
+
+std::string
+serializeResponse(const HttpResponse &response, bool keep_alive)
+{
+    std::string out;
+    out.reserve(response.body.size() + 256);
+    out += format("HTTP/1.1 %d %s\r\n", response.status,
+                  statusReason(response.status));
+    out += "Content-Type: " + response.contentType + "\r\n";
+    out += format("Content-Length: %zu\r\n", response.body.size());
+    out += keep_alive ? "Connection: keep-alive\r\n"
+                      : "Connection: close\r\n";
+    for (const auto &[k, v] : response.headers)
+        out += k + ": " + v + "\r\n";
+    out += "\r\n";
+    out += response.body;
+    return out;
+}
+
+std::string
+urlDecode(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (c == '+') {
+            out += ' ';
+        } else if (c == '%' && i + 2 < s.size() &&
+                   std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+                   std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+            auto hex = [](char h) -> int {
+                if (h >= '0' && h <= '9')
+                    return h - '0';
+                return (std::tolower(static_cast<unsigned char>(h)) -
+                        'a') + 10;
+            };
+            out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+            i += 2;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+RequestParser::fail(int status, std::string detail)
+{
+    state_ = State::Error;
+    errorStatus_ = status;
+    errorDetail_ = std::move(detail);
+}
+
+bool
+RequestParser::parseHeaderBlock(std::string_view block)
+{
+    size_t eol = block.find("\r\n");
+    std::string_view request_line = block.substr(0, eol);
+
+    // Request line: METHOD SP TARGET SP VERSION, single spaces.
+    size_t sp1 = request_line.find(' ');
+    size_t sp2 = request_line.rfind(' ');
+    if (sp1 == std::string_view::npos || sp2 == sp1) {
+        fail(400, "malformed request line");
+        return false;
+    }
+    request_.method = std::string(request_line.substr(0, sp1));
+    request_.target =
+        std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    request_.version = std::string(request_line.substr(sp2 + 1));
+    if (request_.method.empty() ||
+        !std::all_of(request_.method.begin(), request_.method.end(),
+                     isTokenChar)) {
+        fail(400, "malformed method token");
+        return false;
+    }
+    if (request_.version != "HTTP/1.1" &&
+        request_.version != "HTTP/1.0") {
+        fail(startsWith(request_.version, "HTTP/") ? 505 : 400,
+             "unsupported protocol version '" + request_.version +
+                 "'");
+        return false;
+    }
+    if (request_.target.empty() || request_.target[0] != '/') {
+        fail(400, "request target must be an absolute path");
+        return false;
+    }
+
+    // Header fields.
+    std::string_view rest =
+        eol == std::string_view::npos ? std::string_view{}
+                                      : block.substr(eol + 2);
+    while (!rest.empty()) {
+        size_t le = rest.find("\r\n");
+        std::string_view line =
+            le == std::string_view::npos ? rest : rest.substr(0, le);
+        rest = le == std::string_view::npos ? std::string_view{}
+                                            : rest.substr(le + 2);
+        if (line.empty())
+            continue;
+        size_t colon = line.find(':');
+        if (colon == 0 || colon == std::string_view::npos) {
+            fail(400, "malformed header field");
+            return false;
+        }
+        std::string_view name = line.substr(0, colon);
+        if (!std::all_of(name.begin(), name.end(), isTokenChar)) {
+            fail(400, "malformed header field name");
+            return false;
+        }
+        request_.headers.emplace_back(
+            lowerCopy(name), std::string(trim(line.substr(colon + 1))));
+    }
+
+    // Target decomposition: path '?' query.
+    size_t qmark = request_.target.find('?');
+    request_.path = urlDecode(request_.target.substr(0, qmark));
+    if (qmark != std::string::npos) {
+        for (const std::string &pair :
+             split(request_.target.substr(qmark + 1), '&')) {
+            size_t eq = pair.find('=');
+            std::string key = urlDecode(pair.substr(0, eq));
+            std::string val = eq == std::string::npos
+                                  ? std::string()
+                                  : urlDecode(pair.substr(eq + 1));
+            if (!key.empty())
+                request_.query[key] = val;
+        }
+    }
+
+    // Connection semantics.
+    request_.keepAlive = request_.version == "HTTP/1.1";
+    if (const std::string *conn = request_.header("connection")) {
+        std::string c = lowerCopy(*conn);
+        if (c == "close")
+            request_.keepAlive = false;
+        else if (c == "keep-alive")
+            request_.keepAlive = true;
+    }
+
+    // Body framing.
+    const std::string *te = request_.header("transfer-encoding");
+    const std::string *cl = request_.header("content-length");
+    if (te != nullptr && cl != nullptr) {
+        fail(400, "both Transfer-Encoding and Content-Length given");
+        return false;
+    }
+    if (te != nullptr) {
+        if (lowerCopy(*te) != "chunked") {
+            fail(501, "unsupported transfer coding '" + *te + "'");
+            return false;
+        }
+        chunked_ = true;
+        state_ = State::ChunkSize;
+        return true;
+    }
+    if (cl != nullptr) {
+        long n = 0;
+        if (!parseInt(*cl, n) || n < 0) {
+            fail(400, "malformed Content-Length '" + *cl + "'");
+            return false;
+        }
+        if (static_cast<size_t>(n) > limits_.maxBodyBytes) {
+            fail(413, format("body of %ld bytes exceeds the %zu-byte "
+                             "limit",
+                             n, limits_.maxBodyBytes));
+            return false;
+        }
+        contentLength_ = static_cast<size_t>(n);
+        state_ = contentLength_ > 0 ? State::Body : State::Complete;
+        return true;
+    }
+    if (request_.method == "POST" || request_.method == "PUT") {
+        fail(411, "a request body requires Content-Length or "
+                  "Transfer-Encoding: chunked");
+        return false;
+    }
+    state_ = State::Complete;
+    return true;
+}
+
+void
+RequestParser::process()
+{
+    for (;;) {
+        switch (state_) {
+        case State::Headers: {
+            size_t end = buffer_.find("\r\n\r\n");
+            if (end == std::string::npos) {
+                if (buffer_.size() > limits_.maxHeaderBytes)
+                    fail(431,
+                         format("header block exceeds the %zu-byte "
+                                "limit",
+                                limits_.maxHeaderBytes));
+                return;
+            }
+            if (end + 4 > limits_.maxHeaderBytes) {
+                fail(431, format("header block exceeds the %zu-byte "
+                                 "limit",
+                                 limits_.maxHeaderBytes));
+                return;
+            }
+            std::string block = buffer_.substr(0, end + 2);
+            buffer_.erase(0, end + 4);
+            if (!parseHeaderBlock(block))
+                return;
+            break;
+        }
+        case State::Body:
+            if (buffer_.size() < contentLength_)
+                return;
+            request_.body = buffer_.substr(0, contentLength_);
+            buffer_.erase(0, contentLength_);
+            state_ = State::Complete;
+            break;
+        case State::ChunkSize: {
+            size_t eol = buffer_.find("\r\n");
+            if (eol == std::string::npos) {
+                if (buffer_.size() > 1024)
+                    fail(400, "malformed chunk-size line");
+                return;
+            }
+            std::string line = buffer_.substr(0, eol);
+            buffer_.erase(0, eol + 2);
+            // Strip chunk extensions.
+            line = line.substr(0, line.find(';'));
+            size_t size = 0;
+            bool any = false;
+            for (char c : trim(line)) {
+                int d;
+                if (c >= '0' && c <= '9')
+                    d = c - '0';
+                else if (c >= 'a' && c <= 'f')
+                    d = c - 'a' + 10;
+                else if (c >= 'A' && c <= 'F')
+                    d = c - 'A' + 10;
+                else {
+                    fail(400, "malformed chunk size '" + line + "'");
+                    return;
+                }
+                size = size * 16 + static_cast<size_t>(d);
+                any = true;
+                if (size > limits_.maxBodyBytes) {
+                    fail(413,
+                         format("chunked body exceeds the %zu-byte "
+                                "limit",
+                                limits_.maxBodyBytes));
+                    return;
+                }
+            }
+            if (!any) {
+                fail(400, "empty chunk-size line");
+                return;
+            }
+            if (request_.body.size() + size > limits_.maxBodyBytes) {
+                fail(413, format("chunked body exceeds the %zu-byte "
+                                 "limit",
+                                 limits_.maxBodyBytes));
+                return;
+            }
+            chunkRemaining_ = size;
+            state_ = size == 0 ? State::ChunkTrailer : State::ChunkData;
+            break;
+        }
+        case State::ChunkData:
+            if (buffer_.size() < chunkRemaining_ + 2)
+                return;
+            request_.body.append(buffer_, 0, chunkRemaining_);
+            if (buffer_[chunkRemaining_] != '\r' ||
+                buffer_[chunkRemaining_ + 1] != '\n') {
+                fail(400, "chunk data not terminated by CRLF");
+                return;
+            }
+            buffer_.erase(0, chunkRemaining_ + 2);
+            state_ = State::ChunkSize;
+            break;
+        case State::ChunkTrailer: {
+            size_t eol = buffer_.find("\r\n");
+            if (eol == std::string::npos) {
+                if (buffer_.size() > limits_.maxHeaderBytes)
+                    fail(431, "trailer block too large");
+                return;
+            }
+            buffer_.erase(0, eol + 2);
+            if (eol == 0) {
+                state_ = State::Complete;
+                break;
+            }
+            break; // ignore (and skip) trailer fields
+        }
+        case State::Complete:
+        case State::Error:
+            return;
+        }
+    }
+}
+
+void
+RequestParser::feed(std::string_view data)
+{
+    if (state_ == State::Error)
+        return;
+    buffer_.append(data);
+    process();
+}
+
+HttpRequest
+RequestParser::take()
+{
+    HttpRequest out = std::move(request_);
+    request_ = HttpRequest{};
+    contentLength_ = 0;
+    chunked_ = false;
+    chunkRemaining_ = 0;
+    state_ = State::Headers;
+    process(); // pipelined bytes may already hold the next message
+    return out;
+}
+
+} // namespace macs::server

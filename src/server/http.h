@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Dependency-free HTTP/1.1 message layer of `macs serve`
+ * (docs/SERVER.md): request parsing (incremental, bounded, keep-alive
+ * aware, Content-Length and chunked bodies), response serialization,
+ * and target/query decoding. Pure string processing — no sockets —
+ * so the malformed-request corpus (tests/corpus/http/) can be
+ * replayed deterministically without a network.
+ *
+ * Parsing limits are explicit and map to HTTP status codes instead of
+ * unbounded buffering: oversized headers -> 431, oversized bodies ->
+ * 413, a missing length on a body-bearing method -> 411, an
+ * unsupported transfer coding -> 501, an unsupported protocol
+ * version -> 505, anything else malformed -> 400.
+ */
+
+#ifndef MACS_SERVER_HTTP_H
+#define MACS_SERVER_HTTP_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace macs::server {
+
+/** One parsed request. Header names are lower-cased. */
+struct HttpRequest
+{
+    std::string method;  ///< e.g. "GET", "POST"
+    std::string target;  ///< raw request target (path + query)
+    std::string path;    ///< decoded path component
+    std::string version; ///< "HTTP/1.0" or "HTTP/1.1"
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::map<std::string, std::string> query; ///< decoded key -> value
+    std::string body;
+    /** HTTP/1.1 default unless "Connection: close" (and vice versa). */
+    bool keepAlive = true;
+
+    /** Value of lower-case header @p name, or nullptr. */
+    const std::string *header(const std::string &name) const;
+
+    /** Query parameter @p key, or @p fallback. */
+    std::string queryOr(const std::string &key,
+                        const std::string &fallback) const;
+};
+
+/** One response to serialize. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    /** Extra headers (e.g. Retry-After). */
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+};
+
+/** Canonical reason phrase of @p status ("OK", "Not Found", ...). */
+const char *statusReason(int status);
+
+/**
+ * Serialize @p response as an HTTP/1.1 message with Content-Length
+ * and an explicit `Connection: keep-alive` / `close` header. No Date
+ * header: responses are byte-deterministic for identical content.
+ */
+std::string serializeResponse(const HttpResponse &response,
+                              bool keep_alive);
+
+/** Percent-decode @p s (plus '+' -> space). Invalid escapes pass through. */
+std::string urlDecode(std::string_view s);
+
+/**
+ * Incremental request parser. feed() bytes as they arrive; when
+ * complete(), take() moves the request out and the parser resumes on
+ * any pipelined leftover bytes (keep-alive). On failed(), the
+ * connection should be answered with errorStatus() and closed.
+ */
+/** Parsing bounds; exceeding them maps to 431 / 413. */
+struct ParserLimits
+{
+    size_t maxHeaderBytes = 64 * 1024;
+    size_t maxBodyBytes = 1 << 20;
+};
+
+class RequestParser
+{
+  public:
+    using Limits = ParserLimits;
+
+    explicit RequestParser(Limits limits = Limits())
+        : limits_(limits)
+    {
+    }
+
+    /** Append @p data and advance the state machine. */
+    void feed(std::string_view data);
+
+    bool complete() const { return state_ == State::Complete; }
+    bool failed() const { return state_ == State::Error; }
+    /** True while no byte of the CURRENT message has been seen. */
+    bool idle() const
+    {
+        return state_ == State::Headers && buffer_.empty();
+    }
+
+    /** HTTP status of the parse failure (400/411/413/431/501/505). */
+    int errorStatus() const { return errorStatus_; }
+    const std::string &errorDetail() const { return errorDetail_; }
+
+    /**
+     * Move the completed request out and reset for the next message
+     * on the same connection (pipelined bytes are reprocessed).
+     */
+    HttpRequest take();
+
+  private:
+    enum class State
+    {
+        Headers,
+        Body,
+        ChunkSize,
+        ChunkData,
+        ChunkTrailer,
+        Complete,
+        Error,
+    };
+
+    void process();
+    bool parseHeaderBlock(std::string_view block);
+    void fail(int status, std::string detail);
+
+    Limits limits_;
+    State state_ = State::Headers;
+    std::string buffer_;   ///< unconsumed input
+    HttpRequest request_;  ///< being assembled
+    size_t contentLength_ = 0;
+    bool chunked_ = false;
+    size_t chunkRemaining_ = 0;
+    int errorStatus_ = 400;
+    std::string errorDetail_;
+};
+
+} // namespace macs::server
+
+#endif // MACS_SERVER_HTTP_H

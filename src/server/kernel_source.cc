@@ -1,0 +1,132 @@
+#include "server/kernel_source.h"
+
+#include <utility>
+#include <vector>
+
+#include "compiler/ast.h"
+#include "compiler/codegen.h"
+#include "compiler/loop_parser.h"
+#include "isa/parser.h"
+#include "macs/workload.h"
+#include "support/logging.h"
+
+namespace macs::server {
+
+namespace {
+
+/** Collect every array name referenced by @p e into @p out. */
+void
+collectArrays(const compiler::Expr *e, std::vector<std::string> &out)
+{
+    if (e == nullptr)
+        return;
+    if (e->kind == compiler::Expr::Kind::Array)
+        out.push_back(e->name);
+    collectArrays(e->lhs.get(), out);
+    collectArrays(e->rhs.get(), out);
+}
+
+} // namespace
+
+bool
+kernelFromLoopSource(const std::string &raw, const std::string &name,
+                     long trip, model::KernelCase &out,
+                     Diagnostics &diags)
+{
+    // The DSL has no comment syntax; `.loop` sources use `#` to end
+    // of line (see tests/corpus/). Blank comments out instead of
+    // deleting them so diagnostic line/column positions match the
+    // input.
+    std::string text = raw;
+    bool in_comment = false;
+    for (char &c : text) {
+        if (c == '\n')
+            in_comment = false;
+        else if (c == '#')
+            in_comment = true;
+        if (in_comment)
+            c = ' ';
+    }
+
+    Diagnostics file_diags;
+    file_diags.setSource(text, name);
+    compiler::Loop loop = compiler::parseLoop(text, file_diags);
+    if (file_diags.hasErrors()) {
+        diags.take(std::move(file_diags));
+        return false;
+    }
+
+    compiler::CompileOptions copt;
+    copt.tripCount = trip;
+    std::vector<std::string> arrays;
+    for (const compiler::Stmt &s : loop.stmts) {
+        if (s.arrayDst)
+            arrays.push_back(s.dstName);
+        collectArrays(s.rhs.get(), arrays);
+    }
+    for (const std::string &array : arrays) {
+        bool seen = false;
+        for (const auto &spec : copt.arrays)
+            seen = seen || spec.name == array;
+        if (!seen)
+            copt.arrays.push_back({array, (1u << 16)});
+    }
+
+    try {
+        compiler::CompileResult res = compiler::compile(loop, copt);
+        out.name = name;
+        out.program = std::move(res.program);
+        out.ma = res.analysis.ma;
+        out.sourceFlopsPerPoint = out.ma.flops();
+        out.points = trip;
+    } catch (const FatalError &e) {
+        diags.error(detail::concat(name, ": ", e.what()));
+        return false;
+    }
+    if (out.sourceFlopsPerPoint <= 0) {
+        diags.error(detail::concat(
+            name, ": loop has no floating-point work to analyze"));
+        return false;
+    }
+    return true;
+}
+
+bool
+kernelFromAsmSource(const std::string &text, const std::string &name,
+                    long points, model::KernelCase &out,
+                    Diagnostics &diags)
+{
+    Diagnostics file_diags;
+    file_diags.setSource(text, name);
+    isa::Program program = isa::assemble(text, file_diags);
+    if (file_diags.hasErrors()) {
+        diags.take(std::move(file_diags));
+        return false;
+    }
+    try {
+        program.validate();
+    } catch (const FatalError &e) {
+        diags.error(detail::concat(name, ": ", e.what()));
+        return false;
+    }
+
+    out.name = name;
+    out.program = std::move(program);
+    out.ma = model::countAssembly(out.program.innerLoop());
+    out.sourceFlopsPerPoint = out.ma.flops();
+    out.points = points;
+    if (out.sourceFlopsPerPoint <= 0) {
+        diags.error(detail::concat(
+            name,
+            ": assembly has no floating-point work to analyze"));
+        return false;
+    }
+    if (out.points <= 0) {
+        diags.error(detail::concat(
+            name, ": points must be positive to normalize CPF"));
+        return false;
+    }
+    return true;
+}
+
+} // namespace macs::server

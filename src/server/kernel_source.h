@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared construction of model::KernelCase from user-supplied source
+ * text. `macs batch file.loop`, `POST /v1/analyze`, and
+ * `POST /v1/batch` all funnel through these helpers, so a loop sent
+ * over HTTP is compiled *exactly* like the same file given to the CLI
+ * — the byte-identical-response contract of docs/SERVER.md depends on
+ * it.
+ *
+ * Loop sources use the DSL of compiler/loop_parser.h with `#`
+ * comments (blanked, not deleted, so diagnostics keep their
+ * positions); every referenced array is auto-declared with a generous
+ * extent. Assembly sources use the syntax of isa/parser.h. All errors
+ * are collected into the caller's Diagnostics (multi-error,
+ * docs/ROBUSTNESS.md) rather than thrown one at a time.
+ */
+
+#ifndef MACS_SERVER_KERNEL_SOURCE_H
+#define MACS_SERVER_KERNEL_SOURCE_H
+
+#include <string>
+
+#include "macs/hierarchy.h"
+#include "support/diag.h"
+
+namespace macs::server {
+
+/**
+ * Compile loop-DSL @p text (named @p name in diagnostics) into a
+ * KernelCase with trip count @p trip. @retval false on any error
+ * (reported to @p diags).
+ */
+bool kernelFromLoopSource(const std::string &text,
+                          const std::string &name, long trip,
+                          model::KernelCase &out, Diagnostics &diags);
+
+/**
+ * Assemble @p text into a KernelCase whose workload is the assembly's
+ * own operation counts, normalized to @p points result elements.
+ * @retval false on any error (reported to @p diags).
+ */
+bool kernelFromAsmSource(const std::string &text,
+                         const std::string &name, long points,
+                         model::KernelCase &out, Diagnostics &diags);
+
+} // namespace macs::server
+
+#endif // MACS_SERVER_KERNEL_SOURCE_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Thin POSIX socket layer of `macs serve` (docs/SERVER.md): a
+ * listening socket with timeout-sliced accept (so the acceptor can
+ * observe the stop flag without signals), and deadline-bounded
+ * read/write primitives used by both the server sessions and the
+ * in-process HTTP client. IPv4 loopback-oriented; everything returns
+ * explicit status codes instead of blocking forever.
+ */
+
+#ifndef MACS_SERVER_NET_H
+#define MACS_SERVER_NET_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace macs::server {
+
+/** Result codes of the deadline-bounded I/O primitives. */
+inline constexpr int kIoTimeout = -1;
+inline constexpr int kIoError = -2;
+inline constexpr int kIoEof = 0;
+
+/** TCP listening socket (SO_REUSEADDR, port 0 = ephemeral). */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /** Bind + listen; fatal() on failure. */
+    void open(const std::string &host, int port, int backlog = 128);
+
+    /** The bound port (resolves port 0 after open()). */
+    int boundPort() const { return port_; }
+
+    /**
+     * Wait up to @p timeout_ms for one connection.
+     * @return a connected fd >= 0, kIoTimeout, or kIoError (also
+     *         returned once the listener was closed).
+     */
+    int acceptFor(int timeout_ms);
+
+    void close();
+
+    bool isOpen() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    int port_ = 0;
+};
+
+/**
+ * Connect to host:port with a bounded wait.
+ * @return connected fd >= 0, or kIoError.
+ */
+int tcpConnect(const std::string &host, int port, int timeout_ms);
+
+/**
+ * Read up to @p len bytes, waiting at most @p timeout_ms for the fd
+ * to become readable.
+ * @return bytes read (> 0), kIoEof, kIoTimeout, or kIoError.
+ */
+int readWithDeadline(int fd, char *buf, size_t len, int timeout_ms);
+
+/**
+ * Write all of @p data, waiting at most @p timeout_ms overall
+ * (SIGPIPE suppressed). @retval false on timeout or error.
+ */
+bool writeAll(int fd, std::string_view data, int timeout_ms);
+
+/** Close @p fd (ignores invalid fds). */
+void closeFd(int fd);
+
+} // namespace macs::server
+
+#endif // MACS_SERVER_NET_H

@@ -1,0 +1,695 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "lfk/kernels.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "pipeline/report.h"
+#include "server/kernel_source.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int
+remainingMs(Clock::time_point deadline)
+{
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/** Bounded-cardinality route label of @p path for metrics. */
+std::string
+routeLabel(const std::string &path)
+{
+    if (path == "/healthz" || path == "/metrics" ||
+        path == "/version" || path == "/v1/analyze" ||
+        path == "/v1/batch")
+        return path;
+    return "other";
+}
+
+bool
+looksLikeJson(const HttpRequest &request)
+{
+    if (const std::string *ct = request.header("content-type"))
+        if (startsWith(*ct, "application/json"))
+            return true;
+    std::string_view body = trim(request.body);
+    return !body.empty() && body.front() == '{';
+}
+
+/**
+ * Fold one JSON job envelope ({"kind": "lfk"|"loop"|"asm", ...}) into
+ * @p spec. Compile/validation errors go to @p diags; malformed JSON
+ * shapes fatal() (the caller maps that to 400).
+ */
+void
+addJobFromJson(const obs::JsonValue &o, long default_trip,
+               JobSetSpec &spec, Diagnostics &diags)
+{
+    std::string kind;
+    if (const obs::JsonValue *k = o.find("kind"))
+        kind = k->asString();
+    else if (o.has("id"))
+        kind = "lfk";
+    else
+        kind = "loop";
+
+    if (kind == "lfk") {
+        long id = static_cast<long>(o.at("id").asDouble());
+        try {
+            (void)lfk::makeKernel(static_cast<int>(id));
+        } catch (const FatalError &e) {
+            diags.error(e.what());
+            return;
+        }
+        spec.ids.push_back(static_cast<int>(id));
+        return;
+    }
+
+    long trip = default_trip;
+    if (const obs::JsonValue *t = o.find("trip"))
+        trip = static_cast<long>(t->asDouble());
+    if (trip <= 0) {
+        diags.error("'trip' must be positive");
+        return;
+    }
+
+    if (kind == "loop") {
+        std::string label = "<loop>";
+        if (const obs::JsonValue *l = o.find("label"))
+            label = l->asString();
+        model::KernelCase kc;
+        if (kernelFromLoopSource(o.at("source").asString(), label,
+                                 trip, kc, diags))
+            spec.kernels.push_back(std::move(kc));
+        return;
+    }
+    if (kind == "asm") {
+        long points = trip;
+        if (const obs::JsonValue *p = o.find("points"))
+            points = static_cast<long>(p->asDouble());
+        std::string label = "<asm>";
+        if (const obs::JsonValue *l = o.find("label"))
+            label = l->asString();
+        model::KernelCase kc;
+        if (kernelFromAsmSource(o.at("source").asString(), label,
+                                points, kc, diags))
+            spec.kernels.push_back(std::move(kc));
+        return;
+    }
+    diags.error(detail::concat("unknown job kind '", kind,
+                               "' (known: lfk, loop, asm)"));
+}
+
+/** Validate every variant name; fills @p message on failure. */
+bool
+validVariants(const std::vector<std::string> &variants,
+              std::string &message)
+{
+    for (const std::string &v : variants) {
+        try {
+            (void)machine::MachineConfig::variant(v);
+        } catch (const FatalError &e) {
+            message = e.what();
+            return false;
+        }
+    }
+    return true;
+}
+
+HttpResponse
+errorResponse(int status, const std::string &message,
+              const Diagnostics *diags = nullptr)
+{
+    HttpResponse response;
+    response.status = status;
+    response.body = errorBody(status, message, diags);
+    return response;
+}
+
+} // namespace
+
+std::string
+errorBody(int status, const std::string &message,
+          const Diagnostics *diags)
+{
+    std::string out;
+    out += "{\"schema\": \"macs-error-v1\", \"status\": ";
+    out += std::to_string(status);
+    out += ", \"error\": \"" + obs::jsonEscape(message) + "\"";
+    if (diags != nullptr && !diags->entries().empty()) {
+        out += ", \"diagnostics\": [";
+        bool first = true;
+        for (const Diagnostic &d : diags->entries()) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += "{\"severity\": \"";
+            out += diagSeverityName(d.severity);
+            out += "\", \"file\": \"" + obs::jsonEscape(d.file) +
+                   "\"";
+            if (d.loc.valid())
+                out += format(", \"line\": %zu, \"col\": %zu",
+                              d.loc.line, d.loc.col);
+            out += ", \"message\": \"" + obs::jsonEscape(d.message) +
+                   "\"}";
+        }
+        out += "]";
+    }
+    out += "}\n";
+    return out;
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service)
+{
+    size_t workers = options_.workers != 0
+                         ? options_.workers
+                         : std::max(
+                               1u, std::thread::hardware_concurrency());
+    pool_ = std::make_unique<pipeline::ThreadPool>(workers);
+}
+
+Server::~Server()
+{
+    drain();
+}
+
+obs::Registry &
+Server::registry() const
+{
+    return options_.metrics != nullptr ? *options_.metrics
+                                       : obs::Registry::global();
+}
+
+const faults::FaultInjector &
+Server::injector() const
+{
+    return options_.faults != nullptr
+               ? *options_.faults
+               : faults::FaultInjector::global();
+}
+
+void
+Server::countRequest(const std::string &route, int status)
+{
+    registry()
+        .counter("macs_server_requests_total",
+                 "HTTP requests served by route and status",
+                 obs::Labels{{"route", route},
+                             {"status", std::to_string(status)}})
+        .inc();
+}
+
+void
+Server::start()
+{
+    // Pre-register the stable macs_server_* series (counters at 0, as
+    // Prometheus recommends) so a scrape of a fresh server already
+    // shows the full family instead of series popping into existence
+    // with their first event.
+    obs::Registry &reg = registry();
+    reg.counter("macs_server_requests_total",
+                "HTTP requests served by route and status",
+                obs::Labels{{"route", "/healthz"}, {"status", "200"}});
+    reg.counter("macs_server_connections_total",
+                "Connections accepted");
+    for (const char *reason : {"backpressure", "fault"})
+        reg.counter("macs_server_rejected_total",
+                    "Connections rejected before dispatch, by reason",
+                    obs::Labels{{"reason", reason}});
+    reg.gauge("macs_server_queue_depth",
+              "Accepted sessions waiting for a worker");
+    reg.gauge("macs_server_inflight", "Requests currently executing");
+
+    listener_.open(options_.host, options_.port);
+    started_.store(true, std::memory_order_release);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::drain()
+{
+    requestStop();
+    if (drained_.exchange(true))
+        return;
+    if (acceptor_.joinable())
+        acceptor_.join();
+    listener_.close();
+    if (pool_ != nullptr)
+        pool_->waitIdle();
+    service_.reapStrays();
+}
+
+void
+Server::rejectConnection(int fd, const char *reason)
+{
+    registry()
+        .counter("macs_server_rejected_total",
+                 "Connections rejected before dispatch, by reason",
+                 obs::Labels{{"reason", reason}})
+        .inc();
+    HttpResponse response;
+    response.status = 503;
+    response.headers.emplace_back(
+        "Retry-After", std::to_string(options_.retryAfterSeconds));
+    response.body = errorBody(
+        503, detail::concat("connection rejected (", reason,
+                            "); retry after ",
+                            options_.retryAfterSeconds, "s"));
+    // Best-effort: the client may already be gone.
+    (void)writeAll(fd, serializeResponse(response, false),
+                   options_.writeTimeoutMs);
+    closeFd(fd);
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping()) {
+        int fd = listener_.acceptFor(100);
+        if (fd == kIoTimeout)
+            continue;
+        if (fd == kIoError) {
+            if (stopping() || !listener_.isOpen())
+                break;
+            continue;
+        }
+        registry()
+            .counter("macs_server_connections_total",
+                     "Connections accepted")
+            .inc();
+        if (injector().shouldFire(faults::Site::NetAccept)) {
+            rejectConnection(fd, "fault");
+            continue;
+        }
+        if (pool_->queuedTasks() >= options_.queueCapacity) {
+            rejectConnection(fd, "backpressure");
+            continue;
+        }
+        pool_->submit([this, fd] { runSession(fd); });
+        registry()
+            .gauge("macs_server_queue_depth",
+                   "Accepted sessions waiting for a worker")
+            .set(static_cast<double>(pool_->queuedTasks()));
+    }
+}
+
+bool
+Server::deliverResponse(int fd, const HttpResponse &response,
+                        bool keep_alive)
+{
+    if (injector().shouldFire(faults::Site::NetWrite))
+        return false; // injected write fault: cut the connection
+    return writeAll(fd, serializeResponse(response, keep_alive),
+                    options_.writeTimeoutMs);
+}
+
+void
+Server::runSession(int fd)
+{
+    registry()
+        .gauge("macs_server_queue_depth",
+               "Accepted sessions waiting for a worker")
+        .set(static_cast<double>(pool_->queuedTasks()));
+
+    RequestParser parser(options_.limits);
+    char buf[16384];
+
+    for (;;) {
+        // Read one full request. A single deadline bounds both the
+        // keep-alive idle wait and the request read, so a slow or
+        // torn request cannot pin a worker.
+        Clock::time_point deadline =
+            Clock::now() +
+            std::chrono::milliseconds(options_.requestTimeoutMs);
+        while (!parser.complete() && !parser.failed()) {
+            int left = remainingMs(deadline);
+            if (left == 0) {
+                if (!parser.idle()) {
+                    HttpResponse r = errorResponse(
+                        408, format("request not complete within "
+                                    "the %d ms read deadline",
+                                    options_.requestTimeoutMs));
+                    countRequest("other", 408);
+                    (void)deliverResponse(fd, r, false);
+                }
+                closeFd(fd);
+                return;
+            }
+            int n = readWithDeadline(fd, buf, sizeof(buf),
+                                     std::min(left, 100));
+            if (n > 0) {
+                parser.feed(std::string_view(
+                    buf, static_cast<size_t>(n)));
+                continue;
+            }
+            if (n == kIoTimeout) {
+                // Draining: drop idle keep-alive connections; let a
+                // request that is mid-flight finish within its
+                // deadline.
+                if (stopping() && parser.idle()) {
+                    closeFd(fd);
+                    return;
+                }
+                continue;
+            }
+            if (n == kIoEof && !parser.idle()) {
+                // Torn request: the peer closed mid-message.
+                countRequest("other", 408);
+                closeFd(fd);
+                return;
+            }
+            closeFd(fd); // EOF between requests, or socket error
+            return;
+        }
+
+        if (parser.failed()) {
+            HttpResponse r = errorResponse(parser.errorStatus(),
+                                           parser.errorDetail());
+            countRequest("other", r.status);
+            (void)deliverResponse(fd, r, false);
+            closeFd(fd);
+            return;
+        }
+
+        HttpRequest request = parser.take();
+
+        if (injector().shouldFire(faults::Site::NetRead)) {
+            // Injected read fault: the request is NOT silently
+            // dropped — the client gets an explicit retriable 503.
+            HttpResponse r = errorResponse(
+                503, "transient read fault; retry");
+            r.headers.emplace_back(
+                "Retry-After",
+                std::to_string(options_.retryAfterSeconds));
+            countRequest(routeLabel(request.path), 503);
+            (void)deliverResponse(fd, r, false);
+            closeFd(fd);
+            return;
+        }
+
+        obs::Gauge &inflight = registry().gauge(
+            "macs_server_inflight", "Requests currently executing");
+        inflight.add(1.0);
+        HttpResponse response;
+        try {
+            response = handle(request);
+        } catch (const std::exception &e) {
+            response = errorResponse(500, e.what());
+            countRequest(routeLabel(request.path), 500);
+        }
+        inflight.add(-1.0);
+
+        bool keep = request.keepAlive && !stopping();
+        if (!deliverResponse(fd, response, keep) || !keep) {
+            closeFd(fd);
+            return;
+        }
+    }
+}
+
+HttpResponse
+Server::handle(const HttpRequest &request)
+{
+    HttpResponse response;
+    const std::string &path = request.path;
+    if (path == "/healthz" || path == "/metrics" ||
+        path == "/version") {
+        if (request.method != "GET" && request.method != "HEAD") {
+            response = errorResponse(
+                405, detail::concat("method ", request.method,
+                                    " not allowed for ", path,
+                                    " (use GET)"));
+        } else if (path == "/healthz") {
+            response = handleHealth();
+        } else if (path == "/metrics") {
+            response = handleMetrics();
+        } else {
+            response = handleVersion();
+        }
+    } else if (path == "/v1/analyze" || path == "/v1/batch") {
+        if (request.method != "POST") {
+            response = errorResponse(
+                405, detail::concat("method ", request.method,
+                                    " not allowed for ", path,
+                                    " (use POST)"));
+        } else if (path == "/v1/analyze") {
+            response = handleAnalyze(request);
+        } else {
+            response = handleBatch(request);
+        }
+    } else {
+        response = errorResponse(
+            404, detail::concat("no route for '", path,
+                                "' (known: /healthz, /metrics, "
+                                "/version, /v1/analyze, /v1/batch)"));
+    }
+    countRequest(routeLabel(path), response.status);
+    return response;
+}
+
+HttpResponse
+Server::handleHealth() const
+{
+    HttpResponse response;
+    response.body = format(
+        "{\"schema\": \"macs-health-v1\", \"status\": \"%s\", "
+        "\"workers\": %zu, \"queue_depth\": %zu, "
+        "\"cache_entries\": %zu}\n",
+        stopping() ? "draining" : "ok", pool_->workerCount(),
+        pool_->queuedTasks(), service_.cache().size());
+    return response;
+}
+
+HttpResponse
+Server::handleMetrics() const
+{
+    HttpResponse response;
+    response.contentType = "text/plain; version=0.0.4";
+    response.body = obs::renderPrometheus(registry());
+    return response;
+}
+
+HttpResponse
+Server::handleVersion() const
+{
+    HttpResponse response;
+    response.body = detail::concat(
+        "{\"schema\": \"macs-version-v1\", \"version\": \"",
+        obs::jsonEscape(options_.versionString),
+        "\", \"schemas\": [\"macs-batch-v1\", \"macs-analysis-v1\", "
+        "\"macs-metrics-v1\", \"macs-trace-v1\", \"macs-error-v1\", "
+        "\"macs-health-v1\", \"macs-version-v1\"]}\n");
+    return response;
+}
+
+HttpResponse
+Server::handleAnalyze(const HttpRequest &request)
+{
+    JobSetSpec spec;
+    Diagnostics diags("POST /v1/analyze");
+
+    if (looksLikeJson(request)) {
+        try {
+            obs::JsonValue doc = obs::parseJson(request.body);
+            if (!doc.isObject())
+                return errorResponse(
+                    400, "analyze body must be a JSON object");
+            addJobFromJson(doc, options_.defaultTrip, spec, diags);
+            if (const obs::JsonValue *v = doc.find("variant"))
+                spec.variants.push_back(v->asString());
+            if (const obs::JsonValue *v = doc.find("vl")) {
+                long vl = static_cast<long>(v->asDouble());
+                if (vl <= 0)
+                    return errorResponse(400,
+                                         "'vl' must be positive");
+                spec.vls.push_back(static_cast<int>(vl));
+            }
+        } catch (const FatalError &e) {
+            return errorResponse(
+                400, detail::concat("malformed analyze request: ",
+                                    e.what()));
+        } catch (const PanicError &e) {
+            // JsonValue accessors assert on type mismatches; a
+            // wrong-typed field in a CLIENT body is a request-shape
+            // error, not a library bug — report 400, not 500.
+            return errorResponse(
+                400, detail::concat("malformed analyze request: ",
+                                    e.what()));
+        }
+    } else {
+        // Raw source body: the loop DSL (or assembly with ?kind=asm)
+        // exactly as a .loop file would be given to `macs batch`.
+        std::string kind = request.queryOr("kind", "loop");
+        long trip = options_.defaultTrip;
+        std::string trip_arg = request.queryOr("trip", "");
+        if (!trip_arg.empty() &&
+            (!parseInt(trip_arg, trip) || trip <= 0))
+            return errorResponse(
+                400, "query parameter 'trip' must be a positive "
+                     "integer");
+        if (request.body.empty())
+            return errorResponse(400, "analyze body is empty");
+        if (kind == "loop") {
+            std::string label = request.queryOr("label", "<loop>");
+            model::KernelCase kc;
+            if (kernelFromLoopSource(request.body, label, trip, kc,
+                                     diags))
+                spec.kernels.push_back(std::move(kc));
+        } else if (kind == "asm") {
+            long points = trip;
+            std::string pts = request.queryOr("points", "");
+            if (!pts.empty() &&
+                (!parseInt(pts, points) || points <= 0))
+                return errorResponse(
+                    400, "query parameter 'points' must be a "
+                         "positive integer");
+            std::string label = request.queryOr("label", "<asm>");
+            model::KernelCase kc;
+            if (kernelFromAsmSource(request.body, label, points, kc,
+                                    diags))
+                spec.kernels.push_back(std::move(kc));
+        } else {
+            return errorResponse(
+                400, detail::concat("unknown kind '", kind,
+                                    "' (known: loop, asm)"));
+        }
+        std::string variant = request.queryOr("variant", "");
+        if (!variant.empty())
+            spec.variants.push_back(variant);
+        std::string vl_arg = request.queryOr("vl", "");
+        if (!vl_arg.empty()) {
+            long vl = 0;
+            if (!parseInt(vl_arg, vl) || vl <= 0)
+                return errorResponse(
+                    400, "query parameter 'vl' must be a positive "
+                         "integer");
+            spec.vls.push_back(static_cast<int>(vl));
+        }
+    }
+
+    if (diags.hasErrors())
+        return errorResponse(
+            422,
+            format("analyze request failed with %zu error(s)",
+                   diags.errorCount()),
+            &diags);
+    std::string variant_error;
+    if (!validVariants(spec.variants, variant_error))
+        return errorResponse(400, variant_error);
+    if (spec.ids.empty() && spec.kernels.empty())
+        return errorResponse(400, "request contains no job");
+
+    std::vector<pipeline::BatchJob> jobs = expandJobSet(spec);
+    pipeline::BatchResult result = service_.runJobs(jobs, &stop_);
+
+    HttpResponse response;
+    bool timing = request.queryOr("timing", "0") == "1";
+    response.body = pipeline::renderBatchJson(result, timing);
+    response.headers.emplace_back(
+        "X-MACS-Exit-Code", std::to_string(result.exitCode()));
+    return response;
+}
+
+HttpResponse
+Server::handleBatch(const HttpRequest &request)
+{
+    JobSetSpec spec;
+    Diagnostics diags("POST /v1/batch");
+    bool timing = request.queryOr("timing", "0") == "1";
+
+    try {
+        obs::JsonValue doc = obs::parseJson(request.body);
+        if (!doc.isObject())
+            return errorResponse(400,
+                                 "batch body must be a JSON object");
+
+        long trip = options_.defaultTrip;
+        if (const obs::JsonValue *t = doc.find("trip")) {
+            trip = static_cast<long>(t->asDouble());
+            if (trip <= 0)
+                return errorResponse(400, "'trip' must be positive");
+        }
+        if (const obs::JsonValue *r = doc.find("repeat")) {
+            spec.repeat = static_cast<long>(r->asDouble());
+            if (spec.repeat < 1)
+                return errorResponse(400,
+                                     "'repeat' must be positive");
+        }
+        if (const obs::JsonValue *ids = doc.find("ids")) {
+            for (size_t i = 0; i < ids->size(); ++i) {
+                long id =
+                    static_cast<long>(ids->at(i).asDouble());
+                try {
+                    (void)lfk::makeKernel(static_cast<int>(id));
+                    spec.ids.push_back(static_cast<int>(id));
+                } catch (const FatalError &e) {
+                    diags.error(e.what());
+                }
+            }
+        }
+        if (const obs::JsonValue *jobs = doc.find("jobs"))
+            for (size_t i = 0; i < jobs->size(); ++i)
+                addJobFromJson(jobs->at(i), trip, spec, diags);
+        if (const obs::JsonValue *vs = doc.find("variants"))
+            for (size_t i = 0; i < vs->size(); ++i)
+                spec.variants.push_back(vs->at(i).asString());
+        if (const obs::JsonValue *vls = doc.find("vls")) {
+            for (size_t i = 0; i < vls->size(); ++i) {
+                long vl =
+                    static_cast<long>(vls->at(i).asDouble());
+                if (vl <= 0)
+                    return errorResponse(
+                        400, "'vls' entries must be positive");
+                spec.vls.push_back(static_cast<int>(vl));
+            }
+        }
+        if (const obs::JsonValue *tm = doc.find("timing"))
+            timing = tm->asBool();
+    } catch (const FatalError &e) {
+        return errorResponse(
+            400,
+            detail::concat("malformed batch request: ", e.what()));
+    } catch (const PanicError &e) {
+        // Type-mismatched fields assert inside JsonValue; map them to
+        // 400 like any other malformed client body (see handleAnalyze).
+        return errorResponse(
+            400,
+            detail::concat("malformed batch request: ", e.what()));
+    }
+
+    if (diags.hasErrors())
+        return errorResponse(
+            422,
+            format("batch request failed with %zu error(s)",
+                   diags.errorCount()),
+            &diags);
+    std::string variant_error;
+    if (!validVariants(spec.variants, variant_error))
+        return errorResponse(400, variant_error);
+    if (spec.ids.empty() && spec.kernels.empty())
+        return errorResponse(400, "batch contains no jobs");
+
+    std::vector<pipeline::BatchJob> jobs = expandJobSet(spec);
+    pipeline::BatchResult result = service_.runJobs(jobs, &stop_);
+
+    HttpResponse response;
+    response.body = pipeline::renderBatchJson(result, timing);
+    response.headers.emplace_back(
+        "X-MACS-Exit-Code", std::to_string(result.exitCode()));
+    return response;
+}
+
+} // namespace macs::server

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * `macs serve` — the concurrent analysis server (docs/SERVER.md).
+ *
+ * Architecture: one acceptor thread performs admission control and
+ * hands connections to a pipeline::ThreadPool of session workers;
+ * each session runs the keep-alive HTTP/1.1 loop (http.h parser,
+ * net.h deadline-bounded I/O) and evaluates analysis requests inline
+ * through the shared AnalysisService, whose LRU-bounded cache and
+ * guarded compute are exactly the batch engine's.
+ *
+ * Admission control: when the pool's pending-session queue is at
+ * queueCapacity, new connections receive a canned 503 with
+ * Retry-After and are closed — requests are never silently dropped.
+ *
+ * Graceful drain: requestStop() (atomic, callable from a signal
+ * handler's sibling thread) makes the acceptor stop accepting and the
+ * sessions finish their in-flight request, answer with `Connection:
+ * close`, and exit; drain() joins everything and is idempotent.
+ *
+ * Fault sites (docs/ROBUSTNESS.md): net-accept (reject an accepted
+ * connection with 503), net-read (fail a parsed request with 503 +
+ * Retry-After), net-write (cut the connection instead of writing the
+ * response). All three leave the client with a retriable signal.
+ *
+ * Metrics (macs_server_*): requests_total{route,status}, inflight,
+ * queue_depth, rejected_total{reason}, connections_total — scraped
+ * live via GET /metrics alongside the pipeline/fault counters.
+ */
+
+#ifndef MACS_SERVER_SERVER_H
+#define MACS_SERVER_SERVER_H
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "server/http.h"
+#include "server/net.h"
+#include "server/service.h"
+
+namespace macs::server {
+
+/** Server construction options. */
+struct ServerOptions
+{
+    std::string host = "127.0.0.1";
+    /** Listen port; 0 binds an ephemeral port (see Server::port()). */
+    int port = 0;
+    /** Session workers; 0 means std::thread::hardware_concurrency(). */
+    size_t workers = 0;
+    /** Pending (accepted, unstarted) sessions before 503. */
+    size_t queueCapacity = 64;
+    /** Per-request read deadline / keep-alive idle timeout (ms). */
+    int requestTimeoutMs = 5000;
+    /** Response write deadline (ms). */
+    int writeTimeoutMs = 5000;
+    /** Retry-After value of backpressure 503s (seconds). */
+    int retryAfterSeconds = 1;
+    /** Trip count of loop sources that do not specify one. */
+    long defaultTrip = 512;
+    /** Reported by GET /version alongside the schema list. */
+    std::string versionString = "dev";
+    /** HTTP parsing limits (431 / 413 beyond these). */
+    RequestParser::Limits limits;
+    /** Compute envelope of the shared AnalysisService. */
+    ServiceOptions service;
+    /** Injector of the net-* sites; nullptr means the global one. */
+    const faults::FaultInjector *faults = nullptr;
+    /** Registry of macs_server_*; nullptr means the global one. */
+    obs::Registry *metrics = nullptr;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and start the acceptor; fatal() on bind errors. */
+    void start();
+
+    /** The bound port (resolves an ephemeral request after start()). */
+    int port() const { return listener_.boundPort(); }
+
+    /** Begin drain: stop accepting, let sessions finish. Atomic. */
+    void requestStop() { stop_.store(true, std::memory_order_release); }
+
+    bool stopping() const
+    {
+        return stop_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * requestStop(), join the acceptor, wait for every session to
+     * finish its in-flight request, reap deadline strays. Idempotent;
+     * also called by the destructor.
+     */
+    void drain();
+
+    /**
+     * Route @p request and produce its response. Public so tests can
+     * exercise the dispatch table without a socket; the session loop
+     * calls exactly this.
+     */
+    HttpResponse handle(const HttpRequest &request);
+
+    /** The shared compute core (test access to cache counters). */
+    AnalysisService &service() { return service_; }
+
+  private:
+    void acceptLoop();
+    void runSession(int fd);
+    void rejectConnection(int fd, const char *reason);
+    bool deliverResponse(int fd, const HttpResponse &response,
+                         bool keep_alive);
+
+    HttpResponse handleHealth() const;
+    HttpResponse handleMetrics() const;
+    HttpResponse handleVersion() const;
+    HttpResponse handleAnalyze(const HttpRequest &request);
+    HttpResponse handleBatch(const HttpRequest &request);
+
+    obs::Registry &registry() const;
+    const faults::FaultInjector &injector() const;
+    void countRequest(const std::string &route, int status);
+
+    ServerOptions options_;
+    AnalysisService service_;
+    Listener listener_;
+    std::unique_ptr<pipeline::ThreadPool> pool_;
+    std::thread acceptor_;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<bool> drained_{false};
+};
+
+/**
+ * Build the "macs-error-v1" JSON error body: status, message, and
+ * (optionally) the structured diagnostics of a failed compile.
+ */
+std::string errorBody(int status, const std::string &message,
+                      const Diagnostics *diags = nullptr);
+
+} // namespace macs::server
+
+#endif // MACS_SERVER_SERVER_H

@@ -1,0 +1,330 @@
+#include "server/service.h"
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "lfk/kernels.h"
+#include "support/strings.h"
+
+namespace macs::server {
+
+namespace {
+
+using pipeline::AnalysisCache;
+using pipeline::BatchEngine;
+using pipeline::BatchJob;
+using pipeline::BatchResult;
+using pipeline::CacheKey;
+using pipeline::JobResult;
+
+double
+nowUs()
+{
+    auto d = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double, std::micro>(d).count();
+}
+
+/** Same log-spaced edges as the batch engine (10us .. 1s). */
+const double kUsEdges[] = {10.0,    100.0,    1000.0,
+                           10000.0, 100000.0, 1000000.0};
+
+} // namespace
+
+std::vector<BatchJob>
+expandJobSet(const JobSetSpec &spec)
+{
+    std::vector<std::string> variants = spec.variants;
+    if (variants.empty())
+        variants.push_back("baseline");
+    std::vector<int> vls = spec.vls;
+    if (vls.empty())
+        vls.push_back(0); // machine default
+
+    std::vector<BatchJob> jobs;
+    for (long rep = 0; rep < spec.repeat; ++rep) {
+        for (const std::string &variant : variants) {
+            machine::MachineConfig cfg =
+                machine::MachineConfig::variant(variant);
+            for (int vl : vls) {
+                for (int id : spec.ids) {
+                    lfk::Kernel k = lfk::makeKernel(id);
+                    BatchJob job;
+                    job.label = k.name;
+                    if (vl > 0)
+                        job.label += format("@vl%d", vl);
+                    job.configName = variant;
+                    job.kernel = lfk::toKernelCase(k);
+                    job.config = cfg;
+                    job.vectorLength = vl;
+                    jobs.push_back(std::move(job));
+                }
+                for (const model::KernelCase &kc : spec.kernels) {
+                    BatchJob job;
+                    job.label = kc.name;
+                    if (vl > 0)
+                        job.label += format("@vl%d", vl);
+                    job.configName = variant;
+                    job.kernel = kc;
+                    job.config = cfg;
+                    job.vectorLength = vl;
+                    jobs.push_back(std::move(job));
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+AnalysisService::AnalysisService(ServiceOptions options)
+    : options_(options)
+{
+    cache_.setCapacity(options_.cacheCapacity);
+    cache_.attachMetrics(&registry());
+    if (options_.checkpoint != nullptr && options_.useCache)
+        options_.checkpoint->seedInto(cache_);
+}
+
+AnalysisService::~AnalysisService()
+{
+    reapStrays();
+}
+
+obs::Registry &
+AnalysisService::registry() const
+{
+    return options_.metrics != nullptr ? *options_.metrics
+                                       : obs::Registry::global();
+}
+
+void
+AnalysisService::reapStrays()
+{
+    std::vector<std::thread> strays;
+    {
+        std::lock_guard<std::mutex> lock(straysMu_);
+        strays.swap(strays_);
+    }
+    for (std::thread &t : strays)
+        t.join();
+}
+
+/**
+ * The service twin of BatchEngine::computeWithDeadline: run the
+ * guarded compute on a side thread, wait at most jobTimeoutMs (or
+ * until @p cancel — server drain — fires), then signal cancellation,
+ * park the thread on strays_, and fail with DeadlineExceeded.
+ */
+AnalysisCache::Value
+AnalysisService::computeWithDeadline(const BatchJob &job,
+                                     const CacheKey &key,
+                                     int &attempts,
+                                     const std::atomic<bool> *cancel)
+{
+    struct State
+    {
+        std::promise<AnalysisCache::Value> result;
+        std::atomic<bool> cancel{false};
+        std::atomic<int> attempts{1};
+    };
+    auto state = std::make_shared<State>();
+    std::future<AnalysisCache::Value> future =
+        state->result.get_future();
+
+    pipeline::GuardedComputeOptions copt;
+    copt.maxRetries = options_.maxRetries;
+    copt.retryBackoffUs = options_.retryBackoffUs;
+    copt.faults = options_.faults;
+    copt.metrics = options_.metrics;
+
+    std::thread worker([&job, key, state, copt] {
+        try {
+            state->result.set_value(pipeline::computeAnalysisGuarded(
+                job, key, copt, state->attempts, &state->cancel));
+        } catch (...) {
+            state->result.set_exception(std::current_exception());
+        }
+    });
+
+    // Wait in 1 ms slices so a server drain (@p cancel) is observed
+    // promptly, not only at deadline expiry.
+    auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(options_.jobTimeoutMs);
+    bool expired = false;
+    for (;;) {
+        auto left = deadline - std::chrono::steady_clock::now();
+        if (left <= std::chrono::steady_clock::duration::zero()) {
+            expired = true;
+            break;
+        }
+        auto slice = std::chrono::milliseconds(1);
+        auto wait = left < std::chrono::steady_clock::duration(slice)
+                        ? left
+                        : std::chrono::steady_clock::duration(slice);
+        if (future.wait_for(wait) == std::future_status::ready)
+            break;
+        if (cancel != nullptr &&
+            cancel->load(std::memory_order_acquire)) {
+            expired = true;
+            break;
+        }
+    }
+    if (!expired) {
+        worker.join();
+        attempts = state->attempts.load(std::memory_order_relaxed);
+        return future.get(); // rethrows the worker's exception
+    }
+
+    state->cancel.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(straysMu_);
+        strays_.push_back(std::move(worker));
+    }
+    attempts = state->attempts.load(std::memory_order_relaxed);
+    registry()
+        .counter("macs_retry_timeouts_total",
+                 "Jobs whose wall-clock deadline expired")
+        .inc();
+    throw pipeline::DeadlineExceeded(
+        format("job '%s' exceeded its %g ms deadline",
+               job.displayLabel().c_str(), options_.jobTimeoutMs));
+}
+
+void
+AnalysisService::runOne(const BatchJob &job, JobResult &out,
+                        const std::atomic<bool> *cancel)
+{
+    double start_us = nowUs();
+
+    auto compute = [&](int &attempts_out) -> AnalysisCache::Value {
+        if (options_.jobTimeoutMs > 0.0)
+            return computeWithDeadline(job, out.key, attempts_out,
+                                       cancel);
+        pipeline::GuardedComputeOptions copt;
+        copt.maxRetries = options_.maxRetries;
+        copt.retryBackoffUs = options_.retryBackoffUs;
+        copt.faults = options_.faults;
+        copt.metrics = options_.metrics;
+        std::atomic<int> attempts{1};
+        try {
+            AnalysisCache::Value v = pipeline::computeAnalysisGuarded(
+                job, out.key, copt, attempts, cancel);
+            attempts_out = attempts.load(std::memory_order_relaxed);
+            return v;
+        } catch (...) {
+            attempts_out = attempts.load(std::memory_order_relaxed);
+            throw;
+        }
+    };
+
+    try {
+        if (!options_.useCache) {
+            double c0 = nowUs();
+            out.analysis = compute(out.timing.attempts);
+            out.timing.computeUs = nowUs() - c0;
+        } else {
+            AnalysisCache::Claim claim = cache_.claim(out.key);
+            if (claim.owner()) {
+                double c0 = nowUs();
+                bool computed = false;
+                try {
+                    claim.promise->set_value(
+                        compute(out.timing.attempts));
+                    computed = true;
+                } catch (...) {
+                    claim.promise->set_exception(
+                        std::current_exception());
+                }
+                if (computed && options_.checkpoint != nullptr)
+                    options_.checkpoint->append(out.key,
+                                                *claim.future.get());
+                out.timing.computeUs = nowUs() - c0;
+            } else {
+                out.timing.cacheHit = true;
+            }
+            // get() rethrows the owner's exception for every waiter.
+            out.analysis = claim.future.get();
+        }
+    } catch (...) {
+        out.analysis = nullptr;
+        out.errorKind = pipeline::classifyError(
+            std::current_exception(), out.error);
+    }
+    out.timing.totalUs = nowUs() - start_us;
+}
+
+BatchResult
+AnalysisService::runJobs(const std::vector<BatchJob> &jobs,
+                         const std::atomic<bool> *cancel)
+{
+    BatchResult result;
+    result.results.resize(jobs.size());
+    result.stats.workers = 1; // inline on the calling thread
+    result.stats.jobs = jobs.size();
+    if (jobs.empty())
+        return result;
+
+    double t0 = nowUs();
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        JobResult &out = result.results[i];
+        out.label = jobs[i].displayLabel();
+        out.configName = jobs[i].configName;
+        out.vectorLength = jobs[i].vectorLength > 0
+                               ? jobs[i].vectorLength
+                               : jobs[i].config.maxVectorLength;
+        out.clockMhz = jobs[i].config.clockMhz;
+        out.key = BatchEngine::keyOf(jobs[i]);
+        runOne(jobs[i], out, cancel);
+    }
+    result.stats.wallUs = nowUs() - t0;
+
+    for (size_t i = 0; i < result.results.size(); ++i) {
+        const JobResult &r = result.results[i];
+        result.stats.computeUs += r.timing.computeUs;
+        result.stats.queueWaitUs += r.timing.queueWaitUs;
+        if (r.timing.cacheHit)
+            ++result.stats.cacheHits;
+        else
+            ++result.stats.cacheMisses;
+        if (!r.ok()) {
+            ++result.stats.failures;
+            result.errors.push_back({i, r.label, r.configName,
+                                     r.errorKind, r.error,
+                                     r.timing.attempts});
+        }
+    }
+
+    // The same macs_pipeline_* series the batch engine publishes, so
+    // a /metrics scrape of a serving process shows pipeline activity
+    // with identical names and semantics.
+    obs::Registry &reg = registry();
+    reg.counter("macs_pipeline_jobs_total",
+                "Batch jobs completed by outcome",
+                obs::Labels{{"result", "ok"}})
+        .inc(static_cast<double>(result.stats.jobs -
+                                 result.stats.failures));
+    reg.counter("macs_pipeline_jobs_total",
+                "Batch jobs completed by outcome",
+                obs::Labels{{"result", "error"}})
+        .inc(static_cast<double>(result.stats.failures));
+    reg.counter("macs_pipeline_cache_total",
+                "Memoization cache lookups by outcome",
+                obs::Labels{{"event", "hit"}})
+        .inc(static_cast<double>(result.stats.cacheHits));
+    reg.counter("macs_pipeline_cache_total",
+                "Memoization cache lookups by outcome",
+                obs::Labels{{"event", "miss"}})
+        .inc(static_cast<double>(result.stats.cacheMisses));
+    obs::Histogram &compute = reg.histogram(
+        "macs_pipeline_compute_us",
+        "Per-job analysis compute time (cache hits excluded)",
+        kUsEdges);
+    for (const JobResult &r : result.results)
+        if (!r.timing.cacheHit)
+            compute.observe(r.timing.computeUs);
+
+    return result;
+}
+
+} // namespace macs::server

@@ -33,9 +33,20 @@
  *       --job-timeout M per-job wall-clock deadline in ms (0 = off)
  *       --retries N     retry budget for transient faults (default 2)
  *       --faults SPEC   fault plan (same grammar as MACS_FAULTS)
+ *   macs serve [opts]                    HTTP analysis server
+ *       --port N        listen port (0 = ephemeral; default 8080)
+ *       --port-file F   write the bound port to F (for scripts)
+ *       --workers N     session workers (default: hardware)
+ *       --queue N       pending-session bound before 503 (default 64)
+ *       --cache-cap N   LRU bound of the shared cache (default 1024)
+ *       SIGTERM/SIGINT  graceful drain, exit 0 (docs/SERVER.md)
+ *   macs http <method> <target> [opts]   client for `macs serve`
+ *   macs version                         build + schema versions
  *
  * Batch exit codes (docs/ROBUSTNESS.md): 0 = all jobs succeeded,
  * 2 = partial failure, 3 = total failure; 1 = invocation error.
+ * `macs serve` reports the same contract per request in the
+ * X-MACS-Exit-Code response header.
  *
  * Assembly files use the syntax of isa/parser.h; loop files use the
  * DSL of compiler/loop_parser.h. Positional batch arguments ending in
@@ -44,12 +55,16 @@
  */
 
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "compiler/codegen.h"
@@ -68,6 +83,9 @@
 #include "pipeline/checkpoint.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/report.h"
+#include "server/client.h"
+#include "server/kernel_source.h"
+#include "server/server.h"
 #include "sim/simulator.h"
 #include "support/diag.h"
 #include "support/logging.h"
@@ -372,19 +390,9 @@ cmdTrace(const std::vector<std::string> &args)
 machine::MachineConfig
 variantConfig(const std::string &name)
 {
-    if (name == "baseline")
-        return machine::MachineConfig::convexC240();
-    if (name == "no-bubbles")
-        return machine::MachineConfig::noBubbles();
-    if (name == "no-refresh")
-        return machine::MachineConfig::noRefresh();
-    if (name == "no-chaining")
-        return machine::MachineConfig::noChaining();
-    if (name == "no-scalar-cache")
-        return machine::MachineConfig::noScalarCache();
-    fatal("unknown machine variant '", name,
-          "' (known: baseline, no-bubbles, no-refresh, no-chaining, "
-          "no-scalar-cache)");
+    // One resolver shared with `macs serve` (docs/SERVER.md): the CLI
+    // and the HTTP endpoints accept exactly the same variant names.
+    return machine::MachineConfig::variant(name);
 }
 
 void
@@ -402,23 +410,12 @@ writeReport(const std::string &path, const std::string &text)
                  text.size());
 }
 
-/** Collect every array name referenced by @p e into @p out. */
-void
-collectArrays(const compiler::Expr *e, std::vector<std::string> &out)
-{
-    if (e == nullptr)
-        return;
-    if (e->kind == compiler::Expr::Kind::Array)
-        out.push_back(e->name);
-    collectArrays(e->lhs.get(), out);
-    collectArrays(e->rhs.get(), out);
-}
-
 /**
- * Compile one `.loop` DSL file into a KernelCase for the batch. Every
- * referenced array is auto-declared with a generous extent. Parse and
- * compile errors go to @p diags (with source context for parse
- * errors); returns false on failure.
+ * Compile one `.loop` DSL file into a KernelCase for the batch via
+ * the same helper `macs serve` uses for HTTP loop sources
+ * (server/kernel_source.h), so a loop sent over HTTP is compiled
+ * byte-identically to the same file given here. Parse and compile
+ * errors go to @p diags; returns false on failure.
  */
 bool
 loopFileKernel(const std::string &path, long trip,
@@ -436,61 +433,7 @@ loopFileKernel(const std::string &path, long trip,
         os << in.rdbuf();
         text = os.str();
     }
-
-    // The DSL has no comment syntax; `.loop` files use `#` to end of
-    // line (see tests/corpus/). Blank comments out instead of deleting
-    // them so diagnostic line/column positions match the file.
-    bool in_comment = false;
-    for (char &c : text) {
-        if (c == '\n')
-            in_comment = false;
-        else if (c == '#')
-            in_comment = true;
-        if (in_comment)
-            c = ' ';
-    }
-
-    Diagnostics file_diags;
-    file_diags.setSource(text, path);
-    compiler::Loop loop = compiler::parseLoop(text, file_diags);
-    if (file_diags.hasErrors()) {
-        diags.take(std::move(file_diags));
-        return false;
-    }
-
-    compiler::CompileOptions copt;
-    copt.tripCount = trip;
-    std::vector<std::string> arrays;
-    for (const compiler::Stmt &s : loop.stmts) {
-        if (s.arrayDst)
-            arrays.push_back(s.dstName);
-        collectArrays(s.rhs.get(), arrays);
-    }
-    for (const std::string &name : arrays) {
-        bool seen = false;
-        for (const auto &spec : copt.arrays)
-            seen = seen || spec.name == name;
-        if (!seen)
-            copt.arrays.push_back({name, (1u << 16)});
-    }
-
-    try {
-        compiler::CompileResult res = compiler::compile(loop, copt);
-        out.name = path;
-        out.program = std::move(res.program);
-        out.ma = res.analysis.ma;
-        out.sourceFlopsPerPoint = out.ma.flops();
-        out.points = trip;
-    } catch (const FatalError &e) {
-        diags.error(detail::concat(path, ": ", e.what()));
-        return false;
-    }
-    if (out.sourceFlopsPerPoint <= 0) {
-        diags.error(detail::concat(
-            path, ": loop has no floating-point work to analyze"));
-        return false;
-    }
-    return true;
+    return server::kernelFromLoopSource(text, path, trip, out, diags);
 }
 
 int
@@ -502,6 +445,7 @@ cmdBatch(const std::vector<std::string> &args)
     std::string json_path, md_path, metrics_path, checkpoint_path;
     std::string fault_spec;
     long workers = 0, repeat = 1, retries = 2, trip = 512;
+    long cache_cap = 0;
     double job_timeout_ms = 0.0;
     bool timing = false, use_cache = true, ids_given = false;
 
@@ -538,6 +482,11 @@ cmdBatch(const std::vector<std::string> &args)
         } else if (a == "--retries") {
             if (!parseInt(next("--retries"), retries) || retries < 0)
                 diags.error("--retries expects a non-negative number");
+        } else if (a == "--cache-cap") {
+            if (!parseInt(next("--cache-cap"), cache_cap) ||
+                cache_cap < 0)
+                diags.error(
+                    "--cache-cap expects a non-negative number");
         } else if (a == "--job-timeout") {
             if (!parseDouble(next("--job-timeout"), job_timeout_ms) ||
                 job_timeout_ms < 0.0)
@@ -584,7 +533,13 @@ cmdBatch(const std::vector<std::string> &args)
                 parsed.push_back(static_cast<int>(id));
             }
             if (ok) {
-                ids = std::move(parsed);
+                // Accumulate across arguments so `macs batch 1 2 3`
+                // and `macs batch 1,2,3` mean the same job set (the
+                // first id list still replaces the all-kernels
+                // default).
+                if (!ids_given)
+                    ids.clear();
+                ids.insert(ids.end(), parsed.begin(), parsed.end());
                 ids_given = true;
             }
         }
@@ -658,6 +613,7 @@ cmdBatch(const std::vector<std::string> &args)
     opt.useCache = use_cache;
     opt.maxRetries = static_cast<int>(retries);
     opt.jobTimeoutMs = job_timeout_ms;
+    opt.cacheCapacity = static_cast<size_t>(cache_cap);
 
     std::unique_ptr<faults::FaultInjector> injector;
     if (!fault_spec.empty()) {
@@ -729,6 +685,261 @@ cmdBatch(const std::vector<std::string> &args)
     return result.exitCode();
 }
 
+#ifndef MACS_VERSION_STRING
+#define MACS_VERSION_STRING "dev"
+#endif
+
+int
+cmdVersion()
+{
+    // Build version plus every stable schema this binary emits, so a
+    // consumer can check compatibility before parsing any output.
+    std::printf("macs %s\n", MACS_VERSION_STRING);
+    std::printf("schemas: macs-batch-v1, macs-analysis-v1, "
+                "macs-metrics-v1, macs-trace-v1, macs-error-v1, "
+                "macs-health-v1, macs-version-v1\n");
+    return 0;
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void
+onStopSignal(int)
+{
+    g_stop_requested = 1;
+}
+
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    std::string host = "127.0.0.1", checkpoint_path, fault_spec;
+    std::string port_file;
+    long port = 8080, workers = 0, queue = 64, cache_cap = 1024;
+    long request_timeout = 5000, retries = 2, trip = 512;
+    long max_body = 0;
+    double job_timeout_ms = 0.0;
+
+    Diagnostics diags("macs serve");
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            static const std::string empty;
+            if (i + 1 >= args.size()) {
+                diags.error(
+                    detail::concat(what, " expects an argument"));
+                return empty;
+            }
+            return args[++i];
+        };
+        if (a == "--host") {
+            host = next("--host");
+        } else if (a == "--port") {
+            if (!parseInt(next("--port"), port) || port < 0 ||
+                port > 65535)
+                diags.error("--port expects a port number (0 = "
+                            "ephemeral)");
+        } else if (a == "--port-file") {
+            port_file = next("--port-file");
+        } else if (a == "--workers") {
+            if (!parseInt(next("--workers"), workers) || workers < 0)
+                diags.error("--workers expects a non-negative number");
+        } else if (a == "--queue") {
+            if (!parseInt(next("--queue"), queue) || queue < 1)
+                diags.error("--queue expects a positive number");
+        } else if (a == "--cache-cap") {
+            if (!parseInt(next("--cache-cap"), cache_cap) ||
+                cache_cap < 0)
+                diags.error(
+                    "--cache-cap expects a non-negative number");
+        } else if (a == "--request-timeout") {
+            if (!parseInt(next("--request-timeout"),
+                          request_timeout) ||
+                request_timeout < 1)
+                diags.error("--request-timeout expects a positive "
+                            "number of milliseconds");
+        } else if (a == "--job-timeout") {
+            if (!parseDouble(next("--job-timeout"), job_timeout_ms) ||
+                job_timeout_ms < 0.0)
+                diags.error(
+                    "--job-timeout expects a non-negative number of "
+                    "milliseconds");
+        } else if (a == "--retries") {
+            if (!parseInt(next("--retries"), retries) || retries < 0)
+                diags.error("--retries expects a non-negative number");
+        } else if (a == "--trip") {
+            if (!parseInt(next("--trip"), trip) || trip < 1)
+                diags.error("--trip expects a positive number");
+        } else if (a == "--max-body") {
+            if (!parseInt(next("--max-body"), max_body) ||
+                max_body < 1)
+                diags.error(
+                    "--max-body expects a positive number of bytes");
+        } else if (a == "--checkpoint") {
+            checkpoint_path = next("--checkpoint");
+        } else if (a == "--faults") {
+            fault_spec = next("--faults");
+        } else {
+            diags.error(
+                detail::concat("unknown serve option '", a, "'"));
+        }
+    }
+    faults::FaultPlan fault_plan;
+    if (!fault_spec.empty())
+        fault_plan = faults::FaultPlan::parse(fault_spec, diags);
+    diags.throwIfErrors();
+
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (!fault_spec.empty())
+        injector = std::make_unique<faults::FaultInjector>(fault_plan);
+
+    std::unique_ptr<pipeline::CheckpointJournal> journal;
+    if (!checkpoint_path.empty()) {
+        journal = std::make_unique<pipeline::CheckpointJournal>(
+            checkpoint_path, nullptr,
+            injector != nullptr ? injector.get()
+                                : &faults::FaultInjector::global());
+        pipeline::CheckpointJournal::LoadStats ls = journal->open();
+        if (ls.loaded + ls.corrupt + ls.torn > 0)
+            std::fprintf(stderr,
+                         "checkpoint '%s': %zu record(s) resumed, "
+                         "%zu corrupt, %zu torn\n",
+                         checkpoint_path.c_str(), ls.loaded,
+                         ls.corrupt, ls.torn);
+    }
+
+    server::ServerOptions opt;
+    opt.host = host;
+    opt.port = static_cast<int>(port);
+    opt.workers = static_cast<size_t>(workers);
+    opt.queueCapacity = static_cast<size_t>(queue);
+    opt.requestTimeoutMs = static_cast<int>(request_timeout);
+    opt.defaultTrip = trip;
+    opt.versionString = MACS_VERSION_STRING;
+    if (max_body > 0)
+        opt.limits.maxBodyBytes = static_cast<size_t>(max_body);
+    opt.service.maxRetries = static_cast<int>(retries);
+    opt.service.jobTimeoutMs = job_timeout_ms;
+    opt.service.cacheCapacity = static_cast<size_t>(cache_cap);
+    opt.service.checkpoint = journal.get();
+    opt.service.faults = injector.get();
+    opt.faults = injector.get();
+
+    server::Server srv(opt);
+
+    // Graceful drain on SIGTERM/SIGINT (docs/SERVER.md): the handler
+    // only flips an atomic flag; this thread notices it, stops
+    // accepting, lets every in-flight request finish, and exits 0.
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
+
+    srv.start();
+    if (!port_file.empty()) {
+        std::ofstream pf(port_file);
+        if (!pf)
+            fatal("cannot write port file '", port_file, "'");
+        pf << srv.port() << "\n";
+    }
+    std::fprintf(stderr,
+                 "macs serve: listening on %s:%d "
+                 "(queue %ld, cache cap %ld)\n",
+                 host.c_str(), srv.port(), queue, cache_cap);
+
+    while (g_stop_requested == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::fprintf(stderr, "macs serve: draining...\n");
+    srv.drain();
+    std::fprintf(stderr, "macs serve: drained cleanly\n");
+    return 0;
+}
+
+int
+cmdHttp(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        fatal("http expects: macs http <METHOD> <target> --port N "
+              "[--host H] [--data STR | --body FILE] [--retry N] "
+              "[--timeout MS] [--content-type CT]");
+    const std::string &method = args[0];
+    const std::string &target = args[1];
+    std::string host = "127.0.0.1", data, body_path;
+    std::string content_type = "application/json";
+    long port = 8080, timeout = 5000, attempts = 1;
+
+    Diagnostics diags("macs http");
+    for (size_t i = 2; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            static const std::string empty;
+            if (i + 1 >= args.size()) {
+                diags.error(
+                    detail::concat(what, " expects an argument"));
+                return empty;
+            }
+            return args[++i];
+        };
+        if (a == "--host") {
+            host = next("--host");
+        } else if (a == "--port") {
+            if (!parseInt(next("--port"), port) || port < 1 ||
+                port > 65535)
+                diags.error("--port expects a port number");
+        } else if (a == "--data") {
+            data = next("--data");
+        } else if (a == "--body") {
+            body_path = next("--body");
+        } else if (a == "--retry") {
+            if (!parseInt(next("--retry"), attempts) || attempts < 1)
+                diags.error("--retry expects a positive number of "
+                            "attempts");
+        } else if (a == "--timeout") {
+            if (!parseInt(next("--timeout"), timeout) || timeout < 1)
+                diags.error("--timeout expects a positive number of "
+                            "milliseconds");
+        } else if (a == "--content-type") {
+            content_type = next("--content-type");
+        } else {
+            diags.error(
+                detail::concat("unknown http option '", a, "'"));
+        }
+    }
+    diags.throwIfErrors();
+
+    if (!body_path.empty()) {
+        if (body_path == "-") {
+            std::ostringstream os;
+            os << std::cin.rdbuf();
+            data = os.str();
+        } else {
+            std::ifstream in(body_path);
+            if (!in)
+                fatal("cannot open '", body_path,
+                      "': ", std::strerror(errno));
+            std::ostringstream os;
+            os << in.rdbuf();
+            data = os.str();
+        }
+    }
+
+    server::HttpClient client(host, static_cast<int>(port),
+                              static_cast<int>(timeout));
+    server::ClientResponse response;
+    bool ok = attempts > 1
+                  ? client.requestWithRetry(method, target, data,
+                                            response,
+                                            static_cast<int>(attempts))
+                  : client.request(method, target, data, response,
+                                   content_type);
+    if (!ok) {
+        std::fprintf(stderr, "macs http: no response from %s:%ld%s\n",
+                     host.c_str(), port, target.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "HTTP %d\n", response.status);
+    std::fputs(response.body.c_str(), stdout);
+    return response.status >= 200 && response.status < 300 ? 0 : 2;
+}
+
 void
 usage()
 {
@@ -752,9 +963,32 @@ usage()
         "--md PATH, --metrics PATH,\n"
         "                          --timing, --no-cache, "
         "--checkpoint FILE, --job-timeout MS,\n"
-        "                          --retries N, --faults SPEC)\n"
-        "batch exit codes: 0 all jobs ok, 2 partial failure, 3 total "
-        "failure, 1 bad invocation\n");
+        "                          --retries N, --cache-cap N, "
+        "--faults SPEC)\n"
+        "  serve [opts]            HTTP analysis server "
+        "(docs/SERVER.md; --host H, --port N,\n"
+        "                          --port-file PATH, --workers N, "
+        "--queue N, --cache-cap N,\n"
+        "                          --request-timeout MS, "
+        "--job-timeout MS, --retries N, --trip N,\n"
+        "                          --max-body BYTES, "
+        "--checkpoint FILE, --faults SPEC)\n"
+        "  http <method> <target>  in-process HTTP client for serve "
+        "(--port N, --host H,\n"
+        "                          --data STR, --body FILE, "
+        "--retry N, --timeout MS)\n"
+        "  version                 print the build version and the "
+        "emitted schema versions\n"
+        "exit codes (docs/ROBUSTNESS.md): 0 = success; 1 = invocation "
+        "or input error\n"
+        "  (bad arguments, unreadable files, multi-error "
+        "diagnostics); for `batch`:\n"
+        "  0 = every job succeeded, 2 = partial failure (some valid "
+        "results),\n"
+        "  3 = total failure (no job produced a result). `serve` "
+        "mirrors the same\n"
+        "  0/2/3 per request in the X-MACS-Exit-Code response "
+        "header.\n");
 }
 
 } // namespace
@@ -786,6 +1020,12 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (cmd == "batch")
             return cmdBatch(args);
+        if (cmd == "serve")
+            return cmdServe(args);
+        if (cmd == "http")
+            return cmdHttp(args);
+        if (cmd == "version" || cmd == "--version")
+            return cmdVersion();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "macs: %s\n", e.what());
         return 1;
