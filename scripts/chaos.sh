@@ -153,7 +153,11 @@ echo "== chaos: server net faults never silently drop a request =="
     --workers 2 --faults net-read:0.4:42,net-write:0.3:7 \
     >"$tmp/serve.log" 2>&1 &
 SERVE_PID=$!
-trap 'kill -KILL "$SERVE_PID" 2>/dev/null; rm -rf "$tmp"' EXIT
+# NB: the kill must not be a bare simple command — once the server
+# has been waited on, SERVE_PID is empty, `kill ""` fails, and under
+# `set -e` a failing command in an EXIT trap overrides the script's
+# exit status (a passing run would exit 1).
+trap '{ kill -KILL "$SERVE_PID" || true; } 2>/dev/null; rm -rf "$tmp"' EXIT
 for _ in $(seq 1 100); do
     [[ -s "$tmp/port" ]] && break
     sleep 0.1

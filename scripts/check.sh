@@ -4,7 +4,8 @@
 # UndefinedBehaviorSanitizer Debug builds (docs/TESTING.md).
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast  skip the sanitizer stages (normal build + ctest only)
+#   --fast  skip the sanitizer and perf-gate stages
+#           (normal build + ctest only)
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -34,9 +35,20 @@ echo "== tier-1: server (smoke + graceful drain) =="
 scripts/server_smoke.sh build/tools/macs
 
 if [[ "${1:-}" == "--fast" ]]; then
-    echo "== skipping sanitizer stages (--fast) =="
+    echo "== skipping sanitizer + perf-gate stages (--fast) =="
     exit 0
 fi
+
+# Perf regression gate: run the server bench (in-bench floors assert
+# the >= 5x evented-vs-threaded C10k ratio and bounded p99), then diff
+# the gated RATIO metrics against the committed baseline; >15% drop
+# fails the build. Absolute RPS is informative only — see
+# scripts/perf_gate.py. Never run under sanitizers.
+echo "== perf: server_throughput bench + regression gate =="
+cmake --build build -j "$JOBS" --target server_throughput >/dev/null
+build/bench/server_throughput --json build/BENCH_server_throughput.json
+scripts/perf_gate.py build/BENCH_server_throughput.json \
+    bench/baselines/BENCH_server_throughput.json
 
 # Each sanitizer stage builds and runs the FULL test suite: TSan
 # audits the worker pool, memo cache, and the metrics registry's

@@ -1,0 +1,114 @@
+#include "server/connection.h"
+
+#include "support/logging.h"
+
+namespace macs::server {
+
+const char *
+connStateName(Connection::State state)
+{
+    switch (state) {
+    case Connection::State::ReadHeaders: return "READ_HEADERS";
+    case Connection::State::ReadBody: return "READ_BODY";
+    case Connection::State::Compute: return "COMPUTE";
+    case Connection::State::Write: return "WRITE";
+    case Connection::State::Closed: return "CLOSED";
+    }
+    return "?";
+}
+
+Connection::State
+Connection::state() const
+{
+    if (closed_)
+        return State::Closed;
+    if (pendingOutput() > 0)
+        return State::Write;
+    if (computing_)
+        return State::Compute;
+    return parser_.inBody() ? State::ReadBody : State::ReadHeaders;
+}
+
+Connection::ReadEvent
+Connection::onReadable(ByteIo &io)
+{
+    if (closed_)
+        return ReadEvent::IoError;
+    // One request in flight per connection: while a response is being
+    // computed or written, arriving bytes stay in the kernel buffer
+    // (and any already-buffered pipelined bytes stay in the parser).
+    if (computing_ || pendingOutput() > 0)
+        return ReadEvent::NeedMore;
+
+    for (;;) {
+        if (parser_.failed())
+            return ReadEvent::ParseError;
+        if (parser_.complete()) {
+            request_ = parser_.take();
+            computing_ = true;
+            return ReadEvent::RequestReady;
+        }
+        char buf[16384];
+        int n = io.read(buf, sizeof(buf));
+        if (n > 0) {
+            parser_.feed(
+                std::string_view(buf, static_cast<size_t>(n)));
+            continue;
+        }
+        if (n == ByteIo::kWouldBlock)
+            return ReadEvent::NeedMore;
+        if (n == 0)
+            return parser_.idle() ? ReadEvent::PeerClosed
+                                  : ReadEvent::TornRequest;
+        return ReadEvent::IoError;
+    }
+}
+
+HttpRequest
+Connection::takeRequest()
+{
+    MACS_ASSERT(computing_,
+                "takeRequest() without a RequestReady event");
+    return std::move(request_);
+}
+
+void
+Connection::queueResponse(const HttpResponse &response,
+                          bool keep_alive)
+{
+    MACS_ASSERT(pendingOutput() == 0,
+                "queueResponse() while a response is still flushing");
+    out_ = serializeResponse(response, keep_alive);
+    outOff_ = 0;
+    keepAliveAfterWrite_ = keep_alive;
+    computing_ = false;
+}
+
+Connection::WriteEvent
+Connection::onWritable(ByteIo &io)
+{
+    if (closed_)
+        return WriteEvent::IoError;
+    while (outOff_ < out_.size()) {
+        int n = io.write(out_.data() + outOff_, out_.size() - outOff_);
+        if (n > 0) {
+            outOff_ += static_cast<size_t>(n);
+            continue;
+        }
+        if (n == ByteIo::kWouldBlock)
+            return WriteEvent::Blocked;
+        return WriteEvent::IoError;
+    }
+    out_.clear();
+    outOff_ = 0;
+    if (!keepAliveAfterWrite_) {
+        closed_ = true;
+        return WriteEvent::Closing;
+    }
+    // Keep-alive reset: back to READ_HEADERS. The parser may already
+    // hold (part of) a pipelined next request; the caller re-runs
+    // onReadable() to pick it up without waiting for a new edge.
+    return WriteEvent::KeepAlive;
+}
+
+} // namespace macs::server

@@ -1,0 +1,525 @@
+#include "server/event_loop.h"
+
+#include <cerrno>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+
+#include "server/connection.h"
+#include "server/net.h"
+#include "server/server.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Poller wait slice: bounds deadline-detection latency. */
+constexpr int kWaitSliceMs = 50;
+
+/** Wakeup doorbell sentinel in the poller's data slot. */
+void *
+wakeupToken()
+{
+    return nullptr;
+}
+
+/** Conn fds ride in the data slot offset by 1 so fd 0 != sentinel. */
+void *
+encodeFd(int fd)
+{
+    return reinterpret_cast<void *>(static_cast<intptr_t>(fd) + 1);
+}
+
+int
+decodeFd(void *data)
+{
+    return static_cast<int>(reinterpret_cast<intptr_t>(data)) - 1;
+}
+
+} // namespace
+
+/**
+ * One event-loop shard: a thread around an EventPoller owning a set
+ * of connections. All Conn state is touched ONLY on the shard thread;
+ * the acceptor and compute workers communicate through the
+ * mutex-guarded inbox + Wakeup doorbell.
+ */
+class EventLoopCore::Shard
+{
+  public:
+    Shard(EventLoopCore &core, Server &server, size_t index,
+          EventPoller::Backend backend)
+        : core_(core), server_(server), index_(index),
+          poller_(backend),
+          connGauge_(server.metricsRegistry().gauge(
+              "macs_server_shard_connections",
+              "Connections owned per event-loop shard",
+              obs::Labels{{"shard", std::to_string(index)}})),
+          pollWakeups_(server.metricsRegistry().counter(
+              "macs_server_poll_wakeups_total",
+              "Poller waits that returned at least one event",
+              obs::Labels{{"shard", std::to_string(index)}})),
+          notifyWakeups_(server.metricsRegistry().counter(
+              "macs_server_notify_wakeups_total",
+              "Doorbell wakeups from acceptor/compute threads",
+              obs::Labels{{"shard", std::to_string(index)}}))
+    {
+    }
+
+    void start()
+    {
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    /** Acceptor side: enqueue a connection and ring the doorbell. */
+    void adopt(int fd)
+    {
+        {
+            std::lock_guard<std::mutex> lock(inboxMu_);
+            newFds_.push_back(fd);
+        }
+        wakeup_.notify();
+    }
+
+    /** Compute side: post a finished response back to the shard. */
+    void postResponse(int fd, uint64_t gen, HttpResponse response,
+                      bool keep_alive_requested)
+    {
+        {
+            std::lock_guard<std::mutex> lock(inboxMu_);
+            completions_.push_back(Completion{
+                fd, gen, std::move(response), keep_alive_requested});
+        }
+        wakeup_.notify();
+    }
+
+    void kick() { wakeup_.notify(); }
+
+    void join()
+    {
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+  private:
+    struct Completion
+    {
+        int fd;
+        uint64_t gen;
+        HttpResponse response;
+        bool keepAliveRequested;
+    };
+
+    /** One owned connection; ByteIo over its non-blocking socket. */
+    struct Conn final : ByteIo
+    {
+        Conn(int fd_in, uint64_t gen_in,
+             RequestParser::Limits limits)
+            : fd(fd_in), gen(gen_in), machine(limits)
+        {
+        }
+
+        int read(char *buf, size_t len) override
+        {
+            for (;;) {
+                ssize_t n = ::recv(fd, buf, len, 0);
+                if (n >= 0)
+                    return static_cast<int>(n);
+                if (errno == EINTR)
+                    continue;
+                return errno == EAGAIN || errno == EWOULDBLOCK
+                           ? kWouldBlock
+                           : kError;
+            }
+        }
+
+        int write(const char *buf, size_t len) override
+        {
+            for (;;) {
+                ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+                if (n >= 0)
+                    return static_cast<int>(n);
+                if (errno == EINTR)
+                    continue;
+                return errno == EAGAIN || errno == EWOULDBLOCK
+                           ? kWouldBlock
+                           : kError;
+            }
+        }
+
+        int fd;
+        uint64_t gen;
+        Connection machine;
+        Clock::time_point readDeadline{};
+        Clock::time_point writeDeadline{};
+        bool wantWrite = false;
+    };
+
+    Conn *find(int fd)
+    {
+        auto it = conns_.find(fd);
+        return it != conns_.end() ? it->second.get() : nullptr;
+    }
+
+    void loop()
+    {
+        poller_.add(wakeup_.fd(), false, wakeupToken());
+        std::vector<PollEvent> events;
+        for (;;) {
+            int n = poller_.wait(events, kWaitSliceMs);
+            if (n > 0)
+                pollWakeups_.inc();
+            for (const PollEvent &e : events) {
+                if (e.data == wakeupToken()) {
+                    wakeup_.drain();
+                    notifyWakeups_.inc();
+                    continue;
+                }
+                // Look the fd up again: an earlier event in this
+                // batch may have closed (and freed) the connection.
+                Conn *c = find(decodeFd(e.data));
+                if (c == nullptr)
+                    continue;
+                if (c->machine.state() == Connection::State::Write) {
+                    if (e.error)
+                        closeConn(c->fd);
+                    else
+                        flush(*c);
+                } else if (e.error &&
+                           c->machine.state() ==
+                               Connection::State::Compute) {
+                    // Peer vanished mid-compute: drop the connection;
+                    // the generation check discards the response.
+                    closeConn(c->fd);
+                } else {
+                    handleReadable(*c);
+                }
+            }
+            drainInbox();
+            checkDeadlines();
+            if (server_.stopping()) {
+                closeIdleConns();
+                std::lock_guard<std::mutex> lock(inboxMu_);
+                if (conns_.empty() && pendingCompute_ == 0 &&
+                    newFds_.empty() && completions_.empty())
+                    break;
+            }
+        }
+        poller_.del(wakeup_.fd());
+    }
+
+    void drainInbox()
+    {
+        std::vector<int> fds;
+        std::vector<Completion> done;
+        {
+            std::lock_guard<std::mutex> lock(inboxMu_);
+            fds.swap(newFds_);
+            done.swap(completions_);
+        }
+        for (int fd : fds)
+            adoptLocal(fd);
+        for (Completion &c : done)
+            applyCompletion(std::move(c));
+    }
+
+    void adoptLocal(int fd)
+    {
+        if (!setNonBlocking(fd) ||
+            !poller_.add(fd, false, encodeFd(fd))) {
+            closeFd(fd);
+            core_.connections_.fetch_sub(1,
+                                         std::memory_order_acq_rel);
+            return;
+        }
+        auto conn = std::make_unique<Conn>(
+            fd, nextGen_++, server_.options().limits);
+        conn->readDeadline =
+            Clock::now() + std::chrono::milliseconds(
+                               server_.options().requestTimeoutMs);
+        Conn *raw = conn.get();
+        conns_.emplace(fd, std::move(conn));
+        connGauge_.set(static_cast<double>(conns_.size()));
+        // The socket may already hold bytes (or EOF): with an
+        // edge-triggered poller that edge predates registration, so
+        // drain once now.
+        handleReadable(*raw);
+    }
+
+    void applyCompletion(Completion &&done)
+    {
+        --pendingCompute_;
+        Conn *c = find(done.fd);
+        if (c == nullptr || c->gen != done.gen)
+            return; // connection died while computing
+        bool keep = done.keepAliveRequested && !server_.stopping();
+        respond(*c, done.response, keep);
+    }
+
+    void handleReadable(Conn &c)
+    {
+        switch (c.machine.onReadable(c)) {
+        case Connection::ReadEvent::NeedMore:
+            return;
+        case Connection::ReadEvent::RequestReady:
+            dispatch(c);
+            return;
+        case Connection::ReadEvent::ParseError: {
+            HttpResponse r = errorResponse(c.machine.errorStatus(),
+                                           c.machine.errorDetail());
+            server_.countRequest("other", r.status);
+            respond(c, r, false);
+            return;
+        }
+        case Connection::ReadEvent::PeerClosed:
+            closeConn(c.fd);
+            return;
+        case Connection::ReadEvent::TornRequest:
+            // The peer closed mid-message: count it like the 408
+            // path, close without a response (matching the
+            // thread-per-session core byte for byte).
+            server_.countRequest("other", 408);
+            closeConn(c.fd);
+            return;
+        case Connection::ReadEvent::IoError:
+            closeConn(c.fd);
+            return;
+        }
+    }
+
+    void dispatch(Conn &c)
+    {
+        HttpRequest request = c.machine.takeRequest();
+        if (server_.faultInjector().shouldFire(
+                faults::Site::NetRead)) {
+            // Injected read fault: the request is NOT silently
+            // dropped — the client gets an explicit retriable 503.
+            HttpResponse r =
+                errorResponse(503, "transient read fault; retry");
+            r.headers.emplace_back(
+                "Retry-After",
+                std::to_string(
+                    server_.options().retryAfterSeconds));
+            server_.countRequest(routeLabel(request.path),
+                                 r.status);
+            respond(c, r, false);
+            return;
+        }
+        ++pendingCompute_;
+        int fd = c.fd;
+        uint64_t gen = c.gen;
+        bool ka = request.keepAlive;
+        server_.computePool().submit(
+            [this, fd, gen, ka, request = std::move(request)] {
+                obs::Gauge &inflight =
+                    server_.metricsRegistry().gauge(
+                        "macs_server_inflight",
+                        "Requests currently executing");
+                inflight.add(1.0);
+                HttpResponse response;
+                try {
+                    response = server_.handle(request);
+                } catch (const std::exception &e) {
+                    response = errorResponse(500, e.what());
+                    server_.countRequest(routeLabel(request.path),
+                                         500);
+                }
+                inflight.add(-1.0);
+                postResponse(fd, gen, std::move(response), ka);
+            });
+        server_.metricsRegistry()
+            .gauge("macs_server_queue_depth",
+                   "Accepted sessions waiting for a worker")
+            .set(static_cast<double>(
+                server_.computePool().queuedTasks()));
+    }
+
+    /** NetWrite fault check + serialize + flush (all deliveries). */
+    void respond(Conn &c, const HttpResponse &response, bool keep)
+    {
+        if (server_.faultInjector().shouldFire(
+                faults::Site::NetWrite)) {
+            closeConn(c.fd); // injected write fault: cut the line
+            return;
+        }
+        c.machine.queueResponse(response, keep);
+        c.writeDeadline =
+            Clock::now() + std::chrono::milliseconds(
+                               server_.options().writeTimeoutMs);
+        flush(c);
+    }
+
+    void flush(Conn &c)
+    {
+        switch (c.machine.onWritable(c)) {
+        case Connection::WriteEvent::Blocked:
+            setWantWrite(c, true);
+            return;
+        case Connection::WriteEvent::KeepAlive:
+            setWantWrite(c, false);
+            c.readDeadline =
+                Clock::now() +
+                std::chrono::milliseconds(
+                    server_.options().requestTimeoutMs);
+            // A pipelined request may already be buffered; also
+            // re-drain the socket so no edge is lost.
+            handleReadable(c);
+            return;
+        case Connection::WriteEvent::Closing:
+        case Connection::WriteEvent::IoError:
+            closeConn(c.fd);
+            return;
+        }
+    }
+
+    void setWantWrite(Conn &c, bool want)
+    {
+        if (c.wantWrite == want)
+            return;
+        c.wantWrite = want;
+        poller_.mod(c.fd, want, encodeFd(c.fd));
+    }
+
+    void checkDeadlines()
+    {
+        Clock::time_point now = Clock::now();
+        std::vector<int> quiet, torn, stuck;
+        for (const auto &[fd, c] : conns_) {
+            switch (c->machine.state()) {
+            case Connection::State::ReadHeaders:
+            case Connection::State::ReadBody:
+                if (now >= c->readDeadline)
+                    (c->machine.midRequest() ? torn : quiet)
+                        .push_back(fd);
+                break;
+            case Connection::State::Write:
+                if (now >= c->writeDeadline)
+                    stuck.push_back(fd);
+                break;
+            case Connection::State::Compute:
+            case Connection::State::Closed:
+                break;
+            }
+        }
+        for (int fd : quiet)
+            closeConn(fd); // idle keep-alive expiry: close quietly
+        for (int fd : stuck)
+            closeConn(fd); // write deadline: peer too slow to read
+        for (int fd : torn) {
+            Conn *c = find(fd);
+            if (c == nullptr)
+                continue;
+            HttpResponse r = errorResponse(
+                408,
+                format("request not complete within the %d ms read "
+                       "deadline",
+                       server_.options().requestTimeoutMs));
+            server_.countRequest("other", 408);
+            respond(*c, r, false);
+        }
+    }
+
+    void closeIdleConns()
+    {
+        std::vector<int> idle;
+        for (const auto &[fd, c] : conns_) {
+            Connection::State s = c->machine.state();
+            if ((s == Connection::State::ReadHeaders ||
+                 s == Connection::State::ReadBody) &&
+                !c->machine.midRequest())
+                idle.push_back(fd);
+        }
+        for (int fd : idle)
+            closeConn(fd);
+    }
+
+    void closeConn(int fd)
+    {
+        auto it = conns_.find(fd);
+        if (it == conns_.end())
+            return;
+        poller_.del(fd);
+        closeFd(fd);
+        conns_.erase(it);
+        connGauge_.set(static_cast<double>(conns_.size()));
+        core_.connections_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    EventLoopCore &core_;
+    Server &server_;
+    size_t index_;
+    EventPoller poller_;
+    Wakeup wakeup_;
+    std::thread thread_;
+
+    std::mutex inboxMu_;
+    std::vector<int> newFds_;            ///< guarded by inboxMu_
+    std::vector<Completion> completions_; ///< guarded by inboxMu_
+
+    // Shard-thread-only state.
+    std::map<int, std::unique_ptr<Conn>> conns_;
+    size_t pendingCompute_ = 0;
+    uint64_t nextGen_ = 1;
+
+    obs::Gauge &connGauge_;
+    obs::Counter &pollWakeups_;
+    obs::Counter &notifyWakeups_;
+};
+
+EventLoopCore::EventLoopCore(Server &server, size_t shard_count,
+                             EventPoller::Backend backend)
+    : server_(server)
+{
+    MACS_ASSERT(shard_count >= 1, "event loop needs >= 1 shard");
+    shards_.reserve(shard_count);
+    for (size_t i = 0; i < shard_count; ++i)
+        shards_.push_back(
+            std::make_unique<Shard>(*this, server, i, backend));
+}
+
+EventLoopCore::~EventLoopCore()
+{
+    requestStop();
+    join();
+}
+
+void
+EventLoopCore::start()
+{
+    for (auto &shard : shards_)
+        shard->start();
+}
+
+void
+EventLoopCore::adopt(int fd)
+{
+    connections_.fetch_add(1, std::memory_order_acq_rel);
+    size_t i = nextShard_.fetch_add(1, std::memory_order_relaxed) %
+               shards_.size();
+    shards_[i]->adopt(fd);
+}
+
+void
+EventLoopCore::requestStop()
+{
+    for (auto &shard : shards_)
+        shard->kick();
+}
+
+void
+EventLoopCore::join()
+{
+    for (auto &shard : shards_)
+        shard->join();
+}
+
+} // namespace macs::server

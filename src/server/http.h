@@ -105,6 +105,19 @@ class RequestParser
         return state_ == State::Headers && buffer_.empty();
     }
 
+    /**
+     * True once the header block of the current message has been
+     * consumed and body bytes are being collected. Drives the
+     * READ_HEADERS / READ_BODY distinction of the connection state
+     * machine (server/connection.h).
+     */
+    bool inBody() const
+    {
+        return state_ == State::Body || state_ == State::ChunkSize ||
+               state_ == State::ChunkData ||
+               state_ == State::ChunkTrailer;
+    }
+
     /** HTTP status of the parse failure (400/411/413/431/501/505). */
     int errorStatus() const { return errorStatus_; }
     const std::string &errorDetail() const { return errorDetail_; }

@@ -8,6 +8,7 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "pipeline/report.h"
+#include "server/event_loop.h"
 #include "server/kernel_source.h"
 #include "support/logging.h"
 #include "support/strings.h"
@@ -25,17 +26,6 @@ remainingMs(Clock::time_point deadline)
                     deadline - Clock::now())
                     .count();
     return left > 0 ? static_cast<int>(left) : 0;
-}
-
-/** Bounded-cardinality route label of @p path for metrics. */
-std::string
-routeLabel(const std::string &path)
-{
-    if (path == "/healthz" || path == "/metrics" ||
-        path == "/version" || path == "/v1/analyze" ||
-        path == "/v1/batch")
-        return path;
-    return "other";
 }
 
 bool
@@ -128,17 +118,27 @@ validVariants(const std::vector<std::string> &variants,
     return true;
 }
 
+} // namespace
+
+std::string
+routeLabel(const std::string &path)
+{
+    if (path == "/healthz" || path == "/metrics" ||
+        path == "/version" || path == "/v1/analyze" ||
+        path == "/v1/batch")
+        return path;
+    return "other";
+}
+
 HttpResponse
 errorResponse(int status, const std::string &message,
-              const Diagnostics *diags = nullptr)
+              const Diagnostics *diags)
 {
     HttpResponse response;
     response.status = status;
     response.body = errorBody(status, message, diags);
     return response;
 }
-
-} // namespace
 
 std::string
 errorBody(int status, const std::string &message,
@@ -212,6 +212,12 @@ Server::countRequest(const std::string &route, int status)
         .inc();
 }
 
+size_t
+Server::connectionCount() const
+{
+    return core_ != nullptr ? core_->connectionCount() : 0;
+}
+
 void
 Server::start()
 {
@@ -233,6 +239,22 @@ Server::start()
               "Accepted sessions waiting for a worker");
     reg.gauge("macs_server_inflight", "Requests currently executing");
 
+    if (options_.core == CoreMode::Evented) {
+        size_t shards =
+            options_.shards != 0
+                ? options_.shards
+                : std::min<size_t>(
+                      4, std::max(1u,
+                                  std::thread::hardware_concurrency()));
+        // The Shard constructors pre-register the per-shard series
+        // (connection gauges, wakeup counters) at zero.
+        core_ = std::make_unique<EventLoopCore>(
+            *this, shards,
+            options_.pollFallback ? EventPoller::Backend::Poll
+                                  : EventPoller::Backend::Default);
+        core_->start();
+    }
+
     listener_.open(options_.host, options_.port);
     started_.store(true, std::memory_order_release);
     acceptor_ = std::thread([this] { acceptLoop(); });
@@ -246,6 +268,13 @@ Server::drain()
         return;
     if (acceptor_.joinable())
         acceptor_.join();
+    if (core_ != nullptr) {
+        // Shards finish in-flight requests (answered `Connection:
+        // close`), drop idle connections, and exit; only then is the
+        // compute pool idled.
+        core_->requestStop();
+        core_->join();
+    }
     listener_.close();
     if (pool_ != nullptr)
         pool_->waitIdle();
@@ -296,6 +325,16 @@ Server::acceptLoop()
         }
         if (pool_->queuedTasks() >= options_.queueCapacity) {
             rejectConnection(fd, "backpressure");
+            continue;
+        }
+        if (core_ != nullptr) {
+            // Evented core: connections are cheap but not free —
+            // bound the open-connection count, then hand off.
+            if (core_->connectionCount() >= options_.maxConnections) {
+                rejectConnection(fd, "backpressure");
+                continue;
+            }
+            core_->adopt(fd);
             continue;
         }
         pool_->submit([this, fd] { runSession(fd); });

@@ -2,12 +2,22 @@
  * @file
  * `macs serve` — the concurrent analysis server (docs/SERVER.md).
  *
- * Architecture: one acceptor thread performs admission control and
- * hands connections to a pipeline::ThreadPool of session workers;
- * each session runs the keep-alive HTTP/1.1 loop (http.h parser,
- * net.h deadline-bounded I/O) and evaluates analysis requests inline
- * through the shared AnalysisService, whose LRU-bounded cache and
- * guarded compute are exactly the batch engine's.
+ * Architecture (CoreMode::Evented, the default): one acceptor thread
+ * performs admission control and hands connections round-robin to a
+ * small number of event-loop shards (event_loop.h) — epoll-based
+ * readiness loops driving non-blocking per-connection state machines
+ * (connection.h). Complete requests are dispatched to the compute
+ * ThreadPool and responses posted back through a wakeup doorbell, so
+ * thousands of idle keep-alive connections cost no threads.
+ *
+ * CoreMode::Threaded keeps the original thread-per-session core
+ * (each session worker runs the blocking keep-alive HTTP/1.1 loop,
+ * net.h deadline-bounded I/O). It is retained as the differential
+ * baseline: tests replay the adversarial corpus through BOTH cores
+ * and assert byte-identical replies, and the bench measures the
+ * evented core's speedup against it. Either way, requests are
+ * evaluated through the shared AnalysisService, whose LRU-bounded
+ * cache and guarded compute are exactly the batch engine's.
  *
  * Admission control: when the pool's pending-session queue is at
  * queueCapacity, new connections receive a canned 503 with
@@ -42,6 +52,17 @@
 
 namespace macs::server {
 
+class EventLoopCore;
+
+/** Connection-handling core (see the file comment). */
+enum class CoreMode
+{
+    /** Sharded event loop; idle connections cost no threads. */
+    Evented,
+    /** Legacy thread-per-session core (differential baseline). */
+    Threaded,
+};
+
 /** Server construction options. */
 struct ServerOptions
 {
@@ -52,6 +73,14 @@ struct ServerOptions
     size_t workers = 0;
     /** Pending (accepted, unstarted) sessions before 503. */
     size_t queueCapacity = 64;
+    /** Connection-handling core. */
+    CoreMode core = CoreMode::Evented;
+    /** Event-loop shards (Evented only); 0 means min(4, cores). */
+    size_t shards = 0;
+    /** Open-connection bound of the evented core before 503. */
+    size_t maxConnections = 4096;
+    /** Force the poll(2) poller backend (portability testing). */
+    bool pollFallback = false;
     /** Per-request read deadline / keep-alive idle timeout (ms). */
     int requestTimeoutMs = 5000;
     /** Response write deadline (ms). */
@@ -112,6 +141,23 @@ class Server
     /** The shared compute core (test access to cache counters). */
     AnalysisService &service() { return service_; }
 
+    /**
+     * Internal surface used by the event-loop core (event_loop.cc)
+     * and white-box tests; not part of the client API.
+     * @{
+     */
+    const ServerOptions &options() const { return options_; }
+    obs::Registry &metricsRegistry() const { return registry(); }
+    const faults::FaultInjector &faultInjector() const
+    {
+        return injector();
+    }
+    pipeline::ThreadPool &computePool() { return *pool_; }
+    void countRequest(const std::string &route, int status);
+    /** Live connections owned by the evented core (0 if Threaded). */
+    size_t connectionCount() const;
+    /** @} */
+
   private:
     void acceptLoop();
     void runSession(int fd);
@@ -127,17 +173,25 @@ class Server
 
     obs::Registry &registry() const;
     const faults::FaultInjector &injector() const;
-    void countRequest(const std::string &route, int status);
 
     ServerOptions options_;
     AnalysisService service_;
     Listener listener_;
     std::unique_ptr<pipeline::ThreadPool> pool_;
+    /** Declared after pool_: shards die before the pool they feed. */
+    std::unique_ptr<EventLoopCore> core_;
     std::thread acceptor_;
     std::atomic<bool> stop_{false};
     std::atomic<bool> started_{false};
     std::atomic<bool> drained_{false};
 };
+
+/** Bounded-cardinality route label of @p path for metrics. */
+std::string routeLabel(const std::string &path);
+
+/** Build an error response with an errorBody() payload. */
+HttpResponse errorResponse(int status, const std::string &message,
+                           const Diagnostics *diags = nullptr);
 
 /**
  * Build the "macs-error-v1" JSON error body: status, message, and

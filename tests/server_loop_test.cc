@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Deterministic tests of the event-driven per-connection state
+ * machine (src/server/connection.h) — no sockets, no threads, no
+ * timing. A scripted ByteIo replays exactly the byte arrivals and
+ * transport verdicts (EAGAIN, short writes, EOF, errors) the kernel
+ * would produce, so every READ_HEADERS → READ_BODY → COMPUTE → WRITE
+ * → keep-alive transition is asserted byte-for-byte and the suite is
+ * meaningful under TSan/ASan/UBSan.
+ *
+ * docs/TESTING.md describes the harness and how to add cases.
+ */
+
+#include <deque>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "server/connection.h"
+#include "server/http.h"
+
+namespace macs::server {
+namespace {
+
+/**
+ * Scripted transport. Reads are served from a queue of operations
+ * (byte chunks, EAGAIN verdicts, a sticky EOF, a hard error); writes
+ * are bounded by a queue of per-call capacities (-1 = EAGAIN,
+ * -2 = error, otherwise a short-write ceiling) and captured into
+ * `written`. Call counts expose how many "syscalls" the machine made.
+ */
+class ScriptIo final : public ByteIo
+{
+  public:
+    void feed(std::string bytes)
+    {
+        reads_.push_back({Op::Bytes, std::move(bytes)});
+    }
+    void again(int n = 1)
+    {
+        for (int i = 0; i < n; ++i)
+            reads_.push_back({Op::Again, ""});
+    }
+    void eofNext() { reads_.push_back({Op::Eof, ""}); }
+    void errNext() { reads_.push_back({Op::Err, ""}); }
+
+    /** Next write() accepts at most @p cap bytes (-1/-2 verdicts). */
+    void writeCap(int cap) { writeCaps_.push_back(cap); }
+
+    int read(char *buf, size_t len) override
+    {
+        ++readCalls;
+        if (reads_.empty())
+            return kWouldBlock;
+        Op &op = reads_.front();
+        switch (op.kind) {
+        case Op::Again:
+            reads_.pop_front();
+            return kWouldBlock;
+        case Op::Eof:
+            return 0; // sticky, like a half-closed socket
+        case Op::Err:
+            return kError;
+        case Op::Bytes: {
+            size_t n = std::min(len, op.bytes.size());
+            std::copy_n(op.bytes.data(), n, buf);
+            op.bytes.erase(0, n);
+            if (op.bytes.empty())
+                reads_.pop_front();
+            return static_cast<int>(n);
+        }
+        }
+        return kError;
+    }
+
+    int write(const char *buf, size_t len) override
+    {
+        ++writeCalls;
+        int cap = static_cast<int>(len);
+        if (!writeCaps_.empty()) {
+            cap = writeCaps_.front();
+            writeCaps_.pop_front();
+        }
+        if (cap == -1)
+            return kWouldBlock;
+        if (cap == -2)
+            return kError;
+        size_t n = std::min(len, static_cast<size_t>(cap));
+        written.append(buf, n);
+        return static_cast<int>(n);
+    }
+
+    std::string written;
+    int readCalls = 0;
+    int writeCalls = 0;
+
+  private:
+    struct Op
+    {
+        enum Kind
+        {
+            Bytes,
+            Again,
+            Eof,
+            Err
+        } kind;
+        std::string bytes;
+    };
+    std::deque<Op> reads_;
+    std::deque<int> writeCaps_;
+};
+
+HttpResponse
+okResponse(const std::string &body)
+{
+    HttpResponse r;
+    r.body = body;
+    return r;
+}
+
+TEST(ConnStateMachine, PartialReadsMidHeaderNeedMoreUntilComplete)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    EXPECT_EQ(conn.state(), Connection::State::ReadHeaders);
+    EXPECT_STREQ(connStateName(conn.state()), "READ_HEADERS");
+
+    // The request line arrives one fragment at a time; the machine
+    // stays in READ_HEADERS and reports NeedMore at each drain.
+    for (const char *frag :
+         {"GET /hea", "lthz HT", "TP/1.1\r", "\nHost: x\r\n"}) {
+        io.feed(frag);
+        EXPECT_EQ(conn.onReadable(io), Connection::ReadEvent::NeedMore);
+        EXPECT_EQ(conn.state(), Connection::State::ReadHeaders);
+        EXPECT_TRUE(conn.midRequest());
+    }
+
+    io.feed("\r\n");
+    ASSERT_EQ(conn.onReadable(io),
+              Connection::ReadEvent::RequestReady);
+    EXPECT_EQ(conn.state(), Connection::State::Compute);
+    HttpRequest req = conn.takeRequest();
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.path, "/healthz");
+}
+
+TEST(ConnStateMachine, TornChunkBoundariesReassembleBody)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+
+    io.feed("POST /v1/analyze HTTP/1.1\r\n"
+            "Transfer-Encoding: chunked\r\n\r\n");
+    EXPECT_EQ(conn.onReadable(io), Connection::ReadEvent::NeedMore);
+    // Header block consumed, chunked body pending: READ_BODY.
+    EXPECT_EQ(conn.state(), Connection::State::ReadBody);
+    EXPECT_STREQ(connStateName(conn.state()), "READ_BODY");
+
+    // Torn everywhere a chunk can tear: inside the size line, inside
+    // the data, inside the trailing CRLF, inside the last-chunk.
+    for (const char *frag : {"5\r", "\nhel", "lo\r", "\n", "0\r\n"}) {
+        io.feed(frag);
+        EXPECT_EQ(conn.onReadable(io), Connection::ReadEvent::NeedMore)
+            << frag;
+        EXPECT_EQ(conn.state(), Connection::State::ReadBody);
+    }
+    io.feed("\r\n");
+    ASSERT_EQ(conn.onReadable(io),
+              Connection::ReadEvent::RequestReady);
+    EXPECT_EQ(conn.takeRequest().body, "hello");
+}
+
+TEST(ConnStateMachine, PipelinedRequestsInOneReadNeedNoNewBytes)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    io.feed("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+
+    ASSERT_EQ(conn.onReadable(io),
+              Connection::ReadEvent::RequestReady);
+    EXPECT_EQ(conn.takeRequest().path, "/a");
+
+    conn.queueResponse(okResponse("{}\n"), /*keep_alive=*/true);
+    EXPECT_EQ(conn.state(), Connection::State::Write);
+    ASSERT_EQ(conn.onWritable(io), Connection::WriteEvent::KeepAlive);
+
+    // The second request was already buffered in the parser: the
+    // keep-alive re-drain surfaces it WITHOUT touching the transport.
+    int reads_before = io.readCalls;
+    ASSERT_EQ(conn.onReadable(io),
+              Connection::ReadEvent::RequestReady);
+    EXPECT_EQ(io.readCalls, reads_before);
+    EXPECT_EQ(conn.takeRequest().path, "/b");
+}
+
+TEST(ConnStateMachine, EagainStormMakesProgressOneByteAtATime)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    const std::string request = "GET / HTTP/1.1\r\n\r\n";
+    for (char c : request) {
+        io.feed(std::string(1, c));
+        io.again(3); // storm: 3 spurious EAGAINs per byte
+    }
+
+    Connection::ReadEvent ev = Connection::ReadEvent::NeedMore;
+    int drains = 0;
+    while (ev == Connection::ReadEvent::NeedMore && drains < 1000) {
+        ev = conn.onReadable(io);
+        ++drains;
+    }
+    ASSERT_EQ(ev, Connection::ReadEvent::RequestReady);
+    // Each drain ends at exactly one EAGAIN (no spinning, no loss):
+    // a byte group [B, EAGAIN x3] costs 3 drains — one that consumes
+    // the byte, two for the residual EAGAINs — and the final byte
+    // completes the request before its EAGAINs are even touched.
+    int bytes = static_cast<int>(request.size());
+    EXPECT_EQ(drains, 3 * (bytes - 1) + 1);
+    EXPECT_EQ(conn.takeRequest().path, "/");
+}
+
+TEST(ConnStateMachine, WriteBackpressureShortWritesAndResume)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    io.feed("GET / HTTP/1.1\r\n\r\n");
+    ASSERT_EQ(conn.onReadable(io),
+              Connection::ReadEvent::RequestReady);
+    (void)conn.takeRequest();
+
+    conn.queueResponse(okResponse("hello world\n"), true);
+    const std::string expected =
+        serializeResponse(okResponse("hello world\n"), true);
+    size_t total = conn.pendingOutput();
+    ASSERT_EQ(total, expected.size());
+
+    // First flush: 4 bytes land, then the socket blocks.
+    io.writeCap(4);
+    io.writeCap(-1);
+    ASSERT_EQ(conn.onWritable(io), Connection::WriteEvent::Blocked);
+    EXPECT_EQ(conn.state(), Connection::State::Write);
+    EXPECT_EQ(conn.pendingOutput(), total - 4);
+
+    // Second flush: 7 more, blocked again.
+    io.writeCap(7);
+    io.writeCap(-1);
+    ASSERT_EQ(conn.onWritable(io), Connection::WriteEvent::Blocked);
+    EXPECT_EQ(conn.pendingOutput(), total - 11);
+
+    // Final flush drains the rest; keep-alive resets to READ_HEADERS.
+    ASSERT_EQ(conn.onWritable(io), Connection::WriteEvent::KeepAlive);
+    EXPECT_EQ(conn.pendingOutput(), 0u);
+    EXPECT_EQ(conn.state(), Connection::State::ReadHeaders);
+    EXPECT_EQ(io.written, expected);
+}
+
+TEST(ConnStateMachine, ConnectionCloseResponseEndsInClosed)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    io.feed("GET / HTTP/1.0\r\n\r\n");
+    ASSERT_EQ(conn.onReadable(io),
+              Connection::ReadEvent::RequestReady);
+    (void)conn.takeRequest();
+
+    conn.queueResponse(okResponse("bye\n"), /*keep_alive=*/false);
+    ASSERT_EQ(conn.onWritable(io), Connection::WriteEvent::Closing);
+    EXPECT_EQ(conn.state(), Connection::State::Closed);
+    EXPECT_STREQ(connStateName(conn.state()), "CLOSED");
+    EXPECT_EQ(io.written,
+              serializeResponse(okResponse("bye\n"), false));
+}
+
+TEST(ConnStateMachine, ReadsSuspendedWhileComputing)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    io.feed("GET /a HTTP/1.1\r\n\r\n");
+    ASSERT_EQ(conn.onReadable(io),
+              Connection::ReadEvent::RequestReady);
+    EXPECT_EQ(conn.state(), Connection::State::Compute);
+    EXPECT_STREQ(connStateName(conn.state()), "COMPUTE");
+
+    // One request in flight per connection: readiness events during
+    // COMPUTE must not consume transport bytes.
+    io.feed("GET /b HTTP/1.1\r\n\r\n");
+    int reads_before = io.readCalls;
+    EXPECT_EQ(conn.onReadable(io), Connection::ReadEvent::NeedMore);
+    EXPECT_EQ(io.readCalls, reads_before);
+    (void)conn.takeRequest();
+}
+
+TEST(ConnStateMachine, EofBetweenRequestsIsPeerClosed)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    io.eofNext();
+    EXPECT_EQ(conn.onReadable(io), Connection::ReadEvent::PeerClosed);
+    EXPECT_FALSE(conn.midRequest());
+}
+
+TEST(ConnStateMachine, EofMidMessageIsTornRequest)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    io.feed("POST /v1/analyze HTTP/1.1\r\nContent-Length: 100\r\n");
+    io.eofNext();
+    EXPECT_EQ(conn.onReadable(io), Connection::ReadEvent::TornRequest);
+    EXPECT_TRUE(conn.midRequest());
+}
+
+TEST(ConnStateMachine, TransportErrorsSurfaceAsIoError)
+{
+    Connection read_err((RequestParser::Limits()));
+    ScriptIo rio;
+    rio.feed("GET / ");
+    rio.errNext();
+    EXPECT_EQ(read_err.onReadable(rio), Connection::ReadEvent::IoError);
+
+    Connection write_err((RequestParser::Limits()));
+    ScriptIo wio;
+    wio.feed("GET / HTTP/1.1\r\n\r\n");
+    ASSERT_EQ(write_err.onReadable(wio),
+              Connection::ReadEvent::RequestReady);
+    (void)write_err.takeRequest();
+    write_err.queueResponse(okResponse("x"), true);
+    wio.writeCap(3);
+    wio.writeCap(-2);
+    EXPECT_EQ(write_err.onWritable(wio),
+              Connection::WriteEvent::IoError);
+}
+
+TEST(ConnStateMachine, MalformedRequestIsParseError400)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    io.feed("BOGUS\r\n\r\n");
+    ASSERT_EQ(conn.onReadable(io), Connection::ReadEvent::ParseError);
+    EXPECT_EQ(conn.errorStatus(), 400);
+    EXPECT_FALSE(conn.errorDetail().empty());
+}
+
+TEST(ConnStateMachine, OversizeHeaderIsParseError431)
+{
+    RequestParser::Limits limits;
+    limits.maxHeaderBytes = 64;
+    Connection conn(limits);
+    ScriptIo io;
+    io.feed("GET / HTTP/1.1\r\nX-Big: " + std::string(200, 'a') +
+            "\r\n\r\n");
+    ASSERT_EQ(conn.onReadable(io), Connection::ReadEvent::ParseError);
+    EXPECT_EQ(conn.errorStatus(), 431);
+}
+
+TEST(ConnStateMachine, ErrorResponseAfterParseErrorFlushesAndCloses)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    io.feed("BOGUS\r\n\r\n");
+    ASSERT_EQ(conn.onReadable(io), Connection::ReadEvent::ParseError);
+
+    // The shard answers parse errors from the read states directly.
+    HttpResponse err;
+    err.status = conn.errorStatus();
+    err.body = "bad\n";
+    conn.queueResponse(err, /*keep_alive=*/false);
+    EXPECT_EQ(conn.state(), Connection::State::Write);
+    ASSERT_EQ(conn.onWritable(io), Connection::WriteEvent::Closing);
+    EXPECT_EQ(io.written, serializeResponse(err, false));
+}
+
+TEST(ConnStateMachine, ManyKeepAliveRoundsOnOneConnection)
+{
+    Connection conn((RequestParser::Limits()));
+    ScriptIo io;
+    for (int round = 0; round < 32; ++round) {
+        io.feed("POST /v1/analyze HTTP/1.1\r\nContent-Length: 2\r\n"
+                "\r\nhi");
+        ASSERT_EQ(conn.onReadable(io),
+                  Connection::ReadEvent::RequestReady)
+            << "round " << round;
+        EXPECT_EQ(conn.takeRequest().body, "hi");
+        conn.queueResponse(okResponse("{}\n"), true);
+        ASSERT_EQ(conn.onWritable(io),
+                  Connection::WriteEvent::KeepAlive);
+        EXPECT_EQ(conn.state(), Connection::State::ReadHeaders);
+    }
+}
+
+} // namespace
+} // namespace macs::server

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -25,6 +26,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/socket.h>
 
 #include "faults/fault_injection.h"
 #include "obs/export.h"
@@ -124,6 +127,8 @@ TEST(HttpCorpus, ReplayWholeBuffer)
     ASSERT_TRUE(fs::exists(dir)) << dir;
     int seen = 0;
     for (const auto &entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue; // stream/ holds connection-level cases
         std::string name = entry.path().filename().string();
         int expected = std::stoi(name.substr(0, 3));
         std::string bytes = readFile(entry.path());
@@ -150,6 +155,8 @@ TEST(HttpCorpus, ReplayByteAtATime)
 {
     fs::path dir = fs::path(MACS_CORPUS_DIR) / "http";
     for (const auto &entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
         std::string name = entry.path().filename().string();
         int expected = std::stoi(name.substr(0, 3));
         std::string bytes = readFile(entry.path());
@@ -167,6 +174,80 @@ TEST(HttpCorpus, ReplayByteAtATime)
             EXPECT_EQ(parser.errorStatus(), expected) << name;
         }
     }
+}
+
+/**
+ * Send @p bytes on a fresh connection, half-close, and collect the
+ * entire response stream until the server closes.
+ */
+std::string
+replayThroughServer(TestServer &ts, const std::string &bytes)
+{
+    int fd = tcpConnect("127.0.0.1", ts.port(), 2000);
+    EXPECT_GE(fd, 0);
+    if (fd < 0)
+        return "";
+    // Best-effort write: on parse-error cases the server may answer
+    // and close before the tail of the payload lands.
+    (void)writeAll(fd, bytes, 2000);
+    ::shutdown(fd, SHUT_WR);
+    std::string reply = readUntilClosed(fd, 5000);
+    closeFd(fd);
+    return reply;
+}
+
+TEST(DualCore, WholeCorpusRepliesByteIdentical)
+{
+    // The legacy thread-per-session core is the behavioral oracle:
+    // every corpus case — parser-level malformed requests AND the
+    // connection-level stream/ cases (premature close, interleaved
+    // half request, pipelining) — must produce a byte-identical
+    // response stream from the evented core.
+    ServerOptions evented_opt;
+    evented_opt.workers = 2;
+    ServerOptions threaded_opt;
+    threaded_opt.core = CoreMode::Threaded;
+    threaded_opt.workers = 2;
+    TestServer evented(evented_opt);
+    TestServer threaded(threaded_opt);
+    evented.start();
+    threaded.start();
+
+    fs::path dir = fs::path(MACS_CORPUS_DIR) / "http";
+    ASSERT_TRUE(fs::exists(dir)) << dir;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.is_regular_file())
+            files.push_back(entry.path());
+    for (const auto &entry : fs::directory_iterator(dir / "stream"))
+        if (entry.is_regular_file())
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    ASSERT_GE(files.size(), 24u) << "corpus unexpectedly small";
+
+    for (const fs::path &path : files) {
+        std::string name = path.filename().string();
+        std::string bytes = readFile(path);
+        ASSERT_FALSE(bytes.empty()) << name;
+
+        std::string from_evented = replayThroughServer(evented, bytes);
+        std::string from_threaded =
+            replayThroughServer(threaded, bytes);
+        EXPECT_EQ(from_evented, from_threaded) << name;
+
+        // Parse-error cases must surface their status on the wire.
+        if (std::isdigit(static_cast<unsigned char>(name[0]))) {
+            int expected = std::stoi(name.substr(0, 3));
+            if (expected != 200)
+                EXPECT_NE(from_evented.find(
+                              " " + std::to_string(expected) + " "),
+                          std::string::npos)
+                    << name << ": " << from_evented;
+        }
+    }
+
+    evented->drain();
+    threaded->drain();
 }
 
 TEST(HttpParser, PipelinedRequestsResumeAfterTake)
@@ -565,7 +646,10 @@ TEST(EndToEnd, ChunkedPostMatchesContentLengthPost)
 
 TEST(EndToEnd, BackpressureRejectsWith503AndRetryAfter)
 {
+    // Thread-per-session semantics: an idle connection pins a session
+    // worker, so the pool queue is the admission bound.
     ServerOptions opt;
+    opt.core = CoreMode::Threaded;
     opt.workers = 1;
     opt.queueCapacity = 1;
     opt.requestTimeoutMs = 2000;
@@ -595,6 +679,52 @@ TEST(EndToEnd, BackpressureRejectsWith503AndRetryAfter)
     ts->drain();
     std::string prom = obs::renderPrometheus(ts.registry);
     EXPECT_NE(prom.find("macs_server_rejected_total"),
+              std::string::npos);
+}
+
+TEST(EndToEnd, EventedCoreBoundsOpenConnectionsWith503)
+{
+    // Evented semantics: idle connections pin nothing, so the
+    // admission bound is maxConnections, not the compute queue.
+    ServerOptions opt;
+    opt.maxConnections = 2;
+    opt.retryAfterSeconds = 7;
+    TestServer ts(opt);
+    ts.start();
+
+    int first = tcpConnect("127.0.0.1", ts.port(), 1000);
+    ASSERT_GE(first, 0);
+    int second = tcpConnect("127.0.0.1", ts.port(), 1000);
+    ASSERT_GE(second, 0);
+    // Both idle connections must be adopted by a shard (not a worker
+    // thread) before the third can observe the bound.
+    for (int i = 0; i < 100 && ts->connectionCount() < 2; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_EQ(ts->connectionCount(), 2u);
+
+    int rejected = tcpConnect("127.0.0.1", ts.port(), 1000);
+    ASSERT_GE(rejected, 0);
+    std::string reply = readUntilClosed(rejected, 2000);
+    EXPECT_NE(reply.find(" 503 "), std::string::npos) << reply;
+    EXPECT_NE(reply.find("Retry-After: 7"), std::string::npos)
+        << reply;
+    closeFd(rejected);
+
+    // Closing one frees a slot: the next connection is served.
+    closeFd(first);
+    for (int i = 0; i < 100 && ts->connectionCount() >= 2; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    HttpClient client("127.0.0.1", ts.port());
+    ClientResponse resp;
+    ASSERT_TRUE(client.request("GET", "/healthz", "", resp));
+    EXPECT_EQ(resp.status, 200);
+
+    closeFd(second);
+    ts->drain();
+    std::string prom = obs::renderPrometheus(ts.registry);
+    EXPECT_NE(prom.find("macs_server_rejected_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("macs_server_shard_connections"),
               std::string::npos);
 }
 

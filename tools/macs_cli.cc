@@ -36,8 +36,11 @@
  *   macs serve [opts]                    HTTP analysis server
  *       --port N        listen port (0 = ephemeral; default 8080)
  *       --port-file F   write the bound port to F (for scripts)
- *       --workers N     session workers (default: hardware)
- *       --queue N       pending-session bound before 503 (default 64)
+ *       --workers N     compute workers (default: hardware)
+ *       --queue N       pending-compute bound before 503 (default 64)
+ *       --shards N      event-loop shards (0 = auto; default 0)
+ *       --core MODE     evented (default) or threaded (legacy)
+ *       --max-connections N  open-connection bound before 503
  *       --cache-cap N   LRU bound of the shared cache (default 1024)
  *       SIGTERM/SIGINT  graceful drain, exit 0 (docs/SERVER.md)
  *   macs http <method> <target> [opts]   client for `macs serve`
@@ -713,10 +716,10 @@ int
 cmdServe(const std::vector<std::string> &args)
 {
     std::string host = "127.0.0.1", checkpoint_path, fault_spec;
-    std::string port_file;
+    std::string port_file, core = "evented";
     long port = 8080, workers = 0, queue = 64, cache_cap = 1024;
     long request_timeout = 5000, retries = 2, trip = 512;
-    long max_body = 0;
+    long max_body = 0, shards = 0, max_conns = 4096;
     double job_timeout_ms = 0.0;
 
     Diagnostics diags("macs serve");
@@ -746,6 +749,19 @@ cmdServe(const std::vector<std::string> &args)
         } else if (a == "--queue") {
             if (!parseInt(next("--queue"), queue) || queue < 1)
                 diags.error("--queue expects a positive number");
+        } else if (a == "--shards") {
+            if (!parseInt(next("--shards"), shards) || shards < 0)
+                diags.error("--shards expects a non-negative number "
+                            "(0 = auto)");
+        } else if (a == "--max-connections") {
+            if (!parseInt(next("--max-connections"), max_conns) ||
+                max_conns < 1)
+                diags.error(
+                    "--max-connections expects a positive number");
+        } else if (a == "--core") {
+            core = next("--core");
+            if (core != "evented" && core != "threaded")
+                diags.error("--core expects 'evented' or 'threaded'");
         } else if (a == "--cache-cap") {
             if (!parseInt(next("--cache-cap"), cache_cap) ||
                 cache_cap < 0)
@@ -812,6 +828,10 @@ cmdServe(const std::vector<std::string> &args)
     opt.port = static_cast<int>(port);
     opt.workers = static_cast<size_t>(workers);
     opt.queueCapacity = static_cast<size_t>(queue);
+    opt.core = core == "threaded" ? server::CoreMode::Threaded
+                                  : server::CoreMode::Evented;
+    opt.shards = static_cast<size_t>(shards);
+    opt.maxConnections = static_cast<size_t>(max_conns);
     opt.requestTimeoutMs = static_cast<int>(request_timeout);
     opt.defaultTrip = trip;
     opt.versionString = MACS_VERSION_STRING;
@@ -841,8 +861,9 @@ cmdServe(const std::vector<std::string> &args)
     }
     std::fprintf(stderr,
                  "macs serve: listening on %s:%d "
-                 "(queue %ld, cache cap %ld)\n",
-                 host.c_str(), srv.port(), queue, cache_cap);
+                 "(core %s, queue %ld, cache cap %ld)\n",
+                 host.c_str(), srv.port(), core.c_str(), queue,
+                 cache_cap);
 
     while (g_stop_requested == 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -969,6 +990,8 @@ usage()
         "(docs/SERVER.md; --host H, --port N,\n"
         "                          --port-file PATH, --workers N, "
         "--queue N, --cache-cap N,\n"
+        "                          --shards N, --core evented|"
+        "threaded, --max-connections N,\n"
         "                          --request-timeout MS, "
         "--job-timeout MS, --retries N, --trip N,\n"
         "                          --max-body BYTES, "
