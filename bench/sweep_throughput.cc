@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Throughput of `macs sweep` on a machine grid (docs/MACHINES.md).
+ *
+ * The grid is the five shipped machine files plus synthesized bank
+ * variants (>= 8 machines total) crossed with the full LFK kernel set
+ * — every cell a distinct (kernel, machine) analysis, so unlike the
+ * batch bench there is almost no memoizable duplication and worker
+ * scaling carries the whole speedup. Per worker count we print
+ * cells/sec and speedup vs the 1-worker run, and compare the rendered
+ * JSON byte-for-byte against the 1-worker report (determinism).
+ *
+ * `--json PATH` writes the machine-readable summary consumed by
+ * scripts/perf_gate.py (schema "macs-bench-sweep-v1"). Gated metric:
+ * the 4-worker speedup ratio, which is host-speed independent.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "machine/machine_file.h"
+#include "pipeline/report.h"
+#include "pipeline/sweep.h"
+#include "support/diag.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace macs;
+
+/** Shipped machine files + synthesized bank variants (>= 8 total). */
+pipeline::SweepRequest
+gridRequest()
+{
+    pipeline::SweepRequest request;
+    Diagnostics diags;
+    for (const std::string &path :
+         machine::listMachineFiles(MACS_MACHINE_DIR, diags)) {
+        machine::MachineFile mf;
+        Diagnostics d;
+        if (!machine::loadMachineFile(path, mf, d))
+            fatal("bench machine file: ", d.render());
+        request.machines.push_back(
+            {mf.name, mf.description, path, mf.config});
+    }
+    if (diags.hasErrors())
+        fatal(diags.render());
+    for (int banks : {8, 16, 128}) {
+        pipeline::SweepMachine m;
+        m.name = format("c240-%dbank-synth", banks);
+        m.description = format("synthesized %d-bank variant", banks);
+        m.source = "<synthesized>";
+        m.config = machine::MachineConfig::withBanks(banks);
+        request.machines.push_back(std::move(m));
+    }
+    MACS_ASSERT(request.machines.size() >= 8,
+                "sweep bench wants >= 8 machines, got ",
+                request.machines.size());
+    for (int id : lfk::lfkIds())
+        request.kernels.push_back(
+            lfk::toKernelCase(lfk::makeKernel(id)));
+    return request;
+}
+
+struct Sample
+{
+    pipeline::SweepResult result;
+    double wallUs = 0.0;
+};
+
+/** Median-of-N sweep at @p workers; fresh engine (cold cache) per rep. */
+Sample
+medianSweep(const pipeline::SweepRequest &request, size_t workers,
+            int reps)
+{
+    std::vector<Sample> runs;
+    std::vector<double> walls;
+    for (int rep = 0; rep < reps; ++rep) {
+        pipeline::EngineOptions opt;
+        opt.workers = workers;
+        pipeline::BatchEngine engine(opt);
+        Sample s;
+        s.result = pipeline::runSweep(request, engine);
+        s.wallUs = s.result.stats.wallUs;
+        walls.push_back(s.wallUs);
+        runs.push_back(std::move(s));
+    }
+    double mid = bench::median(walls);
+    size_t pick = 0;
+    for (size_t i = 1; i < runs.size(); ++i)
+        if (std::abs(runs[i].wallUs - mid) <
+            std::abs(runs[pick].wallUs - mid))
+            pick = i;
+    return std::move(runs[pick]);
+}
+
+bool
+writeJson(const std::string &path, double speedup4, double speedup8,
+          double warm_ratio, double serial_cells_per_sec,
+          double cells)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n"
+        << "  \"schema\": \"macs-bench-sweep-v1\",\n"
+        << "  \"gated\": {\n"
+        << format("    \"sweep_speedup_4_workers\": %.3f,\n",
+                  speedup4)
+        << format("    \"sweep_warm_vs_cold_ratio\": %.3f\n",
+                  warm_ratio)
+        << "  },\n"
+        << "  \"informative\": {\n"
+        << format("    \"sweep_speedup_8_workers\": %.3f,\n", speedup8)
+        << format("    \"serial_cells_per_sec\": %.1f,\n",
+                  serial_cells_per_sec)
+        << format("    \"grid_cells\": %.0f\n", cells)
+        << "  }\n"
+        << "}\n";
+    return out.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: sweep_throughput [--json PATH]\n");
+            return 1;
+        }
+    }
+
+    pipeline::SweepRequest request = gridRequest();
+    double cells = static_cast<double>(request.machines.size() *
+                                       request.kernels.size());
+    std::printf("=== Sweep throughput: %zu machines x %zu kernels "
+                "(%0.f cells, all unique) ===\n\n",
+                request.machines.size(), request.kernels.size(),
+                cells);
+    std::printf("hardware threads: %u\n\n",
+                std::thread::hardware_concurrency());
+
+    // Untimed warm-up: page faults, allocator growth, code warm-up
+    // land in no sample (see pipeline_throughput.cc).
+    {
+        pipeline::BatchEngine warm;
+        (void)pipeline::runSweep(request, warm);
+    }
+
+    constexpr int kReps = 5;
+    Sample serial = medianSweep(request, 1, kReps);
+    std::string golden_bytes =
+        pipeline::renderSweepJson(serial.result);
+    double serial_cps = cells / (serial.wallUs / 1e6);
+    std::printf("serial: %s\n\n",
+                pipeline::renderStatsLine(serial.result.stats).c_str());
+
+    Table t({"workers", "cells/s", "wall ms", "speedup",
+             "identical bytes"});
+    double speedup4 = 0.0, speedup8 = 0.0;
+    for (size_t workers : {1u, 2u, 4u, 8u}) {
+        Sample s = medianSweep(request, workers, kReps);
+        std::string bytes = pipeline::renderSweepJson(s.result);
+        bool same = bytes == golden_bytes;
+        double speedup = serial.wallUs / s.wallUs;
+        if (workers == 4)
+            speedup4 = speedup;
+        if (workers == 8)
+            speedup8 = speedup;
+        t.addRow({Table::num((long)workers),
+                  Table::num(cells / (s.wallUs / 1e6), 1),
+                  Table::num(s.wallUs / 1000.0, 1),
+                  Table::num(speedup, 2), same ? "yes" : "NO"});
+        if (!same) {
+            std::printf("ERROR: sweep bytes differ at %zu workers\n",
+                        workers);
+            return 1;
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("4-worker speedup target (>= 2.5x): %s\n\n",
+                speedup4 >= 2.5 ? "met" : "NOT met on this host");
+
+    // Warm-vs-cold on ONE engine: a repeated sweep is pure memo-cache
+    // hits (same content hashes), so this ratio is core-count
+    // independent — the host-portable half of the gate.
+    double warm_ratio = 0.0;
+    {
+        pipeline::BatchEngine engine;
+        Sample cold;
+        cold.result = pipeline::runSweep(request, engine);
+        cold.wallUs = cold.result.stats.wallUs;
+        std::vector<double> walls;
+        for (int rep = 0; rep < kReps; ++rep) {
+            pipeline::SweepResult warm =
+                pipeline::runSweep(request, engine);
+            MACS_ASSERT(warm.stats.cacheHits == warm.stats.jobs,
+                        "warm sweep should be all cache hits");
+            if (pipeline::renderSweepJson(warm) != golden_bytes) {
+                std::printf("ERROR: warm sweep bytes differ\n");
+                return 1;
+            }
+            walls.push_back(warm.stats.wallUs);
+        }
+        warm_ratio = cold.wallUs / bench::median(walls);
+        std::printf("warm (memoized) rerun: %.1fx faster than cold\n\n",
+                    warm_ratio);
+    }
+
+    std::printf(
+        "Every cell of the grid is a unique (kernel, machine)\n"
+        "analysis — the memo cache cannot collapse any of it — so the\n"
+        "speedup here is pure worker-pool scaling, and the JSON bytes\n"
+        "are identical at every worker count (sorted machine axis,\n"
+        "submission-ordered results).\n");
+
+    if (!json_path.empty() &&
+        !writeJson(json_path, speedup4, speedup8, warm_ratio,
+                   serial_cps, cells)) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    return 0;
+}

@@ -34,6 +34,21 @@ scripts/chaos.sh build/tools/macs
 echo "== tier-1: server (smoke + graceful drain) =="
 scripts/server_smoke.sh build/tools/macs
 
+# Machine sweep over every shipped .machine file: the JSON matrix must
+# be byte-identical at 1/4/16 workers AND to the committed golden
+# (tests/golden/sweep_machines_all.json) — one cmp pins both the
+# determinism contract and the differential oracle (the c240 column is
+# the parsed machines/c240.machine, not the built-in table). To
+# regenerate after an intentional model change:
+#   build/tools/macs sweep --machines machines --workers 1 \
+#       --json tests/golden/sweep_machines_all.json all
+echo "== tier-1: sweep (machine grid: determinism + golden) =="
+for w in 1 4 16; do
+    build/tools/macs sweep --machines machines --workers "$w" \
+        --json "build/sweep_w$w.json" all > /dev/null
+    cmp "build/sweep_w$w.json" tests/golden/sweep_machines_all.json
+done
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== skipping sanitizer + perf-gate stages (--fast) =="
     exit 0
@@ -49,6 +64,12 @@ cmake --build build -j "$JOBS" --target server_throughput >/dev/null
 build/bench/server_throughput --json build/BENCH_server_throughput.json
 scripts/perf_gate.py build/BENCH_server_throughput.json \
     bench/baselines/BENCH_server_throughput.json
+
+echo "== perf: sweep_throughput bench + regression gate =="
+cmake --build build -j "$JOBS" --target sweep_throughput >/dev/null
+build/bench/sweep_throughput --json build/BENCH_sweep_throughput.json
+scripts/perf_gate.py build/BENCH_sweep_throughput.json \
+    bench/baselines/BENCH_sweep_throughput.json
 
 # Each sanitizer stage builds and runs the FULL test suite: TSan
 # audits the worker pool, memo cache, and the metrics registry's

@@ -28,14 +28,15 @@ import argparse
 import json
 import sys
 
-SCHEMA = "macs-bench-server-v1"
+SCHEMA_PREFIX = "macs-bench-"
 
 
 def load(path):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
-    if data.get("schema") != SCHEMA:
-        sys.exit(f"{path}: schema {data.get('schema')!r}, want {SCHEMA!r}")
+    schema = data.get("schema")
+    if not isinstance(schema, str) or not schema.startswith(SCHEMA_PREFIX):
+        sys.exit(f"{path}: schema {schema!r}, want '{SCHEMA_PREFIX}*'")
     if not isinstance(data.get("gated"), dict) or not data["gated"]:
         sys.exit(f"{path}: missing or empty 'gated' section")
     return data
@@ -62,6 +63,9 @@ def main():
         return 0
 
     baseline = load(args.baseline)
+    if current["schema"] != baseline["schema"]:
+        sys.exit(f"schema mismatch: current {current['schema']!r} vs "
+                 f"baseline {baseline['schema']!r}")
     floor_frac = 1.0 - args.tolerance
     failed = []
 

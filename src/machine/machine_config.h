@@ -20,6 +20,7 @@
 #ifndef MACS_MACHINE_MACHINE_CONFIG_H
 #define MACS_MACHINE_MACHINE_CONFIG_H
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -55,6 +56,13 @@ struct ChainingConfig
     int maxWritesPerPair = 1;      ///< vector register pair write ports
     bool enforcePairLimits = true;
     bool scalarMemSplitsChimes = true; ///< single CPU<->memory port
+    /**
+     * When true the FP add and multiply functional units share one
+     * pipe (a 2-pipe VP: load/store + one FP pipe), so an add and a
+     * multiply can no longer execute in the same chime. Models a
+     * cheaper C-240 derivative; the baseline C-240 has three pipes.
+     */
+    bool fpAddMulShared = false;
 };
 
 /** Scalar (ASU) timing; used by the simulator only. */
@@ -128,10 +136,21 @@ struct MachineConfig
      * Canonical text serialization of every timing-relevant field,
      * including the per-opcode timing overrides. Two configurations
      * with equal fingerprints produce identical bounds and identical
-     * simulated runs; the batch pipeline (src/pipeline) hashes this
-     * string as the machine component of its memoization cache key.
+     * simulated runs. Used by golden/differential tests; the batch
+     * pipeline keys its memo cache on contentHash() instead (same
+     * field set, no multi-KB string build on the hot path).
      */
     std::string fingerprint() const;
+
+    /**
+     * FNV-1a content hash over every field fingerprint() serializes.
+     * This is the machine component of the pipeline memo-cache key,
+     * so two machine files that happen to share a *name* but differ
+     * in any constant can never alias a cache entry. Keep in sync
+     * with fingerprint() (machine_test pins fingerprint-equal ⇔
+     * contentHash-equal across all shipped variants).
+     */
+    uint64_t contentHash() const;
 
     /** The paper's Convex C-240 configuration. */
     static MachineConfig convexC240();
@@ -159,6 +178,16 @@ struct MachineConfig
      * the same names.
      */
     static MachineConfig variant(const std::string &name);
+
+    /**
+     * Parse a machine-description file (docs/MACHINES.md) and return
+     * the configuration it describes. This is the canonical way to
+     * construct a machine; the built-in tables above remain as the
+     * fallback and as the differential oracle for machines/c240.machine.
+     * Throws DiagnosticError listing every problem in the file.
+     * Defined in machine_file.cc.
+     */
+    static MachineConfig fromFile(const std::string &path);
 };
 
 } // namespace macs::machine

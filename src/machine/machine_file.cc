@@ -1,0 +1,485 @@
+#include "machine/machine_file.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "isa/opcode.h"
+#include "support/strings.h"
+
+namespace macs::machine {
+
+namespace {
+
+/**
+ * Recovering line-oriented parser. One instance per parse; every
+ * setter records errors against the current line/column and keeps
+ * going so a single run reports all problems in the file.
+ */
+class Parser
+{
+  public:
+    Parser(std::string_view text, const std::string &file,
+           MachineFile &out, Diagnostics &diags)
+        : text_(text), file_(file), out_(out), diags_(diags)
+    {
+        diags_.setSource(text, file);
+    }
+
+    bool run();
+
+  private:
+    // --- line-level machinery -----------------------------------
+    void parseLine(std::string_view line);
+    void parseSectionHeader(std::string_view line);
+    void parseKeyValue(std::string_view line);
+    void dispatch(const std::string &key, std::string_view value);
+
+    // --- value parsers (all record errors and keep going) --------
+    bool parseBoolValue(std::string_view value, bool &out);
+    bool parseIntValue(std::string_view value, long lo, long hi,
+                       int &out);
+    bool parseDoubleValue(std::string_view value, double lo,
+                          double hi, double &out);
+    void parseTimingRow(const std::string &mnemonic,
+                        std::string_view value);
+    void parseName(std::string_view value);
+
+    void error(std::string msg)
+    {
+        diags_.error(SourceLoc{lineNo_, col_}, std::move(msg));
+    }
+
+    std::string_view text_;
+    const std::string &file_;
+    MachineFile &out_;
+    Diagnostics &diags_;
+
+    MachineFile mf_;       ///< staging copy; committed only when clean
+    std::string_view line_; ///< current raw line (column reference)
+    size_t lineNo_ = 0;    ///< 1-based current line
+    size_t col_ = 1;       ///< 1-based column for the next diagnostic
+    size_t keyCol_ = 1;    ///< column of the current key
+    std::string section_;  ///< current section name ("" before any)
+    bool skipSection_ = false; ///< inside an unknown section
+    std::set<std::string> seenSections_;
+    std::set<std::string> seenKeys_; ///< "section.key" duplicates
+};
+
+const char *const kSections[] = {"machine",      "memory",
+                                 "chaining",     "scalar",
+                                 "scalar-cache", "refresh-model",
+                                 "timing"};
+
+bool
+knownSection(const std::string &name)
+{
+    for (const char *s : kSections)
+        if (name == s)
+            return true;
+    return false;
+}
+
+/** 1-based column of @p sub inside @p line (both must alias). */
+size_t
+columnOf(std::string_view line, std::string_view sub)
+{
+    if (sub.empty() || sub.data() < line.data() ||
+        sub.data() > line.data() + line.size())
+        return 1;
+    return static_cast<size_t>(sub.data() - line.data()) + 1;
+}
+
+bool
+Parser::run()
+{
+    size_t start = 0;
+    size_t before = diags_.errorCount();
+    while (start <= text_.size()) {
+        size_t eol = text_.find('\n', start);
+        std::string_view line =
+            eol == std::string_view::npos
+                ? text_.substr(start)
+                : text_.substr(start, eol - start);
+        ++lineNo_;
+        if (!diags_.atErrorLimit())
+            parseLine(line);
+        if (eol == std::string_view::npos)
+            break;
+        start = eol + 1;
+    }
+    if (diags_.errorCount() != before)
+        return false;
+    if (mf_.name.empty())
+        mf_.name = machineNameFromPath(file_);
+    out_ = std::move(mf_);
+    return true;
+}
+
+void
+Parser::parseLine(std::string_view raw)
+{
+    // '#' starts a comment anywhere on the line.
+    line_ = raw;
+    std::string_view body = trim(raw.substr(0, raw.find('#')));
+    if (body.empty())
+        return;
+    col_ = columnOf(line_, body);
+    if (body.front() == '[') {
+        parseSectionHeader(body);
+        return;
+    }
+    parseKeyValue(body);
+}
+
+void
+Parser::parseSectionHeader(std::string_view body)
+{
+    if (body.back() != ']') {
+        error("unterminated section header (expected ']')");
+        skipSection_ = true;
+        section_.clear();
+        return;
+    }
+    std::string name(trim(body.substr(1, body.size() - 2)));
+    if (!knownSection(name)) {
+        std::ostringstream known;
+        for (const char *s : kSections)
+            known << (known.tellp() > 0 ? ", " : "") << s;
+        error("unknown section '[" + name + "]' (known: " +
+              known.str() + ")");
+        skipSection_ = true;
+        section_.clear();
+        return;
+    }
+    if (!seenSections_.insert(name).second)
+        error("duplicate section '[" + name + "]'");
+    section_ = name;
+    skipSection_ = false;
+}
+
+void
+Parser::parseKeyValue(std::string_view body)
+{
+    size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+        error("expected 'key = value' or '[section]'");
+        return;
+    }
+    std::string key(trim(body.substr(0, eq)));
+    std::string_view value = trim(body.substr(eq + 1));
+    keyCol_ = columnOf(line_, body);
+    if (key.empty()) {
+        error("missing key before '='");
+        return;
+    }
+    if (skipSection_)
+        return; // the unknown-section header was already reported
+    if (section_.empty()) {
+        error("key '" + key + "' before any [section] header");
+        return;
+    }
+    if (value.empty()) {
+        error("missing value for key '" + key + "'");
+        return;
+    }
+    // [timing] rows are keyed on mnemonics, not fixed key names, so
+    // duplicate tracking composes the section in either case.
+    if (!seenKeys_.insert(section_ + "." + key).second) {
+        error("duplicate key '" + key + "' in section [" + section_ +
+              "]");
+        return;
+    }
+    col_ = columnOf(line_, value);
+    dispatch(key, value);
+}
+
+void
+Parser::dispatch(const std::string &key, std::string_view value)
+{
+    MachineConfig &c = mf_.config;
+    const std::string &s = section_;
+    if (s == "machine") {
+        if (key == "name")
+            return parseName(value);
+        if (key == "description") {
+            mf_.description = std::string(value);
+            return;
+        }
+        if (key == "clock-mhz") {
+            parseDoubleValue(value, 1e-3, 1e6, c.clockMhz);
+            return;
+        }
+        if (key == "max-vector-length") {
+            parseIntValue(value, 1, 4096, c.maxVectorLength);
+            return;
+        }
+    } else if (s == "memory") {
+        if (key == "banks")
+            return (void)parseIntValue(value, 1, 65536,
+                                       c.memory.banks);
+        if (key == "bank-busy-cycles")
+            return (void)parseIntValue(value, 1, 1 << 20,
+                                       c.memory.bankBusyCycles);
+        if (key == "word-bytes")
+            return (void)parseIntValue(value, 1, 4096,
+                                       c.memory.wordBytes);
+        if (key == "refresh-period-cycles")
+            return (void)parseIntValue(value, 1, 1 << 30,
+                                       c.memory.refreshPeriodCycles);
+        if (key == "refresh-duration-cycles")
+            return (void)parseIntValue(value, 0, 1 << 30,
+                                       c.memory.refreshDurationCycles);
+        if (key == "refresh-enabled")
+            return (void)parseBoolValue(value,
+                                        c.memory.refreshEnabled);
+    } else if (s == "chaining") {
+        if (key == "enabled")
+            return (void)parseBoolValue(value,
+                                        c.chaining.chainingEnabled);
+        if (key == "max-reads-per-pair")
+            return (void)parseIntValue(value, 0, 64,
+                                       c.chaining.maxReadsPerPair);
+        if (key == "max-writes-per-pair")
+            return (void)parseIntValue(value, 0, 64,
+                                       c.chaining.maxWritesPerPair);
+        if (key == "enforce-pair-limits")
+            return (void)parseBoolValue(value,
+                                        c.chaining.enforcePairLimits);
+        if (key == "scalar-mem-splits-chimes")
+            return (void)parseBoolValue(
+                value, c.chaining.scalarMemSplitsChimes);
+        if (key == "fp-add-mul-shared")
+            return (void)parseBoolValue(value,
+                                        c.chaining.fpAddMulShared);
+    } else if (s == "scalar") {
+        ScalarTiming &t = c.scalar;
+        if (key == "issue-cycles")
+            return (void)parseIntValue(value, 0, 1 << 20,
+                                       t.issueCycles);
+        if (key == "alu-latency")
+            return (void)parseIntValue(value, 0, 1 << 20,
+                                       t.aluLatency);
+        if (key == "load-latency")
+            return (void)parseIntValue(value, 0, 1 << 20,
+                                       t.loadLatency);
+        if (key == "load-miss-latency")
+            return (void)parseIntValue(value, 0, 1 << 20,
+                                       t.loadMissLatency);
+        if (key == "store-cycles")
+            return (void)parseIntValue(value, 0, 1 << 20,
+                                       t.storeCycles);
+        if (key == "branch-resolve-cycles")
+            return (void)parseIntValue(value, 0, 1 << 20,
+                                       t.branchResolveCycles);
+        if (key == "vector-issue-cycles")
+            return (void)parseIntValue(value, 0, 1 << 20,
+                                       t.vectorIssueCycles);
+        if (key == "fp-latency")
+            return (void)parseIntValue(value, 0, 1 << 20,
+                                       t.fpLatency);
+        if (key == "fp-div-latency")
+            return (void)parseIntValue(value, 0, 1 << 20,
+                                       t.fpDivLatency);
+    } else if (s == "scalar-cache") {
+        if (key == "enabled")
+            return (void)parseBoolValue(value, c.scalarCache.enabled);
+        if (key == "lines")
+            return (void)parseIntValue(value, 1, 1 << 20,
+                                       c.scalarCache.lines);
+        if (key == "line-words")
+            return (void)parseIntValue(value, 1, 4096,
+                                       c.scalarCache.lineWords);
+    } else if (s == "refresh-model") {
+        if (key == "penalty-factor")
+            return (void)parseDoubleValue(value, 1.0, 100.0,
+                                          c.refreshPenaltyFactor);
+        if (key == "run-threshold-cycles")
+            return (void)parseDoubleValue(
+                value, 1.0, 1e12, c.refreshRunThresholdCycles);
+    } else if (s == "timing") {
+        return parseTimingRow(key, value);
+    }
+    error("unknown key '" + key + "' in section [" + s + "]");
+}
+
+bool
+Parser::parseBoolValue(std::string_view value, bool &out)
+{
+    std::string v = toLower(value);
+    if (v == "true" || v == "1" || v == "on") {
+        out = true;
+        return true;
+    }
+    if (v == "false" || v == "0" || v == "off") {
+        out = false;
+        return true;
+    }
+    error("expected a boolean (true/false/1/0/on/off), got '" +
+          std::string(value) + "'");
+    return false;
+}
+
+bool
+Parser::parseIntValue(std::string_view value, long lo, long hi,
+                      int &out)
+{
+    long v = 0;
+    if (!parseInt(value, v)) {
+        error("expected an integer, got '" + std::string(value) + "'");
+        return false;
+    }
+    if (v < lo || v > hi) {
+        error(format("value %ld out of range [%ld, %ld]", v, lo, hi));
+        return false;
+    }
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+Parser::parseDoubleValue(std::string_view value, double lo, double hi,
+                         double &out)
+{
+    double v = 0;
+    if (!parseDouble(value, v)) {
+        error("expected a number, got '" + std::string(value) + "'");
+        return false;
+    }
+    if (v < lo || v > hi) {
+        error(format("value %g out of range [%g, %g]", v, lo, hi));
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+void
+Parser::parseTimingRow(const std::string &mnemonic,
+                       std::string_view value)
+{
+    auto op = isa::opcodeFromMnemonic(mnemonic);
+    if (!op || !isa::isVectorOp(*op)) {
+        col_ = keyCol_; // point at the mnemonic, not the numbers
+        error("'" + mnemonic + "' is not a vector opcode mnemonic");
+        return;
+    }
+    std::vector<std::string> fields = splitWhitespace(value);
+    if (fields.size() != 4) {
+        error(format("expected 4 fields 'X Y Z B', got %zu",
+                     fields.size()));
+        return;
+    }
+    VectorTiming t;
+    double *slots[4] = {&t.x, &t.y, &t.z, &t.bubble};
+    const char *names[4] = {"X", "Y", "Z", "B"};
+    bool ok = true;
+    for (int i = 0; i < 4; ++i) {
+        double v = 0;
+        if (!parseDouble(fields[i], v)) {
+            error(format("timing field %s: expected a number, got "
+                         "'%s'",
+                         names[i], fields[i].c_str()));
+            ok = false;
+            continue;
+        }
+        // Z must be positive (cycles per element); X/Y/B may be 0.
+        double lo = i == 2 ? 1e-9 : 0.0;
+        if (v < lo || v > 1e9) {
+            error(format("timing field %s: value %g out of range",
+                         names[i], v));
+            ok = false;
+            continue;
+        }
+        *slots[i] = v;
+    }
+    if (ok)
+        mf_.config.setTiming(*op, t);
+}
+
+void
+Parser::parseName(std::string_view value)
+{
+    for (char ch : value) {
+        bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                  (ch >= '0' && ch <= '9') || ch == '.' || ch == '_' ||
+                  ch == '-';
+        if (!ok) {
+            error("machine name may only contain [a-zA-Z0-9._-], got '" +
+                  std::string(value) + "'");
+            return;
+        }
+    }
+    mf_.name = std::string(value);
+}
+
+} // namespace
+
+bool
+parseMachineDescription(std::string_view text, const std::string &file,
+                        MachineFile &out, Diagnostics &diags)
+{
+    Parser parser(text, file, out, diags);
+    return parser.run();
+}
+
+std::string
+machineNameFromPath(const std::string &path)
+{
+    std::string stem = std::filesystem::path(path).stem().string();
+    return stem.empty() ? "machine" : stem;
+}
+
+bool
+loadMachineFile(const std::string &path, MachineFile &out,
+                Diagnostics &diags)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        diags.error("cannot open machine file '" + path + "'");
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+        diags.error("read error on machine file '" + path + "'");
+        return false;
+    }
+    return parseMachineDescription(buf.str(), path, out, diags);
+}
+
+std::vector<std::string>
+listMachineFiles(const std::string &dir, Diagnostics &diags)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".machine")
+            paths.push_back(entry.path().string());
+    }
+    if (ec) {
+        diags.error("cannot list machine directory '" + dir +
+                    "': " + ec.message());
+        return {};
+    }
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty())
+        diags.error("no *.machine files under '" + dir + "'");
+    return paths;
+}
+
+MachineConfig
+MachineConfig::fromFile(const std::string &path)
+{
+    MachineFile mf;
+    Diagnostics diags(path);
+    if (!loadMachineFile(path, mf, diags))
+        diags.throwIfErrors();
+    return mf.config;
+}
+
+} // namespace macs::machine

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Declarative machine-description files (docs/MACHINES.md).
+ *
+ * A `*.machine` file is a small sectioned key/value text format that
+ * spells out every constant a MachineConfig holds: clock, vector
+ * length, memory geometry, chaining rules, scalar timing, the refresh
+ * model, and the per-opcode X/Y/Z/B vector timings of the paper's
+ * Table 1. machines/c240.machine reproduces the built-in C-240 table
+ * exactly (pinned by a differential test); the other shipped files are
+ * hypothetical design-space variants evaluated by `macs sweep`.
+ *
+ * Parsing uses the same multi-error Diagnostics machinery as the loop
+ * DSL: the parser recovers at line boundaries and reports EVERY
+ * problem with file:line:col context, not just the first.
+ */
+
+#ifndef MACS_MACHINE_MACHINE_FILE_H
+#define MACS_MACHINE_MACHINE_FILE_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "machine/machine_config.h"
+#include "support/diag.h"
+
+namespace macs::machine {
+
+/** A parsed machine-description file. */
+struct MachineFile
+{
+    std::string name;        ///< [machine] name (default: file stem)
+    std::string description; ///< [machine] description (optional)
+    MachineConfig config;    ///< the fully resolved configuration
+};
+
+/**
+ * Parse machine-description @p text into @p out, collecting every
+ * problem into @p diags (the source is attached for snippets; @p file
+ * names the input in messages). @p out is fully written only when the
+ * parse is clean.
+ *
+ * @retval true when no errors were collected.
+ */
+bool parseMachineDescription(std::string_view text,
+                             const std::string &file, MachineFile &out,
+                             Diagnostics &diags);
+
+/**
+ * Read @p path and parse it. When the file has no explicit
+ * `name =` entry the file stem (basename minus `.machine`) is used.
+ * I/O failures are reported through @p diags like parse errors.
+ *
+ * @retval true when the file loaded and parsed cleanly.
+ */
+bool loadMachineFile(const std::string &path, MachineFile &out,
+                     Diagnostics &diags);
+
+/**
+ * The file stem used as a machine's default name:
+ * "machines/c240.machine" -> "c240".
+ */
+std::string machineNameFromPath(const std::string &path);
+
+/**
+ * List the `*.machine` files under directory @p dir, sorted by path
+ * so downstream consumers (the sweep matrix) are order-deterministic.
+ * Returns an empty vector (and reports through @p diags) when the
+ * directory cannot be read.
+ */
+std::vector<std::string> listMachineFiles(const std::string &dir,
+                                          Diagnostics &diags);
+
+} // namespace macs::machine
+
+#endif // MACS_MACHINE_MACHINE_FILE_H

@@ -10,7 +10,7 @@ namespace macs::model {
 namespace {
 
 int
-pipeSlot(isa::Pipe p)
+pipeSlot(isa::Pipe p, const machine::ChainingConfig &rules)
 {
     switch (p) {
       case isa::Pipe::LoadStore:
@@ -18,7 +18,9 @@ pipeSlot(isa::Pipe p)
       case isa::Pipe::Add:
         return 1;
       case isa::Pipe::Multiply:
-        return 2;
+        // On a 2-pipe VP the multiply unit shares the FP pipe with
+        // add, so both occupy the same slot and exclude each other.
+        return rules.fpAddMulShared ? 1 : 2;
       case isa::Pipe::None:
         break;
     }
@@ -60,7 +62,7 @@ fits(const Builder &b, const isa::Instruction &in,
         return true;
 
     // One instruction per pipe.
-    if (b.chime.usesPipe[pipeSlot(in.pipe())])
+    if (b.chime.usesPipe[pipeSlot(in.pipe(), rules)])
         return false;
 
     // A chime with a vector memory access cannot span a scalar memory
@@ -95,10 +97,11 @@ fits(const Builder &b, const isa::Instruction &in,
 }
 
 void
-add(Builder &b, size_t idx, const isa::Instruction &in)
+add(Builder &b, size_t idx, const isa::Instruction &in,
+    const machine::ChainingConfig &rules)
 {
     b.chime.instrs.push_back(idx);
-    b.chime.usesPipe[pipeSlot(in.pipe())] = true;
+    b.chime.usesPipe[pipeSlot(in.pipe(), rules)] = true;
     if (in.isVectorMemory())
         b.chime.hasMemoryOp = true;
     for (const auto &r : in.vectorReads())
@@ -145,7 +148,7 @@ partitionChimes(std::span<const isa::Instruction> body,
 
         if (!fits(b, in, rules))
             flush();
-        add(b, i, in);
+        add(b, i, in, rules);
     }
     flush();
     return chimes;

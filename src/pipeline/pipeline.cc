@@ -149,42 +149,13 @@ hashKernel(const model::KernelCase &kernel)
 uint64_t
 hashMachine(const machine::MachineConfig &cfg)
 {
-    uint64_t h = fnv1a64("macs-machine-v1");
-    h = hashValue(h, cfg.clockMhz);
-    h = hashValue(h, cfg.maxVectorLength);
-    h = hashValue(h, cfg.memory.banks);
-    h = hashValue(h, cfg.memory.bankBusyCycles);
-    h = hashValue(h, cfg.memory.wordBytes);
-    h = hashValue(h, cfg.memory.refreshPeriodCycles);
-    h = hashValue(h, cfg.memory.refreshDurationCycles);
-    h = hashValue(h, cfg.memory.refreshEnabled);
-    h = hashValue(h, cfg.chaining.chainingEnabled);
-    h = hashValue(h, cfg.chaining.maxReadsPerPair);
-    h = hashValue(h, cfg.chaining.maxWritesPerPair);
-    h = hashValue(h, cfg.chaining.enforcePairLimits);
-    h = hashValue(h, cfg.chaining.scalarMemSplitsChimes);
-    h = hashValue(h, cfg.scalar.issueCycles);
-    h = hashValue(h, cfg.scalar.aluLatency);
-    h = hashValue(h, cfg.scalar.loadLatency);
-    h = hashValue(h, cfg.scalar.loadMissLatency);
-    h = hashValue(h, cfg.scalar.storeCycles);
-    h = hashValue(h, cfg.scalar.branchResolveCycles);
-    h = hashValue(h, cfg.scalar.vectorIssueCycles);
-    h = hashValue(h, cfg.scalar.fpLatency);
-    h = hashValue(h, cfg.scalar.fpDivLatency);
-    h = hashValue(h, cfg.scalarCache.enabled);
-    h = hashValue(h, cfg.scalarCache.lines);
-    h = hashValue(h, cfg.scalarCache.lineWords);
-    h = hashValue(h, cfg.refreshPenaltyFactor);
-    h = hashValue(h, cfg.refreshRunThresholdCycles);
-    for (const auto &[op, t] : cfg.vectorTiming) { // ordered map
-        h = hashValue(h, static_cast<int>(op));
-        h = hashValue(h, t.x);
-        h = hashValue(h, t.y);
-        h = hashValue(h, t.z);
-        h = hashValue(h, t.bubble);
-    }
-    return h;
+    // Content hash of the resolved configuration — the machine half
+    // of the memo-cache key. Delegates to MachineConfig::contentHash()
+    // so the field list lives next to fingerprint() and new machine
+    // knobs (e.g. machine-file-introduced ones) cannot be silently
+    // omitted here: two .machine files sharing a name but differing
+    // in any constant must never alias a cache entry.
+    return cfg.contentHash();
 }
 
 uint64_t

@@ -1,0 +1,261 @@
+#include "pipeline/sweep.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "pipeline/report.h"
+#include "support/strings.h"
+
+namespace macs::pipeline {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** Fixed six-decimal rendering keeps the document deterministic. */
+std::string
+jnum(double v)
+{
+    return format("%.6f", v);
+}
+
+std::vector<SweepMachine>
+sortedMachines(const SweepRequest &request)
+{
+    std::vector<SweepMachine> machines = request.machines;
+    std::sort(machines.begin(), machines.end(),
+              [](const SweepMachine &a, const SweepMachine &b) {
+                  return a.name < b.name;
+              });
+    return machines;
+}
+
+} // namespace
+
+bool
+validateSweep(const SweepRequest &request, Diagnostics &diags)
+{
+    size_t before = diags.errorCount();
+    if (request.machines.empty())
+        diags.error("sweep needs at least one machine");
+    if (request.kernels.empty())
+        diags.error("sweep needs at least one kernel");
+    std::set<std::string> names;
+    for (const SweepMachine &m : request.machines) {
+        if (m.name.empty())
+            diags.error("machine from '" + m.source +
+                        "' has an empty name");
+        else if (!names.insert(m.name).second)
+            diags.error("duplicate machine name '" + m.name +
+                        "' (from '" + m.source +
+                        "'); names must be unique within a sweep");
+    }
+    return diags.errorCount() == before;
+}
+
+SweepResult
+runSweep(const SweepRequest &request, const SweepRunner &runner)
+{
+    SweepResult out;
+    out.machines = sortedMachines(request);
+
+    // Row-major submission: results[k * machines + m] is cell (k, m).
+    std::vector<BatchJob> jobs;
+    jobs.reserve(request.kernels.size() * out.machines.size());
+    for (const model::KernelCase &kernel : request.kernels) {
+        out.kernelNames.push_back(kernel.name);
+        for (const SweepMachine &m : out.machines) {
+            BatchJob job;
+            job.label = kernel.name;
+            job.configName = m.name;
+            job.kernel = kernel;
+            job.config = m.config;
+            job.options = request.options;
+            job.vectorLength = request.vectorLength;
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    BatchResult batch = runner(jobs);
+    MACS_ASSERT(batch.results.size() == jobs.size(),
+                "sweep runner must return one result per job");
+    out.stats = batch.stats;
+    out.cells.resize(request.kernels.size());
+    size_t idx = 0;
+    for (size_t k = 0; k < request.kernels.size(); ++k) {
+        out.cells[k].reserve(out.machines.size());
+        for (size_t m = 0; m < out.machines.size(); ++m)
+            out.cells[k].push_back(std::move(batch.results[idx++]));
+    }
+    return out;
+}
+
+SweepResult
+runSweep(const SweepRequest &request, BatchEngine &engine)
+{
+    return runSweep(request, [&engine](const std::vector<BatchJob> &j) {
+        return engine.run(j);
+    });
+}
+
+std::string
+renderSweepMarkdown(const SweepResult &result, bool include_timing)
+{
+    std::ostringstream os;
+    os << "# MACS machine sweep\n\n";
+
+    os << "## Machines\n\n";
+    os << "| machine | clock (MHz) | VL | banks | description |\n";
+    os << "|---|---|---|---|---|\n";
+    for (const SweepMachine &m : result.machines) {
+        os << "| " << m.name << " | "
+           << format("%.3f", m.config.clockMhz) << " | "
+           << m.config.maxVectorLength << " | " << m.config.memory.banks
+           << " | " << m.description << " |\n";
+    }
+
+    auto matrix = [&](const char *title,
+                      auto cell) {
+        os << "\n## " << title << "\n\n";
+        os << "| kernel |";
+        for (const SweepMachine &m : result.machines)
+            os << " " << m.name << " |";
+        os << "\n|---|";
+        for (size_t m = 0; m < result.machines.size(); ++m)
+            os << "---|";
+        os << "\n";
+        for (size_t k = 0; k < result.kernelNames.size(); ++k) {
+            os << "| " << result.kernelNames[k] << " |";
+            for (const JobResult &r : result.cells[k])
+                os << " " << (r.ok() ? cell(r) : std::string("FAILED"))
+                   << " |";
+            os << "\n";
+        }
+    };
+
+    matrix("MACS bound matrix (t_MACS, CPL)", [](const JobResult &r) {
+        return format("%.3f", r.analysis->macs.cpl);
+    });
+    matrix("Predicted MFLOPS at the MACS bound",
+           [](const JobResult &r) {
+               return format("%.2f", r.clockMhz / r.analysis->macsCpf());
+           });
+
+    bool any_failed = false;
+    for (const auto &row : result.cells)
+        for (const JobResult &r : row)
+            any_failed = any_failed || !r.ok();
+    if (any_failed) {
+        os << "\n## Failures\n\n";
+        for (const auto &row : result.cells)
+            for (const JobResult &r : row)
+                if (!r.ok())
+                    os << "- **" << r.label << "** (" << r.configName
+                       << "): " << r.error << "\n";
+    }
+
+    if (include_timing) {
+        os << "\n## Pipeline stats (scheduling-dependent)\n\n";
+        os << renderStatsLine(result.stats) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderSweepJson(const SweepResult &result, bool include_timing)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"macs-sweep-v1\",\n";
+    os << "  \"machines\": [\n";
+    for (size_t m = 0; m < result.machines.size(); ++m) {
+        const SweepMachine &mm = result.machines[m];
+        os << "    {\"name\": \"" << jsonEscape(mm.name)
+           << "\", \"description\": \"" << jsonEscape(mm.description)
+           << "\", \"clockMhz\": " << jnum(mm.config.clockMhz)
+           << ", \"maxVectorLength\": " << mm.config.maxVectorLength
+           << ", \"contentHash\": \""
+           << format("%016llx",
+                     static_cast<unsigned long long>(
+                         mm.config.contentHash()))
+           << "\"}" << (m + 1 < result.machines.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"kernels\": [";
+    for (size_t k = 0; k < result.kernelNames.size(); ++k)
+        os << (k ? ", " : "") << "\"" << jsonEscape(result.kernelNames[k])
+           << "\"";
+    os << "],\n";
+    os << "  \"cells\": [\n";
+    for (size_t k = 0; k < result.cells.size(); ++k) {
+        os << "    [\n";
+        for (size_t m = 0; m < result.cells[k].size(); ++m) {
+            const JobResult &r = result.cells[k][m];
+            os << "      {\"kernel\": \"" << jsonEscape(r.label)
+               << "\", \"machine\": \"" << jsonEscape(r.configName)
+               << "\", \"vectorLength\": " << r.vectorLength;
+            if (!r.ok()) {
+                os << ", \"error\": \"" << jsonEscape(r.error) << "\"";
+            } else {
+                const model::KernelAnalysis &a = *r.analysis;
+                os << ", \"boundsCpl\": {"
+                   << "\"tMA\": " << jnum(a.maBound.bound)
+                   << ", \"tMAC\": " << jnum(a.macBound.bound)
+                   << ", \"tMACS\": " << jnum(a.macs.cpl)
+                   << ", \"tMACSf\": " << jnum(a.macsFOnly.cpl)
+                   << ", \"tMACSm\": " << jnum(a.macsMOnly.cpl) << "}"
+                   << ", \"measuredCpl\": {\"tP\": " << jnum(a.tP)
+                   << ", \"tA\": " << jnum(a.tA)
+                   << ", \"tX\": " << jnum(a.tX) << "}"
+                   << ", \"macsMflops\": "
+                   << jnum(r.clockMhz / a.macsCpf())
+                   << ", \"chimes\": " << a.macs.chimes.size();
+            }
+            os << "}" << (m + 1 < result.cells[k].size() ? "," : "")
+               << "\n";
+        }
+        os << "    ]" << (k + 1 < result.cells.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]";
+    if (include_timing) {
+        const BatchStats &s = result.stats;
+        os << ",\n  \"stats\": {"
+           << "\"jobs\": " << s.jobs << ", \"workers\": " << s.workers
+           << ", \"cacheHits\": " << s.cacheHits
+           << ", \"cacheMisses\": " << s.cacheMisses
+           << ", \"failures\": " << s.failures
+           << ", \"wallUs\": " << jnum(s.wallUs)
+           << ", \"computeUs\": " << jnum(s.computeUs)
+           << ", \"queueWaitUs\": " << jnum(s.queueWaitUs)
+           << ", \"jobsPerSec\": " << jnum(s.jobsPerSec()) << "}\n";
+    } else {
+        os << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace macs::pipeline

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Machine sweep — evaluate kernels across a grid of machine
+ * descriptions (docs/MACHINES.md) on the batch pipeline.
+ *
+ * A sweep is a per-kernel × per-machine matrix of MACS analyses. The
+ * machine axis is SORTED BY NAME before any job is built, so the
+ * matrix is invariant to the order machine files appear on the command
+ * line or in a request body; the kernel axis keeps caller order. Jobs
+ * run on the existing BatchEngine (CLI) or AnalysisService (server),
+ * inheriting their determinism contract: every cell is a pure function
+ * of (kernel, machine config, sim options), so the rendered matrix is
+ * byte-identical at any worker count. The memo cache keys on the
+ * CONTENT hash of each resolved config (MachineConfig::contentHash),
+ * never on machine names, so two files sharing a name but differing
+ * in any constant cannot alias.
+ */
+
+#ifndef MACS_PIPELINE_SWEEP_H
+#define MACS_PIPELINE_SWEEP_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pipeline/job.h"
+#include "pipeline/pipeline.h"
+#include "support/diag.h"
+
+namespace macs::pipeline {
+
+/** One machine column of the sweep matrix. */
+struct SweepMachine
+{
+    std::string name;        ///< unique within one sweep
+    std::string description; ///< from the machine file (may be empty)
+    std::string source;      ///< file path or "<inline>" / "<builtin>"
+    machine::MachineConfig config;
+};
+
+/** Everything a sweep evaluates. */
+struct SweepRequest
+{
+    std::vector<SweepMachine> machines;
+    std::vector<model::KernelCase> kernels; ///< row order is kept
+    sim::SimOptions options;
+    /** VL override applied to every cell; 0 keeps each machine's VL. */
+    int vectorLength = 0;
+};
+
+/** The sweep matrix: cells[kernel][machine], machines name-sorted. */
+struct SweepResult
+{
+    std::vector<SweepMachine> machines;
+    std::vector<std::string> kernelNames;
+    std::vector<std::vector<JobResult>> cells;
+    BatchStats stats;
+
+    /** Same 0/2/3 contract as BatchResult (docs/ROBUSTNESS.md). */
+    int exitCode() const
+    {
+        if (stats.failures == 0)
+            return 0;
+        return stats.failures >= stats.jobs ? 3 : 2;
+    }
+};
+
+/**
+ * Validate the machine axis of @p request: at least one machine, at
+ * least one kernel, and no duplicate machine names (two DIFFERENT
+ * configs under one name would render an ambiguous matrix column —
+ * the cache cannot alias them, but a reader could). Errors go to
+ * @p diags; returns false when any were added.
+ */
+bool validateSweep(const SweepRequest &request, Diagnostics &diags);
+
+/**
+ * Executor a sweep runs its jobs on: BatchEngine::run or
+ * AnalysisService::runJobs. Must return results in submission order.
+ */
+using SweepRunner =
+    std::function<BatchResult(const std::vector<BatchJob> &)>;
+
+/**
+ * Run @p request on @p runner and assemble the matrix. Machines are
+ * name-sorted first; jobs are submitted row-major (kernel-major), so
+ * results map back positionally. validateSweep() must have passed.
+ */
+SweepResult runSweep(const SweepRequest &request,
+                     const SweepRunner &runner);
+
+/** Convenience overload: run on a BatchEngine. */
+SweepResult runSweep(const SweepRequest &request, BatchEngine &engine);
+
+/**
+ * Render the matrix as markdown: a machine legend, one t_MACS (CPL)
+ * bound matrix, one predicted-MFLOPS matrix, and a failures section.
+ * Deterministic unless @p include_timing adds the stats line.
+ */
+std::string renderSweepMarkdown(const SweepResult &result,
+                                bool include_timing = false);
+
+/**
+ * Render the matrix as JSON (schema "macs-sweep-v1"): the machine
+ * legend (with content hashes), the kernel list, and one cell object
+ * per (kernel, machine) carrying the CPL bounds hierarchy. %.6f
+ * rendering keeps the document deterministic.
+ */
+std::string renderSweepJson(const SweepResult &result,
+                            bool include_timing = false);
+
+} // namespace macs::pipeline
+
+#endif // MACS_PIPELINE_SWEEP_H

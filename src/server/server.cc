@@ -5,9 +5,11 @@
 #include <exception>
 
 #include "lfk/kernels.h"
+#include "machine/machine_file.h"
 #include "obs/export.h"
 #include "obs/json.h"
 #include "pipeline/report.h"
+#include "pipeline/sweep.h"
 #include "server/event_loop.h"
 #include "server/kernel_source.h"
 #include "support/logging.h"
@@ -125,7 +127,7 @@ routeLabel(const std::string &path)
 {
     if (path == "/healthz" || path == "/metrics" ||
         path == "/version" || path == "/v1/analyze" ||
-        path == "/v1/batch")
+        path == "/v1/batch" || path == "/v1/sweep")
         return path;
     return "other";
 }
@@ -478,7 +480,8 @@ Server::handle(const HttpRequest &request)
         } else {
             response = handleVersion();
         }
-    } else if (path == "/v1/analyze" || path == "/v1/batch") {
+    } else if (path == "/v1/analyze" || path == "/v1/batch" ||
+               path == "/v1/sweep") {
         if (request.method != "POST") {
             response = errorResponse(
                 405, detail::concat("method ", request.method,
@@ -486,14 +489,17 @@ Server::handle(const HttpRequest &request)
                                     " (use POST)"));
         } else if (path == "/v1/analyze") {
             response = handleAnalyze(request);
-        } else {
+        } else if (path == "/v1/batch") {
             response = handleBatch(request);
+        } else {
+            response = handleSweep(request);
         }
     } else {
         response = errorResponse(
             404, detail::concat("no route for '", path,
                                 "' (known: /healthz, /metrics, "
-                                "/version, /v1/analyze, /v1/batch)"));
+                                "/version, /v1/analyze, /v1/batch, "
+                                "/v1/sweep)"));
     }
     countRequest(routeLabel(path), response.status);
     return response;
@@ -528,9 +534,10 @@ Server::handleVersion() const
     response.body = detail::concat(
         "{\"schema\": \"macs-version-v1\", \"version\": \"",
         obs::jsonEscape(options_.versionString),
-        "\", \"schemas\": [\"macs-batch-v1\", \"macs-analysis-v1\", "
-        "\"macs-metrics-v1\", \"macs-trace-v1\", \"macs-error-v1\", "
-        "\"macs-health-v1\", \"macs-version-v1\"]}\n");
+        "\", \"schemas\": [\"macs-batch-v1\", \"macs-sweep-v1\", "
+        "\"macs-analysis-v1\", \"macs-metrics-v1\", \"macs-trace-v1\", "
+        "\"macs-error-v1\", \"macs-health-v1\", "
+        "\"macs-version-v1\"]}\n");
     return response;
 }
 
@@ -726,6 +733,130 @@ Server::handleBatch(const HttpRequest &request)
 
     HttpResponse response;
     response.body = pipeline::renderBatchJson(result, timing);
+    response.headers.emplace_back(
+        "X-MACS-Exit-Code", std::to_string(result.exitCode()));
+    return response;
+}
+
+HttpResponse
+Server::handleSweep(const HttpRequest &request)
+{
+    // Body: {"machines": [{"text": "<machine file>", "name"?: ...} |
+    // {"variant": "baseline"}], "ids"?: [...], "jobs"?: [...],
+    // "trip"?: N, "vl"?: N, "timing"?: bool}. Kernels default to the
+    // full LFK set, like `macs sweep`; machine texts are parsed with
+    // the same multi-error machinery as .machine files, so a 422
+    // carries every problem in every machine, file:line:col included.
+    pipeline::SweepRequest sweep;
+    JobSetSpec spec;
+    Diagnostics diags("POST /v1/sweep");
+    bool timing = request.queryOr("timing", "0") == "1";
+
+    try {
+        obs::JsonValue doc = obs::parseJson(request.body);
+        if (!doc.isObject())
+            return errorResponse(400,
+                                 "sweep body must be a JSON object");
+
+        long trip = options_.defaultTrip;
+        if (const obs::JsonValue *t = doc.find("trip")) {
+            trip = static_cast<long>(t->asDouble());
+            if (trip <= 0)
+                return errorResponse(400, "'trip' must be positive");
+        }
+        if (const obs::JsonValue *v = doc.find("vl")) {
+            long vl = static_cast<long>(v->asDouble());
+            if (vl <= 0)
+                return errorResponse(400, "'vl' must be positive");
+            sweep.vectorLength = static_cast<int>(vl);
+        }
+        const obs::JsonValue *machines = doc.find("machines");
+        if (machines == nullptr || machines->size() == 0)
+            return errorResponse(
+                400, "sweep needs a non-empty 'machines' array");
+        for (size_t i = 0; i < machines->size(); ++i) {
+            const obs::JsonValue &m = machines->at(i);
+            if (const obs::JsonValue *variant = m.find("variant")) {
+                std::string name = variant->asString();
+                try {
+                    sweep.machines.push_back(
+                        {name, "built-in variant", "<builtin>",
+                         machine::MachineConfig::variant(name)});
+                } catch (const FatalError &e) {
+                    diags.error(e.what());
+                }
+                continue;
+            }
+            const obs::JsonValue *text = m.find("text");
+            if (text == nullptr) {
+                diags.error(format("machines[%zu] needs 'text' (an "
+                                   "inline machine description) or "
+                                   "'variant'",
+                                   i));
+                continue;
+            }
+            std::string source = format("machines[%zu]", i);
+            machine::MachineFile mf;
+            if (!machine::parseMachineDescription(text->asString(),
+                                                  source, mf, diags))
+                continue;
+            if (const obs::JsonValue *n = m.find("name"))
+                mf.name = n->asString();
+            sweep.machines.push_back({mf.name, mf.description, source,
+                                      mf.config});
+        }
+        if (const obs::JsonValue *ids = doc.find("ids")) {
+            for (size_t i = 0; i < ids->size(); ++i) {
+                long id = static_cast<long>(ids->at(i).asDouble());
+                try {
+                    (void)lfk::makeKernel(static_cast<int>(id));
+                    spec.ids.push_back(static_cast<int>(id));
+                } catch (const FatalError &e) {
+                    diags.error(e.what());
+                }
+            }
+        }
+        if (const obs::JsonValue *jobs = doc.find("jobs"))
+            for (size_t i = 0; i < jobs->size(); ++i)
+                addJobFromJson(jobs->at(i), trip, spec, diags);
+        if (const obs::JsonValue *tm = doc.find("timing"))
+            timing = tm->asBool();
+    } catch (const FatalError &e) {
+        return errorResponse(
+            400,
+            detail::concat("malformed sweep request: ", e.what()));
+    } catch (const PanicError &e) {
+        // Type-mismatched fields assert inside JsonValue; map them to
+        // 400 like any other malformed client body (see handleAnalyze).
+        return errorResponse(
+            400,
+            detail::concat("malformed sweep request: ", e.what()));
+    }
+
+    // Kernel rows: explicit ids, then compiled jobs; the full LFK set
+    // when neither was given (the machines are the interesting axis).
+    if (spec.ids.empty() && spec.kernels.empty())
+        spec.ids = lfk::lfkIds();
+    for (int id : spec.ids)
+        sweep.kernels.push_back(
+            lfk::toKernelCase(lfk::makeKernel(id)));
+    for (model::KernelCase &kc : spec.kernels)
+        sweep.kernels.push_back(std::move(kc));
+
+    if (!pipeline::validateSweep(sweep, diags) || diags.hasErrors())
+        return errorResponse(
+            422,
+            format("sweep request failed with %zu error(s)",
+                   diags.errorCount()),
+            &diags);
+
+    pipeline::SweepResult result = pipeline::runSweep(
+        sweep, [this](const std::vector<pipeline::BatchJob> &jobs) {
+            return service_.runJobs(jobs, &stop_);
+        });
+
+    HttpResponse response;
+    response.body = pipeline::renderSweepJson(result, timing);
     response.headers.emplace_back(
         "X-MACS-Exit-Code", std::to_string(result.exitCode()));
     return response;

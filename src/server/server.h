@@ -170,6 +170,7 @@ class Server
     HttpResponse handleVersion() const;
     HttpResponse handleAnalyze(const HttpRequest &request);
     HttpResponse handleBatch(const HttpRequest &request);
+    HttpResponse handleSweep(const HttpRequest &request);
 
     obs::Registry &registry() const;
     const faults::FaultInjector &injector() const;

@@ -28,9 +28,14 @@ using machine::VectorTiming;
 
 namespace {
 
-/** Index of a vector pipe for array storage. */
+/**
+ * Index of a vector pipe for array storage. On a 2-pipe VP
+ * (fpAddMulShared) multiplies execute in the add pipe's slot, so the
+ * two FP units serialize against each other exactly like the chime
+ * partitioner models.
+ */
 int
-pipeIndex(Pipe p)
+pipeIndex(Pipe p, const machine::ChainingConfig &rules)
 {
     switch (p) {
       case Pipe::LoadStore:
@@ -38,7 +43,7 @@ pipeIndex(Pipe p)
       case Pipe::Add:
         return 1;
       case Pipe::Multiply:
-        return 2;
+        return rules.fpAddMulShared ? 1 : 2;
       case Pipe::None:
         break;
     }
@@ -371,7 +376,7 @@ Simulator::run()
         if (in.isVector()) {
             ++stats.vectorInstructions;
             const VectorTiming &tim = config_.timing(in.op);
-            int p = pipeIndex(in.pipe());
+            int p = pipeIndex(in.pipe(), config_.chaining);
             int n = st.vl;
 
             // Issue: wait for scalar operands, the issue unit, and the

@@ -23,6 +23,7 @@
 #include "compiler/interpreter.h"
 #include "compiler/loop_parser.h"
 #include "machine/machine_config.h"
+#include "machine/machine_file.h"
 #include "sim/simulator.h"
 #include "support/logging.h"
 
@@ -373,6 +374,64 @@ TEST(CorpusReplay, CorpusCoversVectorAndScalarPaths)
     }
     EXPECT_GE(vectorizable, 1u);
     EXPECT_GE(scalar_only, 1u);
+}
+
+// --------------------------------------------- machine-file corpus
+//
+// tests/corpus/machine/ holds valid machine descriptions (fuzz seeds
+// for the .machine parser); tests/corpus/bad_machine/ holds torn or
+// hostile ones. Valid seeds must round-trip: parse -> fingerprint ->
+// the fingerprint and content hash are stable under a reparse of the
+// same bytes. Hostile ones must error without crashing.
+
+TEST(MachineCorpusReplay, ValidSeedsRoundTripDeterministically)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(
+             fs::path(MACS_CORPUS_DIR) / "machine"))
+        if (entry.path().extension() == ".machine")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    ASSERT_FALSE(files.empty())
+        << "no .machine files under " << MACS_CORPUS_DIR
+        << "/machine";
+
+    for (const fs::path &path : files) {
+        SCOPED_TRACE(path.filename().string());
+        machine::MachineFile first, second;
+        Diagnostics d1, d2;
+        ASSERT_TRUE(machine::loadMachineFile(path.string(), first, d1))
+            << d1.render();
+        ASSERT_TRUE(
+            machine::loadMachineFile(path.string(), second, d2));
+        EXPECT_EQ(first.name, second.name);
+        EXPECT_EQ(first.config.fingerprint(),
+                  second.config.fingerprint());
+        EXPECT_EQ(first.config.contentHash(),
+                  second.config.contentHash());
+    }
+}
+
+TEST(MachineCorpusReplay, HostileFilesErrorWithoutCrashing)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(
+             fs::path(MACS_CORPUS_DIR) / "bad_machine"))
+        if (entry.path().extension() == ".machine")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    ASSERT_FALSE(files.empty());
+
+    for (const fs::path &path : files) {
+        SCOPED_TRACE(path.filename().string());
+        machine::MachineFile mf;
+        Diagnostics diags;
+        EXPECT_FALSE(
+            machine::loadMachineFile(path.string(), mf, diags));
+        EXPECT_TRUE(diags.hasErrors());
+    }
 }
 
 // ---------------------------------------------------------------- interpreter

@@ -22,6 +22,7 @@
 
 #include "lfk/kernels.h"
 #include "machine/machine_config.h"
+#include "machine/machine_file.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/report.h"
 
@@ -68,9 +69,9 @@ writeFile(const std::string &path, const std::string &content)
 }
 
 std::vector<BatchJob>
-goldenJobs()
+goldenJobs(machine::MachineConfig cfg =
+               machine::MachineConfig::convexC240())
 {
-    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
     std::vector<BatchJob> jobs;
     for (int id : kGoldenKernels) {
         lfk::Kernel k = lfk::makeKernel(id);
@@ -143,6 +144,32 @@ TEST(GoldenReportTest, GoldenBytesIndependentOfWorkerCount)
         ASSERT_FALSE(want.empty());
         EXPECT_EQ(want, serial_json);
     }
+}
+
+// Differential oracle (docs/MACHINES.md): running the golden batch
+// through the PARSED machines/c240.machine instead of the built-in
+// table must reproduce the goldens byte-for-byte. A drift in either
+// the parser or the shipped file shows up as a report diff here.
+TEST(GoldenReportTest, ParsedC240FileReproducesGoldens)
+{
+    machine::MachineConfig parsed = machine::MachineConfig::fromFile(
+        std::string(MACS_MACHINE_DIR) + "/c240.machine");
+    EngineOptions opt;
+    opt.workers = 1;
+    BatchEngine engine(opt);
+    BatchResult r = engine.run(goldenJobs(parsed));
+    ASSERT_EQ(r.stats.failures, 0u);
+    if (updateRequested())
+        GTEST_SKIP() << "goldens are owned by the built-in-table run";
+    std::string want_json =
+        readFileOrEmpty(goldenPath("batch_lfk_1_7_12.json"));
+    std::string want_md =
+        readFileOrEmpty(goldenPath("batch_lfk_1_7_12.md"));
+    ASSERT_FALSE(want_json.empty());
+    ASSERT_FALSE(want_md.empty());
+    EXPECT_EQ(want_json, renderBatchJson(r, false))
+        << "parsed c240.machine diverged from the built-in table";
+    EXPECT_EQ(want_md, renderBatchMarkdown(r, false));
 }
 
 } // namespace

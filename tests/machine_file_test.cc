@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Machine-description file tests (docs/MACHINES.md).
+ *
+ * The load-bearing property is the DIFFERENTIAL ORACLE: parsing
+ * machines/c240.machine must reproduce the built-in C-240 table
+ * field-for-field (golden_report_test additionally pins that batch
+ * reports through the parsed config are byte-identical). The negative
+ * corpus (tests/corpus/bad_machine/) pins multi-error recovery: every
+ * problem in a file is reported, with file:line:col.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "isa/opcode.h"
+#include "lfk/kernels.h"
+#include "machine/machine_file.h"
+#include "macs/chime.h"
+#include "macs/hierarchy.h"
+#include "pipeline/pipeline.h"
+#include "support/diag.h"
+#include "support/strings.h"
+
+namespace macs::machine {
+namespace {
+
+using pipeline::BatchEngine;
+
+std::string
+machinePath(const std::string &file)
+{
+    return std::string(MACS_MACHINE_DIR) + "/" + file;
+}
+
+std::string
+corpusPath(const std::string &rel)
+{
+    return std::string(MACS_CORPUS_DIR) + "/" + rel;
+}
+
+MachineFile
+parseOk(const std::string &text, const std::string &file = "<test>")
+{
+    MachineFile mf;
+    Diagnostics diags;
+    bool ok = parseMachineDescription(text, file, mf, diags);
+    EXPECT_TRUE(ok) << diags.render();
+    return mf;
+}
+
+Diagnostics
+parseBad(const std::string &text, const std::string &file = "<test>")
+{
+    MachineFile mf;
+    Diagnostics diags;
+    EXPECT_FALSE(parseMachineDescription(text, file, mf, diags));
+    EXPECT_TRUE(diags.hasErrors());
+    return diags;
+}
+
+// --- the differential oracle -----------------------------------------
+
+TEST(MachineFileOracle, C240FileEqualsBuiltInTable)
+{
+    MachineConfig parsed = MachineConfig::fromFile(
+        machinePath("c240.machine"));
+    MachineConfig builtin = MachineConfig::convexC240();
+
+    // fingerprint() serializes every timing-relevant field, so equal
+    // fingerprints is exhaustive field equality.
+    EXPECT_EQ(parsed.fingerprint(), builtin.fingerprint());
+    EXPECT_EQ(parsed.contentHash(), builtin.contentHash());
+
+    // Spot-check representative fields directly, so a future
+    // fingerprint() bug cannot mask a real mismatch.
+    EXPECT_EQ(parsed.clockMhz, builtin.clockMhz);
+    EXPECT_EQ(parsed.maxVectorLength, builtin.maxVectorLength);
+    EXPECT_EQ(parsed.memory.banks, builtin.memory.banks);
+    EXPECT_EQ(parsed.memory.refreshPeriodCycles,
+              builtin.memory.refreshPeriodCycles);
+    EXPECT_EQ(parsed.chaining.maxReadsPerPair,
+              builtin.chaining.maxReadsPerPair);
+    EXPECT_EQ(parsed.chaining.fpAddMulShared,
+              builtin.chaining.fpAddMulShared);
+    EXPECT_EQ(parsed.scalar.loadMissLatency,
+              builtin.scalar.loadMissLatency);
+    EXPECT_EQ(parsed.scalarCache.lines, builtin.scalarCache.lines);
+    EXPECT_EQ(parsed.refreshPenaltyFactor,
+              builtin.refreshPenaltyFactor);
+    ASSERT_EQ(parsed.vectorTiming.size(),
+              builtin.vectorTiming.size());
+    for (const auto &[op, t] : builtin.vectorTiming) {
+        const VectorTiming &p = parsed.timing(op);
+        EXPECT_EQ(p.x, t.x) << isa::opcodeInfo(op).mnemonic;
+        EXPECT_EQ(p.y, t.y) << isa::opcodeInfo(op).mnemonic;
+        EXPECT_EQ(p.z, t.z) << isa::opcodeInfo(op).mnemonic;
+        EXPECT_EQ(p.bubble, t.bubble) << isa::opcodeInfo(op).mnemonic;
+    }
+}
+
+TEST(MachineFileOracle, ShippedVariantsParseAndDiffer)
+{
+    Diagnostics diags;
+    std::vector<std::string> files =
+        listMachineFiles(MACS_MACHINE_DIR, diags);
+    ASSERT_FALSE(diags.hasErrors()) << diags.render();
+    ASSERT_GE(files.size(), 5u) << "expected c240 + >=4 variants";
+    EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+
+    // Every shipped file parses cleanly, names are unique, and every
+    // variant differs from the baseline in content (hash included).
+    MachineConfig baseline = MachineConfig::convexC240();
+    std::set<std::string> names;
+    std::set<uint64_t> hashes;
+    for (const std::string &path : files) {
+        MachineFile mf;
+        Diagnostics d;
+        ASSERT_TRUE(loadMachineFile(path, mf, d))
+            << path << "\n" << d.render();
+        EXPECT_TRUE(names.insert(mf.name).second)
+            << "duplicate machine name " << mf.name;
+        EXPECT_TRUE(hashes.insert(mf.config.contentHash()).second)
+            << mf.name << " aliases another machine's content hash";
+        if (mf.name != "c240") {
+            EXPECT_NE(mf.config.fingerprint(), baseline.fingerprint())
+                << mf.name << " should differ from the baseline";
+        }
+    }
+}
+
+// fingerprint() and contentHash() must agree on what "equal" means:
+// this is the guard that keeps a new config field from being added to
+// one but not the other (the memo cache keys on contentHash).
+TEST(MachineFileOracle, FingerprintEqualIffContentHashEqual)
+{
+    Diagnostics diags;
+    std::vector<MachineConfig> configs{MachineConfig::convexC240(),
+                                       MachineConfig::noBubbles(),
+                                       MachineConfig::noRefresh(),
+                                       MachineConfig::noChaining(),
+                                       MachineConfig::noScalarCache(),
+                                       MachineConfig::withBanks(64)};
+    for (const std::string &path :
+         listMachineFiles(MACS_MACHINE_DIR, diags))
+        configs.push_back(MachineConfig::fromFile(path));
+    for (size_t i = 0; i < configs.size(); ++i) {
+        for (size_t j = 0; j < configs.size(); ++j) {
+            bool fp_eq = configs[i].fingerprint() ==
+                         configs[j].fingerprint();
+            bool h_eq = configs[i].contentHash() ==
+                        configs[j].contentHash();
+            EXPECT_EQ(fp_eq, h_eq) << i << " vs " << j;
+        }
+    }
+}
+
+// --- memo-cache key collision (satellite: content hash, not name) ----
+
+TEST(MachineFileCache, SameNameDifferentConstantsCannotAlias)
+{
+    // Two machines that SHARE a name but differ in one constant must
+    // produce different pipeline cache keys: the key is a content
+    // hash of the resolved config, never the name string.
+    MachineFile a = parseOk("[machine]\nname = twin\n"
+                            "[memory]\nbanks = 32\n");
+    MachineFile b = parseOk("[machine]\nname = twin\n"
+                            "[memory]\nbanks = 64\n");
+    ASSERT_EQ(a.name, b.name);
+    EXPECT_NE(a.config.contentHash(), b.config.contentHash());
+
+    lfk::Kernel k = lfk::makeKernel(1);
+    pipeline::BatchJob ja, jb;
+    ja.label = jb.label = k.name;
+    ja.configName = jb.configName = "twin"; // the aliasing name
+    ja.kernel = jb.kernel = lfk::toKernelCase(k);
+    ja.config = a.config;
+    jb.config = b.config;
+    EXPECT_NE(BatchEngine::keyOf(ja), BatchEngine::keyOf(jb));
+
+    // And the new chaining knob must reach the key too.
+    pipeline::BatchJob jc = ja;
+    jc.config.chaining.fpAddMulShared = true;
+    EXPECT_NE(BatchEngine::keyOf(ja), BatchEngine::keyOf(jc));
+}
+
+// --- parser behavior --------------------------------------------------
+
+TEST(MachineFileParser, DefaultsAndStemName)
+{
+    MachineFile mf;
+    Diagnostics diags;
+    ASSERT_TRUE(parseMachineDescription("[machine]\n",
+                                        "machines/foo.machine", mf,
+                                        diags))
+        << diags.render();
+    EXPECT_EQ(mf.name, "foo"); // file stem when no name key
+    // All-defaults config equals a default-constructed MachineConfig.
+    EXPECT_EQ(mf.config.fingerprint(), MachineConfig{}.fingerprint());
+}
+
+TEST(MachineFileParser, BooleanSpellings)
+{
+    MachineFile mf = parseOk("[memory]\nrefresh-enabled = off\n"
+                             "[chaining]\nenabled = 1\n"
+                             "enforce-pair-limits = TRUE\n"
+                             "fp-add-mul-shared = on\n"
+                             "[scalar-cache]\nenabled = false\n");
+    EXPECT_FALSE(mf.config.memory.refreshEnabled);
+    EXPECT_TRUE(mf.config.chaining.chainingEnabled);
+    EXPECT_TRUE(mf.config.chaining.enforcePairLimits);
+    EXPECT_TRUE(mf.config.chaining.fpAddMulShared);
+    EXPECT_FALSE(mf.config.scalarCache.enabled);
+}
+
+TEST(MachineFileParser, ReportsEveryErrorWithLineAndColumn)
+{
+    Diagnostics diags = parseBad("[machine]\n"
+                                 "name = ok\n"
+                                 "clock-mhz = fast\n"   // line 3
+                                 "volts = 5\n"          // line 4
+                                 "[memory]\n"
+                                 "banks = 99999999\n"); // line 6
+    ASSERT_EQ(diags.errorCount(), 3u) << diags.render();
+    EXPECT_EQ(diags.entries()[0].loc.line, 3u);
+    EXPECT_EQ(diags.entries()[0].loc.col, 13u); // points at 'fast'
+    EXPECT_EQ(diags.entries()[1].loc.line, 4u);
+    EXPECT_EQ(diags.entries()[2].loc.line, 6u);
+    // The rendered report carries file:line:col for every entry.
+    std::string rendered = diags.render();
+    EXPECT_NE(rendered.find("<test>:3:13"), std::string::npos)
+        << rendered;
+    EXPECT_NE(rendered.find("<test>:4:9"), std::string::npos)
+        << rendered;
+    EXPECT_NE(rendered.find("<test>:6:9"), std::string::npos)
+        << rendered;
+}
+
+TEST(MachineFileParser, FromFileThrowsDiagnosticError)
+{
+    EXPECT_THROW(MachineConfig::fromFile(
+                     corpusPath("bad_machine/torn.machine")),
+                 DiagnosticError);
+    EXPECT_THROW(MachineConfig::fromFile("/nonexistent/x.machine"),
+                 DiagnosticError);
+}
+
+TEST(MachineFileParser, ErrorCascadeIsCapped)
+{
+    std::string text = "[machine]\n";
+    for (int i = 0; i < 100; ++i)
+        text += format("bogus-key-%d = 1\n", i);
+    Diagnostics diags = parseBad(text);
+    // The parser stops at the Diagnostics cascade cap instead of
+    // reporting all 100 bogus keys.
+    EXPECT_EQ(diags.errorCount(), diags.maxErrors);
+    EXPECT_EQ(diags.entries().size(), diags.maxErrors);
+}
+
+// --- the negative corpus ----------------------------------------------
+
+struct BadCase
+{
+    const char *file;
+    size_t errors;                  ///< exact expected error count
+    std::vector<size_t> lines;      ///< every expected error line
+};
+
+class BadMachineCorpus : public ::testing::TestWithParam<BadCase>
+{
+};
+
+TEST_P(BadMachineCorpus, ReportsAllErrorsWithLocations)
+{
+    const BadCase &c = GetParam();
+    std::string path = corpusPath(std::string("bad_machine/") +
+                                  c.file);
+    MachineFile mf;
+    Diagnostics diags;
+    EXPECT_FALSE(loadMachineFile(path, mf, diags)) << path;
+    EXPECT_EQ(diags.errorCount(), c.errors) << diags.render();
+    std::vector<size_t> got;
+    for (const Diagnostic &d : diags.entries())
+        if (d.severity == DiagSeverity::Error) {
+            EXPECT_TRUE(d.loc.valid()) << d.render();
+            EXPECT_GT(d.loc.col, 0u) << d.render();
+            EXPECT_EQ(d.file, path);
+            got.push_back(d.loc.line);
+        }
+    EXPECT_EQ(got, c.lines) << diags.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, BadMachineCorpus,
+    ::testing::Values(
+        BadCase{"unknown_keys.machine", 4, {6, 10, 11, 14}},
+        BadCase{"bad_banks.machine", 4, {7, 8, 9, 13}},
+        BadCase{"duplicate_sections.machine", 3, {6, 11, 12}},
+        BadCase{"torn.machine", 4, {1, 3, 7, 8}},
+        BadCase{"bad_timing.machine", 5, {8, 9, 10, 11, 12}}),
+    [](const auto &info) {
+        std::string name = info.param.file;
+        return name.substr(0, name.find('.'));
+    });
+
+// --- the 2-pipe knob reaches the chime partitioner --------------------
+
+TEST(MachineFileModel, SharedFpPipeSplitsAddMulChimes)
+{
+    // LFK7 packs adds and multiplies into shared chimes on the
+    // 3-pipe baseline; with fp-add-mul-shared they cannot share, so
+    // the partition must grow and the MACS bound must rise.
+    lfk::Kernel k = lfk::makeKernel(7);
+    MachineConfig base = MachineConfig::convexC240();
+    MachineConfig shared = base;
+    shared.chaining.fpAddMulShared = true;
+
+    auto chimes3 = model::partitionChimes(k.program.instrs(),
+                                          base.chaining);
+    auto chimes2 = model::partitionChimes(k.program.instrs(),
+                                          shared.chaining);
+    EXPECT_GT(chimes2.size(), chimes3.size());
+
+    model::KernelCase kc = lfk::toKernelCase(k);
+    model::KernelAnalysis a3 = model::analyzeKernel(kc, base);
+    model::KernelAnalysis a2 = model::analyzeKernel(kc, shared);
+    EXPECT_GT(a2.macs.cpl, a3.macs.cpl);
+    // The simulated runs must slow down too (the simulator pipe
+    // model honors the knob, not just the bound).
+    EXPECT_GE(a2.tP, a3.tP);
+}
+
+} // namespace
+} // namespace macs::machine

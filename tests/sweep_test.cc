@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Machine-sweep tests (pipeline/sweep.h, POST /v1/sweep).
+ *
+ * The contract under test is DETERMINISM: a sweep is a pure function
+ * of (machine set, kernel list, sim options), so the rendered matrix
+ * must be byte-identical at any worker count and invariant to the
+ * order machines arrive in (the machine axis is name-sorted). The
+ * server half reuses Server::handle(), socket-free, like server_test.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lfk/kernels.h"
+#include "machine/machine_file.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "pipeline/sweep.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "support/diag.h"
+
+namespace macs::pipeline {
+namespace {
+
+SweepMachine
+fileMachine(const std::string &file)
+{
+    std::string path = std::string(MACS_MACHINE_DIR) + "/" + file;
+    machine::MachineFile mf;
+    Diagnostics diags;
+    EXPECT_TRUE(machine::loadMachineFile(path, mf, diags))
+        << diags.render();
+    return {mf.name, mf.description, path, mf.config};
+}
+
+/** All shipped machine files, plus kernels {1, 7, 12}. */
+SweepRequest
+shippedRequest()
+{
+    SweepRequest request;
+    Diagnostics diags;
+    for (const std::string &path :
+         machine::listMachineFiles(MACS_MACHINE_DIR, diags)) {
+        machine::MachineFile mf;
+        Diagnostics d;
+        EXPECT_TRUE(machine::loadMachineFile(path, mf, d))
+            << d.render();
+        request.machines.push_back(
+            {mf.name, mf.description, path, mf.config});
+    }
+    EXPECT_FALSE(diags.hasErrors()) << diags.render();
+    for (int id : {1, 7, 12})
+        request.kernels.push_back(
+            lfk::toKernelCase(lfk::makeKernel(id)));
+    return request;
+}
+
+SweepResult
+runWithWorkers(const SweepRequest &request, size_t workers)
+{
+    EngineOptions opt;
+    opt.workers = workers;
+    BatchEngine engine(opt);
+    return runSweep(request, engine);
+}
+
+TEST(Sweep, ByteIdenticalAcrossWorkerCounts)
+{
+    SweepRequest request = shippedRequest();
+    SweepResult r1 = runWithWorkers(request, 1);
+    std::string md1 = renderSweepMarkdown(r1);
+    std::string js1 = renderSweepJson(r1);
+    EXPECT_EQ(r1.stats.failures, 0u);
+    for (size_t workers : {4u, 16u}) {
+        SweepResult rn = runWithWorkers(request, workers);
+        EXPECT_EQ(md1, renderSweepMarkdown(rn)) << workers;
+        EXPECT_EQ(js1, renderSweepJson(rn)) << workers;
+    }
+}
+
+TEST(Sweep, InvariantToMachineOrdering)
+{
+    SweepRequest request = shippedRequest();
+    ASSERT_GE(request.machines.size(), 3u);
+    SweepResult base = runWithWorkers(request, 4);
+
+    // Reverse and rotate the machine list; the matrix must not move.
+    SweepRequest reversed = request;
+    std::reverse(reversed.machines.begin(), reversed.machines.end());
+    SweepRequest rotated = request;
+    std::rotate(rotated.machines.begin(),
+                rotated.machines.begin() + 1, rotated.machines.end());
+
+    std::string md = renderSweepMarkdown(base);
+    std::string js = renderSweepJson(base);
+    EXPECT_EQ(md, renderSweepMarkdown(runWithWorkers(reversed, 4)));
+    EXPECT_EQ(js, renderSweepJson(runWithWorkers(reversed, 4)));
+    EXPECT_EQ(md, renderSweepMarkdown(runWithWorkers(rotated, 4)));
+    EXPECT_EQ(js, renderSweepJson(runWithWorkers(rotated, 4)));
+
+    // And the result's machine axis is name-sorted.
+    EXPECT_TRUE(std::is_sorted(
+        base.machines.begin(), base.machines.end(),
+        [](const SweepMachine &a, const SweepMachine &b) {
+            return a.name < b.name;
+        }));
+}
+
+TEST(Sweep, ValidateRejectsBadRequests)
+{
+    SweepRequest request; // no machines, no kernels
+    {
+        Diagnostics diags;
+        EXPECT_FALSE(validateSweep(request, diags));
+        EXPECT_GE(diags.errorCount(), 2u) << diags.render();
+    }
+    request.machines.push_back(fileMachine("c240.machine"));
+    request.kernels.push_back(lfk::toKernelCase(lfk::makeKernel(1)));
+    {
+        Diagnostics diags;
+        EXPECT_TRUE(validateSweep(request, diags)) << diags.render();
+    }
+    // Duplicate machine names render ambiguous columns: rejected.
+    SweepMachine dup = fileMachine("c240-64bank.machine");
+    dup.name = request.machines[0].name;
+    request.machines.push_back(dup);
+    {
+        Diagnostics diags;
+        EXPECT_FALSE(validateSweep(request, diags));
+        EXPECT_NE(diags.render().find("duplicate"), std::string::npos)
+            << diags.render();
+    }
+}
+
+TEST(Sweep, ExitCodeContract)
+{
+    SweepRequest request;
+    request.machines.push_back(fileMachine("c240.machine"));
+    request.kernels.push_back(lfk::toKernelCase(lfk::makeKernel(1)));
+    EXPECT_EQ(runWithWorkers(request, 2).exitCode(), 0);
+
+    // One broken kernel row -> partial failure (2); the healthy cell
+    // must still be rendered and the broken one carried as an error.
+    model::KernelCase broken =
+        lfk::toKernelCase(lfk::makeKernel(7));
+    broken.points = 0; // analyzeKernel() rejects this
+    request.kernels.push_back(broken);
+    SweepResult partial = runWithWorkers(request, 2);
+    EXPECT_EQ(partial.exitCode(), 2);
+    EXPECT_TRUE(partial.cells[0][0].ok());
+    EXPECT_FALSE(partial.cells[1][0].ok());
+    std::string md = renderSweepMarkdown(partial);
+    EXPECT_NE(md.find("FAILED"), std::string::npos) << md;
+    EXPECT_NE(md.find("## Failures"), std::string::npos) << md;
+
+    // All rows broken -> total failure (3).
+    request.kernels.erase(request.kernels.begin());
+    EXPECT_EQ(runWithWorkers(request, 2).exitCode(), 3);
+}
+
+TEST(Sweep, JsonCarriesSchemaAndContentHashes)
+{
+    SweepRequest request;
+    request.machines.push_back(fileMachine("c240.machine"));
+    request.machines.push_back(fileMachine("c3800ish.machine"));
+    request.kernels.push_back(lfk::toKernelCase(lfk::makeKernel(1)));
+    SweepResult result = runWithWorkers(request, 2);
+    obs::JsonValue doc = obs::parseJson(renderSweepJson(result));
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.find("schema")->asString(), "macs-sweep-v1");
+    const obs::JsonValue *machines = doc.find("machines");
+    ASSERT_NE(machines, nullptr);
+    ASSERT_EQ(machines->size(), 2u);
+    // Distinct configs carry distinct content hashes in the legend.
+    std::string h0 =
+        machines->at(0).find("contentHash")->asString();
+    std::string h1 =
+        machines->at(1).find("contentHash")->asString();
+    EXPECT_NE(h0, h1);
+    EXPECT_EQ(h0.size(), 16u) << h0; // %016llx
+    // cells is kernel-major: one row per kernel, one cell per machine.
+    const obs::JsonValue *cells = doc.find("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_EQ(cells->size(), 1u);
+    EXPECT_EQ(cells->at(0).size(), 2u);
+}
+
+} // namespace
+} // namespace macs::pipeline
+
+// ---------------------------------------------------------------------
+// POST /v1/sweep through the dispatch table, socket-free.
+// ---------------------------------------------------------------------
+
+namespace macs::server {
+namespace {
+
+HttpRequest
+makeRequest(const std::string &method, const std::string &target,
+            const std::string &body = "")
+{
+    RequestParser parser;
+    std::string msg = method + " " + target + " HTTP/1.1\r\n";
+    msg += "Host: test\r\n";
+    if (!body.empty() || method == "POST")
+        msg += "Content-Length: " + std::to_string(body.size()) +
+               "\r\n";
+    msg += "\r\n" + body;
+    parser.feed(msg);
+    EXPECT_TRUE(parser.complete()) << method << " " << target;
+    return parser.take();
+}
+
+struct TestServer
+{
+    obs::Registry registry;
+    std::unique_ptr<Server> server;
+
+    TestServer()
+    {
+        ServerOptions opt;
+        opt.workers = 2;
+        opt.metrics = &registry;
+        opt.service.metrics = &registry;
+        server = std::make_unique<Server>(std::move(opt));
+    }
+
+    Server *operator->() { return server.get(); }
+};
+
+const std::string *
+headerOf(const HttpResponse &response, const std::string &name)
+{
+    for (const auto &[k, v] : response.headers)
+        if (k == name)
+            return &v;
+    return nullptr;
+}
+
+TEST(SweepEndpoint, InlineTextAndVariantColumns)
+{
+    TestServer ts;
+    std::string body = std::string("{\"machines\":[{\"text\":\"") +
+                       "[machine]\\nname = tiny\\nclock-mhz = 50\\n" +
+                       "\"},{\"variant\":\"baseline\"}]," +
+                       "\"ids\":[1,7]}";
+    HttpResponse r = ts->handle(
+        makeRequest("POST", "/v1/sweep", body));
+    ASSERT_EQ(r.status, 200) << r.body;
+    const std::string *exit_code = headerOf(r, "X-MACS-Exit-Code");
+    ASSERT_NE(exit_code, nullptr);
+    EXPECT_EQ(*exit_code, "0");
+
+    obs::JsonValue doc = obs::parseJson(r.body);
+    EXPECT_EQ(doc.find("schema")->asString(), "macs-sweep-v1");
+    const obs::JsonValue *machines = doc.find("machines");
+    ASSERT_EQ(machines->size(), 2u);
+    // Name-sorted: "baseline" before "tiny".
+    EXPECT_EQ(machines->at(0).find("name")->asString(), "baseline");
+    EXPECT_EQ(machines->at(1).find("name")->asString(), "tiny");
+    EXPECT_EQ(doc.find("kernels")->size(), 2u);
+    ASSERT_EQ(doc.find("cells")->size(), 2u); // kernel-major rows
+    EXPECT_EQ(doc.find("cells")->at(0).size(), 2u);
+
+    // Same request again: byte-identical response body (the service
+    // cache and worker pool must not leak scheduling into it).
+    HttpResponse r2 = ts->handle(
+        makeRequest("POST", "/v1/sweep", body));
+    EXPECT_EQ(r.body, r2.body);
+}
+
+TEST(SweepEndpoint, KernelsDefaultToFullLfkSet)
+{
+    TestServer ts;
+    std::string body =
+        std::string("{\"machines\":[{\"variant\":\"baseline\"}]}");
+    HttpResponse r = ts->handle(
+        makeRequest("POST", "/v1/sweep", body));
+    ASSERT_EQ(r.status, 200) << r.body;
+    obs::JsonValue doc = obs::parseJson(r.body);
+    EXPECT_EQ(doc.find("kernels")->size(), lfk::lfkIds().size());
+}
+
+TEST(SweepEndpoint, MalformedBodyIs400)
+{
+    TestServer ts;
+    EXPECT_EQ(ts->handle(makeRequest("POST", "/v1/sweep", "{nope"))
+                  .status,
+              400);
+    EXPECT_EQ(ts->handle(makeRequest("POST", "/v1/sweep", "[]"))
+                  .status,
+              400);
+    EXPECT_EQ(ts->handle(makeRequest("POST", "/v1/sweep", "{}"))
+                  .status,
+              400); // machines array is required
+    EXPECT_EQ(ts->handle(makeRequest("GET", "/v1/sweep")).status,
+              405);
+}
+
+TEST(SweepEndpoint, BadMachinesCollectEveryErrorAs422)
+{
+    TestServer ts;
+    // Two broken machines + one unknown variant: the 422 must carry
+    // diagnostics from ALL of them, with machines[i]:line:col refs.
+    std::string bad_text = "[machine]\\nvolts = 5\\n"
+                           "[memory]\\nbanks = 0\\n";
+    std::string body = std::string("{\"machines\":[") +
+                       "{\"text\":\"" + bad_text + "\"}," +
+                       "{\"text\":\"" + bad_text + "\"}," +
+                       "{\"variant\":\"warp-drive\"}]}";
+    HttpResponse r = ts->handle(
+        makeRequest("POST", "/v1/sweep", body));
+    ASSERT_EQ(r.status, 422) << r.body;
+    obs::JsonValue doc = obs::parseJson(r.body);
+    const obs::JsonValue *diags = doc.find("diagnostics");
+    ASSERT_NE(diags, nullptr) << r.body;
+    // 2 errors per broken machine + 1 unknown variant (plus the
+    // follow-on "no machines survived" validation error).
+    EXPECT_GE(diags->size(), 5u) << r.body;
+    EXPECT_NE(r.body.find("machines[0]"), std::string::npos);
+    EXPECT_NE(r.body.find("machines[1]"), std::string::npos);
+    EXPECT_NE(r.body.find("warp-drive"), std::string::npos);
+}
+
+TEST(SweepEndpoint, UnknownKernelIdIs422)
+{
+    TestServer ts;
+    // Kernel ids are validated before any job runs, so a bad id is a
+    // request error, never a half-rendered matrix.
+    std::string body =
+        std::string("{\"machines\":[{\"variant\":\"baseline\"}],") +
+        "\"ids\":[99]}";
+    HttpResponse r = ts->handle(
+        makeRequest("POST", "/v1/sweep", body));
+    EXPECT_EQ(r.status, 422) << r.body;
+}
+
+TEST(SweepEndpoint, AdvertisedInVersionAndRoutes)
+{
+    TestServer ts;
+    HttpResponse v = ts->handle(makeRequest("GET", "/version"));
+    EXPECT_NE(v.body.find("macs-sweep-v1"), std::string::npos)
+        << v.body;
+    HttpResponse nf = ts->handle(makeRequest("GET", "/nope"));
+    EXPECT_NE(nf.body.find("/v1/sweep"), std::string::npos)
+        << nf.body;
+}
+
+} // namespace
+} // namespace macs::server

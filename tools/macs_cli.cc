@@ -33,6 +33,17 @@
  *       --job-timeout M per-job wall-clock deadline in ms (0 = off)
  *       --retries N     retry budget for transient faults (default 2)
  *       --faults SPEC   fault plan (same grammar as MACS_FAULTS)
+ *   macs sweep [ids|files] [opts]        kernel x machine sweep matrix
+ *       --machines P    .machine file or directory of them
+ *                       (repeatable; docs/MACHINES.md)
+ *       --variant V     add a built-in variant column (repeatable)
+ *       --workers N     worker threads (default: hardware)
+ *       --vl N          strip/vector length override for every cell
+ *       --trip N        iterations for .loop file jobs (default 512)
+ *       --json PATH     write the JSON matrix ('-' for stdout)
+ *       --md PATH       write the markdown matrix ('-' for stdout)
+ *       --timing        include scheduling-dependent stats
+ *       --no-cache      disable memoization
  *   macs serve [opts]                    HTTP analysis server
  *       --port N        listen port (0 = ephemeral; default 8080)
  *       --port-file F   write the bound port to F (for scripts)
@@ -62,6 +73,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -79,6 +91,7 @@
 #include "macs/hierarchy.h"
 #include "macs/macsd.h"
 #include "machine/machine_config.h"
+#include "machine/machine_file.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/sim_metrics.h"
@@ -86,6 +99,7 @@
 #include "pipeline/checkpoint.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/report.h"
+#include "pipeline/sweep.h"
 #include "server/client.h"
 #include "server/kernel_source.h"
 #include "server/server.h"
@@ -688,6 +702,160 @@ cmdBatch(const std::vector<std::string> &args)
     return result.exitCode();
 }
 
+int
+cmdSweep(const std::vector<std::string> &args)
+{
+    std::vector<int> ids(lfk::lfkIds());
+    std::vector<std::string> machine_args, variants, loop_files;
+    std::string json_path, md_path;
+    long workers = 0, trip = 512, vl = 0, cache_cap = 0;
+    bool timing = false, use_cache = true, ids_given = false;
+
+    // Collect EVERY argument error before giving up, compiler-style.
+    Diagnostics diags("macs sweep");
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            static const std::string empty;
+            if (i + 1 >= args.size()) {
+                diags.error(
+                    detail::concat(what, " expects an argument"));
+                return empty;
+            }
+            return args[++i];
+        };
+        if (a == "--machines") {
+            machine_args.push_back(next("--machines"));
+        } else if (a == "--variant") {
+            variants.push_back(next("--variant"));
+        } else if (a == "--workers") {
+            if (!parseInt(next("--workers"), workers) || workers < 0)
+                diags.error("--workers expects a non-negative number");
+        } else if (a == "--vl") {
+            if (!parseInt(next("--vl"), vl) || vl <= 0)
+                diags.error("--vl expects a positive number");
+        } else if (a == "--trip") {
+            if (!parseInt(next("--trip"), trip) || trip < 1)
+                diags.error("--trip expects a positive number");
+        } else if (a == "--cache-cap") {
+            if (!parseInt(next("--cache-cap"), cache_cap) ||
+                cache_cap < 0)
+                diags.error(
+                    "--cache-cap expects a non-negative number");
+        } else if (a == "--json") {
+            json_path = next("--json");
+        } else if (a == "--md") {
+            md_path = next("--md");
+        } else if (a == "--timing") {
+            timing = true;
+        } else if (a == "--no-cache") {
+            use_cache = false;
+        } else if (a == "all") {
+            ids = lfk::lfkIds();
+            ids_given = true;
+        } else if (a.size() > 8 &&
+                   a.compare(a.size() - 8, 8, ".machine") == 0) {
+            machine_args.push_back(a);
+        } else if (a.size() > 5 &&
+                   a.compare(a.size() - 5, 5, ".loop") == 0) {
+            loop_files.push_back(a);
+        } else if (startsWith(a, "--")) {
+            diags.error(
+                detail::concat("unknown sweep option '", a, "'"));
+        } else {
+            std::vector<int> parsed;
+            bool ok = true;
+            for (const auto &part : split(a, ',')) {
+                long id = 0;
+                if (!parseInt(part, id)) {
+                    diags.error(detail::concat(
+                        "sweep expects LFK ids, 'all', .loop files, "
+                        "or .machine files, got '",
+                        a, "'"));
+                    ok = false;
+                    break;
+                }
+                parsed.push_back(static_cast<int>(id));
+            }
+            if (ok) {
+                if (!ids_given)
+                    ids.clear();
+                ids.insert(ids.end(), parsed.begin(), parsed.end());
+                ids_given = true;
+            }
+        }
+    }
+    if (machine_args.empty() && variants.empty())
+        diags.error("sweep needs at least one --machines FILE|DIR "
+                    "or --variant NAME");
+    diags.throwIfErrors();
+
+    // Expand directories to their *.machine files (sorted), then
+    // parse and validate EVERY machine before any job runs; a
+    // malformed file is reported alongside all the others.
+    std::vector<std::string> machine_paths;
+    for (const std::string &arg : machine_args) {
+        std::error_code ec;
+        if (std::filesystem::is_directory(arg, ec)) {
+            for (const std::string &p :
+                 machine::listMachineFiles(arg, diags))
+                machine_paths.push_back(p);
+        } else {
+            machine_paths.push_back(arg);
+        }
+    }
+    pipeline::SweepRequest request;
+    for (const std::string &path : machine_paths) {
+        machine::MachineFile mf;
+        if (machine::loadMachineFile(path, mf, diags))
+            request.machines.push_back({mf.name, mf.description, path,
+                                        mf.config});
+    }
+    for (const std::string &variant : variants) {
+        try {
+            request.machines.push_back(
+                {variant, "built-in variant", "<builtin>",
+                 variantConfig(variant)});
+        } catch (const FatalError &e) {
+            diags.error(e.what());
+        }
+    }
+    std::vector<model::KernelCase> file_kernels;
+    for (const std::string &path : loop_files) {
+        model::KernelCase kc;
+        if (loopFileKernel(path, trip, kc, diags))
+            file_kernels.push_back(std::move(kc));
+    }
+    if (loop_files.empty() == false && !ids_given)
+        ids.clear(); // file kernels given, no explicit ids: files only
+    for (int id : ids)
+        request.kernels.push_back(lfk::toKernelCase(lfk::makeKernel(id)));
+    for (model::KernelCase &kc : file_kernels)
+        request.kernels.push_back(std::move(kc));
+    request.vectorLength = static_cast<int>(vl);
+    if (!pipeline::validateSweep(request, diags) || diags.hasErrors())
+        diags.throwIfErrors();
+
+    pipeline::EngineOptions opt;
+    opt.workers = static_cast<size_t>(workers);
+    opt.useCache = use_cache;
+    opt.cacheCapacity = static_cast<size_t>(cache_cap);
+    pipeline::BatchEngine engine(opt);
+    pipeline::SweepResult result = pipeline::runSweep(request, engine);
+
+    if (json_path.empty() && md_path.empty())
+        md_path = "-"; // default: markdown on stdout
+    if (!json_path.empty())
+        writeReport(json_path,
+                    pipeline::renderSweepJson(result, timing));
+    if (!md_path.empty())
+        writeReport(md_path,
+                    pipeline::renderSweepMarkdown(result, timing));
+    std::fprintf(stderr, "%s\n",
+                 pipeline::renderStatsLine(result.stats).c_str());
+    return result.exitCode();
+}
+
 #ifndef MACS_VERSION_STRING
 #define MACS_VERSION_STRING "dev"
 #endif
@@ -698,9 +866,9 @@ cmdVersion()
     // Build version plus every stable schema this binary emits, so a
     // consumer can check compatibility before parsing any output.
     std::printf("macs %s\n", MACS_VERSION_STRING);
-    std::printf("schemas: macs-batch-v1, macs-analysis-v1, "
-                "macs-metrics-v1, macs-trace-v1, macs-error-v1, "
-                "macs-health-v1, macs-version-v1\n");
+    std::printf("schemas: macs-batch-v1, macs-sweep-v1, "
+                "macs-analysis-v1, macs-metrics-v1, macs-trace-v1, "
+                "macs-error-v1, macs-health-v1, macs-version-v1\n");
     return 0;
 }
 
@@ -986,6 +1154,13 @@ usage()
         "--checkpoint FILE, --job-timeout MS,\n"
         "                          --retries N, --cache-cap N, "
         "--faults SPEC)\n"
+        "  sweep [ids|all|files.loop] [opts]\n"
+        "                          kernel x machine sweep matrix "
+        "(--machines FILE|DIR,\n"
+        "                          --variant V, --workers N, --vl N, "
+        "--trip N, --json PATH,\n"
+        "                          --md PATH, --timing, --no-cache, "
+        "--cache-cap N)\n"
         "  serve [opts]            HTTP analysis server "
         "(docs/SERVER.md; --host H, --port N,\n"
         "                          --port-file PATH, --workers N, "
@@ -1043,6 +1218,8 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (cmd == "batch")
             return cmdBatch(args);
+        if (cmd == "sweep")
+            return cmdSweep(args);
         if (cmd == "serve")
             return cmdServe(args);
         if (cmd == "http")
