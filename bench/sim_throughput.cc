@@ -1,97 +1,270 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the library itself: simulator
- * throughput on the LFK workloads, chime partitioning, the MACS
- * evaluator, compilation, and the full hierarchy analysis.
+ * Simulator throughput: the fast chime-batched tier vs the reference
+ * interpreter (docs/SIMULATOR.md), kernel by kernel.
+ *
+ * Every vector LFK kernel is simulated in both tiers on the paper
+ * machine; per kernel we report the median run() wall time of each
+ * tier and the speedup ratio. A refresh-heavy configuration
+ * (refreshPeriodCycles cut from 400 to 40, so the memory port's
+ * refresh accounting fires an order of magnitude more often) pins the
+ * case the batching helps least. Before timing anything the bench
+ * re-verifies bit-identical stats between the tiers — a wrong fast
+ * tier must fail here, not just in the unit tests.
+ *
+ * `--json PATH` writes the machine-readable summary consumed by
+ * scripts/perf_gate.py (schema "macs-bench-sim-v1"). Gated metrics
+ * are the minimum and geomean per-kernel speedups and the
+ * refresh-heavy speedup — ratios of two runs on the same host, so
+ * host-speed independent. The bench itself also enforces hard floors
+ * and exits nonzero below them.
+ *
+ * What speedup is achievable here, honestly: both tiers execute the
+ * same cycle-accurate timing arithmetic per chime (chaining, WAR/WAW
+ * interlocks, pair-port arbitration, memory-port service) — that part
+ * is the model and cannot be batched away. The fast tier wins only on
+ * interpretation overhead: per-element word accessors and opcode
+ * switches in the reference become one memcpy / SIMD loop per chime,
+ * and per-instruction config lookups become predecoded table reads.
+ * Long-vector compiled kernels therefore sit at ~4.6-6.5x (the range
+ * ROADMAP.md pins), while hand-assembled scalar-heavy kernels (LFK6's
+ * recurrence, LFK10's control-bound loop) are Amdahl-bound near ~3x.
+ * The floors below are set under the measured range so the bench
+ * fails on structural regressions, not on host noise; the perf gate
+ * pins the actual measured baselines with a 15% tolerance.
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "compiler/codegen.h"
-#include "compiler/loop_parser.h"
-#include "isa/parser.h"
+#include "bench_util.h"
 #include "lfk/kernels.h"
-#include "macs/hierarchy.h"
-#include "macs/macs_bound.h"
 #include "machine/machine_config.h"
 #include "sim/simulator.h"
+#include "support/strings.h"
+#include "support/table.h"
 
 namespace {
 
 using namespace macs;
 
-void
-BM_SimulateKernel(benchmark::State &state)
-{
-    int id = static_cast<int>(state.range(0));
-    lfk::Kernel k = lfk::makeKernel(id);
-    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
-    uint64_t instructions = 0;
-    for (auto _ : state) {
-        sim::Simulator s(cfg, k.program);
-        k.setup(s);
-        sim::RunStats st = s.run();
-        instructions += st.instructions;
-        benchmark::DoNotOptimize(st.cycles);
-    }
-    state.SetItemsProcessed(static_cast<int64_t>(instructions));
-    state.SetLabel("simulated instructions/sec");
-}
-BENCHMARK(BM_SimulateKernel)->Arg(1)->Arg(2)->Arg(7)->Arg(8);
+constexpr int kReps = 7;
+constexpr double kMinSpeedupFloor = 2.5;
+constexpr double kGeomeanSpeedupFloor = 3.5;
+constexpr double kRefreshSpeedupFloor = 3.5;
 
-void
-BM_ChimePartition(benchmark::State &state)
+double
+nowUs()
 {
-    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
-    auto body = p.innerLoop();
-    machine::ChainingConfig rules;
-    for (auto _ : state) {
-        auto chimes = model::partitionChimes(body, rules);
-        benchmark::DoNotOptimize(chimes.size());
-    }
+    using namespace std::chrono;
+    return duration<double, std::micro>(
+               steady_clock::now().time_since_epoch())
+        .count();
 }
-BENCHMARK(BM_ChimePartition);
 
-void
-BM_MacsBound(benchmark::State &state)
+/** One simulation; returns run() wall micros (setup untimed). */
+double
+runOnce(const lfk::Kernel &k, const machine::MachineConfig &cfg,
+        sim::SimTier tier, sim::RunStats *stats_out = nullptr)
 {
-    isa::Program p = isa::assemble(lfk::lfk1PaperListing());
-    auto body = p.innerLoop();
-    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
-    for (auto _ : state) {
-        auto r = model::evaluateMacs(body, cfg);
-        benchmark::DoNotOptimize(r.cpl);
-    }
+    sim::SimOptions opt;
+    opt.tier = tier;
+    sim::Simulator s(cfg, k.program, opt);
+    k.setup(s);
+    double t0 = nowUs();
+    sim::RunStats stats = s.run();
+    double wall = nowUs() - t0;
+    if (stats_out)
+        *stats_out = stats;
+    return wall;
 }
-BENCHMARK(BM_MacsBound);
 
-void
-BM_CompileLfk1(benchmark::State &state)
+struct Meas
 {
-    compiler::Loop loop = compiler::parseLoop(
-        "DO k\n x(k) = q + y(k)*(r*zx(k+10) + t*zx(k+11))\nEND");
-    compiler::CompileOptions opt;
-    opt.tripCount = 990;
-    opt.arrays = {{"x", 1024}, {"y", 1024}, {"zx", 1024}};
-    for (auto _ : state) {
-        auto res = compiler::compile(loop, opt);
-        benchmark::DoNotOptimize(res.program.size());
-    }
-}
-BENCHMARK(BM_CompileLfk1);
+    double refUs = 0.0;
+    double fastUs = 0.0;
+    double speedup = 0.0;
+};
 
-void
-BM_FullHierarchyAnalysis(benchmark::State &state)
+/**
+ * Paired measurement: each rep times one reference run immediately
+ * followed by one fast run and records the ratio of that pair; the
+ * reported speedup is the median ratio. Pairing cancels the slow host
+ * frequency drift that would skew a ratio of two medians taken in
+ * separate blocks seconds apart.
+ */
+Meas
+measureKernel(const lfk::Kernel &k, const machine::MachineConfig &cfg)
 {
-    lfk::Kernel k = lfk::makeKernel(3);
-    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
-    for (auto _ : state) {
-        auto a = model::analyzeKernel(lfk::toKernelCase(k), cfg);
-        benchmark::DoNotOptimize(a.tP);
+    (void)runOnce(k, cfg, sim::SimTier::Reference);
+    (void)runOnce(k, cfg, sim::SimTier::Fast);
+    std::vector<double> ref, fast, ratio;
+    for (int i = 0; i < kReps; ++i) {
+        double r = runOnce(k, cfg, sim::SimTier::Reference);
+        double f = runOnce(k, cfg, sim::SimTier::Fast);
+        ref.push_back(r);
+        fast.push_back(f);
+        ratio.push_back(r / f);
     }
+    return {bench::median(std::move(ref)),
+            bench::median(std::move(fast)),
+            bench::median(std::move(ratio))};
 }
-BENCHMARK(BM_FullHierarchyAnalysis);
+
+/** The tiers must agree bit-for-bit before either is worth timing. */
+bool
+tiersAgree(const lfk::Kernel &k, const machine::MachineConfig &cfg)
+{
+    sim::RunStats ref, fast;
+    (void)runOnce(k, cfg, sim::SimTier::Reference, &ref);
+    (void)runOnce(k, cfg, sim::SimTier::Fast, &fast);
+    bool same =
+        std::bit_cast<uint64_t>(ref.cycles) ==
+            std::bit_cast<uint64_t>(fast.cycles) &&
+        ref.instructions == fast.instructions &&
+        ref.vectorElements == fast.vectorElements &&
+        ref.flops == fast.flops &&
+        std::bit_cast<uint64_t>(ref.refreshStallCycles) ==
+            std::bit_cast<uint64_t>(fast.refreshStallCycles) &&
+        std::bit_cast<uint64_t>(ref.bankConflictCycles) ==
+            std::bit_cast<uint64_t>(fast.bankConflictCycles);
+    if (!same)
+        std::printf("ERROR: tiers disagree on %s (cycles %.17g "
+                    "reference vs %.17g fast)\n",
+                    k.name.c_str(), ref.cycles, fast.cycles);
+    return same;
+}
+
+bool
+writeJson(const std::string &path, double min_speedup,
+          double refresh_speedup, double geomean,
+          double minstr_per_sec, double melems_per_sec)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n"
+        << "  \"schema\": \"macs-bench-sim-v1\",\n"
+        << "  \"gated\": {\n"
+        << format("    \"sim_fast_min_speedup\": %.2f,\n", min_speedup)
+        << format("    \"sim_fast_geomean_speedup\": %.2f,\n", geomean)
+        << format("    \"sim_fast_refresh_speedup\": %.2f\n",
+                  refresh_speedup)
+        << "  },\n"
+        << "  \"informative\": {\n"
+        << format("    \"fast_minstr_per_sec\": %.2f,\n",
+                  minstr_per_sec)
+        << format("    \"fast_melems_per_sec\": %.1f\n",
+                  melems_per_sec)
+        << "  }\n"
+        << "}\n";
+    return out.good();
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: sim_throughput [--json PATH]\n");
+            return 1;
+        }
+    }
+
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    std::printf("=== Simulator throughput: fast (chime-batched) vs "
+                "reference tier ===\n\n");
+
+    Table t({"kernel", "reference us", "fast us", "speedup"});
+    double min_speedup = 0.0;
+    double log_sum = 0.0;
+    int count = 0;
+    double fast_instr = 0.0, fast_elems = 0.0, fast_us = 0.0;
+    for (int id : lfk::lfkIds()) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        if (!tiersAgree(k, cfg))
+            return 1;
+        Meas m = measureKernel(k, cfg);
+        min_speedup = count == 0 ? m.speedup
+                                 : std::min(min_speedup, m.speedup);
+        log_sum += std::log(m.speedup);
+        ++count;
+        sim::RunStats stats;
+        (void)runOnce(k, cfg, sim::SimTier::Fast, &stats);
+        fast_instr += static_cast<double>(stats.instructions);
+        fast_elems += static_cast<double>(stats.vectorElements);
+        fast_us += m.fastUs;
+        t.addRow({k.name, Table::num(m.refUs, 1),
+                  Table::num(m.fastUs, 1), Table::num(m.speedup, 1)});
+    }
+    double geomean = std::exp(log_sum / count);
+    std::printf("%s\n", t.render().c_str());
+
+    // Refresh-heavy: a 10x shorter refresh period exercises the
+    // memory port's refresh/stall accounting — the shared, per-stream
+    // part of service the batching cannot amortize — an order of
+    // magnitude harder, bounding the fast tier's worst case.
+    machine::MachineConfig refresh_cfg = cfg;
+    refresh_cfg.memory.refreshPeriodCycles = 40;
+    lfk::Kernel k1 = lfk::makeKernel(1);
+    if (!tiersAgree(k1, refresh_cfg))
+        return 1;
+    Meas rm = measureKernel(k1, refresh_cfg);
+    double refresh_speedup = rm.speedup;
+    std::printf("refresh-heavy (period 40): %s %.1f us -> %.1f us, "
+                "%.1fx\n\n",
+                k1.name.c_str(), rm.refUs, rm.fastUs,
+                refresh_speedup);
+
+    double minstr_per_sec = fast_instr / fast_us;
+    double melems_per_sec = fast_elems / fast_us;
+    std::printf("min speedup:     %.1fx (floor %.1fx)\n", min_speedup,
+                kMinSpeedupFloor);
+    std::printf("geomean speedup: %.1fx (floor %.1fx)\n", geomean,
+                kGeomeanSpeedupFloor);
+    std::printf("refresh speedup: %.1fx (floor %.1fx)\n",
+                refresh_speedup, kRefreshSpeedupFloor);
+    std::printf("fast tier:       %.2f Minstr/s, %.0f Melem/s\n\n",
+                minstr_per_sec, melems_per_sec);
+
+    bool ok = true;
+    if (min_speedup < kMinSpeedupFloor) {
+        std::printf("ERROR: min speedup %.1fx below the %.1fx floor\n",
+                    min_speedup, kMinSpeedupFloor);
+        ok = false;
+    }
+    if (geomean < kGeomeanSpeedupFloor) {
+        std::printf("ERROR: geomean speedup %.1fx below the %.1fx "
+                    "floor\n",
+                    geomean, kGeomeanSpeedupFloor);
+        ok = false;
+    }
+    if (refresh_speedup < kRefreshSpeedupFloor) {
+        std::printf("ERROR: refresh-heavy speedup %.1fx below the "
+                    "%.1fx floor\n",
+                    refresh_speedup, kRefreshSpeedupFloor);
+        ok = false;
+    }
+
+    if (!json_path.empty() &&
+        !writeJson(json_path, min_speedup, refresh_speedup, geomean,
+                   minstr_per_sec, melems_per_sec)) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    return ok ? 0 : 1;
+}

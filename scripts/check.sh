@@ -49,6 +49,14 @@ for w in 1 4 16; do
     cmp "build/sweep_w$w.json" tests/golden/sweep_machines_all.json
 done
 
+# Report-level differential oracle for the two-tier simulator
+# (docs/SIMULATOR.md): the reference interpreter tier must render the
+# same machine grid byte-identically to the fast tier's golden above.
+echo "== tier-1: sweep (reference tier vs golden) =="
+build/tools/macs sweep --machines machines --sim-tier reference \
+    --json build/sweep_ref.json all > /dev/null
+cmp build/sweep_ref.json tests/golden/sweep_machines_all.json
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== skipping sanitizer + perf-gate stages (--fast) =="
     exit 0
@@ -71,10 +79,22 @@ build/bench/sweep_throughput --json build/BENCH_sweep_throughput.json
 scripts/perf_gate.py build/BENCH_sweep_throughput.json \
     bench/baselines/BENCH_sweep_throughput.json
 
+# Simulator tier gate: the bench re-verifies bit-identical stats
+# between the tiers, asserts hard speedup floors (min/geomean/
+# refresh-heavy), and the gate pins the measured ratios — all
+# host-speed-independent ratios of two runs on the same machine.
+echo "== perf: sim_throughput bench + regression gate =="
+cmake --build build -j "$JOBS" --target sim_throughput >/dev/null
+build/bench/sim_throughput --json build/BENCH_sim_throughput.json
+scripts/perf_gate.py build/BENCH_sim_throughput.json \
+    bench/baselines/BENCH_sim_throughput.json
+
 # Each sanitizer stage builds and runs the FULL test suite: TSan
 # audits the worker pool, memo cache, and the metrics registry's
 # lock-free hot path (ObsRegistry.ConcurrentIncrementsAreExact); ASan
-# and UBSan cover the whole modeling + simulation stack.
+# and UBSan cover the whole modeling + simulation stack, including
+# both simulator tiers (the differential tests run reference and fast
+# side by side, so the chime-batched kernels get sanitized too).
 sanitize_stage() {
     local kind="$1" dir="build-$1"
     echo "== sanitizer: $kind (full suite) =="

@@ -165,7 +165,11 @@ hashOptions(const sim::SimOptions &opt)
     h = hashValue(h, opt.memoryContentionFactor);
     h = hashValue(h, opt.maxInstructions);
     h = hashValue(h, opt.trace);
-    return hashValue(h, opt.profile);
+    h = hashValue(h, opt.profile);
+    // Tier keeps results bit-identical, but it must never alias a
+    // cache entry: a hit would silently report the wrong tier's
+    // timing breakdown in metrics and make differential runs vacuous.
+    return hashValue(h, static_cast<uint64_t>(opt.tier));
 }
 /// @}
 

@@ -104,6 +104,21 @@ addJobFromJson(const obs::JsonValue &o, long default_trip,
                                "' (known: lfk, loop, asm)"));
 }
 
+/**
+ * Fold a "sim_tier" name into @p tier. Returns false (with a 400-ready
+ * message in @p error) for anything but "", "reference", or "fast".
+ */
+bool
+parseTierArg(const std::string &name, sim::SimTier &tier,
+             std::string &error)
+{
+    if (name.empty() || sim::parseSimTier(name, tier))
+        return true;
+    error = detail::concat("unknown sim_tier '", name,
+                           "' (known: reference, fast)");
+    return false;
+}
+
 /** Validate every variant name; fills @p message on failure. */
 bool
 validVariants(const std::vector<std::string> &variants,
@@ -547,6 +562,14 @@ Server::handleAnalyze(const HttpRequest &request)
     JobSetSpec spec;
     Diagnostics diags("POST /v1/analyze");
 
+    // ?sim_tier=reference|fast selects the simulator tier (JSON field
+    // "sim_tier" overrides). Either tier yields byte-identical
+    // reports; the reference tier exists as the differential oracle.
+    std::string tier_error;
+    if (!parseTierArg(request.queryOr("sim_tier", ""),
+                      spec.options.tier, tier_error))
+        return errorResponse(400, tier_error);
+
     if (looksLikeJson(request)) {
         try {
             obs::JsonValue doc = obs::parseJson(request.body);
@@ -563,6 +586,10 @@ Server::handleAnalyze(const HttpRequest &request)
                                          "'vl' must be positive");
                 spec.vls.push_back(static_cast<int>(vl));
             }
+            if (const obs::JsonValue *t = doc.find("sim_tier"))
+                if (!parseTierArg(t->asString(), spec.options.tier,
+                                  tier_error))
+                    return errorResponse(400, tier_error);
         } catch (const FatalError &e) {
             return errorResponse(
                 400, detail::concat("malformed analyze request: ",
@@ -656,6 +683,11 @@ Server::handleBatch(const HttpRequest &request)
     Diagnostics diags("POST /v1/batch");
     bool timing = request.queryOr("timing", "0") == "1";
 
+    std::string tier_error;
+    if (!parseTierArg(request.queryOr("sim_tier", ""),
+                      spec.options.tier, tier_error))
+        return errorResponse(400, tier_error);
+
     try {
         obs::JsonValue doc = obs::parseJson(request.body);
         if (!doc.isObject())
@@ -702,6 +734,10 @@ Server::handleBatch(const HttpRequest &request)
                 spec.vls.push_back(static_cast<int>(vl));
             }
         }
+        if (const obs::JsonValue *t = doc.find("sim_tier"))
+            if (!parseTierArg(t->asString(), spec.options.tier,
+                              tier_error))
+                return errorResponse(400, tier_error);
         if (const obs::JsonValue *tm = doc.find("timing"))
             timing = tm->asBool();
     } catch (const FatalError &e) {
@@ -743,14 +779,20 @@ Server::handleSweep(const HttpRequest &request)
 {
     // Body: {"machines": [{"text": "<machine file>", "name"?: ...} |
     // {"variant": "baseline"}], "ids"?: [...], "jobs"?: [...],
-    // "trip"?: N, "vl"?: N, "timing"?: bool}. Kernels default to the
-    // full LFK set, like `macs sweep`; machine texts are parsed with
-    // the same multi-error machinery as .machine files, so a 422
-    // carries every problem in every machine, file:line:col included.
+    // "trip"?: N, "vl"?: N, "sim_tier"?: "reference"|"fast",
+    // "timing"?: bool}. Kernels default to the full LFK set, like
+    // `macs sweep`; machine texts are parsed with the same
+    // multi-error machinery as .machine files, so a 422 carries every
+    // problem in every machine, file:line:col included.
     pipeline::SweepRequest sweep;
     JobSetSpec spec;
     Diagnostics diags("POST /v1/sweep");
     bool timing = request.queryOr("timing", "0") == "1";
+
+    std::string tier_error;
+    if (!parseTierArg(request.queryOr("sim_tier", ""),
+                      sweep.options.tier, tier_error))
+        return errorResponse(400, tier_error);
 
     try {
         obs::JsonValue doc = obs::parseJson(request.body);
@@ -819,6 +861,10 @@ Server::handleSweep(const HttpRequest &request)
         if (const obs::JsonValue *jobs = doc.find("jobs"))
             for (size_t i = 0; i < jobs->size(); ++i)
                 addJobFromJson(jobs->at(i), trip, spec, diags);
+        if (const obs::JsonValue *t = doc.find("sim_tier"))
+            if (!parseTierArg(t->asString(), sweep.options.tier,
+                              tier_error))
+                return errorResponse(400, tier_error);
         if (const obs::JsonValue *tm = doc.find("timing"))
             timing = tm->asBool();
     } catch (const FatalError &e) {

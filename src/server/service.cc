@@ -56,6 +56,7 @@ expandJobSet(const JobSetSpec &spec)
                     job.configName = variant;
                     job.kernel = lfk::toKernelCase(k);
                     job.config = cfg;
+                    job.options = spec.options;
                     job.vectorLength = vl;
                     jobs.push_back(std::move(job));
                 }
@@ -67,6 +68,7 @@ expandJobSet(const JobSetSpec &spec)
                     job.configName = variant;
                     job.kernel = kc;
                     job.config = cfg;
+                    job.options = spec.options;
                     job.vectorLength = vl;
                     jobs.push_back(std::move(job));
                 }

@@ -73,6 +73,10 @@ struct JobSetSpec
     std::vector<std::string> variants;         ///< default: baseline
     std::vector<int> vls;                      ///< default: {0}
     long repeat = 1;
+    /** Simulation options applied to every job (tier etc.). The tier
+     *  never changes results — both tiers are bit-identical — but it
+     *  is part of the cache key, so it is carried explicitly. */
+    sim::SimOptions options;
 };
 
 /**

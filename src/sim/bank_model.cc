@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "support/logging.h"
+#include "support/math_util.h"
 
 namespace macs::sim {
 
@@ -95,6 +96,28 @@ simulateInterleavedStreams(const machine::MemoryConfig &config,
         }
     }
     return last + config.bankBusyCycles;
+}
+
+std::vector<double>
+strideRateTable(const machine::MemoryConfig &config)
+{
+    // Same closed form as MemoryPort::strideRate, evaluated once per
+    // residue class: the fast tier's whole bank-busy schedule.
+    std::vector<double> table(static_cast<size_t>(config.banks));
+    for (uint64_t s = 0; s < static_cast<uint64_t>(config.banks); ++s) {
+        if (s == 0) {
+            table[s] = static_cast<double>(config.bankBusyCycles);
+            continue;
+        }
+        uint64_t distinct =
+            static_cast<uint64_t>(config.banks) /
+            gcd(static_cast<uint64_t>(config.banks), s);
+        double min_rate =
+            static_cast<double>(config.bankBusyCycles) /
+            static_cast<double>(distinct);
+        table[s] = std::max(1.0, min_rate);
+    }
+    return table;
 }
 
 } // namespace macs::sim

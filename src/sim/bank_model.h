@@ -49,6 +49,18 @@ double simulateInterleavedStreams(const machine::MemoryConfig &config,
                                   uint64_t start_a, int64_t stride_b,
                                   uint64_t start_b);
 
+/**
+ * Precomputed bank-busy schedule: sustained cycles/element for every
+ * stride residue class. The rate of a stride s depends only on
+ * |s| % banks, so table[|s| % banks] == MemoryPort::strideRate(s)
+ * for all strides — the simulator's fast tier builds this once per
+ * run and services every stream of a strip by table lookup instead of
+ * recomputing the gcd form per stream (bank_model_test cross-checks
+ * the table against MemoryPort::strideRate and this file's
+ * element-granularity bank simulation).
+ */
+std::vector<double> strideRateTable(const machine::MemoryConfig &config);
+
 } // namespace macs::sim
 
 #endif // MACS_SIM_BANK_MODEL_H

@@ -1,6 +1,7 @@
 #include "sim/memory_image.h"
 
 #include <bit>
+#include <cstring>
 
 #include "support/logging.h"
 
@@ -71,13 +72,31 @@ MemoryImage::writeDouble(uint64_t addr, double value)
     writeWord(addr, std::bit_cast<uint64_t>(value));
 }
 
+const uint64_t *
+MemoryImage::streamWordsSlow(uint64_t addr, int elements,
+                             int64_t stride_words) const
+{
+    // Out of range or unaligned: walk the elements in stream order so
+    // the fatal() names exactly the address the per-element
+    // interpreter path would have reported first.
+    for (int i = 0; i < elements; ++i)
+        (void)wordIndex(addr +
+                        static_cast<uint64_t>(
+                            static_cast<int64_t>(i) * stride_words) *
+                            8);
+    panic("streamWords: range check disagrees with wordIndex");
+}
+
 void
 MemoryImage::fillDoubles(const std::string &symbol,
                          const std::vector<double> &values)
 {
+    if (values.empty())
+        return;
     uint64_t base = symbolBase(symbol);
-    for (size_t i = 0; i < values.size(); ++i)
-        writeDouble(base + i * 8, values[i]);
+    uint64_t *dst =
+        streamWordsMut(base, static_cast<int>(values.size()), 1);
+    std::memcpy(dst, values.data(), values.size() * 8);
 }
 
 void

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "isa/program.h"
+#include "support/logging.h"
 
 namespace macs::sim {
 
@@ -46,6 +47,42 @@ class MemoryImage
     /** Write a double at byte address @p addr. */
     void writeDouble(uint64_t addr, double value);
 
+    /**
+     * Direct word storage for a whole vector stream: element i of the
+     * stream lives at the returned pointer + i * stride_words. The
+     * full strided range [addr, addr + (elements-1)*stride*8] is
+     * bounds- and alignment-checked up front; a violating stream
+     * walks its elements in order so the fatal() carries exactly the
+     * address the per-element interpreter path would report. Used by
+     * the simulator's fast tier to batch loads/stores (one check per
+     * chime instead of one per element). @{
+     */
+    const uint64_t *
+    streamWords(uint64_t addr, int elements,
+                int64_t stride_words) const
+    {
+        // Inline fast path: one range/alignment check per chime. The
+        // fast tier calls this from its dispatch loop, so the common
+        // in-bounds case must not pay an out-of-line call.
+        MACS_ASSERT(elements > 0, "empty stream span");
+        uint64_t last =
+            addr +
+            static_cast<uint64_t>(
+                static_cast<int64_t>(elements - 1) * stride_words) *
+                8;
+        if (addr % 8 == 0 && addr / 8 < words_.size() &&
+            last % 8 == 0 && last / 8 < words_.size())
+            return words_.data() + addr / 8;
+        return streamWordsSlow(addr, elements, stride_words);
+    }
+    uint64_t *
+    streamWordsMut(uint64_t addr, int elements, int64_t stride_words)
+    {
+        return const_cast<uint64_t *>(
+            streamWords(addr, elements, stride_words));
+    }
+    /** @} */
+
     /** Typed array views over a symbol, for initializing workloads. @{ */
     void fillDoubles(const std::string &symbol,
                      const std::vector<double> &values);
@@ -57,6 +94,10 @@ class MemoryImage
 
   private:
     uint64_t wordIndex(uint64_t addr) const;
+    /** Failure path of streamWords: report the first bad address. */
+    [[noreturn]] const uint64_t *
+    streamWordsSlow(uint64_t addr, int elements,
+                    int64_t stride_words) const;
 
     std::vector<uint64_t> words_;
     std::map<std::string, uint64_t> bases_;

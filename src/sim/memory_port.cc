@@ -14,6 +14,9 @@ MemoryPort::MemoryPort(const machine::MemoryConfig &config,
     : config_(config), contention_(contention_factor)
 {
     MACS_ASSERT(contention_ >= 1.0, "contention factor must be >= 1");
+    MACS_ASSERT(!config_.refreshEnabled ||
+                    config_.refreshPeriodCycles > 0,
+                "refresh period must be positive");
 }
 
 double
@@ -34,81 +37,12 @@ MemoryPort::strideRate(int64_t stride_words) const
     return std::max(1.0, min_rate);
 }
 
-double
-MemoryPort::refreshStall(double begin, double end) const
-{
-    if (!config_.refreshEnabled || end <= begin)
-        return 0.0;
-    // Count refresh boundaries in (begin, end]; each steals the full
-    // refresh duration from the stream. Because the stall itself
-    // extends the busy window, iterate until no new boundary is hit.
-    double period = config_.refreshPeriodCycles;
-    double duration = config_.refreshDurationCycles;
-    double stall = 0.0;
-    long first = static_cast<long>(std::floor(begin / period)) + 1;
-    long last = static_cast<long>(std::floor((end + stall) / period));
-    while (true) {
-        long count = std::max(0L, last - first + 1);
-        double new_stall = duration * static_cast<double>(count);
-        long new_last =
-            static_cast<long>(std::floor((end + new_stall) / period));
-        if (new_last == last) {
-            stall = new_stall;
-            break;
-        }
-        last = new_last;
-    }
-    return stall;
-}
-
 StreamTiming
 MemoryPort::serviceStream(double earliest, int elements,
                           int64_t stride_words, double rate_floor)
 {
-    MACS_ASSERT(elements > 0, "empty vector stream");
-    StreamTiming t;
-    double prev_busy_end = free_at_;
-    t.enter = std::max(earliest, free_at_);
-    if (config_.refreshEnabled) {
-        // A refresh in progress when the stream wants to start delays
-        // it: an 8-cycle refresh cannot hide in the few-cycle bubble
-        // between back-to-back streams. Boundaries at or before the
-        // previous stream's end were already charged to that stream;
-        // boundaries while the port was idle long before this stream
-        // are masked.
-        double period = config_.refreshPeriodCycles;
-        double duration = config_.refreshDurationCycles;
-        double boundary = std::floor(t.enter / period) * period;
-        if (boundary > prev_busy_end && boundary + duration > t.enter) {
-            // Full-duration charge: once a refresh interrupts pending
-            // traffic the controller restarts the access stream after
-            // the complete refresh (the paper conjectures a similar
-            // handshaking restart penalty for stalled instructions).
-            t.enter += duration;
-            t.refreshStall += duration;
-        }
-    }
-    t.rate = std::max(rate_floor, strideRate(stride_words) * contention_);
-    double nominal_end = t.enter + t.rate * elements;
-    double in_stream = refreshStall(t.enter, nominal_end);
-    t.refreshStall += in_stream;
-    t.streamEnd = nominal_end + in_stream;
-    free_at_ = t.streamEnd;
-    refresh_stall_total_ += t.refreshStall;
-    return t;
-}
-
-ScalarAccessTiming
-MemoryPort::serviceScalar(double earliest)
-{
-    ScalarAccessTiming t;
-    t.start = std::max(earliest, free_at_);
-    // One access: the port is reusable after a couple of cycles; the
-    // bank stays busy longer but back-to-back same-bank scalar traffic
-    // is negligible in the studied loops.
-    t.done = t.start + 2.0 * contention_;
-    free_at_ = t.done;
-    return t;
+    return serviceStreamWithRate(earliest, elements,
+                                 strideRate(stride_words), rate_floor);
 }
 
 } // namespace macs::sim

@@ -21,9 +21,12 @@
 #ifndef MACS_SIM_MEMORY_PORT_H
 #define MACS_SIM_MEMORY_PORT_H
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "machine/machine_config.h"
+#include "support/logging.h"
 
 namespace macs::sim {
 
@@ -60,6 +63,19 @@ class MemoryPort
                                int64_t stride_words,
                                double rate_floor = 1.0);
 
+    /**
+     * serviceStream() with the stride rate already resolved: callers
+     * holding a precomputed per-residue schedule (bank_model.h's
+     * strideRateTable, used by the simulator's fast tier) pass
+     * strideRate(stride) through @p stride_rate and skip the per-
+     * stream gcd recomputation. Arithmetic is identical to
+     * serviceStream() — the two produce bit-identical StreamTimings
+     * for stride_rate == strideRate(stride_words).
+     */
+    StreamTiming serviceStreamWithRate(double earliest, int elements,
+                                       double stride_rate,
+                                       double rate_floor = 1.0);
+
     /** Service one scalar access, not before cycle @p earliest. */
     ScalarAccessTiming serviceScalar(double earliest);
 
@@ -76,11 +92,126 @@ class MemoryPort
     /** Refresh cycles hitting a busy window [begin, nominal end). */
     double refreshStall(double begin, double end) const;
 
+    /**
+     * Advance the cached refresh-boundary cursor to the largest
+     * period multiple <= @p x. Stream service times are monotone, so
+     * the cursor only moves forward and the advance amortizes to O(1)
+     * additions per stream; most streams then resolve their refresh
+     * accounting against the cursor with no division at all.
+     *
+     * Exactness: refreshPeriodCycles is an integer, so every multiple
+     * k*period is an exact double and the incremental sum equals the
+     * floor(x/period)*period the direct computation produces bit for
+     * bit (the quotient can never round across an exactly
+     * representable integer boundary).
+     */
+    void
+    advanceRefreshCursor(double x) const
+    {
+        double period = config_.refreshPeriodCycles;
+        if (x - refresh_cursor_ > 64.0 * period)
+            refresh_cursor_ = std::floor(x / period) * period;
+        while (refresh_cursor_ + period <= x)
+            refresh_cursor_ += period;
+    }
+
     machine::MemoryConfig config_;
     double contention_;
     double free_at_ = 0.0;
     double refresh_stall_total_ = 0.0;
+    /// Largest refresh-period multiple seen (cache; see advance above).
+    mutable double refresh_cursor_ = 0.0;
 };
+
+// The stream-service path is defined inline: the fast tier calls it
+// once per vector memory instruction from its dispatch loop, where the
+// out-of-line call was a measurable fraction of the per-instruction
+// cost. The arithmetic (expressions and evaluation order) is the bit-
+// exactness contract — keep it byte-for-byte in sync with the
+// reference expectations pinned by tests/sim_differential_test.cc.
+
+inline double
+MemoryPort::refreshStall(double begin, double end) const
+{
+    if (!config_.refreshEnabled || end <= begin)
+        return 0.0;
+    // Count refresh boundaries in (begin, end]; each steals the full
+    // refresh duration from the stream. Because the stall itself
+    // extends the busy window, iterate until no new boundary is hit.
+    double period = config_.refreshPeriodCycles;
+    double duration = config_.refreshDurationCycles;
+    // No boundary inside (begin, end]: zero stall, no division. The
+    // iteration below would compute first = k+1, last = k and stop
+    // with stall 0 — this is the same answer without the floor()s.
+    advanceRefreshCursor(begin);
+    if (end < refresh_cursor_ + period)
+        return 0.0;
+    double stall = 0.0;
+    long first = static_cast<long>(std::floor(begin / period)) + 1;
+    long last = static_cast<long>(std::floor((end + stall) / period));
+    while (true) {
+        long count = std::max(0L, last - first + 1);
+        double new_stall = duration * static_cast<double>(count);
+        long new_last =
+            static_cast<long>(std::floor((end + new_stall) / period));
+        if (new_last == last) {
+            stall = new_stall;
+            break;
+        }
+        last = new_last;
+    }
+    return stall;
+}
+
+inline StreamTiming
+MemoryPort::serviceStreamWithRate(double earliest, int elements,
+                                  double stride_rate, double rate_floor)
+{
+    MACS_ASSERT(elements > 0, "empty vector stream");
+    StreamTiming t;
+    double prev_busy_end = free_at_;
+    t.enter = std::max(earliest, free_at_);
+    if (config_.refreshEnabled) {
+        // A refresh in progress when the stream wants to start delays
+        // it: an 8-cycle refresh cannot hide in the few-cycle bubble
+        // between back-to-back streams. Boundaries at or before the
+        // previous stream's end were already charged to that stream;
+        // boundaries while the port was idle long before this stream
+        // are masked.
+        double duration = config_.refreshDurationCycles;
+        advanceRefreshCursor(t.enter);
+        double boundary = refresh_cursor_;
+        if (boundary > prev_busy_end && boundary + duration > t.enter) {
+            // Full-duration charge: once a refresh interrupts pending
+            // traffic the controller restarts the access stream after
+            // the complete refresh (the paper conjectures a similar
+            // handshaking restart penalty for stalled instructions).
+            t.enter += duration;
+            t.refreshStall += duration;
+        }
+    }
+    t.rate = std::max(rate_floor, stride_rate * contention_);
+    double nominal_end = t.enter + t.rate * elements;
+    double in_stream = refreshStall(t.enter, nominal_end);
+    t.refreshStall += in_stream;
+    t.streamEnd = nominal_end + in_stream;
+    free_at_ = t.streamEnd;
+    refresh_stall_total_ += t.refreshStall;
+    return t;
+}
+
+inline ScalarAccessTiming
+MemoryPort::serviceScalar(double earliest)
+{
+    ScalarAccessTiming t;
+    t.start = std::max(earliest, free_at_);
+    // One access: the port is reusable after a couple of cycles; the
+    // bank stays busy longer but back-to-back same-bank scalar traffic
+    // is negligible in the studied loops.
+    t.done = t.start + 2.0 * contention_;
+    free_at_ = t.done;
+    return t;
+}
 
 } // namespace macs::sim
 

@@ -5,18 +5,41 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/simulator_impl.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
 namespace macs::sim {
 
+const char *
+simTierName(SimTier tier)
+{
+    return tier == SimTier::Reference ? "reference" : "fast";
+}
+
+bool
+parseSimTier(const std::string &text, SimTier &out)
+{
+    if (text == "reference") {
+        out = SimTier::Reference;
+        return true;
+    }
+    if (text == "fast") {
+        out = SimTier::Fast;
+        return true;
+    }
+    return false;
+}
+
 std::string
 fingerprint(const SimOptions &options)
 {
-    return format("contention=%.17g maxinstr=%llu trace=%d profile=%d",
-                  options.memoryContentionFactor,
-                  static_cast<unsigned long long>(options.maxInstructions),
-                  options.trace ? 1 : 0, options.profile ? 1 : 0);
+    return format(
+        "contention=%.17g maxinstr=%llu trace=%d profile=%d tier=%s",
+        options.memoryContentionFactor,
+        static_cast<unsigned long long>(options.maxInstructions),
+        options.trace ? 1 : 0, options.profile ? 1 : 0,
+        simTierName(options.tier));
 }
 
 using isa::Instruction;
@@ -25,155 +48,6 @@ using isa::Pipe;
 using isa::Reg;
 using isa::RegClass;
 using machine::VectorTiming;
-
-namespace {
-
-/**
- * Index of a vector pipe for array storage. On a 2-pipe VP
- * (fpAddMulShared) multiplies execute in the add pipe's slot, so the
- * two FP units serialize against each other exactly like the chime
- * partitioner models.
- */
-int
-pipeIndex(Pipe p, const machine::ChainingConfig &rules)
-{
-    switch (p) {
-      case Pipe::LoadStore:
-        return 0;
-      case Pipe::Add:
-        return 1;
-      case Pipe::Multiply:
-        return rules.fpAddMulShared ? 1 : 2;
-      case Pipe::None:
-        break;
-    }
-    panic("pipeIndex on non-vector pipe");
-}
-
-} // namespace
-
-/** Private simulation state. */
-struct Simulator::Impl
-{
-    // ---- timing state -------------------------------------------------
-    struct VRegTiming
-    {
-        double enter = 0.0;       ///< producer's first element entry
-        double firstResult = 0.0;
-        double streamEnd = 0.0;
-        double complete = 0.0;
-        double rate = 1.0;
-        // WAR interlock state: a writer may overwrite element i once
-        // every reader has consumed it. With writer rate >= reader
-        // rate it suffices to start no earlier than the readers
-        // started (the write of element i lands Y cycles after the
-        // reader's pipe has already ingested it); a writer faster
-        // than a reader must wait for the reader's stream to end.
-        double lastReadEnter = 0.0;
-        double lastReadStreamEnd = 0.0;
-        double minReadRate = 1e18;
-        bool hasActiveReaders(double t) const
-        {
-            return lastReadStreamEnd > t;
-        }
-    };
-
-    struct PipeState
-    {
-        double lastStreamEnd = -1e18; ///< tailgate reference
-        double issueGate = 0.0; ///< enter time of last dispatched instr
-        /**
-         * Bubbles of vector instructions dispatched on *other* pipes
-         * since this pipe's last instruction. They accumulate on the
-         * shared dispatch path, so a pipe's next stream starts
-         * lastStreamEnd + pendingBubble + B_self later — in steady
-         * state exactly the paper's chime cost Z*VL + sum of member
-         * bubbles (equation 13).
-         */
-        double pendingBubble = 0.0;
-    };
-
-    struct ActiveVector
-    {
-        double enter = 0.0;
-        double streamEnd = 0.0;
-        std::array<int, isa::kNumVectorPairs> pairReads{};
-        std::array<int, isa::kNumVectorPairs> pairWrites{};
-    };
-
-    double issueFree = 0.0;
-    double flagReadyAt = 0.0;
-    double vlReadyAt = 0.0;
-    std::array<PipeState, 3> pipes;
-    std::array<VRegTiming, isa::kNumVectorRegs> vtime;
-    std::array<double, isa::kNumScalarRegs> sReady{};
-    std::array<double, isa::kNumAddressRegs> aReady{};
-    double maxTime = 0.0;
-    std::vector<ActiveVector> active;
-
-    // ---- functional state ---------------------------------------------
-    std::array<uint64_t, isa::kNumScalarRegs> sRaw{};
-    std::array<int64_t, isa::kNumAddressRegs> aVal{};
-    // Storage allows what-if machines with registers longer than the
-    // C-240's architectural 128 elements (strip-length sweeps).
-    static constexpr int kMaxSimVl = 1024;
-    std::array<std::array<double, kMaxSimVl>, isa::kNumVectorRegs>
-        vdata{};
-    int vl = isa::kMaxVectorLength;
-    bool flag = false;
-
-    // ---- ASU scalar data cache (direct mapped, timing only) -----------
-    std::vector<int64_t> cacheTags; ///< -1 = invalid; else line tag
-
-    void
-    initCache(const machine::ScalarCacheConfig &cfg)
-    {
-        cacheTags.assign(cfg.enabled ? cfg.lines : 0, -1);
-    }
-
-    /** True when the line holding byte address @p addr is cached;
-     *  allocates it either way (look-aside fill on miss). */
-    bool
-    cacheAccess(const machine::ScalarCacheConfig &cfg, uint64_t addr)
-    {
-        if (!cfg.enabled)
-            return false;
-        int64_t line = static_cast<int64_t>(addr) /
-                       (8 * cfg.lineWords);
-        size_t set = static_cast<size_t>(line % cfg.lines);
-        bool hit = cacheTags[set] == line;
-        cacheTags[set] = line;
-        return hit;
-    }
-
-    /** Invalidate every line intersecting [begin, end) bytes. */
-    void
-    invalidateCacheRange(const machine::ScalarCacheConfig &cfg,
-                         uint64_t begin, uint64_t end)
-    {
-        if (!cfg.enabled || begin >= end)
-            return;
-        int64_t line_bytes = 8 * cfg.lineWords;
-        int64_t first = static_cast<int64_t>(begin) / line_bytes;
-        int64_t last = static_cast<int64_t>(end - 1) / line_bytes;
-        if (last - first + 1 >= static_cast<int64_t>(cacheTags.size())) {
-            std::fill(cacheTags.begin(), cacheTags.end(), -1);
-            return;
-        }
-        for (int64_t line = first; line <= last; ++line) {
-            size_t set = static_cast<size_t>(line %
-                                             (int64_t)cacheTags.size());
-            if (cacheTags[set] == line)
-                cacheTags[set] = -1;
-        }
-    }
-
-    void
-    bump(double t)
-    {
-        maxTime = std::max(maxTime, t);
-    }
-};
 
 Simulator::Simulator(const machine::MachineConfig &config,
                      const isa::Program &program, SimOptions options)
@@ -189,6 +63,8 @@ Simulator::Simulator(const machine::MachineConfig &config,
                 "maxVectorLength out of simulator range");
     impl_->vl = config_.maxVectorLength;
     impl_->initCache(config_.scalarCache);
+    if (options_.tier == SimTier::Fast)
+        buildFastProgram(options_.trace || options_.profile);
 }
 
 Simulator::~Simulator() = default;
@@ -240,7 +116,19 @@ Simulator::run()
 {
     MACS_ASSERT(!ran_, "Simulator::run() may be called only once");
     ran_ = true;
+    return options_.tier == SimTier::Fast ? runFast() : runReference();
+}
 
+/**
+ * The reference tier: the original instruction-at-a-time interpreter,
+ * kept verbatim as the differential oracle for the fast tier
+ * (simulator_fast.cc, docs/SIMULATOR.md). Changes here MUST be
+ * mirrored there — tests/sim_differential_test.cc holds both to
+ * bit-identical output.
+ */
+RunStats
+Simulator::runReference()
+{
     Impl &st = *impl_;
     const auto &instrs = program_.instrs();
     MemoryPort port(config_.memory, options_.memoryContentionFactor);

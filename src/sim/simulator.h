@@ -47,6 +47,34 @@
 
 namespace macs::sim {
 
+/**
+ * Execution tier (docs/SIMULATOR.md). Both tiers implement the same
+ * timing and functional semantics and must produce bit-identical
+ * RunStats, Timeline, and StallProfile output:
+ *  - Reference: the original instruction-at-a-time interpreter, kept
+ *    as the differential oracle;
+ *  - Fast: the default. Predecodes the program once, keeps the
+ *    in-flight stream set in fixed-capacity inline storage (zero heap
+ *    allocation in the steady-state dispatch loop), services memory
+ *    streams against a precomputed per-residue bank-busy schedule,
+ *    and executes each chime's elements as one batched per-opcode
+ *    kernel over bulk MemoryImage spans.
+ */
+enum class SimTier : uint8_t
+{
+    Reference,
+    Fast,
+};
+
+/** Canonical tier name ("reference" / "fast"). */
+const char *simTierName(SimTier tier);
+
+/**
+ * Parse a tier name; returns false (leaving @p out untouched) for
+ * anything but "reference" or "fast".
+ */
+bool parseSimTier(const std::string &text, SimTier &out);
+
 /** Options controlling one simulation. */
 struct SimOptions
 {
@@ -58,6 +86,8 @@ struct SimOptions
     bool trace = false;
     /** Record per-instruction stall attribution (see sim/profile.h). */
     bool profile = false;
+    /** Execution tier; results are bit-identical either way. */
+    SimTier tier = SimTier::Fast;
 };
 
 /**
@@ -109,6 +139,11 @@ class Simulator
 
   private:
     struct Impl;
+
+    RunStats runReference();
+    RunStats runFast();
+    /** Predecode the program for the fast tier (simulator_fast.cc). */
+    void buildFastProgram(bool want_text);
 
     // Owned copy: callers may pass a temporary configuration.
     machine::MachineConfig config_;

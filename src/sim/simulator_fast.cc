@@ -1,0 +1,838 @@
+/**
+ * @file
+ * The fast tier: chime-batched execution of the C-240 simulator
+ * (docs/SIMULATOR.md).
+ *
+ * The reference tier (simulator.cc) interprets one element at a time:
+ * every dynamic instruction re-resolves its timing parameters from the
+ * config map, materializes operand lists on the heap, and walks vector
+ * elements through out-of-line per-word memory accessors and a nested
+ * opcode switch. This tier executes the same model chime-at-a-time:
+ *
+ *  - the program is predecoded ONCE, at Simulator construction, into a
+ *    flat DecodedInstr table (timing parameters, pipe index, pair port
+ *    usage, resolved branch targets, static address parts, operand
+ *    ready-time pointers straight into Impl — no register-class
+ *    switches in the hot loop);
+ *  - the in-flight stream set lives in a fixed-capacity inline array
+ *    (the pruning invariant below bounds it), so the steady-state
+ *    dispatch loop performs zero heap allocations;
+ *  - memory streams are rated from a bank-busy schedule precomputed at
+ *    construction (bank_model.h strideRateTable) and fed through
+ *    MemoryPort::serviceStreamWithRate;
+ *  - functional execution of a chime is one batched kernel per opcode
+ *    over bulk MemoryImage word spans (one bounds check per stream).
+ *
+ * Bit-exactness contract: every floating-point timing expression below
+ * is transcribed verbatim from Simulator::runReference() and evaluated
+ * in the same order, so RunStats, Timeline, and StallProfile output is
+ * bit-identical (tests/sim_differential_test.cc holds both tiers to
+ * this). Change the reference and this file together.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "sim/bank_model.h"
+#include "sim/simulator.h"
+#include "sim/simulator_impl.h"
+#include "support/logging.h"
+
+namespace macs::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+using isa::RegClass;
+using machine::VectorTiming;
+
+namespace {
+
+/** Ready-time target for operands without one (invalid or vector
+ *  register slots): the reference's readyAt() returns 0.0 for these. */
+constexpr double kZeroReady = 0.0;
+
+/** Dense dispatch class replacing the interpreter's opcode switches. */
+enum class ExecKind : uint8_t
+{
+    VecLoad,
+    VecStore,
+    VecAdd,
+    VecSub,
+    VecMul,
+    VecDiv,
+    VecNeg,
+    VecSum,
+    ScalarLoad,
+    ScalarStore,
+    IntAlu,
+    FpAlu,
+    Mov,
+    Compare,
+    CondBranch,
+    Jump,
+    NoOp,
+};
+
+ExecKind
+kindOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::VLd:
+      case Opcode::VLdS:
+        return ExecKind::VecLoad;
+      case Opcode::VSt:
+      case Opcode::VStS:
+        return ExecKind::VecStore;
+      case Opcode::VAdd:
+        return ExecKind::VecAdd;
+      case Opcode::VSub:
+        return ExecKind::VecSub;
+      case Opcode::VMul:
+        return ExecKind::VecMul;
+      case Opcode::VDiv:
+        return ExecKind::VecDiv;
+      case Opcode::VNeg:
+        return ExecKind::VecNeg;
+      case Opcode::VSum:
+        return ExecKind::VecSum;
+      case Opcode::SLd:
+        return ExecKind::ScalarLoad;
+      case Opcode::SSt:
+        return ExecKind::ScalarStore;
+      case Opcode::SAdd:
+      case Opcode::SSub:
+      case Opcode::SMul:
+        return ExecKind::IntAlu;
+      case Opcode::SFAdd:
+      case Opcode::SFSub:
+      case Opcode::SFMul:
+      case Opcode::SFDiv:
+        return ExecKind::FpAlu;
+      case Opcode::SMov:
+        return ExecKind::Mov;
+      case Opcode::SLt:
+      case Opcode::SLe:
+        return ExecKind::Compare;
+      case Opcode::BrT:
+      case Opcode::BrF:
+        return ExecKind::CondBranch;
+      case Opcode::Jmp:
+        return ExecKind::Jump;
+      case Opcode::Nop:
+        return ExecKind::NoOp;
+    }
+    panic("kindOf on unknown opcode");
+}
+
+} // namespace
+
+/**
+ * One predecoded static instruction. Everything a dynamic execution
+ * needs that does not depend on register values is resolved here, once
+ * per program instead of once per dynamic instruction: the timing
+ * parameters (a std::map lookup in the reference), the vector operand
+ * lists (heap-allocated std::vector<Reg> per dynamic instruction in
+ * the reference), pair port usage, branch targets (a string map
+ * lookup per taken branch), the data-symbol part of effective
+ * addresses (a string map lookup per memory access), and operand
+ * ready-time locations (a register-class switch per query in the
+ * reference) resolved to pointers into the owning Simulator's Impl.
+ */
+struct DecodedInstr
+{
+    ExecKind kind = ExecKind::NoOp;
+    Opcode op = Opcode::Nop;
+    bool isVector = false;
+    bool isVecMem = false;
+    bool isVecFloat = false;
+    bool hasImm = false;
+    /** 0 = unit stride, 1 = stride in src1 (VLdS), 2 = src2 (VStS). */
+    uint8_t strideSrc = 0;
+    uint8_t pipe = 0;
+    int64_t imm = 0;
+
+    // Operand register copies; rawOf()/setIntReg() on these replicate
+    // the interpreter's value accesses exactly.
+    Reg dst, src1, src2;
+
+    // Ready-time slots of {src1, src2, mem.base, dst} inside Impl
+    // (kZeroReady when the operand has none).
+    const double *ready1 = &kZeroReady;
+    const double *ready2 = &kZeroReady;
+    const double *readyMem = &kZeroReady;
+    const double *readyDst = &kZeroReady;
+
+    VectorTiming tim;
+    /** Vector registers among {src1, src2}, in that order. */
+    int vreads[2] = {-1, -1};
+    int numVreads = 0;
+    /** dst when it is a vector register, else -1. */
+    int vwrite = -1;
+    std::array<int, isa::kNumVectorPairs> pairReads{};
+    std::array<int, isa::kNumVectorPairs> pairWrites{};
+
+    /** mem.offset + symbolBase(mem.symbol); add the base register. */
+    int64_t memStatic = 0;
+    int memBaseIdx = -1;
+
+    /** Resolved branch target instruction index. */
+    size_t target = 0;
+
+    /** Disassembly, materialized only when tracing or profiling. */
+    std::string text;
+};
+
+struct FastProgram
+{
+    std::vector<DecodedInstr> instrs;
+    /** Bank-busy schedule: stream rate per |stride| % banks residue. */
+    std::vector<double> strideRates;
+    double unitRate = 1.0;
+    uint64_t banks = 1;
+};
+
+/**
+ * Predecode a validated program. Program::validate() has already
+ * checked every branch target and data symbol (including ones on
+ * never-executed paths), so eager resolution here cannot introduce a
+ * failure the reference tier would not also hit at the same fatal().
+ */
+void
+Simulator::buildFastProgram(bool want_text)
+{
+    Impl &st = *impl_;
+    const isa::Program &program = program_;
+    const machine::MachineConfig &config = config_;
+    const MemoryImage &memory = memory_;
+    auto fp = std::make_shared<FastProgram>();
+    fp->strideRates = strideRateTable(config.memory);
+    fp->banks = static_cast<uint64_t>(config.memory.banks);
+    fp->unitRate = fp->strideRates[1 % fp->banks];
+
+    auto readyPtr = [&st](const Reg &r) -> const double * {
+        switch (r.cls) {
+          case RegClass::Scalar:
+            return &st.sReady[r.index];
+          case RegClass::Address:
+            return &st.aReady[r.index];
+          case RegClass::Vl:
+            return &st.vlReadyAt;
+          default:
+            return &kZeroReady;
+        }
+    };
+
+    const auto &instrs = program.instrs();
+    fp->instrs.resize(instrs.size());
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        const Instruction &in = instrs[i];
+        DecodedInstr &d = fp->instrs[i];
+        d.kind = kindOf(in.op);
+        d.op = in.op;
+        d.isVector = in.isVector();
+        d.isVecMem = in.isVectorMemory();
+        d.isVecFloat = in.isVectorFloat();
+        d.hasImm = in.hasImm;
+        d.imm = in.imm;
+        d.dst = in.dst;
+        d.src1 = in.src1;
+        d.src2 = in.src2;
+        d.ready1 = readyPtr(in.src1);
+        d.ready2 = readyPtr(in.src2);
+        d.readyMem = readyPtr(in.mem.base);
+        d.readyDst = readyPtr(in.dst);
+        if (want_text)
+            d.text = in.toString();
+
+        if (in.op == Opcode::VLdS)
+            d.strideSrc = 1;
+        else if (in.op == Opcode::VStS)
+            d.strideSrc = 2;
+
+        if (d.isVecMem || in.isScalarMemory()) {
+            d.memStatic = in.mem.offset;
+            if (!in.mem.symbol.empty())
+                d.memStatic += static_cast<int64_t>(
+                    memory.symbolBase(in.mem.symbol));
+            d.memBaseIdx = in.mem.base.valid() ? in.mem.base.index : -1;
+        }
+        if (in.isBranch())
+            d.target = program.labelIndex(in.target);
+
+        if (d.isVector) {
+            d.tim = config.timing(in.op);
+            d.pipe = static_cast<uint8_t>(
+                pipeIndex(in.pipe(), config.chaining));
+            for (const Reg &r : in.vectorReads()) {
+                d.vreads[d.numVreads++] = r.index;
+                ++d.pairReads[r.pair()];
+            }
+            for (const Reg &r : in.vectorWrites()) {
+                d.vwrite = r.index;
+                ++d.pairWrites[r.pair()];
+            }
+        }
+    }
+    st.fastProg = std::move(fp);
+}
+
+RunStats
+Simulator::runFast()
+{
+    Impl &st = *impl_;
+    MACS_ASSERT(st.fastProg != nullptr,
+                "fast tier run without a predecoded program");
+    const FastProgram &fp = *st.fastProg;
+    const std::vector<DecodedInstr> &prog = fp.instrs;
+    MemoryPort port(config_.memory, options_.memoryContentionFactor);
+    RunStats stats;
+
+    // Hoisted configuration: no map or indirection in the hot loop.
+    const machine::ChainingConfig chain = config_.chaining;
+    const machine::ScalarTiming sc = config_.scalar;
+    const machine::ScalarCacheConfig cache_cfg = config_.scalarCache;
+
+    const double unit_rate = fp.unitRate;
+    const uint64_t banks = fp.banks;
+    auto strideRateOf = [&](int64_t stride_words) {
+        return fp.strideRates[static_cast<uint64_t>(
+                                  std::llabs(stride_words)) %
+                              banks];
+    };
+
+    // In-flight vector stream set, inline and fixed-capacity.
+    //
+    // Pruning invariant: entries are pruned at base_enter =
+    // issue_start + X of the instruction being dispatched. base_enter
+    // equals issueFree and is monotone nondecreasing, and every pair
+    // port query runs at times >= the current base_enter, so a pruned
+    // entry (streamEnd <= base_enter) can never affect a later tally —
+    // the tally loop skips entries with streamEnd <= enter anyway.
+    // This matches the reference tier's results exactly (its more
+    // conservative prune keeps different entries, but every entry kept
+    // by one tier and not the other is provably dead at all future
+    // query times; see docs/SIMULATOR.md).
+    //
+    // Capacity: after pipe p's k+2'nd instruction reaches dispatch,
+    // its base_enter >= pipes[p].issueGate = enter of instruction k+1
+    // >= streamEnd of instruction k (tailgate), so at most the last
+    // two streams per pipe survive a prune: <= 6 live entries across
+    // the three pipes plus the one being dispatched. 16 is headroom.
+    constexpr int kMaxActive = 16;
+    std::array<Impl::ActiveVector, kMaxActive> active;
+    int num_active = 0;
+
+    // --- helpers (identical expressions to the reference tier) ----------
+
+    auto rawOf = [&](const Reg &r) -> uint64_t {
+        switch (r.cls) {
+          case RegClass::Scalar:
+            return st.sRaw[r.index];
+          case RegClass::Address:
+            return static_cast<uint64_t>(st.aVal[r.index]);
+          case RegClass::Vl:
+            return static_cast<uint64_t>(st.vl);
+          default:
+            panic("rawOf on invalid register");
+        }
+    };
+
+    auto intOf = [&](const Reg &r) {
+        return static_cast<int64_t>(rawOf(r));
+    };
+
+    auto setIntReg = [&](const Reg &r, int64_t v, double ready) {
+        switch (r.cls) {
+          case RegClass::Scalar:
+            st.sRaw[r.index] = static_cast<uint64_t>(v);
+            st.sReady[r.index] = ready;
+            break;
+          case RegClass::Address:
+            st.aVal[r.index] = v;
+            st.aReady[r.index] = ready;
+            break;
+          case RegClass::Vl:
+            st.vl = static_cast<int>(std::clamp<int64_t>(
+                v, 1, config_.maxVectorLength));
+            st.vlReadyAt = ready;
+            break;
+          default:
+            panic("setIntReg on invalid register");
+        }
+        st.bump(ready);
+    };
+
+    auto effAddr = [&](const DecodedInstr &d) -> uint64_t {
+        int64_t addr = d.memStatic;
+        if (d.memBaseIdx >= 0)
+            addr += st.aVal[d.memBaseIdx];
+        MACS_ASSERT(addr >= 0, "negative effective address");
+        return static_cast<uint64_t>(addr);
+    };
+
+    auto pairPortEarliest = [&](double from,
+                                const std::array<int, 4> &my_reads,
+                                const std::array<int, 4> &my_writes) {
+        if (!chain.enforcePairLimits)
+            return from;
+        // One instruction alone (<= 2 reads, 1 write, ISA-checked)
+        // cannot exceed the pair limits, so an empty active set never
+        // conflicts — the dominant case once streams drain.
+        if (num_active == 0)
+            return from;
+        double enter = from;
+        for (int guard = 0; guard < 256; ++guard) {
+            std::array<int, 4> reads = my_reads;
+            std::array<int, 4> writes = my_writes;
+            bool conflict = false;
+            double next_free = std::numeric_limits<double>::infinity();
+            for (int k = 0; k < num_active; ++k) {
+                const Impl::ActiveVector &a = active[k];
+                if (a.streamEnd <= enter)
+                    continue;
+                for (int p = 0; p < 4; ++p) {
+                    reads[p] += a.pairReads[p];
+                    writes[p] += a.pairWrites[p];
+                }
+            }
+            for (int p = 0; p < 4; ++p) {
+                bool uses = my_reads[p] || my_writes[p];
+                if (!uses)
+                    continue;
+                if (reads[p] > chain.maxReadsPerPair ||
+                    writes[p] > chain.maxWritesPerPair) {
+                    conflict = true;
+                    for (int k = 0; k < num_active; ++k) {
+                        const Impl::ActiveVector &a = active[k];
+                        if (a.streamEnd > enter &&
+                            (a.pairReads[p] || a.pairWrites[p]))
+                            next_free = std::min(next_free, a.streamEnd);
+                    }
+                }
+            }
+            if (!conflict)
+                return enter;
+            MACS_ASSERT(std::isfinite(next_free),
+                        "pair port conflict with no active stream");
+            enter = next_free;
+        }
+        panic("pair port arbitration did not converge");
+    };
+
+    // Unordered compaction: pairPortEarliest only sums counts and
+    // takes a min over the set, so removal order is irrelevant.
+    auto pruneActive = [&](double now) {
+        for (int i = 0; i < num_active;) {
+            if (active[i].streamEnd <= now)
+                active[i] = active[--num_active];
+            else
+                ++i;
+        }
+    };
+
+    // Batched elementwise kernel: the broadcast operand (if any) is
+    // read once outside the loop; per-element values and evaluation
+    // order are exactly the reference interpreter's.
+    auto runBinary = [&](const DecodedInstr &d, int n, auto op) {
+        double *__restrict out = st.vdata[d.dst.index].data();
+        const bool v1 = d.src1.isVector();
+        const bool v2 = d.src2.isVector();
+        if (v1 && v2) {
+            const double *a = st.vdata[d.src1.index].data();
+            const double *b = st.vdata[d.src2.index].data();
+            for (int i = 0; i < n; ++i)
+                out[i] = op(a[i], b[i]);
+        } else if (v1) {
+            const double *a = st.vdata[d.src1.index].data();
+            const double b = std::bit_cast<double>(rawOf(d.src2));
+            for (int i = 0; i < n; ++i)
+                out[i] = op(a[i], b);
+        } else if (v2) {
+            const double a = std::bit_cast<double>(rawOf(d.src1));
+            const double *b = st.vdata[d.src2.index].data();
+            for (int i = 0; i < n; ++i)
+                out[i] = op(a, b[i]);
+        } else {
+            // validate() requires a vector source; unreachable, but
+            // mirror the interpreter for safety.
+            const double r = op(std::bit_cast<double>(rawOf(d.src1)),
+                                std::bit_cast<double>(rawOf(d.src2)));
+            for (int i = 0; i < n; ++i)
+                out[i] = r;
+        }
+    };
+
+    // --- main loop ------------------------------------------------------
+
+    size_t pc = 0;
+    while (pc < prog.size()) {
+        if (stats.instructions >= options_.maxInstructions)
+            fatal("instruction budget exceeded (", options_.maxInstructions,
+                  "); infinite loop?");
+        ++stats.instructions;
+
+        const DecodedInstr &d = prog[pc];
+
+        if (d.isVector) {
+            ++stats.vectorInstructions;
+            const VectorTiming &tim = d.tim;
+            const int p = d.pipe;
+            const int n = st.vl;
+
+            double issue_start = std::max(
+                {st.issueFree, st.pipes[p].issueGate, *d.ready1,
+                 *d.ready2, *d.readyMem, st.vlReadyAt});
+            if (d.kind == ExecKind::VecSum)
+                issue_start = std::max(issue_start, *d.readyDst);
+            st.issueFree = issue_start + tim.x;
+
+            const double base_enter = issue_start + tim.x;
+            double enter = base_enter;
+            double rate = tim.z;
+            double producer_complete = 0.0;
+            StallCause stall_cause = StallCause::None;
+            auto raise = [&](double t, StallCause cause) {
+                if (t > enter) {
+                    enter = t;
+                    stall_cause = cause;
+                }
+            };
+
+            // Chaining / interlocks on vector sources.
+            for (int k = 0; k < d.numVreads; ++k) {
+                auto &vt = st.vtime[d.vreads[k]];
+                if (vt.complete > enter) {
+                    if (chain.chainingEnabled) {
+                        raise(vt.firstResult, StallCause::Chain);
+                        rate = std::max(rate, vt.rate);
+                        producer_complete =
+                            std::max(producer_complete, vt.complete);
+                    } else {
+                        raise(vt.complete, StallCause::Chain);
+                    }
+                }
+            }
+            // WAW/WAR interlocks on the vector destination.
+            if (d.vwrite >= 0) {
+                auto &vt = st.vtime[d.vwrite];
+                if (vt.complete > enter) {
+                    if (rate >= vt.rate)
+                        raise(vt.enter + 1.0, StallCause::Interlock);
+                    else
+                        raise(vt.streamEnd, StallCause::Interlock);
+                }
+                if (vt.hasActiveReaders(enter)) {
+                    if (rate >= vt.minReadRate)
+                        raise(vt.lastReadEnter + 1.0,
+                              StallCause::Interlock);
+                    else
+                        raise(vt.lastReadStreamEnd,
+                              StallCause::Interlock);
+                }
+            }
+
+            raise(st.pipes[p].lastStreamEnd +
+                      st.pipes[p].pendingBubble + tim.bubble,
+                  StallCause::Tailgate);
+
+            pruneActive(base_enter);
+            raise(pairPortEarliest(enter, d.pairReads, d.pairWrites),
+                  StallCause::PairPort);
+
+            double stream_end;
+            int64_t stride_words = 1;
+            if (d.isVecMem) {
+                if (d.strideSrc == 1)
+                    stride_words = intOf(d.src1);
+                else if (d.strideSrc == 2)
+                    stride_words = intOf(d.src2);
+                const double srate = strideRateOf(stride_words);
+                StreamTiming mt =
+                    port.serviceStreamWithRate(enter, n, srate, rate);
+                raise(mt.enter, StallCause::MemoryPort);
+                rate = mt.rate;
+                stream_end = mt.streamEnd;
+                stats.refreshStallCycles += mt.refreshStall;
+                stats.bankConflictCycles += (srate - unit_rate) * n;
+                stats.memoryElements += static_cast<uint64_t>(n);
+            } else {
+                stream_end = enter + rate * n;
+            }
+
+            double first_result = enter + tim.y;
+            double complete = stream_end + tim.y;
+            if (producer_complete > 0.0)
+                complete = std::max(complete, producer_complete + tim.y);
+
+            for (int k = 0; k < d.numVreads; ++k) {
+                auto &vt = st.vtime[d.vreads[k]];
+                vt.lastReadEnter = std::max(vt.lastReadEnter, enter);
+                vt.lastReadStreamEnd =
+                    std::max(vt.lastReadStreamEnd, stream_end);
+                vt.minReadRate = std::min(vt.minReadRate, rate);
+            }
+            if (d.vwrite >= 0) {
+                auto &vt = st.vtime[d.vwrite];
+                vt.enter = enter;
+                vt.firstResult = first_result;
+                vt.streamEnd = stream_end;
+                vt.complete = std::max(complete, vt.complete + 1.0);
+                vt.rate = rate;
+                vt.lastReadEnter = 0.0;
+                vt.lastReadStreamEnd = 0.0;
+                vt.minReadRate = 1e18;
+            }
+            if (d.kind == ExecKind::VecSum)
+                st.sReady[d.dst.index] = complete;
+
+            st.pipes[p].lastStreamEnd = stream_end;
+            st.pipes[p].issueGate = enter;
+            st.pipes[p].pendingBubble = 0.0;
+            for (int q = 0; q < 3; ++q)
+                if (q != p)
+                    st.pipes[q].pendingBubble += tim.bubble;
+            MACS_ASSERT(num_active < kMaxActive,
+                        "active stream set overflow");
+            active[num_active++] = {enter, stream_end, d.pairReads,
+                                    d.pairWrites};
+            st.bump(complete);
+
+            double busy = rate * n;
+            if (p == 0)
+                stats.loadStorePipeBusy += busy;
+            else if (p == 1)
+                stats.addPipeBusy += busy;
+            else
+                stats.multiplyPipeBusy += busy;
+            stats.vectorElements += static_cast<uint64_t>(n);
+            if (d.isVecFloat)
+                stats.flops += static_cast<uint64_t>(n);
+
+            // ---- functional execution (batched kernels) ----
+            switch (d.kind) {
+              case ExecKind::VecLoad: {
+                uint64_t addr = effAddr(d);
+                const uint64_t *src =
+                    memory_.streamWords(addr, n, stride_words);
+                double *dstv = st.vdata[d.dst.index].data();
+                if (stride_words == 1)
+                    std::memcpy(dstv, src,
+                                static_cast<size_t>(n) * 8);
+                else
+                    for (int i = 0; i < n; ++i)
+                        dstv[i] = std::bit_cast<double>(
+                            src[static_cast<int64_t>(i) * stride_words]);
+                break;
+              }
+              case ExecKind::VecStore: {
+                uint64_t addr = effAddr(d);
+                uint64_t *dstm =
+                    memory_.streamWordsMut(addr, n, stride_words);
+                const double *srcv = st.vdata[d.src1.index].data();
+                if (stride_words == 1)
+                    std::memcpy(dstm, srcv,
+                                static_cast<size_t>(n) * 8);
+                else
+                    for (int i = 0; i < n; ++i)
+                        dstm[static_cast<int64_t>(i) * stride_words] =
+                            std::bit_cast<uint64_t>(srcv[i]);
+                // One cache-range invalidation per stream.
+                int64_t span = static_cast<int64_t>(n - 1) * stride_words;
+                uint64_t lo = addr, hi = addr + 8;
+                if (span >= 0)
+                    hi = addr + static_cast<uint64_t>(span) * 8 + 8;
+                else
+                    lo = addr + static_cast<uint64_t>(span) * 8;
+                st.invalidateCacheRange(cache_cfg, lo, hi);
+                break;
+              }
+              case ExecKind::VecAdd:
+                runBinary(d, n, [](double a, double b) { return a + b; });
+                break;
+              case ExecKind::VecSub:
+                runBinary(d, n, [](double a, double b) { return a - b; });
+                break;
+              case ExecKind::VecMul:
+                runBinary(d, n, [](double a, double b) { return a * b; });
+                break;
+              case ExecKind::VecDiv:
+                runBinary(d, n, [](double a, double b) { return a / b; });
+                break;
+              case ExecKind::VecNeg: {
+                double *__restrict out = st.vdata[d.dst.index].data();
+                const double *a = st.vdata[d.src1.index].data();
+                for (int i = 0; i < n; ++i)
+                    out[i] = -a[i];
+                break;
+              }
+              case ExecKind::VecSum: {
+                // Sequential: FP addition order is part of the
+                // bit-exactness contract.
+                const double *a = st.vdata[d.src1.index].data();
+                double sum = 0.0;
+                for (int i = 0; i < n; ++i)
+                    sum += a[i];
+                double old =
+                    std::bit_cast<double>(st.sRaw[d.dst.index]);
+                st.sRaw[d.dst.index] =
+                    std::bit_cast<uint64_t>(old + sum);
+                break;
+              }
+              default:
+                panic("unhandled vector opcode");
+            }
+
+            if (options_.trace) {
+                timeline_.record({pc, d.text, issue_start, enter,
+                                  first_result, stream_end, complete, p,
+                                  busy, enter - base_enter, stall_cause});
+            }
+            if (options_.profile) {
+                profile_.record(pc, d.text, enter - base_enter,
+                                stall_cause);
+            }
+            ++pc;
+            continue;
+        }
+
+        // ---- scalar / control ----
+        ++stats.scalarInstructions;
+        double issue_start =
+            std::max({st.issueFree, *d.ready1, *d.ready2, *d.readyMem});
+        double issue_done = issue_start + sc.issueCycles;
+        st.issueFree = issue_done;
+        st.bump(issue_done);
+
+        switch (d.kind) {
+          case ExecKind::ScalarLoad: {
+            ++stats.scalarMemAccesses;
+            ScalarAccessTiming at = port.serviceScalar(issue_done);
+            uint64_t addr = effAddr(d);
+            bool hit = st.cacheAccess(cache_cfg, addr);
+            if (hit)
+                ++stats.scalarCacheHits;
+            else
+                ++stats.scalarCacheMisses;
+            double ready =
+                at.start + (hit ? sc.loadLatency : sc.loadMissLatency);
+            setIntReg(d.dst,
+                      static_cast<int64_t>(memory_.readWord(addr)),
+                      ready);
+            ++pc;
+            break;
+          }
+          case ExecKind::ScalarStore: {
+            ++stats.scalarMemAccesses;
+            issue_start = std::max(issue_start, *d.ready1);
+            ScalarAccessTiming at = port.serviceScalar(issue_done);
+            uint64_t addr = effAddr(d);
+            memory_.writeWord(addr, rawOf(d.src1));
+            st.invalidateCacheRange(cache_cfg, addr, addr + 8);
+            st.bump(at.done);
+            ++pc;
+            break;
+          }
+          case ExecKind::IntAlu: {
+            int64_t a, b;
+            if (!d.src2.valid()) {
+                a = intOf(d.dst);
+                b = d.hasImm ? d.imm : intOf(d.src1);
+            } else {
+                a = d.hasImm ? d.imm : intOf(d.src1);
+                b = intOf(d.src2);
+            }
+            int64_t r = 0;
+            switch (d.op) {
+              case Opcode::SAdd:
+                r = a + b;
+                break;
+              case Opcode::SSub:
+                r = a - b;
+                break;
+              default:
+                r = a * b;
+                break;
+            }
+            setIntReg(d.dst, r, issue_start + sc.aluLatency);
+            ++pc;
+            break;
+          }
+          case ExecKind::FpAlu: {
+            double a = std::bit_cast<double>(rawOf(d.src1));
+            double b = std::bit_cast<double>(rawOf(d.src2));
+            double r = 0.0;
+            switch (d.op) {
+              case Opcode::SFAdd:
+                r = a + b;
+                break;
+              case Opcode::SFSub:
+                r = a - b;
+                break;
+              case Opcode::SFMul:
+                r = a * b;
+                break;
+              default:
+                r = a / b;
+                break;
+            }
+            int latency = d.op == Opcode::SFDiv ? sc.fpDivLatency
+                                                : sc.fpLatency;
+            setIntReg(d.dst,
+                      static_cast<int64_t>(std::bit_cast<uint64_t>(r)),
+                      issue_start + latency);
+            ++pc;
+            break;
+          }
+          case ExecKind::Mov: {
+            int64_t v = d.hasImm ? d.imm : intOf(d.src1);
+            setIntReg(d.dst, v, issue_start + sc.aluLatency);
+            ++pc;
+            break;
+          }
+          case ExecKind::Compare: {
+            int64_t a = d.hasImm ? d.imm : intOf(d.src1);
+            int64_t b = intOf(d.src2);
+            st.flag = (d.op == Opcode::SLt) ? (a < b) : (a <= b);
+            st.flagReadyAt = issue_start + sc.aluLatency;
+            ++pc;
+            break;
+          }
+          case ExecKind::CondBranch: {
+            issue_start = std::max(issue_start, st.flagReadyAt);
+            bool taken = (d.op == Opcode::BrT) ? st.flag : !st.flag;
+            if (taken) {
+                ++stats.branchesTaken;
+                st.issueFree = issue_start + sc.branchResolveCycles;
+                pc = d.target;
+            } else {
+                st.issueFree = issue_start + sc.issueCycles;
+                ++pc;
+            }
+            st.bump(st.issueFree);
+            break;
+          }
+          case ExecKind::Jump: {
+            ++stats.branchesTaken;
+            st.issueFree = issue_start + sc.branchResolveCycles;
+            st.bump(st.issueFree);
+            pc = d.target;
+            break;
+          }
+          case ExecKind::NoOp:
+            ++pc;
+            break;
+          default:
+            panic("unhandled scalar opcode");
+        }
+    }
+
+    stats.cycles = std::max(st.maxTime, port.freeAt());
+    return stats;
+}
+
+} // namespace macs::sim

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Private simulation state shared by the two execution tiers
+ * (simulator.cc = reference interpreter, simulator_fast.cc = batched
+ * fast path; docs/SIMULATOR.md). Both tiers mutate exactly this state
+ * with exactly the same floating-point expressions in the same order —
+ * that is the bit-exactness contract the differential tests pin.
+ *
+ * Internal header: include only from src/sim/ translation units.
+ */
+
+#ifndef MACS_SIM_SIMULATOR_IMPL_H
+#define MACS_SIM_SIMULATOR_IMPL_H
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "support/logging.h"
+
+namespace macs::sim {
+
+/**
+ * Predecoded program for the fast tier (simulator_fast.cc): timing
+ * parameters, pipe and pair-port usage, resolved branch targets and
+ * symbol bases, operand ready-time pointers into Impl, and the
+ * bank-busy stride-rate schedule — everything resolvable without
+ * register values, computed once at Simulator construction.
+ */
+struct FastProgram;
+
+/**
+ * Index of a vector pipe for array storage. On a 2-pipe VP
+ * (fpAddMulShared) multiplies execute in the add pipe's slot, so the
+ * two FP units serialize against each other exactly like the chime
+ * partitioner models.
+ */
+inline int
+pipeIndex(isa::Pipe p, const machine::ChainingConfig &rules)
+{
+    switch (p) {
+      case isa::Pipe::LoadStore:
+        return 0;
+      case isa::Pipe::Add:
+        return 1;
+      case isa::Pipe::Multiply:
+        return rules.fpAddMulShared ? 1 : 2;
+      case isa::Pipe::None:
+        break;
+    }
+    panic("pipeIndex on non-vector pipe");
+}
+
+/** Private simulation state. */
+struct Simulator::Impl
+{
+    // ---- timing state -------------------------------------------------
+    struct VRegTiming
+    {
+        double enter = 0.0;       ///< producer's first element entry
+        double firstResult = 0.0;
+        double streamEnd = 0.0;
+        double complete = 0.0;
+        double rate = 1.0;
+        // WAR interlock state: a writer may overwrite element i once
+        // every reader has consumed it. With writer rate >= reader
+        // rate it suffices to start no earlier than the readers
+        // started (the write of element i lands Y cycles after the
+        // reader's pipe has already ingested it); a writer faster
+        // than a reader must wait for the reader's stream to end.
+        double lastReadEnter = 0.0;
+        double lastReadStreamEnd = 0.0;
+        double minReadRate = 1e18;
+        bool hasActiveReaders(double t) const
+        {
+            return lastReadStreamEnd > t;
+        }
+    };
+
+    struct PipeState
+    {
+        double lastStreamEnd = -1e18; ///< tailgate reference
+        double issueGate = 0.0; ///< enter time of last dispatched instr
+        /**
+         * Bubbles of vector instructions dispatched on *other* pipes
+         * since this pipe's last instruction. They accumulate on the
+         * shared dispatch path, so a pipe's next stream starts
+         * lastStreamEnd + pendingBubble + B_self later — in steady
+         * state exactly the paper's chime cost Z*VL + sum of member
+         * bubbles (equation 13).
+         */
+        double pendingBubble = 0.0;
+    };
+
+    struct ActiveVector
+    {
+        double enter = 0.0;
+        double streamEnd = 0.0;
+        std::array<int, isa::kNumVectorPairs> pairReads{};
+        std::array<int, isa::kNumVectorPairs> pairWrites{};
+    };
+
+    double issueFree = 0.0;
+    double flagReadyAt = 0.0;
+    double vlReadyAt = 0.0;
+    std::array<PipeState, 3> pipes;
+    std::array<VRegTiming, isa::kNumVectorRegs> vtime;
+    std::array<double, isa::kNumScalarRegs> sReady{};
+    std::array<double, isa::kNumAddressRegs> aReady{};
+    double maxTime = 0.0;
+    std::vector<ActiveVector> active;
+
+    /** Fast-tier predecode, built once in the Simulator constructor
+     *  (null for the reference tier). Holds pointers into this Impl,
+     *  so it is owned per-simulator and never shared. */
+    std::shared_ptr<const FastProgram> fastProg;
+
+    // ---- functional state ---------------------------------------------
+    std::array<uint64_t, isa::kNumScalarRegs> sRaw{};
+    std::array<int64_t, isa::kNumAddressRegs> aVal{};
+    // Storage allows what-if machines with registers longer than the
+    // C-240's architectural 128 elements (strip-length sweeps).
+    static constexpr int kMaxSimVl = 1024;
+    std::array<std::array<double, kMaxSimVl>, isa::kNumVectorRegs>
+        vdata{};
+    int vl = isa::kMaxVectorLength;
+    bool flag = false;
+
+    // ---- ASU scalar data cache (direct mapped, timing only) -----------
+    std::vector<int64_t> cacheTags; ///< -1 = invalid; else line tag
+
+    void
+    initCache(const machine::ScalarCacheConfig &cfg)
+    {
+        cacheTags.assign(cfg.enabled ? cfg.lines : 0, -1);
+    }
+
+    /** True when the line holding byte address @p addr is cached;
+     *  allocates it either way (look-aside fill on miss). */
+    bool
+    cacheAccess(const machine::ScalarCacheConfig &cfg, uint64_t addr)
+    {
+        if (!cfg.enabled)
+            return false;
+        int64_t line = static_cast<int64_t>(addr) /
+                       (8 * cfg.lineWords);
+        size_t set = static_cast<size_t>(line % cfg.lines);
+        bool hit = cacheTags[set] == line;
+        cacheTags[set] = line;
+        return hit;
+    }
+
+    /** Invalidate every line intersecting [begin, end) bytes. */
+    void
+    invalidateCacheRange(const machine::ScalarCacheConfig &cfg,
+                         uint64_t begin, uint64_t end)
+    {
+        if (!cfg.enabled || begin >= end)
+            return;
+        int64_t line_bytes = 8 * cfg.lineWords;
+        int64_t first = static_cast<int64_t>(begin) / line_bytes;
+        int64_t last = static_cast<int64_t>(end - 1) / line_bytes;
+        if (last - first + 1 >= static_cast<int64_t>(cacheTags.size())) {
+            std::fill(cacheTags.begin(), cacheTags.end(), -1);
+            return;
+        }
+        for (int64_t line = first; line <= last; ++line) {
+            size_t set = static_cast<size_t>(line %
+                                             (int64_t)cacheTags.size());
+            if (cacheTags[set] == line)
+                cacheTags[set] = -1;
+        }
+    }
+
+    void
+    bump(double t)
+    {
+        maxTime = std::max(maxTime, t);
+    }
+};
+
+} // namespace macs::sim
+
+#endif // MACS_SIM_SIMULATOR_IMPL_H

@@ -113,6 +113,29 @@ INSTANTIATE_TEST_SUITE_P(
         return s;
     });
 
+TEST(BankModel, StrideRateTableMatchesClosedFormBitwise)
+{
+    // The fast simulator tier services every stream from this table
+    // instead of calling strideRate per stream — bit-identical rates
+    // are a precondition for tier-identical timing, so compare with
+    // EXPECT_EQ on doubles, not EXPECT_NEAR.
+    for (int banks : {1, 8, 16, 24, 32, 64}) {
+        for (int busy : {4, 8, 16}) {
+            machine::MemoryConfig cfg = memory(banks, busy);
+            MemoryPort port(cfg);
+            std::vector<double> table = strideRateTable(cfg);
+            ASSERT_EQ(table.size(), static_cast<size_t>(banks));
+            for (int64_t s = -2 * banks; s <= 2 * banks + 1; ++s) {
+                size_t residue = static_cast<size_t>(
+                    std::llabs(s) % banks);
+                EXPECT_EQ(table[residue], port.strideRate(s))
+                    << "banks=" << banks << " busy=" << busy
+                    << " stride=" << s;
+            }
+        }
+    }
+}
+
 TEST(BankModel, InterleavedStreamsShareThePort)
 {
     machine::MemoryConfig cfg = memory();

@@ -490,6 +490,40 @@ TEST(Batch, MultiJobRequestMatchesLocalExpansion)
     EXPECT_EQ(r.body, expected);
 }
 
+TEST(SimTier, ReferenceTierIsByteIdenticalAndBadTierIs400)
+{
+    // The tier is plumbed through analyze/batch/sweep for the
+    // differential oracle; either tier must render identical bytes.
+    TestServer ts;
+    const char *body = "{\"kind\": \"lfk\", \"id\": 3}";
+    HttpResponse fast =
+        ts->handle(makeRequest("POST", "/v1/analyze", body));
+    HttpResponse query = ts->handle(makeRequest(
+        "POST", "/v1/analyze?sim_tier=reference", body));
+    HttpResponse field = ts->handle(makeRequest(
+        "POST", "/v1/analyze",
+        "{\"kind\": \"lfk\", \"id\": 3, \"sim_tier\": "
+        "\"reference\"}"));
+    ASSERT_EQ(fast.status, 200) << fast.body;
+    EXPECT_EQ(query.body, fast.body);
+    EXPECT_EQ(field.body, fast.body);
+
+    const char *sweep_body = "{\"machines\": [{\"variant\": "
+                             "\"baseline\"}], \"ids\": [1]}";
+    HttpResponse sweep_fast =
+        ts->handle(makeRequest("POST", "/v1/sweep", sweep_body));
+    HttpResponse sweep_ref = ts->handle(makeRequest(
+        "POST", "/v1/sweep?sim_tier=reference", sweep_body));
+    ASSERT_EQ(sweep_fast.status, 200) << sweep_fast.body;
+    EXPECT_EQ(sweep_ref.body, sweep_fast.body);
+
+    HttpResponse bad = ts->handle(makeRequest(
+        "POST", "/v1/batch?sim_tier=warp", "{\"ids\": [1]}"));
+    EXPECT_EQ(bad.status, 400) << bad.body;
+    EXPECT_NE(bad.body.find("unknown sim_tier"), std::string::npos)
+        << bad.body;
+}
+
 // ---------------------------------------------------------------------
 // End-to-end over sockets.
 // ---------------------------------------------------------------------

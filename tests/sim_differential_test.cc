@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Two-tier simulator differential tests (docs/SIMULATOR.md): the fast
+ * chime-batched tier must be observationally indistinguishable from
+ * the reference interpreter. "Indistinguishable" is bitwise, not
+ * approximate — every RunStats field, every Timeline event, every
+ * StallProfile entry, the final memory image, and the rendered
+ * batch/sweep report bytes must match exactly for:
+ *
+ *  - every LFK kernel x every shipped machines/*.machine config
+ *    (plus the builtin C-240);
+ *  - every tests/corpus/*.loop regression seed, in both scalar and
+ *    vector compilation modes, on every machine config;
+ *  - batch and sweep reports at 1/4/16 workers.
+ *
+ * The tiers must also never alias one memo-cache entry (a hit across
+ * tiers would make differential runs vacuous), which is pinned on
+ * both the fingerprint and the engine-level cache keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/analysis.h"
+#include "compiler/codegen.h"
+#include "compiler/loop_parser.h"
+#include "lfk/kernels.h"
+#include "machine/machine_config.h"
+#include "machine/machine_file.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/report.h"
+#include "pipeline/sweep.h"
+#include "sim/simulator.h"
+#include "support/logging.h"
+
+#ifndef MACS_MACHINE_DIR
+#error "MACS_MACHINE_DIR must be defined by the build"
+#endif
+#ifndef MACS_CORPUS_DIR
+#error "MACS_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace macs {
+namespace {
+
+uint64_t
+bits(double d)
+{
+    return std::bit_cast<uint64_t>(d);
+}
+
+/** Builtin C-240 plus every shipped .machine file, name-tagged. */
+std::vector<std::pair<std::string, machine::MachineConfig>>
+allMachineConfigs()
+{
+    std::vector<std::pair<std::string, machine::MachineConfig>> out;
+    out.emplace_back("builtin-c240",
+                     machine::MachineConfig::convexC240());
+    Diagnostics diags;
+    for (const std::string &path :
+         machine::listMachineFiles(MACS_MACHINE_DIR, diags)) {
+        machine::MachineFile mf;
+        Diagnostics d;
+        if (!machine::loadMachineFile(path, mf, d))
+            ADD_FAILURE() << "cannot load " << path << "\n"
+                          << d.render();
+        else
+            out.emplace_back(mf.name, mf.config);
+    }
+    EXPECT_GE(out.size(), 2u)
+        << "no .machine files under " << MACS_MACHINE_DIR;
+    return out;
+}
+
+/** Everything observable from one simulation. */
+struct TierRun
+{
+    sim::RunStats stats;
+    std::vector<sim::TimelineEvent> events;
+    std::map<size_t, sim::InstrStalls> profile;
+    std::string checkMsg;
+};
+
+void
+expectBitIdentical(const TierRun &ref, const TierRun &fast)
+{
+    const sim::RunStats &a = ref.stats;
+    const sim::RunStats &b = fast.stats;
+    EXPECT_EQ(bits(a.cycles), bits(b.cycles));
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.vectorInstructions, b.vectorInstructions);
+    EXPECT_EQ(a.scalarInstructions, b.scalarInstructions);
+    EXPECT_EQ(a.branchesTaken, b.branchesTaken);
+    EXPECT_EQ(a.vectorElements, b.vectorElements);
+    EXPECT_EQ(a.flops, b.flops);
+    EXPECT_EQ(a.memoryElements, b.memoryElements);
+    EXPECT_EQ(a.scalarMemAccesses, b.scalarMemAccesses);
+    EXPECT_EQ(a.scalarCacheHits, b.scalarCacheHits);
+    EXPECT_EQ(a.scalarCacheMisses, b.scalarCacheMisses);
+    EXPECT_EQ(bits(a.refreshStallCycles), bits(b.refreshStallCycles));
+    EXPECT_EQ(bits(a.bankConflictCycles), bits(b.bankConflictCycles));
+    EXPECT_EQ(bits(a.loadStorePipeBusy), bits(b.loadStorePipeBusy));
+    EXPECT_EQ(bits(a.addPipeBusy), bits(b.addPipeBusy));
+    EXPECT_EQ(bits(a.multiplyPipeBusy), bits(b.multiplyPipeBusy));
+
+    ASSERT_EQ(ref.events.size(), fast.events.size());
+    for (size_t i = 0; i < ref.events.size(); ++i) {
+        const sim::TimelineEvent &e = ref.events[i];
+        const sim::TimelineEvent &f = fast.events[i];
+        SCOPED_TRACE("timeline event " + std::to_string(i) + ": " +
+                     e.text);
+        EXPECT_EQ(e.pc, f.pc);
+        EXPECT_EQ(e.text, f.text);
+        EXPECT_EQ(bits(e.issue), bits(f.issue));
+        EXPECT_EQ(bits(e.enter), bits(f.enter));
+        EXPECT_EQ(bits(e.firstResult), bits(f.firstResult));
+        EXPECT_EQ(bits(e.streamEnd), bits(f.streamEnd));
+        EXPECT_EQ(bits(e.complete), bits(f.complete));
+        EXPECT_EQ(e.pipe, f.pipe);
+        EXPECT_EQ(bits(e.busy), bits(f.busy));
+        EXPECT_EQ(bits(e.stall), bits(f.stall));
+        EXPECT_EQ(e.cause, f.cause);
+    }
+
+    ASSERT_EQ(ref.profile.size(), fast.profile.size());
+    auto fit = fast.profile.begin();
+    for (const auto &[pc, is] : ref.profile) {
+        SCOPED_TRACE("profile pc " + std::to_string(pc) + ": " +
+                     is.text);
+        ASSERT_EQ(pc, fit->first);
+        const sim::InstrStalls &js = fit->second;
+        EXPECT_EQ(is.text, js.text);
+        EXPECT_EQ(is.executions, js.executions);
+        EXPECT_EQ(bits(is.totalStall), bits(js.totalStall));
+        for (size_t c = 0; c < is.byCause.size(); ++c)
+            EXPECT_EQ(bits(is.byCause[c]), bits(js.byCause[c]));
+        ++fit;
+    }
+}
+
+// ------------------------------------------------- LFK x machines
+
+TierRun
+runLfk(const lfk::Kernel &k, const machine::MachineConfig &cfg,
+       sim::SimTier tier)
+{
+    sim::SimOptions opt;
+    opt.trace = true;
+    opt.profile = true;
+    opt.tier = tier;
+    sim::Simulator s(cfg, k.program, opt);
+    k.setup(s);
+    TierRun r;
+    r.stats = s.run();
+    r.events = s.timeline().events();
+    r.profile = s.profile().entries();
+    r.checkMsg = k.check(s);
+    return r;
+}
+
+TEST(SimDifferential, LfkKernelsBitIdenticalOnAllMachines)
+{
+    std::vector<int> ids = lfk::lfkIds();
+    for (int id : lfk::scalarLfkIds())
+        ids.push_back(id);
+
+    for (const auto &[name, cfg] : allMachineConfigs()) {
+        for (int id : ids) {
+            lfk::Kernel k = lfk::makeKernel(id);
+            SCOPED_TRACE("machine " + name + ", " + k.name);
+            TierRun ref = runLfk(k, cfg, sim::SimTier::Reference);
+            TierRun fast = runLfk(k, cfg, sim::SimTier::Fast);
+            expectBitIdentical(ref, fast);
+            // The functional check must pass outright on the
+            // canonical C-240. On what-if machines a wider VL can
+            // legitimately change reduction rounding past a kernel
+            // check's tolerance (identically in both tiers), so
+            // there the contract is tier-equality of the verdict.
+            EXPECT_EQ(ref.checkMsg, fast.checkMsg);
+            if (name == "builtin-c240" || name == "c240")
+                EXPECT_EQ(ref.checkMsg, "") << "machine " << name;
+        }
+    }
+}
+
+// --------------------------------------------- corpus x machines
+//
+// The checked-in regression loops (tests/corpus/*.loop — shrunk
+// counterexamples from the compiler fuzz harness) double as
+// differential seeds: compile each in scalar mode (always) and vector
+// mode (when the vectorizer accepts), run both tiers, and require the
+// stats, trace, profile, final memory image, and scalar cells to
+// match bitwise on every machine config.
+
+constexpr size_t kArrayWords = 512;
+const char *const kArrays[] = {"aa", "bb", "cc", "dd", "ee"};
+
+struct CorpusLoop
+{
+    std::string name;
+    long trip = 150;
+    compiler::Loop loop;
+};
+
+std::vector<CorpusLoop>
+corpusLoops()
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(MACS_CORPUS_DIR))
+        if (entry.path().extension() == ".loop")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    EXPECT_FALSE(files.empty())
+        << "no .loop files under " << MACS_CORPUS_DIR;
+
+    std::vector<CorpusLoop> out;
+    for (const fs::path &path : files) {
+        std::ifstream in(path);
+        if (!in) {
+            ADD_FAILURE() << "cannot read " << path.string();
+            continue;
+        }
+        CorpusLoop c;
+        c.name = path.filename().string();
+        std::string dsl, line;
+        while (std::getline(in, line)) {
+            std::string trimmed = line;
+            trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+            if (trimmed.rfind("#!", 0) == 0) {
+                std::istringstream meta(trimmed.substr(2));
+                std::string key;
+                meta >> key;
+                if (key == "trip")
+                    meta >> c.trip;
+                // seed metadata only affects fuzz-env generation;
+                // this harness uses a fixed deterministic fill.
+                continue;
+            }
+            if (trimmed.empty() || trimmed[0] == '#')
+                continue;
+            dsl += line;
+            dsl += '\n';
+        }
+        c.loop = compiler::parseLoop(dsl);
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+/** Deterministic non-trivial fill (no randomness needed here: the
+ *  tiers must agree on every input, so any fixed one serves). */
+double
+fillValue(size_t i, size_t array_index)
+{
+    return 0.5 + 0.001953125 * static_cast<double>(
+                     (7 * i + 13 * array_index) % 512);
+}
+
+TierRun
+runCorpus(const CorpusLoop &c, const machine::MachineConfig &cfg,
+          bool vectorize, sim::SimTier tier,
+          std::vector<std::vector<double>> &mem_out,
+          std::vector<uint64_t> &scalar_out)
+{
+    compiler::CompileOptions copt;
+    copt.tripCount = c.trip;
+    copt.vectorize = vectorize;
+    for (const char *name : kArrays)
+        copt.arrays.push_back({name, kArrayWords});
+    compiler::CompileResult res = compiler::compile(c.loop, copt);
+
+    sim::SimOptions opt;
+    opt.trace = true;
+    opt.profile = true;
+    opt.tier = tier;
+    sim::Simulator s(cfg, res.program, opt);
+    for (size_t a = 0; a < std::size(kArrays); ++a) {
+        std::vector<double> v(kArrayWords);
+        for (size_t i = 0; i < v.size(); ++i)
+            v[i] = fillValue(i, a);
+        s.memory().fillDoubles(kArrays[a], v);
+    }
+    for (const char *cell : {"scalar_p1", "scalar_p2", "scalar_p3",
+                             "scalar_acc"})
+        if (res.program.hasDataSymbol(cell))
+            s.memory().fillDoubles(
+                cell, {cell[7] == 'a' ? 0.0 : 1.25 + 0.125 * cell[8]});
+
+    TierRun r;
+    r.stats = s.run();
+    r.events = s.timeline().events();
+    r.profile = s.profile().entries();
+
+    mem_out.clear();
+    for (const char *name : kArrays) {
+        std::vector<double> v =
+            s.memory().readDoubles(name, kArrayWords);
+        mem_out.push_back(std::move(v));
+    }
+    scalar_out.clear();
+    for (const char *cell : {"scalar_p1", "scalar_p2", "scalar_p3",
+                             "scalar_acc"})
+        if (res.program.hasDataSymbol(cell))
+            scalar_out.push_back(std::bit_cast<uint64_t>(
+                s.memory().readDoubles(cell, 1)[0]));
+    return r;
+}
+
+TEST(SimDifferential, CorpusLoopsBitIdenticalOnAllMachines)
+{
+    auto machines = allMachineConfigs();
+    for (const CorpusLoop &c : corpusLoops()) {
+        compiler::SourceAnalysis sa = compiler::analyzeSource(c.loop);
+        for (const auto &[name, cfg] : machines) {
+            for (bool vectorize : {false, true}) {
+                if (vectorize && !sa.vectorizable)
+                    continue;
+                SCOPED_TRACE(c.name + " on " + name +
+                             (vectorize ? " (vector)" : " (scalar)"));
+                std::vector<std::vector<double>> mem_r, mem_f;
+                std::vector<uint64_t> sc_r, sc_f;
+                TierRun ref =
+                    runCorpus(c, cfg, vectorize,
+                              sim::SimTier::Reference, mem_r, sc_r);
+                TierRun fast = runCorpus(c, cfg, vectorize,
+                                         sim::SimTier::Fast, mem_f,
+                                         sc_f);
+                expectBitIdentical(ref, fast);
+                ASSERT_EQ(mem_r.size(), mem_f.size());
+                for (size_t a = 0; a < mem_r.size(); ++a)
+                    for (size_t i = 0; i < mem_r[a].size(); ++i)
+                        ASSERT_EQ(bits(mem_r[a][i]), bits(mem_f[a][i]))
+                            << kArrays[a] << "[" << i << "]";
+                ASSERT_EQ(sc_r, sc_f);
+            }
+        }
+    }
+}
+
+// ----------------------------------- report bytes across workers
+
+std::vector<pipeline::BatchJob>
+reportJobs(sim::SimTier tier)
+{
+    std::vector<pipeline::BatchJob> jobs;
+    for (int id : {1, 7, 12}) {
+        lfk::Kernel k = lfk::makeKernel(id);
+        pipeline::BatchJob job;
+        job.label = k.name;
+        job.kernel = lfk::toKernelCase(k);
+        job.config = machine::MachineConfig::convexC240();
+        job.options.tier = tier;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::string
+batchJson(sim::SimTier tier, size_t workers)
+{
+    pipeline::EngineOptions opt;
+    opt.workers = workers;
+    pipeline::BatchEngine engine(opt);
+    pipeline::BatchResult r = engine.run(reportJobs(tier));
+    EXPECT_EQ(r.stats.failures, 0u);
+    return pipeline::renderBatchJson(r, /*include_timing=*/false);
+}
+
+TEST(SimDifferential, BatchReportsByteIdenticalAcrossTiers)
+{
+    for (size_t workers : {1u, 4u, 16u}) {
+        SCOPED_TRACE("workers " + std::to_string(workers));
+        EXPECT_EQ(batchJson(sim::SimTier::Reference, workers),
+                  batchJson(sim::SimTier::Fast, workers));
+    }
+}
+
+std::string
+sweepJson(sim::SimTier tier, size_t workers)
+{
+    pipeline::SweepRequest request;
+    for (const auto &[name, cfg] : allMachineConfigs())
+        request.machines.push_back(
+            {name, "", "<differential>", cfg});
+    for (int id : {1, 7, 12})
+        request.kernels.push_back(
+            lfk::toKernelCase(lfk::makeKernel(id)));
+    request.options.tier = tier;
+
+    pipeline::EngineOptions opt;
+    opt.workers = workers;
+    pipeline::BatchEngine engine(opt);
+    pipeline::SweepResult r = pipeline::runSweep(request, engine);
+    EXPECT_EQ(r.stats.failures, 0u);
+    return pipeline::renderSweepJson(r, /*include_timing=*/false);
+}
+
+TEST(SimDifferential, SweepReportsByteIdenticalAcrossTiers)
+{
+    for (size_t workers : {1u, 4u, 16u}) {
+        SCOPED_TRACE("workers " + std::to_string(workers));
+        EXPECT_EQ(sweepJson(sim::SimTier::Reference, workers),
+                  sweepJson(sim::SimTier::Fast, workers));
+    }
+}
+
+// --------------------------------------- tier / cache interaction
+
+TEST(SimDifferential, TierNamesRoundTrip)
+{
+    EXPECT_STREQ(sim::simTierName(sim::SimTier::Fast), "fast");
+    EXPECT_STREQ(sim::simTierName(sim::SimTier::Reference),
+                 "reference");
+    sim::SimTier t = sim::SimTier::Fast;
+    EXPECT_TRUE(sim::parseSimTier("reference", t));
+    EXPECT_EQ(t, sim::SimTier::Reference);
+    EXPECT_TRUE(sim::parseSimTier("fast", t));
+    EXPECT_EQ(t, sim::SimTier::Fast);
+    EXPECT_FALSE(sim::parseSimTier("turbo", t));
+    EXPECT_EQ(t, sim::SimTier::Fast);
+}
+
+TEST(SimDifferential, TierIsPartOfTheOptionsFingerprint)
+{
+    sim::SimOptions fast, ref;
+    ref.tier = sim::SimTier::Reference;
+    EXPECT_NE(sim::fingerprint(fast), sim::fingerprint(ref));
+}
+
+TEST(SimDifferential, TiersNeverAliasACacheEntry)
+{
+    // Same kernel, same machine, same knobs — only the tier differs.
+    // The two jobs must land on different cache keys and the second
+    // must be a miss, even inside one engine run.
+    lfk::Kernel k = lfk::makeKernel(1);
+    std::vector<pipeline::BatchJob> jobs(2);
+    for (auto &job : jobs) {
+        job.kernel = lfk::toKernelCase(k);
+        job.config = machine::MachineConfig::convexC240();
+    }
+    jobs[0].options.tier = sim::SimTier::Reference;
+    jobs[1].options.tier = sim::SimTier::Fast;
+
+    pipeline::EngineOptions opt;
+    opt.workers = 1;
+    pipeline::BatchEngine engine(opt);
+    pipeline::BatchResult r = engine.run(jobs);
+    ASSERT_EQ(r.results.size(), 2u);
+    ASSERT_EQ(r.stats.failures, 0u);
+    EXPECT_NE(r.results[0].key, r.results[1].key);
+    EXPECT_FALSE(r.results[1].timing.cacheHit);
+
+    // An identical-tier rerun, by contrast, must hit.
+    pipeline::BatchResult again = engine.run({jobs[1]});
+    ASSERT_EQ(again.results.size(), 1u);
+    EXPECT_TRUE(again.results[0].timing.cacheHit);
+}
+
+} // namespace
+} // namespace macs

@@ -33,6 +33,8 @@
  *       --job-timeout M per-job wall-clock deadline in ms (0 = off)
  *       --retries N     retry budget for transient faults (default 2)
  *       --faults SPEC   fault plan (same grammar as MACS_FAULTS)
+ *       --sim-tier T    simulator tier: fast (default) or reference
+ *                       (bit-identical results; docs/SIMULATOR.md)
  *   macs sweep [ids|files] [opts]        kernel x machine sweep matrix
  *       --machines P    .machine file or directory of them
  *                       (repeatable; docs/MACHINES.md)
@@ -44,6 +46,7 @@
  *       --md PATH       write the markdown matrix ('-' for stdout)
  *       --timing        include scheduling-dependent stats
  *       --no-cache      disable memoization
+ *       --sim-tier T    simulator tier: fast (default) or reference
  *   macs serve [opts]                    HTTP analysis server
  *       --port N        listen port (0 = ephemeral; default 8080)
  *       --port-file F   write the bound port to F (for scripts)
@@ -465,6 +468,7 @@ cmdBatch(const std::vector<std::string> &args)
     long cache_cap = 0;
     double job_timeout_ms = 0.0;
     bool timing = false, use_cache = true, ids_given = false;
+    sim::SimTier sim_tier = sim::SimOptions{}.tier;
 
     // Collect EVERY argument error before giving up, compiler-style.
     Diagnostics diags("macs batch");
@@ -514,6 +518,11 @@ cmdBatch(const std::vector<std::string> &args)
             checkpoint_path = next("--checkpoint");
         } else if (a == "--faults") {
             fault_spec = next("--faults");
+        } else if (a == "--sim-tier") {
+            const std::string &name = next("--sim-tier");
+            if (!sim::parseSimTier(name, sim_tier))
+                diags.error("--sim-tier expects 'reference' or "
+                            "'fast'");
         } else if (a == "--json") {
             json_path = next("--json");
         } else if (a == "--md") {
@@ -607,6 +616,7 @@ cmdBatch(const std::vector<std::string> &args)
                     job.configName = variant;
                     job.kernel = lfk::toKernelCase(k);
                     job.config = cfg;
+                    job.options.tier = sim_tier;
                     job.vectorLength = vl;
                     jobs.push_back(std::move(job));
                 }
@@ -618,6 +628,7 @@ cmdBatch(const std::vector<std::string> &args)
                     job.configName = variant;
                     job.kernel = kc;
                     job.config = cfg;
+                    job.options.tier = sim_tier;
                     job.vectorLength = vl;
                     jobs.push_back(std::move(job));
                 }
@@ -710,6 +721,7 @@ cmdSweep(const std::vector<std::string> &args)
     std::string json_path, md_path;
     long workers = 0, trip = 512, vl = 0, cache_cap = 0;
     bool timing = false, use_cache = true, ids_given = false;
+    sim::SimTier sim_tier = sim::SimOptions{}.tier;
 
     // Collect EVERY argument error before giving up, compiler-style.
     Diagnostics diags("macs sweep");
@@ -742,6 +754,11 @@ cmdSweep(const std::vector<std::string> &args)
                 cache_cap < 0)
                 diags.error(
                     "--cache-cap expects a non-negative number");
+        } else if (a == "--sim-tier") {
+            const std::string &name = next("--sim-tier");
+            if (!sim::parseSimTier(name, sim_tier))
+                diags.error("--sim-tier expects 'reference' or "
+                            "'fast'");
         } else if (a == "--json") {
             json_path = next("--json");
         } else if (a == "--md") {
@@ -832,6 +849,7 @@ cmdSweep(const std::vector<std::string> &args)
         request.kernels.push_back(lfk::toKernelCase(lfk::makeKernel(id)));
     for (model::KernelCase &kc : file_kernels)
         request.kernels.push_back(std::move(kc));
+    request.options.tier = sim_tier;
     request.vectorLength = static_cast<int>(vl);
     if (!pipeline::validateSweep(request, diags) || diags.hasErrors())
         diags.throwIfErrors();
@@ -1153,14 +1171,14 @@ usage()
         "                          --timing, --no-cache, "
         "--checkpoint FILE, --job-timeout MS,\n"
         "                          --retries N, --cache-cap N, "
-        "--faults SPEC)\n"
+        "--faults SPEC, --sim-tier T)\n"
         "  sweep [ids|all|files.loop] [opts]\n"
         "                          kernel x machine sweep matrix "
         "(--machines FILE|DIR,\n"
         "                          --variant V, --workers N, --vl N, "
         "--trip N, --json PATH,\n"
         "                          --md PATH, --timing, --no-cache, "
-        "--cache-cap N)\n"
+        "--cache-cap N, --sim-tier T)\n"
         "  serve [opts]            HTTP analysis server "
         "(docs/SERVER.md; --host H, --port N,\n"
         "                          --port-file PATH, --workers N, "
