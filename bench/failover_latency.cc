@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Failover latency of a supervised `macs serve --processes N` fleet
+ * (docs/SERVER.md "Multi-process serving"), measured from outside the
+ * process boundary.
+ *
+ * Unlike the other benches this one does NOT host its own server: a
+ * supervisor fork()s single-threaded, and a bench that is already
+ * running client threads cannot safely become one. Instead it drives
+ * an EXTERNal fleet — typically booted by scripts/chaos.sh under a
+ * seeded proc-crash/proc-hang plan — and reports what a client
+ * actually experiences while the supervisor kill -9s and restarts
+ * workers underneath the load:
+ *
+ *  - every request must eventually land a 200 (bounded retries over
+ *    reconnecting keep-alive connections; the kernel re-hashes each
+ *    reconnect onto a surviving SO_REUSEPORT listener),
+ *  - every response body must be byte-identical to the first body
+ *    observed for the same LFK id (worker processes are replicas:
+ *    which incarnation answers must be unobservable),
+ *  - p50/p99/max request latency, where the max is the failover
+ *    cost: a request that rode a dying worker and was re-driven.
+ *
+ * Exit 0 iff all requests landed with identical bodies; nonzero
+ * otherwise — chaos.sh uses this as its 1k-connection load proof.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace macs;
+using Clock = std::chrono::steady_clock;
+
+/** The request mix: a small rotating LFK id set. */
+const int kIds[] = {1, 2, 3};
+constexpr size_t kIdCount = sizeof(kIds) / sizeof(kIds[0]);
+
+std::string
+bodyFor(int id)
+{
+    return "{\"kind\": \"lfk\", \"id\": " + std::to_string(id) + "}";
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    double rank = p * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    long port = 0, requests = 1000, clients = 16, timeout = 10000;
+    long attempts = 10;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&](long &out) {
+            if (i + 1 >= argc || !parseInt(argv[++i], out)) {
+                std::fprintf(stderr, "%s expects a number\n",
+                             a.c_str());
+                std::exit(1);
+            }
+        };
+        if (a == "--port") {
+            next(port);
+        } else if (a == "--host" && i + 1 < argc) {
+            host = argv[++i];
+        } else if (a == "--requests") {
+            next(requests);
+        } else if (a == "--clients") {
+            next(clients);
+        } else if (a == "--timeout") {
+            next(timeout);
+        } else if (a == "--retry") {
+            next(attempts);
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: failover_latency --port N [--host H] "
+                "[--requests N] [--clients N] [--retry N] "
+                "[--timeout MS]\n");
+            return 1;
+        }
+    }
+    if (port <= 0 || requests < 1 || clients < 1 ||
+        clients > requests) {
+        std::fprintf(stderr,
+                     "failover_latency: --port is required and "
+                     "1 <= --clients <= --requests\n");
+        return 1;
+    }
+
+    // Golden bodies: one fault-free-ish fetch per id up front. Even
+    // if a kill lands during this warm-up the retry makes the fetch
+    // itself deterministic — every worker renders identical bytes.
+    std::string golden[kIdCount];
+    {
+        server::HttpClient client(host, static_cast<int>(port),
+                                  static_cast<int>(timeout));
+        for (size_t i = 0; i < kIdCount; ++i) {
+            server::ClientResponse resp;
+            if (!client.requestWithRetry(
+                    "POST", "/v1/analyze", bodyFor(kIds[i]), resp,
+                    static_cast<int>(attempts)) ||
+                resp.status != 200) {
+                std::fprintf(stderr,
+                             "failover_latency: golden fetch for id "
+                             "%d failed\n",
+                             kIds[i]);
+                return 1;
+            }
+            golden[i] = resp.body;
+        }
+    }
+
+    std::vector<std::vector<double>> lat(
+        static_cast<size_t>(clients));
+    std::atomic<size_t> dropped{0}, mismatched{0}, retried{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(clients));
+    size_t per_client = static_cast<size_t>(requests) /
+                        static_cast<size_t>(clients);
+    size_t extra = static_cast<size_t>(requests) %
+                   static_cast<size_t>(clients);
+
+    Clock::time_point begin = Clock::now();
+    for (size_t c = 0; c < static_cast<size_t>(clients); ++c) {
+        size_t n = per_client + (c < extra ? 1 : 0);
+        threads.emplace_back([&, c, n] {
+            server::HttpClient client(host, static_cast<int>(port),
+                                      static_cast<int>(timeout));
+            lat[c].reserve(n);
+            for (size_t i = 0; i < n; ++i) {
+                size_t idx = (c + i) % kIdCount;
+                server::ClientResponse resp;
+                Clock::time_point t0 = Clock::now();
+                bool ok = client.requestWithRetry(
+                    "POST", "/v1/analyze", bodyFor(kIds[idx]), resp,
+                    static_cast<int>(attempts), /*backoff_ms=*/5);
+                Clock::time_point t1 = Clock::now();
+                if (!ok || resp.status != 200) {
+                    dropped.fetch_add(1);
+                    continue;
+                }
+                if (resp.body != golden[idx]) {
+                    mismatched.fetch_add(1);
+                    continue;
+                }
+                double us =
+                    std::chrono::duration<double, std::micro>(t1 - t0)
+                        .count();
+                // Heuristic failover marker: a request that took
+                // longer than one retry backoff almost certainly
+                // re-drove after a worker died under it.
+                if (us > 5000.0)
+                    retried.fetch_add(1);
+                lat[c].push_back(us);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    double wall_s =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+
+    std::vector<double> all;
+    for (const auto &v : lat)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+
+    Table t({"requests", "landed", "dropped", "mismatched", "req/s",
+             "p50 us", "p99 us", "max us"});
+    t.addRow({Table::num(requests), Table::num((long)all.size()),
+              Table::num((long)dropped.load()),
+              Table::num((long)mismatched.load()),
+              Table::num(wall_s > 0.0
+                             ? static_cast<double>(all.size()) / wall_s
+                             : 0.0,
+                         1),
+              Table::num(percentile(all, 0.50), 0),
+              Table::num(percentile(all, 0.99), 0),
+              Table::num(all.empty() ? 0.0 : all.back(), 0)});
+    std::printf("=== failover latency: %ld clients x POST "
+                "/v1/analyze against %s:%ld ===\n\n%s\n",
+                clients, host.c_str(), port, t.render().c_str());
+    std::printf("slow (>5 ms, likely re-driven) requests: %zu\n",
+                retried.load());
+
+    if (dropped.load() != 0 || mismatched.load() != 0) {
+        std::printf("ERROR: %zu dropped, %zu mismatched — the fleet "
+                    "failed to mask worker deaths\n",
+                    dropped.load(), mismatched.load());
+        return 1;
+    }
+    std::printf("every request landed byte-identical across worker "
+                "restarts\n");
+    return 0;
+}

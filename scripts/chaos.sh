@@ -185,4 +185,110 @@ SERVE_PID=""
 (( rc == 0 )) || fail "server: exit code $rc after SIGTERM, expected 0"
 echo "chaos: server: 12/12 faulted requests landed byte-identical"
 
+echo "== chaos: supervised fleet survives seeded worker kills =="
+# A 4-process SO_REUSEPORT fleet under the seeded plan
+# proc-crash:0.5:72,proc-hang:0.5:13. faultDecision() is a pure
+# function of (seed, site, slot<<8|incarnation), so the kill schedule
+# is exactly reproducible (docs/ROBUSTNESS.md):
+#   slot 0: kill -9 @inc0, SIGSTOP hang @inc1 (watchdog kill) -> 2
+#   slot 1: kill -9 @inc0                                     -> 1
+#   slot 2: kill -9 @inc0, kill -9 @inc1                      -> 2
+#   slot 3: kill -9 @inc0                                     -> 1
+# Every worker dies at least once mid-load; the load must not notice.
+FAILOVER=${FAILOVER:-build/bench/failover_latency}
+rm -f "$tmp/port"
+"$MACS" serve --host 127.0.0.1 --port 0 --port-file "$tmp/port" \
+    --processes 4 --workers 2 --heartbeat-ms 50 --liveness-ms 400 \
+    --faults proc-crash:0.5:72,proc-hang:0.5:13 \
+    >"$tmp/fleet.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [[ -s "$tmp/port" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null ||
+        { sed 's/^/    /' "$tmp/fleet.log" >&2
+          fail "fleet: supervisor died before binding"; }
+    sleep 0.1
+done
+[[ -s "$tmp/port" ]] || fail "fleet: supervisor never bound a port"
+PORT=$(cat "$tmp/port")
+
+# The 1k-connection load proof: every request lands a 200 and every
+# body is byte-identical across worker incarnations, while the kill
+# schedule above executes underneath it.
+if [[ -x "$FAILOVER" ]]; then
+    "$FAILOVER" --port "$PORT" --requests 1000 --clients 16 \
+        >"$tmp/failover.txt" 2>&1 ||
+        { sed 's/^/    /' "$tmp/failover.txt" >&2
+          fail "fleet: load dropped or corrupted requests"; }
+    grep -q "every request landed byte-identical" \
+        "$tmp/failover.txt" || fail "fleet: load proof line missing"
+    echo "chaos: fleet: 1000/1000 requests landed byte-identical"
+else
+    echo "chaos: fleet: $FAILOVER not built, using 12-request fallback"
+fi
+
+# Survivor responses stay byte-identical to the single-process CLI
+# rendering — which incarnation answers must be unobservable.
+"$MACS" batch 1 --json - >"$tmp/fleet_cli.json" 2>/dev/null
+for i in $(seq 1 12); do
+    "$MACS" http POST /v1/analyze --data '{"id": 1}' \
+        --port "$PORT" --retry 10 >"$tmp/fleet_req$i.json" \
+        2>/dev/null ||
+        fail "fleet: request $i was dropped despite retries"
+    cmp -s "$tmp/fleet_cli.json" "$tmp/fleet_req$i.json" ||
+        fail "fleet: request $i body differs from the CLI rendering"
+done
+echo "chaos: fleet: 12/12 post-kill requests byte-identical to CLI"
+
+# Restart counts are deterministic: poll any worker's /metrics (each
+# scrape reports the supervisor roll-up) until the seeded schedule
+# has fully executed, then assert the exact per-slot counters.
+settled=0
+for _ in $(seq 1 120); do
+    "$MACS" http GET /metrics --port "$PORT" --retry 5 \
+        >"$tmp/fleet_metrics.txt" 2>/dev/null || true
+    if grep -q 'macs_supervisor_restarts_total{worker="0"} 2' \
+           "$tmp/fleet_metrics.txt" &&
+       grep -q 'macs_supervisor_restarts_total{worker="2"} 2' \
+           "$tmp/fleet_metrics.txt" &&
+       grep -q 'macs_supervisor_workers_alive 4' \
+           "$tmp/fleet_metrics.txt"; then
+        settled=1
+        break
+    fi
+    sleep 0.25
+done
+(( settled == 1 )) ||
+    { sed 's/^/    /' "$tmp/fleet.log" >&2
+      fail "fleet: seeded kill schedule never settled"; }
+for want in \
+    'macs_supervisor_restarts_total{worker="0"} 2' \
+    'macs_supervisor_restarts_total{worker="1"} 1' \
+    'macs_supervisor_restarts_total{worker="2"} 2' \
+    'macs_supervisor_restarts_total{worker="3"} 1' \
+    'macs_supervisor_crashes_total{worker="0"} 1' \
+    'macs_supervisor_crashes_total{worker="2"} 2' \
+    'macs_supervisor_hangs_total{worker="0"} 1' \
+    'macs_supervisor_hangs_total{worker="1"} 0' \
+    'macs_supervisor_degraded 0' \
+    'macs_supervisor_processes 4' \
+    'macs_supervisor_workers_alive 4'; do
+    grep -qF "$want" "$tmp/fleet_metrics.txt" ||
+        fail "fleet: /metrics lacks '$want' (schedule drifted?)"
+done
+echo "chaos: fleet: restart counts match the seeded plan exactly"
+
+# Rolling drain: SIGTERM the supervisor; every surviving worker must
+# finish, the drain must be clean, and the exit code 0.
+kill -TERM "$SERVE_PID"
+rc=0; wait "$SERVE_PID" || rc=$?
+SERVE_PID=""
+(( rc == 0 )) || { sed 's/^/    /' "$tmp/fleet.log" >&2
+                   fail "fleet: exit code $rc after SIGTERM, expected 0"; }
+grep -q "supervisor: rolling drain" "$tmp/fleet.log" ||
+    fail "fleet: rolling-drain marker missing from the log"
+grep -q "UNCLEANLY" "$tmp/fleet.log" &&
+    fail "fleet: a worker drained uncleanly"
+echo "chaos: fleet: rolling drain clean, rc=0"
+
 echo "chaos: all stages passed"

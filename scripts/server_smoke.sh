@@ -115,4 +115,59 @@ grep -q "3 record(s) resumed" "$tmp/resume.err" ||
     fail "journal did not resume the drained batch"
 echo "server: drain finished in-flight work and flushed the journal"
 
+echo "== server: invalid flag values exit 1 (usage contract) =="
+# --processes/--shards/--workers reject zero (where meaningless),
+# negative, and non-numeric values through the same Diagnostics
+# exit-code-1 path as every other invocation error.
+expect_usage_error() {
+    local what="$1"; shift
+    local rc=0
+    "$MACS" serve "$@" >/dev/null 2>"$tmp/usage.err" || rc=$?
+    (( rc == 1 )) ||
+        { sed 's/^/    /' "$tmp/usage.err" >&2
+          fail "$what: exit code $rc, expected 1"; }
+    echo "server: $what: rc=1 ok"
+}
+expect_usage_error "--processes 0"        --processes 0
+expect_usage_error "--processes negative" --processes -3
+expect_usage_error "--processes NaN"      --processes two
+expect_usage_error "--processes huge"     --processes 100000
+expect_usage_error "--shards negative"    --shards -1
+expect_usage_error "--shards NaN"         --shards x
+expect_usage_error "--workers negative"   --workers -2
+expect_usage_error "--workers NaN"        --workers many
+expect_usage_error "--liveness <= heartbeat" \
+    --processes 2 --heartbeat-ms 200 --liveness-ms 100
+
+echo "== server: supervised smoke (--processes 2) =="
+# A 2-worker SO_REUSEPORT fleet: the port file appears only once both
+# workers are serving; any worker's scrape reports fleet state; the
+# analyze body stays byte-identical to the CLI; SIGTERM runs the
+# rolling drain and exits 0.
+start_serve --processes 2
+http fleet_health.json GET /healthz
+grep -q '"status": "ok"' "$tmp/fleet_health.json" ||
+    fail "fleet /healthz is not ok: $(cat "$tmp/fleet_health.json")"
+grep -q '"processes": 2' "$tmp/fleet_health.json" ||
+    fail "fleet /healthz lacks the supervisor roll-up"
+grep -q '"alive": 2' "$tmp/fleet_health.json" ||
+    fail "fleet /healthz does not report both workers alive"
+http fleet_analyze.json POST /v1/analyze --data '{"id": 1}'
+cmp -s "$tmp/fleet_analyze.json" "$tmp/cli.json" ||
+    fail "fleet /v1/analyze body differs from the CLI rendering"
+http fleet_metrics.txt GET /metrics
+grep -q '^macs_supervisor_processes 2' "$tmp/fleet_metrics.txt" ||
+    fail "fleet /metrics lacks macs_supervisor_processes"
+grep -q '^macs_supervisor_workers_alive 2' "$tmp/fleet_metrics.txt" ||
+    fail "fleet /metrics lacks macs_supervisor_workers_alive"
+grep -q '^macs_supervisor_degraded 0' "$tmp/fleet_metrics.txt" ||
+    fail "fleet /metrics reports a degraded fleet"
+grep -q 'macs_supervisor_worker_up{worker="1"} 1' \
+    "$tmp/fleet_metrics.txt" ||
+    fail "fleet /metrics lacks per-worker liveness labels"
+stop_serve
+grep -q "supervisor: rolling drain" "$tmp/serve.log" ||
+    fail "fleet drain did not go through the rolling-drain path"
+echo "server: supervised smoke ok (rolling drain clean)"
+
 echo "server: all stages passed"

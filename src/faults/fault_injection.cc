@@ -16,7 +16,8 @@ namespace {
 constexpr const char *kSiteNames[kSiteCount] = {
     "alloc",         "worker-exception", "compute-delay",
     "cache-corrupt", "io-write-fail",    "net-accept",
-    "net-read",      "net-write",
+    "net-read",      "net-write",        "proc-crash",
+    "proc-hang",
 };
 
 /** splitmix64: high-quality 64-bit mix (Steele et al.). */

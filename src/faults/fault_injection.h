@@ -15,6 +15,8 @@
  *   net-accept        `macs serve` rejects an accepted connection
  *   net-read          `macs serve` request read fails (503 + retry)
  *   net-write         `macs serve` response write fails (conn cut)
+ *   proc-crash        supervised serve worker SIGKILLs itself
+ *   proc-hang         supervised serve worker SIGSTOPs (hangs) itself
  *
  * A FaultPlan is a set of (site, probability, seed[, param]) specs,
  * configured programmatically or via the environment:
@@ -62,9 +64,11 @@ enum class Site : uint8_t
     NetAccept,       ///< "net-accept" (src/server admission path)
     NetRead,         ///< "net-read" (src/server request read)
     NetWrite,        ///< "net-write" (src/server response write)
+    ProcCrash,       ///< "proc-crash" (src/supervisor worker kill -9)
+    ProcHang,        ///< "proc-hang" (src/supervisor worker SIGSTOP)
 };
 
-inline constexpr size_t kSiteCount = 8;
+inline constexpr size_t kSiteCount = 10;
 
 /** Canonical site name (the MACS_FAULTS grammar spelling). */
 const char *siteName(Site site);

@@ -190,7 +190,10 @@ HttpClient::requestWithRetry(const std::string &method,
         if (attempt > 0) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(sleep_ms));
-            sleep_ms *= 2;
+            // Cap the doubling: a client riding out a supervised
+            // worker restart should re-probe at least once a second
+            // rather than back off past the restart window.
+            sleep_ms = std::min(sleep_ms * 2, 1000);
         }
         if (!request(method, target, body, out))
             continue; // transport failure (e.g. injected net-write)

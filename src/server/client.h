@@ -54,8 +54,10 @@ class HttpClient
     /**
      * request(), retried up to @p attempts times on transport
      * failures AND on 503 responses (sleeping @p backoff_ms, doubled
-     * per retry, or the server's Retry-After if larger is not
-     * desired — the smaller of the two is used so tests stay fast).
+     * per retry and capped at 1 s so the client keeps re-probing
+     * through a supervised worker restart, or the server's
+     * Retry-After if larger is not desired — the smaller of the two
+     * is used so tests stay fast).
      * @retval false when every attempt failed.
      */
     bool requestWithRetry(const std::string &method,

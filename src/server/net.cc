@@ -1,7 +1,9 @@
 #include "server/net.h"
 
 #include <arpa/inet.h>
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -53,7 +55,8 @@ Listener::~Listener()
 }
 
 void
-Listener::open(const std::string &host, int port, int backlog)
+Listener::open(const std::string &host, int port, int backlog,
+               bool reuse_port)
 {
     sockaddr_in addr;
     if (!parseAddr(host, port, addr))
@@ -64,6 +67,14 @@ Listener::open(const std::string &host, int port, int backlog)
         fatal("serve: socket(): ", std::strerror(errno));
     int one = 1;
     ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (reuse_port &&
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) != 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("serve: SO_REUSEPORT unsupported: ",
+              std::strerror(err));
+    }
     if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
                sizeof(addr)) != 0) {
         int err = errno;
@@ -206,6 +217,15 @@ closeFd(int fd)
 {
     if (fd >= 0)
         ::close(fd);
+}
+
+void
+ignoreSigpipe()
+{
+    // Thread-safe: concurrent first calls both store SIG_IGN.
+    static std::atomic<bool> done{false};
+    if (!done.exchange(true, std::memory_order_acq_rel))
+        ::signal(SIGPIPE, SIG_IGN);
 }
 
 } // namespace macs::server

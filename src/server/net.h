@@ -32,8 +32,15 @@ class Listener
     Listener(const Listener &) = delete;
     Listener &operator=(const Listener &) = delete;
 
-    /** Bind + listen; fatal() on failure. */
-    void open(const std::string &host, int port, int backlog = 128);
+    /**
+     * Bind + listen; fatal() on failure. With @p reuse_port the
+     * socket is additionally bound with SO_REUSEPORT so several
+     * processes can share one listen port and the kernel spreads
+     * incoming connections across them (supervised multi-process
+     * serving, docs/SERVER.md "Multi-process serving").
+     */
+    void open(const std::string &host, int port, int backlog = 128,
+              bool reuse_port = false);
 
     /** The bound port (resolves port 0 after open()). */
     int boundPort() const { return port_; }
@@ -75,6 +82,14 @@ bool writeAll(int fd, std::string_view data, int timeout_ms);
 
 /** Close @p fd (ignores invalid fds). */
 void closeFd(int fd);
+
+/**
+ * Process-wide, idempotent signal(SIGPIPE, SIG_IGN). Socket sends
+ * already pass MSG_NOSIGNAL, but plain write(2) — the supervised
+ * worker's heartbeat pipe — has no such flag; a peer that disappears
+ * mid-write must surface as EPIPE, never as a process-killing signal.
+ */
+void ignoreSigpipe();
 
 } // namespace macs::server
 

@@ -238,6 +238,14 @@ Server::connectionCount() const
 void
 Server::start()
 {
+    // SIGPIPE audit (docs/ROBUSTNESS.md): every socket send in this
+    // subsystem passes MSG_NOSIGNAL (net.cc writeAll, event_loop.cc
+    // Conn::write), but the poller's self-pipe doorbell and the
+    // supervised heartbeat pipe use plain write(2) — install the
+    // one-time SIG_IGN here so a vanished peer is always EPIPE, even
+    // for embedders that never go through the CLI.
+    ignoreSigpipe();
+
     // Pre-register the stable macs_server_* series (counters at 0, as
     // Prometheus recommends) so a scrape of a fresh server already
     // shows the full family instead of series popping into existence
@@ -272,7 +280,8 @@ Server::start()
         core_->start();
     }
 
-    listener_.open(options_.host, options_.port);
+    listener_.open(options_.host, options_.port, 128,
+                   options_.reusePort);
     started_.store(true, std::memory_order_release);
     acceptor_ = std::thread([this] { acceptLoop(); });
 }
@@ -527,9 +536,13 @@ Server::handleHealth() const
     response.body = format(
         "{\"schema\": \"macs-health-v1\", \"status\": \"%s\", "
         "\"workers\": %zu, \"queue_depth\": %zu, "
-        "\"cache_entries\": %zu}\n",
+        "\"cache_entries\": %zu",
         stopping() ? "draining" : "ok", pool_->workerCount(),
         pool_->queuedTasks(), service_.cache().size());
+    if (options_.fleet != nullptr)
+        response.body += supervisor::renderFleetHealthJson(
+            *options_.fleet, options_.workerIndex);
+    response.body += "}\n";
     return response;
 }
 
@@ -539,6 +552,9 @@ Server::handleMetrics() const
     HttpResponse response;
     response.contentType = "text/plain; version=0.0.4";
     response.body = obs::renderPrometheus(registry());
+    if (options_.fleet != nullptr)
+        response.body += supervisor::renderFleetMetrics(
+            *options_.fleet, options_.workerIndex);
     return response;
 }
 

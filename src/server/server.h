@@ -49,6 +49,7 @@
 #include "server/http.h"
 #include "server/net.h"
 #include "server/service.h"
+#include "supervisor/fleet_state.h"
 
 namespace macs::server {
 
@@ -99,6 +100,19 @@ struct ServerOptions
     const faults::FaultInjector *faults = nullptr;
     /** Registry of macs_server_*; nullptr means the global one. */
     obs::Registry *metrics = nullptr;
+    /** Bind the listen port with SO_REUSEPORT (multi-process fleet). */
+    bool reusePort = false;
+    /** Slot index of this worker within a supervised fleet; -1 when
+     *  serving single-process. */
+    int workerIndex = -1;
+    /**
+     * Shared fleet state of a supervised run (read-only; the
+     * supervisor writes it). When set, /metrics appends the
+     * macs_supervisor_* roll-up and /healthz the fleet JSON fields,
+     * so a scrape of ANY worker reports fleet-wide state. nullptr
+     * when serving single-process.
+     */
+    const supervisor::FleetState *fleet = nullptr;
 };
 
 class Server

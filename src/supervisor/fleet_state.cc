@@ -1,0 +1,166 @@
+#include "supervisor/fleet_state.h"
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <sys/mman.h>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::supervisor {
+
+static_assert(std::atomic<uint32_t>::is_always_lock_free,
+              "fleet state atomics must be lock-free: they live in "
+              "shared memory crossing a process boundary");
+static_assert(std::atomic<int32_t>::is_always_lock_free,
+              "fleet state atomics must be lock-free: they live in "
+              "shared memory crossing a process boundary");
+
+const char *
+workerStateName(WorkerState state)
+{
+    switch (state) {
+    case WorkerState::Empty:
+        return "empty";
+    case WorkerState::Starting:
+        return "starting";
+    case WorkerState::Serving:
+        return "serving";
+    case WorkerState::Backoff:
+        return "backoff";
+    case WorkerState::Abandoned:
+        return "abandoned";
+    case WorkerState::Draining:
+        return "draining";
+    case WorkerState::Drained:
+        return "drained";
+    }
+    return "unknown";
+}
+
+uint32_t
+FleetState::aliveCount() const
+{
+    uint32_t alive = 0;
+    uint32_t n = processes.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < n && i < kMaxWorkers; ++i) {
+        WorkerState s = slots[i].workerState();
+        if (s == WorkerState::Starting || s == WorkerState::Serving)
+            ++alive;
+    }
+    return alive;
+}
+
+uint32_t
+FleetState::totalRestarts() const
+{
+    uint32_t total = 0;
+    uint32_t n = processes.load(std::memory_order_acquire);
+    for (uint32_t i = 0; i < n && i < kMaxWorkers; ++i)
+        total += slots[i].restarts.load(std::memory_order_acquire);
+    return total;
+}
+
+FleetState *
+createSharedFleetState()
+{
+    void *mem = ::mmap(nullptr, sizeof(FleetState),
+                       PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED)
+        fatal("supervisor: cannot map shared fleet state: ",
+              std::strerror(errno));
+    return new (mem) FleetState();
+}
+
+void
+destroySharedFleetState(FleetState *state)
+{
+    if (state == nullptr)
+        return;
+    state->~FleetState();
+    ::munmap(state, sizeof(FleetState));
+}
+
+std::string
+renderFleetMetrics(const FleetState &state, int self_slot)
+{
+    uint32_t n = state.processes.load(std::memory_order_acquire);
+    std::string out;
+    out.reserve(1024);
+
+    out += "# HELP macs_supervisor_degraded Fleet degraded: a worker "
+           "slot exhausted its restart budget\n"
+           "# TYPE macs_supervisor_degraded gauge\n";
+    out += format("macs_supervisor_degraded %u\n",
+                  state.degraded.load(std::memory_order_acquire));
+    out += "# HELP macs_supervisor_draining Rolling SIGTERM drain in "
+           "progress\n"
+           "# TYPE macs_supervisor_draining gauge\n";
+    out += format("macs_supervisor_draining %u\n",
+                  state.draining.load(std::memory_order_acquire));
+    out += "# HELP macs_supervisor_processes Configured worker "
+           "process count\n"
+           "# TYPE macs_supervisor_processes gauge\n";
+    out += format("macs_supervisor_processes %u\n", n);
+    out += "# HELP macs_supervisor_workers_alive Workers currently "
+           "starting or serving\n"
+           "# TYPE macs_supervisor_workers_alive gauge\n";
+    out += format("macs_supervisor_workers_alive %u\n",
+                  state.aliveCount());
+
+    out += "# HELP macs_supervisor_worker_up Worker slot liveness "
+           "(1 = starting/serving)\n"
+           "# TYPE macs_supervisor_worker_up gauge\n";
+    for (uint32_t i = 0; i < n && i < kMaxWorkers; ++i) {
+        WorkerState s = state.slots[i].workerState();
+        bool up = s == WorkerState::Starting ||
+                  s == WorkerState::Serving;
+        out += format("macs_supervisor_worker_up{worker=\"%u\"} %d\n",
+                      i, up ? 1 : 0);
+    }
+    out += "# HELP macs_supervisor_restarts_total Worker restarts "
+           "by slot (crash + hang)\n"
+           "# TYPE macs_supervisor_restarts_total counter\n";
+    for (uint32_t i = 0; i < n && i < kMaxWorkers; ++i)
+        out += format(
+            "macs_supervisor_restarts_total{worker=\"%u\"} %u\n", i,
+            state.slots[i].restarts.load(std::memory_order_acquire));
+    out += "# HELP macs_supervisor_crashes_total Worker exits by "
+           "signal or nonzero code, by slot\n"
+           "# TYPE macs_supervisor_crashes_total counter\n";
+    for (uint32_t i = 0; i < n && i < kMaxWorkers; ++i)
+        out += format(
+            "macs_supervisor_crashes_total{worker=\"%u\"} %u\n", i,
+            state.slots[i].crashes.load(std::memory_order_acquire));
+    out += "# HELP macs_supervisor_hangs_total Missed-heartbeat "
+           "watchdog kills, by slot\n"
+           "# TYPE macs_supervisor_hangs_total counter\n";
+    for (uint32_t i = 0; i < n && i < kMaxWorkers; ++i)
+        out += format(
+            "macs_supervisor_hangs_total{worker=\"%u\"} %u\n", i,
+            state.slots[i].hangs.load(std::memory_order_acquire));
+
+    if (self_slot >= 0) {
+        out += "# HELP macs_supervisor_self_worker Slot index of the "
+               "worker answering this scrape\n"
+               "# TYPE macs_supervisor_self_worker gauge\n";
+        out += format("macs_supervisor_self_worker %d\n", self_slot);
+    }
+    return out;
+}
+
+std::string
+renderFleetHealthJson(const FleetState &state, int self_slot)
+{
+    return format(", \"worker\": %d, \"processes\": %u, "
+                  "\"alive\": %u, \"restarts\": %u, "
+                  "\"degraded\": %s",
+                  self_slot,
+                  state.processes.load(std::memory_order_acquire),
+                  state.aliveCount(), state.totalRestarts(),
+                  state.isDegraded() ? "true" : "false");
+}
+
+} // namespace macs::supervisor

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared fleet state of supervised multi-process serving
+ * (docs/ROBUSTNESS.md, docs/SERVER.md "Multi-process serving").
+ *
+ * The supervisor and its SO_REUSEPORT worker processes share ONE page
+ * of anonymous shared memory holding a FleetState: per-slot worker
+ * status (pid, lifecycle state, restart/crash/hang counters) plus the
+ * fleet roll-up (process count, degraded flag, drain flag). The
+ * supervisor is the only WRITER; workers only read, when rendering
+ * `/metrics` and `/healthz` — which is what lets a scrape of ANY
+ * worker report fleet-wide state without inter-process RPC.
+ *
+ * Every field is a lock-free std::atomic so reads are safe against a
+ * supervisor updating mid-scrape, and the struct is
+ * placement-constructed into the mapping before the first fork, so
+ * both sides agree on the layout by construction.
+ */
+
+#ifndef MACS_SUPERVISOR_FLEET_STATE_H
+#define MACS_SUPERVISOR_FLEET_STATE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace macs::supervisor {
+
+/** Upper bound on --processes (one shared page must hold the state). */
+inline constexpr int kMaxWorkers = 64;
+
+/** Lifecycle of one worker slot, as the supervisor sees it. */
+enum class WorkerState : uint32_t
+{
+    Empty = 0,  ///< slot unused (index >= processes)
+    Starting,   ///< forked, first heartbeat not yet seen
+    Serving,    ///< heartbeating within the liveness deadline
+    Backoff,    ///< died; restart scheduled after the backoff delay
+    Abandoned,  ///< restart budget exhausted; slot is dead for good
+    Draining,   ///< SIGTERM forwarded, waiting for a clean exit
+    Drained,    ///< exited after drain
+};
+
+/** Canonical state name (metrics label / health field spelling). */
+const char *workerStateName(WorkerState state);
+
+/** One worker slot. Written by the supervisor, read by everyone. */
+struct SlotState
+{
+    std::atomic<int32_t> pid{0};
+    std::atomic<uint32_t> state{
+        static_cast<uint32_t>(WorkerState::Empty)};
+    /** Restarts = crashes + hangs that were answered with a re-fork. */
+    std::atomic<uint32_t> restarts{0};
+    /** Exits by signal or nonzero code outside a drain. */
+    std::atomic<uint32_t> crashes{0};
+    /** Missed-heartbeat kills (the watchdog SIGKILLed the worker). */
+    std::atomic<uint32_t> hangs{0};
+    /** Fork generation of this slot: 0 for the first worker. */
+    std::atomic<uint32_t> incarnation{0};
+
+    WorkerState workerState() const
+    {
+        return static_cast<WorkerState>(
+            state.load(std::memory_order_acquire));
+    }
+};
+
+/** The whole fleet: slots + roll-up flags. Lives in shared memory. */
+struct FleetState
+{
+    std::atomic<uint32_t> processes{0};
+    /** Set once a slot is Abandoned while others still serve. */
+    std::atomic<uint32_t> degraded{0};
+    /** Set when the rolling drain begins. */
+    std::atomic<uint32_t> draining{0};
+    SlotState slots[kMaxWorkers];
+
+    /** Workers currently Starting or Serving. */
+    uint32_t aliveCount() const;
+    /** Sum of per-slot restart counters. */
+    uint32_t totalRestarts() const;
+    bool isDegraded() const
+    {
+        return degraded.load(std::memory_order_acquire) != 0;
+    }
+    bool isDraining() const
+    {
+        return draining.load(std::memory_order_acquire) != 0;
+    }
+};
+
+/**
+ * mmap(MAP_SHARED | MAP_ANONYMOUS) a FleetState and
+ * placement-construct it. Call BEFORE the first fork so every worker
+ * inherits the mapping. fatal() when the map cannot be created.
+ */
+FleetState *createSharedFleetState();
+
+/** Destroy + munmap a state returned by createSharedFleetState(). */
+void destroySharedFleetState(FleetState *state);
+
+/**
+ * Render the supervisor roll-up as Prometheus text — the
+ * macs_supervisor_* series appended to a worker's `/metrics` body:
+ * degraded/draining flags, process + alive counts, and per-worker
+ * state/restart/crash/hang series labeled worker="<slot>". Slots are
+ * emitted in index order so the bytes are deterministic for a given
+ * state. @p self_slot adds macs_supervisor_self_worker (the slot of
+ * the worker answering the scrape); pass -1 to omit it.
+ */
+std::string renderFleetMetrics(const FleetState &state, int self_slot);
+
+/**
+ * Render the fleet roll-up as the JSON fields a supervised worker
+ * appends to its `/healthz` body (leading ", "): worker index,
+ * process/alive counts, restart totals, degraded flag.
+ */
+std::string renderFleetHealthJson(const FleetState &state,
+                                  int self_slot);
+
+} // namespace macs::supervisor
+
+#endif // MACS_SUPERVISOR_FLEET_STATE_H

@@ -1,0 +1,45 @@
+#include "supervisor/proc_faults.h"
+
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+namespace macs::supervisor {
+
+namespace {
+
+void
+armTimer(int delay_ms, int signo, int slot, const char *what)
+{
+    std::fprintf(stderr,
+                 "macs serve: worker %d: %s fault armed, firing in "
+                 "%d ms\n",
+                 slot, what, delay_ms);
+    std::thread([delay_ms, signo]() {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+        ::raise(signo);
+    }).detach();
+}
+
+} // namespace
+
+void
+armProcFaults(const faults::FaultInjector &injector, int slot,
+              int incarnation)
+{
+    uint64_t key = procFaultKey(slot, incarnation);
+    int delay_ms = static_cast<int>(
+        injector.param(faults::Site::ProcCrash, 200.0) *
+        (1 + slot));
+    if (injector.shouldFire(faults::Site::ProcCrash, key)) {
+        armTimer(delay_ms, SIGKILL, slot, "proc-crash");
+        return; // crash beats hang for the same key
+    }
+    delay_ms = static_cast<int>(
+        injector.param(faults::Site::ProcHang, 200.0) * (1 + slot));
+    if (injector.shouldFire(faults::Site::ProcHang, key))
+        armTimer(delay_ms, SIGSTOP, slot, "proc-hang");
+}
+
+} // namespace macs::supervisor

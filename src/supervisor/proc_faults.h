@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Process-level fault sites for supervised serving
+ * (docs/ROBUSTNESS.md "Process faults").
+ *
+ * The proc-crash and proc-hang sites let scripts/chaos.sh manufacture
+ * worker deaths deterministically: a supervised worker consults its
+ * FaultInjector once at startup and, when a site fires for its
+ * (slot, incarnation) key, arms a detached timer thread that later
+ * SIGKILLs (crash) or SIGSTOPs (hang) the whole worker process
+ * mid-load. The supervisor's watchdog then has a real corpse / frozen
+ * process to recover from — nothing is simulated.
+ *
+ * Determinism: the key is procFaultKey(slot, incarnation), so with a
+ * fixed seed the exact set of (slot, incarnation) pairs that die is a
+ * pure function of the plan — restart counts are predictable and
+ * chaos goldens can assert them. The firing DELAY is staggered per
+ * slot (param * (1 + slot) ms) so workers do not all die in the same
+ * instant and the fleet keeps answering throughout.
+ */
+
+#ifndef MACS_SUPERVISOR_PROC_FAULTS_H
+#define MACS_SUPERVISOR_PROC_FAULTS_H
+
+#include <cstdint>
+
+#include "faults/fault_injection.h"
+
+namespace macs::supervisor {
+
+/**
+ * Injection key for a worker: (slot << 8) | incarnation. Slots and
+ * incarnations below 256 map to distinct keys, which covers any
+ * realistic chaos run (kMaxWorkers is 64; the restart budget caps
+ * incarnations).
+ */
+constexpr uint64_t
+procFaultKey(int slot, int incarnation)
+{
+    return (static_cast<uint64_t>(static_cast<uint32_t>(slot)) << 8) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(incarnation)) &
+            0xff);
+}
+
+/**
+ * Evaluate the proc-crash / proc-hang sites for this worker and, when
+ * one fires, arm a detached thread that raises the corresponding
+ * signal after the staggered delay:
+ *
+ *   delay_ms = param (default 200) * (1 + slot)
+ *
+ * proc-crash raises SIGKILL (instant corpse: the supervisor reaps it
+ * and restarts the slot); proc-hang raises SIGSTOP (the process
+ * freezes mid-request: heartbeats stop, the watchdog SIGKILLs it
+ * after the liveness deadline). When both sites fire for the same
+ * key, the crash wins. Call from the worker process only, after
+ * fork.
+ */
+void armProcFaults(const faults::FaultInjector &injector, int slot,
+                   int incarnation);
+
+} // namespace macs::supervisor
+
+#endif // MACS_SUPERVISOR_PROC_FAULTS_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Restart budget + exponential backoff of the worker supervisor
+ * (docs/ROBUSTNESS.md "Supervision hierarchy").
+ *
+ * Pure arithmetic, no I/O: the Supervisor consults this policy and
+ * tests pin it directly. A slot that dies is restarted after
+ * `backoff(restarts)` ms — base * 2^restarts, capped — until it has
+ * been restarted `budget` times; the next death abandons the slot
+ * (degraded mode when other workers survive, service loss when none
+ * do).
+ */
+
+#ifndef MACS_SUPERVISOR_RESTART_POLICY_H
+#define MACS_SUPERVISOR_RESTART_POLICY_H
+
+namespace macs::supervisor {
+
+struct RestartPolicy
+{
+    /** Restarts allowed per slot before it is abandoned. */
+    int budget = 8;
+    /** Backoff before the first restart (ms). */
+    int baseMs = 50;
+    /** Backoff ceiling (ms). */
+    int capMs = 2000;
+
+    /**
+     * Delay before restart number @p restarts_so_far + 1:
+     * min(baseMs * 2^restarts_so_far, capMs). Saturates instead of
+     * overflowing for any input.
+     */
+    int backoffMs(int restarts_so_far) const
+    {
+        if (restarts_so_far < 0)
+            restarts_so_far = 0;
+        long delay = baseMs;
+        for (int i = 0; i < restarts_so_far; ++i) {
+            delay *= 2;
+            if (delay >= capMs)
+                return capMs;
+        }
+        return delay < capMs ? static_cast<int>(delay) : capMs;
+    }
+
+    /** True once @p restarts_so_far has consumed the whole budget. */
+    bool exhausted(int restarts_so_far) const
+    {
+        return restarts_so_far >= budget;
+    }
+};
+
+} // namespace macs::supervisor
+
+#endif // MACS_SUPERVISOR_RESTART_POLICY_H

@@ -1,0 +1,390 @@
+#include "supervisor/supervisor.h"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace macs::supervisor {
+
+namespace {
+
+/** Supervision tick: bounds heartbeat/exit/restart latency. */
+constexpr int kTickMs = 20;
+
+void
+logf(bool verbose, const char *fmt, ...)
+{
+    if (!verbose)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+}
+
+} // namespace
+
+Supervisor::Supervisor(SupervisorOptions options,
+                       WorkerMain worker_main,
+                       std::function<void()> on_ready)
+    : options_(std::move(options)), workerMain_(std::move(worker_main)),
+      onReady_(std::move(on_ready))
+{
+    MACS_ASSERT(options_.processes >= 1 &&
+                    options_.processes <= kMaxWorkers,
+                "supervisor needs 1..", kMaxWorkers,
+                " worker processes");
+    MACS_ASSERT(workerMain_ != nullptr,
+                "supervisor needs a worker main");
+    fleet_ = createSharedFleetState();
+    fleet_->processes.store(
+        static_cast<uint32_t>(options_.processes),
+        std::memory_order_release);
+    slots_.resize(static_cast<size_t>(options_.processes));
+}
+
+Supervisor::~Supervisor()
+{
+    for (Slot &slot : slots_)
+        closeSlotPipe(slot);
+    destroySharedFleetState(fleet_);
+}
+
+void
+Supervisor::setState(int index, WorkerState state)
+{
+    fleet_->slots[index].state.store(static_cast<uint32_t>(state),
+                                     std::memory_order_release);
+}
+
+void
+Supervisor::closeSlotPipe(Slot &slot)
+{
+    if (slot.pipeFd >= 0) {
+        ::close(slot.pipeFd);
+        slot.pipeFd = -1;
+    }
+}
+
+void
+Supervisor::spawn(int index)
+{
+    Slot &slot = slots_[static_cast<size_t>(index)];
+    int pfd[2];
+    if (::pipe(pfd) != 0)
+        fatal("supervisor: pipe(): ", std::strerror(errno));
+    // Read end is drained non-blockingly from the supervision loop.
+    ::fcntl(pfd[0], F_SETFL,
+            ::fcntl(pfd[0], F_GETFL, 0) | O_NONBLOCK);
+
+    int incarnation = slot.nextIncarnation++;
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        // Treat a failed fork like an instant crash: backoff, budget.
+        ::close(pfd[0]);
+        ::close(pfd[1]);
+        logf(options_.verbose,
+             "macs serve: supervisor: fork() for worker %d failed: "
+             "%s\n",
+             index, std::strerror(errno));
+        onWorkerDeath(index, 0x7f00);
+        return;
+    }
+    if (pid == 0) {
+        // Child: keep only this slot's write end. Every read end —
+        // including our own and those of previously forked siblings —
+        // belongs to the supervisor.
+        ::close(pfd[0]);
+        for (const Slot &other : slots_)
+            if (other.pipeFd >= 0)
+                ::close(other.pipeFd);
+        WorkerContext ctx;
+        ctx.slot = index;
+        ctx.incarnation = incarnation;
+        ctx.heartbeatFd = pfd[1];
+        ctx.heartbeatIntervalMs = options_.heartbeatIntervalMs;
+        ctx.fleet = fleet_;
+        int rc = 1;
+        try {
+            rc = workerMain_(ctx);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "macs serve: worker %d: %s\n", index,
+                         e.what());
+            rc = 1;
+        }
+        // _exit: no atexit / static destructors — the child shares
+        // the parent's address-space snapshot and must not tear down
+        // state the supervisor still owns.
+        ::_exit(rc);
+    }
+
+    ::close(pfd[1]);
+    slot.pid = pid;
+    slot.pipeFd = pfd[0];
+    slot.ready = false;
+    slot.hangKill = false;
+    slot.lastBeat = Clock::now();
+    fleet_->slots[index].pid.store(static_cast<int32_t>(pid),
+                                   std::memory_order_release);
+    fleet_->slots[index].incarnation.store(
+        static_cast<uint32_t>(incarnation),
+        std::memory_order_release);
+    setState(index, WorkerState::Starting);
+    logf(options_.verbose,
+         "macs serve: supervisor: worker %d up (pid %d, "
+         "incarnation %d)\n",
+         index, static_cast<int>(pid), incarnation);
+}
+
+void
+Supervisor::drainHeartbeats()
+{
+    char buf[256];
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        Slot &slot = slots_[i];
+        if (slot.pipeFd < 0)
+            continue;
+        ssize_t n;
+        bool beat = false;
+        while ((n = ::read(slot.pipeFd, buf, sizeof(buf))) > 0)
+            beat = true;
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+            errno != EINTR)
+            continue; // broken pipe end: the exit path handles it
+        if (!beat)
+            continue;
+        slot.lastBeat = Clock::now();
+        if (!slot.ready) {
+            slot.ready = true;
+            setState(static_cast<int>(i), WorkerState::Serving);
+        }
+    }
+}
+
+void
+Supervisor::onWorkerDeath(int index, int status)
+{
+    Slot &slot = slots_[static_cast<size_t>(index)];
+    slot.pid = -1;
+    closeSlotPipe(slot);
+    fleet_->slots[index].pid.store(0, std::memory_order_release);
+
+    if (slot.hangKill)
+        fleet_->slots[index].hangs.fetch_add(
+            1, std::memory_order_acq_rel);
+    else
+        fleet_->slots[index].crashes.fetch_add(
+            1, std::memory_order_acq_rel);
+
+    const char *how =
+        slot.hangKill ? "hung (missed heartbeats)"
+        : WIFSIGNALED(status)
+            ? "killed by signal"
+            : "exited";
+    int detail = slot.hangKill ? 0
+                 : WIFSIGNALED(status) ? WTERMSIG(status)
+                                       : WEXITSTATUS(status);
+
+    if (options_.restart.exhausted(slot.restarts)) {
+        slot.abandoned = true;
+        setState(index, WorkerState::Abandoned);
+        logf(options_.verbose,
+             "macs serve: supervisor: worker %d %s (%d); restart "
+             "budget (%d) exhausted — slot abandoned\n",
+             index, how, detail, options_.restart.budget);
+        if (!allDead())
+            fleet_->degraded.store(1, std::memory_order_release);
+        return;
+    }
+
+    int delay = options_.restart.backoffMs(slot.restarts);
+    slot.restarts++;
+    fleet_->slots[index].restarts.fetch_add(
+        1, std::memory_order_acq_rel);
+    slot.restartAt =
+        Clock::now() + std::chrono::milliseconds(delay);
+    setState(index, WorkerState::Backoff);
+    logf(options_.verbose,
+         "macs serve: supervisor: worker %d %s (%d); restart %d/%d "
+         "in %d ms\n",
+         index, how, detail, slot.restarts,
+         options_.restart.budget, delay);
+}
+
+void
+Supervisor::reapExits()
+{
+    for (;;) {
+        int status = 0;
+        pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            return;
+        for (size_t i = 0; i < slots_.size(); ++i)
+            if (slots_[i].pid == pid) {
+                onWorkerDeath(static_cast<int>(i), status);
+                break;
+            }
+    }
+}
+
+void
+Supervisor::checkLiveness(Clock::time_point now)
+{
+    auto deadline =
+        std::chrono::milliseconds(options_.livenessTimeoutMs);
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        Slot &slot = slots_[i];
+        if (slot.pid <= 0 || slot.hangKill)
+            continue;
+        if (now - slot.lastBeat < deadline)
+            continue;
+        // Hang: the process exists but stopped beating. SIGKILL it;
+        // the reap on a later tick counts the death as a hang and
+        // schedules the restart.
+        slot.hangKill = true;
+        ::kill(slot.pid, SIGKILL);
+    }
+}
+
+void
+Supervisor::restartDue(Clock::time_point now)
+{
+    if (fleet_->isDraining())
+        return;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        Slot &slot = slots_[i];
+        if (slot.pid > 0 || slot.abandoned)
+            continue;
+        if (now >= slot.restartAt)
+            spawn(static_cast<int>(i));
+    }
+}
+
+bool
+Supervisor::allDead() const
+{
+    return std::all_of(slots_.begin(), slots_.end(),
+                       [](const Slot &s) {
+                           return s.pid <= 0 && s.abandoned;
+                       });
+}
+
+bool
+Supervisor::allReady() const
+{
+    return std::all_of(slots_.begin(), slots_.end(),
+                       [](const Slot &s) { return s.ready; });
+}
+
+int
+Supervisor::rollingDrain()
+{
+    fleet_->draining.store(1, std::memory_order_release);
+    logf(options_.verbose,
+         "macs serve: supervisor: rolling drain...\n");
+    bool clean = true;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        Slot &slot = slots_[i];
+        if (slot.pid <= 0) {
+            closeSlotPipe(slot);
+            continue;
+        }
+        setState(static_cast<int>(i), WorkerState::Draining);
+        ::kill(slot.pid, SIGTERM);
+        // Wait for THIS worker to finish its in-flight requests and
+        // flush its journal before moving to the next, so the rest of
+        // the fleet keeps serving for as long as possible.
+        auto kill_at =
+            Clock::now() +
+            std::chrono::milliseconds(options_.drainTimeoutMs);
+        int status = 0;
+        for (;;) {
+            pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
+            if (r == slot.pid)
+                break;
+            if (r < 0 && errno == ECHILD) {
+                status = 0;
+                break;
+            }
+            if (Clock::now() >= kill_at) {
+                ::kill(slot.pid, SIGKILL);
+                ::waitpid(slot.pid, &status, 0);
+                break;
+            }
+            ::poll(nullptr, 0, kTickMs);
+        }
+        bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        clean = clean && ok;
+        logf(options_.verbose,
+             "macs serve: supervisor: worker %zu drained%s\n", i,
+             ok ? "" : " UNCLEANLY");
+        slot.pid = -1;
+        fleet_->slots[i].pid.store(0, std::memory_order_release);
+        setState(static_cast<int>(i), WorkerState::Drained);
+        closeSlotPipe(slot);
+    }
+    return clean ? kExitClean : kExitServiceLost;
+}
+
+int
+Supervisor::run()
+{
+    Clock::time_point started = Clock::now();
+    for (int i = 0; i < options_.processes; ++i)
+        spawn(i);
+
+    std::vector<pollfd> pfds;
+    for (;;) {
+        // Wait on every live heartbeat pipe (POLLIN also wakes the
+        // loop promptly on child exit via POLLHUP).
+        pfds.clear();
+        for (const Slot &slot : slots_)
+            if (slot.pipeFd >= 0)
+                pfds.push_back(pollfd{slot.pipeFd, POLLIN, 0});
+        ::poll(pfds.empty() ? nullptr : pfds.data(),
+               static_cast<nfds_t>(pfds.size()), kTickMs);
+
+        drainHeartbeats();
+        reapExits();
+        Clock::time_point now = Clock::now();
+        checkLiveness(now);
+        restartDue(now);
+
+        if (!readySignaled_ && allReady()) {
+            readySignaled_ = true;
+            if (onReady_)
+                onReady_();
+        }
+
+        if (allDead()) {
+            logf(options_.verbose,
+                 "macs serve: supervisor: every worker slot is dead "
+                 "— service lost\n");
+            return kExitServiceLost;
+        }
+        bool stop =
+            options_.stopFlag != nullptr && *options_.stopFlag != 0;
+        if (!stop && options_.drainAfterMs > 0 &&
+            now - started >=
+                std::chrono::milliseconds(options_.drainAfterMs))
+            stop = true;
+        if (stop) {
+            int rc = rollingDrain();
+            logf(options_.verbose,
+                 "macs serve: supervisor: drained %s\n",
+                 rc == kExitClean ? "cleanly" : "with failures");
+            return rc;
+        }
+    }
+}
+
+} // namespace macs::supervisor

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Process supervision for `macs serve --processes N`
+ * (docs/ROBUSTNESS.md "Supervision hierarchy", docs/SERVER.md
+ * "Multi-process serving").
+ *
+ * The service hierarchy mirrors the MACS modeling hierarchy: a
+ * supervisor over worker processes over event-loop shards over
+ * connections, each layer bounding the blast radius of the one below.
+ * The Supervisor forks N workers (each binds the listen port with
+ * SO_REUSEPORT and runs its own Server), then watches them:
+ *
+ *  - **Heartbeats**: each worker owns the write end of a pipe and
+ *    beats every heartbeatIntervalMs; the supervisor read-drains the
+ *    pipes and treats a silence longer than livenessTimeoutMs as a
+ *    hang — the worker is SIGKILLed and restarted. The first beat is
+ *    the readiness signal (the worker has bound its socket).
+ *  - **Crash isolation**: SIGCHLD-free reaping (waitpid WNOHANG each
+ *    tick) detects exits; any exit outside a drain — signal, nonzero,
+ *    or even a stray clean exit — is a crash. The slot is restarted
+ *    after an exponential backoff (RestartPolicy) until its restart
+ *    budget is exhausted.
+ *  - **Degraded mode**: an exhausted slot is abandoned. While other
+ *    workers survive the fleet keeps serving with
+ *    `macs_supervisor_degraded 1` exported from every worker's
+ *    /metrics; the supervisor exits nonzero only when the LAST
+ *    worker is gone (kExitServiceLost).
+ *  - **Rolling drain**: a stop request (stopFlag, or the drainAfterMs
+ *    test hook) forwards SIGTERM worker-by-worker, waiting for each
+ *    to finish in-flight requests and flush its checkpoint journal
+ *    before signaling the next, so the fleet serves until the final
+ *    worker drains. Exit 0 when every drained worker exited 0.
+ *
+ * The Supervisor itself is SINGLE-THREADED and forks only from its
+ * own loop, so fork() never races a lock; workers are free to spawn
+ * threads. Worker code is injected as a WorkerMain callable — the CLI
+ * passes the full serve stack, tests pass scripted stubs — running in
+ * the child and finishing with _exit(rc).
+ *
+ * All fds the supervisor opens (heartbeat pipe ends) are closed by
+ * the time run() returns: the open-fd count is back to baseline after
+ * a drain, pinned by tests/supervisor_test.cc.
+ */
+
+#ifndef MACS_SUPERVISOR_SUPERVISOR_H
+#define MACS_SUPERVISOR_SUPERVISOR_H
+
+#include <chrono>
+#include <csignal>
+#include <functional>
+#include <vector>
+
+#include "supervisor/fleet_state.h"
+#include "supervisor/restart_policy.h"
+
+namespace macs::supervisor {
+
+/** Everything a worker needs to run; passed to WorkerMain in the
+ *  child process after fork. */
+struct WorkerContext
+{
+    int slot = 0;        ///< worker slot index in [0, processes)
+    int incarnation = 0; ///< 0 for the first fork of the slot
+    int heartbeatFd = -1; ///< write end of the heartbeat pipe
+    int heartbeatIntervalMs = 100;
+    const FleetState *fleet = nullptr; ///< shared, read-only view
+};
+
+struct SupervisorOptions
+{
+    /** Worker process count, in [1, kMaxWorkers]. */
+    int processes = 2;
+    /** Advisory beat period handed to workers (ms). */
+    int heartbeatIntervalMs = 100;
+    /** Silence longer than this is a hang: SIGKILL + restart (ms). */
+    int livenessTimeoutMs = 2000;
+    /** Restart budget + backoff of crash/hang recovery. */
+    RestartPolicy restart;
+    /** Per-worker drain grace before SIGKILL (ms). */
+    int drainTimeoutMs = 30000;
+    /**
+     * Stop flag (typically set from a SIGTERM/SIGINT handler): when
+     * it becomes nonzero, run() performs the rolling drain and
+     * returns. nullptr disables.
+     */
+    const volatile std::sig_atomic_t *stopFlag = nullptr;
+    /** Test hook: start the rolling drain this long after run()
+     *  begins (ms); 0 disables. */
+    int drainAfterMs = 0;
+    /** Log lifecycle events to stderr. */
+    bool verbose = true;
+};
+
+class Supervisor
+{
+  public:
+    /** run() result: clean rolling drain. */
+    static constexpr int kExitClean = 0;
+    /** run() result: every worker slot is dead — service lost. */
+    static constexpr int kExitServiceLost = 4;
+
+    /** Worker body; runs in the forked child, returns its exit code. */
+    using WorkerMain = std::function<int(const WorkerContext &)>;
+
+    /**
+     * @param on_ready  called once, from run(), when every initial
+     *                  worker has sent its first heartbeat (all
+     *                  listen sockets bound). May be nullptr.
+     */
+    Supervisor(SupervisorOptions options, WorkerMain worker_main,
+               std::function<void()> on_ready = nullptr);
+    ~Supervisor();
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /**
+     * Fork the fleet and supervise until a stop request (rolling
+     * drain, returns kExitClean or kExitServiceLost if a drained
+     * worker failed) or until every slot is dead (kExitServiceLost).
+     */
+    int run();
+
+    /** Shared state (read-only for callers; tests assert on it). */
+    const FleetState &fleet() const { return *fleet_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Slot
+    {
+        pid_t pid = -1;
+        int pipeFd = -1; ///< read end of the heartbeat pipe
+        int restarts = 0;
+        int nextIncarnation = 0;
+        bool ready = false;
+        bool abandoned = false;
+        bool hangKill = false; ///< SIGKILL sent for missed heartbeat
+        Clock::time_point lastBeat;
+        Clock::time_point restartAt; ///< valid in Backoff state
+    };
+
+    void spawn(int index);
+    void drainHeartbeats();
+    void reapExits();
+    void checkLiveness(Clock::time_point now);
+    void restartDue(Clock::time_point now);
+    void onWorkerDeath(int index, int status);
+    int rollingDrain();
+    void closeSlotPipe(Slot &slot);
+    void setState(int index, WorkerState state);
+    bool allDead() const;
+    bool allReady() const;
+
+    SupervisorOptions options_;
+    WorkerMain workerMain_;
+    std::function<void()> onReady_;
+    FleetState *fleet_ = nullptr;
+    std::vector<Slot> slots_;
+    bool readySignaled_ = false;
+};
+
+} // namespace macs::supervisor
+
+#endif // MACS_SUPERVISOR_SUPERVISOR_H

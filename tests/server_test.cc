@@ -28,11 +28,13 @@
 #include <vector>
 
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include "faults/fault_injection.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "pipeline/cache.h"
+#include "pipeline/checkpoint.h"
 #include "pipeline/report.h"
 #include "server/client.h"
 #include "server/http.h"
@@ -894,6 +896,117 @@ TEST(Drain, InFlightRequestFinishesWithConnectionClose)
         EXPECT_EQ(*conn, "close");
     }
     ts->drain();
+}
+
+TEST(Drain, ChunkedUploadInFlightCompletesAndJournalFlushes)
+{
+    // SIGTERM-drain contract (docs/SERVER.md): a drain that begins
+    // while a chunked-body upload is still arriving must let the
+    // request complete — 200, result appended to the checkpoint
+    // journal — before the server finishes draining.
+    fs::path journal_path =
+        fs::temp_directory_path() /
+        ("macs_drain_chunk_" + std::to_string(::getpid()) + ".ckpt");
+    fs::remove(journal_path);
+    obs::Registry registry;
+    pipeline::CheckpointJournal journal(journal_path.string(),
+                                        &registry);
+    journal.open();
+
+    ServerOptions opt;
+    opt.service.checkpoint = &journal;
+    TestServer ts(std::move(opt));
+    ts.start();
+
+    std::string body = "{\"kind\": \"lfk\", \"id\": 3}";
+    int fd = tcpConnect("127.0.0.1", ts.port(), 1000);
+    ASSERT_GE(fd, 0);
+    // Headers + first half of the chunked body, then stall.
+    std::string head =
+        "POST /v1/analyze HTTP/1.1\r\nHost: t\r\n"
+        "Content-Type: application/json\r\n"
+        "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+    std::string half1 = body.substr(0, body.size() / 2);
+    std::string half2 = body.substr(body.size() / 2);
+    char size_line[16];
+    std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                  half1.size());
+    ASSERT_TRUE(writeAll(fd, head + size_line + half1 + "\r\n", 1000));
+
+    // Wait until the server has actually accepted the connection:
+    // the drain contract protects requests in flight ON the server,
+    // not connections still sitting in the listen backlog.
+    obs::Counter &accepted = ts->metricsRegistry().counter(
+        "macs_server_connections_total", "Connections accepted");
+    for (int i = 0; i < 500 && accepted.value() < 1.0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_GE(accepted.value(), 1.0);
+
+    // Drain begins with the upload only half-delivered.
+    ts->requestStop();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // The second half still gets through: requests in flight finish.
+    std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                  half2.size());
+    ASSERT_TRUE(writeAll(
+        fd, std::string(size_line) + half2 + "\r\n0\r\n\r\n", 1000));
+    std::string reply = readUntilClosed(fd, 5000);
+    closeFd(fd);
+    ts->drain();
+
+    EXPECT_NE(reply.find(" 200 "), std::string::npos) << reply;
+    EXPECT_EQ(journal.entryCount(), 1u)
+        << "the completed analysis must be flushed to the journal";
+    fs::remove(journal_path);
+}
+
+// ---------------------------------------------------------------------
+// SIGPIPE regression: a client that disappears mid-response must be
+// an EPIPE on the server's send path (MSG_NOSIGNAL everywhere), never
+// a process-killing signal — for BOTH connection cores.
+// ---------------------------------------------------------------------
+
+void
+clientClosesMidResponse(CoreMode core)
+{
+    ServerOptions opt;
+    opt.core = core;
+    TestServer ts(std::move(opt));
+    ts.start();
+
+    for (int i = 0; i < 3; ++i) {
+        int fd = tcpConnect("127.0.0.1", ts.port(), 1000);
+        ASSERT_GE(fd, 0);
+        ASSERT_TRUE(writeAll(fd,
+                             "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n",
+                             1000));
+        // SO_LINGER(0): close() sends RST instead of FIN, so the
+        // server's in-progress response write hits a dead socket.
+        struct linger lg;
+        lg.l_onoff = 1;
+        lg.l_linger = 0;
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+        closeFd(fd);
+    }
+
+    // If SIGPIPE had killed the process we would never get here; the
+    // server must also still answer new clients.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    HttpClient client("127.0.0.1", ts.port());
+    ClientResponse resp;
+    ASSERT_TRUE(client.request("GET", "/healthz", "", resp));
+    EXPECT_EQ(resp.status, 200);
+}
+
+TEST(Sigpipe, EventedCoreSurvivesClientClosingMidResponse)
+{
+    clientClosesMidResponse(CoreMode::Evented);
+}
+
+TEST(Sigpipe, ThreadedCoreSurvivesClientClosingMidResponse)
+{
+    clientClosesMidResponse(CoreMode::Threaded);
 }
 
 } // namespace

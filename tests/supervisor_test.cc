@@ -1,0 +1,448 @@
+// Tests for the process supervisor (docs/ROBUSTNESS.md "Supervision
+// hierarchy", docs/SERVER.md "Multi-process serving"): the
+// RestartPolicy arithmetic, the shared-memory FleetState and its
+// /metrics / /healthz renderers, the proc fault keys, and the
+// Supervisor itself driven end to end with REAL forked workers —
+// clean rolling drain, crash restart with backoff, missed-heartbeat
+// hang kills, restart-budget exhaustion into degraded mode, service
+// loss, seeded-fault restart determinism, and the open-fd baseline
+// after a drain.
+//
+// The test process is single-threaded when Supervisor::run() forks
+// (gtest runs tests sequentially on the main thread); worker stubs
+// run in the child and never return into gtest — Supervisor _exit()s
+// them. Stubs are tiny scripted loops: beat until SIGTERM, crash on
+// a chosen incarnation, or go silent to trip the watchdog.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "faults/fault_injection.h"
+#include "supervisor/fleet_state.h"
+#include "supervisor/proc_faults.h"
+#include "supervisor/restart_policy.h"
+#include "supervisor/supervisor.h"
+
+namespace macs::supervisor {
+namespace {
+
+// ---------------------------------------------------------------------
+// RestartPolicy: pure arithmetic.
+// ---------------------------------------------------------------------
+
+TEST(RestartPolicy, BackoffDoublesFromBaseToCap)
+{
+    RestartPolicy policy;
+    policy.baseMs = 50;
+    policy.capMs = 2000;
+    EXPECT_EQ(policy.backoffMs(0), 50);
+    EXPECT_EQ(policy.backoffMs(1), 100);
+    EXPECT_EQ(policy.backoffMs(2), 200);
+    EXPECT_EQ(policy.backoffMs(5), 1600);
+    EXPECT_EQ(policy.backoffMs(6), 2000);
+    EXPECT_EQ(policy.backoffMs(7), 2000);
+}
+
+TEST(RestartPolicy, BackoffSaturatesWithoutOverflow)
+{
+    RestartPolicy policy;
+    policy.baseMs = 50;
+    policy.capMs = 2000;
+    // 2^1000 would overflow any integer; the loop must cap first.
+    EXPECT_EQ(policy.backoffMs(1000), 2000);
+    EXPECT_EQ(policy.backoffMs(-3), 50); // clamped to "no restarts yet"
+}
+
+TEST(RestartPolicy, ExhaustedAtBudget)
+{
+    RestartPolicy policy;
+    policy.budget = 3;
+    EXPECT_FALSE(policy.exhausted(0));
+    EXPECT_FALSE(policy.exhausted(2));
+    EXPECT_TRUE(policy.exhausted(3));
+    EXPECT_TRUE(policy.exhausted(7));
+
+    policy.budget = 0; // never restart: first death abandons the slot
+    EXPECT_TRUE(policy.exhausted(0));
+}
+
+// ---------------------------------------------------------------------
+// Proc fault keys: (slot, incarnation) pairs map to distinct keys, so
+// a seeded plan selects a deterministic set of deaths.
+// ---------------------------------------------------------------------
+
+TEST(ProcFaults, KeysAreDistinctPerSlotAndIncarnation)
+{
+    EXPECT_EQ(procFaultKey(0, 0), 0u);
+    EXPECT_EQ(procFaultKey(0, 1), 1u);
+    EXPECT_EQ(procFaultKey(1, 0), 256u);
+    EXPECT_EQ(procFaultKey(3, 2), 0x302u);
+
+    std::vector<uint64_t> seen;
+    for (int slot = 0; slot < kMaxWorkers; ++slot)
+        for (int inc = 0; inc < 16; ++inc)
+            seen.push_back(procFaultKey(slot, inc));
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(ProcFaults, DecisionIsPureFunctionOfSeedSiteKey)
+{
+    for (int slot = 0; slot < 4; ++slot) {
+        uint64_t key = procFaultKey(slot, 0);
+        bool first =
+            faults::faultDecision(42, faults::Site::ProcCrash, key, 0.5);
+        EXPECT_EQ(first, faults::faultDecision(
+                             42, faults::Site::ProcCrash, key, 0.5));
+        // Different site name => independent draw stream.
+        (void)faults::faultDecision(42, faults::Site::ProcHang, key, 0.5);
+    }
+}
+
+TEST(ProcFaults, SiteNamesRoundTrip)
+{
+    EXPECT_STREQ(faults::siteName(faults::Site::ProcCrash), "proc-crash");
+    EXPECT_STREQ(faults::siteName(faults::Site::ProcHang), "proc-hang");
+    EXPECT_EQ(faults::siteFromName("proc-crash"),
+              faults::Site::ProcCrash);
+    EXPECT_EQ(faults::siteFromName("proc-hang"), faults::Site::ProcHang);
+}
+
+// ---------------------------------------------------------------------
+// FleetState renderers: deterministic bytes for a given state.
+// ---------------------------------------------------------------------
+
+TEST(FleetState, WorkerStateNames)
+{
+    EXPECT_STREQ(workerStateName(WorkerState::Empty), "empty");
+    EXPECT_STREQ(workerStateName(WorkerState::Serving), "serving");
+    EXPECT_STREQ(workerStateName(WorkerState::Abandoned), "abandoned");
+    EXPECT_STREQ(workerStateName(WorkerState::Drained), "drained");
+}
+
+TEST(FleetState, MetricsRollupRendersEverySlotInOrder)
+{
+    auto state = std::make_unique<FleetState>();
+    state->processes.store(2);
+    state->degraded.store(1);
+    state->slots[0].state.store(
+        static_cast<uint32_t>(WorkerState::Serving));
+    state->slots[0].restarts.store(3);
+    state->slots[0].crashes.store(2);
+    state->slots[0].hangs.store(1);
+    state->slots[1].state.store(
+        static_cast<uint32_t>(WorkerState::Abandoned));
+
+    std::string text = renderFleetMetrics(*state, 0);
+    EXPECT_NE(text.find("macs_supervisor_degraded 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("macs_supervisor_draining 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("macs_supervisor_processes 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("macs_supervisor_workers_alive 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("macs_supervisor_worker_up{worker=\"0\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("macs_supervisor_worker_up{worker=\"1\"} 0\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("macs_supervisor_restarts_total{worker=\"0\"} 3\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("macs_supervisor_crashes_total{worker=\"0\"} 2\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("macs_supervisor_hangs_total{worker=\"0\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("macs_supervisor_self_worker 0\n"),
+              std::string::npos);
+    // Slot order is fixed: worker 0's series precede worker 1's.
+    EXPECT_LT(text.find("restarts_total{worker=\"0\"}"),
+              text.find("restarts_total{worker=\"1\"}"));
+    // Identical state renders identical bytes.
+    EXPECT_EQ(text, renderFleetMetrics(*state, 0));
+    // Without a self slot the self series is omitted.
+    EXPECT_EQ(renderFleetMetrics(*state, -1)
+                  .find("macs_supervisor_self_worker"),
+              std::string::npos);
+}
+
+TEST(FleetState, HealthJsonRollup)
+{
+    auto state = std::make_unique<FleetState>();
+    state->processes.store(3);
+    state->slots[0].state.store(
+        static_cast<uint32_t>(WorkerState::Serving));
+    state->slots[1].state.store(
+        static_cast<uint32_t>(WorkerState::Serving));
+    state->slots[2].state.store(
+        static_cast<uint32_t>(WorkerState::Backoff));
+    state->slots[2].restarts.store(2);
+
+    EXPECT_EQ(renderFleetHealthJson(*state, 1),
+              ", \"worker\": 1, \"processes\": 3, \"alive\": 2, "
+              "\"restarts\": 2, \"degraded\": false");
+}
+
+TEST(FleetState, SharedMappingCrossesFork)
+{
+    FleetState *state = createSharedFleetState();
+    ASSERT_NE(state, nullptr);
+    EXPECT_EQ(state->processes.load(), 0u);
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        state->slots[0].pid.store(1234);
+        _exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    EXPECT_EQ(state->slots[0].pid.load(), 1234)
+        << "child write must be visible through the shared mapping";
+    destroySharedFleetState(state);
+}
+
+// ---------------------------------------------------------------------
+// Supervisor end to end, with real forked workers.
+// ---------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_worker_term = 0;
+
+void
+onWorkerTerm(int)
+{
+    g_worker_term = 1;
+}
+
+/** Worker stub: beat every 10 ms until the rolling drain's SIGTERM. */
+int
+beatUntilTerm(const WorkerContext &ctx)
+{
+    g_worker_term = 0;
+    std::signal(SIGTERM, onWorkerTerm);
+    while (g_worker_term == 0) {
+        char beat = 1;
+        if (::write(ctx.heartbeatFd, &beat, 1) < 0 && errno == EPIPE)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return 0;
+}
+
+SupervisorOptions
+fastOptions(int processes)
+{
+    SupervisorOptions opt;
+    opt.processes = processes;
+    opt.heartbeatIntervalMs = 10;
+    opt.livenessTimeoutMs = 300;
+    opt.restart.baseMs = 10;
+    opt.restart.capMs = 40;
+    opt.drainTimeoutMs = 5000;
+    opt.verbose = false;
+    return opt;
+}
+
+size_t
+openFdCount()
+{
+    size_t n = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator("/proc/self/fd"))
+        (void)entry, ++n;
+    return n;
+}
+
+TEST(Supervisor, CleanRollingDrainExitsZero)
+{
+    SupervisorOptions opt = fastOptions(2);
+    opt.drainAfterMs = 200;
+    Supervisor sup(opt, beatUntilTerm);
+    EXPECT_EQ(sup.run(), Supervisor::kExitClean);
+
+    const FleetState &fleet = sup.fleet();
+    EXPECT_TRUE(fleet.isDraining());
+    EXPECT_FALSE(fleet.isDegraded());
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_EQ(fleet.slots[i].workerState(), WorkerState::Drained)
+            << "slot " << i;
+        EXPECT_EQ(fleet.slots[i].restarts.load(), 0u);
+    }
+}
+
+TEST(Supervisor, CrashedWorkerIsRestarted)
+{
+    SupervisorOptions opt = fastOptions(2);
+    opt.drainAfterMs = 500;
+    // Slot 1 crashes on its first incarnation only.
+    auto worker = [](const WorkerContext &ctx) -> int {
+        if (ctx.slot == 1 && ctx.incarnation == 0)
+            return 1; // counted as a crash: exit outside a drain
+        return beatUntilTerm(ctx);
+    };
+    Supervisor sup(opt, worker);
+    EXPECT_EQ(sup.run(), Supervisor::kExitClean);
+
+    const FleetState &fleet = sup.fleet();
+    EXPECT_EQ(fleet.slots[0].restarts.load(), 0u);
+    EXPECT_EQ(fleet.slots[1].restarts.load(), 1u);
+    EXPECT_EQ(fleet.slots[1].crashes.load(), 1u);
+    EXPECT_EQ(fleet.slots[1].hangs.load(), 0u);
+    EXPECT_EQ(fleet.slots[1].incarnation.load(), 1u);
+    EXPECT_FALSE(fleet.isDegraded());
+    EXPECT_EQ(fleet.slots[1].workerState(), WorkerState::Drained);
+}
+
+TEST(Supervisor, HungWorkerIsKilledByWatchdogAndRestarted)
+{
+    SupervisorOptions opt = fastOptions(1);
+    opt.livenessTimeoutMs = 150;
+    opt.drainAfterMs = 700;
+    // First incarnation beats once (reaches readiness) then goes
+    // silent — a genuine hang from the supervisor's point of view.
+    auto worker = [](const WorkerContext &ctx) -> int {
+        if (ctx.incarnation == 0) {
+            char beat = 1;
+            (void)!::write(ctx.heartbeatFd, &beat, 1);
+            for (;;)
+                std::this_thread::sleep_for(std::chrono::seconds(10));
+        }
+        return beatUntilTerm(ctx);
+    };
+    Supervisor sup(opt, worker);
+    EXPECT_EQ(sup.run(), Supervisor::kExitClean);
+
+    const FleetState &fleet = sup.fleet();
+    EXPECT_EQ(fleet.slots[0].hangs.load(), 1u);
+    EXPECT_EQ(fleet.slots[0].crashes.load(), 0u);
+    EXPECT_EQ(fleet.slots[0].restarts.load(), 1u);
+    EXPECT_EQ(fleet.slots[0].workerState(), WorkerState::Drained);
+}
+
+TEST(Supervisor, BudgetExhaustionDegradesFleetButSurvivorsServe)
+{
+    SupervisorOptions opt = fastOptions(2);
+    opt.restart.budget = 1;
+    opt.drainAfterMs = 500;
+    // Slot 0 crashes on every incarnation; slot 1 serves. After the
+    // budget (1 restart) is exhausted, slot 0 is abandoned and the
+    // fleet is degraded — but the drain of the survivor is clean, so
+    // run() still exits 0.
+    auto worker = [](const WorkerContext &ctx) -> int {
+        if (ctx.slot == 0)
+            return 1;
+        return beatUntilTerm(ctx);
+    };
+    Supervisor sup(opt, worker);
+    EXPECT_EQ(sup.run(), Supervisor::kExitClean);
+
+    const FleetState &fleet = sup.fleet();
+    EXPECT_TRUE(fleet.isDegraded());
+    EXPECT_EQ(fleet.slots[0].workerState(), WorkerState::Abandoned);
+    EXPECT_EQ(fleet.slots[0].restarts.load(), 1u);
+    EXPECT_EQ(fleet.slots[0].crashes.load(), 2u);
+    EXPECT_EQ(fleet.slots[1].workerState(), WorkerState::Drained);
+}
+
+TEST(Supervisor, LastWorkerLostExitsServiceLost)
+{
+    SupervisorOptions opt = fastOptions(1);
+    opt.restart.budget = 0; // first death abandons the only slot
+    opt.drainAfterMs = 5000; // never reached: the fleet dies first
+    auto worker = [](const WorkerContext &) -> int { return 1; };
+    Supervisor sup(opt, worker);
+    EXPECT_EQ(sup.run(), Supervisor::kExitServiceLost);
+    EXPECT_EQ(sup.fleet().slots[0].workerState(),
+              WorkerState::Abandoned);
+}
+
+TEST(Supervisor, OnReadyFiresOnceAfterEveryWorkerBeats)
+{
+    SupervisorOptions opt = fastOptions(2);
+    opt.drainAfterMs = 250;
+    int ready_calls = 0;
+    Supervisor sup(opt, beatUntilTerm, [&] { ++ready_calls; });
+    EXPECT_EQ(sup.run(), Supervisor::kExitClean);
+    EXPECT_EQ(ready_calls, 1);
+}
+
+TEST(Supervisor, OpenFdCountReturnsToBaselineAfterDrain)
+{
+    size_t baseline = openFdCount();
+    {
+        SupervisorOptions opt = fastOptions(3);
+        opt.drainAfterMs = 200;
+        Supervisor sup(opt, beatUntilTerm);
+        EXPECT_EQ(sup.run(), Supervisor::kExitClean);
+        EXPECT_EQ(openFdCount(), baseline)
+            << "heartbeat pipe fds must all be closed by run()'s "
+               "return";
+    }
+    EXPECT_EQ(openFdCount(), baseline);
+}
+
+TEST(Supervisor, SeededProcCrashGivesDeterministicRestartCounts)
+{
+    // The worker consults the SAME seeded plan the chaos stage uses
+    // (scripts/chaos.sh: proc-crash:0.5:72): proc-crash keyed by
+    // (slot, incarnation). Restart counts are therefore a pure
+    // function of the plan — predicted here with faultDecision() and
+    // asserted against the live fleet counters. Seed 72 kills every
+    // one of the 4 slots at least once (restarts 1,1,2,1).
+    constexpr uint64_t kSeed = 72;
+    constexpr double kProb = 0.5;
+    constexpr int kProcesses = 4;
+
+    uint32_t expected[kProcesses] = {};
+    for (int slot = 0; slot < kProcesses; ++slot) {
+        int inc = 0;
+        while (faults::faultDecision(kSeed, faults::Site::ProcCrash,
+                                     procFaultKey(slot, inc), kProb))
+            ++inc;
+        expected[slot] = static_cast<uint32_t>(inc);
+    }
+
+    SupervisorOptions opt = fastOptions(kProcesses);
+    opt.drainAfterMs = 900;
+    auto worker = [](const WorkerContext &ctx) -> int {
+        faults::FaultInjector injector(
+            faults::FaultPlan::parse("proc-crash:0.5:72"));
+        if (injector.shouldFire(
+                faults::Site::ProcCrash,
+                procFaultKey(ctx.slot, ctx.incarnation)))
+            return 1; // die exactly when the plan says so
+        return beatUntilTerm(ctx);
+    };
+    Supervisor sup(opt, worker);
+    EXPECT_EQ(sup.run(), Supervisor::kExitClean);
+
+    const FleetState &fleet = sup.fleet();
+    uint32_t total = 0;
+    for (int slot = 0; slot < kProcesses; ++slot) {
+        EXPECT_EQ(fleet.slots[slot].restarts.load(), expected[slot])
+            << "slot " << slot
+            << ": restart count must match the seeded prediction";
+        total += expected[slot];
+    }
+    EXPECT_EQ(fleet.totalRestarts(), total);
+    for (int slot = 0; slot < kProcesses; ++slot)
+        EXPECT_GE(expected[slot], 1u)
+            << "seed 72 must kill every slot at least once or the "
+               "chaos coverage claim is vacuous";
+}
+
+} // namespace
+} // namespace macs::supervisor

@@ -56,7 +56,16 @@
  *       --core MODE     evented (default) or threaded (legacy)
  *       --max-connections N  open-connection bound before 503
  *       --cache-cap N   LRU bound of the shared cache (default 1024)
- *       SIGTERM/SIGINT  graceful drain, exit 0 (docs/SERVER.md)
+ *       --processes N   SO_REUSEPORT worker processes under a
+ *                       supervisor (default 1 = no supervisor)
+ *       --heartbeat-ms N   worker heartbeat interval (default 100)
+ *       --liveness-ms N    missed-heartbeat kill deadline (2000)
+ *       --restart-budget N per-slot restarts before the slot is
+ *                          abandoned and the fleet degrades (8)
+ *       --drain-timeout N  per-worker drain grace in ms (30000)
+ *       SIGTERM/SIGINT  graceful drain, exit 0 (docs/SERVER.md);
+ *                       supervised fleets drain worker-by-worker and
+ *                       exit 4 only when every slot is dead
  *   macs http <method> <target> [opts]   client for `macs serve`
  *   macs version                         build + schema versions
  *
@@ -70,6 +79,8 @@
  * .loop are analyzed alongside (or instead of) the LFK set; all input
  * paths are validated before any worker starts.
  */
+
+#include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
@@ -106,6 +117,8 @@
 #include "server/client.h"
 #include "server/kernel_source.h"
 #include "server/server.h"
+#include "supervisor/proc_faults.h"
+#include "supervisor/supervisor.h"
 #include "sim/simulator.h"
 #include "support/diag.h"
 #include "support/logging.h"
@@ -906,6 +919,8 @@ cmdServe(const std::vector<std::string> &args)
     long port = 8080, workers = 0, queue = 64, cache_cap = 1024;
     long request_timeout = 5000, retries = 2, trip = 512;
     long max_body = 0, shards = 0, max_conns = 4096;
+    long processes = 1, heartbeat_ms = 100, liveness_ms = 2000;
+    long restart_budget = 8, drain_timeout = 30000;
     double job_timeout_ms = 0.0;
 
     Diagnostics diags("macs serve");
@@ -939,6 +954,32 @@ cmdServe(const std::vector<std::string> &args)
             if (!parseInt(next("--shards"), shards) || shards < 0)
                 diags.error("--shards expects a non-negative number "
                             "(0 = auto)");
+        } else if (a == "--processes") {
+            if (!parseInt(next("--processes"), processes) ||
+                processes < 1 || processes > supervisor::kMaxWorkers)
+                diags.error(format(
+                    "--processes expects a number in [1, %d]",
+                    supervisor::kMaxWorkers));
+        } else if (a == "--heartbeat-ms") {
+            if (!parseInt(next("--heartbeat-ms"), heartbeat_ms) ||
+                heartbeat_ms < 1)
+                diags.error("--heartbeat-ms expects a positive number "
+                            "of milliseconds");
+        } else if (a == "--liveness-ms") {
+            if (!parseInt(next("--liveness-ms"), liveness_ms) ||
+                liveness_ms < 1)
+                diags.error("--liveness-ms expects a positive number "
+                            "of milliseconds");
+        } else if (a == "--restart-budget") {
+            if (!parseInt(next("--restart-budget"), restart_budget) ||
+                restart_budget < 0)
+                diags.error(
+                    "--restart-budget expects a non-negative number");
+        } else if (a == "--drain-timeout") {
+            if (!parseInt(next("--drain-timeout"), drain_timeout) ||
+                drain_timeout < 1)
+                diags.error("--drain-timeout expects a positive "
+                            "number of milliseconds");
         } else if (a == "--max-connections") {
             if (!parseInt(next("--max-connections"), max_conns) ||
                 max_conns < 1)
@@ -985,58 +1026,179 @@ cmdServe(const std::vector<std::string> &args)
                 detail::concat("unknown serve option '", a, "'"));
         }
     }
+    if (liveness_ms <= heartbeat_ms)
+        diags.error("--liveness-ms must exceed --heartbeat-ms");
     faults::FaultPlan fault_plan;
     if (!fault_spec.empty())
         fault_plan = faults::FaultPlan::parse(fault_spec, diags);
     diags.throwIfErrors();
 
-    std::unique_ptr<faults::FaultInjector> injector;
-    if (!fault_spec.empty())
-        injector = std::make_unique<faults::FaultInjector>(fault_plan);
+    // Socket sends pass MSG_NOSIGNAL, but the supervised heartbeat
+    // pipe uses plain write(2): a vanished peer must be EPIPE, never
+    // a process-killing SIGPIPE.
+    server::ignoreSigpipe();
 
-    std::unique_ptr<pipeline::CheckpointJournal> journal;
-    if (!checkpoint_path.empty()) {
-        journal = std::make_unique<pipeline::CheckpointJournal>(
-            checkpoint_path, nullptr,
-            injector != nullptr ? injector.get()
-                                : &faults::FaultInjector::global());
+    // Options shared by the single-process server and every
+    // supervised worker; the caller plugs in the per-process bits
+    // (port, fleet, injector, journal).
+    auto makeOptions = [&](faults::FaultInjector *inj,
+                           pipeline::CheckpointJournal *jr) {
+        server::ServerOptions opt;
+        opt.host = host;
+        opt.port = static_cast<int>(port);
+        opt.workers = static_cast<size_t>(workers);
+        opt.queueCapacity = static_cast<size_t>(queue);
+        opt.core = core == "threaded" ? server::CoreMode::Threaded
+                                      : server::CoreMode::Evented;
+        opt.shards = static_cast<size_t>(shards);
+        opt.maxConnections = static_cast<size_t>(max_conns);
+        opt.requestTimeoutMs = static_cast<int>(request_timeout);
+        opt.defaultTrip = trip;
+        opt.versionString = MACS_VERSION_STRING;
+        if (max_body > 0)
+            opt.limits.maxBodyBytes = static_cast<size_t>(max_body);
+        opt.service.maxRetries = static_cast<int>(retries);
+        opt.service.jobTimeoutMs = job_timeout_ms;
+        opt.service.cacheCapacity = static_cast<size_t>(cache_cap);
+        opt.service.checkpoint = jr;
+        opt.service.faults = inj;
+        opt.faults = inj;
+        return opt;
+    };
+    auto openJournal =
+        [&](const std::string &path, const faults::FaultInjector *inj)
+        -> std::unique_ptr<pipeline::CheckpointJournal> {
+        auto journal = std::make_unique<pipeline::CheckpointJournal>(
+            path, nullptr,
+            inj != nullptr ? inj : &faults::FaultInjector::global());
         pipeline::CheckpointJournal::LoadStats ls = journal->open();
         if (ls.loaded + ls.corrupt + ls.torn > 0)
             std::fprintf(stderr,
                          "checkpoint '%s': %zu record(s) resumed, "
                          "%zu corrupt, %zu torn\n",
-                         checkpoint_path.c_str(), ls.loaded,
-                         ls.corrupt, ls.torn);
-    }
-
-    server::ServerOptions opt;
-    opt.host = host;
-    opt.port = static_cast<int>(port);
-    opt.workers = static_cast<size_t>(workers);
-    opt.queueCapacity = static_cast<size_t>(queue);
-    opt.core = core == "threaded" ? server::CoreMode::Threaded
-                                  : server::CoreMode::Evented;
-    opt.shards = static_cast<size_t>(shards);
-    opt.maxConnections = static_cast<size_t>(max_conns);
-    opt.requestTimeoutMs = static_cast<int>(request_timeout);
-    opt.defaultTrip = trip;
-    opt.versionString = MACS_VERSION_STRING;
-    if (max_body > 0)
-        opt.limits.maxBodyBytes = static_cast<size_t>(max_body);
-    opt.service.maxRetries = static_cast<int>(retries);
-    opt.service.jobTimeoutMs = job_timeout_ms;
-    opt.service.cacheCapacity = static_cast<size_t>(cache_cap);
-    opt.service.checkpoint = journal.get();
-    opt.service.faults = injector.get();
-    opt.faults = injector.get();
-
-    server::Server srv(opt);
+                         path.c_str(), ls.loaded, ls.corrupt,
+                         ls.torn);
+        return journal;
+    };
 
     // Graceful drain on SIGTERM/SIGINT (docs/SERVER.md): the handler
     // only flips an atomic flag; this thread notices it, stops
     // accepting, lets every in-flight request finish, and exits 0.
     std::signal(SIGTERM, onStopSignal);
     std::signal(SIGINT, onStopSignal);
+
+    if (processes > 1) {
+        // Supervised fleet (docs/SERVER.md "Multi-process serving").
+        // A SO_REUSEPORT holder socket resolves an ephemeral --port 0
+        // to the concrete port every worker must share; it never
+        // accepts, and is closed the moment the whole fleet is ready
+        // (on_ready below) — before the port file invites clients in.
+        server::Listener holder;
+        holder.open(host, static_cast<int>(port), 1, true);
+        const int fleet_port = holder.boundPort();
+
+        supervisor::SupervisorOptions sup;
+        sup.processes = static_cast<int>(processes);
+        sup.heartbeatIntervalMs = static_cast<int>(heartbeat_ms);
+        sup.livenessTimeoutMs = static_cast<int>(liveness_ms);
+        sup.restart.budget = static_cast<int>(restart_budget);
+        sup.drainTimeoutMs = static_cast<int>(drain_timeout);
+        sup.stopFlag = &g_stop_requested;
+
+        auto worker_main =
+            [&](const supervisor::WorkerContext &ctx) -> int {
+            // Child process. The inherited stop flag and holder fd
+            // belong to the supervisor's story: reset ours, drop the
+            // holder.
+            g_stop_requested = 0;
+            holder.close();
+
+            std::unique_ptr<faults::FaultInjector> winjector;
+            if (!fault_spec.empty())
+                winjector =
+                    std::make_unique<faults::FaultInjector>(fault_plan);
+            supervisor::armProcFaults(
+                winjector != nullptr ? *winjector
+                                     : faults::FaultInjector::global(),
+                ctx.slot, ctx.incarnation);
+
+            // Per-worker journal: a shared append-only file would
+            // interleave records across processes.
+            std::unique_ptr<pipeline::CheckpointJournal> wjournal;
+            if (!checkpoint_path.empty())
+                wjournal = openJournal(
+                    detail::concat(checkpoint_path, ".w",
+                                   std::to_string(ctx.slot)),
+                    winjector.get());
+
+            server::ServerOptions wopt =
+                makeOptions(winjector.get(), wjournal.get());
+            wopt.port = fleet_port;
+            wopt.reusePort = true;
+            wopt.workerIndex = ctx.slot;
+            wopt.fleet = ctx.fleet;
+
+            server::Server srv(wopt);
+            srv.start();
+
+            // Heartbeat: one byte per interval. The FIRST beat
+            // doubles as the readiness signal (our SO_REUSEPORT
+            // socket is bound and accepting). EPIPE means the
+            // supervisor is gone — self-drain rather than serve on
+            // as an orphan.
+            while (g_stop_requested == 0) {
+                char beat = 1;
+                if (::write(ctx.heartbeatFd, &beat, 1) < 0 &&
+                    errno == EPIPE)
+                    break;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        ctx.heartbeatIntervalMs));
+            }
+            srv.drain();
+            server::closeFd(ctx.heartbeatFd);
+            std::fprintf(stderr,
+                         "macs serve: worker %d: drained cleanly\n",
+                         ctx.slot);
+            return 0;
+        };
+
+        bool port_file_failed = false;
+        supervisor::Supervisor fleet(sup, worker_main, [&] {
+            holder.close();
+            if (!port_file.empty()) {
+                std::ofstream pf(port_file);
+                if (pf)
+                    pf << fleet_port << "\n";
+                else {
+                    std::fprintf(
+                        stderr,
+                        "macs serve: cannot write port file '%s'\n",
+                        port_file.c_str());
+                    port_file_failed = true;
+                    g_stop_requested = 1;
+                }
+            }
+            std::fprintf(stderr,
+                         "macs serve: supervising %ld workers on "
+                         "%s:%d (core %s, queue %ld, cache cap "
+                         "%ld)\n",
+                         processes, host.c_str(), fleet_port,
+                         core.c_str(), queue, cache_cap);
+        });
+        int rc = fleet.run();
+        return port_file_failed && rc == 0 ? 1 : rc;
+    }
+
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (!fault_spec.empty())
+        injector = std::make_unique<faults::FaultInjector>(fault_plan);
+
+    std::unique_ptr<pipeline::CheckpointJournal> journal;
+    if (!checkpoint_path.empty())
+        journal = openJournal(checkpoint_path, injector.get());
+
+    server::Server srv(makeOptions(injector.get(), journal.get()));
 
     srv.start();
     if (!port_file.empty()) {
@@ -1188,7 +1350,11 @@ usage()
         "                          --request-timeout MS, "
         "--job-timeout MS, --retries N, --trip N,\n"
         "                          --max-body BYTES, "
-        "--checkpoint FILE, --faults SPEC)\n"
+        "--checkpoint FILE, --faults SPEC,\n"
+        "                          --processes N, --heartbeat-ms MS, "
+        "--liveness-ms MS,\n"
+        "                          --restart-budget N, "
+        "--drain-timeout MS)\n"
         "  http <method> <target>  in-process HTTP client for serve "
         "(--port N, --host H,\n"
         "                          --data STR, --body FILE, "
@@ -1204,7 +1370,9 @@ usage()
         "  3 = total failure (no job produced a result). `serve` "
         "mirrors the same\n"
         "  0/2/3 per request in the X-MACS-Exit-Code response "
-        "header.\n");
+        "header; a supervised\n"
+        "  fleet (--processes > 1) exits 4 only when every worker "
+        "slot is dead.\n");
 }
 
 } // namespace
