@@ -12,8 +12,10 @@
 #include <string>
 
 #include "bench_util.h"
+#include "lfk/mp_workload.h"
 #include "sim/contention.h"
 #include "sim/multi_cpu.h"
+#include "sim/mp/coupled.h"
 #include "sim/simulator.h"
 #include "support/table.h"
 
@@ -113,6 +115,51 @@ main()
                   Table::num((long)r.iterations)});
     }
     std::printf("%s\n", e.render().c_str());
+
+    // ---- cycle-coupled shared banks: the multi-process series with
+    // NO contention knob at all — four copies advance in lockstepped
+    // global time against one SharedMemorySystem and every delay
+    // emerges from bank reservations (sim/mp/, docs/MULTICPU.md).
+    // Side by side with the analytic tier above: the coupled engine
+    // is the measurement the fixed point approximates. ----
+    std::printf("cycle-coupled 4-CPU fleet (emergent contention, "
+                "independent mix):\n\n");
+    Table c({"LFK", "CPF multi", "degr%", "ns/access", "collisions",
+             "analytic degr%"});
+    for (int id : {1, 3, 7, 10}) {
+        machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+        lfk::MpWorkload w =
+            lfk::buildMpWorkload(id, lfk::MpMix::Independent, 4);
+        sim::mp::CoupledResult r = sim::mp::runCoupled(w.jobs, cfg, {});
+        double mean_cycles = 0.0, ns = 0.0;
+        uint64_t collisions = 0;
+        for (const sim::mp::CoupledCpuResult &cpu : r.cpus) {
+            mean_cycles += cpu.stats.cycles;
+            ns += cpu.shared.perAccessCycles() * cfg.clockNs();
+            collisions += cpu.shared.collisions;
+        }
+        mean_cycles /= 4.0;
+        ns /= 4.0;
+        const lfk::Kernel &k = w.kernels.front();
+        double cpf = mean_cycles / static_cast<double>(k.points) /
+                     k.flopsPerPoint;
+        double single = allAnalyses().at(id).actualCpf();
+
+        // The analytic tier's answer for the same fleet.
+        std::vector<sim::CpuJob> jobs;
+        for (const sim::mp::CoupledJob &j : w.jobs)
+            jobs.push_back({j.program, j.setup});
+        sim::MultiCpuResult fx = sim::runMultiCpu(jobs, cfg);
+        double fx_cpf = fx.stats[0].cycles /
+                        static_cast<double>(k.points) / k.flopsPerPoint;
+
+        c.addRow({"LFK" + std::to_string(id), Table::num(cpf),
+                  Table::num(100.0 * (cpf / single - 1.0), 1),
+                  Table::num(ns, 1),
+                  Table::num(static_cast<long>(collisions)),
+                  Table::num(100.0 * (fx_cpf / single - 1.0), 1)});
+    }
+    std::printf("%s\n", c.render().c_str());
 
     int n = static_cast<int>(lfk::lfkIds().size());
     std::printf(

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Multi-CPU memory contention: the cycle-coupled shared-bank engine
+ * (sim/mp/) against the paper's section-4.2 observations and the
+ * MACS C-level bound, Table-4 style.
+ *
+ * For 1/2/4 CPUs in the independent and lock-step mixes the bench
+ * runs a fleet of the memory-saturated LFK1 through runCoupled and
+ * reports per-access time (the paper's 40 ns peak vs its 56-64 ns
+ * multi-user band), run-time degradation, collision counts, and the
+ * analytic t_MACS^C bound next to the emergent measurement. A strip
+ * section splits one LFK1 across four CPUs. Every number here is
+ * deterministic — the coupled engine commits accesses in a global
+ * (time, cpu) order — so the gated metrics are exact model
+ * properties, not wall-clock samples.
+ *
+ * Hard bands (the bench exits nonzero outside them):
+ *  - four independent memory-saturated CPUs: 56-64 ns per access
+ *    (1.4-1.6x the 40 ns peak);
+ *  - a mixed four-process fleet (LFK 1, 7, 5, 11 — the paper's
+ *    multi-user setting: one memory-saturated stream, one FP-bound
+ *    vector kernel and two scalar-dominated kernels whose sparse
+ *    access streams mask most of the port pressure): roughly 20%
+ *    run-time degradation;
+ *  - four lock-step CPUs: at or below the paper's 5-10% band and
+ *    strictly below independent. Bank-aligned copies interleave
+ *    almost perfectly here (~1%); see docs/MULTICPU.md for why the
+ *    zero-slack 4x8=32 geometry makes the 5-10% midpoint an
+ *    unstable target.
+ *
+ * `--json PATH` writes schema "macs-bench-mp-contention-v1" for
+ * scripts/perf_gate.py. Gated metrics are margins against the band
+ * edges (value/edge ratios, higher is better), so a calibration
+ * regression trips the gate before it drifts out of band.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "lfk/kernels.h"
+#include "lfk/mp_workload.h"
+#include "machine/machine_config.h"
+#include "macs/contention_level.h"
+#include "sim/contention.h"
+#include "sim/mp/coupled.h"
+#include "sim/simulator.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace macs;
+
+// Paper section 4.2: one access per 56-64 ns against the 40 ns peak.
+constexpr double kBandLowNs = 56.0;
+constexpr double kBandHighNs = 64.0;
+// "Roughly 20%" multi-user degradation, measured on a mixed fleet —
+// a saturated all-LFK1 fleet sits well above it (as it must: 1.4x
+// per access at ~90% port utilization compounds to ~40%+).
+constexpr double kMixedDegradationLow = 0.12;
+constexpr double kMixedDegradationHigh = 0.32;
+// Lock step must beat the paper's 5-10% upper edge; the bank-aligned
+// interleave achieves ~1% (the collision-free steady state).
+constexpr double kLockStepDegradationHigh = 0.11;
+
+struct MixPoint
+{
+    int cpus = 1;
+    double meanCycles = 0.0;
+    double degradation = 0.0; ///< meanCycles / solo - 1
+    double perAccessNs = 0.0; ///< mean over CPUs
+    uint64_t collisions = 0;
+    double boundCpl = 0.0;    ///< t_MACS^C at the analytic factor
+};
+
+double
+soloCycles(const lfk::Kernel &k, const machine::MachineConfig &cfg)
+{
+    sim::SimOptions opt;
+    opt.tier = sim::SimTier::Reference;
+    sim::Simulator s(cfg, k.program, opt);
+    k.setup(s);
+    return s.run().cycles;
+}
+
+MixPoint
+measure(int kernel_id, lfk::MpMix mix, int cpus,
+        const machine::MachineConfig &cfg, double solo,
+        const model::KernelAnalysis &analysis)
+{
+    lfk::MpWorkload w = lfk::buildMpWorkload(kernel_id, mix, cpus);
+    sim::mp::CoupledResult res = sim::mp::runCoupled(w.jobs, cfg, {});
+
+    MixPoint p;
+    p.cpus = cpus;
+    double ns_sum = 0.0;
+    for (const sim::mp::CoupledCpuResult &c : res.cpus) {
+        p.meanCycles += c.stats.cycles;
+        ns_sum += c.shared.perAccessCycles() * cfg.clockNs();
+        p.collisions += c.shared.collisions;
+    }
+    p.meanCycles /= static_cast<double>(cpus);
+    p.perAccessNs = ns_sum / static_cast<double>(cpus);
+    p.degradation = p.meanCycles / solo - 1.0;
+
+    sim::WorkloadMix wm;
+    if (lfk::toWorkloadMix(mix, wm))
+        p.boundCpl = model::contentionLevel(analysis, cpus, wm).macsC;
+    return p;
+}
+
+/**
+ * The paper's multi-user setting: four different programs sharing the
+ * machine. Degradation is the mean per-CPU slowdown against each
+ * kernel's own solo run.
+ */
+struct MixedFleet
+{
+    std::vector<int> ids;
+    double degradation = 0.0;
+    uint64_t collisions = 0;
+};
+
+MixedFleet
+measureMixed(const std::vector<int> &ids,
+             const machine::MachineConfig &cfg)
+{
+    lfk::MpWorkload w = lfk::buildMpMixedWorkload(ids);
+    sim::mp::CoupledResult res = sim::mp::runCoupled(w.jobs, cfg, {});
+    MixedFleet m;
+    m.ids = ids;
+    for (size_t i = 0; i < ids.size(); ++i) {
+        double solo = soloCycles(w.kernels[i], cfg);
+        m.degradation += res.cpus[i].stats.cycles / solo - 1.0;
+        m.collisions += res.cpus[i].shared.collisions;
+    }
+    m.degradation /= static_cast<double>(ids.size());
+    return m;
+}
+
+bool
+writeJson(const std::string &path, const MixPoint &indep,
+          const MixPoint &lock, const MixedFleet &mixed,
+          double strip_speedup)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n"
+        << "  \"schema\": \"macs-bench-mp-contention-v1\",\n"
+        << "  \"gated\": {\n"
+        << format("    \"mp_indep_band_low_margin\": %.3f,\n",
+                  indep.perAccessNs / kBandLowNs)
+        << format("    \"mp_indep_band_high_margin\": %.3f,\n",
+                  kBandHighNs / indep.perAccessNs)
+        << format("    \"mp_mixed_degradation_margin\": %.3f,\n",
+                  mixed.degradation / kMixedDegradationLow)
+        << format("    \"mp_lockstep_headroom\": %.3f,\n",
+                  kLockStepDegradationHigh /
+                      std::max(lock.degradation, 1e-4))
+        << format("    \"mp_strip_speedup\": %.3f\n", strip_speedup)
+        << "  },\n"
+        << "  \"informative\": {\n"
+        << format("    \"mp_indep_per_access_ns\": %.2f,\n",
+                  indep.perAccessNs)
+        << format("    \"mp_indep_degradation\": %.4f,\n",
+                  indep.degradation)
+        << format("    \"mp_mixed_degradation\": %.4f,\n",
+                  mixed.degradation)
+        << format("    \"mp_lockstep_degradation\": %.4f,\n",
+                  lock.degradation)
+        << format("    \"mp_indep_collisions\": %llu\n",
+                  static_cast<unsigned long long>(indep.collisions))
+        << "  }\n"
+        << "}\n";
+    return out.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: mp_contention [--json PATH]\n");
+            return 1;
+        }
+    }
+
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    constexpr int kKernel = 1; // LFK1: memory-saturated inner loop
+    lfk::Kernel k = lfk::makeKernel(kKernel);
+    double solo = soloCycles(k, cfg);
+    model::KernelAnalysis analysis =
+        model::analyzeKernel(lfk::toKernelCase(k), cfg);
+
+    std::printf("=== Multi-CPU contention: coupled banks vs the "
+                "paper's 56-64 ns band ===\n\n");
+    std::printf("machine %s: %d CPUs, %d banks, bank busy %d cycles, "
+                "arbitration restart %d cycles\n",
+                "c240", cfg.cpus, cfg.memory.banks,
+                cfg.memory.bankBusyCycles,
+                cfg.memory.arbitrationRestartCycles);
+    std::printf("workload: %d x %s, solo %.0f cycles, peak %.0f ns "
+                "per access\n\n",
+                cfg.cpus, k.name.c_str(), solo, cfg.clockNs());
+
+    Table t({"mix", "cpus", "mean cycles", "degradation", "ns/access",
+             "collisions", "t_MACS^C"});
+    MixPoint indep4, lock4;
+    for (lfk::MpMix mix :
+         {lfk::MpMix::Independent, lfk::MpMix::LockStep}) {
+        for (int cpus : {1, 2, 4}) {
+            MixPoint p = measure(kKernel, mix, cpus, cfg, solo,
+                                 analysis);
+            t.addRow({lfk::mpMixName(mix), Table::num(long(cpus)),
+                      Table::num(p.meanCycles, 0),
+                      format("%+.1f%%", 100.0 * p.degradation),
+                      Table::num(p.perAccessNs, 1),
+                      Table::num(long(p.collisions)),
+                      Table::num(p.boundCpl, 3)});
+            if (cpus == 4 && mix == lfk::MpMix::Independent)
+                indep4 = p;
+            if (cpus == 4 && mix == lfk::MpMix::LockStep)
+                lock4 = p;
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // The paper's multi-user load: four different LFKs time-sharing
+    // the banks — memory-saturated LFK1, FP-bound LFK7, and the
+    // scalar-dominated LFK5/LFK11, whose sparse access streams mask
+    // most of the port pressure. This heterogeneous fleet lands near
+    // the paper's ~20% figure where the saturated all-LFK1 fleet
+    // cannot (and an all-vector mix thrashes far above it).
+    MixedFleet mixed = measureMixed({1, 7, 5, 11}, cfg);
+    std::printf("mixed fleet (LFK");
+    for (size_t i = 0; i < mixed.ids.size(); ++i)
+        std::printf("%s%d", i ? "," : " ", mixed.ids[i]);
+    std::printf("): mean degradation %+.1f%% (band %.0f-%.0f%%), "
+                "%llu collisions\n\n",
+                100.0 * mixed.degradation,
+                100.0 * kMixedDegradationLow,
+                100.0 * kMixedDegradationHigh,
+                static_cast<unsigned long long>(mixed.collisions));
+
+    // Strip-mining: one LFK1 split across the four CPUs — the other
+    // use of a multi-CPU machine. Perfect splitting would finish in
+    // solo/4; shared banks and the fixed vector ramp keep it above.
+    lfk::MpWorkload strip =
+        lfk::buildMpWorkload(kKernel, lfk::MpMix::Strip, cfg.cpus);
+    sim::mp::CoupledResult sres =
+        sim::mp::runCoupled(strip.jobs, cfg, {});
+    double strip_speedup = solo / sres.makespanCycles;
+    std::printf("strip: %s over %d CPUs, makespan %.0f cycles, "
+                "speedup %.2fx of ideal %dx\n\n",
+                k.name.c_str(), cfg.cpus, sres.makespanCycles,
+                strip_speedup, cfg.cpus);
+
+    std::printf("independent 4-CPU: %.1f ns/access (band %.0f-%.0f), "
+                "degradation %.1f%%\n",
+                indep4.perAccessNs, kBandLowNs, kBandHighNs,
+                100.0 * indep4.degradation);
+    std::printf("lock-step   4-CPU: %.1f ns/access, degradation "
+                "%.1f%% (at most %.0f%%)\n",
+                lock4.perAccessNs, 100.0 * lock4.degradation,
+                100.0 * kLockStepDegradationHigh);
+
+    bool ok = true;
+    if (indep4.perAccessNs < kBandLowNs ||
+        indep4.perAccessNs > kBandHighNs) {
+        std::printf("ERROR: independent per-access time outside the "
+                    "paper's 56-64 ns band\n");
+        ok = false;
+    }
+    if (mixed.degradation < kMixedDegradationLow ||
+        mixed.degradation > kMixedDegradationHigh) {
+        std::printf("ERROR: mixed-fleet degradation outside the "
+                    "~20%% band\n");
+        ok = false;
+    }
+    if (lock4.degradation <= 0.0 ||
+        lock4.degradation > kLockStepDegradationHigh) {
+        std::printf("ERROR: lock-step degradation outside "
+                    "(0, %.0f%%]\n",
+                    100.0 * kLockStepDegradationHigh);
+        ok = false;
+    }
+    if (lock4.degradation >= indep4.degradation) {
+        std::printf("ERROR: lock step should contend less than "
+                    "independent\n");
+        ok = false;
+    }
+    if (strip_speedup <= 1.0) {
+        std::printf("ERROR: strip-mining across CPUs failed to beat "
+                    "one CPU\n");
+        ok = false;
+    }
+
+    if (!json_path.empty() &&
+        !writeJson(json_path, indep4, lock4, mixed, strip_speedup)) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    return ok ? 0 : 1;
+}

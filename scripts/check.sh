@@ -57,6 +57,14 @@ build/tools/macs sweep --machines machines --sim-tier reference \
     --json build/sweep_ref.json all > /dev/null
 cmp build/sweep_ref.json tests/golden/sweep_machines_all.json
 
+# Multi-CPU stage (docs/MULTICPU.md): 1-CPU `macs mp` degenerates to
+# the plain simulator for every kernel on every .machine file; the
+# 4-CPU mix/engine matrix is deterministic and matches its golden
+# (tests/golden/mp_matrix.json); POST /v1/multicpu is byte-identical
+# to the CLI at 1/4/16 workers.
+echo "== tier-1: mp (coupled engine: degeneracy + golden + server) =="
+scripts/mp_smoke.sh build/tools/macs
+
 if [[ "${1:-}" == "--fast" ]]; then
     echo "== skipping sanitizer + perf-gate stages (--fast) =="
     exit 0
@@ -88,6 +96,17 @@ cmake --build build -j "$JOBS" --target sim_throughput >/dev/null
 build/bench/sim_throughput --json build/BENCH_sim_throughput.json
 scripts/perf_gate.py build/BENCH_sim_throughput.json \
     bench/baselines/BENCH_sim_throughput.json
+
+# Contention gate: the bench's own asserts pin the paper's section-4.2
+# story (56-64 ns independent band, ~20% mixed-fleet degradation,
+# bounded lock step, strip speedup > 1); the gate then pins the margin
+# ratios against the committed baseline so calibration drift shows up
+# before it walks out of a band (docs/MULTICPU.md).
+echo "== perf: mp_contention bench + regression gate =="
+cmake --build build -j "$JOBS" --target mp_contention >/dev/null
+build/bench/mp_contention --json build/BENCH_mp_contention.json
+scripts/perf_gate.py build/BENCH_mp_contention.json \
+    bench/baselines/BENCH_mp_contention.json
 
 # Each sanitizer stage builds and runs the FULL test suite: TSan
 # audits the worker pool, memo cache, and the metrics registry's

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Multi-CPU stage (docs/MULTICPU.md): the coupled-engine contracts end
+# to end through the CLI and the server:
+#   (a) 1-CPU degeneracy: `macs mp --cpus 1` must report exactly the
+#       plain Simulator's cycle count (zero degradation, zero
+#       collisions) for EVERY kernel on EVERY shipped .machine file —
+#       the CLI face of the bit-identity differential test;
+#   (b) determinism + golden: the 4-CPU matrix (independent, lockstep,
+#       strip, analytic) renders byte-identically run over run AND to
+#       the committed golden (tests/golden/mp_matrix.json);
+#   (c) serving: POST /v1/multicpu is byte-identical to the CLI
+#       rendering at 1, 4, and 16 workers (the memo cache and the
+#       engine share one deterministic code path).
+# To regenerate the golden after an intentional model change:
+#   scripts/mp_smoke.sh --regen
+#
+# Usage: scripts/mp_smoke.sh [path-to-macs | --regen]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REGEN=0
+if [[ "${1:-}" == "--regen" ]]; then REGEN=1; shift || true; fi
+MACS=${1:-${MACS:-build/tools/macs}}
+if [[ ! -x "$MACS" ]]; then
+    echo "mp: '$MACS' is not built (cmake --build build)" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [[ -n "$SERVE_PID" ]] && kill -KILL "$SERVE_PID" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+fail() { echo "mp: FAIL: $*" >&2; exit 1; }
+
+GOLDEN=tests/golden/mp_matrix.json
+
+# matrix OUT — render the 4-CPU request matrix into one file.
+matrix() {
+    local out="$1"
+    : >"$out"
+    for mix in independent lockstep strip; do
+        "$MACS" mp 1 --cpus 4 --mix "$mix" --json - >>"$out"
+    done
+    "$MACS" mp 1 --cpus 4 --engine analytic --json - >>"$out"
+}
+
+if (( REGEN )); then
+    matrix "$GOLDEN"
+    echo "mp: regenerated $GOLDEN"
+    exit 0
+fi
+
+echo "== mp: 1-CPU coupled runs degenerate to the plain simulator =="
+for machine in "" machines/*.machine; do
+    args=()
+    name=builtin
+    if [[ -n "$machine" ]]; then
+        args=(--machine "$machine")
+        name=$(basename "$machine" .machine)
+    fi
+    for id in $(seq 1 12); do
+        "$MACS" mp "$id" --cpus 1 --json - "${args[@]}" \
+            >"$tmp/one.json" 2>/dev/null ||
+            fail "mp $id --cpus 1 on $name failed"
+        grep -q '"meanDegradation": [-]*0.000000' "$tmp/one.json" ||
+            fail "LFK$id on $name: 1-CPU run is not degenerate"
+        grep -q '"collisions": 0,' "$tmp/one.json" ||
+            fail "LFK$id on $name: 1-CPU run reports collisions"
+        solo=$(grep -o '"soloCycles": [0-9.]*' "$tmp/one.json")
+        mean=$(grep -o '"meanCycles": [0-9.]*' "$tmp/one.json")
+        [[ "${solo#*: }" == "${mean#*: }" ]] ||
+            fail "LFK$id on $name: solo ${solo#*: } != coupled ${mean#*: }"
+    done
+done
+echo "mp: 12 kernels x $(ls machines/*.machine | wc -l | tr -d ' ') \
+machines + builtin all degenerate exactly"
+
+echo "== mp: 4-CPU matrix determinism + golden =="
+matrix "$tmp/matrix1.json"
+matrix "$tmp/matrix2.json"
+cmp "$tmp/matrix1.json" "$tmp/matrix2.json" ||
+    fail "mp matrix is not run-to-run deterministic"
+cmp "$tmp/matrix1.json" "$GOLDEN" ||
+    fail "mp matrix differs from $GOLDEN (scripts/mp_smoke.sh --regen \
+after an intentional model change)"
+echo "mp: matrix matches the committed golden"
+
+echo "== mp: /v1/multicpu byte-identical at 1/4/16 workers =="
+"$MACS" mp 1 --cpus 4 --json "$tmp/cli.json" >/dev/null
+for w in 1 4 16; do
+    rm -f "$tmp/port"
+    "$MACS" serve --host 127.0.0.1 --port 0 --port-file "$tmp/port" \
+        --workers "$w" >"$tmp/serve.log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$tmp/port" ]] && break
+        kill -0 "$SERVE_PID" 2>/dev/null ||
+            { sed 's/^/    /' "$tmp/serve.log" >&2
+              fail "serve died before binding"; }
+        sleep 0.1
+    done
+    PORT=$(cat "$tmp/port")
+    "$MACS" http POST /v1/multicpu --port "$PORT" --retry 5 \
+        --data '{"kernel": 1, "cpus": 4}' >"$tmp/srv_w$w.json" \
+        2>/dev/null || fail "POST /v1/multicpu failed at $w workers"
+    kill -TERM "$SERVE_PID"; wait "$SERVE_PID" || true; SERVE_PID=""
+    cmp "$tmp/srv_w$w.json" "$tmp/cli.json" ||
+        fail "/v1/multicpu at $w workers differs from the CLI"
+done
+echo "mp: server bodies byte-identical to the CLI at every worker count"
+
+echo "mp: all stages passed"

@@ -48,6 +48,18 @@ struct Kernel
      * @returns empty string on success, else a mismatch description.
      */
     std::function<std::string(const sim::Simulator &)> check;
+
+    /**
+     * Recompile this kernel with a different trip count (strip-mined
+     * multi-CPU splitting: one chunk of the iteration space per CPU).
+     * Set only for DSL-compiled kernels — hand-assembled ones (LFK 2,
+     * 4, 6, 10) cannot be re-tripped mechanically. The returned Kernel
+     * carries the re-timed program and workload counts but no setup,
+     * check, or description; callers reuse the original setup (same
+     * data symbols) and must skip the functional check, which assumes
+     * the full iteration space (sim/mp/workload.cc does both).
+     */
+    std::function<Kernel(long trip)> remake;
 };
 
 /** LFK ids covered by the paper's case study, in table order. */

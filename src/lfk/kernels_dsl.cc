@@ -35,6 +35,12 @@ compileKernel(int id, const std::string &dsl, CompileOptions opt)
     k.flopsPerPoint = k.ma.flops();
     k.points = opt.tripCount;
     k.program = std::move(res.program);
+    k.remake = [id, dsl, opt](long trip) {
+        MACS_ASSERT(trip > 0, "strip-mined trip count must be positive");
+        CompileOptions o = opt;
+        o.tripCount = trip;
+        return compileKernel(id, dsl, o);
+    };
     return k;
 }
 

@@ -1,0 +1,165 @@
+#include "lfk/mp_workload.h"
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::lfk {
+
+namespace {
+
+// Per-CPU decor constants; CPU 0 always gets zero skew, preserving
+// the 1-CPU bit-identity contract.
+//
+// Independent: time and address offsets co-prime to the 32-bank
+// geometry keep unrelated processes drifting through each other's
+// bank phases instead of locking into a fixed relation. Together
+// with MemoryConfig::arbitrationRestartCycles they are calibrated so
+// four memory-saturated copies land in the paper's 56-64 ns
+// per-access band (bench/mp_contention.cc pins it).
+constexpr double kIndependentTimeSkewCycles = 15.0;
+constexpr int64_t kIndependentAddrSkewWords = 17;
+// Lock step: 8-word spacing is one bank-busy window — the unique
+// collision-free interleave of four full-rate streams on 32 banks
+// (4 CPUs x 8-cycle busy = 32 banks, zero slack). This IS the
+// paper's "fall into lock step" steady state. The geometry is
+// bistable: any misaligned spacing can never re-align through the
+// arbitration-restart push (which spaces colliders busy+restart
+// apart, overshooting the exact 8-bank slot) and thrashes at
+// independent-like degradation instead; docs/MULTICPU.md discusses
+// the honesty of both regimes.
+constexpr int64_t kLockStepAddrSkewWords = 8;
+
+} // namespace
+
+const char *
+mpMixName(MpMix mix)
+{
+    switch (mix) {
+      case MpMix::Independent:
+        return "independent";
+      case MpMix::LockStep:
+        return "lockstep";
+      case MpMix::Strip:
+        return "strip";
+    }
+    return "independent";
+}
+
+bool
+parseMpMix(const std::string &text, MpMix &out)
+{
+    if (text == "independent") {
+        out = MpMix::Independent;
+        return true;
+    }
+    if (text == "lockstep") {
+        out = MpMix::LockStep;
+        return true;
+    }
+    if (text == "strip") {
+        out = MpMix::Strip;
+        return true;
+    }
+    return false;
+}
+
+bool
+toWorkloadMix(MpMix mix, sim::WorkloadMix &out)
+{
+    switch (mix) {
+      case MpMix::Independent:
+        out = sim::WorkloadMix::Independent;
+        return true;
+      case MpMix::LockStep:
+        out = sim::WorkloadMix::LockStep;
+        return true;
+      case MpMix::Strip:
+        return false;
+    }
+    return false;
+}
+
+MpWorkload
+buildMpWorkload(int kernel_id, MpMix mix, int cpus)
+{
+    MACS_ASSERT(cpus >= 1, "CPU count must be positive");
+    MpWorkload w;
+    w.mix = mix;
+
+    if (mix == MpMix::Strip) {
+        Kernel full = makeKernel(kernel_id);
+        if (!full.remake)
+            fatal(full.name,
+                  " is hand-assembled and cannot be strip-mined "
+                  "(only DSL-compiled kernels: LFK 1, 3, 5, 7, 8, 9, "
+                  "11, 12)");
+        long n = full.points;
+        MACS_ASSERT(static_cast<long>(cpus) <= n,
+                    "more CPUs than loop iterations");
+        long base = n / cpus, rem = n % cpus, offset = 0;
+        for (int i = 0; i < cpus; ++i) {
+            long trip = base + (i < rem ? 1 : 0);
+            Kernel chunk = full.remake(trip);
+            // Chunk programs share the full kernel's data symbols;
+            // re-attach its setup and drop the full-space check.
+            chunk.setup = full.setup;
+            chunk.description = full.description;
+            chunk.name = format("%s[%d/%d]", full.name.c_str(), i + 1,
+                                cpus);
+            w.kernels.push_back(std::move(chunk));
+            sim::mp::CoupledJob job;
+            job.label = w.kernels.back().name;
+            job.setup = w.kernels.back().setup;
+            // The slice's base offset in words models chunk i
+            // streaming from its own part of the arrays.
+            job.addressSkewWords = offset;
+            w.jobs.push_back(std::move(job));
+            offset += trip;
+        }
+    } else {
+        for (int i = 0; i < cpus; ++i) {
+            Kernel copy = makeKernel(kernel_id);
+            w.kernels.push_back(std::move(copy));
+            sim::mp::CoupledJob job;
+            job.label = w.kernels.back().name;
+            job.setup = w.kernels.back().setup;
+            if (mix == MpMix::Independent) {
+                job.timeSkewCycles = kIndependentTimeSkewCycles * i;
+                job.addressSkewWords = kIndependentAddrSkewWords * i;
+            } else {
+                job.addressSkewWords = kLockStepAddrSkewWords * i;
+            }
+            w.jobs.push_back(std::move(job));
+        }
+    }
+
+    // Bind program pointers only after the kernel vector is final.
+    for (size_t i = 0; i < w.jobs.size(); ++i)
+        w.jobs[i].program = &w.kernels[i].program;
+    return w;
+}
+
+MpWorkload
+buildMpMixedWorkload(const std::vector<int> &kernel_ids)
+{
+    MACS_ASSERT(!kernel_ids.empty(), "mixed workload needs kernels");
+    MpWorkload w;
+    w.mix = MpMix::Independent;
+    for (size_t i = 0; i < kernel_ids.size(); ++i) {
+        Kernel k = makeKernel(kernel_ids[i]);
+        w.kernels.push_back(std::move(k));
+        sim::mp::CoupledJob job;
+        job.label = w.kernels.back().name;
+        job.setup = w.kernels.back().setup;
+        job.timeSkewCycles =
+            kIndependentTimeSkewCycles * static_cast<double>(i);
+        job.addressSkewWords =
+            kIndependentAddrSkewWords * static_cast<int64_t>(i);
+        w.jobs.push_back(std::move(job));
+    }
+    for (size_t i = 0; i < w.jobs.size(); ++i)
+        w.jobs[i].program = &w.kernels[i].program;
+    return w;
+}
+
+} // namespace macs::lfk

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Workload mixes for the cycle-coupled multi-CPU engine: package LFK
+ * kernels as sim::mp::CoupledJob fleets.
+ *
+ * Three mixes (paper section 4.2 + the strip-mining direction):
+ *  - independent: every CPU runs the full kernel as an unrelated
+ *    process — staggered clocks and distinct address spaces, the
+ *    paper's multi-user scenario;
+ *  - lockstep: every CPU runs the full kernel launched on the same
+ *    clock edge (a gang-scheduled parallel job), distinct address
+ *    spaces imperfectly staggered;
+ *  - strip: ONE kernel's iteration space split across the CPUs,
+ *    floor(n/P)+1 iterations for the first n%P chunks, each chunk at
+ *    its slice's address offset. DSL kernels only (Kernel::remake);
+ *    the functional check is skipped — chunk programs re-time the
+ *    loop, they do not re-partition the data arrays.
+ */
+
+#ifndef MACS_LFK_MP_WORKLOAD_H
+#define MACS_LFK_MP_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "lfk/kernels.h"
+#include "sim/contention.h"
+#include "sim/mp/coupled.h"
+
+namespace macs::lfk {
+
+/** Multi-CPU workload shape (superset of sim::WorkloadMix). */
+enum class MpMix
+{
+    Independent,
+    LockStep,
+    Strip,
+};
+
+/** Canonical mix name ("independent" / "lockstep" / "strip"). */
+const char *mpMixName(MpMix mix);
+
+/** Parse a mix name; false (out untouched) on anything else. */
+bool parseMpMix(const std::string &text, MpMix &out);
+
+/**
+ * Map a mix onto the analytic tier's WorkloadMix; false for Strip
+ * (the fixed-point driver has no notion of a split kernel).
+ */
+bool toWorkloadMix(MpMix mix, sim::WorkloadMix &out);
+
+/**
+ * A built fleet: jobs point into the owned kernels, so move the
+ * struct as a whole and keep it alive for the run.
+ */
+struct MpWorkload
+{
+    std::vector<Kernel> kernels;
+    std::vector<sim::mp::CoupledJob> jobs;
+    MpMix mix = MpMix::Independent;
+};
+
+/**
+ * Package @p cpus copies (independent/lockstep) or chunks (strip) of
+ * kernel @p kernel_id. fatal() on a non-positive CPU count or on
+ * strip-mining a hand-assembled kernel.
+ */
+MpWorkload buildMpWorkload(int kernel_id, MpMix mix, int cpus);
+
+/**
+ * One full kernel per CPU with independent-mix skews — the paper's
+ * multi-user load with *different* programs per CPU. One id per CPU.
+ */
+MpWorkload buildMpMixedWorkload(const std::vector<int> &kernel_ids);
+
+} // namespace macs::lfk
+
+#endif // MACS_LFK_MP_WORKLOAD_H

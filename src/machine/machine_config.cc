@@ -108,13 +108,15 @@ MachineConfig::fingerprint() const
     // could alias two distinct machines. Formatting uses %.17g so the
     // doubles round-trip exactly.
     std::string out;
-    out += format("clock=%.17g vl=%d\n", clockMhz, maxVectorLength);
+    out += format("clock=%.17g vl=%d cpus=%d\n", clockMhz,
+                  maxVectorLength, cpus);
     out += format("mem banks=%d busy=%d word=%d refp=%d refd=%d "
-                  "refen=%d\n",
+                  "refen=%d arb=%d\n",
                   memory.banks, memory.bankBusyCycles, memory.wordBytes,
                   memory.refreshPeriodCycles,
                   memory.refreshDurationCycles,
-                  memory.refreshEnabled ? 1 : 0);
+                  memory.refreshEnabled ? 1 : 0,
+                  memory.arbitrationRestartCycles);
     out += format("chain en=%d rd=%d wr=%d enforce=%d smemsplit=%d "
                   "fpshared=%d\n",
                   chaining.chainingEnabled ? 1 : 0,
@@ -152,12 +154,14 @@ MachineConfig::contentHash() const
     uint64_t h = fnv1a64("macs-machine-v1");
     h = hashValue(h, clockMhz);
     h = hashValue(h, maxVectorLength);
+    h = hashValue(h, cpus);
     h = hashValue(h, memory.banks);
     h = hashValue(h, memory.bankBusyCycles);
     h = hashValue(h, memory.wordBytes);
     h = hashValue(h, memory.refreshPeriodCycles);
     h = hashValue(h, memory.refreshDurationCycles);
     h = hashValue(h, memory.refreshEnabled);
+    h = hashValue(h, memory.arbitrationRestartCycles);
     h = hashValue(h, chaining.chainingEnabled);
     h = hashValue(h, chaining.maxReadsPerPair);
     h = hashValue(h, chaining.maxWritesPerPair);

@@ -46,6 +46,15 @@ struct MemoryConfig
     int refreshPeriodCycles = 400; ///< refresh every 16 us at 25 MHz
     int refreshDurationCycles = 8; ///< memory unavailable during refresh
     bool refreshEnabled = true;
+    /**
+     * Cycles a CPU's stream loses re-arbitrating for a bank another
+     * CPU holds busy (multi-CPU simulation only; a single CPU never
+     * pays it). The paper conjectures the 56-64 ns effective access
+     * time under multi-user load comes from just this kind of
+     * port/controller handshake restart (section 4.2); the value is
+     * calibrated so 4 independent memory-bound CPUs land in that band.
+     */
+    int arbitrationRestartCycles = 5;
 };
 
 /** Chime formation rules (paper section 3.3). */
@@ -106,6 +115,12 @@ struct MachineConfig
 {
     double clockMhz = 25.0; ///< 40 ns effective system clock
     int maxVectorLength = 128;
+    /**
+     * CPUs sharing the memory system (the real C-240 has four). Used
+     * by the multi-CPU drivers (`runMultiCpu`, `mp::runCoupled`);
+     * single-CPU bounds and simulations ignore it.
+     */
+    int cpus = 4;
 
     MemoryConfig memory;
     ChainingConfig chaining;

@@ -216,6 +216,10 @@ Parser::dispatch(const std::string &key, std::string_view value)
             parseIntValue(value, 1, 4096, c.maxVectorLength);
             return;
         }
+        if (key == "cpus") {
+            parseIntValue(value, 1, 64, c.cpus);
+            return;
+        }
     } else if (s == "memory") {
         if (key == "banks")
             return (void)parseIntValue(value, 1, 65536,
@@ -235,6 +239,9 @@ Parser::dispatch(const std::string &key, std::string_view value)
         if (key == "refresh-enabled")
             return (void)parseBoolValue(value,
                                         c.memory.refreshEnabled);
+        if (key == "arbitration-restart-cycles")
+            return (void)parseIntValue(
+                value, 0, 1 << 20, c.memory.arbitrationRestartCycles);
     } else if (s == "chaining") {
         if (key == "enabled")
             return (void)parseBoolValue(value,

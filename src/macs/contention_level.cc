@@ -1,0 +1,63 @@
+#include "macs/contention_level.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace macs::model {
+
+ContentionLevel
+contentionLevelWithFactor(const KernelAnalysis &analysis, int cpus,
+                          sim::WorkloadMix mix, double factor,
+                          double measured_tc_cpl)
+{
+    MACS_ASSERT(cpus >= 1, "need at least one CPU");
+    MACS_ASSERT(factor >= 1.0,
+                "contention can only slow the stream down");
+    ContentionLevel level;
+    level.kernel = analysis.name;
+    level.cpus = cpus;
+    level.mix = mix;
+    level.factor = factor;
+    level.tMACS = analysis.macs.cpl;
+    level.tMACSm = analysis.macsMOnly.cpl;
+    level.macsC = level.tMACS + (factor - 1.0) * level.tMACSm;
+    level.tC = measured_tc_cpl;
+    return level;
+}
+
+ContentionLevel
+contentionLevel(const KernelAnalysis &analysis, int cpus,
+                sim::WorkloadMix mix, double measured_tc_cpl)
+{
+    return contentionLevelWithFactor(analysis, cpus, mix,
+                                     sim::contentionFactor(cpus, mix),
+                                     measured_tc_cpl);
+}
+
+std::string
+renderContentionLevel(const ContentionLevel &level)
+{
+    const char *mix = level.mix == sim::WorkloadMix::LockStep
+                          ? "lockstep"
+                          : "independent";
+    std::ostringstream out;
+    out << format("%s C level: %d CPU%s, %s mix\n",
+                  level.kernel.c_str(), level.cpus,
+                  level.cpus == 1 ? "" : "s", mix);
+    out << format("  factor    %.3f (memory-stream slowdown)\n",
+                  level.factor);
+    out << format("  t_MACS    %.4f CPL\n", level.tMACS);
+    out << format("  t_MACS^m  %.4f CPL\n", level.tMACSm);
+    out << format("  t_MACS^C  %.4f CPL (+%.4f contention)\n",
+                  level.macsC, level.contentionGap());
+    if (level.tC > 0.0) {
+        out << format("  t_C       %.4f CPL measured\n", level.tC);
+        out << format("  unmodeled %.4f CPL (coverage %.1f%%)\n",
+                      level.unmodeledGap(), 100.0 * level.coverage());
+    }
+    return out.str();
+}
+
+} // namespace macs::model

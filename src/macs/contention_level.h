@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The C level of the MACS hierarchy: extend a kernel's t_MACS bound
+ * with multi-CPU memory contention (paper section 4.2).
+ *
+ * t_MACS charges vector memory at the port's peak rate — one element
+ * per cycle at unit stride. When P CPUs share the banks the memory
+ * stream slows by the contention factor f while compute is untouched,
+ * so only the memory component of the bound stretches:
+ *
+ *     t_MACS^C = t_MACS + (f - 1) * t_MACS^m
+ *
+ * where t_MACS^m (the access-process bound) isolates exactly the
+ * cycles the memory port is responsible for. With f = 1 (one CPU)
+ * the level degenerates to t_MACS identically.
+ *
+ * Gap attribution then splits a measured-under-contention time t_C
+ * the same way section 4.4 splits t_p: the contention layer explains
+ * t_MACS^C - t_MACS of it, and whatever exceeds t_MACS^C is
+ * unmodeled coupling (irregular bank collisions, arbitration
+ * restarts, refresh phase beats) that only the cycle-coupled
+ * simulator (sim/mp/) reproduces.
+ */
+
+#ifndef MACS_MACS_CONTENTION_LEVEL_H
+#define MACS_MACS_CONTENTION_LEVEL_H
+
+#include <string>
+
+#include "macs/hierarchy.h"
+#include "sim/contention.h"
+
+namespace macs::model {
+
+/** One kernel's C-level extension of the MACS hierarchy. */
+struct ContentionLevel
+{
+    std::string kernel;
+    int cpus = 1;
+    sim::WorkloadMix mix = sim::WorkloadMix::Independent;
+
+    double factor = 1.0; ///< memory-stream slowdown f applied
+    double tMACS = 0.0;  ///< the uncontended bound (CPL)
+    double tMACSm = 0.0; ///< access-process bound t_MACS^m (CPL)
+    double macsC = 0.0;  ///< t_MACS^C = tMACS + (f-1)*tMACSm (CPL)
+
+    /**
+     * Measured time under contention (CPL); 0 when the level is
+     * evaluated bound-only. Callers take it from the cycle-coupled
+     * simulator (sim/mp/runCoupled) or the analytic fixed point
+     * (sim/runMultiCpu).
+     */
+    double tC = 0.0;
+
+    /** Bound growth the contention layer itself explains (CPL). */
+    double
+    contentionGap() const
+    {
+        return macsC - tMACS;
+    }
+
+    /** Measured time past the C bound — unmodeled coupling (CPL). */
+    double
+    unmodeledGap() const
+    {
+        return tC > 0.0 ? tC - macsC : 0.0;
+    }
+
+    /** Fraction of measured contended time the C bound explains. */
+    double
+    coverage() const
+    {
+        return tC > 0.0 ? macsC / tC : 0.0;
+    }
+};
+
+/**
+ * Evaluate the C level for @p analysis at @p cpus active CPUs using
+ * the calibrated analytic factor for @p mix (sim::contentionFactor).
+ * Pass @p measured_tc_cpl when a contended measurement exists; 0
+ * leaves the level bound-only.
+ */
+ContentionLevel contentionLevel(const KernelAnalysis &analysis,
+                                int cpus, sim::WorkloadMix mix,
+                                double measured_tc_cpl = 0.0);
+
+/**
+ * Same, but with an explicitly supplied slowdown factor — used to
+ * feed back a factor observed by the cycle-coupled simulator
+ * (per-access cycles relative to peak) instead of the calibration.
+ */
+ContentionLevel contentionLevelWithFactor(
+    const KernelAnalysis &analysis, int cpus, sim::WorkloadMix mix,
+    double factor, double measured_tc_cpl = 0.0);
+
+/** Render a short human-readable block (report appendix style). */
+std::string renderContentionLevel(const ContentionLevel &level);
+
+} // namespace macs::model
+
+#endif // MACS_MACS_CONTENTION_LEVEL_H

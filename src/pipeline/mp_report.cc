@@ -1,0 +1,269 @@
+#include "pipeline/mp_report.h"
+
+#include <sstream>
+
+#include "lfk/kernels.h"
+#include "macs/hierarchy.h"
+#include "sim/multi_cpu.h"
+#include "sim/mp/coupled.h"
+#include "sim/simulator.h"
+#include "support/logging.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace macs::pipeline {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** Fixed six-decimal rendering keeps the document deterministic. */
+std::string
+jnum(double v)
+{
+    return format("%.6f", v);
+}
+
+double
+soloCycles(const lfk::Kernel &k, const machine::MachineConfig &cfg)
+{
+    sim::SimOptions opt;
+    opt.tier = sim::SimTier::Reference;
+    sim::Simulator s(cfg, k.program, opt);
+    if (k.setup)
+        k.setup(s);
+    return s.run().cycles;
+}
+
+void
+finishMeans(MpAnalysis &a)
+{
+    for (const MpCpuRow &r : a.cpuRows) {
+        a.meanCycles += r.cycles;
+        a.meanPerAccessNs += r.perAccessNs;
+        a.collisions += r.collisions;
+    }
+    double n = static_cast<double>(a.cpuRows.size());
+    a.meanCycles /= n;
+    a.meanPerAccessNs /= n;
+    a.meanDegradation = a.meanCycles / a.soloCycles - 1.0;
+}
+
+} // namespace
+
+const char *
+mpEngineName(MpEngine engine)
+{
+    switch (engine) {
+      case MpEngine::Coupled:
+        return "coupled";
+      case MpEngine::Analytic:
+        return "analytic";
+    }
+    return "coupled";
+}
+
+bool
+parseMpEngine(const std::string &text, MpEngine &out)
+{
+    if (text == "coupled") {
+        out = MpEngine::Coupled;
+        return true;
+    }
+    if (text == "analytic") {
+        out = MpEngine::Analytic;
+        return true;
+    }
+    return false;
+}
+
+MpAnalysis
+runMpAnalysis(const MpRequest &request)
+{
+    const machine::MachineConfig &cfg = request.config;
+    int cpus = request.cpus == 0 ? cfg.cpus : request.cpus;
+    if (cpus < 1 || cpus > cfg.cpus)
+        fatal("cpus must be in 1..", cfg.cpus, " for machine '",
+              request.machineName, "'; got ", cpus);
+    if (request.mix == lfk::MpMix::Strip &&
+        request.engine == MpEngine::Analytic)
+        fatal("the analytic engine cannot strip-mine (the contention "
+              "fixed point models whole competing programs); use "
+              "--engine coupled");
+
+    MpAnalysis a;
+    a.kernelId = request.kernelId;
+    a.mix = request.mix;
+    a.cpus = cpus;
+    a.engine = request.engine;
+    a.machineName = request.machineName;
+    a.clockNs = cfg.clockNs();
+
+    lfk::MpWorkload w =
+        lfk::buildMpWorkload(request.kernelId, request.mix, cpus);
+    a.kernel = w.kernels.front().name;
+    if (request.mix == lfk::MpMix::Strip)
+        a.kernel = lfk::makeKernel(request.kernelId).name;
+    // The uncontended baseline is always the whole kernel on one CPU.
+    lfk::Kernel whole = lfk::makeKernel(request.kernelId);
+    a.soloCycles = soloCycles(whole, cfg);
+
+    if (request.engine == MpEngine::Coupled) {
+        sim::mp::CoupledResult res = sim::mp::runCoupled(w.jobs, cfg, {});
+        a.makespanCycles = res.makespanCycles;
+        for (const sim::mp::CoupledCpuResult &c : res.cpus) {
+            MpCpuRow r;
+            r.label = c.label;
+            r.cycles = c.stats.cycles;
+            r.degradation = c.stats.cycles / a.soloCycles - 1.0;
+            r.perAccessNs = c.shared.perAccessCycles() * cfg.clockNs();
+            r.collisions = c.shared.collisions;
+            r.foreignDelayCycles = c.shared.foreignDelayCycles;
+            a.cpuRows.push_back(std::move(r));
+        }
+    } else {
+        std::vector<sim::CpuJob> jobs;
+        for (const sim::mp::CoupledJob &j : w.jobs)
+            jobs.push_back({j.program, j.setup});
+        sim::MultiCpuOptions opt;
+        sim::WorkloadMix wm;
+        bool mapped = lfk::toWorkloadMix(request.mix, wm);
+        MACS_ASSERT(mapped, "strip rejected above");
+        opt.mix = wm;
+        sim::MultiCpuResult res = sim::runMultiCpu(jobs, cfg, opt);
+        for (size_t i = 0; i < res.stats.size(); ++i) {
+            MpCpuRow r;
+            r.label = w.jobs[i].label;
+            r.cycles = res.stats[i].cycles;
+            r.degradation = r.cycles / a.soloCycles - 1.0;
+            // The converged factor is the memory-stream slowdown
+            // against the one-element-per-cycle peak.
+            r.perAccessNs = res.factor[i] * cfg.clockNs();
+            a.cpuRows.push_back(std::move(r));
+            a.makespanCycles = std::max(a.makespanCycles, r.cycles);
+        }
+    }
+    finishMeans(a);
+
+    // The MACS C level: bound with the calibrated factor, measured
+    // time fed back in CPL so the report attributes the gap.
+    sim::WorkloadMix wm;
+    if (lfk::toWorkloadMix(request.mix, wm)) {
+        model::KernelAnalysis analysis =
+            model::analyzeKernel(lfk::toKernelCase(whole), cfg);
+        double points = static_cast<double>(whole.points);
+        a.level = model::contentionLevel(analysis, cpus, wm,
+                                         a.meanCycles / points);
+        a.hasLevel = true;
+    }
+    return a;
+}
+
+std::string
+mpCacheKey(const MpRequest &request)
+{
+    int cpus = request.cpus == 0 ? request.config.cpus : request.cpus;
+    return format("mp|%s|lfk%d|%s|%d|%016llx",
+                  mpEngineName(request.engine), request.kernelId,
+                  lfk::mpMixName(request.mix), cpus,
+                  static_cast<unsigned long long>(
+                      request.config.contentHash()));
+}
+
+std::string
+renderMpJson(const MpAnalysis &a)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema\": \"macs-mp-v1\",\n";
+    os << "  \"kernel\": \"" << jsonEscape(a.kernel) << "\",\n";
+    os << "  \"machine\": \"" << jsonEscape(a.machineName) << "\",\n";
+    os << "  \"mix\": \"" << lfk::mpMixName(a.mix) << "\",\n";
+    os << "  \"engine\": \"" << mpEngineName(a.engine) << "\",\n";
+    os << "  \"cpus\": " << a.cpus << ",\n";
+    os << "  \"clockNs\": " << jnum(a.clockNs) << ",\n";
+    os << "  \"soloCycles\": " << jnum(a.soloCycles) << ",\n";
+    os << "  \"makespanCycles\": " << jnum(a.makespanCycles) << ",\n";
+    os << "  \"meanCycles\": " << jnum(a.meanCycles) << ",\n";
+    os << "  \"meanDegradation\": " << jnum(a.meanDegradation)
+       << ",\n";
+    os << "  \"meanPerAccessNs\": " << jnum(a.meanPerAccessNs)
+       << ",\n";
+    os << "  \"collisions\": " << a.collisions << ",\n";
+    os << "  \"cpuRows\": [\n";
+    for (size_t i = 0; i < a.cpuRows.size(); ++i) {
+        const MpCpuRow &r = a.cpuRows[i];
+        os << "    {\"label\": \"" << jsonEscape(r.label)
+           << "\", \"cycles\": " << jnum(r.cycles)
+           << ", \"degradation\": " << jnum(r.degradation)
+           << ", \"perAccessNs\": " << jnum(r.perAccessNs)
+           << ", \"collisions\": " << r.collisions
+           << ", \"foreignDelayCycles\": "
+           << jnum(r.foreignDelayCycles) << "}"
+           << (i + 1 < a.cpuRows.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+    if (a.hasLevel) {
+        const model::ContentionLevel &c = a.level;
+        os << ",\n  \"contention\": {"
+           << "\"factor\": " << jnum(c.factor)
+           << ", \"tMACS\": " << jnum(c.tMACS)
+           << ", \"tMACSm\": " << jnum(c.tMACSm)
+           << ", \"tMACSC\": " << jnum(c.macsC)
+           << ", \"tC\": " << jnum(c.tC)
+           << ", \"contentionGap\": " << jnum(c.contentionGap())
+           << ", \"unmodeledGap\": " << jnum(c.unmodeledGap())
+           << ", \"coverage\": " << jnum(c.coverage()) << "}";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+std::string
+renderMpText(const MpAnalysis &a)
+{
+    std::ostringstream os;
+    os << format("%s on %s: %d CPU%s, %s mix, %s engine\n",
+                 a.kernel.c_str(), a.machineName.c_str(), a.cpus,
+                 a.cpus == 1 ? "" : "s", lfk::mpMixName(a.mix),
+                 mpEngineName(a.engine));
+    os << format("solo %.0f cycles; makespan %.0f cycles; mean "
+                 "degradation %+.1f%%; %.1f ns/access (peak %.0f)\n\n",
+                 a.soloCycles, a.makespanCycles,
+                 100.0 * a.meanDegradation, a.meanPerAccessNs,
+                 a.clockNs);
+    Table t({"cpu", "cycles", "degradation", "ns/access", "collisions",
+             "foreign delay"});
+    for (const MpCpuRow &r : a.cpuRows)
+        t.addRow({r.label, Table::num(r.cycles, 0),
+                  format("%+.1f%%", 100.0 * r.degradation),
+                  Table::num(r.perAccessNs, 1),
+                  Table::num(static_cast<long>(r.collisions)),
+                  Table::num(r.foreignDelayCycles, 0)});
+    os << t.render();
+    if (a.hasLevel)
+        os << "\n" << model::renderContentionLevel(a.level);
+    return os.str();
+}
+
+} // namespace macs::pipeline

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared front end for the multi-CPU engines (docs/MULTICPU.md):
+ * `macs mp` and the server's POST /v1/multicpu both run an MpRequest
+ * through here so the CLI and HTTP answers are byte-identical.
+ *
+ * Two engines answer the same question ("what happens when this LFK
+ * shares the banks with its P-1 neighbours?"):
+ *  - coupled: the cycle-coupled simulator (sim/mp/runCoupled) — every
+ *    delay emerges from shared bank reservations;
+ *  - analytic: the contention fixed point (sim/runMultiCpu) — the
+ *    cheap calibrated tier, cross-checked against coupled runs.
+ *
+ * Both renderers are deterministic: every number is a pure function
+ * of the request (the coupled engine commits accesses in a global
+ * (time, cpu) order), so renderMpJson() is byte-identical for any
+ * worker count and safe to memo-cache under mpCacheKey().
+ */
+
+#ifndef MACS_PIPELINE_MP_REPORT_H
+#define MACS_PIPELINE_MP_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lfk/mp_workload.h"
+#include "machine/machine_config.h"
+#include "macs/contention_level.h"
+
+namespace macs::pipeline {
+
+/** Which multi-CPU engine answers the request. */
+enum class MpEngine
+{
+    Coupled,  ///< cycle-coupled shared banks (sim/mp/)
+    Analytic, ///< calibrated contention fixed point (sim/multi_cpu.h)
+};
+
+/** Canonical engine name ("coupled" / "analytic"). */
+const char *mpEngineName(MpEngine engine);
+
+/** Parse an engine name; false (out untouched) on anything else. */
+bool parseMpEngine(const std::string &text, MpEngine &out);
+
+/** One multi-CPU run request (CLI flags or HTTP body fields). */
+struct MpRequest
+{
+    int kernelId = 1;
+    lfk::MpMix mix = lfk::MpMix::Independent;
+    int cpus = 0; ///< 0 = all of the machine's CPUs
+    MpEngine engine = MpEngine::Coupled;
+    machine::MachineConfig config = machine::MachineConfig::convexC240();
+    std::string machineName = "c240";
+};
+
+/** One CPU's outcome inside the fleet. */
+struct MpCpuRow
+{
+    std::string label;
+    double cycles = 0.0;
+    double degradation = 0.0;  ///< cycles / solo - 1
+    double perAccessNs = 0.0;  ///< port-occupancy per access
+    uint64_t collisions = 0;   ///< coupled engine only
+    double foreignDelayCycles = 0.0; ///< coupled engine only
+};
+
+/** The full analysis a request produces. */
+struct MpAnalysis
+{
+    int kernelId = 1;
+    std::string kernel; ///< "LFK1", ...
+    lfk::MpMix mix = lfk::MpMix::Independent;
+    int cpus = 1;
+    MpEngine engine = MpEngine::Coupled;
+    std::string machineName;
+    double clockNs = 0.0;
+
+    double soloCycles = 0.0;     ///< one CPU, uncontended
+    double makespanCycles = 0.0; ///< last CPU drained (global clock)
+    double meanCycles = 0.0;
+    double meanDegradation = 0.0;
+    double meanPerAccessNs = 0.0;
+    uint64_t collisions = 0;
+
+    std::vector<MpCpuRow> cpuRows;
+
+    /**
+     * The MACS C level for this fleet: t_MACS^C with the calibrated
+     * factor and the measured-under-contention time fed back as t_C.
+     * Absent (hasLevel false) for the strip mix — a split kernel is
+     * not P competing instances of the bound's workload.
+     */
+    bool hasLevel = false;
+    model::ContentionLevel level;
+};
+
+/**
+ * Run @p request through the selected engine. fatal() on an invalid
+ * CPU count for the machine, on strip-mining a hand-assembled kernel,
+ * and on `strip` under the analytic engine (the fixed point has no
+ * notion of a split kernel); unknown kernel ids panic in makeKernel.
+ */
+MpAnalysis runMpAnalysis(const MpRequest &request);
+
+/**
+ * Memo-cache key: engine, kernel, mix, CPU count, and the machine's
+ * contentHash() — two machines differing in any timing constant can
+ * never alias an entry (the engine tier is part of the key, so a
+ * coupled result is never served for an analytic request).
+ */
+std::string mpCacheKey(const MpRequest &request);
+
+/** Render as JSON (schema "macs-mp-v1"), deterministic bytes. */
+std::string renderMpJson(const MpAnalysis &analysis);
+
+/** Render as a human-readable table + C-level block. */
+std::string renderMpText(const MpAnalysis &analysis);
+
+} // namespace macs::pipeline
+
+#endif // MACS_PIPELINE_MP_REPORT_H

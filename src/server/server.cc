@@ -8,6 +8,7 @@
 #include "machine/machine_file.h"
 #include "obs/export.h"
 #include "obs/json.h"
+#include "pipeline/mp_report.h"
 #include "pipeline/report.h"
 #include "pipeline/sweep.h"
 #include "server/event_loop.h"
@@ -142,7 +143,8 @@ routeLabel(const std::string &path)
 {
     if (path == "/healthz" || path == "/metrics" ||
         path == "/version" || path == "/v1/analyze" ||
-        path == "/v1/batch" || path == "/v1/sweep")
+        path == "/v1/batch" || path == "/v1/sweep" ||
+        path == "/v1/multicpu")
         return path;
     return "other";
 }
@@ -505,7 +507,7 @@ Server::handle(const HttpRequest &request)
             response = handleVersion();
         }
     } else if (path == "/v1/analyze" || path == "/v1/batch" ||
-               path == "/v1/sweep") {
+               path == "/v1/sweep" || path == "/v1/multicpu") {
         if (request.method != "POST") {
             response = errorResponse(
                 405, detail::concat("method ", request.method,
@@ -515,6 +517,8 @@ Server::handle(const HttpRequest &request)
             response = handleAnalyze(request);
         } else if (path == "/v1/batch") {
             response = handleBatch(request);
+        } else if (path == "/v1/multicpu") {
+            response = handleMultiCpu(request);
         } else {
             response = handleSweep(request);
         }
@@ -523,7 +527,7 @@ Server::handle(const HttpRequest &request)
             404, detail::concat("no route for '", path,
                                 "' (known: /healthz, /metrics, "
                                 "/version, /v1/analyze, /v1/batch, "
-                                "/v1/sweep)"));
+                                "/v1/sweep, /v1/multicpu)"));
     }
     countRequest(routeLabel(path), response.status);
     return response;
@@ -567,7 +571,7 @@ Server::handleVersion() const
         obs::jsonEscape(options_.versionString),
         "\", \"schemas\": [\"macs-batch-v1\", \"macs-sweep-v1\", "
         "\"macs-analysis-v1\", \"macs-metrics-v1\", \"macs-trace-v1\", "
-        "\"macs-error-v1\", \"macs-health-v1\", "
+        "\"macs-mp-v1\", \"macs-error-v1\", \"macs-health-v1\", "
         "\"macs-version-v1\"]}\n");
     return response;
 }
@@ -922,6 +926,85 @@ Server::handleSweep(const HttpRequest &request)
     response.headers.emplace_back(
         "X-MACS-Exit-Code", std::to_string(result.exitCode()));
     return response;
+}
+
+HttpResponse
+Server::handleMultiCpu(const HttpRequest &request)
+{
+    // Body: {"kernel"?: N (default 1), "cpus"?: N (default: all),
+    // "mix"?: "independent"|"lockstep"|"strip", "engine"?:
+    // "coupled"|"analytic", "variant"?: built-in machine variant}.
+    // The report (schema "macs-mp-v1") is a pure function of the
+    // request, so responses memo-cache under mpCacheKey() and are
+    // byte-identical at any worker count.
+    pipeline::MpRequest req;
+    try {
+        if (!request.body.empty()) {
+            obs::JsonValue doc = obs::parseJson(request.body);
+            if (!doc.isObject())
+                return errorResponse(
+                    400, "multicpu body must be a JSON object");
+            if (const obs::JsonValue *k = doc.find("kernel"))
+                req.kernelId = static_cast<int>(k->asDouble());
+            if (const obs::JsonValue *c = doc.find("cpus")) {
+                long cpus = static_cast<long>(c->asDouble());
+                if (cpus < 1)
+                    return errorResponse(400,
+                                         "'cpus' must be positive");
+                req.cpus = static_cast<int>(cpus);
+            }
+            if (const obs::JsonValue *m = doc.find("mix"))
+                if (!lfk::parseMpMix(m->asString(), req.mix))
+                    return errorResponse(
+                        400, detail::concat(
+                                 "unknown mix '", m->asString(),
+                                 "' (known: independent, lockstep, "
+                                 "strip)"));
+            if (const obs::JsonValue *e = doc.find("engine"))
+                if (!pipeline::parseMpEngine(e->asString(),
+                                             req.engine))
+                    return errorResponse(
+                        400, detail::concat(
+                                 "unknown engine '", e->asString(),
+                                 "' (known: coupled, analytic)"));
+            if (const obs::JsonValue *v = doc.find("variant")) {
+                req.machineName = v->asString();
+                req.config =
+                    machine::MachineConfig::variant(req.machineName);
+            }
+        }
+
+        std::string key = pipeline::mpCacheKey(req);
+        {
+            std::lock_guard<std::mutex> lock(mpCacheMutex_);
+            auto it = mpCache_.find(key);
+            if (it != mpCache_.end()) {
+                HttpResponse response;
+                response.body = it->second;
+                return response;
+            }
+        }
+        pipeline::MpAnalysis analysis = pipeline::runMpAnalysis(req);
+        HttpResponse response;
+        response.body = pipeline::renderMpJson(analysis);
+        {
+            std::lock_guard<std::mutex> lock(mpCacheMutex_);
+            mpCache_.emplace(std::move(key), response.body);
+        }
+        return response;
+    } catch (const FatalError &e) {
+        // Bad kernel ids, impossible CPU counts, unknown variants,
+        // strip-mining a hand-assembled kernel: request errors.
+        return errorResponse(
+            400,
+            detail::concat("malformed multicpu request: ", e.what()));
+    } catch (const PanicError &e) {
+        // Type-mismatched fields assert inside JsonValue; map them to
+        // 400 like any other malformed client body (see handleAnalyze).
+        return errorResponse(
+            400,
+            detail::concat("malformed multicpu request: ", e.what()));
+    }
 }
 
 } // namespace macs::server

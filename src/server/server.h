@@ -42,7 +42,9 @@
 #define MACS_SERVER_SERVER_H
 
 #include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -185,12 +187,22 @@ class Server
     HttpResponse handleAnalyze(const HttpRequest &request);
     HttpResponse handleBatch(const HttpRequest &request);
     HttpResponse handleSweep(const HttpRequest &request);
+    HttpResponse handleMultiCpu(const HttpRequest &request);
 
     obs::Registry &registry() const;
     const faults::FaultInjector &injector() const;
 
     ServerOptions options_;
     AnalysisService service_;
+    /**
+     * Memo cache for /v1/multicpu: mpCacheKey -> rendered body. The
+     * body is deterministic (byte-identical for any worker count), so
+     * caching whole responses is sound; the engine tier is part of
+     * the key. Guarded by its own mutex — mp runs are rare and long,
+     * and must not contend with the analysis cache.
+     */
+    std::mutex mpCacheMutex_;
+    std::map<std::string, std::string> mpCache_;
     Listener listener_;
     std::unique_ptr<pipeline::ThreadPool> pool_;
     /** Declared after pool_: shards die before the pool they feed. */

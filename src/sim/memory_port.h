@@ -46,6 +46,38 @@ struct ScalarAccessTiming
     double done = 0;  ///< cycle the port is free again
 };
 
+/**
+ * Seam the multi-CPU coupling layer plugs into the reference
+ * interpreter (SimOptions::externalPort): same operations as
+ * MemoryPort plus the word address of each access, which the shared
+ * memory system needs to map accesses onto banks other CPUs may hold
+ * busy. Implementations must reproduce MemoryPort's arithmetic
+ * bit-for-bit when no foreign CPU interferes — that degeneracy is the
+ * `mp --cpus 1` == plain Simulator contract pinned by
+ * tests/mp_differential_test.cc.
+ */
+class ExternalMemoryPort
+{
+  public:
+    virtual ~ExternalMemoryPort() = default;
+
+    /** MemoryPort::serviceStream + the stream's starting word. */
+    virtual StreamTiming serviceStream(double earliest, int elements,
+                                       int64_t stride_words,
+                                       double rate_floor,
+                                       uint64_t start_word) = 0;
+
+    /** MemoryPort::serviceScalar + the accessed word. */
+    virtual ScalarAccessTiming serviceScalar(double earliest,
+                                             uint64_t word) = 0;
+
+    /** Sustained cycles/element for @p stride_words (no contention). */
+    virtual double strideRate(int64_t stride_words) const = 0;
+
+    /** Earliest cycle a new access can win this CPU's port. */
+    virtual double freeAt() const = 0;
+};
+
 /** The per-CPU memory port (stateful: tracks busy time and refresh). */
 class MemoryPort
 {

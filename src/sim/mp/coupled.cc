@@ -1,0 +1,92 @@
+#include "sim/mp/coupled.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "support/logging.h"
+
+namespace macs::sim::mp {
+
+CoupledResult
+runCoupled(const std::vector<CoupledJob> &jobs,
+           const machine::MachineConfig &config,
+           const CoupledOptions &options)
+{
+    MACS_ASSERT(!jobs.empty(), "runCoupled needs at least one job");
+    MACS_ASSERT(static_cast<int>(jobs.size()) <= config.cpus,
+                "more jobs than the machine has CPUs");
+    for (const CoupledJob &job : jobs)
+        MACS_ASSERT(job.program != nullptr,
+                    "runCoupled job without a program");
+
+    int cpus = static_cast<int>(jobs.size());
+    SharedMemorySystem shared(config.memory, cpus);
+    for (int i = 0; i < cpus; ++i) {
+        shared.setTimeSkewCycles(i, jobs[static_cast<size_t>(i)]
+                                        .timeSkewCycles);
+        shared.setAddressSkewWords(i, jobs[static_cast<size_t>(i)]
+                                          .addressSkewWords);
+    }
+
+    CoupledResult result;
+    result.cpus.resize(static_cast<size_t>(cpus));
+    std::vector<std::exception_ptr> errors(
+        static_cast<size_t>(cpus));
+
+    auto runCpu = [&](int i) {
+        const CoupledJob &job = jobs[static_cast<size_t>(i)];
+        CoupledCpuResult &out = result.cpus[static_cast<size_t>(i)];
+        try {
+            SimOptions opts;
+            opts.tier = SimTier::Reference; // externalPort contract
+            opts.externalPort = &shared.port(i);
+            opts.trace = options.trace;
+            opts.profile = options.profile;
+            opts.maxInstructions = options.maxInstructions;
+            Simulator sim(config, *job.program, opts);
+            if (job.setup)
+                job.setup(sim);
+            out.stats = sim.run();
+            out.timeline = sim.timeline();
+            out.profile = sim.profile();
+            out.label = job.label;
+        } catch (...) {
+            errors[static_cast<size_t>(i)] = std::current_exception();
+        }
+        // Unblock peers waiting on this CPU's horizon — on failure
+        // too, or the whole fleet deadlocks on a dead CPU.
+        shared.finish(i);
+    };
+
+    if (cpus == 1) {
+        // Degenerate case on the calling thread: keeps 1-CPU runs
+        // usable in contexts that must not spawn (and bit-identical
+        // to the plain Simulator either way).
+        runCpu(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<size_t>(cpus));
+        for (int i = 0; i < cpus; ++i)
+            threads.emplace_back(runCpu, i);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    // Deterministic error surfacing: the lowest-index failure wins.
+    for (std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+
+    for (int i = 0; i < cpus; ++i) {
+        CoupledCpuResult &out = result.cpus[static_cast<size_t>(i)];
+        out.shared = shared.cpuStats(i);
+        result.makespanCycles =
+            std::max(result.makespanCycles,
+                     jobs[static_cast<size_t>(i)].timeSkewCycles +
+                         out.stats.cycles);
+    }
+    return result;
+}
+
+} // namespace macs::sim::mp

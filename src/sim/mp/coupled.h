@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cycle-coupled multi-CPU runs: P reference-tier Simulators advanced
+ * against one SharedMemorySystem, one thread per CPU.
+ *
+ * This is the simulation tier of the multi-CPU story; the analytic
+ * tier (sim/multi_cpu.h's contention fixed point) stays as the cheap
+ * cross-check. Here nothing is assumed about contention: every
+ * inter-CPU delay emerges from bank reservations in shared_memory.h,
+ * and a 1-CPU coupled run is bit-identical to the plain Simulator.
+ */
+
+#ifndef MACS_SIM_MP_COUPLED_H
+#define MACS_SIM_MP_COUPLED_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "machine/machine_config.h"
+#include "sim/mp/shared_memory.h"
+#include "sim/simulator.h"
+
+namespace macs::sim::mp {
+
+/** One CPU's workload in a coupled run. */
+struct CoupledJob
+{
+    const isa::Program *program = nullptr;
+    std::function<void(Simulator &)> setup;
+    /**
+     * Clock offset of this CPU in global cycles (>= 0): models a
+     * process that started later. The independent mix staggers CPUs
+     * so identical programs do not run in artificial phase lock.
+     */
+    double timeSkewCycles = 0.0;
+    /** Word-address offset for bank mapping (distinct address space). */
+    int64_t addressSkewWords = 0;
+    std::string label; ///< for reports ("LFK1", "LFK1[2/4]", ...)
+};
+
+/** Options for runCoupled(). */
+struct CoupledOptions
+{
+    bool trace = false;   ///< record per-CPU Timelines
+    bool profile = false; ///< record per-CPU StallProfiles
+    uint64_t maxInstructions = 100'000'000;
+};
+
+/** One CPU's outcome. */
+struct CoupledCpuResult
+{
+    std::string label;
+    RunStats stats;        ///< local-clock stats, plain-Simulator shape
+    SharedCpuStats shared; ///< contention accounting from the banks
+    Timeline timeline;     ///< empty unless options.trace
+    StallProfile profile;  ///< empty unless options.profile
+};
+
+/** Outcome of a coupled run. */
+struct CoupledResult
+{
+    std::vector<CoupledCpuResult> cpus;
+    /**
+     * Global cycle the last CPU's port and pipeline drained:
+     * max over CPUs of (timeSkew + stats.cycles).
+     */
+    double makespanCycles = 0.0;
+};
+
+/**
+ * Run every job to completion, cycle-coupled through the shared
+ * banks. Deterministic: results are a pure function of the jobs and
+ * config (any thread schedule commits the same global access order).
+ * Panics on no jobs, more jobs than config.cpus, or a null program.
+ */
+CoupledResult runCoupled(const std::vector<CoupledJob> &jobs,
+                         const machine::MachineConfig &config,
+                         const CoupledOptions &options = {});
+
+} // namespace macs::sim::mp
+
+#endif // MACS_SIM_MP_COUPLED_H

@@ -1,0 +1,316 @@
+#include "sim/mp/shared_memory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace macs::sim::mp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+} // namespace
+
+SharedMemorySystem::SharedMemorySystem(
+    const machine::MemoryConfig &config, int cpus)
+    : config_(config),
+      rateModel_(config, 1.0),
+      cpu_(static_cast<size_t>(cpus)),
+      ports_(static_cast<size_t>(cpus)),
+      bankWindows_(static_cast<size_t>(config.banks))
+{
+    MACS_ASSERT(cpus >= 1, "shared memory needs at least one CPU");
+    MACS_ASSERT(config_.banks >= 1, "bank count must be positive");
+    for (int i = 0; i < cpus; ++i)
+        ports_[static_cast<size_t>(i)].bind(this, i);
+}
+
+ExternalMemoryPort &
+SharedMemorySystem::port(int cpu)
+{
+    MACS_ASSERT(cpu >= 0 && cpu < cpus(), "bad cpu index");
+    return ports_[static_cast<size_t>(cpu)];
+}
+
+void
+SharedMemorySystem::setTimeSkewCycles(int cpu, double cycles)
+{
+    MACS_ASSERT(cpu >= 0 && cpu < cpus(), "bad cpu index");
+    MACS_ASSERT(cycles >= 0.0, "time skew must be non-negative");
+    std::lock_guard<std::mutex> lock(mu_);
+    cpu_[static_cast<size_t>(cpu)].timeSkew = cycles;
+}
+
+void
+SharedMemorySystem::setAddressSkewWords(int cpu, int64_t words)
+{
+    MACS_ASSERT(cpu >= 0 && cpu < cpus(), "bad cpu index");
+    std::lock_guard<std::mutex> lock(mu_);
+    cpu_[static_cast<size_t>(cpu)].addrSkew = words;
+}
+
+void
+SharedMemorySystem::finish(int cpu)
+{
+    MACS_ASSERT(cpu >= 0 && cpu < cpus(), "bad cpu index");
+    std::lock_guard<std::mutex> lock(mu_);
+    CpuState &c = cpu_[static_cast<size_t>(cpu)];
+    MACS_ASSERT(!c.finished, "finish() called twice for one cpu");
+    c.finished = true;
+    c.horizon = kInf;
+    cv_.notify_all();
+}
+
+SharedCpuStats
+SharedMemorySystem::cpuStats(int cpu) const
+{
+    MACS_ASSERT(cpu >= 0 && cpu < cpus(), "bad cpu index");
+    std::lock_guard<std::mutex> lock(mu_);
+    return cpu_[static_cast<size_t>(cpu)].stats;
+}
+
+double
+SharedMemorySystem::strideRate(int64_t stride_words) const
+{
+    return rateModel_.strideRate(stride_words);
+}
+
+double
+SharedMemorySystem::freeAt(int cpu) const
+{
+    MACS_ASSERT(cpu >= 0 && cpu < cpus(), "bad cpu index");
+    std::lock_guard<std::mutex> lock(mu_);
+    const CpuState &c = cpu_[static_cast<size_t>(cpu)];
+    return c.freeAt - c.timeSkew;
+}
+
+int
+SharedMemorySystem::bankOf(int64_t word) const
+{
+    int64_t banks = config_.banks;
+    return static_cast<int>(((word % banks) + banks) % banks);
+}
+
+void
+SharedMemorySystem::advanceRefreshCursor(CpuState &c, double x) const
+{
+    // Verbatim MemoryPort::advanceRefreshCursor over the CPU's own
+    // cursor: the boundary grid k*period is global, so every CPU
+    // computes the same exact double boundaries.
+    double period = config_.refreshPeriodCycles;
+    if (x - c.refreshCursor > 64.0 * period)
+        c.refreshCursor = std::floor(x / period) * period;
+    while (c.refreshCursor + period <= x)
+        c.refreshCursor += period;
+}
+
+double
+SharedMemorySystem::refreshStall(CpuState &c, double begin,
+                                 double end) const
+{
+    // Verbatim MemoryPort::refreshStall (the bit-exactness contract).
+    if (!config_.refreshEnabled || end <= begin)
+        return 0.0;
+    double period = config_.refreshPeriodCycles;
+    double duration = config_.refreshDurationCycles;
+    advanceRefreshCursor(c, begin);
+    if (end < c.refreshCursor + period)
+        return 0.0;
+    double stall = 0.0;
+    long first = static_cast<long>(std::floor(begin / period)) + 1;
+    long last = static_cast<long>(std::floor((end + stall) / period));
+    while (true) {
+        long count = std::max(0L, last - first + 1);
+        double new_stall = duration * static_cast<double>(count);
+        long new_last =
+            static_cast<long>(std::floor((end + new_stall) / period));
+        if (new_last == last) {
+            stall = new_stall;
+            break;
+        }
+        last = new_last;
+    }
+    return stall;
+}
+
+bool
+SharedMemorySystem::safeAt(int cpu, double t) const
+{
+    // An event at (t, cpu) may commit once no other unfinished CPU
+    // can still produce an event ordered before it: every foreign
+    // horizon must lie beyond t, or at t with a larger index.
+    for (int j = 0; j < cpus(); ++j) {
+        if (j == cpu)
+            continue;
+        const CpuState &o = cpu_[static_cast<size_t>(j)];
+        if (o.finished)
+            continue;
+        if (o.horizon < t)
+            return false;
+        if (o.horizon == t && j < cpu)
+            return false;
+    }
+    return true;
+}
+
+double
+SharedMemorySystem::foreignBusyEnd(int cpu, int bank, double t) const
+{
+    double end = -1.0;
+    for (const BankWindow &w : bankWindows_[static_cast<size_t>(bank)])
+        if (w.cpu != cpu && w.start <= t && t < w.end)
+            end = std::max(end, w.end);
+    return end;
+}
+
+double
+SharedMemorySystem::commitElement(std::unique_lock<std::mutex> &lock,
+                                  int cpu, double t, int bank)
+{
+    CpuState &c = cpu_[static_cast<size_t>(cpu)];
+    double busy = config_.bankBusyCycles;
+    double restart = config_.arbitrationRestartCycles;
+    for (;;) {
+        if (c.horizon != t) {
+            c.horizon = t;
+            cv_.notify_all();
+        }
+        cv_.wait(lock, [&] { return safeAt(cpu, t); });
+        double pushed = foreignBusyEnd(cpu, bank, t);
+        if (pushed < 0.0)
+            break;
+        // The bank is held by another CPU: lose the remainder of its
+        // reservation plus the port re-arbitration handshake, then
+        // try again (the freed bank may have been grabbed by a third
+        // CPU ordered between the reservations).
+        t = pushed + restart;
+        ++c.stats.collisions;
+    }
+    bankWindows_[static_cast<size_t>(bank)].push_back(
+        {t, t + busy, cpu});
+    return t;
+}
+
+void
+SharedMemorySystem::pruneWindows()
+{
+    // A window whose end precedes every unfinished CPU's horizon can
+    // never cover a future query (all future events commit at or
+    // after their CPU's horizon).
+    double min_h = kInf;
+    for (const CpuState &c : cpu_)
+        if (!c.finished)
+            min_h = std::min(min_h, c.horizon);
+    for (auto &windows : bankWindows_) {
+        auto keep = std::remove_if(windows.begin(), windows.end(),
+                                   [min_h](const BankWindow &w) {
+                                       return w.end <= min_h;
+                                   });
+        windows.erase(keep, windows.end());
+    }
+}
+
+StreamTiming
+SharedMemorySystem::serviceStream(int cpu, double earliest,
+                                  int elements, int64_t stride_words,
+                                  double rate_floor,
+                                  uint64_t start_word)
+{
+    MACS_ASSERT(cpu >= 0 && cpu < cpus(), "bad cpu index");
+    MACS_ASSERT(elements > 0, "empty vector stream");
+    std::unique_lock<std::mutex> lock(mu_);
+    CpuState &c = cpu_[static_cast<size_t>(cpu)];
+    double skew = c.timeSkew;
+
+    // Own-port arithmetic: verbatim MemoryPort::serviceStreamWithRate
+    // at contention 1.0, in global time.
+    StreamTiming t;
+    double prev_busy_end = c.freeAt;
+    t.enter = std::max(earliest + skew, c.freeAt);
+    if (config_.refreshEnabled) {
+        double duration = config_.refreshDurationCycles;
+        advanceRefreshCursor(c, t.enter);
+        double boundary = c.refreshCursor;
+        if (boundary > prev_busy_end && boundary + duration > t.enter) {
+            t.enter += duration;
+            t.refreshStall += duration;
+        }
+    }
+    t.rate = std::max(rate_floor, rateModel_.strideRate(stride_words));
+
+    // Inter-CPU coupling: commit each element as one global event and
+    // accumulate the pushes foreign bank reservations force. Element
+    // k's nominal slot is enter + rate*k (a product, not a running
+    // sum, so delay == 0 leaves the single-CPU arithmetic untouched).
+    double delay = 0.0;
+    if (cpus() > 1) {
+        int64_t base = static_cast<int64_t>(start_word) + c.addrSkew;
+        for (int k = 0; k < elements; ++k) {
+            double tk = t.enter + t.rate * k + delay;
+            int bank = bankOf(base + static_cast<int64_t>(k) *
+                                         stride_words);
+            double committed = commitElement(lock, cpu, tk, bank);
+            delay += committed - tk;
+        }
+    }
+
+    double nominal_end = t.enter + t.rate * elements;
+    double in_stream = refreshStall(c, t.enter, nominal_end + delay);
+    t.refreshStall += in_stream;
+    t.streamEnd = nominal_end + delay + in_stream;
+    c.freeAt = t.streamEnd;
+    c.horizon = std::max(c.horizon, c.freeAt);
+    cv_.notify_all();
+
+    SharedCpuStats &st = c.stats;
+    ++st.streams;
+    st.elements += static_cast<uint64_t>(elements);
+    st.slotCycles += t.rate * elements;
+    st.foreignDelayCycles += delay;
+    st.refreshStallCycles += t.refreshStall;
+    st.portBusyCycles += t.streamEnd - t.enter;
+
+    if (cpus() > 1)
+        pruneWindows();
+
+    t.enter -= skew;
+    t.streamEnd -= skew;
+    return t;
+}
+
+ScalarAccessTiming
+SharedMemorySystem::serviceScalar(int cpu, double earliest,
+                                  uint64_t word)
+{
+    MACS_ASSERT(cpu >= 0 && cpu < cpus(), "bad cpu index");
+    std::unique_lock<std::mutex> lock(mu_);
+    CpuState &c = cpu_[static_cast<size_t>(cpu)];
+    double skew = c.timeSkew;
+
+    // Own-port arithmetic: verbatim MemoryPort::serviceScalar at
+    // contention 1.0 (2.0 * 1.0 == 2.0), in global time.
+    ScalarAccessTiming t;
+    t.start = std::max(earliest + skew, c.freeAt);
+    if (cpus() > 1) {
+        int bank = bankOf(static_cast<int64_t>(word) + c.addrSkew);
+        double committed = commitElement(lock, cpu, t.start, bank);
+        c.stats.foreignDelayCycles += committed - t.start;
+        t.start = committed;
+    }
+    t.done = t.start + 2.0;
+    c.freeAt = t.done;
+    c.horizon = std::max(c.horizon, c.freeAt);
+    cv_.notify_all();
+
+    SharedCpuStats &st = c.stats;
+    ++st.scalarAccesses;
+    st.slotCycles += 2.0;
+    st.portBusyCycles += t.done - t.start;
+
+    t.start -= skew;
+    t.done -= skew;
+    return t;
+}
+
+} // namespace macs::sim::mp

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The shared 32-bank memory system of a multi-CPU C-240, and the
+ * per-CPU port proxies that couple P reference-tier Simulators to it.
+ *
+ * Model (paper section 4.2): each CPU owns one port into the common
+ * interleaved memory. A CPU's own-port behavior — stream entry, stride
+ * service rate, the global refresh train — is byte-for-byte the
+ * arithmetic of sim::MemoryPort with contention factor 1.0. What the
+ * single-CPU model folds into an `alpha` knob emerges here instead:
+ * every stream element and scalar access reserves its bank for the
+ * bank-busy time, and an element that lands on a bank a *different*
+ * CPU holds busy is pushed past that reservation plus an
+ * arbitration-restart penalty (MemoryConfig::arbitrationRestartCycles,
+ * the paper's conjectured controller-handshake restart). Conflicts
+ * within one CPU's own stream are already captured by the closed-form
+ * stride rate and are never double-charged.
+ *
+ * Determinism: accesses from all CPUs are committed in a single global
+ * greedy order by (global time, cpu index). Each CPU publishes a
+ * monotone horizon — a lower bound on the time of its next port event
+ * — and an event at time t commits only once every other unfinished
+ * CPU's horizon has passed t (ties broken toward the smaller index).
+ * The committed schedule is therefore a pure function of the workloads
+ * and independent of thread scheduling: runs are bit-reproducible and
+ * TSan-clean (all shared state sits under one mutex).
+ *
+ * Degeneracy contract: with one CPU no foreign reservation can exist,
+ * every coupling term is exactly 0.0, and the identities x + 0.0 == x
+ * and x * 1.0 == x make each returned timing bit-identical to the
+ * plain MemoryPort's — pinned by tests/mp_differential_test.cc.
+ */
+
+#ifndef MACS_SIM_MP_SHARED_MEMORY_H
+#define MACS_SIM_MP_SHARED_MEMORY_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "machine/machine_config.h"
+#include "sim/memory_port.h"
+
+namespace macs::sim::mp {
+
+/** Per-CPU traffic accounting of one coupled run. */
+struct SharedCpuStats
+{
+    uint64_t streams = 0;        ///< vector streams serviced
+    uint64_t scalarAccesses = 0; ///< scalar loads/stores serviced
+    uint64_t elements = 0;       ///< vector elements serviced
+    uint64_t collisions = 0;     ///< elements pushed by a foreign bank
+    double slotCycles = 0.0;     ///< rate*n + scalar slot cycles
+    double foreignDelayCycles = 0.0; ///< cycles lost to foreign banks
+    double refreshStallCycles = 0.0; ///< refresh cycles charged
+    double portBusyCycles = 0.0; ///< total port-occupancy span
+
+    /**
+     * Effective time per memory access in cycles: the full port
+     * occupancy divided by the access count. One CPU with unit
+     * stride sits near 1.0 (the 40 ns peak); the paper's multi-user
+     * band of 56-64 ns per access is 1.4-1.6 here.
+     */
+    double
+    perAccessCycles() const
+    {
+        uint64_t accesses = elements + scalarAccesses;
+        return accesses ? portBusyCycles / static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * The shared banks + per-CPU ports. Construct, decorate CPUs with
+ * skews, hand each Simulator its port(), run the CPUs on their own
+ * threads, and call finish(cpu) as each one completes (mandatory —
+ * peers wait on unfinished horizons).
+ */
+class SharedMemorySystem
+{
+  public:
+    SharedMemorySystem(const machine::MemoryConfig &config, int cpus);
+
+    int cpus() const { return static_cast<int>(cpu_.size()); }
+
+    /**
+     * The ExternalMemoryPort to plug into CPU @p cpu's SimOptions.
+     * Valid for the lifetime of this system.
+     */
+    ExternalMemoryPort &port(int cpu);
+
+    /**
+     * Offset CPU @p cpu's clock: its local cycle t is global cycle
+     * t + @p cycles. Models processes that did not start in the same
+     * clock edge (the independent mix); the global refresh train then
+     * hits each CPU at a different local phase, as on real hardware.
+     * Must be set before the run starts; 0 preserves the single-CPU
+     * degeneracy bit-for-bit.
+     */
+    void setTimeSkewCycles(int cpu, double cycles);
+
+    /**
+     * Offset CPU @p cpu's word addresses for bank mapping: models
+     * distinct address spaces (independent/lock-step mixes) or a
+     * strip chunk's base offset without rewriting the programs. Only
+     * the bank residue matters; 0 preserves the degeneracy.
+     */
+    void setAddressSkewWords(int cpu, int64_t words);
+
+    /**
+     * Mark CPU @p cpu done: its horizon becomes infinite so peers
+     * stop waiting on it. Must be called exactly once per CPU, on
+     * success and on failure alike.
+     */
+    void finish(int cpu);
+
+    /** Traffic accounting for CPU @p cpu (stable after its finish). */
+    SharedCpuStats cpuStats(int cpu) const;
+
+    // ExternalMemoryPort backends (global-time domain internally;
+    // called via the per-CPU proxies, which live in cpu-local time).
+    StreamTiming serviceStream(int cpu, double earliest, int elements,
+                               int64_t stride_words, double rate_floor,
+                               uint64_t start_word);
+    ScalarAccessTiming serviceScalar(int cpu, double earliest,
+                                     uint64_t word);
+    double strideRate(int64_t stride_words) const;
+    double freeAt(int cpu) const;
+
+  private:
+    /** One bank reservation: bank busy over [start, end), by cpu. */
+    struct BankWindow
+    {
+        double start = 0.0;
+        double end = 0.0;
+        int cpu = 0;
+    };
+
+    struct CpuState
+    {
+        double freeAt = 0.0;  ///< global cycle the port frees
+        double horizon = 0.0; ///< lower bound on next port event
+        bool finished = false;
+        double timeSkew = 0.0;
+        int64_t addrSkew = 0;
+        /// Refresh-boundary cursor (MemoryPort::advanceRefreshCursor).
+        double refreshCursor = 0.0;
+        SharedCpuStats stats;
+    };
+
+    /** ExternalMemoryPort face of one CPU's port. */
+    class CpuPort : public ExternalMemoryPort
+    {
+      public:
+        void
+        bind(SharedMemorySystem *system, int cpu)
+        {
+            system_ = system;
+            cpu_ = cpu;
+        }
+        StreamTiming
+        serviceStream(double earliest, int elements,
+                      int64_t stride_words, double rate_floor,
+                      uint64_t start_word) override
+        {
+            return system_->serviceStream(cpu_, earliest, elements,
+                                          stride_words, rate_floor,
+                                          start_word);
+        }
+        ScalarAccessTiming
+        serviceScalar(double earliest, uint64_t word) override
+        {
+            return system_->serviceScalar(cpu_, earliest, word);
+        }
+        double
+        strideRate(int64_t stride_words) const override
+        {
+            return system_->strideRate(stride_words);
+        }
+        double
+        freeAt() const override
+        {
+            return system_->freeAt(cpu_);
+        }
+
+      private:
+        SharedMemorySystem *system_ = nullptr;
+        int cpu_ = 0;
+    };
+
+    /** True when CPU @p cpu may commit an event at global time t. */
+    bool safeAt(int cpu, double t) const;
+
+    /**
+     * Commit one port event of @p cpu at candidate global time @p t
+     * on @p bank: wait until every other horizon passes t, push past
+     * any covering foreign reservation (plus the arbitration restart)
+     * re-waiting after each push, then record this event's own
+     * reservation. Returns the committed time (>= t).
+     */
+    double commitElement(std::unique_lock<std::mutex> &lock, int cpu,
+                         double t, int bank);
+
+    /** Latest end among foreign windows covering (bank, t); -1 if none. */
+    double foreignBusyEnd(int cpu, int bank, double t) const;
+
+    /** Bank index of a (possibly negative) skewed word address. */
+    int bankOf(int64_t word) const;
+
+    /** Drop windows no unfinished CPU can ever query again. */
+    void pruneWindows();
+
+    /** MemoryPort::advanceRefreshCursor on a CPU's own cursor. */
+    void advanceRefreshCursor(CpuState &c, double x) const;
+
+    /** MemoryPort::refreshStall against a CPU's own cursor. */
+    double refreshStall(CpuState &c, double begin, double end) const;
+
+    machine::MemoryConfig config_;
+    /// Stride-rate oracle; strideRate() is pure const (thread-safe).
+    MemoryPort rateModel_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<CpuState> cpu_;
+    std::vector<CpuPort> ports_;
+    std::vector<std::vector<BankWindow>> bankWindows_;
+};
+
+} // namespace macs::sim::mp
+
+#endif // MACS_SIM_MP_SHARED_MEMORY_H

@@ -34,15 +34,18 @@ runOnce(const CpuJob &job, const machine::MachineConfig &config,
     return sim.run();
 }
 
-/** Fraction of the run during which the memory port streamed. */
+/**
+ * Fraction of the run during which the memory port streamed. Uses the
+ * simulator's exact port-occupancy accounting (RunStats::portBusyCycles
+ * is a sum of disjoint port spans, <= cycles by construction); the
+ * clamp only guards against a degenerate zero-cycle run.
+ */
 double
 portUtilization(const RunStats &st)
 {
     if (st.cycles <= 0.0)
         return 0.0;
-    double busy = st.loadStorePipeBusy +
-                  2.0 * static_cast<double>(st.scalarMemAccesses);
-    return std::min(1.0, busy / st.cycles);
+    return std::min(1.0, st.portBusyCycles / st.cycles);
 }
 
 } // namespace
@@ -53,8 +56,9 @@ runMultiCpu(const std::vector<CpuJob> &jobs,
             const MultiCpuOptions &options)
 {
     MACS_ASSERT(!jobs.empty(), "multi-CPU run needs at least one job");
-    MACS_ASSERT(jobs.size() <= 4,
-                "the C-240 has four CPUs; got ", jobs.size(), " jobs");
+    MACS_ASSERT(static_cast<int>(jobs.size()) <= config.cpus,
+                "the machine has ", config.cpus, " CPUs; got ",
+                jobs.size(), " jobs");
     for (const auto &j : jobs)
         MACS_ASSERT(j.program != nullptr, "job without a program");
 

@@ -57,8 +57,9 @@ struct MultiCpuOptions
 
 /**
  * Run every job to completion repeatedly, solving the contention
- * fixed point described in the file comment. The machine may have at
- * most four CPUs' worth of jobs (the C-240 configuration).
+ * fixed point described in the file comment. The job count may not
+ * exceed the machine's CPU count (MachineConfig::cpus; four on the
+ * C-240).
  */
 MultiCpuResult runMultiCpu(const std::vector<CpuJob> &jobs,
                            const machine::MachineConfig &config,

@@ -61,6 +61,9 @@ Simulator::Simulator(const machine::MachineConfig &config,
     MACS_ASSERT(config_.maxVectorLength >= 1 &&
                     config_.maxVectorLength <= Impl::kMaxSimVl,
                 "maxVectorLength out of simulator range");
+    MACS_ASSERT(options_.externalPort == nullptr ||
+                    options_.tier == SimTier::Reference,
+                "externalPort requires the reference tier");
     impl_->vl = config_.maxVectorLength;
     impl_->initCache(config_.scalarCache);
     if (options_.tier == SimTier::Fast)
@@ -132,6 +135,16 @@ Simulator::runReference()
     Impl &st = *impl_;
     const auto &instrs = program_.instrs();
     MemoryPort port(config_.memory, options_.memoryContentionFactor);
+    // Multi-CPU coupling seam: when set, every memory-port access is
+    // routed through the shared memory system instead of the private
+    // port above (sim/mp/shared_memory.h). With no foreign CPUs the
+    // external port's arithmetic is bit-identical to MemoryPort's, so
+    // this branch cannot perturb single-CPU results.
+    ExternalMemoryPort *xport = options_.externalPort;
+    auto strideRateOf = [&](int64_t stride_words) {
+        return xport ? xport->strideRate(stride_words)
+                     : port.strideRate(stride_words);
+    };
     RunStats stats;
 
     // --- helpers --------------------------------------------------------
@@ -351,17 +364,25 @@ Simulator::runReference()
                     stride_words = intOf(in.src1);
                 else if (in.op == Opcode::VStS)
                     stride_words = intOf(in.src2);
-                StreamTiming mt =
-                    port.serviceStream(enter, n, stride_words, rate);
+                StreamTiming mt;
+                if (xport) {
+                    uint64_t start_word =
+                        effectiveAddress(in.mem) /
+                        static_cast<uint64_t>(config_.memory.wordBytes);
+                    mt = xport->serviceStream(enter, n, stride_words,
+                                              rate, start_word);
+                } else {
+                    mt = port.serviceStream(enter, n, stride_words, rate);
+                }
                 raise(mt.enter, StallCause::MemoryPort);
                 rate = mt.rate;
                 stream_end = mt.streamEnd;
                 stats.refreshStallCycles += mt.refreshStall;
+                stats.portBusyCycles += mt.streamEnd - mt.enter;
                 // Bank-conflict attribution: cycles the stride costs
                 // beyond the unit-stride rate, contention excluded.
                 stats.bankConflictCycles +=
-                    (port.strideRate(stride_words) - port.strideRate(1)) *
-                    n;
+                    (strideRateOf(stride_words) - strideRateOf(1)) * n;
                 stats.memoryElements += static_cast<uint64_t>(n);
             } else {
                 stream_end = enter + rate * n;
@@ -526,8 +547,14 @@ Simulator::runReference()
         switch (in.op) {
           case Opcode::SLd: {
             ++stats.scalarMemAccesses;
-            ScalarAccessTiming at = port.serviceScalar(issue_done);
             uint64_t addr = effectiveAddress(in.mem);
+            ScalarAccessTiming at =
+                xport ? xport->serviceScalar(
+                            issue_done,
+                            addr / static_cast<uint64_t>(
+                                       config_.memory.wordBytes))
+                      : port.serviceScalar(issue_done);
+            stats.portBusyCycles += at.done - at.start;
             bool hit = st.cacheAccess(config_.scalarCache, addr);
             if (hit)
                 ++stats.scalarCacheHits;
@@ -544,8 +571,14 @@ Simulator::runReference()
           case Opcode::SSt: {
             ++stats.scalarMemAccesses;
             issue_start = std::max(issue_start, readyAt(in.src1));
-            ScalarAccessTiming at = port.serviceScalar(issue_done);
             uint64_t addr = effectiveAddress(in.mem);
+            ScalarAccessTiming at =
+                xport ? xport->serviceScalar(
+                            issue_done,
+                            addr / static_cast<uint64_t>(
+                                       config_.memory.wordBytes))
+                      : port.serviceScalar(issue_done);
+            stats.portBusyCycles += at.done - at.start;
             memory_.writeWord(addr, rawOf(in.src1));
             st.invalidateCacheRange(config_.scalarCache, addr, addr + 8);
             st.bump(at.done);
@@ -659,7 +692,8 @@ Simulator::runReference()
         }
     }
 
-    stats.cycles = std::max(st.maxTime, port.freeAt());
+    stats.cycles =
+        std::max(st.maxTime, xport ? xport->freeAt() : port.freeAt());
     return stats;
 }
 

@@ -88,6 +88,16 @@ struct SimOptions
     bool profile = false;
     /** Execution tier; results are bit-identical either way. */
     SimTier tier = SimTier::Fast;
+    /**
+     * Multi-CPU coupling seam (sim/mp/): when non-null every memory
+     * port access is routed through this shared-memory proxy instead
+     * of the simulator's private MemoryPort. Reference tier only
+     * (asserted at construction) — the coupled engine needs the
+     * per-access address stream the fast tier batches away. Not part
+     * of fingerprint(): the mp driver memoizes at its own layer and
+     * never feeds externally-ported runs into the single-CPU caches.
+     */
+    ExternalMemoryPort *externalPort = nullptr;
 };
 
 /**

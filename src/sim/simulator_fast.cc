@@ -558,6 +558,7 @@ Simulator::runFast()
                 rate = mt.rate;
                 stream_end = mt.streamEnd;
                 stats.refreshStallCycles += mt.refreshStall;
+                stats.portBusyCycles += mt.streamEnd - mt.enter;
                 stats.bankConflictCycles += (srate - unit_rate) * n;
                 stats.memoryElements += static_cast<uint64_t>(n);
             } else {
@@ -712,6 +713,7 @@ Simulator::runFast()
           case ExecKind::ScalarLoad: {
             ++stats.scalarMemAccesses;
             ScalarAccessTiming at = port.serviceScalar(issue_done);
+            stats.portBusyCycles += at.done - at.start;
             uint64_t addr = effAddr(d);
             bool hit = st.cacheAccess(cache_cfg, addr);
             if (hit)
@@ -730,6 +732,7 @@ Simulator::runFast()
             ++stats.scalarMemAccesses;
             issue_start = std::max(issue_start, *d.ready1);
             ScalarAccessTiming at = port.serviceScalar(issue_done);
+            stats.portBusyCycles += at.done - at.start;
             uint64_t addr = effAddr(d);
             memory_.writeWord(addr, rawOf(d.src1));
             st.invalidateCacheRange(cache_cfg, addr, addr + 8);

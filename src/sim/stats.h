@@ -33,6 +33,15 @@ struct RunStats
     double loadStorePipeBusy = 0.0; ///< cycles elements streamed per pipe
     double addPipeBusy = 0.0;
     double multiplyPipeBusy = 0.0;
+    /**
+     * Cycles the CPU<->memory port was occupied: exact sum of every
+     * stream's [enter, streamEnd) span and every scalar access's
+     * [start, done) span. Port windows never overlap (the port is
+     * serialized through its free time), so this is <= cycles by
+     * construction — the multi-CPU drivers divide by cycles to get a
+     * port utilization that cannot saturate spuriously.
+     */
+    double portBusyCycles = 0.0;
 
     /** Pipe-busy cycles by pipe index (0 ld/st, 1 add, 2 multiply). */
     double

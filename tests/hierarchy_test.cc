@@ -10,6 +10,7 @@
 #include <map>
 
 #include "lfk/kernels.h"
+#include "macs/contention_level.h"
 #include "macs/hierarchy.h"
 #include "machine/machine_config.h"
 #include "support/logging.h"
@@ -218,6 +219,67 @@ TEST(HierarchyShapes, AnalyzeKernelRequiresMetadata)
     broken.name = "broken";
     machine::MachineConfig cfg = machine::MachineConfig::convexC240();
     EXPECT_THROW(analyzeKernel(broken, cfg), PanicError);
+}
+
+TEST(ContentionLevelShapes, OneCpuDegeneratesToMacs)
+{
+    const KernelAnalysis &a = analysisFor(1);
+    ContentionLevel c =
+        contentionLevel(a, 1, sim::WorkloadMix::Independent);
+    EXPECT_DOUBLE_EQ(c.factor, 1.0);
+    EXPECT_DOUBLE_EQ(c.macsC, a.macs.cpl);
+    EXPECT_DOUBLE_EQ(c.contentionGap(), 0.0);
+}
+
+TEST(ContentionLevelShapes, BoundGrowsWithCpusAndMemoryShare)
+{
+    for (int id : lfk::lfkIds()) {
+        const KernelAnalysis &a = analysisFor(id);
+        SCOPED_TRACE(a.name);
+        double prev = a.macs.cpl;
+        for (int cpus = 2; cpus <= 4; ++cpus) {
+            ContentionLevel c = contentionLevel(
+                a, cpus, sim::WorkloadMix::Independent);
+            // Exactly the memory component stretches.
+            EXPECT_DOUBLE_EQ(c.macsC,
+                             a.macs.cpl + (c.factor - 1.0) *
+                                              a.macsMOnly.cpl);
+            EXPECT_GE(c.macsC, prev);
+            // Lock step never bounds above independent.
+            ContentionLevel ls = contentionLevel(
+                a, cpus, sim::WorkloadMix::LockStep);
+            EXPECT_LE(ls.macsC, c.macsC);
+            prev = c.macsC;
+        }
+    }
+}
+
+TEST(ContentionLevelShapes, GapAttributionAndRender)
+{
+    const KernelAnalysis &a = analysisFor(1);
+    ContentionLevel c = contentionLevel(
+        a, 4, sim::WorkloadMix::Independent, a.macs.cpl * 1.6);
+    EXPECT_GT(c.contentionGap(), 0.0);
+    EXPECT_DOUBLE_EQ(c.unmodeledGap(), c.tC - c.macsC);
+    EXPECT_GT(c.coverage(), 0.0);
+    EXPECT_LE(c.coverage(), 1.0 + 1e-9);
+
+    std::string text = renderContentionLevel(c);
+    EXPECT_NE(text.find("t_MACS^C"), std::string::npos);
+    EXPECT_NE(text.find("4 CPUs"), std::string::npos);
+    EXPECT_NE(text.find("independent"), std::string::npos);
+    EXPECT_NE(text.find("unmodeled"), std::string::npos);
+
+    // Bound-only levels render without a measured section.
+    ContentionLevel bound_only =
+        contentionLevel(a, 2, sim::WorkloadMix::LockStep);
+    std::string bt = renderContentionLevel(bound_only);
+    EXPECT_EQ(bt.find("unmodeled"), std::string::npos);
+    EXPECT_NE(bt.find("lockstep"), std::string::npos);
+
+    EXPECT_THROW(contentionLevelWithFactor(
+                     a, 4, sim::WorkloadMix::Independent, 0.5),
+                 PanicError);
 }
 
 } // namespace

@@ -81,7 +81,10 @@ TEST(MachineFileOracle, C240FileEqualsBuiltInTable)
     // fingerprint() bug cannot mask a real mismatch.
     EXPECT_EQ(parsed.clockMhz, builtin.clockMhz);
     EXPECT_EQ(parsed.maxVectorLength, builtin.maxVectorLength);
+    EXPECT_EQ(parsed.cpus, builtin.cpus);
     EXPECT_EQ(parsed.memory.banks, builtin.memory.banks);
+    EXPECT_EQ(parsed.memory.arbitrationRestartCycles,
+              builtin.memory.arbitrationRestartCycles);
     EXPECT_EQ(parsed.memory.refreshPeriodCycles,
               builtin.memory.refreshPeriodCycles);
     EXPECT_EQ(parsed.chaining.maxReadsPerPair,
@@ -204,6 +207,29 @@ TEST(MachineFileParser, DefaultsAndStemName)
     EXPECT_EQ(mf.config.fingerprint(), MachineConfig{}.fingerprint());
 }
 
+TEST(MachineFileParser, CpusKeyParsesAndReachesContentHash)
+{
+    // The multi-CPU count is a [machine] key with range [1, 64]; it
+    // must flow into both fingerprint() and contentHash() (it keys
+    // the mp memo cache), and the C-3800-ish variant ships with 8.
+    MachineFile two = parseOk("[machine]\ncpus = 2\n");
+    EXPECT_EQ(two.config.cpus, 2);
+    MachineFile four = parseOk("[machine]\ncpus = 4\n");
+    EXPECT_EQ(four.config.cpus, 4);
+    EXPECT_NE(two.config.contentHash(), four.config.contentHash());
+    EXPECT_NE(two.config.fingerprint(), four.config.fingerprint());
+
+    MachineConfig c3800 = MachineConfig::fromFile(
+        machinePath("c3800ish.machine"));
+    EXPECT_EQ(c3800.cpus, 8);
+
+    MachineFile arb = parseOk(
+        "[memory]\narbitration-restart-cycles = 9\n");
+    EXPECT_EQ(arb.config.memory.arbitrationRestartCycles, 9);
+    EXPECT_NE(arb.config.contentHash(),
+              MachineConfig{}.contentHash());
+}
+
 TEST(MachineFileParser, BooleanSpellings)
 {
     MachineFile mf = parseOk("[memory]\nrefresh-enabled = off\n"
@@ -302,7 +328,8 @@ INSTANTIATE_TEST_SUITE_P(
         BadCase{"bad_banks.machine", 4, {7, 8, 9, 13}},
         BadCase{"duplicate_sections.machine", 3, {6, 11, 12}},
         BadCase{"torn.machine", 4, {1, 3, 7, 8}},
-        BadCase{"bad_timing.machine", 5, {8, 9, 10, 11, 12}}),
+        BadCase{"bad_timing.machine", 5, {8, 9, 10, 11, 12}},
+        BadCase{"bad_cpus.machine", 5, {5, 8, 9, 11, 12}}),
     [](const auto &info) {
         std::string name = info.param.file;
         return name.substr(0, name.find('.'));

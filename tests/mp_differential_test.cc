@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Cycle-coupled multi-CPU engine tests (docs/MULTICPU.md):
+ *
+ *  - the degeneracy contract: a 1-CPU mp::runCoupled is bitwise
+ *    indistinguishable from the plain reference Simulator — every
+ *    RunStats field, Timeline event, and StallProfile entry — for
+ *    every LFK kernel on every shipped machine config;
+ *  - determinism: repeated 2- and 4-CPU coupled runs commit the same
+ *    global access order regardless of thread scheduling, so every
+ *    observable is bit-reproducible;
+ *  - workload construction: strip-mined chunks tile the iteration
+ *    space exactly, hand-assembled kernels refuse to strip;
+ *  - contention sanity: coupled CPUs only ever get slower than a CPU
+ *    alone, and contended fleets actually collide.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lfk/kernels.h"
+#include "lfk/mp_workload.h"
+#include "machine/machine_config.h"
+#include "machine/machine_file.h"
+#include "sim/mp/coupled.h"
+#include "sim/simulator.h"
+#include "support/logging.h"
+
+#ifndef MACS_MACHINE_DIR
+#error "MACS_MACHINE_DIR must be defined by the build"
+#endif
+
+namespace macs {
+namespace {
+
+uint64_t
+bits(double d)
+{
+    return std::bit_cast<uint64_t>(d);
+}
+
+/** Builtin C-240 plus every shipped .machine file, name-tagged. */
+std::vector<std::pair<std::string, machine::MachineConfig>>
+allMachineConfigs()
+{
+    std::vector<std::pair<std::string, machine::MachineConfig>> out;
+    out.emplace_back("builtin-c240",
+                     machine::MachineConfig::convexC240());
+    Diagnostics diags;
+    for (const std::string &path :
+         machine::listMachineFiles(MACS_MACHINE_DIR, diags)) {
+        machine::MachineFile mf;
+        Diagnostics d;
+        if (!machine::loadMachineFile(path, mf, d))
+            ADD_FAILURE() << "cannot load " << path << "\n"
+                          << d.render();
+        else
+            out.emplace_back(mf.name, mf.config);
+    }
+    EXPECT_GE(out.size(), 2u)
+        << "no .machine files under " << MACS_MACHINE_DIR;
+    return out;
+}
+
+/** Everything observable from one simulated CPU. */
+struct CpuRun
+{
+    sim::RunStats stats;
+    std::vector<sim::TimelineEvent> events;
+    std::map<size_t, sim::InstrStalls> profile;
+};
+
+void
+expectBitIdentical(const CpuRun &ref, const CpuRun &mp)
+{
+    const sim::RunStats &a = ref.stats;
+    const sim::RunStats &b = mp.stats;
+    EXPECT_EQ(bits(a.cycles), bits(b.cycles));
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.vectorInstructions, b.vectorInstructions);
+    EXPECT_EQ(a.scalarInstructions, b.scalarInstructions);
+    EXPECT_EQ(a.branchesTaken, b.branchesTaken);
+    EXPECT_EQ(a.vectorElements, b.vectorElements);
+    EXPECT_EQ(a.flops, b.flops);
+    EXPECT_EQ(a.memoryElements, b.memoryElements);
+    EXPECT_EQ(a.scalarMemAccesses, b.scalarMemAccesses);
+    EXPECT_EQ(a.scalarCacheHits, b.scalarCacheHits);
+    EXPECT_EQ(a.scalarCacheMisses, b.scalarCacheMisses);
+    EXPECT_EQ(bits(a.refreshStallCycles), bits(b.refreshStallCycles));
+    EXPECT_EQ(bits(a.bankConflictCycles), bits(b.bankConflictCycles));
+    EXPECT_EQ(bits(a.loadStorePipeBusy), bits(b.loadStorePipeBusy));
+    EXPECT_EQ(bits(a.addPipeBusy), bits(b.addPipeBusy));
+    EXPECT_EQ(bits(a.multiplyPipeBusy), bits(b.multiplyPipeBusy));
+    EXPECT_EQ(bits(a.portBusyCycles), bits(b.portBusyCycles));
+
+    ASSERT_EQ(ref.events.size(), mp.events.size());
+    for (size_t i = 0; i < ref.events.size(); ++i) {
+        const sim::TimelineEvent &e = ref.events[i];
+        const sim::TimelineEvent &f = mp.events[i];
+        SCOPED_TRACE("timeline event " + std::to_string(i) + ": " +
+                     e.text);
+        EXPECT_EQ(e.pc, f.pc);
+        EXPECT_EQ(e.text, f.text);
+        EXPECT_EQ(bits(e.issue), bits(f.issue));
+        EXPECT_EQ(bits(e.enter), bits(f.enter));
+        EXPECT_EQ(bits(e.firstResult), bits(f.firstResult));
+        EXPECT_EQ(bits(e.streamEnd), bits(f.streamEnd));
+        EXPECT_EQ(bits(e.complete), bits(f.complete));
+        EXPECT_EQ(e.pipe, f.pipe);
+        EXPECT_EQ(bits(e.busy), bits(f.busy));
+        EXPECT_EQ(bits(e.stall), bits(f.stall));
+        EXPECT_EQ(e.cause, f.cause);
+    }
+
+    ASSERT_EQ(ref.profile.size(), mp.profile.size());
+    auto fit = mp.profile.begin();
+    for (const auto &[pc, is] : ref.profile) {
+        SCOPED_TRACE("profile pc " + std::to_string(pc) + ": " +
+                     is.text);
+        ASSERT_EQ(pc, fit->first);
+        const sim::InstrStalls &js = fit->second;
+        EXPECT_EQ(is.text, js.text);
+        EXPECT_EQ(is.executions, js.executions);
+        EXPECT_EQ(bits(is.totalStall), bits(js.totalStall));
+        for (size_t c = 0; c < is.byCause.size(); ++c)
+            EXPECT_EQ(bits(is.byCause[c]), bits(js.byCause[c]));
+        ++fit;
+    }
+}
+
+CpuRun
+runPlain(const lfk::Kernel &k, const machine::MachineConfig &cfg)
+{
+    sim::SimOptions opt;
+    opt.trace = true;
+    opt.profile = true;
+    opt.tier = sim::SimTier::Reference;
+    sim::Simulator s(cfg, k.program, opt);
+    k.setup(s);
+    CpuRun r;
+    r.stats = s.run();
+    r.events = s.timeline().events();
+    r.profile = s.profile().entries();
+    return r;
+}
+
+CpuRun
+toCpuRun(const sim::mp::CoupledCpuResult &c)
+{
+    CpuRun r;
+    r.stats = c.stats;
+    r.events = c.timeline.events();
+    r.profile = c.profile.entries();
+    return r;
+}
+
+std::vector<int>
+allLfkIds()
+{
+    std::vector<int> ids = lfk::lfkIds();
+    for (int id : lfk::scalarLfkIds())
+        ids.push_back(id);
+    return ids;
+}
+
+// ------------------------------------------ 1-CPU degeneracy
+
+TEST(MpDifferential, OneCpuBitIdenticalToPlainSimulator)
+{
+    sim::mp::CoupledOptions mpOpt;
+    mpOpt.trace = true;
+    mpOpt.profile = true;
+
+    for (const auto &[name, cfg] : allMachineConfigs()) {
+        for (int id : allLfkIds()) {
+            lfk::Kernel k = lfk::makeKernel(id);
+            SCOPED_TRACE("machine " + name + ", " + k.name);
+
+            CpuRun plain = runPlain(k, cfg);
+
+            sim::mp::CoupledJob job;
+            job.program = &k.program;
+            job.setup = k.setup;
+            job.label = k.name;
+            sim::mp::CoupledResult res =
+                sim::mp::runCoupled({job}, cfg, mpOpt);
+            ASSERT_EQ(res.cpus.size(), 1u);
+
+            expectBitIdentical(plain, toCpuRun(res.cpus[0]));
+            EXPECT_EQ(bits(res.makespanCycles),
+                      bits(plain.stats.cycles));
+            // Alone on the banks nothing can collide.
+            EXPECT_EQ(res.cpus[0].shared.collisions, 0u);
+            EXPECT_EQ(bits(res.cpus[0].shared.foreignDelayCycles),
+                      bits(0.0));
+        }
+    }
+}
+
+// --------------------------------------------- determinism
+
+/** Bitwise-comparable image of a whole coupled run. */
+std::vector<uint64_t>
+imageOf(const sim::mp::CoupledResult &r)
+{
+    std::vector<uint64_t> img;
+    img.push_back(bits(r.makespanCycles));
+    for (const sim::mp::CoupledCpuResult &c : r.cpus) {
+        img.push_back(bits(c.stats.cycles));
+        img.push_back(c.stats.instructions);
+        img.push_back(bits(c.stats.refreshStallCycles));
+        img.push_back(bits(c.stats.portBusyCycles));
+        img.push_back(c.shared.streams);
+        img.push_back(c.shared.scalarAccesses);
+        img.push_back(c.shared.elements);
+        img.push_back(c.shared.collisions);
+        img.push_back(bits(c.shared.slotCycles));
+        img.push_back(bits(c.shared.foreignDelayCycles));
+        img.push_back(bits(c.shared.refreshStallCycles));
+        img.push_back(bits(c.shared.portBusyCycles));
+        for (const sim::TimelineEvent &e : c.timeline.events()) {
+            img.push_back(bits(e.issue));
+            img.push_back(bits(e.complete));
+            img.push_back(bits(e.stall));
+        }
+    }
+    return img;
+}
+
+TEST(MpDifferential, CoupledRunsAreDeterministic)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    sim::mp::CoupledOptions opt;
+    opt.trace = true;
+
+    for (int cpus : {2, 4}) {
+        for (lfk::MpMix mix :
+             {lfk::MpMix::Independent, lfk::MpMix::LockStep}) {
+            SCOPED_TRACE(std::string("cpus ") + std::to_string(cpus) +
+                         " mix " + lfk::mpMixName(mix));
+            lfk::MpWorkload w = lfk::buildMpWorkload(1, mix, cpus);
+            std::vector<uint64_t> first, second;
+            first = imageOf(sim::mp::runCoupled(w.jobs, cfg, opt));
+            second = imageOf(sim::mp::runCoupled(w.jobs, cfg, opt));
+            EXPECT_EQ(first, second);
+        }
+    }
+}
+
+TEST(MpDifferential, MixedFleetDeterministic)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    lfk::MpWorkload w = lfk::buildMpMixedWorkload({1, 3, 7, 12});
+    std::vector<uint64_t> first =
+        imageOf(sim::mp::runCoupled(w.jobs, cfg, {}));
+    std::vector<uint64_t> second =
+        imageOf(sim::mp::runCoupled(w.jobs, cfg, {}));
+    EXPECT_EQ(first, second);
+}
+
+// ------------------------------------- workload construction
+
+TEST(MpWorkload, StripChunksTileTheIterationSpace)
+{
+    lfk::Kernel full = lfk::makeKernel(1);
+    for (int cpus : {2, 3, 4}) {
+        SCOPED_TRACE("cpus " + std::to_string(cpus));
+        lfk::MpWorkload w =
+            lfk::buildMpWorkload(1, lfk::MpMix::Strip, cpus);
+        ASSERT_EQ(w.kernels.size(), static_cast<size_t>(cpus));
+        ASSERT_EQ(w.jobs.size(), static_cast<size_t>(cpus));
+        long covered = 0;
+        int64_t offset = 0;
+        for (int i = 0; i < cpus; ++i) {
+            const lfk::Kernel &chunk =
+                w.kernels[static_cast<size_t>(i)];
+            const sim::mp::CoupledJob &job =
+                w.jobs[static_cast<size_t>(i)];
+            // Chunk i starts where chunk i-1 ended; no gap, no
+            // overlap, no iteration lost.
+            EXPECT_EQ(job.addressSkewWords, offset);
+            EXPECT_EQ(job.program, &chunk.program);
+            EXPECT_TRUE(static_cast<bool>(job.setup));
+            covered += chunk.points;
+            offset += chunk.points;
+        }
+        EXPECT_EQ(covered, full.points);
+    }
+}
+
+TEST(MpWorkload, StripRefusesHandAssembledKernels)
+{
+    // LFK 2 is hand-assembled: no Kernel::remake, so no mechanical
+    // re-tripping — a user-level error, not a crash.
+    EXPECT_THROW(lfk::buildMpWorkload(2, lfk::MpMix::Strip, 4),
+                 FatalError);
+}
+
+TEST(MpWorkload, MixNamesRoundTrip)
+{
+    for (lfk::MpMix mix : {lfk::MpMix::Independent,
+                           lfk::MpMix::LockStep, lfk::MpMix::Strip}) {
+        lfk::MpMix parsed;
+        ASSERT_TRUE(lfk::parseMpMix(lfk::mpMixName(mix), parsed));
+        EXPECT_EQ(parsed, mix);
+    }
+    lfk::MpMix out;
+    EXPECT_FALSE(lfk::parseMpMix("bogus", out));
+
+    sim::WorkloadMix wm;
+    EXPECT_TRUE(lfk::toWorkloadMix(lfk::MpMix::Independent, wm));
+    EXPECT_EQ(wm, sim::WorkloadMix::Independent);
+    EXPECT_TRUE(lfk::toWorkloadMix(lfk::MpMix::LockStep, wm));
+    EXPECT_EQ(wm, sim::WorkloadMix::LockStep);
+    EXPECT_FALSE(lfk::toWorkloadMix(lfk::MpMix::Strip, wm));
+}
+
+// -------------------------------------------- contention sanity
+
+TEST(MpDifferential, ContentionOnlyEverSlowsACpuDown)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    lfk::Kernel alone = lfk::makeKernel(1);
+    CpuRun solo = runPlain(alone, cfg);
+
+    for (lfk::MpMix mix :
+         {lfk::MpMix::Independent, lfk::MpMix::LockStep}) {
+        SCOPED_TRACE(std::string("mix ") + lfk::mpMixName(mix));
+        lfk::MpWorkload w = lfk::buildMpWorkload(1, mix, 4);
+        sim::mp::CoupledResult res =
+            sim::mp::runCoupled(w.jobs, cfg, {});
+        ASSERT_EQ(res.cpus.size(), 4u);
+
+        uint64_t collisions = 0;
+        for (const sim::mp::CoupledCpuResult &c : res.cpus) {
+            // A shared memory can only add delay, never remove it.
+            EXPECT_GE(c.stats.cycles, solo.stats.cycles);
+            EXPECT_GE(c.shared.foreignDelayCycles, 0.0);
+            EXPECT_GE(c.shared.portBusyCycles, 0.0);
+            EXPECT_GT(c.shared.elements, 0u);
+            collisions += c.shared.collisions;
+        }
+        // Four copies of a memory-bound kernel on 32 banks must
+        // actually collide, or the coupling is vacuous.
+        EXPECT_GT(collisions, 0u);
+        EXPECT_GE(res.makespanCycles, solo.stats.cycles);
+    }
+}
+
+TEST(MpDifferential, GuardsBadInput)
+{
+    machine::MachineConfig cfg = machine::MachineConfig::convexC240();
+    EXPECT_THROW(sim::mp::runCoupled({}, cfg, {}), PanicError);
+
+    cfg.cpus = 2;
+    lfk::MpWorkload w =
+        lfk::buildMpWorkload(1, lfk::MpMix::Independent, 4);
+    EXPECT_THROW(sim::mp::runCoupled(w.jobs, cfg, {}), PanicError);
+
+    sim::mp::CoupledJob noProgram;
+    EXPECT_THROW(sim::mp::runCoupled({noProgram}, cfg, {}),
+                 PanicError);
+}
+
+} // namespace
+} // namespace macs

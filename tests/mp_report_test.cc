@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The shared multi-CPU front end (pipeline/mp_report.h): request
+ * validation, byte-deterministic rendering, cache-key separation of
+ * every request axis, and the analytic-vs-coupled cross-check the
+ * two-tier design promises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "machine/machine_config.h"
+#include "pipeline/mp_report.h"
+#include "support/logging.h"
+
+namespace macs::pipeline {
+namespace {
+
+MpRequest
+request(int kernel, int cpus, lfk::MpMix mix, MpEngine engine)
+{
+    MpRequest r;
+    r.kernelId = kernel;
+    r.cpus = cpus;
+    r.mix = mix;
+    r.engine = engine;
+    return r;
+}
+
+TEST(MpReport, EngineNamesRoundTrip)
+{
+    for (MpEngine e : {MpEngine::Coupled, MpEngine::Analytic}) {
+        MpEngine parsed;
+        ASSERT_TRUE(parseMpEngine(mpEngineName(e), parsed));
+        EXPECT_EQ(parsed, e);
+    }
+    MpEngine out;
+    EXPECT_FALSE(parseMpEngine("quantum", out));
+    EXPECT_FALSE(parseMpEngine("", out));
+}
+
+TEST(MpReport, JsonIsByteDeterministic)
+{
+    MpRequest req = request(1, 4, lfk::MpMix::Independent,
+                            MpEngine::Coupled);
+    std::string a = renderMpJson(runMpAnalysis(req));
+    std::string b = renderMpJson(runMpAnalysis(req));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"schema\": \"macs-mp-v1\""),
+              std::string::npos);
+    EXPECT_NE(a.find("\"contention\""), std::string::npos);
+}
+
+TEST(MpReport, CacheKeySeparatesEveryAxis)
+{
+    std::set<std::string> keys;
+    for (MpEngine e : {MpEngine::Coupled, MpEngine::Analytic})
+        for (int cpus : {1, 2, 4})
+            for (lfk::MpMix mix :
+                 {lfk::MpMix::Independent, lfk::MpMix::LockStep})
+                for (int kernel : {1, 3})
+                    keys.insert(mpCacheKey(
+                        request(kernel, cpus, mix, e)));
+    EXPECT_EQ(keys.size(), 2u * 3u * 2u * 2u);
+
+    // A machine differing in any constant gets its own key.
+    MpRequest tweaked = request(1, 4, lfk::MpMix::Independent,
+                                MpEngine::Coupled);
+    tweaked.config.memory.banks = 64;
+    EXPECT_NE(mpCacheKey(tweaked),
+              mpCacheKey(request(1, 4, lfk::MpMix::Independent,
+                                 MpEngine::Coupled)));
+
+    // cpus = 0 means "all of them" and keys like the explicit count.
+    MpRequest all = request(1, 0, lfk::MpMix::Independent,
+                            MpEngine::Coupled);
+    EXPECT_EQ(mpCacheKey(all),
+              mpCacheKey(request(1, all.config.cpus,
+                                 lfk::MpMix::Independent,
+                                 MpEngine::Coupled)));
+}
+
+TEST(MpReport, AnalyticCrossChecksCoupled)
+{
+    // The two tiers answer the same question from opposite ends: the
+    // fixed point from calibration, the coupled engine from emergent
+    // bank conflicts. At the saturated 4-CPU point they must agree on
+    // the shape: both degrade substantially and land within a few
+    // percent of each other's per-access time.
+    MpAnalysis coupled = runMpAnalysis(
+        request(1, 4, lfk::MpMix::Independent, MpEngine::Coupled));
+    MpAnalysis analytic = runMpAnalysis(
+        request(1, 4, lfk::MpMix::Independent, MpEngine::Analytic));
+    EXPECT_GT(coupled.meanDegradation, 0.2);
+    EXPECT_GT(analytic.meanDegradation, 0.2);
+    EXPECT_LT(std::abs(coupled.meanPerAccessNs -
+                       analytic.meanPerAccessNs) /
+                  coupled.meanPerAccessNs,
+              0.10);
+}
+
+TEST(MpReport, OneCpuIsDegenerate)
+{
+    for (MpEngine e : {MpEngine::Coupled, MpEngine::Analytic}) {
+        MpAnalysis a = runMpAnalysis(
+            request(1, 1, lfk::MpMix::Independent, e));
+        EXPECT_DOUBLE_EQ(a.meanCycles, a.soloCycles) << mpEngineName(e);
+        EXPECT_DOUBLE_EQ(a.meanDegradation, 0.0) << mpEngineName(e);
+        EXPECT_EQ(a.collisions, 0u) << mpEngineName(e);
+        ASSERT_TRUE(a.hasLevel);
+        EXPECT_DOUBLE_EQ(a.level.factor, 1.0) << mpEngineName(e);
+    }
+}
+
+TEST(MpReport, StripHasNoContentionLevel)
+{
+    MpAnalysis a = runMpAnalysis(
+        request(1, 4, lfk::MpMix::Strip, MpEngine::Coupled));
+    EXPECT_FALSE(a.hasLevel);
+    EXPECT_LT(a.makespanCycles, a.soloCycles) << "no speedup";
+    std::string json = renderMpJson(a);
+    EXPECT_EQ(json.find("\"contention\""), std::string::npos);
+    EXPECT_NE(json.find("LFK1[1/4]"), std::string::npos);
+}
+
+TEST(MpReport, TextRenderMentionsTheStory)
+{
+    MpAnalysis a = runMpAnalysis(
+        request(1, 4, lfk::MpMix::Independent, MpEngine::Coupled));
+    std::string text = renderMpText(a);
+    for (const char *needle :
+         {"LFK1", "independent", "coupled", "ns/access", "collisions",
+          "t_MACS^C"})
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+}
+
+TEST(MpReport, InvalidRequestsFail)
+{
+    EXPECT_THROW(runMpAnalysis(request(1, 5, lfk::MpMix::Independent,
+                                       MpEngine::Coupled)),
+                 FatalError);
+    EXPECT_THROW(runMpAnalysis(request(1, 4, lfk::MpMix::Strip,
+                                       MpEngine::Analytic)),
+                 FatalError);
+    // LFK2 is hand-assembled: no remake, so no strip-mining.
+    EXPECT_THROW(runMpAnalysis(request(2, 4, lfk::MpMix::Strip,
+                                       MpEngine::Coupled)),
+                 FatalError);
+}
+
+} // namespace
+} // namespace macs::pipeline

@@ -118,9 +118,82 @@ TEST(MultiCpu, GuardsBadInput)
     JobSet set({1, 1, 1, 1});
     auto jobs = set.jobs;
     jobs.push_back(jobs.front());
+    // Five jobs overflow the canonical four-CPU C-240...
     EXPECT_THROW(runMultiCpu(jobs, paperMachine()), PanicError);
     CpuJob null_job;
     EXPECT_THROW(runMultiCpu({null_job}, paperMachine()), PanicError);
+}
+
+TEST(MultiCpu, JobCapFollowsMachineCpuCount)
+{
+    // ...but the cap is MachineConfig::cpus, not a hard-coded 4: an
+    // eight-CPU what-if machine accepts a five-job fleet.
+    JobSet set({1, 5, 11, 5, 11});
+    machine::MachineConfig cfg = paperMachine();
+    cfg.cpus = 8;
+    MultiCpuResult r = runMultiCpu(set.jobs, cfg);
+    ASSERT_TRUE(r.converged);
+    ASSERT_EQ(r.stats.size(), 5u);
+
+    cfg.cpus = 2;
+    EXPECT_THROW(runMultiCpu(set.jobs, cfg), PanicError);
+}
+
+TEST(MultiCpu, ContentionFactorPinnedValues)
+{
+    // The analytic tier's calibration constants are load-bearing for
+    // Figure 3's multi-process series — pin them exactly.
+    EXPECT_DOUBLE_EQ(contentionFactor(1, WorkloadMix::Independent), 1.0);
+    EXPECT_DOUBLE_EQ(contentionFactor(2, WorkloadMix::Independent), 1.15);
+    EXPECT_DOUBLE_EQ(contentionFactor(3, WorkloadMix::Independent), 1.30);
+    EXPECT_DOUBLE_EQ(contentionFactor(4, WorkloadMix::Independent), 1.45);
+    EXPECT_DOUBLE_EQ(contentionFactor(1, WorkloadMix::LockStep), 1.0);
+    EXPECT_DOUBLE_EQ(contentionFactor(2, WorkloadMix::LockStep), 1.05);
+    EXPECT_DOUBLE_EQ(contentionFactor(3, WorkloadMix::LockStep), 1.10);
+    EXPECT_DOUBLE_EQ(contentionFactor(4, WorkloadMix::LockStep), 1.15);
+}
+
+TEST(MultiCpu, ContentionFactorMonotoneAndOrdered)
+{
+    machine::MemoryConfig mem = paperMachine().memory;
+    double prev_i = 0.0, prev_l = 0.0, prev_q = 0.0;
+    for (int cpus = 1; cpus <= 8; ++cpus) {
+        double fi = contentionFactor(cpus, WorkloadMix::Independent);
+        double fl = contentionFactor(cpus, WorkloadMix::LockStep);
+        double fq = contentionFactorQueueing(cpus, mem);
+        EXPECT_GE(fi, 1.0) << cpus;
+        EXPECT_GE(fl, 1.0) << cpus;
+        EXPECT_GE(fq, 1.0) << cpus;
+        EXPECT_GT(fi, prev_i) << cpus;
+        EXPECT_GT(fl, prev_l) << cpus;
+        EXPECT_GE(fq, prev_q) << cpus;
+        // Phase-locked fleets never contend more than independent
+        // ones (equality only when alone).
+        if (cpus > 1)
+            EXPECT_LT(fl, fi) << cpus;
+        prev_i = fi;
+        prev_l = fl;
+        prev_q = fq;
+    }
+}
+
+TEST(MultiCpu, ScalarKernelUtilizationIsExact)
+{
+    // LFK5 runs on the scalar unit: every access holds the port for
+    // two cycles but the recurrence serializes compute between them,
+    // so exact occupancy sits well below saturation. The retired
+    // heuristic (loadStorePipeBusy + 2*scalarMemAccesses) overcounted
+    // and could exceed the cycle count entirely.
+    JobSet solo({5});
+    MultiCpuResult r = runMultiCpu(solo.jobs, paperMachine());
+    ASSERT_TRUE(r.converged);
+    ASSERT_EQ(r.utilization.size(), 1u);
+    const RunStats &st = r.stats[0];
+    EXPECT_GT(st.scalarMemAccesses, 0u);
+    EXPECT_LE(st.portBusyCycles, st.cycles);
+    EXPECT_DOUBLE_EQ(r.utilization[0], st.portBusyCycles / st.cycles);
+    EXPECT_GT(r.utilization[0], 0.0);
+    EXPECT_LT(r.utilization[0], 1.0);
 }
 
 TEST(MultiCpu, DeterministicAcrossRuns)

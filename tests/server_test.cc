@@ -35,6 +35,7 @@
 #include "obs/metrics.h"
 #include "pipeline/cache.h"
 #include "pipeline/checkpoint.h"
+#include "pipeline/mp_report.h"
 #include "pipeline/report.h"
 #include "server/client.h"
 #include "server/http.h"
@@ -416,6 +417,85 @@ TEST(Analyze, RawLoopSourceViaQueryParams)
     ASSERT_EQ(r.status, 200) << r.body;
     EXPECT_NE(r.body.find("macs-batch-v1"), std::string::npos);
     EXPECT_NE(r.body.find("saxpy"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// /v1/multicpu: byte-identity with a local render (the response is a
+// pure function of the request), memo-cache hits, and error statuses.
+// ---------------------------------------------------------------------
+
+TEST(MultiCpu, BodyMatchesLocalRenderAndCaches)
+{
+    TestServer ts;
+    const char *body = "{\"kernel\": 1, \"cpus\": 2, "
+                       "\"mix\": \"lockstep\"}";
+    HttpResponse r = ts->handle(makeRequest("POST", "/v1/multicpu",
+                                            body));
+    ASSERT_EQ(r.status, 200) << r.body;
+
+    pipeline::MpRequest req;
+    req.kernelId = 1;
+    req.cpus = 2;
+    req.mix = lfk::MpMix::LockStep;
+    EXPECT_EQ(r.body, pipeline::renderMpJson(
+                          pipeline::runMpAnalysis(req)));
+
+    // Second hit serves the memoized body byte-for-byte.
+    HttpResponse again = ts->handle(
+        makeRequest("POST", "/v1/multicpu", body));
+    EXPECT_EQ(again.status, 200);
+    EXPECT_EQ(again.body, r.body);
+}
+
+TEST(MultiCpu, DefaultsAndEngineSelection)
+{
+    TestServer ts;
+    // Empty body: kernel 1 on every CPU of the builtin C-240.
+    HttpResponse r = ts->handle(makeRequest("POST", "/v1/multicpu",
+                                            ""));
+    ASSERT_EQ(r.status, 200) << r.body;
+    EXPECT_NE(r.body.find("\"schema\": \"macs-mp-v1\""),
+              std::string::npos);
+    EXPECT_NE(r.body.find("\"cpus\": 4"), std::string::npos);
+    EXPECT_NE(r.body.find("\"engine\": \"coupled\""),
+              std::string::npos);
+
+    HttpResponse a = ts->handle(makeRequest(
+        "POST", "/v1/multicpu", "{\"engine\": \"analytic\"}"));
+    ASSERT_EQ(a.status, 200) << a.body;
+    EXPECT_NE(a.body.find("\"engine\": \"analytic\""),
+              std::string::npos);
+    // The engine tier is part of the cache key: distinct bodies.
+    EXPECT_NE(a.body, r.body);
+}
+
+TEST(MultiCpu, RequestErrorsAre400)
+{
+    TestServer ts;
+    EXPECT_EQ(ts->handle(makeRequest("POST", "/v1/multicpu",
+                                     "{\"kernel\": 99}"))
+                  .status,
+              400);
+    EXPECT_EQ(ts->handle(makeRequest("POST", "/v1/multicpu",
+                                     "{\"cpus\": 8}"))
+                  .status,
+              400);
+    EXPECT_EQ(ts->handle(makeRequest("POST", "/v1/multicpu",
+                                     "{\"mix\": \"bogus\"}"))
+                  .status,
+              400);
+    EXPECT_EQ(ts->handle(makeRequest(
+                              "POST", "/v1/multicpu",
+                              "{\"mix\": \"strip\", "
+                              "\"engine\": \"analytic\"}"))
+                  .status,
+              400);
+    EXPECT_EQ(ts->handle(makeRequest("POST", "/v1/multicpu",
+                                     "{\"kernel\": [1]}"))
+                  .status,
+              400);
+    EXPECT_EQ(ts->handle(makeRequest("GET", "/v1/multicpu")).status,
+              405);
 }
 
 TEST(Analyze, CompileErrorIs422WithDiagnostics)

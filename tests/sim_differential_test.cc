@@ -111,6 +111,7 @@ expectBitIdentical(const TierRun &ref, const TierRun &fast)
     EXPECT_EQ(bits(a.loadStorePipeBusy), bits(b.loadStorePipeBusy));
     EXPECT_EQ(bits(a.addPipeBusy), bits(b.addPipeBusy));
     EXPECT_EQ(bits(a.multiplyPipeBusy), bits(b.multiplyPipeBusy));
+    EXPECT_EQ(bits(a.portBusyCycles), bits(b.portBusyCycles));
 
     ASSERT_EQ(ref.events.size(), fast.events.size());
     for (size_t i = 0; i < ref.events.size(); ++i) {

@@ -4,6 +4,13 @@
  *
  *   macs kernels                         list the LFK workloads
  *   macs analyze <id>                    hierarchy report for one LFK
+ *   macs mp [id] [opts]                  multi-CPU contention run
+ *       --kernel N      LFK id (or give it positionally; default 1)
+ *       --cpus N        fleet size (default: the machine's CPUs)
+ *       --mix M         independent (default) / lockstep / strip
+ *       --engine E      coupled (default) / analytic
+ *       --machine F     .machine file (default: built-in C-240)
+ *       --json PATH     write schema macs-mp-v1 ('-' for stdout)
  *   macs compile <file> [opts]           DSL loop -> assembly + bounds
  *       --trip N        iterations (default 512)
  *       --array n:w     declare array n with w words (repeatable)
@@ -111,6 +118,7 @@
 #include "obs/sim_metrics.h"
 #include "obs/trace_export.h"
 #include "pipeline/checkpoint.h"
+#include "pipeline/mp_report.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/report.h"
 #include "pipeline/sweep.h"
@@ -171,6 +179,79 @@ cmdAnalyze(const std::string &arg)
     model::KernelAnalysis a =
         model::analyzeKernel(lfk::toKernelCase(k), cfg);
     std::printf("%s", model::renderReport(a, cfg).c_str());
+    return 0;
+}
+
+int
+cmdMp(const std::vector<std::string> &args)
+{
+    pipeline::MpRequest req;
+    std::string json_path;
+    bool have_kernel = false;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *what) -> const std::string & {
+            if (i + 1 >= args.size())
+                fatal(what, " expects an argument");
+            return args[++i];
+        };
+        if (a == "--kernel") {
+            long id = 0;
+            if (!parseInt(next("--kernel"), id))
+                fatal("--kernel expects an LFK number");
+            req.kernelId = static_cast<int>(id);
+            have_kernel = true;
+        } else if (a == "--cpus") {
+            long n = 0;
+            if (!parseInt(next("--cpus"), n) || n < 1)
+                fatal("--cpus expects a positive CPU count");
+            req.cpus = static_cast<int>(n);
+        } else if (a == "--mix") {
+            const std::string &m = next("--mix");
+            if (!lfk::parseMpMix(m, req.mix))
+                fatal("unknown mix '", m,
+                      "' (known: independent, lockstep, strip)");
+        } else if (a == "--engine") {
+            const std::string &e = next("--engine");
+            if (!pipeline::parseMpEngine(e, req.engine))
+                fatal("unknown engine '", e,
+                      "' (known: coupled, analytic)");
+        } else if (a == "--machine") {
+            const std::string &path = next("--machine");
+            machine::MachineFile mf;
+            Diagnostics diags("macs mp");
+            if (!machine::loadMachineFile(path, mf, diags))
+                diags.throwIfErrors();
+            req.config = mf.config;
+            req.machineName = mf.name;
+        } else if (a == "--json") {
+            json_path = next("--json");
+        } else if (!have_kernel && !a.empty() && a[0] != '-') {
+            long id = 0;
+            if (!parseInt(a, id))
+                fatal("mp expects an LFK number, got '", a, "'");
+            req.kernelId = static_cast<int>(id);
+            have_kernel = true;
+        } else {
+            fatal("unknown mp option '", a, "'");
+        }
+    }
+
+    pipeline::MpAnalysis analysis = pipeline::runMpAnalysis(req);
+    if (!json_path.empty()) {
+        std::string body = pipeline::renderMpJson(analysis);
+        if (json_path == "-") {
+            std::fputs(body.c_str(), stdout);
+        } else {
+            std::ofstream out(json_path);
+            if (!out)
+                fatal("cannot write '", json_path,
+                      "': ", std::strerror(errno));
+            out << body;
+        }
+    } else {
+        std::fputs(pipeline::renderMpText(analysis).c_str(), stdout);
+    }
     return 0;
 }
 
@@ -899,7 +980,8 @@ cmdVersion()
     std::printf("macs %s\n", MACS_VERSION_STRING);
     std::printf("schemas: macs-batch-v1, macs-sweep-v1, "
                 "macs-analysis-v1, macs-metrics-v1, macs-trace-v1, "
-                "macs-error-v1, macs-health-v1, macs-version-v1\n");
+                "macs-mp-v1, macs-error-v1, macs-health-v1, "
+                "macs-version-v1\n");
     return 0;
 }
 
@@ -1316,6 +1398,12 @@ usage()
         "usage: macs <command> [args]\n"
         "  kernels                 list the LFK workloads\n"
         "  analyze <id>            MACS hierarchy report for one LFK\n"
+        "  mp [id] [opts]          multi-CPU contention run "
+        "(docs/MULTICPU.md; --kernel N,\n"
+        "                          --cpus N, --mix independent|"
+        "lockstep|strip,\n"
+        "                          --engine coupled|analytic, "
+        "--machine FILE, --json PATH)\n"
         "  compile <file> [opts]   compile a DSL loop "
         "(--trip N, --array n:w, --scalar, --unroll N)\n"
         "  bounds <file.s>         MAC/MACS/MACS-D bounds of assembly\n"
@@ -1394,6 +1482,8 @@ main(int argc, char **argv)
             return cmdKernels();
         if (cmd == "analyze" && !args.empty())
             return cmdAnalyze(args[0]);
+        if (cmd == "mp")
+            return cmdMp(args);
         if (cmd == "compile")
             return cmdCompile(args);
         if (cmd == "bounds" && !args.empty())
